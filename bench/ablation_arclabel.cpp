@@ -1,0 +1,54 @@
+// Ablation: arc labeling policy.
+//
+// Paper footnote 6: "we assume the majority determines the nature.  For
+// example, if a timing arc involves two isolated and one dense device,
+// then it is labeled as frowning.  Better focus-sensitivity based
+// characterization is possible."  The conservative alternative labels an
+// arc smile/frown only when every device agrees.
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Ablation: arc labeling policy (majority vs "
+              "conservative) ===\n\n");
+
+  Table table({"Policy", "Testcase", "Smile", "Frown", "Self-comp",
+               "Reduction"});
+  std::string csv = "policy,testcase,smile,frown,selfcomp,reduction\n";
+
+  for (const auto& [label, policy] :
+       {std::pair{"majority (paper)", ArcLabelPolicy::Majority},
+        std::pair{"conservative", ArcLabelPolicy::Conservative}}) {
+    FlowConfig config;
+    config.arc_policy = policy;
+    const SvaFlow flow{config};
+    for (const char* name : {"C432", "C1908"}) {
+      const CircuitAnalysis a = flow.analyze_benchmark(name);
+      table.add_row({label, name, std::to_string(a.arc_class_counts[0]),
+                     std::to_string(a.arc_class_counts[1]),
+                     std::to_string(a.arc_class_counts[2]),
+                     fmt_pct(a.uncertainty_reduction(), 1)});
+      csv += std::string(label) + "," + name + "," +
+             std::to_string(a.arc_class_counts[0]) + "," +
+             std::to_string(a.arc_class_counts[1]) + "," +
+             std::to_string(a.arc_class_counts[2]) + "," +
+             fmt(a.uncertainty_reduction(), 4) + "\n";
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: conservative labeling moves smile/frown "
+              "arcs into self-compensated; the overall reduction changes "
+              "only mildly (the classes' corner trims are similar in "
+              "magnitude).\n");
+  write_text_file("ablation_arclabel.csv", csv);
+  std::printf("\nwrote ablation_arclabel.csv\n");
+  return 0;
+}

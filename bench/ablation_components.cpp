@@ -1,0 +1,55 @@
+// Ablation: which systematic component buys how much?
+//
+// The paper's methodology has two stacked ideas: removing the
+// through-pitch share (Sec. 3.1, Eq. 1) and trimming the through-focus
+// share per arc class (Sec. 3.2, Eqs. 2-5).  This bench isolates them:
+// pitch-only, focus-only, and the full method.
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Ablation: pitch vs focus systematic components ===\n\n");
+
+  struct Variant {
+    const char* name;
+    double pitch_share;
+    double focus_share;
+  };
+  const Variant variants[] = {
+      {"neither (context nominal only)", 0.0, 0.0},
+      {"pitch only (Sec. 3.1)", 0.30, 0.0},
+      {"focus only (Sec. 3.2)", 0.0, 0.30},
+      {"both (full method)", 0.30, 0.30},
+  };
+
+  Table table({"Variant", "C432 reduction", "C1355 reduction"});
+  std::string csv = "variant,pitch_share,focus_share,c432,c1355\n";
+  for (const Variant& v : variants) {
+    FlowConfig config;
+    config.budget.pitch_share = v.pitch_share;
+    config.budget.focus_share = v.focus_share;
+    const SvaFlow flow{config};
+    const CircuitAnalysis c432 = flow.analyze_benchmark("C432");
+    const CircuitAnalysis c1355 = flow.analyze_benchmark("C1355");
+    table.add_row({v.name, fmt_pct(c432.uncertainty_reduction(), 1),
+                   fmt_pct(c1355.uncertainty_reduction(), 1)});
+    csv += std::string(v.name) + "," + fmt(v.pitch_share, 2) + "," +
+           fmt(v.focus_share, 2) + "," +
+           fmt(c432.uncertainty_reduction(), 4) + "," +
+           fmt(c1355.uncertainty_reduction(), 4) + "\n";
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: both components contribute; the full "
+              "method reaches the paper's 28-40%% band.\n");
+  write_text_file("ablation_components.csv", csv);
+  std::printf("\nwrote ablation_components.csv\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension bench: variation-aware whitespace shaping.
+//
+// Paper conclusion: "Systematic nature of focus dependent CD variation
+// suggests potential implications for compensating for such focus
+// variation."  Here the compensation lever is placement whitespace:
+// shifting cells inside their row changes neighbour spacings, hence the
+// context versions and smile/frown labels of critical arcs, hence the
+// worst-case corner.  The greedy optimizer trades nothing but whitespace
+// position for WC delay.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/compensation.hpp"
+#include "core/flow.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Variation-aware whitespace shaping (WC-corner "
+              "optimization) ===\n\n");
+
+  const SvaFlow flow{FlowConfig{}};
+  Table table({"Testcase", "WC before (ns)", "WC after (ns)",
+               "Improvement", "Moves", "Evaluations", "Seconds"});
+  std::string csv = "testcase,before_ps,after_ps,moves,evals,seconds\n";
+
+  for (const char* name : {"C432", "C880"}) {
+    const Netlist netlist = flow.make_benchmark(name);
+    Placement placement = flow.make_placement(netlist);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const CompensationResult r = compensate_placement(
+        placement, flow.context_library(), flow.characterized(),
+        flow.config().budget, flow.config().sta);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    table.add_row({name, fmt(units::ps_to_ns(r.wc_before_ps), 3),
+                   fmt(units::ps_to_ns(r.wc_after_ps), 3),
+                   fmt_pct(r.improvement(), 2),
+                   std::to_string(r.moves_applied),
+                   std::to_string(r.moves_evaluated), fmt(seconds, 2)});
+    csv += std::string(name) + "," + fmt(r.wc_before_ps, 2) + "," +
+           fmt(r.wc_after_ps, 2) + "," + std::to_string(r.moves_applied) +
+           "," + std::to_string(r.moves_evaluated) + "," +
+           fmt(seconds, 3) + "\n";
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: a modest but free WC improvement -- the "
+              "optimizer only moves whitespace, it never resizes or "
+              "rewires; the headroom it exploits is exactly the context "
+              "dependence the paper's methodology models.\n");
+  write_text_file("compensation.csv", csv);
+  std::printf("\nwrote compensation.csv\n");
+  return 0;
+}

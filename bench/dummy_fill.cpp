@@ -1,0 +1,105 @@
+// Extension bench: dummy-poly fill as manufacturing-side compensation.
+//
+// The paper's library-OPC environment already uses dummy poly to emulate
+// "a typical placement environment" (Fig. 3); production flows go one
+// step further and *insert* dummy poly into the real whitespace so every
+// gate sees a dense-like context.  This bench quantifies what that does
+// to the methodology's numbers: the class mix collapses toward
+// dense/smile, the context-induced spread narrows, and the SVA corner
+// spread changes accordingly.
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "core/leakage.hpp"
+#include "place/dummy_fill.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+using namespace sva;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::size_t dummies = 0;
+  std::vector<std::size_t> classes;  // smile, frown, selfcomp
+  double wc_ps = 0.0;
+  double bc_ps = 0.0;
+  double leakage_worst_na = 0.0;
+};
+
+Variant evaluate(const SvaFlow& flow, const Netlist& netlist,
+                 const std::vector<InstanceNps>& nps, const char* name,
+                 std::size_t dummies) {
+  const Sta sta(netlist, flow.characterized(), flow.config().sta);
+  const auto versions = assign_versions(nps, flow.config().bins);
+  const SvaCornerScale wc(netlist, flow.context_library(), versions,
+                          flow.config().budget, Corner::Worst,
+                          flow.config().arc_policy, &nps);
+  const SvaCornerScale bc(netlist, flow.context_library(), versions,
+                          flow.config().budget, Corner::Best,
+                          flow.config().arc_policy, &nps);
+  Variant v;
+  v.name = name;
+  v.dummies = dummies;
+  v.classes = wc.class_histogram();
+  v.wc_ps = sta.run(wc).critical_delay_ps;
+  v.bc_ps = sta.run(bc).critical_delay_ps;
+  v.leakage_worst_na =
+      analyze_leakage(netlist, flow.context_library(), versions, nps,
+                      flow.config().budget)
+          .worst_context_na;
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Dummy-poly fill: context homogenization ===\n\n");
+
+  const SvaFlow flow{FlowConfig{}};
+  Table table({"Variant", "#Dummies", "Smile", "Frown", "Self-comp",
+               "SVA BC (ns)", "SVA WC (ns)", "Spread (ns)",
+               "WC leakage (uA)"});
+  std::string csv =
+      "variant,dummies,smile,frown,selfcomp,bc_ps,wc_ps,leak_na\n";
+
+  const Netlist netlist = flow.make_benchmark("C880");
+  const Placement placement = flow.make_placement(netlist);
+
+  const auto plain_nps = extract_nps(placement);
+  const DummyFillPlan plan = plan_dummy_fill(placement);
+  const auto filled_nps = nps_with_fill(placement, plan);
+
+  for (const Variant& v :
+       {evaluate(flow, netlist, plain_nps, "no fill", 0),
+        evaluate(flow, netlist, filled_nps, "with fill",
+                 plan.count())}) {
+    table.add_row({v.name, std::to_string(v.dummies),
+                   std::to_string(v.classes[0]),
+                   std::to_string(v.classes[1]),
+                   std::to_string(v.classes[2]),
+                   fmt(units::ps_to_ns(v.bc_ps), 3),
+                   fmt(units::ps_to_ns(v.wc_ps), 3),
+                   fmt(units::ps_to_ns(v.wc_ps - v.bc_ps), 3),
+                   fmt(v.leakage_worst_na / 1000.0, 2)});
+    csv += std::string(v.name) + "," + std::to_string(v.dummies) + "," +
+           std::to_string(v.classes[0]) + "," +
+           std::to_string(v.classes[1]) + "," +
+           std::to_string(v.classes[2]) + "," + fmt(v.bc_ps, 2) + "," +
+           fmt(v.wc_ps, 2) + "," + fmt(v.leakage_worst_na, 1) + "\n";
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: fill moves frown/self-compensated arcs "
+              "toward smile (dense contexts everywhere), slows the "
+              "nominal slightly (dense prints larger), trims the "
+              "worst-case leakage (longer channels + no frown devices), "
+              "and narrows the context spread.\n");
+  write_text_file("dummy_fill.csv", csv);
+  std::printf("\nwrote dummy_fill.csv\n");
+  return 0;
+}

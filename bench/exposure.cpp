@@ -1,0 +1,68 @@
+// Extension bench (paper Sec. 6, current work): exposure-dose variation.
+//
+// "Exposure variation can alter the nature of devices (i.e. dense or
+// isolated).  Our current work also investigates the impacts of exposure
+// variation on the proposed timing methodology."
+//
+// Sweep the dose, count how many timing arcs change their
+// smile/frown/self-compensated label, and re-evaluate the SVA corners
+// under the flipped labels.  Expected shape: a few percent of arcs flip
+// per 5% dose error; the corner movement stays small compared to the
+// pessimism the methodology removes (i.e. the method is dose-robust).
+
+#include <cstdio>
+
+#include "core/exposure.hpp"
+#include "core/flow.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Exposure-dose sensitivity of the SVA corners ===\n\n");
+
+  const SvaFlow flow{FlowConfig{}};
+  const Netlist netlist = flow.make_benchmark("C880");
+  const Placement placement = flow.make_placement(netlist);
+  const Sta sta(netlist, flow.characterized(), flow.config().sta);
+  const auto nps = extract_nps(placement);
+  const auto versions = assign_versions(nps, flow.config().bins);
+
+  const auto points =
+      analyze_exposure(netlist, flow.context_library(), versions, nps,
+                       flow.config().budget, sta);
+
+  Table table({"Dose", "Spacing shift (nm)", "Arc flips", "Smile", "Frown",
+               "Self-comp", "SVA BC (ns)", "SVA WC (ns)", "Spread (ns)"});
+  std::string csv = "dose,shift_nm,flips,smile,frown,selfcomp,bc_ps,wc_ps\n";
+  for (const auto& p : points) {
+    table.add_row({fmt(p.dose, 2), fmt(p.spacing_shift, 2),
+                   std::to_string(p.arc_flips),
+                   std::to_string(p.arc_class_counts[0]),
+                   std::to_string(p.arc_class_counts[1]),
+                   std::to_string(p.arc_class_counts[2]),
+                   fmt(units::ps_to_ns(p.sva_bc_ps), 3),
+                   fmt(units::ps_to_ns(p.sva_wc_ps), 3),
+                   fmt(units::ps_to_ns(p.spread_ps()), 3)});
+    csv += fmt(p.dose, 3) + "," + fmt(p.spacing_shift, 3) + "," +
+           std::to_string(p.arc_flips) + "," +
+           std::to_string(p.arc_class_counts[0]) + "," +
+           std::to_string(p.arc_class_counts[1]) + "," +
+           std::to_string(p.arc_class_counts[2]) + "," +
+           fmt(p.sva_bc_ps, 2) + "," + fmt(p.sva_wc_ps, 2) + "\n";
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("C880: %zu gates.  Expected shape: overexposure (dose > 1) "
+              "thins lines, grows spacings, and pushes arcs toward "
+              "isolated/frown; underexposure does the opposite.  The "
+              "corner spread moves only mildly across a +-10%% dose "
+              "window.\n",
+              netlist.gates().size());
+  write_text_file("exposure.csv", csv);
+  std::printf("\nwrote exposure.csv\n");
+  return 0;
+}

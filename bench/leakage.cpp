@@ -1,0 +1,58 @@
+// Extension bench: context-aware leakage estimation.
+//
+// Leakage is exponential in gate length, so worst-casing every device's
+// CD (as a traditional leakage sign-off does) compounds far worse than
+// for delay.  This bench quantifies the leakage-estimation pessimism the
+// methodology removes -- the direction the authors took in the follow-up
+// work on defocus-aware leakage.
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "core/leakage.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Leakage estimation: traditional vs context-aware ===\n\n");
+
+  const SvaFlow flow{FlowConfig{}};
+  Table table({"Testcase", "Nom trad (uA)", "Nom context (uA)",
+               "WC trad (uA)", "WC context (uA)", "WC pessimism ratio"});
+  std::string csv =
+      "testcase,nom_trad,nom_ctx,wc_trad,wc_ctx,ratio\n";
+
+  for (const char* name : {"C432", "C880", "C1355"}) {
+    const Netlist netlist = flow.make_benchmark(name);
+    const Placement placement = flow.make_placement(netlist);
+    const auto nps = extract_nps(placement);
+    const auto versions = assign_versions(nps, flow.config().bins);
+    const LeakageAnalysis a =
+        analyze_leakage(netlist, flow.context_library(), versions, nps,
+                        flow.config().budget);
+    table.add_row({name, fmt(a.nominal_traditional_na / 1000.0, 2),
+                   fmt(a.nominal_context_na / 1000.0, 2),
+                   fmt(a.worst_traditional_na / 1000.0, 2),
+                   fmt(a.worst_context_na / 1000.0, 2),
+                   fmt(a.worst_case_ratio(), 2) + "x"});
+    csv += std::string(name) + "," + fmt(a.nominal_traditional_na, 1) +
+           "," + fmt(a.nominal_context_na, 1) + "," +
+           fmt(a.worst_traditional_na, 1) + "," +
+           fmt(a.worst_context_na, 1) + "," +
+           fmt(a.worst_case_ratio(), 4) + "\n";
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: nominal context leakage exceeds the "
+              "traditional estimate (most devices print below drawn "
+              "length), while worst-case context leakage sits well below "
+              "the traditional worst case -- exponential sensitivity "
+              "makes the CD-pessimism removal far larger for leakage "
+              "than for delay.\n");
+  write_text_file("leakage.csv", csv);
+  std::printf("\nwrote leakage.csv\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) of the computational kernels that
+// dominate the flows: aerial-image evaluation, OPC line correction,
+// library OPC of a master, context-version binding, and full-design STA.
+//
+// These back the runtime claims in Table 1: full-chip OPC cost is
+// (images per line) x (lines in the design), while the library-based flow
+// pays (images per line) x (lines in 10 masters) once.
+
+#include <benchmark/benchmark.h>
+
+#include "core/flow.hpp"
+#include "litho/cd_model.hpp"
+#include "netlist/iscas85.hpp"
+#include "opc/engine.hpp"
+#include "place/context.hpp"
+#include "sta/sta.hpp"
+
+namespace {
+
+using namespace sva;
+
+const LithoProcess& process() {
+  static const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  return proc;
+}
+
+void BM_AerialImageDense(benchmark::State& state) {
+  const auto mask = MaskPattern1D::grating(90.0, 240.0);
+  const auto& proc = process();
+  (void)proc.simulator().image(mask, 0.0);  // warm the TCC cache
+  for (auto _ : state)
+    benchmark::DoNotOptimize(proc.simulator().image(mask, 0.0));
+}
+BENCHMARK(BM_AerialImageDense);
+
+void BM_AerialImageSupercell(benchmark::State& state) {
+  const auto mask = MaskPattern1D::local_context(
+      90.0, {{200.0, 90.0}}, {{350.0, 90.0}}, LithoProcess::kSupercellPeriod);
+  const auto& proc = process();
+  (void)proc.simulator().image(mask, 0.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(proc.simulator().image(mask, 0.0));
+}
+BENCHMARK(BM_AerialImageSupercell);
+
+void BM_PrintedCd(benchmark::State& state) {
+  const auto mask = MaskPattern1D::grating(90.0, 300.0);
+  const auto& proc = process();
+  for (auto _ : state) benchmark::DoNotOptimize(proc.printed_cd(mask));
+}
+BENCHMARK(BM_PrintedCd);
+
+void BM_OpcLineArray(benchmark::State& state) {
+  const auto lines = static_cast<std::size_t>(state.range(0));
+  const OpcEngine engine(process(), OpcConfig{});
+  OpcProblem problem;
+  for (std::size_t k = 0; k < lines; ++k) {
+    OpcLine line;
+    line.drawn_lo = static_cast<double>(k) * 400.0;
+    line.drawn_hi = line.drawn_lo + 90.0;
+    line.mask_lo = line.drawn_lo;
+    line.mask_hi = line.drawn_hi;
+    problem.lines.push_back(line);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(engine.correct(problem));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines));
+}
+BENCHMARK(BM_OpcLineArray)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_LibraryOpcMaster(benchmark::State& state) {
+  static const CellLibrary lib = build_standard_library();
+  const OpcEngine engine(process(), OpcConfig{});
+  const CellMaster& nand3 = lib.by_name("NAND3_X1");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(library_opc_cell(nand3, engine));
+}
+BENCHMARK(BM_LibraryOpcMaster);
+
+void BM_NpsExtraction(benchmark::State& state) {
+  static const CellLibrary lib = build_standard_library();
+  static const Netlist nl = generate_iscas85_like("C880", lib);
+  static const Placement placement(nl, PlacementConfig{});
+  for (auto _ : state) benchmark::DoNotOptimize(extract_nps(placement));
+}
+BENCHMARK(BM_NpsExtraction);
+
+void BM_StaRun(benchmark::State& state) {
+  static const CellLibrary lib = build_standard_library();
+  static const CharacterizedLibrary charlib = characterize_library(lib);
+  static const Netlist nl = generate_iscas85_like("C1908", lib);
+  static const Sta sta(nl, charlib);
+  const UnitScale scale;
+  for (auto _ : state) benchmark::DoNotOptimize(sta.run(scale));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.gates().size()));
+}
+BENCHMARK(BM_StaRun);
+
+void BM_FlowAnalyzeC432(benchmark::State& state) {
+  static const SvaFlow flow{FlowConfig{}};
+  static const Netlist nl = flow.make_benchmark("C432");
+  static const Placement placement = flow.make_placement(nl);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(flow.analyze(nl, placement));
+}
+BENCHMARK(BM_FlowAnalyzeC432);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Extension bench (paper Secs. 2 & 6): Sub-Resolution Assist Features.
+//
+// "This systematic effect is somewhat mitigated by insertion of assist
+// features [11] but never completely." / "We are refining our experiment
+// for process technology which includes other RET such as Sub-Resolution
+// Assist Features."
+//
+// We re-run the post-OPC through-pitch characterization with rule-based
+// SRAF insertion and compare the residual iso-dense bias against the
+// plain flow.  Expected shape: assist bars pull isolated lines toward the
+// dense printing behaviour, shrinking -- but not eliminating -- the
+// through-pitch half-range (lvar_pitch), and the bars themselves must not
+// print.
+
+#include <cstdio>
+
+#include "litho/cd_model.hpp"
+#include "opc/engine.hpp"
+#include "opc/pitch_table.hpp"
+#include "opc/sraf.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+using namespace sva;
+
+namespace {
+
+OpcProblem line_array(Nm linewidth, Nm spacing, std::size_t count) {
+  OpcProblem problem;
+  const Nm pitch = linewidth + spacing;
+  for (std::size_t k = 0; k < count; ++k) {
+    OpcLine line;
+    line.drawn_lo = static_cast<double>(k) * pitch;
+    line.drawn_hi = line.drawn_lo + linewidth;
+    line.mask_lo = line.drawn_lo;
+    line.mask_hi = line.drawn_hi;
+    line.tag = static_cast<long>(k);
+    problem.lines.push_back(line);
+  }
+  return problem;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== SRAF extension: through-pitch residual with assist "
+              "features ===\n\n");
+
+  const OpticsConfig optics;
+  const LithoProcess process(optics, 90.0, 240.0);
+  const OpcEngine engine(process, OpcConfig{});
+  const SrafConfig sraf_config;
+
+  Table table({"Spacing (nm)", "#SRAFs", "Raw CD plain (nm)",
+               "Raw CD w/ SRAF (nm)", "SRAF prints?"});
+  std::string csv = "spacing,srafs,cd_plain,cd_sraf,sraf_printed\n";
+
+  std::vector<double> plain_cds, sraf_cds;
+  const std::vector<Nm> spacings = {150, 250, 350, 450, 550, 700, 900};
+  for (Nm spacing : spacings) {
+    const OpcProblem plain = line_array(90.0, spacing, 7);
+    const OpcProblem assisted = insert_srafs(plain, sraf_config);
+
+    // Raw (uncorrected) printing isolates the optical effect of the
+    // assist bars; the paper's mitigation claim is about this bias.
+    const OpcResult r_plain = engine.measure(plain);
+    const OpcResult r_sraf = engine.measure(assisted);
+    const Nm cd_plain = r_plain.by_tag(3).printed_cd;
+    const Nm cd_sraf = r_sraf.by_tag(3).printed_cd;
+
+    // Do any of the assist bars print?
+    bool printed = false;
+    for (const auto& lr : r_sraf.lines)
+      if (lr.line.tag == kSrafTag && lr.printed_cd > 20.0) printed = true;
+
+    plain_cds.push_back(cd_plain);
+    sraf_cds.push_back(cd_sraf);
+    table.add_row({fmt(spacing, 0),
+                   std::to_string(count_srafs(assisted)), fmt(cd_plain, 2),
+                   fmt(cd_sraf, 2), printed ? "YES (violation!)" : "no"});
+    csv += fmt(spacing, 0) + "," + std::to_string(count_srafs(assisted)) +
+           "," + fmt(cd_plain, 3) + "," + fmt(cd_sraf, 3) + "," +
+           (printed ? "1" : "0") + "\n";
+  }
+
+  auto half_range = [](const std::vector<double>& cds) {
+    double lo = cds[0], hi = cds[0];
+    for (double c : cds) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    return (hi - lo) / 2.0;
+  };
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("through-pitch half-range: plain %.2f nm  ->  with SRAFs "
+              "%.2f nm\n",
+              half_range(plain_cds), half_range(sraf_cds));
+  std::printf("expected shape: SRAFs reduce the residual iso-dense bias "
+              "but do not remove it (\"somewhat mitigated ... but never "
+              "completely\"), and never print themselves.\n");
+  write_text_file("sraf.csv", csv);
+  std::printf("\nwrote sraf.csv\n");
+  return 0;
+}

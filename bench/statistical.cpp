@@ -1,0 +1,121 @@
+// Extension bench (paper Sec. 6, future work): statistical timing with
+// realistic gate-length distributions.
+//
+// "We also plan to further quantify such pessimism by using statistical
+// timing methodology with more realistic gate length distribution based on
+// iso-dense attributes and proximity spatial information, as opposed to
+// the simplistic Gaussian distribution of gate length variation."
+//
+// We run Monte-Carlo SSTA under both models and compare their delay
+// distributions against the corner analyses.  Expected shape: the naive
+// Gaussian's high quantile approaches the traditional WC corner, while the
+// context-aware model -- whose systematic components are deterministic and
+// whose focus component self-compensates across arc classes -- is visibly
+// tighter.
+
+#include <cstdio>
+
+#include "core/exposure.hpp"
+#include "core/flow.hpp"
+#include "core/statistical.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Statistical timing: naive Gaussian vs context-aware "
+              "gate-length model ===\n\n");
+
+  const SvaFlow flow{FlowConfig{}};
+  Table table({"Testcase", "Model", "Mean (ns)", "Sigma (ps)",
+               "q0.1% (ns)", "q99.9% (ns)", "Trad BC/WC (ns)",
+               "SVA BC/WC (ns)"});
+  std::string csv =
+      "testcase,model,mean_ps,sigma_ps,q_lo_ps,q_hi_ps\n";
+
+  for (const char* name : {"C432", "C880"}) {
+    const Netlist netlist = flow.make_benchmark(name);
+    const Placement placement = flow.make_placement(netlist);
+    const Sta sta(netlist, flow.characterized(), flow.config().sta);
+    const CircuitAnalysis corners = flow.analyze(netlist, placement);
+    const auto versions = flow.bind_versions(placement);
+
+    const Nm l_nom = flow.config().cell_tech.gate_length;
+    const NaiveGaussianSampler naive(netlist, flow.config().budget, l_nom);
+    const SpatialGaussianSampler spatial(placement, flow.config().budget,
+                                         l_nom);
+    const ContextAwareSampler aware(netlist, flow.context_library(),
+                                    versions, flow.config().budget,
+                                    flow.config().arc_policy);
+
+    MonteCarloConfig mc;
+    mc.samples = 2000;
+    for (const auto& [label, sampler] :
+         {std::pair<const char*, const GateLengthSampler*>{"naive Gaussian",
+                                                           &naive},
+          std::pair<const char*, const GateLengthSampler*>{"spatial Gaussian",
+                                                           &spatial},
+          std::pair<const char*, const GateLengthSampler*>{"context-aware",
+                                                           &aware}}) {
+      const DelayDistribution dist = run_monte_carlo(sta, *sampler, mc);
+      const Summary s = dist.summary();
+      table.add_row(
+          {name, label, fmt(units::ps_to_ns(s.mean), 3),
+           fmt(s.stddev, 1), fmt(units::ps_to_ns(dist.quantile_ps(0.001)), 3),
+           fmt(units::ps_to_ns(dist.quantile_ps(0.999)), 3),
+           fmt(units::ps_to_ns(corners.trad_bc_ps), 3) + "/" +
+               fmt(units::ps_to_ns(corners.trad_wc_ps), 3),
+           fmt(units::ps_to_ns(corners.sva_bc_ps), 3) + "/" +
+               fmt(units::ps_to_ns(corners.sva_wc_ps), 3)});
+      csv += std::string(name) + "," + label + "," + fmt(s.mean, 2) + "," +
+             fmt(s.stddev, 2) + "," + fmt(dist.quantile_ps(0.001), 2) +
+             "," + fmt(dist.quantile_ps(0.999), 2) + "\n";
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+
+  // Yield view (paper motivation, ref [4]): the clock a designer could
+  // sign off at 99.9% parametric yield under each model, vs the corner.
+  {
+    const Netlist netlist = flow.make_benchmark("C880");
+    const Placement placement = flow.make_placement(netlist);
+    const Sta sta(netlist, flow.characterized(), flow.config().sta);
+    const CircuitAnalysis corners = flow.analyze(netlist, placement);
+    const auto versions = flow.bind_versions(placement);
+    const NaiveGaussianSampler naive(netlist, flow.config().budget, 90.0);
+    const ContextAwareSampler aware(netlist, flow.context_library(),
+                                    versions, flow.config().budget);
+    MonteCarloConfig mc;
+    mc.samples = 2000;
+    const double p_naive =
+        period_for_yield(run_monte_carlo(sta, naive, mc), 0.999);
+    const double p_aware =
+        period_for_yield(run_monte_carlo(sta, aware, mc), 0.999);
+    std::printf("C880 sign-off clock at 99.9%% yield:\n");
+    std::printf("  traditional WC corner:    %.3f ns\n",
+                units::ps_to_ns(corners.trad_wc_ps));
+    std::printf("  SVA WC corner:            %.3f ns (%.1f%% faster)\n",
+                units::ps_to_ns(corners.sva_wc_ps),
+                100.0 * (corners.trad_wc_ps - corners.sva_wc_ps) /
+                    corners.trad_wc_ps);
+    std::printf("  naive Gaussian yield:     %.3f ns\n",
+                units::ps_to_ns(p_naive));
+    std::printf("  context-aware yield:      %.3f ns (%.1f%% faster than "
+                "trad corner)\n\n",
+                units::ps_to_ns(p_aware),
+                100.0 * (corners.trad_wc_ps - p_aware) /
+                    corners.trad_wc_ps);
+  }
+
+  std::printf("expected shape: the context-aware distribution is tighter "
+              "than the naive Gaussian; both stay inside the traditional "
+              "corner bracket (corners also carry the non-CD process "
+              "margin the statistical CD models exclude).\n");
+  write_text_file("statistical.csv", csv);
+  std::printf("\nwrote statistical.csv\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quantifying the paper's Sec. 2 premise: "In reality, at least 50% of
+// ACLV is systematic", and that the systematic part "can be modelled very
+// accurately once a physical layout is completed".
+//
+// Method: full-chip OPC gives every device's true printed CD; the
+// methodology's context model (library-OPC interiors + post-OPC pitch
+// table for boundary devices, resolved through the measured placement
+// context) predicts each device's CD without ever simulating the placed
+// design.  The variance of the true CDs that the prediction explains is
+// the "systematic, predictable" fraction; the residual corresponds to
+// what a flow would have to carry as random budget.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "place/fullchip_opc.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+using namespace sva;
+
+int main() {
+  std::printf("=== Fraction of full-chip CD variation explained by the "
+              "context model ===\n\n");
+
+  const SvaFlow flow{FlowConfig{}};
+  Table table({"Testcase", "#Devices", "CD sigma (nm)",
+               "Residual sigma (nm)", "Variance explained"});
+  std::string csv = "testcase,devices,sigma,residual_sigma,explained\n";
+
+  for (const char* name : {"C432", "C880", "C1355"}) {
+    const Netlist netlist = flow.make_benchmark(name);
+    const Placement placement = flow.make_placement(netlist);
+    const FullChipOpcResult full =
+        full_chip_opc(placement, flow.opc_engine());
+    const auto versions = flow.bind_versions(placement);
+
+    std::vector<double> truth;
+    std::vector<double> residual;
+    for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+      const std::size_t ci = netlist.gates()[gi].cell_index;
+      const CellMaster& master = flow.library().master(ci);
+      for (std::size_t di = 0; di < master.devices().size(); ++di) {
+        const Nm t = full.device_cd[gi][di];
+        if (t <= 0.0) continue;
+        const Nm predicted = flow.context_library().device_printed_cd(
+            ci, versions[gi], di);
+        truth.push_back(t);
+        residual.push_back(t - predicted);
+      }
+    }
+    const Summary s_truth = summarize(truth);
+    const Summary s_res = summarize(residual);
+    const double explained =
+        1.0 - (s_res.stddev * s_res.stddev) /
+                  (s_truth.stddev * s_truth.stddev);
+    table.add_row({name, std::to_string(truth.size()),
+                   fmt(s_truth.stddev, 2), fmt(s_res.stddev, 2),
+                   fmt_pct(explained, 1)});
+    csv += std::string(name) + "," + std::to_string(truth.size()) + "," +
+           fmt(s_truth.stddev, 4) + "," + fmt(s_res.stddev, 4) + "," +
+           fmt(explained, 4) + "\n";
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper (Sec. 2): 'at least 50%% of ACLV is systematic' and "
+              "predictable from the layout; the explained fraction here "
+              "is the reproduction of that claim within the simulated "
+              "process (the residual is context the lookup model cannot "
+              "see: second neighbours, row-level interactions).\n");
+  write_text_file("systematic_fraction.csv", csv);
+  std::printf("\nwrote systematic_fraction.csv\n");
+  return 0;
+}

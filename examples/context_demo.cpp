@@ -1,0 +1,94 @@
+// Context demo: walks through the paper's Figures 3-5 on real data
+// structures --
+//   Fig. 3: the library-OPC dummy environment of a NAND gate;
+//   Fig. 4: the nps_LT/RT/LB/RB spacings of a cell in a 3-cell placement;
+//   Fig. 5: isolated / dense / self-compensated device labeling.
+
+#include <cstdio>
+
+#include "cell/library.hpp"
+#include "cell/library_opc.hpp"
+#include "core/classify.hpp"
+#include "litho/cd_model.hpp"
+#include "netlist/netlist.hpp"
+#include "opc/engine.hpp"
+#include "place/context.hpp"
+#include "place/placement.hpp"
+
+int main() {
+  using namespace sva;
+  const CellLibrary library = build_standard_library();
+  const CellTech tech;
+
+  // ---------------------------------------------------- Fig. 3
+  std::printf("--- Fig. 3: library-OPC environment of NAND2_X1 ---\n");
+  const CellMaster& nand2 = library.by_name("NAND2_X1");
+  const Layout env = library_opc_environment(nand2, LibraryOpcConfig{});
+  for (const Shape& s : env.shapes())
+    std::printf("  %-5s  x [%7.1f, %7.1f]  y [%6.1f, %6.1f]\n",
+                layer_name(s.layer).c_str(), s.rect.x_lo, s.rect.x_hi,
+                s.rect.y_lo, s.rect.y_hi);
+  const LithoProcess process(OpticsConfig{}, tech.gate_length, 240.0);
+  const OpcEngine engine(process, OpcConfig{});
+  const auto opc = library_opc_cell(nand2, engine);
+  std::printf("  per-device printed CDs after library OPC:\n");
+  for (std::size_t d = 0; d < nand2.devices().size(); ++d)
+    std::printf("    %-4s  drawn %.0f nm -> printed %.2f nm (mask %.0f)\n",
+                nand2.devices()[d].name.c_str(), tech.gate_length,
+                opc.device_cd[d], opc.device_mask_width[d]);
+
+  // ---------------------------------------------------- Fig. 4
+  std::printf("\n--- Fig. 4: nps spacings in a 3-cell placement A-B-C ---\n");
+  Netlist netlist(library, "abc");
+  const auto pi = netlist.add_primary_input("pi");
+  const auto a = netlist.add_gate("A", library.index_of("NOR2_X1"),
+                                  {pi, pi});
+  const auto b = netlist.add_gate("B", library.index_of("NAND2_X1"),
+                                  {a, pi});
+  const auto c = netlist.add_gate("C", library.index_of("INV_X1"), {b});
+  netlist.mark_primary_output(c);
+  // Abut the three cells so the cross-boundary spacings are the story.
+  PlacementConfig abutted;
+  abutted.utilization = 0.99;
+  abutted.abut_probability = 1.0;
+  const Placement placement(netlist, abutted);
+  const auto nps = extract_nps(placement);
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    const auto& g = netlist.gates()[gi];
+    std::printf("  %s (%s at x=%.0f): nps_LT %5.0f  nps_RT %5.0f  "
+                "nps_LB %5.0f  nps_RB %5.0f\n",
+                g.name.c_str(),
+                library.master(g.cell_index).name().c_str(),
+                placement.instances()[gi].x, nps[gi].lt, nps[gi].rt,
+                nps[gi].lb, nps[gi].rb);
+  }
+  const ContextBins bins;
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    const VersionKey v = nps_to_version(nps[gi], bins);
+    std::printf("  %s -> version (%u,%u,%u,%u) = index %zu of %zu\n",
+                netlist.gates()[gi].name.c_str(), v.lt, v.rt, v.lb, v.rb,
+                version_index(v, bins.count()), bins.version_count());
+  }
+
+  // ---------------------------------------------------- Fig. 5
+  std::printf("\n--- Fig. 5: device classes in AOI21_X1 (dense / "
+              "self-compensated / isolated) ---\n");
+  const CellMaster& aoi = library.by_name("AOI21_X1");
+  for (std::size_t d = 0; d < aoi.devices().size(); ++d) {
+    // Spacings inside the cell; boundary sides assumed isolated here.
+    const PolyGate& gate = aoi.gates()[aoi.devices()[d].gate_index];
+    Nm left = tech.radius_of_influence, right = tech.radius_of_influence;
+    for (const PolyGate& other : aoi.gates()) {
+      if (other.x_center < gate.x_center)
+        left = std::min(left, gate.x_lo() - other.x_hi());
+      if (other.x_center > gate.x_center)
+        right = std::min(right, other.x_lo() - gate.x_hi());
+    }
+    const DeviceClass cls =
+        classify_device(left, right, tech.contacted_pitch);
+    std::printf("  %-4s  spacing L %5.0f / R %5.0f  -> %s\n",
+                aoi.devices()[d].name.c_str(), left, right,
+                to_string(cls));
+  }
+  return 0;
+}

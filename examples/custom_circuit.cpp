@@ -1,0 +1,80 @@
+// Custom circuit: build your own netlist against the public API, place
+// it, and run both timing flows -- the path a downstream user would take
+// to analyze their own design instead of the bundled benchmarks.
+//
+// The circuit here is a 4-bit ripple-carry-style cone built from the
+// library's NAND/NOR/XOR masters.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace sva;
+  const SvaFlow flow{FlowConfig{}};
+  const CellLibrary& lib = flow.library();
+
+  Netlist netlist(lib, "ripple4");
+  std::vector<std::size_t> a(4), b(4);
+  for (int i = 0; i < 4; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        netlist.add_primary_input("a" + std::to_string(i));
+    b[static_cast<std::size_t>(i)] =
+        netlist.add_primary_input("b" + std::to_string(i));
+  }
+
+  // Full-adder-ish slices: sum_i = a_i XOR b_i XOR carry; carry via
+  // NAND/NOR network (logically approximate -- the timing structure is
+  // what matters here).
+  std::size_t carry = netlist.add_primary_input("cin");
+  for (int i = 0; i < 4; ++i) {
+    const auto ai = a[static_cast<std::size_t>(i)];
+    const auto bi = b[static_cast<std::size_t>(i)];
+    const auto axb =
+        netlist.add_gate("xor_ab" + std::to_string(i),
+                         lib.index_of("XOR2_X1"), {ai, bi});
+    const auto sum =
+        netlist.add_gate("sum" + std::to_string(i),
+                         lib.index_of("XOR2_X1"), {axb, carry});
+    netlist.mark_primary_output(sum);
+    const auto g1 = netlist.add_gate("cg1_" + std::to_string(i),
+                                     lib.index_of("NAND2_X1"), {ai, bi});
+    const auto g2 = netlist.add_gate("cg2_" + std::to_string(i),
+                                     lib.index_of("NAND2_X1"), {axb, carry});
+    carry = netlist.add_gate("carry" + std::to_string(i),
+                             lib.index_of("NAND2_X1"), {g1, g2});
+  }
+  netlist.mark_primary_output(carry);
+  netlist.validate();
+
+  const Placement placement = flow.make_placement(netlist);
+  const CircuitAnalysis result = flow.analyze(netlist, placement);
+
+  std::printf("ripple4: %zu gates, %zu PIs, %zu POs\n", result.gate_count,
+              netlist.primary_input_count(),
+              netlist.primary_output_count());
+  std::printf("  traditional spread: %.1f ps\n",
+              result.trad_spread_ps());
+  std::printf("  SVA-aware spread:   %.1f ps\n", result.sva_spread_ps());
+  std::printf("  uncertainty reduction: %s\n",
+              fmt_pct(result.uncertainty_reduction(), 1).c_str());
+
+  // Inspect the critical path under the nominal in-context library.
+  const Sta sta(netlist, flow.characterized(), flow.config().sta);
+  const auto versions = flow.bind_versions(placement);
+  const SvaCornerScale nominal(netlist, flow.context_library(), versions,
+                               flow.config().budget, Corner::Nominal);
+  const StaResult timing = sta.run(nominal);
+  std::printf("\ncritical path (%.3f ns):\n",
+              units::ps_to_ns(timing.critical_delay_ps));
+  for (std::size_t gi : timing.critical_path) {
+    const auto& g = netlist.gates()[gi];
+    std::printf("  %-10s %-9s arrival %8.1f ps\n", g.name.c_str(),
+                lib.master(g.cell_index).name().c_str(),
+                timing.arrival_ps[g.output_net]);
+  }
+  return 0;
+}

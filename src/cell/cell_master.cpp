@@ -1,0 +1,144 @@
+#include "cell/cell_master.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+CellMaster::CellMaster(std::string name, Nm width, CellTech tech)
+    : name_(std::move(name)), width_(width), tech_(tech) {
+  SVA_REQUIRE(width_ > 0.0);
+  SVA_REQUIRE(!name_.empty());
+}
+
+std::size_t CellMaster::add_gate(Nm x_center, Nm length) {
+  SVA_REQUIRE(length > 0.0);
+  gates_.push_back({x_center, length});
+  return gates_.size() - 1;
+}
+
+void CellMaster::add_poly_stub(const Rect& rect) {
+  SVA_REQUIRE(rect.width() > 0.0 && rect.height() > 0.0);
+  stubs_.push_back(rect);
+}
+
+std::size_t CellMaster::add_device(const std::string& name, DeviceType type,
+                                   std::size_t gate_index, Nm width,
+                                   const std::string& input_pin) {
+  SVA_REQUIRE(gate_index < gates_.size());
+  SVA_REQUIRE(width > 0.0);
+  devices_.push_back({name, type, gate_index, width, input_pin});
+  return devices_.size() - 1;
+}
+
+void CellMaster::add_pin(const std::string& name, bool is_output) {
+  pins_.push_back({name, is_output, 0.0});
+}
+
+void CellMaster::add_arc(const std::string& input, const std::string& output,
+                         std::vector<std::size_t> device_indices) {
+  arcs_.push_back({input, output, std::move(device_indices), 0.0});
+}
+
+const Pin& CellMaster::pin(const std::string& name) const {
+  for (const Pin& p : pins_)
+    if (p.name == name) return p;
+  throw PreconditionError("cell " + name_ + " has no pin " + name);
+}
+
+Pin& CellMaster::pin(const std::string& name) {
+  for (Pin& p : pins_)
+    if (p.name == name) return p;
+  throw PreconditionError("cell " + name_ + " has no pin " + name);
+}
+
+Rect CellMaster::gate_rect(std::size_t gate_index) const {
+  SVA_REQUIRE(gate_index < gates_.size());
+  const PolyGate& g = gates_[gate_index];
+  return Rect::make(g.x_lo(), tech_.poly_y_lo, g.x_hi(), tech_.poly_y_hi);
+}
+
+Rect CellMaster::device_gate_rect(std::size_t device_index) const {
+  SVA_REQUIRE(device_index < devices_.size());
+  const Device& d = devices_[device_index];
+  const PolyGate& g = gates_[d.gate_index];
+  const Nm y_lo = d.type == DeviceType::Nmos ? tech_.nmos_y_lo
+                                             : tech_.pmos_y_lo;
+  return Rect::make(g.x_lo(), y_lo, g.x_hi(), y_lo + d.width);
+}
+
+Layout CellMaster::layout() const {
+  // Shape order matters to callers that tag shapes: gate stripes come
+  // first (shape i == gate i), then stubs, then diffusion.
+  Layout out;
+  for (std::size_t i = 0; i < gates_.size(); ++i)
+    out.add(Layer::Poly, gate_rect(i));
+  for (const Rect& s : stubs_) out.add(Layer::Poly, s);
+  out.add(Layer::Diffusion,
+          Rect::make(0.0, tech_.nmos_y_lo, width_, tech_.nmos_y_hi));
+  out.add(Layer::Diffusion,
+          Rect::make(0.0, tech_.pmos_y_lo, width_, tech_.pmos_y_hi));
+  return out;
+}
+
+std::size_t CellMaster::leftmost_gate() const {
+  SVA_REQUIRE(!gates_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < gates_.size(); ++i)
+    if (gates_[i].x_center < gates_[best].x_center) best = i;
+  return best;
+}
+
+std::size_t CellMaster::rightmost_gate() const {
+  SVA_REQUIRE(!gates_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < gates_.size(); ++i)
+    if (gates_[i].x_center > gates_[best].x_center) best = i;
+  return best;
+}
+
+Nm CellMaster::edge_clearance(std::size_t device_index, bool left_side) const {
+  SVA_REQUIRE(device_index < devices_.size());
+  const PolyGate& g = gates_[devices_[device_index].gate_index];
+  return left_side ? g.x_lo() : width_ - g.x_hi();
+}
+
+bool CellMaster::is_boundary_device(std::size_t device_index) const {
+  SVA_REQUIRE(device_index < devices_.size());
+  const std::size_t gi = devices_[device_index].gate_index;
+  return gi == leftmost_gate() || gi == rightmost_gate();
+}
+
+void CellMaster::validate() const {
+  SVA_REQUIRE_MSG(!gates_.empty(), "cell must have at least one gate");
+  std::vector<PolyGate> sorted = gates_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PolyGate& a, const PolyGate& b) {
+              return a.x_center < b.x_center;
+            });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    SVA_REQUIRE_MSG(sorted[i].x_lo() > 0.0 && sorted[i].x_hi() < width_,
+                    "gate must lie strictly inside the cell");
+    if (i > 0)
+      SVA_REQUIRE_MSG(sorted[i].x_lo() > sorted[i - 1].x_hi(),
+                      "gates must not overlap");
+  }
+  bool has_output = false;
+  for (const Pin& p : pins_) has_output |= p.is_output;
+  SVA_REQUIRE_MSG(has_output, "cell must have an output pin");
+  for (const Device& d : devices_) {
+    SVA_REQUIRE(d.gate_index < gates_.size());
+    pin(d.input_pin);  // throws if missing
+  }
+  for (const TimingArc& a : arcs_) {
+    SVA_REQUIRE_MSG(!pin(a.input).is_output, "arc input must be an input pin");
+    SVA_REQUIRE_MSG(pin(a.output).is_output, "arc output must be an output");
+    SVA_REQUIRE_MSG(!a.device_indices.empty(),
+                    "arc must involve at least one device");
+    for (std::size_t di : a.device_indices)
+      SVA_REQUIRE(di < devices_.size());
+  }
+}
+
+}  // namespace sva

@@ -1,0 +1,130 @@
+#pragma once
+// Standard-cell masters: layout geometry + devices + pins + timing arcs.
+//
+// A master owns a list of vertical poly gate stripes; a Device is the part
+// of one stripe crossing the NMOS or PMOS diffusion.  Timing arcs connect
+// an input pin to the output pin and name the devices involved in the
+// worst-case transition -- the devices whose printed gate length scales the
+// arc's delay in the paper's linear model (Sec. 3.1.2).
+
+#include <string>
+#include <vector>
+
+#include "cell/tech.hpp"
+#include "geom/layout.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+enum class DeviceType { Nmos, Pmos };
+
+/// One transistor: the intersection of a poly gate stripe with a
+/// diffusion strip.
+struct Device {
+  std::string name;            ///< e.g. "MP0", "MN1"
+  DeviceType type = DeviceType::Nmos;
+  std::size_t gate_index = 0;  ///< which poly stripe forms this gate
+  Nm width = 0.0;              ///< device width (diffusion overlap, nm)
+  std::string input_pin;       ///< pin driving this gate
+};
+
+/// A vertical poly stripe (the gate layer feature whose CD varies).
+struct PolyGate {
+  Nm x_center = 0.0;  ///< centre within the cell (cell origin at x = 0)
+  Nm length = 0.0;    ///< drawn gate length (x extent)
+
+  Nm x_lo() const { return x_center - length / 2.0; }
+  Nm x_hi() const { return x_center + length / 2.0; }
+};
+
+struct Pin {
+  std::string name;
+  bool is_output = false;
+  double input_cap_ff = 0.0;  ///< filled by the characterizer for inputs
+};
+
+/// Timing arc input -> output.  All library cells here are inverting
+/// (negative-unate) static CMOS gates.
+struct TimingArc {
+  std::string input;
+  std::string output;
+  std::vector<std::size_t> device_indices;  ///< devices in the transition
+  double drive_resistance_kohm = 0.0;  ///< filled by the characterizer
+};
+
+class CellMaster {
+ public:
+  CellMaster(std::string name, Nm width, CellTech tech);
+
+  const std::string& name() const { return name_; }
+  Nm width() const { return width_; }
+  const CellTech& tech() const { return tech_; }
+
+  /// Add a gate stripe; returns its index.
+  std::size_t add_gate(Nm x_center, Nm length);
+
+  /// Add non-gate poly (landing pads, routing stubs).  Stubs print like
+  /// any poly feature and therefore participate in proximity: a stub near
+  /// the cell boundary makes the top and bottom neighbour spacings of the
+  /// adjacent cell differ, exactly the misalignment the paper's four
+  /// separate nps_LT/RT/LB/RB parameters exist for.
+  void add_poly_stub(const Rect& rect);
+  /// Add a device on an existing gate; returns its index.
+  std::size_t add_device(const std::string& name, DeviceType type,
+                         std::size_t gate_index, Nm width,
+                         const std::string& input_pin);
+  void add_pin(const std::string& name, bool is_output);
+  void add_arc(const std::string& input, const std::string& output,
+               std::vector<std::size_t> device_indices);
+
+  const std::vector<PolyGate>& gates() const { return gates_; }
+  const std::vector<Rect>& poly_stubs() const { return stubs_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  const std::vector<Pin>& pins() const { return pins_; }
+  std::vector<Pin>& pins() { return pins_; }
+  const std::vector<TimingArc>& arcs() const { return arcs_; }
+  std::vector<TimingArc>& arcs() { return arcs_; }
+
+  const Pin& pin(const std::string& name) const;
+  Pin& pin(const std::string& name);
+
+  /// Geometric gate rectangle of a device (gate stripe clipped to its
+  /// diffusion strip).
+  Rect device_gate_rect(std::size_t device_index) const;
+
+  /// Full-height rectangle of a poly stripe.
+  Rect gate_rect(std::size_t gate_index) const;
+
+  /// Flat layout of the master (poly stripes + diffusion strips), origin
+  /// at the cell's lower-left corner.
+  Layout layout() const;
+
+  /// Index of the left-most / right-most gate stripe.
+  std::size_t leftmost_gate() const;
+  std::size_t rightmost_gate() const;
+
+  /// Distance from a device's gate edge to the cell outline on the given
+  /// side (the paper's s_LT / s_LB / s_RT / s_RB, Sec. 3.1.3).
+  Nm edge_clearance(std::size_t device_index, bool left_side) const;
+
+  /// True if the device sits on the left-most or right-most gate stripe
+  /// (a "boundary device" whose printing depends on the neighbour cell).
+  bool is_boundary_device(std::size_t device_index) const;
+
+  /// Validate invariants: gates inside the cell, ordered, non-overlapping;
+  /// every device references a valid gate and pin; every arc references
+  /// valid pins/devices.  Throws on violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  Nm width_;
+  CellTech tech_;
+  std::vector<PolyGate> gates_;
+  std::vector<Rect> stubs_;
+  std::vector<Device> devices_;
+  std::vector<Pin> pins_;
+  std::vector<TimingArc> arcs_;
+};
+
+}  // namespace sva

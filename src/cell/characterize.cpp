@@ -1,0 +1,106 @@
+#include "cell/characterize.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+const CharacterizedArc& CharacterizedCell::arc_for(
+    const std::string& input_pin) const {
+  for (const auto& ca : arcs)
+    if (master.arcs()[ca.arc_index].input == input_pin) return ca;
+  throw PreconditionError("cell " + master.name() + " has no arc from pin " +
+                          input_pin);
+}
+
+const CharacterizedCell& CharacterizedLibrary::cell(std::size_t index) const {
+  SVA_REQUIRE(index < cells.size());
+  return cells[index];
+}
+
+std::vector<double> default_slew_axis() {
+  return {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0};
+}
+
+std::vector<double> default_load_axis() {
+  return {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
+double arc_drive_resistance(const CellMaster& master, const TimingArc& arc,
+                            const ElectricalTech& et) {
+  SVA_REQUIRE(!arc.device_indices.empty());
+  double w_sum = 0.0;
+  for (std::size_t di : arc.device_indices)
+    w_sum += master.devices()[di].width;
+  const double w_avg = w_sum / static_cast<double>(arc.device_indices.size());
+  std::set<std::string> inputs;
+  for (const Pin& p : master.pins())
+    if (!p.is_output) inputs.insert(p.name);
+  const double stack =
+      1.0 + 0.35 * (static_cast<double>(inputs.size()) - 1.0);
+  return et.r_unit_kohm * (et.w_unit / w_avg) * stack;
+}
+
+double cell_parasitic_cap(const CellMaster& master,
+                          const ElectricalTech& et) {
+  double w_total = 0.0;
+  for (const Device& d : master.devices()) w_total += d.width;
+  return et.c_parasitic_ff + et.c_par_per_um * w_total / 1000.0;
+}
+
+double pin_input_cap(const CellMaster& master, const std::string& pin,
+                     const ElectricalTech& et) {
+  double w = 0.0;
+  for (const Device& d : master.devices())
+    if (d.input_pin == pin) w += d.width;
+  return et.c_gate_ff * w / et.w_unit;
+}
+
+CharacterizedCell characterize_cell(const CellMaster& master,
+                                    const ElectricalTech& et) {
+  CharacterizedCell out{master, {}};
+  // Fill pin input caps.
+  for (Pin& p : out.master.pins())
+    if (!p.is_output) p.input_cap_ff = pin_input_cap(master, p.name, et);
+
+  const auto slew_axis = default_slew_axis();
+  const auto load_axis = default_load_axis();
+  const double c_par = cell_parasitic_cap(master, et);
+
+  for (std::size_t ai = 0; ai < master.arcs().size(); ++ai) {
+    const TimingArc& arc = master.arcs()[ai];
+    const double r = arc_drive_resistance(master, arc, et);
+    out.master.arcs()[ai].drive_resistance_kohm = r;
+
+    std::vector<double> delay_values;
+    std::vector<double> slew_values;
+    delay_values.reserve(slew_axis.size() * load_axis.size());
+    slew_values.reserve(slew_axis.size() * load_axis.size());
+    for (double s : slew_axis)
+      for (double c : load_axis) {
+        delay_values.push_back(et.t_intrinsic_ps +
+                               0.69 * r * (c + c_par) +
+                               et.slew_sensitivity * s);
+        slew_values.push_back(et.slew_floor_ps +
+                              et.slew_gain * r * (c + c_par) + 0.1 * s);
+      }
+    out.arcs.push_back(
+        {ai, NldmTable(LookupTable2D(slew_axis, load_axis, delay_values),
+                       LookupTable2D(slew_axis, load_axis,
+                                     std::move(slew_values)))});
+  }
+  return out;
+}
+
+CharacterizedLibrary characterize_library(const CellLibrary& library,
+                                          const ElectricalTech& et) {
+  CharacterizedLibrary out;
+  out.electrical = et;
+  out.cells.reserve(library.size());
+  for (const CellMaster& m : library.masters())
+    out.cells.push_back(characterize_cell(m, et));
+  return out;
+}
+
+}  // namespace sva

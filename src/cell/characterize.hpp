@@ -1,0 +1,75 @@
+#pragma once
+// Library characterization: analytic device model -> NLDM tables.
+//
+// A full SPICE-level characterization is replaced by a first-order RC
+// switch model (the paper itself runs with "delay of any timing arc ...
+// linearly proportional to the gate lengths of the devices involved",
+// Sec. 3.1.2, and notes that circuit-simulation-based analysis is a
+// drop-in refinement):
+//
+//   R_arc   = r_unit * (w_unit / W_avg) * (1 + 0.35 * (n_inputs - 1))
+//   delay   = t_intrinsic + 0.69 * R_arc * (C_load + C_par) + k_s * slew_in
+//   slew    = slew_floor + slew_gain * R_arc * (C_load + C_par) + 0.1*slew_in
+//
+// All resistive/intrinsic terms scale linearly with the printed gate
+// length; tables are characterized at the drawn length and scaled per
+// context version (see context_library.hpp).
+
+#include <vector>
+
+#include "cell/cell_master.hpp"
+#include "cell/library.hpp"
+#include "cell/nldm.hpp"
+#include "cell/tech.hpp"
+
+namespace sva {
+
+/// A characterized timing arc: the master's arc plus its NLDM at the
+/// drawn (nominal) gate length.
+struct CharacterizedArc {
+  std::size_t arc_index = 0;  ///< index into master.arcs()
+  NldmTable nldm;
+};
+
+/// A characterized cell: pin caps are filled into the master copy held
+/// here; arcs are characterized in master order.
+struct CharacterizedCell {
+  CellMaster master;
+  std::vector<CharacterizedArc> arcs;
+
+  const CharacterizedArc& arc_for(const std::string& input_pin) const;
+};
+
+/// Characterized library, index-aligned with the source CellLibrary.
+struct CharacterizedLibrary {
+  std::vector<CharacterizedCell> cells;
+  ElectricalTech electrical;
+
+  const CharacterizedCell& cell(std::size_t index) const;
+};
+
+/// Standard characterization axes (input slew ps x load fF).
+std::vector<double> default_slew_axis();
+std::vector<double> default_load_axis();
+
+/// Effective drive resistance of one arc (kOhm).
+double arc_drive_resistance(const CellMaster& master, const TimingArc& arc,
+                            const ElectricalTech& et);
+
+/// Output parasitic capacitance of a cell (fF).
+double cell_parasitic_cap(const CellMaster& master, const ElectricalTech& et);
+
+/// Input capacitance of a pin (fF) at the drawn gate length.
+double pin_input_cap(const CellMaster& master, const std::string& pin,
+                     const ElectricalTech& et);
+
+/// Characterize one cell (fills pin caps and arc drive resistances in the
+/// returned copy of the master).
+CharacterizedCell characterize_cell(const CellMaster& master,
+                                    const ElectricalTech& et);
+
+/// Characterize the whole library.
+CharacterizedLibrary characterize_library(const CellLibrary& library,
+                                          const ElectricalTech& et = {});
+
+}  // namespace sva

@@ -1,0 +1,317 @@
+#include "cell/liberty_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// Minimal Liberty tokenizer/parser over the writer's dialect.  Groups
+/// are `name (args) { ... }`, attributes `name : value;` or
+/// `name (args);`, and multi-line values use backslash continuations
+/// (which we treat as whitespace).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParsedLiberty parse() {
+    skip_ws();
+    expect_word("library");
+    ParsedLiberty lib;
+    lib.name = paren_args();
+    expect('{');
+    while (!peek('}')) {
+      const std::string word = read_word();
+      if (word == "lu_table_template") {
+        (void)paren_args();
+        parse_template(lib);
+      } else if (word == "cell") {
+        ParsedLibertyCell cell;
+        cell.name = paren_args();
+        parse_cell(lib, cell);
+        lib.cells.push_back(std::move(cell));
+      } else {
+        skip_statement();
+      }
+    }
+    expect('}');
+    if (lib.slew_axis.empty() || lib.load_axis.empty())
+      fail("library has no lu_table_template");
+    if (lib.cells.empty()) fail("library has no cells");
+    return lib;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+      if (text_[i] == '\n') ++line;
+    throw Error("liberty line " + std::to_string(line) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        const std::size_t end = text_.find("*/", pos_ + 2);
+        if (end == std::string::npos) fail("unterminated comment");
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string read_word() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.'))
+      ++pos_;
+    if (pos_ == start) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  void expect_word(const std::string& word) {
+    if (read_word() != word) fail("expected '" + word + "'");
+  }
+
+  /// Read "(...)" and return the contents (without parens), trimmed.
+  std::string paren_args() {
+    expect('(');
+    std::size_t depth = 1;
+    std::string out;
+    while (pos_ < text_.size() && depth > 0) {
+      const char c = text_[pos_++];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (depth > 0) out += c;
+    }
+    if (depth != 0) fail("unterminated '('");
+    // Trim.
+    std::size_t b = 0, e = out.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(out[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(out[e - 1])))
+      --e;
+    return out.substr(b, e - b);
+  }
+
+  /// Skip one attribute (to ';') or one group (balanced braces).
+  void skip_statement() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ';') {
+        ++pos_;
+        return;
+      }
+      if (c == '{') {
+        std::size_t depth = 0;
+        while (pos_ < text_.size()) {
+          if (text_[pos_] == '{') ++depth;
+          if (text_[pos_] == '}') {
+            --depth;
+            if (depth == 0) {
+              ++pos_;
+              return;
+            }
+          }
+          ++pos_;
+        }
+        fail("unterminated group");
+      }
+      ++pos_;
+    }
+  }
+
+  /// Parse numbers from a quoted list like "1.0, 2.0" "3.0, 4.0".
+  static std::vector<double> numbers_in(const std::string& s) {
+    std::vector<double> out;
+    const char* p = s.c_str();
+    const char* end = p + s.size();
+    while (p < end) {
+      char* next = nullptr;
+      const double v = std::strtod(p, &next);
+      if (next == p) {
+        ++p;
+        continue;
+      }
+      out.push_back(v);
+      p = next;
+    }
+    return out;
+  }
+
+  void parse_template(ParsedLiberty& lib) {
+    expect('{');
+    while (!peek('}')) {
+      const std::string word = read_word();
+      if (word == "index_1") {
+        lib.slew_axis = numbers_in(paren_args());
+        expect(';');
+      } else if (word == "index_2") {
+        lib.load_axis = numbers_in(paren_args());
+        expect(';');
+      } else {
+        skip_statement();
+      }
+    }
+    expect('}');
+  }
+
+  LookupTable2D parse_values_group(const ParsedLiberty& lib) {
+    // After "cell_rise (template)": "{ values ( \"...\" ); }".
+    expect('{');
+    std::vector<double> values;
+    while (!peek('}')) {
+      const std::string word = read_word();
+      if (word == "values") {
+        values = numbers_in(paren_args());
+        expect(';');
+      } else {
+        skip_statement();
+      }
+    }
+    expect('}');
+    if (values.size() != lib.slew_axis.size() * lib.load_axis.size())
+      fail("values size does not match the template axes");
+    return LookupTable2D(lib.slew_axis, lib.load_axis, std::move(values));
+  }
+
+  void parse_timing(const ParsedLiberty& lib, ParsedLibertyCell& cell) {
+    expect('{');
+    ParsedLibertyTiming timing;
+    bool have_delay = false;
+    bool have_slew = false;
+    while (!peek('}')) {
+      const std::string word = read_word();
+      if (word == "related_pin") {
+        expect(':');
+        skip_ws();
+        if (text_[pos_] == '"') {
+          ++pos_;
+          const std::size_t end = text_.find('"', pos_);
+          if (end == std::string::npos) fail("unterminated string");
+          timing.related_pin = text_.substr(pos_, end - pos_);
+          pos_ = end + 1;
+        } else {
+          timing.related_pin = read_word();
+        }
+        expect(';');
+      } else if (word == "cell_rise" || word == "cell_fall") {
+        (void)paren_args();
+        LookupTable2D table = parse_values_group(lib);
+        if (!have_delay) {
+          timing.cell_rise = std::move(table);
+          have_delay = true;
+        }
+      } else if (word == "rise_transition" || word == "fall_transition") {
+        (void)paren_args();
+        LookupTable2D table = parse_values_group(lib);
+        if (!have_slew) {
+          timing.rise_transition = std::move(table);
+          have_slew = true;
+        }
+      } else {
+        skip_statement();
+      }
+    }
+    expect('}');
+    if (timing.related_pin.empty()) fail("timing group without related_pin");
+    if (!have_delay || !have_slew) fail("timing group missing tables");
+    cell.timings.push_back(std::move(timing));
+  }
+
+  void parse_pin(const ParsedLiberty& lib, ParsedLibertyCell& cell,
+                 const std::string& pin_name) {
+    expect('{');
+    ParsedLibertyPin pin;
+    pin.name = pin_name;
+    while (!peek('}')) {
+      const std::string word = read_word();
+      if (word == "direction") {
+        expect(':');
+        pin.is_output = read_word() == "output";
+        expect(';');
+      } else if (word == "capacitance") {
+        expect(':');
+        skip_ws();
+        char* next = nullptr;
+        pin.capacitance_ff = std::strtod(text_.c_str() + pos_, &next);
+        pos_ = static_cast<std::size_t>(next - text_.c_str());
+        expect(';');
+      } else if (word == "timing") {
+        (void)paren_args();
+        parse_timing(lib, cell);
+      } else {
+        skip_statement();
+      }
+    }
+    expect('}');
+    cell.pins.push_back(std::move(pin));
+  }
+
+  void parse_cell(const ParsedLiberty& lib, ParsedLibertyCell& cell) {
+    expect('{');
+    while (!peek('}')) {
+      const std::string word = read_word();
+      if (word == "pin") {
+        const std::string pin_name = paren_args();
+        parse_pin(lib, cell, pin_name);
+      } else if (word == "area") {
+        expect(':');
+        skip_ws();
+        char* next = nullptr;
+        cell.area = std::strtod(text_.c_str() + pos_, &next);
+        pos_ = static_cast<std::size_t>(next - text_.c_str());
+        expect(';');
+      } else {
+        skip_statement();
+      }
+    }
+    expect('}');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const ParsedLibertyPin& ParsedLibertyCell::pin(const std::string& n) const {
+  for (const auto& p : pins)
+    if (p.name == n) return p;
+  throw Error("liberty cell " + name + " has no pin " + n);
+}
+
+const ParsedLibertyCell& ParsedLiberty::cell(const std::string& n) const {
+  for (const auto& c : cells)
+    if (c.name == n) return c;
+  throw Error("liberty library " + name + " has no cell " + n);
+}
+
+ParsedLiberty parse_liberty(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace sva

@@ -1,0 +1,51 @@
+#pragma once
+// Reader for the Liberty (.lib) dialect this library writes.
+//
+// Supports the subset `liberty_writer` emits -- library header, one
+// lu_table_template, cells with input pins (direction, capacitance) and
+// an output pin with timing() groups (related_pin, cell_rise/fall,
+// rise/fall_transition value tables).  Used for round-trip validation of
+// exported libraries and for importing externally characterized variants
+// of the same structure.
+
+#include <string>
+#include <vector>
+
+#include "util/interp.hpp"
+
+namespace sva {
+
+struct ParsedLibertyPin {
+  std::string name;
+  bool is_output = false;
+  double capacitance_ff = 0.0;
+};
+
+struct ParsedLibertyTiming {
+  std::string related_pin;
+  LookupTable2D cell_rise;        ///< delay table (ps)
+  LookupTable2D rise_transition;  ///< output slew table (ps)
+};
+
+struct ParsedLibertyCell {
+  std::string name;
+  double area = 0.0;
+  std::vector<ParsedLibertyPin> pins;
+  std::vector<ParsedLibertyTiming> timings;
+
+  const ParsedLibertyPin& pin(const std::string& name) const;
+};
+
+struct ParsedLiberty {
+  std::string name;
+  std::vector<double> slew_axis;  ///< template index_1
+  std::vector<double> load_axis;  ///< template index_2
+  std::vector<ParsedLibertyCell> cells;
+
+  const ParsedLibertyCell& cell(const std::string& name) const;
+};
+
+/// Parse Liberty text; throws sva::Error with context on malformed input.
+ParsedLiberty parse_liberty(const std::string& text);
+
+}  // namespace sva

@@ -1,0 +1,134 @@
+#include "cell/liberty_writer.hpp"
+
+#include <functional>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+namespace {
+
+std::string index_list(const std::vector<double>& axis) {
+  std::vector<std::string> parts;
+  parts.reserve(axis.size());
+  for (double v : axis) parts.push_back(fmt(v, 3));
+  return join(parts, ", ");
+}
+
+std::string table_values(const LookupTable2D& table) {
+  // Liberty rows iterate variable_1 (input slew); columns variable_2
+  // (load) -- matching our row-major (slew x load) storage.
+  std::string out;
+  for (std::size_t i = 0; i < table.nx(); ++i) {
+    out += "        \"";
+    for (std::size_t j = 0; j < table.ny(); ++j) {
+      if (j) out += ", ";
+      out += fmt(table.value_at(i, j), 4);
+    }
+    out += "\"";
+    if (i + 1 < table.nx()) out += ", \\";
+    out += "\n";
+  }
+  return out;
+}
+
+void emit_template(std::string& out, const NldmTable& sample) {
+  out += "  lu_table_template (delay_template) {\n";
+  out += "    variable_1 : input_net_transition;\n";
+  out += "    variable_2 : total_output_net_capacitance;\n";
+  out += "    index_1 (\"" + index_list(sample.delay_table().x_axis()) +
+         "\");\n";
+  out += "    index_2 (\"" + index_list(sample.delay_table().y_axis()) +
+         "\");\n";
+  out += "  }\n";
+}
+
+void emit_cell(std::string& out, const CharacterizedCell& cell,
+               const std::string& cell_name,
+               const std::function<double(std::size_t)>& arc_scale) {
+  const CellMaster& master = cell.master;
+  out += "  cell (" + cell_name + ") {\n";
+  out += "    area : " +
+         fmt(master.width() * master.tech().cell_height * 1e-6, 4) + ";\n";
+  for (const Pin& pin : master.pins()) {
+    if (pin.is_output) continue;
+    out += "    pin (" + pin.name + ") {\n";
+    out += "      direction : input;\n";
+    out += "      capacitance : " + fmt(pin.input_cap_ff, 4) + ";\n";
+    out += "    }\n";
+  }
+  out += "    pin (Y) {\n";
+  out += "      direction : output;\n";
+  for (const CharacterizedArc& arc : cell.arcs) {
+    const TimingArc& master_arc = master.arcs()[arc.arc_index];
+    const NldmTable scaled = arc.nldm.scaled(arc_scale(arc.arc_index));
+    out += "      timing () {\n";
+    out += "        related_pin : \"" + master_arc.input + "\";\n";
+    out += "        timing_sense : negative_unate;\n";
+    for (const char* kind : {"cell_rise", "cell_fall"}) {
+      out += std::string("        ") + kind + " (delay_template) {\n";
+      out += "          values ( \\\n" + table_values(scaled.delay_table());
+      out += "          );\n        }\n";
+    }
+    for (const char* kind : {"rise_transition", "fall_transition"}) {
+      out += std::string("        ") + kind + " (delay_template) {\n";
+      out += "          values ( \\\n" + table_values(scaled.slew_table());
+      out += "          );\n        }\n";
+    }
+    out += "      }\n";
+  }
+  out += "    }\n";
+  out += "  }\n";
+}
+
+std::string header(const std::string& library_name,
+                   const CharacterizedLibrary& library) {
+  SVA_REQUIRE(!library.cells.empty());
+  SVA_REQUIRE(!library.cells.front().arcs.empty());
+  std::string out = "library (" + library_name + ") {\n";
+  out += "  delay_model : table_lookup;\n";
+  out += "  time_unit : \"1ps\";\n";
+  out += "  capacitive_load_unit (1, ff);\n";
+  out += "  voltage_unit : \"1V\";\n";
+  out += "  current_unit : \"1mA\";\n";
+  emit_template(out, library.cells.front().arcs.front().nldm);
+  return out;
+}
+
+}  // namespace
+
+std::string version_suffix(const VersionKey& key) {
+  return "_v" + std::to_string(key.lt) + std::to_string(key.rt) +
+         std::to_string(key.lb) + std::to_string(key.rb);
+}
+
+std::string to_liberty(const CharacterizedLibrary& library,
+                       const std::string& library_name) {
+  std::string out = header(library_name, library);
+  for (const CharacterizedCell& cell : library.cells)
+    emit_cell(out, cell, cell.master.name(),
+              [](std::size_t) { return 1.0; });
+  out += "}\n";
+  return out;
+}
+
+std::string to_liberty_expanded(const CharacterizedLibrary& library,
+                                const ContextLibrary& context,
+                                const std::string& library_name) {
+  std::string out = header(library_name, library);
+  const std::size_t bins = context.bins().count();
+  for (std::size_t ci = 0; ci < library.cells.size(); ++ci) {
+    const CharacterizedCell& cell = library.cells[ci];
+    for (std::size_t vi = 0; vi < context.bins().version_count(); ++vi) {
+      const VersionKey key = version_key(vi, bins);
+      emit_cell(out, cell, cell.master.name() + version_suffix(key),
+                [&](std::size_t arc) {
+                  return context.arc_delay_scale(ci, key, arc);
+                });
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sva

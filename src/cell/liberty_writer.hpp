@@ -1,0 +1,32 @@
+#pragma once
+// Liberty (.lib) emission.
+//
+// The paper's flow materializes "a .lib which has 81 versions of each cell
+// in the original library" (Sec. 3.1.2).  This writer produces that
+// artifact: a Liberty-format text library with either the base
+// (drawn-length) cells or the full context-expanded version set, each
+// version's tables scaled by its arcs' effective gate lengths.  The output
+// is consumable by standard STA tools (NLDM tables, ps / fF units).
+
+#include <string>
+
+#include "cell/characterize.hpp"
+#include "cell/context_library.hpp"
+
+namespace sva {
+
+/// Base library: one cell per master at the drawn gate length.
+std::string to_liberty(const CharacterizedLibrary& library,
+                       const std::string& library_name);
+
+/// Context-expanded library: every master emitted once per context
+/// version, named <CELL>_v<LT><RT><LB><RB> with per-arc scaled tables.
+/// With the default 3-bin scheme this is the paper's 81-version library.
+std::string to_liberty_expanded(const CharacterizedLibrary& library,
+                                const ContextLibrary& context,
+                                const std::string& library_name);
+
+/// Liberty version-suffix for a key, e.g. "_v0212".
+std::string version_suffix(const VersionKey& key);
+
+}  // namespace sva

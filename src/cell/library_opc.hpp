@@ -1,0 +1,55 @@
+#pragma once
+// Library-based OPC (paper Sec. 3.1.1, Fig. 3).
+//
+// Instead of correcting every cell instance in its true placement context
+// (full-chip OPC), each library master is corrected once inside an
+// emulated "typical placement environment": dummy poly geometries placed
+// beside the cell stand in for the neighbouring cells.  Devices away from
+// the cell boundary see an environment nearly identical to any real
+// placement (the radius of influence is ~600 nm), so their measured
+// printed CD transfers; boundary devices are handled separately with the
+// pitch->CD lookup table.
+
+#include <vector>
+
+#include "cell/cell_master.hpp"
+#include "opc/engine.hpp"
+
+namespace sva {
+
+struct LibraryOpcConfig {
+  /// Clear gap between the cell outline and the dummy poly on each side.
+  /// Emulates the typical abutted-neighbour boundary poly distance.
+  Nm dummy_gap = 200.0;
+  /// Width of the dummy poly lines (drawn gate length by default 0 means
+  /// "use the master's gate length").
+  Nm dummy_width = 0.0;
+};
+
+struct LibraryOpcCellResult {
+  /// Printed CD per device (index-aligned with master.devices()); 0 on
+  /// print failure.
+  std::vector<Nm> device_cd;
+  /// Corrected mask width per device.
+  std::vector<Nm> device_mask_width;
+  std::size_t images_simulated = 0;
+};
+
+/// Build the dummy environment layout for a master: the master's layout
+/// plus one full-height dummy line on each side.  Exposed for tests and
+/// for the Fig. 3 illustration in the examples.
+Layout library_opc_environment(const CellMaster& master,
+                               const LibraryOpcConfig& config);
+
+/// Run library OPC on one master.
+LibraryOpcCellResult library_opc_cell(const CellMaster& master,
+                                      const OpcEngine& engine,
+                                      const LibraryOpcConfig& config = {});
+
+/// Run library OPC on every master of a library; results index-aligned
+/// with the library.
+std::vector<LibraryOpcCellResult> library_opc_all(
+    const std::vector<CellMaster>& masters, const OpcEngine& engine,
+    const LibraryOpcConfig& config = {});
+
+}  // namespace sva

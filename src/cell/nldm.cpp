@@ -1,0 +1,19 @@
+#include "cell/nldm.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+NldmTable::NldmTable(LookupTable2D delay, LookupTable2D output_slew)
+    : delay_(std::move(delay)), slew_(std::move(output_slew)) {
+  SVA_REQUIRE(delay_.nx() == slew_.nx() && delay_.ny() == slew_.ny());
+  SVA_REQUIRE(delay_.nx() >= 2 && delay_.ny() >= 2);
+}
+
+NldmTable NldmTable::scaled(double factor) const {
+  SVA_REQUIRE(factor > 0.0);
+  return NldmTable(delay_.transformed([factor](double v) { return v * factor; }),
+                   slew_.transformed([factor](double v) { return v * factor; }));
+}
+
+}  // namespace sva

@@ -1,0 +1,40 @@
+#pragma once
+// Non-Linear Delay Model (NLDM) timing tables, Liberty-style.
+//
+// Each timing arc carries two 2-D tables indexed by (input slew, output
+// load): cell delay and output slew.  "We construct timing look up tables
+// (with varying load capacitance and input slews)" -- paper Sec. 3.1.2.
+// Values are picoseconds; loads are femtofarads.
+
+#include "util/interp.hpp"
+
+namespace sva {
+
+class NldmTable {
+ public:
+  /// Both tables share axes: x = input slew (ps), y = load (fF).
+  NldmTable(LookupTable2D delay, LookupTable2D output_slew);
+
+  double delay_ps(double input_slew_ps, double load_ff) const {
+    return delay_.at(input_slew_ps, load_ff);
+  }
+  double output_slew_ps(double input_slew_ps, double load_ff) const {
+    return slew_.at(input_slew_ps, load_ff);
+  }
+
+  const LookupTable2D& delay_table() const { return delay_; }
+  const LookupTable2D& slew_table() const { return slew_; }
+
+  /// Table with every delay/slew value multiplied by `factor`.  This is
+  /// how gate-length scaling materializes new library versions: the paper
+  /// assumes arc delay is linearly proportional to the involved devices'
+  /// gate lengths, so a version at L_eff is the base table scaled by
+  /// L_eff / L_nom.
+  NldmTable scaled(double factor) const;
+
+ private:
+  LookupTable2D delay_;
+  LookupTable2D slew_;
+};
+
+}  // namespace sva

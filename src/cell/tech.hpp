@@ -1,0 +1,53 @@
+#pragma once
+// Technology constants of the synthetic 90 nm standard-cell library.
+//
+// Values are representative of a 90 nm-node process as described in the
+// paper (gate length 90 nm, 193 nm lithography, contacted pitch used as
+// the dense/isolated boundary).  Geometry is in nanometres.
+
+#include "util/units.hpp"
+
+namespace sva {
+
+struct CellTech {
+  Nm gate_length = 90.0;        ///< drawn poly gate length (CD)
+  Nm cell_height = 2600.0;      ///< standard-cell row height
+  Nm site_width = 170.0;        ///< placement site width
+
+  Nm poly_y_lo = 100.0;         ///< gate poly vertical extent
+  Nm poly_y_hi = 2500.0;
+
+  Nm nmos_y_lo = 250.0;         ///< NMOS diffusion strip
+  Nm nmos_y_hi = 1150.0;
+  Nm pmos_y_lo = 1450.0;        ///< PMOS diffusion strip
+  Nm pmos_y_hi = 2450.0;
+
+  /// Contacted poly pitch; per the paper, a side with clear spacing below
+  /// the contacted pitch is "dense", larger is "isolated" (footnote 5).
+  Nm contacted_pitch = 340.0;
+
+  /// Stepper radius of influence (features beyond this do not affect a
+  /// gate's printing; paper: ~600 nm for 193 nm steppers).
+  Nm radius_of_influence = 600.0;
+
+  /// Height of the NMOS/PMOS strip a device occupies (used to size
+  /// default devices when a master spec does not override them).
+  Nm nmos_width() const { return nmos_y_hi - nmos_y_lo; }
+  Nm pmos_width() const { return pmos_y_hi - pmos_y_lo; }
+};
+
+/// Electrical constants for the analytic characterization model.
+/// Delay in ps, capacitance in fF, resistance in kOhm (kOhm * fF = ps).
+struct ElectricalTech {
+  double r_unit_kohm = 4.0;     ///< drive resistance of a 1000 nm device
+  Nm w_unit = 1000.0;           ///< reference device width for r_unit
+  double c_gate_ff = 1.8;       ///< gate cap of a 1000 nm x L_nom device
+  double c_parasitic_ff = 0.8;  ///< fixed output parasitic
+  double c_par_per_um = 0.05;   ///< width-dependent output parasitic
+  double t_intrinsic_ps = 10.0; ///< fixed intrinsic delay component
+  double slew_sensitivity = 0.25;  ///< d(delay)/d(input slew)
+  double slew_gain = 1.4;       ///< output slew per R*C
+  double slew_floor_ps = 2.0;   ///< minimum output slew
+};
+
+}  // namespace sva

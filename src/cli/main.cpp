@@ -1,0 +1,186 @@
+// sva-timing: command-line driver for the systematic-variation aware
+// timing flow.
+//
+//   sva-timing analyze C432 C880          Table-2 style corner analysis
+//   sva-timing paths C432 -n 3            worst paths under the SVA corners
+//   sva-timing pitch-curve                through-pitch CD curve (CSV)
+//   sva-timing export-lib out.lib [-x]    write the (expanded) .lib
+//   sva-timing verilog C432 out.v         dump a benchmark as Verilog
+//   sva-timing bench FILE.bench           analyze an ISCAS .bench file
+//   sva-timing list                       available built-in benchmarks
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cell/liberty_writer.hpp"
+#include "core/flow.hpp"
+#include "litho/pitch_curve.hpp"
+#include "netlist/bench_format.hpp"
+#include "netlist/verilog.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "sta/path_report.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace sva;
+
+int usage() {
+  std::printf(
+      "usage: sva-timing <command> [args]\n"
+      "  analyze <bench...>     corner analysis (traditional vs SVA)\n"
+      "  paths <bench> [-n K]   worst K paths under the SVA WC corner\n"
+      "  pitch-curve [out.csv]  through-pitch printed-CD curve\n"
+      "  export-lib <out.lib> [--expanded]\n"
+      "  verilog <bench> <out.v>\n"
+      "  bench <file.bench>     analyze an ISCAS .bench netlist\n"
+      "  list                   built-in benchmark circuits\n");
+  return 2;
+}
+
+int cmd_list() {
+  Table table({"Benchmark", "PIs", "POs", "Gates"});
+  for (const auto& spec : iscas85_specs())
+    table.add_row({spec.name, std::to_string(spec.primary_inputs),
+                   std::to_string(spec.primary_outputs),
+                   std::to_string(spec.gate_count)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& names) {
+  if (names.empty()) return usage();
+  const SvaFlow flow{FlowConfig{}};
+  Table table({"Testcase", "#Gates", "Trad Nom", "Trad BC", "Trad WC",
+               "New Nom", "New BC", "New WC", "Reduction"});
+  for (const std::string& name : names) {
+    const CircuitAnalysis a = flow.analyze_benchmark(name);
+    table.add_row({a.name, std::to_string(a.gate_count),
+                   fmt(units::ps_to_ns(a.trad_nom_ps), 3),
+                   fmt(units::ps_to_ns(a.trad_bc_ps), 3),
+                   fmt(units::ps_to_ns(a.trad_wc_ps), 3),
+                   fmt(units::ps_to_ns(a.sva_nom_ps), 3),
+                   fmt(units::ps_to_ns(a.sva_bc_ps), 3),
+                   fmt(units::ps_to_ns(a.sva_wc_ps), 3),
+                   fmt_pct(a.uncertainty_reduction(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_paths(const std::string& name, std::size_t k) {
+  const SvaFlow flow{FlowConfig{}};
+  const Netlist netlist = flow.make_benchmark(name);
+  const Placement placement = flow.make_placement(netlist);
+  const Sta sta(netlist, flow.characterized(), flow.config().sta);
+  const auto nps = extract_nps(placement);
+  const auto versions = assign_versions(nps, flow.config().bins);
+  const SvaCornerScale wc(netlist, flow.context_library(), versions,
+                          flow.config().budget, Corner::Worst,
+                          flow.config().arc_policy, &nps);
+  const StaResult result = sta.run(wc);
+  const auto paths = worst_paths(netlist, sta, wc, k);
+  std::printf("%s: SVA worst-case design delay %.3f ns\n\n", name.c_str(),
+              units::ps_to_ns(result.critical_delay_ps));
+  std::printf("%s", render_paths(netlist, paths, result).c_str());
+  return 0;
+}
+
+int cmd_pitch_curve(const std::string& out_path) {
+  const OpticsConfig optics;
+  const LithoProcess process(optics, 90.0, 240.0);
+  const auto curve =
+      through_pitch_curve(process, 90.0, pitch_sweep(240.0, 1000.0, 30));
+  Series series{"printed CD", {}, {}};
+  for (const auto& p : curve) {
+    series.x.push_back(p.pitch);
+    series.y.push_back(p.cd);
+    std::printf("%8.1f  %8.3f\n", p.pitch, p.cd);
+  }
+  if (!out_path.empty()) {
+    write_text_file(out_path, series_to_csv({series}));
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_export_lib(const std::string& path, bool expanded) {
+  const SvaFlow flow{FlowConfig{}};
+  const std::string lib =
+      expanded ? to_liberty_expanded(flow.characterized(),
+                                     flow.context_library(), "sva90_context")
+               : to_liberty(flow.characterized(), "sva90");
+  write_text_file(path, lib);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), lib.size());
+  return 0;
+}
+
+int cmd_verilog(const std::string& name, const std::string& out) {
+  const SvaFlow flow{FlowConfig{}};
+  const Netlist netlist = flow.make_benchmark(name);
+  write_verilog_file(out, netlist);
+  std::printf("wrote %s (%zu gates)\n", out.c_str(),
+              netlist.gates().size());
+  return 0;
+}
+
+int cmd_bench_file(const std::string& path) {
+  const SvaFlow flow{FlowConfig{}};
+  const Netlist netlist =
+      load_bench_file(path, flow.library(), "bench_design");
+  const Placement placement = flow.make_placement(netlist);
+  const CircuitAnalysis a = flow.analyze(netlist, placement);
+  std::printf("%s: %zu gates\n", path.c_str(), a.gate_count);
+  std::printf("  traditional: %.3f / %.3f / %.3f ns\n",
+              units::ps_to_ns(a.trad_nom_ps), units::ps_to_ns(a.trad_bc_ps),
+              units::ps_to_ns(a.trad_wc_ps));
+  std::printf("  SVA-aware:   %.3f / %.3f / %.3f ns  (reduction %s)\n",
+              units::ps_to_ns(a.sva_nom_ps), units::ps_to_ns(a.sva_bc_ps),
+              units::ps_to_ns(a.sva_wc_ps),
+              fmt_pct(a.uncertainty_reduction(), 1).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (command == "list") return cmd_list();
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "paths") {
+      if (args.empty()) return usage();
+      std::size_t k = 3;
+      if (args.size() >= 3 && args[1] == "-n")
+        k = static_cast<std::size_t>(std::stoul(args[2]));
+      return cmd_paths(args[0], k);
+    }
+    if (command == "pitch-curve")
+      return cmd_pitch_curve(args.empty() ? "" : args[0]);
+    if (command == "export-lib") {
+      if (args.empty()) return usage();
+      const bool expanded =
+          args.size() > 1 && (args[1] == "--expanded" || args[1] == "-x");
+      return cmd_export_lib(args[0], expanded);
+    }
+    if (command == "verilog") {
+      if (args.size() < 2) return usage();
+      return cmd_verilog(args[0], args[1]);
+    }
+    if (command == "bench") {
+      if (args.empty()) return usage();
+      return cmd_bench_file(args[0]);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+#include "core/budget_calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opc/pitch_table.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+
+CdBudget MeasuredBudget::to_budget(Nm l_nom, double total_fraction,
+                                   double other_process_fraction) const {
+  SVA_REQUIRE(l_nom > 0.0);
+  CdBudget budget;
+  budget.total_fraction = total_fraction;
+  budget.other_process_fraction = other_process_fraction;
+  const Nm total = budget.total(l_nom);
+  SVA_REQUIRE(total > 0.0);
+  double pitch_share = lvar_pitch / total;
+  double focus_share = lvar_focus / total;
+  // The systematic parts cannot exceed the whole budget; scale down
+  // proportionally if the measurement says they would (the remainder of
+  // the budget stays random).
+  const double sum = pitch_share + focus_share;
+  if (sum > 1.0) {
+    pitch_share /= sum;
+    focus_share /= sum;
+  }
+  budget.pitch_share = pitch_share;
+  budget.focus_share = focus_share;
+  budget.validate();
+  return budget;
+}
+
+MeasuredBudget measure_budget(const OpcEngine& engine,
+                              const PrintModel& print_model, Nm linewidth,
+                              const BudgetCalibrationConfig& config) {
+  SVA_REQUIRE(linewidth > 0.0);
+  SVA_REQUIRE(!config.pitch_spacings.empty());
+  SVA_REQUIRE(!config.fem_spacings.empty());
+  SVA_REQUIRE(config.focus_range > 0.0);
+  SVA_REQUIRE(config.focus_steps >= 3);
+
+  MeasuredBudget measured;
+
+  // Through-pitch: the paper's corrected test layouts ("+-lvar_pitch").
+  const auto points = characterize_post_opc_pitch(
+      engine, linewidth, config.pitch_spacings);
+  measured.lvar_pitch = post_opc_pitch_half_range(points);
+
+  // Through-focus: CD half-range over the focus window for each test
+  // feature (the paper's FEM, here through the calibrated print model).
+  const auto defocus = defocus_sweep(config.focus_range, config.focus_steps);
+  Nm worst = 0.0;
+  for (Nm spacing : config.fem_spacings) {
+    Nm lo = 1e18, hi = -1e18;
+    for (Nm dz : defocus) {
+      const Nm cd = print_model.printed_cd(linewidth, spacing, spacing, dz,
+                                           1.0);
+      if (cd <= 0.0) continue;
+      lo = std::min(lo, cd);
+      hi = std::max(hi, cd);
+    }
+    if (hi >= lo) worst = std::max(worst, (hi - lo) / 2.0);
+  }
+  measured.lvar_focus = worst;
+  return measured;
+}
+
+}  // namespace sva

@@ -1,0 +1,87 @@
+#include "core/compensation.hpp"
+
+#include <algorithm>
+
+#include "core/scales.hpp"
+#include "place/context.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// Worst-corner analysis of the current placement state.
+StaResult evaluate_wc(const Placement& placement,
+                      const ContextLibrary& context, const CdBudget& budget,
+                      const Sta& sta, ArcLabelPolicy policy) {
+  const auto nps = extract_nps(placement);
+  const auto versions = assign_versions(nps, context.bins());
+  const SvaCornerScale wc(placement.netlist(), context, versions, budget,
+                          Corner::Worst, policy, &nps);
+  return sta.run(wc);
+}
+
+}  // namespace
+
+CompensationResult compensate_placement(Placement& placement,
+                                        const ContextLibrary& context,
+                                        const CharacterizedLibrary& library,
+                                        const CdBudget& budget,
+                                        const StaConfig& sta_config,
+                                        const CompensationConfig& config) {
+  SVA_REQUIRE(config.max_passes > 0);
+  SVA_REQUIRE(config.candidates_per_pass > 0);
+  SVA_REQUIRE(config.step > 0.0);
+  SVA_REQUIRE(config.steps_each_way > 0);
+
+  const Netlist& netlist = placement.netlist();
+  const Sta sta(netlist, library, sta_config);
+
+  CompensationResult result;
+  StaResult current =
+      evaluate_wc(placement, context, budget, sta, config.policy);
+  result.wc_before_ps = current.critical_delay_ps;
+
+  for (std::size_t pass = 0; pass < config.max_passes; ++pass) {
+    bool improved_this_pass = false;
+    // Candidates: gates on the current worst path, worst-first (the path
+    // is input->output; later gates see accumulated slews, but any gate
+    // on it bounds the path delay).
+    std::vector<std::size_t> candidates = current.critical_path;
+    if (candidates.size() > config.candidates_per_pass)
+      candidates.resize(config.candidates_per_pass);
+
+    for (std::size_t gi : candidates) {
+      const auto [lo, hi] = placement.shift_range(gi);
+      Nm best_dx = 0.0;
+      double best_delay = current.critical_delay_ps;
+      for (int dir : {-1, +1}) {
+        for (std::size_t k = 1; k <= config.steps_each_way; ++k) {
+          const Nm dx = dir * config.step * static_cast<double>(k);
+          if (dx < lo || dx > hi) continue;
+          placement.shift_instance(gi, dx);
+          ++result.moves_evaluated;
+          const StaResult trial =
+              evaluate_wc(placement, context, budget, sta, config.policy);
+          if (trial.critical_delay_ps < best_delay - 1e-9) {
+            best_delay = trial.critical_delay_ps;
+            best_dx = dx;
+          }
+          placement.shift_instance(gi, -dx);  // restore
+        }
+      }
+      if (best_dx != 0.0) {
+        placement.shift_instance(gi, best_dx);
+        ++result.moves_applied;
+        improved_this_pass = true;
+        current = evaluate_wc(placement, context, budget, sta,
+                              config.policy);
+      }
+    }
+    if (!improved_this_pass) break;
+  }
+
+  result.wc_after_ps = current.critical_delay_ps;
+  return result;
+}
+
+}  // namespace sva

@@ -1,0 +1,57 @@
+#pragma once
+// Systematic-variation aware detailed placement (whitespace shaping).
+//
+// The paper closes with: "Systematic nature of focus dependent CD
+// variation suggests potential implications for compensating for such
+// focus variation" -- the idea the authors later developed into
+// self-compensating design.  This module implements the placement-level
+// version: once device labels are known, *moving cells within their row's
+// whitespace* changes the neighbour spacings, and with them the
+// smile/frown labels and the context-predicted nominal lengths, so the
+// worst-case corner can be improved without touching the netlist.
+//
+// Strategy: greedy hill climbing over the instances on (or near) the
+// worst-corner critical path; each candidate tries site-quantized shifts
+// inside its legal range and keeps the best improvement of the WC corner
+// delay.
+
+#include <cstddef>
+
+#include "cell/context_library.hpp"
+#include "core/budget.hpp"
+#include "core/classify.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "sta/sta.hpp"
+
+namespace sva {
+
+struct CompensationConfig {
+  std::size_t max_passes = 3;      ///< greedy sweeps over the critical path
+  std::size_t candidates_per_pass = 40;  ///< path gates considered per sweep
+  Nm step = 170.0;                 ///< site-quantized trial shift
+  std::size_t steps_each_way = 2;  ///< trials per direction per candidate
+  ArcLabelPolicy policy = ArcLabelPolicy::Majority;
+};
+
+struct CompensationResult {
+  double wc_before_ps = 0.0;
+  double wc_after_ps = 0.0;
+  std::size_t moves_applied = 0;
+  std::size_t moves_evaluated = 0;
+
+  double improvement() const {
+    return 1.0 - wc_after_ps / wc_before_ps;
+  }
+};
+
+/// Optimize the placement in place against the SVA worst-case corner.
+/// The placement is modified; the netlist and all libraries are not.
+CompensationResult compensate_placement(Placement& placement,
+                                        const ContextLibrary& context,
+                                        const CharacterizedLibrary& library,
+                                        const CdBudget& budget,
+                                        const StaConfig& sta_config,
+                                        const CompensationConfig& config = {});
+
+}  // namespace sva

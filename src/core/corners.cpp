@@ -1,0 +1,69 @@
+#include "core/corners.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+const char* to_string(Corner corner) {
+  switch (corner) {
+    case Corner::Best: return "BC";
+    case Corner::Nominal: return "Nom";
+    case Corner::Worst: return "WC";
+  }
+  return "?";
+}
+
+Nm CornerLengths::at(Corner corner) const {
+  switch (corner) {
+    case Corner::Best: return bc;
+    case Corner::Nominal: return nom;
+    case Corner::Worst: return wc;
+  }
+  throw PreconditionError("invalid corner");
+}
+
+CornerLengths traditional_corners(Nm l_nom, const CdBudget& budget) {
+  SVA_REQUIRE(l_nom > 0.0);
+  budget.validate();
+  const Nm total = budget.total(l_nom);
+  return {l_nom - total, l_nom, l_nom + total};
+}
+
+CornerLengths sva_corners(Nm l_nom, Nm l_nom_new, ArcClass arc_class,
+                          const CdBudget& budget) {
+  SVA_REQUIRE(l_nom > 0.0);
+  SVA_REQUIRE_MSG(l_nom_new > 0.0,
+                  "context-predicted gate length must be positive");
+  budget.validate();
+  const Nm residual = budget.total(l_nom) - budget.lvar_pitch(l_nom);
+  const Nm lvar_focus = budget.lvar_focus(l_nom);
+
+  // Eq. (1): remove the predictable pitch component around the
+  // context-aware nominal.
+  CornerLengths c;
+  c.nom = l_nom_new;
+  c.wc = l_nom_new + residual;
+  c.bc = l_nom_new - residual;
+
+  // Eqs. (2)-(5): trim the focus component per arc class.
+  switch (arc_class) {
+    case ArcClass::Smile:
+      // Dense lines only thicken (slow down) out of focus; the fast
+      // corner cannot be reached through focus.
+      c.bc += lvar_focus;
+      break;
+    case ArcClass::Frown:
+      // Isolated lines only thin (speed up) out of focus; the slow corner
+      // cannot be reached through focus.
+      c.wc -= lvar_focus;
+      break;
+    case ArcClass::SelfCompensated:
+      c.wc -= lvar_focus;
+      c.bc += lvar_focus;
+      break;
+  }
+  SVA_ASSERT_MSG(c.wc >= c.bc, "corner inversion: check budget shares");
+  return c;
+}
+
+}  // namespace sva

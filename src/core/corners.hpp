@@ -1,0 +1,54 @@
+#pragma once
+// Corner gate-length computation: the paper's Eqs. (1)-(5) (Sec. 3.3).
+//
+// Traditional corners worst-case every device over the whole CD budget:
+//
+//   l_WC = l_nom + lvar_total,   l_BC = l_nom - lvar_total.
+//
+// The systematic-variation-aware corners start from the iso-dense-aware
+// nominal l_nom_new (predicted from the placement context) and remove the
+// pitch share from both sides (Eq. 1):
+//
+//   l_WC_pitch = l_nom_new + (lvar_total - lvar_pitch)
+//   l_BC_pitch = l_nom_new - (lvar_total - lvar_pitch)
+//
+// then trim the focus share from the side where the arc's Bossung
+// behaviour cannot move (Eqs. 2-5):
+//
+//   smile  (dense; CD only grows out of focus):  BC += lvar_focus
+//   frown  (iso;   CD only shrinks out of focus): WC -= lvar_focus
+//   self-compensated: both (the smile and frown components cancel).
+//
+// Longer gate == slower, so the slow (WC) timing corner uses the largest
+// gate length and the fast (BC) corner the smallest.
+
+#include "core/budget.hpp"
+#include "core/classify.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+enum class Corner { Best, Nominal, Worst };
+
+const char* to_string(Corner corner);
+
+/// Best/nominal/worst gate lengths for one timing arc.
+struct CornerLengths {
+  Nm bc = 0.0;
+  Nm nom = 0.0;
+  Nm wc = 0.0;
+
+  Nm at(Corner corner) const;
+  Nm spread() const { return wc - bc; }
+};
+
+/// Traditional (context-blind) corners at a drawn length.
+CornerLengths traditional_corners(Nm l_nom, const CdBudget& budget);
+
+/// Systematic-variation-aware corners for one arc.
+/// `l_nom` is the drawn length (the budget's reference); `l_nom_new` is
+/// the context-predicted effective length of the arc.
+CornerLengths sva_corners(Nm l_nom, Nm l_nom_new, ArcClass arc_class,
+                          const CdBudget& budget);
+
+}  // namespace sva

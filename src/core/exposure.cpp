@@ -1,0 +1,59 @@
+#include "core/exposure.hpp"
+
+#include "core/scales.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+
+std::vector<ExposurePoint> analyze_exposure(
+    const Netlist& netlist, const ContextLibrary& context,
+    const std::vector<VersionKey>& versions,
+    const std::vector<InstanceNps>& nps, const CdBudget& budget,
+    const Sta& sta, const ExposureConfig& config) {
+  SVA_REQUIRE(!config.doses.empty());
+  SVA_REQUIRE(config.dose_cd_slope >= 0.0);
+  const Nm l_nom =
+      netlist.library().master(0).tech().gate_length;
+
+  // Baseline labels at nominal dose, from the measured spacings.
+  const auto baseline = annotate_arcs(netlist, context, versions, budget,
+                                      config.policy, 0.0, &nps);
+
+  std::vector<ExposurePoint> out;
+  out.reserve(config.doses.size());
+  for (double dose : config.doses) {
+    SVA_REQUIRE(dose > 0.0);
+    ExposurePoint point;
+    point.dose = dose;
+    // Overexposure (dose > 1) thins every line by about
+    // l_nom * slope * (dose - 1); each of a gap's two bounding edges
+    // retreats by half of that, so the clear spacing *grows* by the full
+    // line-width change.
+    point.spacing_shift = l_nom * config.dose_cd_slope * (dose - 1.0);
+
+    const auto annotations =
+        annotate_arcs(netlist, context, versions, budget, config.policy,
+                      point.spacing_shift, &nps);
+
+    point.arc_class_counts.assign(3, 0);
+    for (std::size_t gi = 0; gi < annotations.size(); ++gi) {
+      for (std::size_t ai = 0; ai < annotations[gi].size(); ++ai) {
+        ++point.arc_class_counts[static_cast<std::size_t>(
+            annotations[gi][ai].arc_class)];
+        if (annotations[gi][ai].arc_class != baseline[gi][ai].arc_class)
+          ++point.arc_flips;
+      }
+    }
+
+    const MatrixScale bc(
+        corner_factors(netlist, annotations, budget, Corner::Best));
+    const MatrixScale wc(
+        corner_factors(netlist, annotations, budget, Corner::Worst));
+    point.sva_bc_ps = sta.run(bc).critical_delay_ps;
+    point.sva_wc_ps = sta.run(wc).critical_delay_ps;
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,107 @@
+#include "core/flow.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace sva {
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+SvaFlow::SvaFlow(const FlowConfig& config)
+    : config_(config),
+      library_(build_standard_library(config.cell_tech)),
+      characterized_(characterize_library(library_, config.electrical)),
+      wafer_(config.wafer_optics, config.cell_tech.gate_length,
+             config.cell_tech.gate_length + config.anchor_spacing),
+      model_(config.opc_model_optics, config.cell_tech.gate_length,
+             config.cell_tech.gate_length + config.anchor_spacing),
+      engine_(model_, wafer_, config.opc) {
+  config_.budget.validate();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  log_info("flow: library OPC of ", library_.size(), " masters");
+  library_opc_ = library_opc_all(library_.masters(), engine_,
+                                 config_.library_opc);
+  log_info("flow: post-OPC pitch characterization (",
+           config_.table_spacings.size(), " spacings)");
+  pitch_points_ = characterize_post_opc_pitch(
+      wafer_, engine_, config_.cell_tech.gate_length, config_.table_spacings);
+  setup_opc_seconds_ = seconds_since(t0);
+
+  boundary_model_ = std::make_unique<TableCdModel>(
+      config_.cell_tech.gate_length, post_opc_spacing_table(pitch_points_),
+      config_.cell_tech.radius_of_influence);
+  context_ = std::make_unique<ContextLibrary>(
+      characterized_, library_opc_, *boundary_model_, config_.bins);
+}
+
+Netlist SvaFlow::make_benchmark(const std::string& name) const {
+  return generate_iscas85_like(name, library_);
+}
+
+Placement SvaFlow::make_placement(const Netlist& netlist) const {
+  return Placement(netlist, config_.placement);
+}
+
+std::vector<VersionKey> SvaFlow::bind_versions(
+    const Placement& placement) const {
+  return assign_versions(extract_nps(placement), config_.bins);
+}
+
+CircuitAnalysis SvaFlow::analyze(const Netlist& netlist,
+                                 const Placement& placement) const {
+  SVA_REQUIRE(&placement.netlist() == &netlist);
+  const Nm l_nom = config_.cell_tech.gate_length;
+  const Sta sta(netlist, characterized_, config_.sta);
+
+  CircuitAnalysis out;
+  out.name = netlist.name();
+  out.gate_count = netlist.gates().size();
+
+  // Traditional corner analysis: the drawn-length library plus uniform
+  // full-budget corners.
+  {
+    const UnitScale nominal;
+    out.trad_nom_ps = sta.run(nominal).critical_delay_ps;
+    const TraditionalCornerScale bc(l_nom, config_.budget, Corner::Best);
+    const TraditionalCornerScale wc(l_nom, config_.budget, Corner::Worst);
+    out.trad_bc_ps = sta.run(bc).critical_delay_ps;
+    out.trad_wc_ps = sta.run(wc).critical_delay_ps;
+  }
+
+  // In-context analysis with the expanded library.  Delay tables come
+  // from the binned versions; device labels use the measured spacings.
+  {
+    const std::vector<InstanceNps> nps = extract_nps(placement);
+    const std::vector<VersionKey> versions =
+        assign_versions(nps, config_.bins);
+    const SvaCornerScale nom(netlist, *context_, versions, config_.budget,
+                             Corner::Nominal, config_.arc_policy, &nps);
+    const SvaCornerScale bc(netlist, *context_, versions, config_.budget,
+                            Corner::Best, config_.arc_policy, &nps);
+    const SvaCornerScale wc(netlist, *context_, versions, config_.budget,
+                            Corner::Worst, config_.arc_policy, &nps);
+    out.sva_nom_ps = sta.run(nom).critical_delay_ps;
+    out.sva_bc_ps = sta.run(bc).critical_delay_ps;
+    out.sva_wc_ps = sta.run(wc).critical_delay_ps;
+    out.arc_class_counts = wc.class_histogram();
+  }
+  return out;
+}
+
+CircuitAnalysis SvaFlow::analyze_benchmark(const std::string& name) const {
+  const Netlist netlist = make_benchmark(name);
+  const Placement placement = make_placement(netlist);
+  return analyze(netlist, placement);
+}
+
+}  // namespace sva

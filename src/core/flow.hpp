@@ -1,0 +1,149 @@
+#pragma once
+// The end-to-end systematic-variation-aware timing flow (paper Secs. 3-4).
+//
+// Construction performs the design-independent setup:
+//   1. build + characterize the 10-cell library;
+//   2. calibrate the wafer and OPC-model litho processes;
+//   3. library-based OPC of every master in the dummy environment and
+//      per-device printed-CD measurement (Sec. 3.1.1);
+//   4. post-OPC pitch->CD characterization of the test gratings and the
+//      boundary-device lookup table (Sec. 3.3);
+//   5. expansion into the 81-version context library (Sec. 3.1.2).
+//
+// analyze() then runs, for one benchmark circuit: placement, nps
+// extraction and version binding (Sec. 3.1.3), traditional corner STA,
+// and the proposed in-context corner STA, returning the Table 2 row.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "cell/context_library.hpp"
+#include "cell/library.hpp"
+#include "cell/library_opc.hpp"
+#include "core/budget.hpp"
+#include "core/classify.hpp"
+#include "core/scales.hpp"
+#include "litho/cd_model.hpp"
+#include "netlist/iscas85.hpp"
+#include "opc/engine.hpp"
+#include "opc/pitch_table.hpp"
+#include "place/context.hpp"
+#include "place/placement.hpp"
+#include "sta/sta.hpp"
+
+namespace sva {
+
+struct FlowConfig {
+  CellTech cell_tech;
+  ElectricalTech electrical;
+  OpticsConfig wafer_optics;
+  /// Optics of the OPC model build.  Any difference from `wafer_optics`
+  /// models finite OPC model fidelity (see opc/engine.hpp): the default
+  /// uses a slightly tighter annulus and less resist blur than the wafer,
+  /// giving the pitch-dependent systematic residual the paper observes
+  /// after production OPC (Fig. 7).
+  OpticsConfig opc_model_optics = default_opc_model_optics();
+
+  static OpticsConfig default_opc_model_optics() {
+    OpticsConfig o;
+    o.sigma_inner = 0.40;
+    o.sigma_outer = 1.00;
+    o.resist_diffusion_length = 25.0;
+    return o;
+  }
+  OpcConfig opc;
+  LibraryOpcConfig library_opc;
+  PlacementConfig placement;
+  StaConfig sta;
+  ContextBins bins;
+  CdBudget budget;
+  ArcLabelPolicy arc_policy = ArcLabelPolicy::Majority;
+  /// One-sided spacings of the pitch->CD test gratings (nm).
+  std::vector<Nm> table_spacings = {150, 200, 250, 300, 350,
+                                    400, 450, 500, 550, 600};
+  /// Dense anchor spacing used to calibrate resist thresholds.
+  Nm anchor_spacing = 150.0;
+};
+
+/// One benchmark circuit's corner results: a row of the paper's Table 2.
+struct CircuitAnalysis {
+  std::string name;
+  std::size_t gate_count = 0;
+
+  double trad_nom_ps = 0.0;
+  double trad_bc_ps = 0.0;
+  double trad_wc_ps = 0.0;
+  double sva_nom_ps = 0.0;
+  double sva_bc_ps = 0.0;
+  double sva_wc_ps = 0.0;
+
+  /// Arc-class counts over the design: [smile, frown, self-compensated].
+  std::vector<std::size_t> arc_class_counts;
+
+  double trad_spread_ps() const { return trad_wc_ps - trad_bc_ps; }
+  double sva_spread_ps() const { return sva_wc_ps - sva_bc_ps; }
+  /// The paper's "% Reduction in Uncertainty".
+  double uncertainty_reduction() const {
+    return 1.0 - sva_spread_ps() / trad_spread_ps();
+  }
+};
+
+class SvaFlow {
+ public:
+  explicit SvaFlow(const FlowConfig& config = {});
+
+  // Non-copyable: internal components hold cross-references.
+  SvaFlow(const SvaFlow&) = delete;
+  SvaFlow& operator=(const SvaFlow&) = delete;
+
+  const FlowConfig& config() const { return config_; }
+  const CellLibrary& library() const { return library_; }
+  const CharacterizedLibrary& characterized() const { return characterized_; }
+  const LithoProcess& wafer_process() const { return wafer_; }
+  const LithoProcess& model_process() const { return model_; }
+  const OpcEngine& opc_engine() const { return engine_; }
+  const std::vector<LibraryOpcCellResult>& library_opc_results() const {
+    return library_opc_;
+  }
+  const std::vector<PostOpcPitchPoint>& pitch_points() const {
+    return pitch_points_;
+  }
+  const TableCdModel& boundary_model() const { return *boundary_model_; }
+  const ContextLibrary& context_library() const { return *context_; }
+
+  /// Wall-clock seconds spent on library OPC + pitch characterization
+  /// during construction (Table 1's "Library OPC Runtime").
+  double setup_opc_seconds() const { return setup_opc_seconds_; }
+
+  /// Generate a benchmark netlist / its placement with this flow's
+  /// library and configuration.
+  Netlist make_benchmark(const std::string& name) const;
+  Placement make_placement(const Netlist& netlist) const;
+
+  /// Bind every placed instance to its context version.
+  std::vector<VersionKey> bind_versions(const Placement& placement) const;
+
+  /// Full Table 2 analysis of one placed circuit.
+  CircuitAnalysis analyze(const Netlist& netlist,
+                          const Placement& placement) const;
+
+  /// Convenience: generate, place, analyze.
+  CircuitAnalysis analyze_benchmark(const std::string& name) const;
+
+ private:
+  FlowConfig config_;
+  CellLibrary library_;
+  CharacterizedLibrary characterized_;
+  LithoProcess wafer_;
+  LithoProcess model_;
+  OpcEngine engine_;
+  std::vector<LibraryOpcCellResult> library_opc_;
+  std::vector<PostOpcPitchPoint> pitch_points_;
+  std::unique_ptr<TableCdModel> boundary_model_;
+  std::unique_ptr<ContextLibrary> context_;
+  double setup_opc_seconds_ = 0.0;
+};
+
+}  // namespace sva

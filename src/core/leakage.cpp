@@ -1,0 +1,71 @@
+#include "core/leakage.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+double LeakageModel::device_leakage_na(Nm width, Nm length,
+                                       Nm l_nom) const {
+  SVA_REQUIRE(width > 0.0 && length > 0.0 && l_nom > 0.0);
+  return i0_na * (width / w0) * std::exp(-(length - l_nom) / l_slope);
+}
+
+LeakageAnalysis analyze_leakage(const Netlist& netlist,
+                                const ContextLibrary& context,
+                                const std::vector<VersionKey>& versions,
+                                const std::vector<InstanceNps>& nps,
+                                const CdBudget& budget,
+                                const LeakageModel& model) {
+  SVA_REQUIRE(versions.size() == netlist.gates().size());
+  SVA_REQUIRE(nps.size() == netlist.gates().size());
+  budget.validate();
+  const CellLibrary& lib = netlist.library();
+
+  LeakageAnalysis out;
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    const std::size_t ci = netlist.gates()[gi].cell_index;
+    const CellMaster& master = lib.master(ci);
+    const Nm l_nom = master.tech().gate_length;
+    const Nm total = budget.total(l_nom);
+    const Nm residual = total - budget.lvar_pitch(l_nom);
+    const Nm lvar_focus = budget.lvar_focus(l_nom);
+
+    for (std::size_t di = 0; di < master.devices().size(); ++di) {
+      const Device& d = master.devices()[di];
+      // Traditional: context-blind drawn length, full-budget worst case
+      // (shortest channel leaks most).
+      out.nominal_traditional_na +=
+          model.device_leakage_na(d.width, l_nom, l_nom);
+      out.worst_traditional_na +=
+          model.device_leakage_na(d.width, l_nom - total, l_nom);
+
+      // Context-aware: the device's predicted printed CD plus class-aware
+      // worst-case shortening.  Dense devices only *thicken* out of focus
+      // (they cannot get leakier through focus); isolated devices thin.
+      const Nm predicted =
+          context.device_printed_cd(ci, versions[gi], di);
+      const bool pmos = d.type == DeviceType::Pmos;
+      const DeviceContext ctx = context.device_context_measured(
+          ci, di, pmos ? nps[gi].lt : nps[gi].lb,
+          pmos ? nps[gi].rt : nps[gi].rb);
+      const DeviceClass cls = classify_device(
+          ctx.s_left, ctx.s_right, master.tech().contacted_pitch);
+      // Mirror the timing corners (Eqs. 2-5): isolated devices can reach
+      // the full thin extreme; dense and self-compensated ones cannot get
+      // thinner through focus, so their worst shortening is trimmed.
+      Nm worst_shortening = residual;
+      if (cls == DeviceClass::Dense || cls == DeviceClass::SelfCompensated)
+        worst_shortening -= lvar_focus;
+
+      out.nominal_context_na +=
+          model.device_leakage_na(d.width, predicted, l_nom);
+      out.worst_context_na += model.device_leakage_na(
+          d.width, predicted - worst_shortening, l_nom);
+    }
+  }
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,60 @@
+#pragma once
+// Context-aware leakage estimation.
+//
+// Subthreshold leakage is exponential in gate length, so the same
+// systematic CD components that drive timing drive leakage even harder --
+// the direction the authors took next ("Defocus-Aware Leakage Estimation
+// and Control", Kahng/Muddu/Sharma, builds directly on this methodology).
+//
+// Model: I_leak(device) = i0 * (W / W0) * exp(-(L - L_nom) / L_slope),
+// the standard first-order subthreshold dependence: shorter channels leak
+// exponentially more.  Three estimates are compared:
+//
+//  * traditional worst case -- every device at L_nom - lvar_total;
+//  * context-aware worst case -- per-device printed CD from the context
+//    library, minus only the *residual* (non-systematic) budget, with the
+//    through-focus term entering by device class (isolated devices thin
+//    further out of focus; dense devices thicken and leak *less*);
+//  * context-aware nominal -- per-device printed CD as-is.
+
+#include <vector>
+
+#include "cell/context_library.hpp"
+#include "core/budget.hpp"
+#include "core/classify.hpp"
+#include "netlist/netlist.hpp"
+#include "place/context.hpp"
+
+namespace sva {
+
+struct LeakageModel {
+  double i0_na = 10.0;    ///< leakage of a W0-wide device at L_nom (nA)
+  Nm w0 = 1000.0;         ///< reference width
+  Nm l_slope = 12.0;      ///< exponential length sensitivity (nm/e-fold)
+
+  /// Leakage of one device (nA).
+  double device_leakage_na(Nm width, Nm length, Nm l_nom) const;
+};
+
+struct LeakageAnalysis {
+  double nominal_traditional_na = 0.0;  ///< all devices at drawn length
+  double worst_traditional_na = 0.0;    ///< all devices at L_nom - total
+  double nominal_context_na = 0.0;      ///< context-predicted lengths
+  double worst_context_na = 0.0;        ///< context + class-aware corners
+
+  /// Pessimism of the traditional worst case vs the context-aware one.
+  double worst_case_ratio() const {
+    return worst_traditional_na / worst_context_na;
+  }
+};
+
+/// Estimate chip leakage under the four models.  `nps` are the measured
+/// spacings used for device classification (as in the timing flow).
+LeakageAnalysis analyze_leakage(const Netlist& netlist,
+                                const ContextLibrary& context,
+                                const std::vector<VersionKey>& versions,
+                                const std::vector<InstanceNps>& nps,
+                                const CdBudget& budget,
+                                const LeakageModel& model = {});
+
+}  // namespace sva

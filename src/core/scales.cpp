@@ -1,0 +1,125 @@
+#include "core/scales.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+namespace {
+
+/// Non-CD process margin applied identically in both flows.
+double other_process(const CdBudget& budget, Corner corner) {
+  switch (corner) {
+    case Corner::Worst: return budget.other_process_factor(/*worst=*/true);
+    case Corner::Best: return budget.other_process_factor(/*worst=*/false);
+    case Corner::Nominal: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+TraditionalCornerScale::TraditionalCornerScale(Nm l_nom,
+                                               const CdBudget& budget,
+                                               Corner corner)
+    : factor_(traditional_corners(l_nom, budget).at(corner) / l_nom *
+              other_process(budget, corner)) {
+  SVA_ASSERT(factor_ > 0.0);
+}
+
+std::vector<std::vector<ArcAnnotation>> annotate_arcs(
+    const Netlist& netlist, const ContextLibrary& context,
+    const std::vector<VersionKey>& versions, const CdBudget& budget,
+    ArcLabelPolicy policy, Nm spacing_shift,
+    const std::vector<InstanceNps>* measured_nps) {
+  SVA_REQUIRE(measured_nps == nullptr ||
+              measured_nps->size() == netlist.gates().size());
+  SVA_REQUIRE(versions.size() == netlist.gates().size());
+  const CellLibrary& lib = netlist.library();
+
+  std::vector<std::vector<ArcAnnotation>> out(netlist.gates().size());
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    const std::size_t ci = netlist.gates()[gi].cell_index;
+    const CellMaster& master = lib.master(ci);
+    const Nm l_nom = master.tech().gate_length;
+    const Nm contacted = master.tech().contacted_pitch;
+    const VersionKey& version = versions[gi];
+
+    out[gi].resize(master.arcs().size());
+    for (std::size_t ai = 0; ai < master.arcs().size(); ++ai) {
+      ArcAnnotation ann;
+      ann.l_nom_new = context.arc_effective_length(ci, version, ai);
+
+      std::vector<DeviceClass> classes;
+      classes.reserve(master.arcs()[ai].device_indices.size());
+      for (std::size_t di : master.arcs()[ai].device_indices) {
+        DeviceContext ctx;
+        if (measured_nps != nullptr) {
+          const InstanceNps& nps = (*measured_nps)[gi];
+          const bool pmos =
+              master.devices()[di].type == DeviceType::Pmos;
+          ctx = context.device_context_measured(
+              ci, di, pmos ? nps.lt : nps.lb, pmos ? nps.rt : nps.rb);
+        } else {
+          ctx = context.device_context(ci, version, di);
+        }
+        classes.push_back(classify_device(ctx.s_left + spacing_shift,
+                                          ctx.s_right + spacing_shift,
+                                          contacted));
+      }
+      ann.arc_class = classify_arc(classes, policy);
+      ann.corners = sva_corners(l_nom, ann.l_nom_new, ann.arc_class, budget);
+      out[gi][ai] = ann;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> corner_factors(
+    const Netlist& netlist,
+    const std::vector<std::vector<ArcAnnotation>>& annotations,
+    const CdBudget& budget, Corner corner) {
+  const CellLibrary& lib = netlist.library();
+  std::vector<std::vector<double>> factors(annotations.size());
+  for (std::size_t gi = 0; gi < annotations.size(); ++gi) {
+    const Nm l_nom =
+        lib.master(netlist.gates()[gi].cell_index).tech().gate_length;
+    factors[gi].resize(annotations[gi].size());
+    for (std::size_t ai = 0; ai < annotations[gi].size(); ++ai)
+      factors[gi][ai] = annotations[gi][ai].corners.at(corner) / l_nom *
+                        other_process(budget, corner);
+  }
+  return factors;
+}
+
+SvaCornerScale::SvaCornerScale(const Netlist& netlist,
+                               const ContextLibrary& context,
+                               const std::vector<VersionKey>& versions,
+                               const CdBudget& budget, Corner corner,
+                               ArcLabelPolicy policy,
+                               const std::vector<InstanceNps>* measured_nps)
+    : annotations_(annotate_arcs(netlist, context, versions, budget, policy,
+                                 0.0, measured_nps)),
+      factors_(corner_factors(netlist, annotations_, budget, corner)) {}
+
+double SvaCornerScale::scale(std::size_t gate, std::size_t arc_index) const {
+  SVA_REQUIRE(gate < factors_.size());
+  SVA_REQUIRE(arc_index < factors_[gate].size());
+  return factors_[gate][arc_index];
+}
+
+const ArcAnnotation& SvaCornerScale::annotation(std::size_t gate,
+                                                std::size_t arc_index) const {
+  SVA_REQUIRE(gate < annotations_.size());
+  SVA_REQUIRE(arc_index < annotations_[gate].size());
+  return annotations_[gate][arc_index];
+}
+
+std::vector<std::size_t> SvaCornerScale::class_histogram() const {
+  std::vector<std::size_t> counts(3, 0);
+  for (const auto& gate : annotations_)
+    for (const auto& ann : gate)
+      ++counts[static_cast<std::size_t>(ann.arc_class)];
+  return counts;
+}
+
+}  // namespace sva

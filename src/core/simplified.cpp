@@ -1,0 +1,84 @@
+#include "core/simplified.hpp"
+
+#include "core/classify.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// A lone device's Bossung behaviour maps directly onto the arc-class
+/// vocabulary: dense lines smile, isolated lines frown.
+ArcClass device_bossung_class(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::Dense: return ArcClass::Smile;
+    case DeviceClass::Isolated: return ArcClass::Frown;
+    case DeviceClass::SelfCompensated: return ArcClass::SelfCompensated;
+  }
+  return ArcClass::SelfCompensated;
+}
+
+double other_process(const CdBudget& budget, Corner corner) {
+  switch (corner) {
+    case Corner::Worst: return budget.other_process_factor(true);
+    case Corner::Best: return budget.other_process_factor(false);
+    case Corner::Nominal: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+CornerLengths SimplifiedCornerScale::device_corners(
+    const ContextLibrary& context, std::size_t cell, std::size_t device,
+    const CdBudget& budget) {
+  const CellMaster& master = context.characterized().cells[cell].master;
+  const Nm l_nom = master.tech().gate_length;
+  if (master.is_boundary_device(device))
+    return traditional_corners(l_nom, budget);
+
+  // Interior device: context is version-independent; any key works.
+  const VersionKey any{};
+  const DeviceContext ctx = context.device_context(cell, any, device);
+  const DeviceClass cls = classify_device(ctx.s_left, ctx.s_right,
+                                          master.tech().contacted_pitch);
+  return sva_corners(l_nom, context.interior_cd(cell, device),
+                     device_bossung_class(cls), budget);
+}
+
+SimplifiedCornerScale::SimplifiedCornerScale(const Netlist& netlist,
+                                             const ContextLibrary& context,
+                                             const CdBudget& budget,
+                                             Corner corner) {
+  budget.validate();
+  const CellLibrary& lib = netlist.library();
+  // Per-cell, per-arc factors: the simplified corners do not depend on the
+  // instance, so compute once per master and share.
+  std::vector<std::vector<double>> per_cell(lib.size());
+  for (std::size_t ci = 0; ci < lib.size(); ++ci) {
+    const CellMaster& master = lib.master(ci);
+    const Nm l_nom = master.tech().gate_length;
+    per_cell[ci].resize(master.arcs().size());
+    for (std::size_t ai = 0; ai < master.arcs().size(); ++ai) {
+      const TimingArc& arc = master.arcs()[ai];
+      double sum = 0.0;
+      for (std::size_t di : arc.device_indices)
+        sum += device_corners(context, ci, di, budget).at(corner);
+      const Nm l_eff =
+          sum / static_cast<double>(arc.device_indices.size());
+      per_cell[ci][ai] = l_eff / l_nom * other_process(budget, corner);
+    }
+  }
+
+  factors_.resize(netlist.gates().size());
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi)
+    factors_[gi] = per_cell[netlist.gates()[gi].cell_index];
+}
+
+double SimplifiedCornerScale::scale(std::size_t gate,
+                                    std::size_t arc_index) const {
+  SVA_REQUIRE(gate < factors_.size());
+  SVA_REQUIRE(arc_index < factors_[gate].size());
+  return factors_[gate][arc_index];
+}
+
+}  // namespace sva

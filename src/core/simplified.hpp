@@ -1,0 +1,52 @@
+#pragma once
+// The paper's Sec. 5 "simplified version" of the methodology.
+//
+// "A simplified version of the approach described in this work would be to
+// ignore the impact of systematic variation on devices which lie the
+// closest to the cell boundary.  In this case, the devices at the
+// periphery will have their corner cases computed in the traditional
+// manner independent of the placement context.  With some loss in accuracy
+// (especially for smaller sized cells which have no or very few parallel
+// devices), huge characterization effort (corresponding to 81 versions of
+// each cell) can be avoided."
+//
+// Implementation: corners are computed per *device* and averaged over the
+// arc's devices --
+//   * boundary devices: traditional full-budget corners at the drawn
+//     length (placement-independent: no context versions needed);
+//   * interior devices: systematic-aware corners around their library-OPC
+//     printed CD, classified from their cell-internal spacings.
+
+#include <vector>
+
+#include "cell/context_library.hpp"
+#include "core/budget.hpp"
+#include "core/corners.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/scale.hpp"
+
+namespace sva {
+
+/// Corner scale of the simplified methodology.  Requires only the context
+/// library's interior (library-OPC) CDs and internal geometry -- the
+/// version key is never consulted, which is exactly the characterization
+/// saving the paper describes.
+class SimplifiedCornerScale final : public ArcScaleProvider {
+ public:
+  SimplifiedCornerScale(const Netlist& netlist,
+                        const ContextLibrary& context, const CdBudget& budget,
+                        Corner corner);
+
+  double scale(std::size_t gate, std::size_t arc_index) const override;
+
+  /// Corner lengths of one device under the simplified rules (exposed for
+  /// tests and the ablation bench).
+  static CornerLengths device_corners(const ContextLibrary& context,
+                                      std::size_t cell, std::size_t device,
+                                      const CdBudget& budget);
+
+ private:
+  std::vector<std::vector<double>> factors_;  // [gate][arc]
+};
+
+}  // namespace sva

@@ -1,0 +1,187 @@
+#include "core/statistical.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// Gate-length to delay-factor conversion shared by the samplers (the
+/// linear-delay-in-L model of the paper).
+double factor_from_length(Nm length, Nm l_nom) {
+  // Keep the factor physically positive even in extreme tails.
+  return std::max(length, 0.2 * l_nom) / l_nom;
+}
+
+}  // namespace
+
+NaiveGaussianSampler::NaiveGaussianSampler(const Netlist& netlist,
+                                           const CdBudget& budget, Nm l_nom,
+                                           double global_share)
+    : netlist_(&netlist), l_nom_(l_nom) {
+  SVA_REQUIRE(l_nom > 0.0);
+  SVA_REQUIRE(global_share >= 0.0 && global_share <= 1.0);
+  budget.validate();
+  // The full budget is the 3-sigma excursion, split between a chip-global
+  // and an independent local component.
+  const Nm total_sigma = budget.total(l_nom) / 3.0;
+  sigma_global_ = total_sigma * global_share;
+  sigma_local_ = total_sigma * (1.0 - global_share);
+}
+
+std::vector<std::vector<double>> NaiveGaussianSampler::sample(
+    Rng& rng) const {
+  const Nm global = rng.normal(0.0, sigma_global_);
+  std::vector<std::vector<double>> out(netlist_->gates().size());
+  const CellLibrary& lib = netlist_->library();
+  for (std::size_t gi = 0; gi < netlist_->gates().size(); ++gi) {
+    const std::size_t n_arcs =
+        lib.master(netlist_->gates()[gi].cell_index).arcs().size();
+    out[gi].resize(n_arcs);
+    for (std::size_t ai = 0; ai < n_arcs; ++ai) {
+      const Nm length =
+          l_nom_ + global + rng.normal(0.0, sigma_local_);
+      out[gi][ai] = factor_from_length(length, l_nom_);
+    }
+  }
+  return out;
+}
+
+ContextAwareSampler::ContextAwareSampler(
+    const Netlist& netlist, const ContextLibrary& context,
+    const std::vector<VersionKey>& versions, const CdBudget& budget,
+    ArcLabelPolicy policy)
+    : netlist_(&netlist),
+      annotations_(annotate_arcs(netlist, context, versions, budget, policy)) {
+  budget.validate();
+  const CellLibrary& lib = netlist.library();
+  l_nom_ = lib.master(0).tech().gate_length;
+  lvar_focus_ = budget.lvar_focus(l_nom_);
+  // Residual randomness: whatever the systematic components do not explain
+  // (3-sigma = residual half-range).
+  sigma_residual_ =
+      (budget.total(l_nom_) - budget.lvar_pitch(l_nom_) - lvar_focus_) / 3.0;
+}
+
+std::vector<std::vector<double>> ContextAwareSampler::sample(
+    Rng& rng) const {
+  // One defocus state per chip: the quadratic Bossung response of each
+  // class peaks at +-lvar_focus at the edge of the focus window.
+  const double f = rng.uniform(-1.0, 1.0);
+  const double focus_sq = f * f;
+
+  std::vector<std::vector<double>> out(annotations_.size());
+  for (std::size_t gi = 0; gi < annotations_.size(); ++gi) {
+    out[gi].resize(annotations_[gi].size());
+    for (std::size_t ai = 0; ai < annotations_[gi].size(); ++ai) {
+      const ArcAnnotation& ann = annotations_[gi][ai];
+      Nm focus_shift = 0.0;
+      switch (ann.arc_class) {
+        case ArcClass::Smile:
+          focus_shift = +lvar_focus_ * focus_sq;
+          break;
+        case ArcClass::Frown:
+          focus_shift = -lvar_focus_ * focus_sq;
+          break;
+        case ArcClass::SelfCompensated:
+          focus_shift = 0.0;  // smile and frown components cancel
+          break;
+      }
+      const Nm length = ann.l_nom_new + focus_shift +
+                        rng.normal(0.0, sigma_residual_);
+      out[gi][ai] = factor_from_length(length, l_nom_);
+    }
+  }
+  return out;
+}
+
+SpatialGaussianSampler::SpatialGaussianSampler(const Placement& placement,
+                                               const CdBudget& budget,
+                                               Nm l_nom,
+                                               double regional_share,
+                                               Nm region_size_nm)
+    : netlist_(&placement.netlist()), l_nom_(l_nom) {
+  SVA_REQUIRE(l_nom > 0.0);
+  SVA_REQUIRE(regional_share >= 0.0 && regional_share <= 1.0);
+  SVA_REQUIRE(region_size_nm > 0.0);
+  budget.validate();
+  const Nm total_sigma = budget.total(l_nom) / 3.0;
+  sigma_regional_ = total_sigma * regional_share;
+  sigma_local_ = total_sigma * (1.0 - regional_share);
+
+  // Region grid over the placement extent.
+  const CellTech& tech = netlist_->library().master(0).tech();
+  const Nm die_w = placement.row_width();
+  const Nm die_h =
+      static_cast<double>(placement.rows().size()) * tech.cell_height;
+  n_regions_x_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(die_w / region_size_nm)));
+  n_regions_y_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(die_h / region_size_nm)));
+
+  gate_region_.resize(netlist_->gates().size());
+  for (std::size_t gi = 0; gi < netlist_->gates().size(); ++gi) {
+    const PlacedInstance& inst = placement.instances()[gi];
+    const auto rx = std::min<std::size_t>(
+        n_regions_x_ - 1,
+        static_cast<std::size_t>(inst.x / region_size_nm));
+    const auto ry = std::min<std::size_t>(
+        n_regions_y_ - 1,
+        static_cast<std::size_t>(static_cast<double>(inst.row) *
+                                 tech.cell_height / region_size_nm));
+    gate_region_[gi] = ry * n_regions_x_ + rx;
+  }
+}
+
+std::vector<std::vector<double>> SpatialGaussianSampler::sample(
+    Rng& rng) const {
+  std::vector<Nm> regional(region_count());
+  for (Nm& r : regional) r = rng.normal(0.0, sigma_regional_);
+
+  const CellLibrary& lib = netlist_->library();
+  std::vector<std::vector<double>> out(netlist_->gates().size());
+  for (std::size_t gi = 0; gi < netlist_->gates().size(); ++gi) {
+    const std::size_t n_arcs =
+        lib.master(netlist_->gates()[gi].cell_index).arcs().size();
+    const Nm region = regional[gate_region_[gi]];
+    out[gi].resize(n_arcs);
+    for (std::size_t ai = 0; ai < n_arcs; ++ai) {
+      const Nm length = l_nom_ + region + rng.normal(0.0, sigma_local_);
+      out[gi][ai] = factor_from_length(length, l_nom_);
+    }
+  }
+  return out;
+}
+
+double timing_yield(const DelayDistribution& distribution,
+                    double clock_period_ps) {
+  SVA_REQUIRE(!distribution.delays_ps.empty());
+  std::size_t ok = 0;
+  for (double d : distribution.delays_ps)
+    if (d <= clock_period_ps) ++ok;
+  return static_cast<double>(ok) /
+         static_cast<double>(distribution.delays_ps.size());
+}
+
+double period_for_yield(const DelayDistribution& distribution,
+                        double yield) {
+  SVA_REQUIRE(yield > 0.0 && yield <= 1.0);
+  return distribution.quantile_ps(yield);
+}
+
+DelayDistribution run_monte_carlo(const Sta& sta,
+                                  const GateLengthSampler& sampler,
+                                  const MonteCarloConfig& config) {
+  SVA_REQUIRE(config.samples > 0);
+  Rng rng(config.seed);
+  DelayDistribution dist;
+  dist.delays_ps.reserve(config.samples);
+  for (std::size_t s = 0; s < config.samples; ++s) {
+    const MatrixScale scale(sampler.sample(rng));
+    dist.delays_ps.push_back(sta.run(scale).critical_delay_ps);
+  }
+  return dist;
+}
+
+}  // namespace sva

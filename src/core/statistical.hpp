@@ -1,0 +1,141 @@
+#pragma once
+// Statistical timing extension (paper Sec. 6, future work).
+//
+// "We also plan to further quantify such pessimism by using statistical
+// timing methodology with more realistic gate length distribution based on
+// iso-dense attributes and proximity spatial information, as opposed to
+// the simplistic Gaussian distribution of gate length variation."
+//
+// Monte-Carlo SSTA over the mapped design with two gate-length models:
+//
+//  * NaiveGaussianSampler -- the "simplistic" model the paper criticizes:
+//    every device's length is Gaussian around the drawn length with the
+//    full CD budget as its 3-sigma range, split into a chip-global
+//    component and an independent local component.
+//
+//  * ContextAwareSampler -- the realistic model: the through-pitch
+//    component is *deterministic* given the placement (the context-
+//    predicted nominal), the through-focus component is a single shared
+//    exposure-level defocus variable acting through each arc's
+//    smile/frown character, and only the residual budget is random.
+//
+// Both produce a critical-delay distribution; comparing their upper
+// quantiles to the corner analyses quantifies the pessimism statistically.
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/context_library.hpp"
+#include "core/budget.hpp"
+#include "core/classify.hpp"
+#include "core/scales.hpp"
+#include "netlist/netlist.hpp"
+#include "place/placement.hpp"
+#include "sta/sta.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sva {
+
+/// Draws one sample of per-arc delay factors.
+class GateLengthSampler {
+ public:
+  virtual ~GateLengthSampler() = default;
+  virtual std::vector<std::vector<double>> sample(Rng& rng) const = 0;
+};
+
+/// The "simplistic Gaussian" model: L = l_nom + global + local, with
+/// 3-sigma(global) + 3-sigma(local) spanning the full CD budget.
+class NaiveGaussianSampler final : public GateLengthSampler {
+ public:
+  /// `global_share` of the budget is chip-correlated, the rest local.
+  NaiveGaussianSampler(const Netlist& netlist, const CdBudget& budget,
+                       Nm l_nom, double global_share = 0.5);
+
+  std::vector<std::vector<double>> sample(Rng& rng) const override;
+
+ private:
+  const Netlist* netlist_;
+  Nm l_nom_;
+  Nm sigma_global_;
+  Nm sigma_local_;
+};
+
+/// The context-aware model: deterministic systematic nominal per arc, one
+/// shared defocus variable acting through the arc class, Gaussian
+/// residual.
+class ContextAwareSampler final : public GateLengthSampler {
+ public:
+  ContextAwareSampler(const Netlist& netlist, const ContextLibrary& context,
+                      const std::vector<VersionKey>& versions,
+                      const CdBudget& budget,
+                      ArcLabelPolicy policy = ArcLabelPolicy::Majority);
+
+  std::vector<std::vector<double>> sample(Rng& rng) const override;
+
+ private:
+  const Netlist* netlist_;
+  Nm l_nom_;
+  Nm lvar_focus_;
+  Nm sigma_residual_;
+  /// Context-predicted nominal length and class per (gate, arc).
+  std::vector<std::vector<ArcAnnotation>> annotations_;
+};
+
+/// Spatially correlated Gaussian model (cf. the paper's discussion of
+/// [15], Orshansky et al.: "spatial variation effects" at intra-chip
+/// scale).  The die is covered by a coarse grid of independent regional
+/// Gaussians; a gate takes its region's value (plus a local residual), so
+/// nearby gates are correlated and distant ones are not.
+class SpatialGaussianSampler final : public GateLengthSampler {
+ public:
+  /// `regional_share` of the budget's 3-sigma is regional; the rest is
+  /// per-device.  `region_size_nm` sets the correlation length.
+  SpatialGaussianSampler(const Placement& placement, const CdBudget& budget,
+                         Nm l_nom, double regional_share = 0.6,
+                         Nm region_size_nm = 25000.0);
+
+  std::vector<std::vector<double>> sample(Rng& rng) const override;
+
+  std::size_t region_count() const { return n_regions_x_ * n_regions_y_; }
+
+ private:
+  const Netlist* netlist_;
+  Nm l_nom_;
+  Nm sigma_regional_;
+  Nm sigma_local_;
+  std::size_t n_regions_x_ = 1;
+  std::size_t n_regions_y_ = 1;
+  std::vector<std::size_t> gate_region_;  ///< per netlist gate
+};
+
+/// Result of a Monte-Carlo run.
+struct DelayDistribution {
+  std::vector<double> delays_ps;  ///< one critical delay per sample
+
+  Summary summary() const { return summarize(delays_ps); }
+  double quantile_ps(double q) const { return quantile(delays_ps, q); }
+};
+
+struct MonteCarloConfig {
+  std::size_t samples = 1000;
+  std::uint64_t seed = 20040607;  ///< DAC 2004 conference date
+};
+
+/// Fraction of samples meeting a clock period: the parametric timing
+/// yield the paper's motivation cites ("Statistical Timing for Parametric
+/// Yield Prediction", [4]).  Pessimistic corner methodologies force the
+/// clock to the WC corner; the distribution shows the yield actually
+/// available at faster clocks.
+double timing_yield(const DelayDistribution& distribution,
+                    double clock_period_ps);
+
+/// Smallest clock period achieving at least `yield` (e.g. 0.999).
+double period_for_yield(const DelayDistribution& distribution, double yield);
+
+/// Run Monte-Carlo SSTA: one STA evaluation per sampled process instance.
+DelayDistribution run_monte_carlo(const Sta& sta,
+                                  const GateLengthSampler& sampler,
+                                  const MonteCarloConfig& config = {});
+
+}  // namespace sva

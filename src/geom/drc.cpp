@@ -1,0 +1,86 @@
+#include "geom/drc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+
+std::string DrcViolation::describe() const {
+  switch (kind) {
+    case DrcViolationKind::Width:
+      return "poly width " + fmt(measured, 1) + " < " + fmt(required, 1) +
+             " at x [" + fmt(a.x_lo, 1) + ", " + fmt(a.x_hi, 1) + "]";
+    case DrcViolationKind::Spacing:
+      return "poly space " + fmt(measured, 1) + " < " + fmt(required, 1) +
+             " between x " + fmt(a.x_hi, 1) + " and x " + fmt(b.x_lo, 1);
+  }
+  return "?";
+}
+
+std::vector<DrcViolation> check_poly(const Layout& layout,
+                                     const DrcRules& rules) {
+  SVA_REQUIRE(rules.min_poly_width > 0.0);
+  SVA_REQUIRE(rules.min_poly_space >= 0.0);
+
+  std::vector<Rect> poly = layout.printable_poly();
+  std::sort(poly.begin(), poly.end(),
+            [](const Rect& a, const Rect& b) { return a.x_lo < b.x_lo; });
+
+  std::vector<DrcViolation> violations;
+  for (const Rect& r : poly) {
+    if (r.width() < rules.min_poly_width - 1e-9) {
+      DrcViolation v;
+      v.kind = DrcViolationKind::Width;
+      v.a = r;
+      v.measured = r.width();
+      v.required = rules.min_poly_width;
+      violations.push_back(v);
+    }
+  }
+  // Pairwise spacing for vertically overlapping features; the x-sorted
+  // sweep bounds the scan window.
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    for (std::size_t j = i + 1; j < poly.size(); ++j) {
+      const Nm dx = poly[j].x_lo - poly[i].x_hi;
+      if (dx >= rules.min_poly_space) break;  // sorted: no closer pairs left
+      if (!poly[i].y_overlaps(poly[j])) continue;
+      if (poly[i].x_overlaps(poly[j])) continue;  // merged/abutting poly
+      if (dx < rules.min_poly_space - 1e-9) {
+        DrcViolation v;
+        v.kind = DrcViolationKind::Spacing;
+        v.a = poly[i];
+        v.b = poly[j];
+        v.measured = dx;
+        v.required = rules.min_poly_space;
+        violations.push_back(v);
+      }
+    }
+  }
+  return violations;
+}
+
+std::vector<DrcViolation> check_boundary(const Layout& layout, Nm cell_width,
+                                         Nm half_space) {
+  SVA_REQUIRE(cell_width > 0.0);
+  SVA_REQUIRE(half_space >= 0.0);
+  std::vector<DrcViolation> violations;
+  for (const Rect& r : layout.printable_poly()) {
+    const Nm left = r.x_lo;
+    const Nm right = cell_width - r.x_hi;
+    const Nm clearance = std::min(left, right);
+    if (clearance < half_space - 1e-9) {
+      DrcViolation v;
+      v.kind = DrcViolationKind::Spacing;
+      v.a = r;
+      v.b = r;
+      v.measured = clearance;
+      v.required = half_space;
+      violations.push_back(v);
+    }
+  }
+  return violations;
+}
+
+}  // namespace sva

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal design-rule checking for the poly layer.
+//
+// The methodology's layouts (cell masters, dummy environments, placed
+// rows) must satisfy the printing-related rules the OPC and CD models
+// assume: minimum poly width, minimum same-layer spacing for features
+// that overlap vertically, and a boundary half-space so abutted cells
+// never bring poly closer than the minimum spacing.  The checker is used
+// by tests to validate the shipped library and placements, and exposed so
+// users adding cells can validate theirs.
+
+#include <string>
+#include <vector>
+
+#include "geom/layout.hpp"
+
+namespace sva {
+
+struct DrcRules {
+  Nm min_poly_width = 60.0;
+  Nm min_poly_space = 140.0;  ///< for vertically overlapping features
+};
+
+enum class DrcViolationKind { Width, Spacing };
+
+struct DrcViolation {
+  DrcViolationKind kind = DrcViolationKind::Width;
+  Rect a;              ///< offending shape
+  Rect b;              ///< second shape (Spacing only)
+  Nm measured = 0.0;
+  Nm required = 0.0;
+
+  std::string describe() const;
+};
+
+/// Check all printable poly (POLY + DUMMY) of a layout.
+std::vector<DrcViolation> check_poly(const Layout& layout,
+                                     const DrcRules& rules = {});
+
+/// Boundary rule for a cell-sized layout of the given width: every poly
+/// feature keeps `half_space` clearance from x = 0 and x = width, so any
+/// abutment yields at least 2 * half_space of poly spacing.
+std::vector<DrcViolation> check_boundary(const Layout& layout, Nm cell_width,
+                                         Nm half_space = 70.0);
+
+}  // namespace sva

@@ -1,0 +1,44 @@
+#include "geom/layout.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+std::string layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::Poly: return "POLY";
+    case Layer::Diffusion: return "DIFF";
+    case Layer::DummyPoly: return "DUMMY";
+  }
+  return "?";
+}
+
+void Layout::merge_translated(const Layout& other, Nm dx, Nm dy) {
+  shapes_.reserve(shapes_.size() + other.shapes_.size());
+  for (const Shape& s : other.shapes_)
+    shapes_.push_back({s.layer, s.rect.translated(dx, dy)});
+}
+
+std::vector<Rect> Layout::on_layer(Layer layer) const {
+  std::vector<Rect> out;
+  for (const Shape& s : shapes_)
+    if (s.layer == layer) out.push_back(s.rect);
+  return out;
+}
+
+std::vector<Rect> Layout::printable_poly() const {
+  std::vector<Rect> out;
+  for (const Shape& s : shapes_)
+    if (s.layer == Layer::Poly || s.layer == Layer::DummyPoly)
+      out.push_back(s.rect);
+  return out;
+}
+
+Rect Layout::bounding_box() const {
+  SVA_REQUIRE_MSG(!shapes_.empty(), "bounding_box of empty layout");
+  Rect bb = shapes_.front().rect;
+  for (const Shape& s : shapes_) bb = bb.united(s.rect);
+  return bb;
+}
+
+}  // namespace sva

@@ -1,0 +1,62 @@
+#pragma once
+// Layout database: a flat collection of rectangles on named layers.
+//
+// The cell layouts in this system use three layers: POLY (gate material,
+// the layer whose printed linewidth the paper's methodology models),
+// DIFFUSION (active area; a poly rect crossing diffusion forms a device),
+// and DUMMY_POLY (non-functional shapes inserted by the library-OPC
+// environment emulation, Fig. 3 of the paper).
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace sva {
+
+enum class Layer { Poly, Diffusion, DummyPoly };
+
+/// Printable layer name ("POLY", "DIFF", "DUMMY").
+std::string layer_name(Layer layer);
+
+struct Shape {
+  Layer layer = Layer::Poly;
+  Rect rect;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// A flat (already instantiated) piece of layout.
+class Layout {
+ public:
+  Layout() = default;
+
+  void add(Layer layer, const Rect& rect) { shapes_.push_back({layer, rect}); }
+  void add(const Shape& shape) { shapes_.push_back(shape); }
+
+  /// Append every shape of `other`, shifted by (dx, dy).  This is how cell
+  /// masters are instantiated into a placed design or into a dummy
+  /// environment.
+  void merge_translated(const Layout& other, Nm dx, Nm dy);
+
+  const std::vector<Shape>& shapes() const { return shapes_; }
+  std::size_t size() const { return shapes_.size(); }
+  bool empty() const { return shapes_.empty(); }
+
+  /// All rectangles on one layer.
+  std::vector<Rect> on_layer(Layer layer) const;
+
+  /// All rectangles that behave as printed poly for lithography purposes:
+  /// functional poly plus dummy poly.
+  std::vector<Rect> printable_poly() const;
+
+  /// Bounding box of all shapes; requires a non-empty layout.
+  Rect bounding_box() const;
+
+  void clear() { shapes_.clear(); }
+
+ private:
+  std::vector<Shape> shapes_;
+};
+
+}  // namespace sva

@@ -1,0 +1,65 @@
+#pragma once
+// Axis-aligned rectangle in layout coordinates (nanometres).
+//
+// All layout geometry in this system is Manhattan, matching standard-cell
+// poly/diffusion shapes.  A Rect is a plain value type (Core Guidelines
+// C.1/C.2: struct with a weak invariant enforced by make()).
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+struct Rect {
+  Nm x_lo = 0.0;
+  Nm y_lo = 0.0;
+  Nm x_hi = 0.0;
+  Nm y_hi = 0.0;
+
+  /// Construct a validated rectangle (lo <= hi on both axes).
+  static Rect make(Nm x_lo, Nm y_lo, Nm x_hi, Nm y_hi) {
+    SVA_REQUIRE(x_lo <= x_hi && y_lo <= y_hi);
+    return Rect{x_lo, y_lo, x_hi, y_hi};
+  }
+
+  Nm width() const { return x_hi - x_lo; }
+  Nm height() const { return y_hi - y_lo; }
+  Nm area() const { return width() * height(); }
+  Nm x_center() const { return 0.5 * (x_lo + x_hi); }
+  Nm y_center() const { return 0.5 * (y_lo + y_hi); }
+
+  Rect translated(Nm dx, Nm dy) const {
+    return Rect{x_lo + dx, y_lo + dy, x_hi + dx, y_hi + dy};
+  }
+
+  /// True if the two rectangles overlap in y (with positive overlap
+  /// length), the criterion used when deciding whether a neighbouring poly
+  /// shape influences a gate's printing.
+  bool y_overlaps(const Rect& other) const {
+    return y_lo < other.y_hi && other.y_lo < y_hi;
+  }
+
+  bool x_overlaps(const Rect& other) const {
+    return x_lo < other.x_hi && other.x_lo < x_hi;
+  }
+
+  bool intersects(const Rect& other) const {
+    return x_overlaps(other) && y_overlaps(other);
+  }
+
+  bool contains(Nm x, Nm y) const {
+    return x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi;
+  }
+
+  /// Smallest rectangle covering both.
+  Rect united(const Rect& other) const {
+    return Rect{x_lo < other.x_lo ? x_lo : other.x_lo,
+                y_lo < other.y_lo ? y_lo : other.y_lo,
+                x_hi > other.x_hi ? x_hi : other.x_hi,
+                y_hi > other.y_hi ? y_hi : other.y_hi};
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace sva

@@ -1,0 +1,90 @@
+#include "geom/spacing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+// Tolerance when deciding whether a rect is the gate itself or lies on the
+// queried side; layout coordinates are integers-in-double so 1e-6 nm is
+// far below any real spacing.
+constexpr Nm kEps = 1e-6;
+
+}  // namespace
+
+SpacingIndex::SpacingIndex(std::vector<Rect> poly_rects)
+    : rects_(std::move(poly_rects)) {
+  std::sort(rects_.begin(), rects_.end(),
+            [](const Rect& a, const Rect& b) { return a.x_lo < b.x_lo; });
+  by_x_hi_.resize(rects_.size());
+  for (std::size_t i = 0; i < rects_.size(); ++i) by_x_hi_[i] = i;
+  std::sort(by_x_hi_.begin(), by_x_hi_.end(), [this](auto a, auto b) {
+    return rects_[a].x_hi < rects_[b].x_hi;
+  });
+}
+
+std::vector<Neighbor> SpacingIndex::collect_side(const Rect& gate,
+                                                 Nm max_distance,
+                                                 bool left) const {
+  SVA_REQUIRE(max_distance >= 0.0);
+  std::vector<Neighbor> found;
+  if (left) {
+    // Candidates: rects with x_hi in [gate.x_lo - max_distance, gate.x_lo].
+    const Nm lo = gate.x_lo - max_distance;
+    // Binary search over by_x_hi_ for the first candidate.
+    auto first = std::lower_bound(
+        by_x_hi_.begin(), by_x_hi_.end(), lo,
+        [this](std::size_t i, Nm v) { return rects_[i].x_hi < v; });
+    for (auto it = first; it != by_x_hi_.end(); ++it) {
+      const Rect& r = rects_[*it];
+      if (r.x_hi > gate.x_lo + kEps) break;
+      if (!r.y_overlaps(gate)) continue;
+      if (r == gate) continue;  // skip the gate itself
+      found.push_back({gate.x_lo - r.x_hi, r.width(), r});
+    }
+  } else {
+    const Nm hi = gate.x_hi + max_distance;
+    auto first = std::lower_bound(
+        rects_.begin(), rects_.end(), gate.x_hi - kEps,
+        [](const Rect& r, Nm v) { return r.x_lo < v; });
+    for (auto it = first; it != rects_.end(); ++it) {
+      if (it->x_lo > hi) break;
+      if (!it->y_overlaps(gate)) continue;
+      if (*it == gate) continue;
+      found.push_back({it->x_lo - gate.x_hi, it->width(), *it});
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.spacing < b.spacing;
+            });
+  return found;
+}
+
+std::optional<Neighbor> SpacingIndex::nearest_left(const Rect& gate,
+                                                   Nm max_distance) const {
+  auto all = collect_side(gate, max_distance, /*left=*/true);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::optional<Neighbor> SpacingIndex::nearest_right(const Rect& gate,
+                                                    Nm max_distance) const {
+  auto all = collect_side(gate, max_distance, /*left=*/false);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::vector<Neighbor> SpacingIndex::neighbors_left(const Rect& gate,
+                                                   Nm max_distance) const {
+  return collect_side(gate, max_distance, /*left=*/true);
+}
+
+std::vector<Neighbor> SpacingIndex::neighbors_right(const Rect& gate,
+                                                    Nm max_distance) const {
+  return collect_side(gate, max_distance, /*left=*/false);
+}
+
+}  // namespace sva

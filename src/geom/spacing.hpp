@@ -1,0 +1,62 @@
+#pragma once
+// Poly-spacing queries.
+//
+// The systematic through-pitch CD model needs, for every gate, the distance
+// from its left/right edge to the nearest neighbouring poly feature that
+// overlaps it vertically (within the stepper's radius of influence).
+// SpacingIndex answers those queries over a flat set of poly rectangles.
+//
+// Gates are vertical poly stripes; only horizontal (x) spacing matters --
+// the paper explicitly ignores vertical neighbours ("negligible impact on
+// gate CD", footnote 2).
+
+#include <optional>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace sva {
+
+/// A neighbouring poly feature found by a spacing query.
+struct Neighbor {
+  Nm spacing = 0.0;   ///< edge-to-edge clear distance (>= 0)
+  Nm width = 0.0;     ///< width of the neighbouring feature
+  Rect rect;          ///< the feature itself
+};
+
+/// Immutable index over a set of (printable) poly rectangles.
+class SpacingIndex {
+ public:
+  explicit SpacingIndex(std::vector<Rect> poly_rects);
+
+  /// Nearest feature strictly to the left of `gate` (its right edge at or
+  /// left of gate.x_lo) that overlaps `gate` in y.  Empty if none exists
+  /// within `max_distance`.
+  std::optional<Neighbor> nearest_left(const Rect& gate,
+                                       Nm max_distance) const;
+
+  /// Mirror image of nearest_left.
+  std::optional<Neighbor> nearest_right(const Rect& gate,
+                                        Nm max_distance) const;
+
+  /// All features overlapping `gate` in y whose clear distance from the
+  /// gate is at most `max_distance`, on either side, nearest first.
+  /// Used to build the local 1-D mask pattern for aerial-image simulation.
+  std::vector<Neighbor> neighbors_left(const Rect& gate,
+                                       Nm max_distance) const;
+  std::vector<Neighbor> neighbors_right(const Rect& gate,
+                                        Nm max_distance) const;
+
+  std::size_t size() const { return rects_.size(); }
+
+ private:
+  // Rects sorted by x_lo; by_x_hi_ holds indices sorted by x_hi for
+  // left-neighbour scans.
+  std::vector<Rect> rects_;
+  std::vector<std::size_t> by_x_hi_;
+
+  std::vector<Neighbor> collect_side(const Rect& gate, Nm max_distance,
+                                     bool left) const;
+};
+
+}  // namespace sva

@@ -1,0 +1,110 @@
+#include "litho/bossung.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+std::vector<BossungCurve> bossung_family(const LithoProcess& process,
+                                         Nm linewidth, Nm pitch,
+                                         const std::vector<Nm>& defocus_axis,
+                                         const std::vector<double>& doses) {
+  SVA_REQUIRE(!defocus_axis.empty());
+  SVA_REQUIRE(!doses.empty());
+  const auto mask = MaskPattern1D::grating(linewidth, pitch);
+  std::vector<BossungCurve> out;
+  out.reserve(doses.size());
+  for (double dose : doses) {
+    BossungCurve curve;
+    curve.pitch = pitch;
+    curve.dose = dose;
+    curve.defocus = defocus_axis;
+    curve.cd.reserve(defocus_axis.size());
+    for (Nm dz : defocus_axis) {
+      const auto cd = process.printed_cd(mask, dz, dose);
+      curve.cd.push_back(cd.value_or(0.0));
+    }
+    out.push_back(std::move(curve));
+  }
+  return out;
+}
+
+Nm FemEntry::cd_at(std::size_t i_defocus, std::size_t i_dose) const {
+  SVA_REQUIRE(i_defocus < defocus_axis.size() && i_dose < dose_axis.size());
+  return cd[i_defocus * dose_axis.size() + i_dose];
+}
+
+Nm FocusExposureMatrix::focus_half_range() const {
+  SVA_REQUIRE(!entries.empty());
+  Nm worst = 0.0;
+  for (const auto& e : entries) {
+    // Locate the best-focus sample.
+    std::size_t i0 = 0;
+    for (std::size_t i = 1; i < e.defocus_axis.size(); ++i)
+      if (std::abs(e.defocus_axis[i]) < std::abs(e.defocus_axis[i0])) i0 = i;
+    for (std::size_t j = 0; j < e.dose_axis.size(); ++j) {
+      const Nm cd0 = e.cd_at(i0, j);
+      if (cd0 <= 0.0) continue;  // failure at best focus: not a usable pitch
+      for (std::size_t i = 0; i < e.defocus_axis.size(); ++i) {
+        const Nm cd = e.cd_at(i, j);
+        if (cd <= 0.0) continue;
+        worst = std::max(worst, std::abs(cd - cd0) / 2.0);
+      }
+    }
+  }
+  return worst;
+}
+
+FocusExposureMatrix build_fem(const LithoProcess& process, Nm linewidth,
+                              const std::vector<Nm>& pitches,
+                              const std::vector<Nm>& defocus_axis,
+                              const std::vector<double>& doses) {
+  SVA_REQUIRE(!pitches.empty());
+  SVA_REQUIRE(!defocus_axis.empty());
+  SVA_REQUIRE(!doses.empty());
+  FocusExposureMatrix fem;
+  fem.entries.reserve(pitches.size());
+  for (Nm pitch : pitches) {
+    FemEntry entry;
+    entry.pitch = pitch;
+    entry.defocus_axis = defocus_axis;
+    entry.dose_axis = doses;
+    entry.cd.reserve(defocus_axis.size() * doses.size());
+    const auto mask = MaskPattern1D::grating(linewidth, pitch);
+    for (Nm dz : defocus_axis)
+      for (double dose : doses) {
+        const auto cd = process.printed_cd(mask, dz, dose);
+        entry.cd.push_back(cd.value_or(0.0));
+      }
+    fem.entries.push_back(std::move(entry));
+  }
+  return fem;
+}
+
+std::vector<Nm> defocus_sweep(Nm range, std::size_t count) {
+  SVA_REQUIRE(range > 0.0);
+  SVA_REQUIRE(count >= 3);
+  std::vector<Nm> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = -range + 2.0 * range * static_cast<double>(i) /
+                          static_cast<double>(count - 1);
+  return out;
+}
+
+double bossung_curvature(const BossungCurve& curve) {
+  SVA_REQUIRE(curve.defocus.size() == curve.cd.size());
+  SVA_REQUIRE(curve.cd.size() >= 3);
+  // Best-focus index.
+  std::size_t i0 = 0;
+  for (std::size_t i = 1; i < curve.defocus.size(); ++i)
+    if (std::abs(curve.defocus[i]) < std::abs(curve.defocus[i0])) i0 = i;
+  const Nm cd0 = curve.cd[i0];
+  SVA_REQUIRE_MSG(cd0 > 0.0, "feature fails to print at best focus");
+  const Nm cd_neg = curve.cd.front();
+  const Nm cd_pos = curve.cd.back();
+  return 0.5 * ((cd_neg - cd0) + (cd_pos - cd0));
+}
+
+}  // namespace sva

@@ -1,0 +1,67 @@
+#pragma once
+// Bossung curves and the Focus-Exposure Matrix (FEM).
+//
+// A Bossung plot (paper Fig. 2) traces printed CD versus defocus for a
+// family of exposure doses.  Dense lines "smile" (CD grows out of focus),
+// isolated lines "frown" (CD shrinks).  The FEM collects CD over a
+// (defocus x dose) grid for a set of pitches; the paper builds it from
+// fabricated test structures and uses it to quantify +-lvar_focus, the
+// through-focus share of the CD budget (Sec. 3.3).
+
+#include <vector>
+
+#include "litho/cd_model.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+/// CD vs defocus at one (pitch, dose).
+struct BossungCurve {
+  Nm pitch = 0.0;
+  double dose = 1.0;
+  std::vector<Nm> defocus;  ///< sample axis
+  std::vector<Nm> cd;       ///< printed CD at each defocus (0 = failure)
+};
+
+/// Sweep defocus for each dose at a fixed (linewidth, pitch).
+std::vector<BossungCurve> bossung_family(const LithoProcess& process,
+                                         Nm linewidth, Nm pitch,
+                                         const std::vector<Nm>& defocus_axis,
+                                         const std::vector<double>& doses);
+
+/// Focus-exposure matrix for one pitch.
+struct FemEntry {
+  Nm pitch = 0.0;
+  std::vector<Nm> defocus_axis;
+  std::vector<double> dose_axis;
+  /// Row-major CD grid: cd[i_defocus * dose_axis.size() + i_dose].
+  std::vector<Nm> cd;
+
+  Nm cd_at(std::size_t i_defocus, std::size_t i_dose) const;
+};
+
+struct FocusExposureMatrix {
+  std::vector<FemEntry> entries;  ///< one per pitch
+
+  /// Maximum over pitches and doses of |CD(defocus) - CD(0)| / 2, i.e. the
+  /// half-range of the through-focus CD excursion: the measured lvar_focus.
+  Nm focus_half_range() const;
+};
+
+/// Build the FEM by simulation (stands in for the paper's fabricated test
+/// structures; see DESIGN.md substitution table).
+FocusExposureMatrix build_fem(const LithoProcess& process, Nm linewidth,
+                              const std::vector<Nm>& pitches,
+                              const std::vector<Nm>& defocus_axis,
+                              const std::vector<double>& doses);
+
+/// Evenly spaced defocus axis -range..+range inclusive (odd count keeps a
+/// sample exactly at best focus).
+std::vector<Nm> defocus_sweep(Nm range, std::size_t count);
+
+/// Bossung curvature sign of a curve: positive = smile (dense-like),
+/// negative = frown (iso-like).  Computed as CD(extreme defocus) - CD(0)
+/// averaged over both focus extremes; requires a defocus axis containing 0.
+double bossung_curvature(const BossungCurve& curve);
+
+}  // namespace sva

@@ -1,0 +1,128 @@
+#include "litho/cd_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+LithoProcess::LithoProcess(const OpticsConfig& optics, Nm anchor_linewidth,
+                           Nm anchor_pitch)
+    : simulator_(optics),
+      resist_(ThresholdResist::calibrate(
+          simulator_, MaskPattern1D::grating(anchor_linewidth, anchor_pitch),
+          anchor_linewidth)) {}
+
+LithoProcess::LithoProcess(const OpticsConfig& optics, double threshold)
+    : simulator_(optics), resist_(threshold) {}
+
+std::optional<Nm> LithoProcess::printed_cd(const MaskPattern1D& mask,
+                                           Nm defocus, double dose) const {
+  const ImageProfile img = simulator_.image(mask, defocus);
+  return resist_.printed_cd(img, mask.period() / 2.0, dose);
+}
+
+std::optional<Nm> LithoProcess::printed_cd_in_context(
+    Nm center_width, const std::vector<std::pair<Nm, Nm>>& left_neighbors,
+    const std::vector<std::pair<Nm, Nm>>& right_neighbors, Nm defocus,
+    double dose) const {
+  const auto mask = MaskPattern1D::local_context(
+      center_width, left_neighbors, right_neighbors, kSupercellPeriod);
+  return printed_cd(mask, defocus, dose);
+}
+
+SimulatedCdModel::SimulatedCdModel(const LithoProcess& process,
+                                   Nm radius_of_influence)
+    : process_(&process), roi_(radius_of_influence) {
+  SVA_REQUIRE(radius_of_influence > 0.0);
+}
+
+Nm SimulatedCdModel::printed_cd(Nm drawn_width, Nm s_left, Nm s_right,
+                                Nm defocus, double dose) const {
+  SVA_REQUIRE(drawn_width > 0.0);
+  SVA_REQUIRE(s_left > 0.0 && s_right > 0.0);
+  // Beyond the radius of influence a neighbour is equivalent to one parked
+  // exactly at the ROI (the paper bins every larger spacing with 600 nm).
+  const Nm sl = std::min(s_left, roi_);
+  const Nm sr = std::min(s_right, roi_);
+  std::vector<std::pair<Nm, Nm>> left{{sl, drawn_width}};
+  std::vector<std::pair<Nm, Nm>> right{{sr, drawn_width}};
+  const auto cd =
+      process_->printed_cd_in_context(drawn_width, left, right, defocus, dose);
+  // A print failure (vanishing feature) is reported as CD 0; callers that
+  // must distinguish use LithoProcess directly.
+  return cd.value_or(0.0);
+}
+
+TableCdModel::TableCdModel(Nm table_linewidth, LookupTable1D spacing_to_cd,
+                           Nm radius_of_influence)
+    : table_linewidth_(table_linewidth),
+      spacing_to_cd_(std::move(spacing_to_cd)),
+      roi_(radius_of_influence) {
+  SVA_REQUIRE(table_linewidth > 0.0);
+  SVA_REQUIRE(radius_of_influence > 0.0);
+  SVA_REQUIRE(spacing_to_cd_.size() >= 2);
+}
+
+Nm TableCdModel::printed_cd(Nm drawn_width, Nm s_left, Nm s_right, Nm defocus,
+                            double dose) const {
+  SVA_REQUIRE(drawn_width > 0.0);
+  (void)defocus;  // the table is characterized at best focus
+  (void)dose;     // and nominal dose, exactly as in the paper (Sec. 3.1.1)
+  const Nm sl = std::min(s_left, roi_);
+  const Nm sr = std::min(s_right, roi_);
+  const Nm delta_l = spacing_to_cd_.at(sl) - table_linewidth_;
+  const Nm delta_r = spacing_to_cd_.at(sr) - table_linewidth_;
+  // Each side contributes half of the symmetric-grating bias; scale the
+  // absolute bias with the drawn width ratio so the table (characterized
+  // at one linewidth) generalizes to nearby widths.
+  const double scale = drawn_width / table_linewidth_;
+  return drawn_width + scale * 0.5 * (delta_l + delta_r);
+}
+
+EmpiricalCdModel::EmpiricalCdModel(const EmpiricalCdParams& params)
+    : params_(params) {
+  SVA_REQUIRE(params.dense_spacing > 0.0);
+  SVA_REQUIRE(params.iso_spacing > params.dense_spacing);
+  SVA_REQUIRE(params.focus_scale > 0.0);
+  SVA_REQUIRE(params.pitch_bias >= 0.0 && params.pitch_bias < 1.0);
+  SVA_REQUIRE(params.focus_gain >= 0.0 && params.focus_gain < 1.0);
+}
+
+double EmpiricalCdModel::side_character(Nm spacing) const {
+  // Smoothstep from +1 (dense) at dense_spacing to -1 (iso) at iso_spacing.
+  const double t = std::clamp(
+      (spacing - params_.dense_spacing) /
+          (params_.iso_spacing - params_.dense_spacing),
+      0.0, 1.0);
+  const double smooth = t * t * (3.0 - 2.0 * t);
+  return 1.0 - 2.0 * smooth;
+}
+
+Nm EmpiricalCdModel::printed_cd(Nm drawn_width, Nm s_left, Nm s_right,
+                                Nm defocus, double dose) const {
+  SVA_REQUIRE(drawn_width > 0.0);
+  SVA_REQUIRE(dose > 0.0);
+  const double char_l = side_character(s_left);
+  const double char_r = side_character(s_right);
+  const double character = 0.5 * (char_l + char_r);  // +1 dense .. -1 iso
+
+  // Through-pitch: isolated sides print thinner by pitch_bias (paper: CD
+  // systematically decreases as pitch grows, ~10% over 300..600 nm).
+  // Each side contributes its "iso fraction" (0 when dense, 1 when iso).
+  const double iso_fraction = 0.5 * ((1.0 - char_l) / 2.0 +
+                                     (1.0 - char_r) / 2.0);
+  const double pitch_term = -params_.pitch_bias * iso_fraction;
+
+  // Through-focus: quadratic Bossung; dense smiles (+), iso frowns (-).
+  const double f = defocus / params_.focus_scale;
+  const double focus_term = params_.focus_gain * character * f * f;
+
+  // Dose: higher dose clears more resist -> thinner dark line.
+  const double dose_term = -params_.dose_slope * (dose - 1.0);
+
+  return drawn_width * (1.0 + pitch_term + focus_term + dose_term);
+}
+
+}  // namespace sva

@@ -1,0 +1,159 @@
+#pragma once
+// Printed-CD models.
+//
+// LithoProcess bundles the aerial-image simulator with a calibrated
+// threshold resist and the supercell embedding convention, exposing
+// "printed CD of a line in a given 1-D context" as one call.
+//
+// On top of it sit three CdModel implementations used by different parts
+// of the methodology:
+//
+//  * SimulatedCdModel  -- full simulation (what the paper calls
+//    "lithography simulations ... to predict the printed shape").  Used by
+//    OPC and full-chip CD extraction.
+//  * TableCdModel      -- the paper's pitch->CD lookup table ("we construct
+//    a look-up table which matches pitch to printed CD"), built post-OPC
+//    and used for cell-boundary devices during in-context timing.
+//  * EmpiricalCdModel  -- closed-form iso-dense bias + Bossung focus term +
+//    dose slope.  Fast path for statistical sweeps and the ablation
+//    benches; its defaults encode the magnitudes the paper quotes (~10%
+//    through-pitch, smile/frown through focus).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "litho/aerial.hpp"
+#include "litho/mask1d.hpp"
+#include "litho/optics.hpp"
+#include "litho/resist.hpp"
+#include "util/interp.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+/// Simulator + calibrated resist + embedding conventions.
+class LithoProcess {
+ public:
+  /// Calibrates the resist threshold so a dense grating of
+  /// (anchor_linewidth, anchor_pitch) prints at its drawn CD at best
+  /// focus / nominal dose.
+  LithoProcess(const OpticsConfig& optics, Nm anchor_linewidth,
+               Nm anchor_pitch);
+
+  /// Explicit process dose point: the resist threshold is fixed and mask
+  /// sizing is left to OPC.  Choosing the threshold slightly above the
+  /// dense-pattern isofocal intensity reproduces the smile/frown Bossung
+  /// asymmetry of Fig. 2 (a threshold below it makes every pitch frown).
+  LithoProcess(const OpticsConfig& optics, double threshold);
+
+  /// Printed CD of the centre line of `mask`; nullopt if it fails to print.
+  std::optional<Nm> printed_cd(const MaskPattern1D& mask, Nm defocus = 0.0,
+                               double dose = 1.0) const;
+
+  /// Printed CD of a line of (mask) width `center_width` with the given
+  /// neighbours, embedded in the standard supercell.
+  std::optional<Nm> printed_cd_in_context(
+      Nm center_width,
+      const std::vector<std::pair<Nm, Nm>>& left_neighbors,
+      const std::vector<std::pair<Nm, Nm>>& right_neighbors,
+      Nm defocus = 0.0, double dose = 1.0) const;
+
+  /// Supercell period used to embed local contexts; large enough that
+  /// periodic replicas sit beyond the radius of influence of the centre
+  /// line and of every neighbour within it.
+  static constexpr Nm kSupercellPeriod = 3000.0;
+
+  const AerialImageSimulator& simulator() const { return simulator_; }
+  const ThresholdResist& resist() const { return resist_; }
+  const OpticsConfig& optics() const { return simulator_.optics(); }
+
+ private:
+  AerialImageSimulator simulator_;
+  ThresholdResist resist_;
+};
+
+/// Abstract printed-CD model: a gate of drawn width w whose clear spacing
+/// to the nearest poly on the left/right is s_left/s_right.
+class CdModel {
+ public:
+  virtual ~CdModel() = default;
+
+  /// Printed gate length.  Spacings beyond the radius of influence are to
+  /// be clamped by the implementation; defocus in nm; dose relative to
+  /// nominal (1.0).
+  virtual Nm printed_cd(Nm drawn_width, Nm s_left, Nm s_right, Nm defocus,
+                        double dose) const = 0;
+
+  Nm printed_cd_nominal(Nm drawn_width, Nm s_left, Nm s_right) const {
+    return printed_cd(drawn_width, s_left, s_right, 0.0, 1.0);
+  }
+};
+
+/// Full-simulation CD model.  Neighbours are modeled as single lines of
+/// the same drawn width at the queried spacings (the dominant first-order
+/// context; second-order neighbours are already beyond most of the
+/// proximity kernel for the spacings of interest).
+class SimulatedCdModel final : public CdModel {
+ public:
+  /// `process` must outlive the model.
+  SimulatedCdModel(const LithoProcess& process, Nm radius_of_influence);
+
+  Nm printed_cd(Nm drawn_width, Nm s_left, Nm s_right, Nm defocus,
+                double dose) const override;
+
+ private:
+  const LithoProcess* process_;
+  Nm roi_;
+};
+
+/// Pitch -> CD lookup (built from post-OPC measurements of symmetric
+/// test gratings).  Asymmetric contexts combine the two sides' half
+/// contributions: CD(s_l, s_r) = w + (delta(s_l) + delta(s_r)) / 2 where
+/// delta(s) = table(w + 2s ... ) - w for the symmetric spacing s.
+class TableCdModel final : public CdModel {
+ public:
+  /// `spacing_to_cd`: CD of the test line as a function of one-sided
+  /// spacing s (symmetric grating with pitch = linewidth + s).
+  TableCdModel(Nm table_linewidth, LookupTable1D spacing_to_cd,
+               Nm radius_of_influence);
+
+  Nm printed_cd(Nm drawn_width, Nm s_left, Nm s_right, Nm defocus,
+                double dose) const override;
+
+  const LookupTable1D& table() const { return spacing_to_cd_; }
+
+ private:
+  Nm table_linewidth_;
+  LookupTable1D spacing_to_cd_;
+  Nm roi_;
+};
+
+/// Closed-form model of the two systematic components plus dose slope.
+struct EmpiricalCdParams {
+  Nm dense_spacing = 150.0;   ///< spacing at/below which a side is "dense"
+  Nm iso_spacing = 600.0;     ///< spacing at/above which a side is "iso"
+  double pitch_bias = 0.10;   ///< fractional CD drop dense -> iso (paper ~10%)
+  double focus_gain = 0.06;   ///< fractional |CD shift| at full defocus
+  Nm focus_scale = 300.0;     ///< defocus (nm) at which focus_gain applies
+  double dose_slope = 0.25;   ///< fractional CD change per unit dose error
+};
+
+class EmpiricalCdModel final : public CdModel {
+ public:
+  explicit EmpiricalCdModel(const EmpiricalCdParams& params);
+
+  Nm printed_cd(Nm drawn_width, Nm s_left, Nm s_right, Nm defocus,
+                double dose) const override;
+
+  const EmpiricalCdParams& params() const { return params_; }
+
+  /// Smooth dense(+1) .. iso(-1) character of one side's spacing; used both
+  /// here and by tests.
+  double side_character(Nm spacing) const;
+
+ private:
+  EmpiricalCdParams params_;
+};
+
+}  // namespace sva

@@ -1,0 +1,64 @@
+#include "litho/focus_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+FocusResponse::FocusResponse(const FocusResponseParams& params)
+    : params_(params) {
+  SVA_REQUIRE(params.dense_spacing > 0.0);
+  SVA_REQUIRE(params.iso_spacing > params.dense_spacing);
+  SVA_REQUIRE(params.focus_scale > 0.0);
+  SVA_REQUIRE(params.smile_gain >= 0.0);
+  SVA_REQUIRE(params.frown_gain >= 0.0);
+}
+
+double FocusResponse::side_character(Nm spacing) const {
+  const double t = std::clamp((spacing - params_.dense_spacing) /
+                                  (params_.iso_spacing - params_.dense_spacing),
+                              0.0, 1.0);
+  const double smooth = t * t * (3.0 - 2.0 * t);
+  return 1.0 - 2.0 * smooth;
+}
+
+double FocusResponse::line_character(Nm s_left, Nm s_right) const {
+  return 0.5 * (side_character(s_left) + side_character(s_right));
+}
+
+Nm FocusResponse::delta_cd(Nm cd_nominal, Nm s_left, Nm s_right, Nm defocus,
+                           double dose) const {
+  SVA_REQUIRE(cd_nominal > 0.0);
+  SVA_REQUIRE(dose > 0.0);
+  const double character = line_character(s_left, s_right);
+  const double f2 = (defocus / params_.focus_scale) *
+                    (defocus / params_.focus_scale);
+  // Interpolate the quadratic gain between the smile (+, dense) and frown
+  // (-, iso) amplitudes through the character.
+  const double dense_mix = (character + 1.0) / 2.0;  // 1 dense .. 0 iso
+  const double gain = dense_mix * params_.smile_gain -
+                      (1.0 - dense_mix) * params_.frown_gain;
+  const double focus_term = gain * f2;
+  const double dose_term = -params_.dose_slope * (dose - 1.0);
+  return cd_nominal * (focus_term + dose_term);
+}
+
+PrintModel::PrintModel(const LithoProcess& process,
+                       const FocusResponseParams& params,
+                       Nm radius_of_influence)
+    : nominal_(process, radius_of_influence),
+      response_(params),
+      roi_(radius_of_influence) {}
+
+Nm PrintModel::printed_cd(Nm drawn_width, Nm s_left, Nm s_right, Nm defocus,
+                          double dose) const {
+  const Nm sl = std::min(s_left, roi_);
+  const Nm sr = std::min(s_right, roi_);
+  const Nm nominal = nominal_.printed_cd(drawn_width, sl, sr, 0.0, 1.0);
+  if (nominal <= 0.0) return 0.0;  // print failure at best focus
+  return nominal + response_.delta_cd(nominal, sl, sr, defocus, dose);
+}
+
+}  // namespace sva

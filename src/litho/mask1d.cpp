@@ -1,0 +1,126 @@
+#include "litho/mask1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+constexpr Nm kGeomEps = 1e-9;
+}
+
+MaskPattern1D::MaskPattern1D(Nm period, std::vector<MaskSegment> segments)
+    : period_(period), segments_(std::move(segments)) {
+  SVA_REQUIRE(period_ > 0.0);
+  std::sort(segments_.begin(), segments_.end(),
+            [](const MaskSegment& a, const MaskSegment& b) {
+              return a.x_lo < b.x_lo;
+            });
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const auto& s = segments_[i];
+    SVA_REQUIRE_MSG(s.x_hi > s.x_lo, "segment must have positive width");
+    SVA_REQUIRE_MSG(s.x_lo >= -kGeomEps && s.x_hi <= period_ + kGeomEps,
+                    "segment must lie within one period");
+    if (i > 0)
+      SVA_REQUIRE_MSG(s.x_lo >= segments_[i - 1].x_hi - kGeomEps,
+                      "segments must not overlap");
+  }
+}
+
+std::complex<double> MaskPattern1D::fourier_coefficient(int n) const {
+  // t(x) = 1 + sum_k (t_k - 1) * indicator(S_k); the clear background
+  // contributes only to c_0.
+  if (n == 0) {
+    std::complex<double> c = 1.0;
+    for (const auto& s : segments_)
+      c += (s.transmission - 1.0) * (s.width() / period_);
+    return c;
+  }
+  const double omega = 2.0 * std::numbers::pi * n / period_;
+  std::complex<double> c = 0.0;
+  const std::complex<double> i_omega(0.0, omega);
+  for (const auto& s : segments_) {
+    // (1/p) * integral_a^b exp(-i omega x) dx
+    const std::complex<double> seg =
+        (std::exp(-i_omega * s.x_lo) - std::exp(-i_omega * s.x_hi)) /
+        (i_omega * period_);
+    c += (s.transmission - 1.0) * seg;
+  }
+  return c;
+}
+
+std::complex<double> MaskPattern1D::transmission_at(Nm x) const {
+  double xm = std::fmod(x, period_);
+  if (xm < 0.0) xm += period_;
+  for (const auto& s : segments_)
+    if (xm >= s.x_lo && xm < s.x_hi) return s.transmission;
+  return 1.0;
+}
+
+double MaskPattern1D::clear_fraction() const {
+  Nm covered = 0.0;
+  for (const auto& s : segments_) covered += s.width();
+  return 1.0 - covered / period_;
+}
+
+MaskPattern1D MaskPattern1D::grating(Nm linewidth, Nm pitch) {
+  SVA_REQUIRE(linewidth > 0.0);
+  SVA_REQUIRE_MSG(pitch > linewidth, "pitch must exceed linewidth");
+  const Nm c = pitch / 2.0;
+  return MaskPattern1D(pitch, {{c - linewidth / 2.0, c + linewidth / 2.0}});
+}
+
+MaskPattern1D MaskPattern1D::local_context(
+    Nm center_width, const std::vector<std::pair<Nm, Nm>>& left_neighbors,
+    const std::vector<std::pair<Nm, Nm>>& right_neighbors, Nm period) {
+  SVA_REQUIRE(center_width > 0.0);
+  SVA_REQUIRE(period > center_width);
+  const Nm c = period / 2.0;
+  std::vector<MaskSegment> segs;
+  segs.push_back({c - center_width / 2.0, c + center_width / 2.0});
+
+  Nm edge = c - center_width / 2.0;
+  for (const auto& [spacing, width] : left_neighbors) {
+    SVA_REQUIRE(spacing > 0.0 && width > 0.0);
+    const Nm hi = edge - spacing;
+    const Nm lo = hi - width;
+    SVA_REQUIRE_MSG(lo > 0.0, "left neighbours exceed supercell period");
+    segs.push_back({lo, hi});
+    edge = lo;
+  }
+  edge = c + center_width / 2.0;
+  for (const auto& [spacing, width] : right_neighbors) {
+    SVA_REQUIRE(spacing > 0.0 && width > 0.0);
+    const Nm lo = edge + spacing;
+    const Nm hi = lo + width;
+    SVA_REQUIRE_MSG(hi < period, "right neighbours exceed supercell period");
+    segs.push_back({lo, hi});
+    edge = hi;
+  }
+  return MaskPattern1D(period, std::move(segs));
+}
+
+MaskPattern1D MaskPattern1D::with_transmission(
+    std::complex<double> transmission) const {
+  std::vector<MaskSegment> segs = segments_;
+  for (MaskSegment& s : segs) s.transmission = transmission;
+  return MaskPattern1D(period_, std::move(segs));
+}
+
+std::complex<double> MaskPattern1D::attenuated_psm_transmission(
+    double intensity_transmittance) {
+  SVA_REQUIRE(intensity_transmittance >= 0.0 &&
+              intensity_transmittance < 1.0);
+  return std::polar(std::sqrt(intensity_transmittance), std::numbers::pi);
+}
+
+std::size_t MaskPattern1D::center_segment_index() const {
+  const Nm c = period_ / 2.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i)
+    if (segments_[i].x_lo <= c && c <= segments_[i].x_hi) return i;
+  throw PreconditionError("no segment covers the pattern centre");
+}
+
+}  // namespace sva

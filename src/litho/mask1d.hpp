@@ -1,0 +1,88 @@
+#pragma once
+// One-dimensional periodic mask patterns.
+//
+// Poly gates are long vertical stripes, so their printing is governed by
+// the one-dimensional cross-section of the mask: opaque line segments on a
+// clear background, repeated with some period.  Arbitrary local contexts
+// (a gate plus its neighbours within the radius of influence) are embedded
+// in a large "supercell" period so that periodic replicas are too far away
+// to matter.
+//
+// Segments carry a complex transmission (0 for chrome on a binary mask;
+// e.g. sqrt(0.06)*exp(i*pi) for 6% attenuated PSM, supported as a process
+// extension).
+
+#include <complex>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace sva {
+
+/// An opaque (or semi-transparent) segment of the mask cross-section.
+struct MaskSegment {
+  Nm x_lo = 0.0;
+  Nm x_hi = 0.0;
+  std::complex<double> transmission = 0.0;
+
+  Nm width() const { return x_hi - x_lo; }
+};
+
+/// Periodic 1-D mask: clear background (transmission 1) with segments.
+class MaskPattern1D {
+ public:
+  /// Construct with validation: positive period, segments sorted,
+  /// non-overlapping, and inside [0, period].
+  MaskPattern1D(Nm period, std::vector<MaskSegment> segments);
+
+  Nm period() const { return period_; }
+  const std::vector<MaskSegment>& segments() const { return segments_; }
+
+  /// Complex Fourier coefficient c_n of the transmission function:
+  /// t(x) = sum_n c_n exp(i 2 pi n x / period).
+  std::complex<double> fourier_coefficient(int n) const;
+
+  /// Mask transmission at a point (for tests / plotting).
+  std::complex<double> transmission_at(Nm x) const;
+
+  /// Fraction of the period that is clear (|t| == 1).
+  double clear_fraction() const;
+
+  // ---- Constructors for the patterns the experiments need ----
+
+  /// Equal-width lines on the given pitch: one line of width `linewidth`
+  /// centred in each period.  This is the paper's test-structure layout
+  /// ("parallel poly lines with fixed width ... varying spacing").
+  static MaskPattern1D grating(Nm linewidth, Nm pitch);
+
+  /// A line of width `center_width` centred at period/2, with neighbour
+  /// lines given as (edge-to-edge clear spacing from the centre line,
+  /// width) on the left and right, embedded in `period`.  Neighbour lists
+  /// are ordered nearest-first.
+  static MaskPattern1D local_context(Nm center_width,
+                                     const std::vector<std::pair<Nm, Nm>>&
+                                         left_neighbors,
+                                     const std::vector<std::pair<Nm, Nm>>&
+                                         right_neighbors,
+                                     Nm period);
+
+  /// Index of the segment covering period/2 (the centre line in patterns
+  /// built by local_context / grating).
+  std::size_t center_segment_index() const;
+
+  /// Copy of this pattern with every segment's transmission replaced --
+  /// e.g. with_transmission(attenuated_psm_transmission()) turns a binary
+  /// mask into a 6% attenuated phase-shift mask.
+  MaskPattern1D with_transmission(std::complex<double> transmission) const;
+
+  /// Complex transmission of an attenuated PSM absorber: sqrt(T) with a
+  /// 180-degree phase shift (default T = 6%).
+  static std::complex<double> attenuated_psm_transmission(
+      double intensity_transmittance = 0.06);
+
+ private:
+  Nm period_ = 0.0;
+  std::vector<MaskSegment> segments_;
+};
+
+}  // namespace sva

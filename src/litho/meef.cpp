@@ -1,0 +1,36 @@
+#include "litho/meef.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+double meef_at_pitch(const LithoProcess& process, Nm linewidth, Nm pitch,
+                     Nm delta, Nm defocus) {
+  SVA_REQUIRE(linewidth > 0.0);
+  SVA_REQUIRE(delta > 0.0 && delta < linewidth / 2.0);
+  SVA_REQUIRE(pitch > linewidth + 2.0 * delta);
+
+  const auto narrow =
+      process.printed_cd(MaskPattern1D::grating(linewidth - delta, pitch),
+                         defocus);
+  const auto wide =
+      process.printed_cd(MaskPattern1D::grating(linewidth + delta, pitch),
+                         defocus);
+  if (!narrow || !wide) return 0.0;
+  return (*wide - *narrow) / (2.0 * delta);
+}
+
+std::vector<MeefPoint> meef_through_pitch(const LithoProcess& process,
+                                          Nm linewidth,
+                                          const std::vector<Nm>& pitches,
+                                          Nm delta, Nm defocus) {
+  SVA_REQUIRE(!pitches.empty());
+  std::vector<MeefPoint> out;
+  out.reserve(pitches.size());
+  for (Nm pitch : pitches)
+    out.push_back(
+        {pitch, meef_at_pitch(process, linewidth, pitch, delta, defocus)});
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,35 @@
+#pragma once
+// Mask Error Enhancement Factor (MEEF).
+//
+// MEEF = d(printed CD) / d(mask CD): how strongly mask-making errors --
+// one of the ACLV sources the paper lists in Sec. 2 ("mask variation") --
+// are amplified into wafer CD errors.  MEEF grows as features approach
+// the resolution limit and differs through pitch, which is why mask
+// variation contributes a pitch-dependent (partly systematic) share of
+// the CD budget.
+
+#include <vector>
+
+#include "litho/cd_model.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+/// MEEF of a grating at one pitch, by central finite difference on the
+/// mask linewidth (all dimensions wafer-scale, as in this codebase).
+/// Returns 0 if either perturbed feature fails to print.
+double meef_at_pitch(const LithoProcess& process, Nm linewidth, Nm pitch,
+                     Nm delta = 2.0, Nm defocus = 0.0);
+
+struct MeefPoint {
+  Nm pitch = 0.0;
+  double meef = 0.0;
+};
+
+/// MEEF across a pitch sweep.
+std::vector<MeefPoint> meef_through_pitch(const LithoProcess& process,
+                                          Nm linewidth,
+                                          const std::vector<Nm>& pitches,
+                                          Nm delta = 2.0, Nm defocus = 0.0);
+
+}  // namespace sva

@@ -1,0 +1,61 @@
+#include "litho/pitch_curve.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+std::vector<PitchCdPoint> through_pitch_curve(const LithoProcess& process,
+                                              Nm linewidth,
+                                              const std::vector<Nm>& pitches,
+                                              Nm defocus, double dose) {
+  SVA_REQUIRE(linewidth > 0.0);
+  SVA_REQUIRE(!pitches.empty());
+  std::vector<PitchCdPoint> out;
+  out.reserve(pitches.size());
+  for (Nm pitch : pitches) {
+    SVA_REQUIRE_MSG(pitch > linewidth, "pitch must exceed linewidth");
+    const auto mask = MaskPattern1D::grating(linewidth, pitch);
+    const auto cd = process.printed_cd(mask, defocus, dose);
+    out.push_back({pitch, cd.value_or(0.0)});
+  }
+  return out;
+}
+
+std::vector<Nm> pitch_sweep(Nm pitch_lo, Nm pitch_hi, std::size_t count) {
+  SVA_REQUIRE(count >= 2);
+  SVA_REQUIRE(pitch_hi > pitch_lo && pitch_lo > 0.0);
+  std::vector<Nm> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = pitch_lo + (pitch_hi - pitch_lo) * static_cast<double>(i) /
+                            static_cast<double>(count - 1);
+  return out;
+}
+
+LookupTable1D spacing_cd_table(const std::vector<PitchCdPoint>& curve,
+                               Nm linewidth) {
+  SVA_REQUIRE(curve.size() >= 2);
+  std::vector<double> spacing;
+  std::vector<double> cd;
+  for (const auto& p : curve) {
+    SVA_REQUIRE_MSG(p.cd > 0.0,
+                    "print failure in pitch curve; cannot build table");
+    spacing.push_back(p.pitch - linewidth);
+    cd.push_back(p.cd);
+  }
+  return LookupTable1D(std::move(spacing), std::move(cd));
+}
+
+Nm pitch_cd_half_range(const std::vector<PitchCdPoint>& curve) {
+  SVA_REQUIRE(!curve.empty());
+  Nm lo = curve.front().cd;
+  Nm hi = curve.front().cd;
+  for (const auto& p : curve) {
+    lo = std::min(lo, p.cd);
+    hi = std::max(hi, p.cd);
+  }
+  return (hi - lo) / 2.0;
+}
+
+}  // namespace sva

@@ -1,0 +1,42 @@
+#pragma once
+// Through-pitch CD curves (paper Fig. 1 and the Sec. 3.3 test layouts).
+//
+// A through-pitch curve measures the printed CD of a fixed-width line in a
+// symmetric grating as the pitch sweeps from dense to isolated.  The
+// uncorrected curve is Fig. 1; the post-OPC curve (built by the opc module)
+// feeds the pitch->CD lookup table used for cell-boundary devices.
+
+#include <vector>
+
+#include "litho/cd_model.hpp"
+#include "util/interp.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+struct PitchCdPoint {
+  Nm pitch = 0.0;
+  Nm cd = 0.0;  ///< printed CD (0 on print failure)
+};
+
+/// Printed CD of (uncorrected) gratings at each pitch.
+std::vector<PitchCdPoint> through_pitch_curve(const LithoProcess& process,
+                                              Nm linewidth,
+                                              const std::vector<Nm>& pitches,
+                                              Nm defocus = 0.0,
+                                              double dose = 1.0);
+
+/// Evenly spaced pitch sweep from `pitch_lo` to `pitch_hi` inclusive.
+std::vector<Nm> pitch_sweep(Nm pitch_lo, Nm pitch_hi, std::size_t count);
+
+/// Convert a curve into a one-sided-spacing -> CD lookup table
+/// (spacing = pitch - linewidth).  Points with CD == 0 (print failures)
+/// are rejected with an exception: the table must be usable everywhere.
+LookupTable1D spacing_cd_table(const std::vector<PitchCdPoint>& curve,
+                               Nm linewidth);
+
+/// Total half-range of CD over the curve: (max - min) / 2.  This is the
+/// paper's +-lvar_pitch measured from the test layouts.
+Nm pitch_cd_half_range(const std::vector<PitchCdPoint>& curve);
+
+}  // namespace sva

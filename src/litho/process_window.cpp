@@ -1,0 +1,90 @@
+#include "litho/process_window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// Index of the axis sample closest to `value`.
+template <typename Axis>
+std::size_t nearest_index(const Axis& axis, double value) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    if (std::abs(axis[i] - value) < std::abs(axis[best] - value)) best = i;
+  return best;
+}
+
+}  // namespace
+
+ProcessWindow compute_process_window(const FemEntry& entry, Nm target_cd,
+                                     double tolerance) {
+  SVA_REQUIRE(target_cd > 0.0);
+  SVA_REQUIRE(tolerance > 0.0 && tolerance < 1.0);
+  SVA_REQUIRE(!entry.defocus_axis.empty() && !entry.dose_axis.empty());
+
+  ProcessWindow window;
+  window.target_cd = target_cd;
+  window.tolerance = tolerance;
+
+  auto in_spec = [&](std::size_t i_dz, std::size_t i_dose) {
+    const Nm cd = entry.cd_at(i_dz, i_dose);
+    return cd > 0.0 && std::abs(cd - target_cd) <= tolerance * target_cd;
+  };
+
+  const std::size_t i_focus = nearest_index(entry.defocus_axis, 0.0);
+  const std::size_t i_dose = nearest_index(entry.dose_axis, 1.0);
+
+  // DOF: widest contiguous defocus span containing best focus, in spec at
+  // nominal dose.
+  if (in_spec(i_focus, i_dose)) {
+    std::size_t lo = i_focus;
+    while (lo > 0 && in_spec(lo - 1, i_dose)) --lo;
+    std::size_t hi = i_focus;
+    while (hi + 1 < entry.defocus_axis.size() && in_spec(hi + 1, i_dose))
+      ++hi;
+    window.dof_at_nominal_dose =
+        entry.defocus_axis[hi] - entry.defocus_axis[lo];
+  }
+
+  // Exposure latitude at best focus.
+  if (in_spec(i_focus, i_dose)) {
+    std::size_t lo = i_dose;
+    while (lo > 0 && in_spec(i_focus, lo - 1)) --lo;
+    std::size_t hi = i_dose;
+    while (hi + 1 < entry.dose_axis.size() && in_spec(i_focus, hi + 1)) ++hi;
+    window.exposure_latitude = entry.dose_axis[hi] - entry.dose_axis[lo];
+  }
+
+  // Largest all-in-spec rectangle (brute force over index ranges; FEM
+  // grids are small).
+  const std::size_t nf = entry.defocus_axis.size();
+  const std::size_t nd = entry.dose_axis.size();
+  double best_area = -1.0;
+  for (std::size_t f0 = 0; f0 < nf; ++f0) {
+    for (std::size_t f1 = f0; f1 < nf; ++f1) {
+      for (std::size_t d0 = 0; d0 < nd; ++d0) {
+        for (std::size_t d1 = d0; d1 < nd; ++d1) {
+          bool ok = true;
+          for (std::size_t f = f0; f <= f1 && ok; ++f)
+            for (std::size_t d = d0; d <= d1 && ok; ++d)
+              ok = in_spec(f, d);
+          if (!ok) continue;
+          const Nm f_span = entry.defocus_axis[f1] - entry.defocus_axis[f0];
+          const double d_span = entry.dose_axis[d1] - entry.dose_axis[d0];
+          const double area = (f_span + 1.0) * (d_span + 1e-3);
+          if (area > best_area) {
+            best_area = area;
+            window.best_window_defocus_span = f_span;
+            window.best_window_dose_span = d_span;
+          }
+        }
+      }
+    }
+  }
+  return window;
+}
+
+}  // namespace sva

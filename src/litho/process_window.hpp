@@ -1,0 +1,41 @@
+#pragma once
+// Process-window analysis on a focus-exposure matrix.
+//
+// Standard lithographic metrics computed from a FEM: depth of focus (DOF)
+// at a given dose, exposure latitude (EL) at a given focus, and the
+// largest rectangular (defocus-range x dose-range) window in which the
+// printed CD stays within a tolerance of target.  The paper's premise --
+// isolated features lose CD through focus much faster than dense ones --
+// shows up directly as a smaller isolated-feature window, and the ±300 nm
+// focus range of Sec. 3.3 can be judged against the measured DOF.
+
+#include <cstddef>
+
+#include "litho/bossung.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+struct ProcessWindow {
+  Nm target_cd = 0.0;
+  double tolerance = 0.10;  ///< fractional CD tolerance
+
+  /// Contiguous defocus span around best focus within tolerance at
+  /// nominal dose (0 if even best focus fails).
+  Nm dof_at_nominal_dose = 0.0;
+  /// Contiguous dose span around nominal within tolerance at best focus.
+  double exposure_latitude = 0.0;
+  /// Largest rectangle (all grid points in tolerance): spans.
+  Nm best_window_defocus_span = 0.0;
+  double best_window_dose_span = 0.0;
+
+  bool usable() const { return dof_at_nominal_dose > 0.0; }
+};
+
+/// Analyze one FEM entry against a target CD.  The entry's axes must be
+/// sorted ascending (as build_fem produces) and contain the nominal
+/// dose 1.0 and best focus 0.0 within their ranges.
+ProcessWindow compute_process_window(const FemEntry& entry, Nm target_cd,
+                                     double tolerance = 0.10);
+
+}  // namespace sva

@@ -1,0 +1,60 @@
+#pragma once
+// Constant-threshold resist model and printed-CD measurement.
+//
+// A positive resist develops away wherever the delivered intensity
+// (dose * I(x)) exceeds a threshold, so a chrome line prints as the
+// contiguous region around the line centre where dose * I(x) < threshold.
+// Printed CD is the distance between the two threshold crossings, located
+// by coarse outward scanning plus bisection on the analytic image profile.
+//
+// The threshold is calibrated once per process so that an anchor pattern
+// (dense grating at the technology's contacted pitch) prints exactly at
+// its drawn CD at best focus and nominal dose -- the same anchoring a real
+// OPC model build performs against wafer data.
+
+#include <optional>
+
+#include "litho/aerial.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+/// Result of a printed-line measurement.
+struct PrintedLine {
+  Nm left = 0.0;   ///< left resist edge
+  Nm right = 0.0;  ///< right resist edge
+
+  Nm cd() const { return right - left; }
+};
+
+class ThresholdResist {
+ public:
+  /// Construct with an explicit threshold (intensity units; the clear-field
+  /// image level is 1.0).
+  explicit ThresholdResist(double threshold);
+
+  double threshold() const { return threshold_; }
+
+  /// The printed line around x_center at the given dose, or nullopt if the
+  /// feature fails to print (intensity at the centre is already above the
+  /// effective threshold, or no crossing is found within half a period).
+  std::optional<PrintedLine> printed_line(const ImageProfile& image,
+                                          Nm x_center,
+                                          double dose = 1.0) const;
+
+  /// Printed CD around x_center; nullopt on print failure.
+  std::optional<Nm> printed_cd(const ImageProfile& image, Nm x_center,
+                               double dose = 1.0) const;
+
+  /// Calibrate the threshold so that `anchor` prints its centre line at
+  /// `target_cd` at the given simulator's best focus and dose 1.
+  /// Throws if no threshold in (0, clear-field level) achieves the target.
+  static ThresholdResist calibrate(const AerialImageSimulator& simulator,
+                                   const MaskPattern1D& anchor,
+                                   Nm target_cd);
+
+ private:
+  double threshold_;
+};
+
+}  // namespace sva

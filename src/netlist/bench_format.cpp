@@ -1,0 +1,194 @@
+#include "netlist/bench_format.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+struct ParsedGate {
+  std::string output;
+  std::string op;
+  std::vector<std::string> inputs;
+  std::size_t line_number = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw Error(".bench line " + std::to_string(line) + ": " + message);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+BoolOp op_from_name(const std::string& name, std::size_t arity,
+                    std::size_t line) {
+  const std::string u = upper(name);
+  if (u == "DFF" || u == "DFFSR" || u == "LATCH")
+    fail(line, "sequential element '" + name +
+                   "' not supported (combinational flow)");
+  if (u == "NOT" || u == "INV") {
+    if (arity != 1) fail(line, "NOT takes exactly one input");
+    return BoolOp::Not;
+  }
+  if (u == "BUF" || u == "BUFF") {
+    if (arity != 1) fail(line, "BUF takes exactly one input");
+    return BoolOp::Buf;
+  }
+  if (arity < 2) fail(line, name + " needs at least two inputs");
+  if (u == "AND") return BoolOp::And;
+  if (u == "OR") return BoolOp::Or;
+  if (u == "NAND") return BoolOp::Nand;
+  if (u == "NOR") return BoolOp::Nor;
+  if (u == "XOR") return BoolOp::Xor;
+  if (u == "XNOR") return BoolOp::Xor;  // handled by caller (adds NOT)
+  fail(line, "unknown gate type '" + name + "'");
+}
+
+}  // namespace
+
+BoolNetwork parse_bench(const std::string& text) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<ParsedGate> gates;
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x).
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open)
+        fail(line_number, "expected INPUT(name) or OUTPUT(name)");
+      const std::string kind = upper(strip(line.substr(0, open)));
+      const std::string name =
+          strip(line.substr(open + 1, close - open - 1));
+      if (name.empty()) fail(line_number, "empty signal name");
+      if (kind == "INPUT")
+        input_names.push_back(name);
+      else if (kind == "OUTPUT")
+        output_names.push_back(name);
+      else
+        fail(line_number, "unknown declaration '" + kind + "'");
+      continue;
+    }
+
+    // out = OP(a, b, ...)
+    ParsedGate gate;
+    gate.line_number = line_number;
+    gate.output = strip(line.substr(0, eq));
+    const std::string rhs = strip(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (gate.output.empty() || open == std::string::npos ||
+        close == std::string::npos || close < open)
+      fail(line_number, "expected 'out = OP(in, ...)'");
+    gate.op = strip(rhs.substr(0, open));
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream arg_stream(args);
+    std::string arg;
+    while (std::getline(arg_stream, arg, ',')) {
+      const std::string a = strip(arg);
+      if (a.empty()) fail(line_number, "empty operand");
+      gate.inputs.push_back(a);
+    }
+    if (gate.inputs.empty()) fail(line_number, "gate with no inputs");
+    gates.push_back(std::move(gate));
+  }
+
+  if (input_names.empty()) throw Error(".bench: no INPUT declarations");
+  if (output_names.empty()) throw Error(".bench: no OUTPUT declarations");
+
+  // Build the network in dependency order (gates may be listed in any
+  // order in .bench files).
+  BoolNetwork network;
+  std::map<std::string, std::size_t> node_of;
+  for (const std::string& name : input_names) {
+    if (node_of.count(name))
+      throw Error(".bench: duplicate INPUT '" + name + "'");
+    node_of[name] = network.add_input(name);
+  }
+  std::map<std::string, const ParsedGate*> gate_of;
+  for (const ParsedGate& g : gates) {
+    if (gate_of.count(g.output) || node_of.count(g.output))
+      fail(g.line_number, "signal '" + g.output + "' driven twice");
+    gate_of[g.output] = &g;
+  }
+
+  // Iterative DFS to resolve dependencies without deep recursion.
+  std::function<std::size_t(const std::string&, std::size_t)> resolve =
+      [&](const std::string& name, std::size_t from_line) -> std::size_t {
+    const auto found = node_of.find(name);
+    if (found != node_of.end()) return found->second;
+    const auto gate_it = gate_of.find(name);
+    if (gate_it == gate_of.end())
+      fail(from_line, "undefined signal '" + name + "'");
+    const ParsedGate& g = *gate_it->second;
+    // Cycle guard: temporarily mark as in-progress.
+    static constexpr std::size_t kInProgress = static_cast<std::size_t>(-2);
+    node_of[name] = kInProgress;
+    std::vector<std::size_t> fanins;
+    for (const std::string& in : g.inputs) {
+      const auto it = node_of.find(in);
+      if (it != node_of.end() && it->second == kInProgress)
+        fail(g.line_number, "combinational cycle through '" + in + "'");
+      fanins.push_back(resolve(in, g.line_number));
+    }
+    const BoolOp op = op_from_name(g.op, g.inputs.size(), g.line_number);
+    std::size_t node = network.add_op(name, op, std::move(fanins));
+    if (upper(g.op) == "XNOR")
+      node = network.add_op(name + "_n", BoolOp::Not, {node});
+    node_of[name] = node;
+    return node;
+  };
+
+  for (const std::string& out : output_names) {
+    const std::size_t node = resolve(out, 0);
+    network.mark_output(node);
+  }
+  network.validate();
+  return network;
+}
+
+Netlist load_bench(const std::string& text, const CellLibrary& library,
+                   const std::string& design_name) {
+  return map_to_library(parse_bench(text), library, design_name);
+}
+
+Netlist load_bench_file(const std::string& path, const CellLibrary& library,
+                        const std::string& design_name) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open .bench file: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return load_bench(buffer.str(), library, design_name);
+}
+
+}  // namespace sva

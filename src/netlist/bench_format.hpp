@@ -1,0 +1,40 @@
+#pragma once
+// Reader for the ISCAS85/89 ".bench" netlist format.
+//
+// The original ISCAS85 circuits the paper evaluates are distributed in
+// this format:
+//
+//   # c17
+//   INPUT(1)
+//   INPUT(2)
+//   OUTPUT(22)
+//   10 = NAND(1, 3)
+//   22 = NAND(10, 16)
+//
+// This reader parses the combinational subset (INPUT/OUTPUT plus
+// AND/OR/NAND/NOR/NOT/BUF/XOR gates of any arity) into a BoolNetwork, so
+// the bundled synthetic benchmark generator can be swapped for the real
+// netlists whenever the files are available: parse + map_to_library gives
+// a Netlist the rest of the flow consumes unchanged.  DFF gates (ISCAS89)
+// are rejected: the timing flow is combinational, as in the paper.
+
+#include <string>
+
+#include "netlist/mapper.hpp"
+
+namespace sva {
+
+/// Parse .bench text into a boolean network.  Throws sva::Error with a
+/// line number on malformed input, undefined signals, multiple drivers,
+/// or sequential elements.
+BoolNetwork parse_bench(const std::string& text);
+
+/// Convenience: parse and map onto a library in one step.
+Netlist load_bench(const std::string& text, const CellLibrary& library,
+                   const std::string& design_name);
+
+/// Read a file and load_bench() it.
+Netlist load_bench_file(const std::string& path, const CellLibrary& library,
+                        const std::string& design_name);
+
+}  // namespace sva

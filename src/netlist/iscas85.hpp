@@ -1,0 +1,44 @@
+#pragma once
+// ISCAS85-like benchmark circuits.
+//
+// The paper synthesizes the ISCAS85 benchmarks with the 10 most-used cells
+// of a 90 nm library.  The original netlists and the commercial synthesis
+// flow are not available offline, so we generate deterministic circuits
+// that reproduce each benchmark's published interface and size -- primary
+// input/output counts and gate count -- with realistic logic depth, fanout
+// distribution, and cell mix (see DESIGN.md substitution table).  Every
+// statistic the paper reports (CD-error distributions, corner path delays,
+// OPC runtimes) depends on these aggregates, not on the exact boolean
+// functions.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sva {
+
+/// Published interface/size of one ISCAS85 benchmark.
+struct BenchmarkSpec {
+  std::string name;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t gate_count = 0;
+};
+
+/// All ten ISCAS85 benchmarks with their published statistics.
+const std::vector<BenchmarkSpec>& iscas85_specs();
+
+/// Spec by (case-insensitive) name, e.g. "C432"; throws if unknown.
+const BenchmarkSpec& iscas85_spec(const std::string& name);
+
+/// Generate the ISCAS85-like circuit for a spec, mapped onto `library`.
+/// Deterministic: the same (spec, library) always yields the same netlist.
+Netlist generate_iscas85_like(const BenchmarkSpec& spec,
+                              const CellLibrary& library);
+
+/// Convenience: generate by benchmark name.
+Netlist generate_iscas85_like(const std::string& name,
+                              const CellLibrary& library);
+
+}  // namespace sva

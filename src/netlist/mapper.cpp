@@ -1,0 +1,164 @@
+#include "netlist/mapper.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+std::size_t BoolNetwork::add_input(const std::string& name) {
+  nodes_.push_back({name, BoolOp::Input, {}});
+  return nodes_.size() - 1;
+}
+
+std::size_t BoolNetwork::add_op(const std::string& name, BoolOp op,
+                                std::vector<std::size_t> fanins) {
+  SVA_REQUIRE(op != BoolOp::Input);
+  for (std::size_t f : fanins)
+    SVA_REQUIRE_MSG(f < nodes_.size(), "fanin must reference earlier node");
+  nodes_.push_back({name, op, std::move(fanins)});
+  return nodes_.size() - 1;
+}
+
+void BoolNetwork::mark_output(std::size_t node) {
+  SVA_REQUIRE(node < nodes_.size());
+  outputs_.push_back(node);
+}
+
+void BoolNetwork::validate() const {
+  SVA_REQUIRE_MSG(!outputs_.empty(), "network needs at least one output");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const BoolNode& n = nodes_[i];
+    for (std::size_t f : n.fanins) SVA_REQUIRE(f < i);
+    switch (n.op) {
+      case BoolOp::Input:
+        SVA_REQUIRE(n.fanins.empty());
+        break;
+      case BoolOp::Not:
+      case BoolOp::Buf:
+        SVA_REQUIRE_MSG(n.fanins.size() == 1, "NOT/BUF take one fanin");
+        break;
+      default:
+        SVA_REQUIRE_MSG(n.fanins.size() >= 2,
+                        "logic ops take at least two fanins");
+    }
+  }
+}
+
+namespace {
+
+/// Helper carrying the mapping state.
+class Mapper {
+ public:
+  Mapper(const BoolNetwork& network, const CellLibrary& library,
+         const std::string& design_name)
+      : network_(network),
+        library_(library),
+        netlist_(library, design_name),
+        inv_(library.index_of("INV_X1")),
+        buf_(library.index_of("BUF_X1")),
+        nand2_(library.index_of("NAND2_X1")),
+        nand3_(library.index_of("NAND3_X1")),
+        nor2_(library.index_of("NOR2_X1")),
+        nor3_(library.index_of("NOR3_X1")),
+        xor2_(library.index_of("XOR2_X1")) {}
+
+  Netlist run() {
+    network_.validate();
+    node_net_.resize(network_.nodes().size());
+    for (std::size_t i = 0; i < network_.nodes().size(); ++i)
+      node_net_[i] = map_node(i);
+    for (std::size_t out : network_.outputs())
+      netlist_.mark_primary_output(node_net_[out]);
+    netlist_.validate();
+    return std::move(netlist_);
+  }
+
+ private:
+  std::string name(const char* stem) {
+    return std::string(stem) + "_" + std::to_string(counter_++);
+  }
+
+  std::size_t invert(std::size_t net) {
+    return netlist_.add_gate(name("inv"), inv_, {net});
+  }
+
+  /// n-ary AND (or OR) as a tree of inverting 2/3-input cells, each chunk
+  /// re-inverted so the non-inverted value flows between levels.
+  std::size_t reduce(const std::vector<std::size_t>& nets,
+                     std::size_t cell2, std::size_t cell3) {
+    SVA_REQUIRE(nets.size() >= 2);
+    std::vector<std::size_t> level = nets;
+    while (level.size() > 1) {
+      std::vector<std::size_t> next;
+      std::size_t i = 0;
+      while (i < level.size()) {
+        const std::size_t remaining = level.size() - i;
+        if (remaining == 1) {
+          next.push_back(level[i]);
+          i += 1;
+        } else if (remaining == 3 || remaining >= 5) {
+          // Chunks of three where possible; never leave a lone net after a
+          // chunk of three when a 2+2 split would avoid it.
+          const std::size_t g = netlist_.add_gate(
+              name("g3"), cell3, {level[i], level[i + 1], level[i + 2]});
+          next.push_back(invert(g));
+          i += 3;
+        } else {
+          const std::size_t g = netlist_.add_gate(
+              name("g2"), cell2, {level[i], level[i + 1]});
+          next.push_back(invert(g));
+          i += 2;
+        }
+      }
+      level = std::move(next);
+    }
+    return level[0];
+  }
+
+  std::size_t map_node(std::size_t index) {
+    const BoolNode& node = network_.nodes()[index];
+    std::vector<std::size_t> fanin_nets;
+    fanin_nets.reserve(node.fanins.size());
+    for (std::size_t f : node.fanins) fanin_nets.push_back(node_net_[f]);
+
+    switch (node.op) {
+      case BoolOp::Input:
+        return netlist_.add_primary_input(node.name);
+      case BoolOp::Not:
+        return invert(fanin_nets[0]);
+      case BoolOp::Buf:
+        return netlist_.add_gate(name("buf"), buf_, {fanin_nets[0]});
+      case BoolOp::And:
+        return reduce(fanin_nets, nand2_, nand3_);
+      case BoolOp::Nand:
+        return invert(reduce(fanin_nets, nand2_, nand3_));
+      case BoolOp::Or:
+        return reduce(fanin_nets, nor2_, nor3_);
+      case BoolOp::Nor:
+        return invert(reduce(fanin_nets, nor2_, nor3_));
+      case BoolOp::Xor: {
+        std::size_t acc = fanin_nets[0];
+        for (std::size_t i = 1; i < fanin_nets.size(); ++i)
+          acc = netlist_.add_gate(name("xor"), xor2_, {acc, fanin_nets[i]});
+        return acc;
+      }
+    }
+    throw InvariantError("unhandled boolean op");
+  }
+
+  const BoolNetwork& network_;
+  const CellLibrary& library_;
+  Netlist netlist_;
+  std::vector<std::size_t> node_net_;
+  std::size_t counter_ = 0;
+  std::size_t inv_, buf_, nand2_, nand3_, nor2_, nor3_, xor2_;
+};
+
+}  // namespace
+
+Netlist map_to_library(const BoolNetwork& network,
+                       const CellLibrary& library,
+                       const std::string& design_name) {
+  return Mapper(network, library, design_name).run();
+}
+
+}  // namespace sva

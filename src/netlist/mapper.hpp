@@ -1,0 +1,57 @@
+#pragma once
+// Technology mapping of simple boolean networks onto the cell library.
+//
+// The paper "synthesize[s] ISCAS85 benchmark circuits with the 10 cells";
+// this module provides the equivalent entry point for user designs: a
+// small boolean-network IR (AND/OR/NAND/NOR/NOT/XOR/BUF of arbitrary
+// arity) and a structural mapper that decomposes it onto the library
+// masters (NAND2/NAND3/NOR2/NOR3/INV/...).  No logic optimization is
+// attempted -- mapping is structural, as Table 1/2 experiments only need
+// realistic cell mixes and connectivity.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sva {
+
+enum class BoolOp { Input, Not, Buf, And, Or, Nand, Nor, Xor };
+
+/// One node of the boolean network; nodes reference earlier nodes only.
+struct BoolNode {
+  std::string name;
+  BoolOp op = BoolOp::Input;
+  std::vector<std::size_t> fanins;
+};
+
+/// A boolean network: nodes in topological order plus output markers.
+class BoolNetwork {
+ public:
+  /// Add a primary input; returns node id.
+  std::size_t add_input(const std::string& name);
+  /// Add an operator node over existing nodes; returns node id.
+  std::size_t add_op(const std::string& name, BoolOp op,
+                     std::vector<std::size_t> fanins);
+  void mark_output(std::size_t node);
+
+  const std::vector<BoolNode>& nodes() const { return nodes_; }
+  const std::vector<std::size_t>& outputs() const { return outputs_; }
+
+  /// Validate arities (Not/Buf exactly 1 fanin, others >= 2) and
+  /// topological referencing.
+  void validate() const;
+
+ private:
+  std::vector<BoolNode> nodes_;
+  std::vector<std::size_t> outputs_;
+};
+
+/// Map a boolean network onto the library.  Wide AND/OR/NAND/NOR are
+/// decomposed into 2/3-input trees; XOR of arity > 2 into XOR2 trees;
+/// AND = NAND + INV, OR = NOR + INV.
+Netlist map_to_library(const BoolNetwork& network,
+                       const CellLibrary& library,
+                       const std::string& design_name);
+
+}  // namespace sva

@@ -1,0 +1,31 @@
+#pragma once
+// Structural (gate-level) Verilog writer and reader.
+//
+// The interchange format every P&R / sign-off flow speaks.  The writer
+// emits one module with the library cells instantiated by name and
+// explicit port connections; the reader parses that structural subset
+// back (no behavioural constructs, no assigns), so designs round-trip and
+// externally synthesized gate-level netlists using this library's cell
+// names can be imported.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace sva {
+
+/// Emit a gate-level Verilog module for the netlist.
+std::string to_verilog(const Netlist& netlist);
+
+/// Parse a structural Verilog module (the dialect to_verilog emits: one
+/// module, input/output/wire declarations, cell instantiations with named
+/// port connections).  Cell types are resolved against `library` by name;
+/// throws sva::Error with a line number on anything unsupported.
+Netlist parse_verilog(const std::string& text, const CellLibrary& library);
+
+/// Write to / read from files.
+void write_verilog_file(const std::string& path, const Netlist& netlist);
+Netlist read_verilog_file(const std::string& path,
+                          const CellLibrary& library);
+
+}  // namespace sva

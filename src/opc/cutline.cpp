@@ -1,0 +1,72 @@
+#include "opc/cutline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+constexpr Nm kMergeEps = 1e-6;
+}
+
+void OpcProblem::validate() const {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& l = lines[i];
+    SVA_REQUIRE_MSG(l.drawn_hi > l.drawn_lo, "line must have positive width");
+    SVA_REQUIRE_MSG(l.mask_hi > l.mask_lo, "mask must have positive width");
+    if (i > 0)
+      SVA_REQUIRE_MSG(l.drawn_lo >= lines[i - 1].drawn_hi - kMergeEps,
+                      "lines must be sorted and non-overlapping");
+  }
+}
+
+OpcProblem extract_cutline(const Layout& layout, Nm y,
+                           const std::vector<long>& shape_tags) {
+  SVA_REQUIRE(shape_tags.empty() || shape_tags.size() == layout.size());
+
+  struct Interval {
+    Nm lo, hi;
+    long tag;
+  };
+  std::vector<Interval> raw;
+  const auto& shapes = layout.shapes();
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Shape& s = shapes[i];
+    if (s.layer != Layer::Poly && s.layer != Layer::DummyPoly) continue;
+    if (y < s.rect.y_lo || y > s.rect.y_hi) continue;
+    const long tag = shape_tags.empty() ? -1 : shape_tags[i];
+    raw.push_back({s.rect.x_lo, s.rect.x_hi, tag});
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+
+  OpcProblem problem;
+  for (const Interval& iv : raw) {
+    if (!problem.lines.empty() &&
+        iv.lo <= problem.lines.back().drawn_hi + kMergeEps) {
+      // Abutting/overlapping poly merges into one printed line; keep the
+      // tag of the wider contributor.
+      OpcLine& prev = problem.lines.back();
+      const Nm prev_w = prev.drawn_width();
+      prev.drawn_hi = std::max(prev.drawn_hi, iv.hi);
+      prev.mask_hi = prev.drawn_hi;
+      if (iv.hi - iv.lo > prev_w && iv.tag != -1) prev.tag = iv.tag;
+      continue;
+    }
+    OpcLine line;
+    line.drawn_lo = iv.lo;
+    line.drawn_hi = iv.hi;
+    line.mask_lo = iv.lo;
+    line.mask_hi = iv.hi;
+    line.tag = iv.tag;
+    problem.lines.push_back(line);
+  }
+  problem.validate();
+  return problem;
+}
+
+OpcProblem extract_cutline(const Layout& layout, Nm y) {
+  return extract_cutline(layout, y, {});
+}
+
+}  // namespace sva

@@ -1,0 +1,58 @@
+#pragma once
+// Cutline extraction: reduce a 2-D poly layout to the 1-D line sequences
+// OPC and CD measurement operate on.
+//
+// Poly gates are vertical stripes; their printing is governed by the
+// horizontal cross-section at the device's y position.  A cutline at a
+// given y through a layout yields the ordered sequence of poly intervals
+// crossing that y.  Placed rows use two standard cutlines -- one through
+// the PMOS region (top) and one through the NMOS region (bottom) --
+// matching the paper's distinction between top and bottom neighbour
+// spacings (nps_LT vs nps_LB).
+
+#include <vector>
+
+#include "geom/layout.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+/// One poly line on a cutline.  `drawn_*` are the design (target) edges;
+/// `mask_*` start equal to drawn and are modified by OPC.
+struct OpcLine {
+  Nm drawn_lo = 0.0;
+  Nm drawn_hi = 0.0;
+  Nm mask_lo = 0.0;
+  Nm mask_hi = 0.0;
+  /// Caller-supplied identifier (e.g. encodes instance/device); -1 = none
+  /// (dummy fill, cell-internal non-gate poly), -2 = assist feature.
+  long tag = -1;
+  /// OPC may move this line's edges.  Sub-resolution assist features are
+  /// placed by rule and left untouched (false).
+  bool correctable = true;
+
+  Nm drawn_width() const { return drawn_hi - drawn_lo; }
+  Nm mask_width() const { return mask_hi - mask_lo; }
+  Nm drawn_center() const { return 0.5 * (drawn_lo + drawn_hi); }
+};
+
+/// An independent 1-D OPC problem: lines sorted by x, non-overlapping.
+struct OpcProblem {
+  std::vector<OpcLine> lines;
+
+  /// Validate ordering/overlap invariants (throws on violation).
+  void validate() const;
+};
+
+/// Extract the poly intervals crossing horizontal line y.  Printable poly
+/// (functional + dummy) participates; intervals are merged if they abut or
+/// overlap (tag of the widest contributor wins).  Tags are assigned by the
+/// `tag_of` callback from the shape index in `layout.shapes()`; return -1
+/// for untagged shapes.
+OpcProblem extract_cutline(const Layout& layout, Nm y,
+                           const std::vector<long>& shape_tags);
+
+/// Convenience: extract with all tags = -1.
+OpcProblem extract_cutline(const Layout& layout, Nm y);
+
+}  // namespace sva

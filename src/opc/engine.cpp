@@ -1,0 +1,211 @@
+#include "opc/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// Half-width of the context window embedded into the supercell.  Slightly
+/// beyond the radius of influence so a neighbour straddling the ROI edge
+/// is still represented.
+Nm window_half_width(const OpcConfig& config) {
+  return config.radius_of_influence + 200.0;
+}
+
+}  // namespace
+
+const OpcLineResult& OpcResult::by_tag(long tag) const {
+  for (const auto& l : lines)
+    if (l.line.tag == tag) return l;
+  throw PreconditionError("no OPC line with tag " + std::to_string(tag));
+}
+
+OpcEngine::OpcEngine(const LithoProcess& process, const OpcConfig& config)
+    : OpcEngine(process, process, config) {}
+
+OpcEngine::OpcEngine(const LithoProcess& model, const LithoProcess& wafer,
+                     const OpcConfig& config)
+    : model_(&model), wafer_(&wafer), config_(config) {
+  SVA_REQUIRE(config.max_iterations >= 0);
+  SVA_REQUIRE(config.damping > 0.0 && config.damping <= 1.0);
+  SVA_REQUIRE(config.mask_grid >= 0.0);
+  SVA_REQUIRE(config.min_width > 0.0);
+  SVA_REQUIRE(config.min_space >= 0.0);
+  SVA_REQUIRE(config.max_bias >= 0.0);
+  SVA_REQUIRE(config.radius_of_influence > 0.0);
+}
+
+Nm OpcEngine::snap(Nm x) const {
+  if (config_.mask_grid <= 0.0) return x;
+  return std::round(x / config_.mask_grid) * config_.mask_grid;
+}
+
+OpcEngine::Printed OpcEngine::simulate_line(const LithoProcess& process,
+                                            const std::vector<OpcLine>& lines,
+                                            std::size_t i,
+                                            std::size_t* images) const {
+  const OpcLine& line = lines[i];
+  const Nm center = 0.5 * (line.mask_lo + line.mask_hi);
+  const Nm half_window = window_half_width(config_);
+
+  // Collect neighbour mask segments within the window, expressed as
+  // (spacing, width) pairs relative to the centre line's mask edges.
+  std::vector<std::pair<Nm, Nm>> left;
+  Nm prev_lo = line.mask_lo;
+  for (std::size_t j = i; j-- > 0;) {
+    const OpcLine& n = lines[j];
+    if (line.mask_lo - n.mask_hi > half_window) break;
+    Nm spacing = prev_lo - n.mask_hi;
+    if (spacing <= 0.0) spacing = 1.0;  // transiently abutting masks
+    left.emplace_back(spacing, n.mask_width());
+    prev_lo = n.mask_lo;
+  }
+  std::vector<std::pair<Nm, Nm>> right;
+  Nm prev_hi = line.mask_hi;
+  for (std::size_t j = i + 1; j < lines.size(); ++j) {
+    const OpcLine& n = lines[j];
+    if (n.mask_lo - line.mask_hi > half_window) break;
+    Nm spacing = n.mask_lo - prev_hi;
+    if (spacing <= 0.0) spacing = 1.0;
+    right.emplace_back(spacing, n.mask_width());
+    prev_hi = n.mask_hi;
+  }
+
+  const auto mask = MaskPattern1D::local_context(
+      line.mask_width(), left, right, LithoProcess::kSupercellPeriod);
+  const ImageProfile img = process.simulator().image(mask, 0.0);
+  if (images != nullptr) ++*images;
+  const auto printed =
+      process.resist().printed_line(img, mask.period() / 2.0);
+  Printed out;
+  if (!printed) return out;
+  out.ok = true;
+  // Map supercell coordinates back to global: the centre line's mask centre
+  // sits at period/2.
+  const Nm offset = center - LithoProcess::kSupercellPeriod / 2.0;
+  out.lo = printed->left + offset;
+  out.hi = printed->right + offset;
+  return out;
+}
+
+void OpcEngine::enforce_rules(std::vector<OpcLine>& lines,
+                              std::size_t i) const {
+  OpcLine& line = lines[i];
+  // 1. Per-edge bias limit (mask rule / OPC runtime constraint).
+  line.mask_lo = std::clamp(line.mask_lo, line.drawn_lo - config_.max_bias,
+                            line.drawn_lo + config_.max_bias);
+  line.mask_hi = std::clamp(line.mask_hi, line.drawn_hi - config_.max_bias,
+                            line.drawn_hi + config_.max_bias);
+  // 2. Manufacturing grid.
+  line.mask_lo = snap(line.mask_lo);
+  line.mask_hi = snap(line.mask_hi);
+  // 3. Minimum width: grow symmetrically on grid.
+  while (line.mask_width() < config_.min_width) {
+    line.mask_lo -= config_.mask_grid > 0.0 ? config_.mask_grid : 0.5;
+    line.mask_hi += config_.mask_grid > 0.0 ? config_.mask_grid : 0.5;
+  }
+  // 4. Minimum space against neighbours (push this line's edges inward;
+  // neighbours are left untouched so the pass stays order-independent
+  // enough for a damped iteration).
+  if (i > 0) {
+    const Nm lo_limit = lines[i - 1].mask_hi + config_.min_space;
+    if (line.mask_lo < lo_limit && lo_limit < line.mask_hi)
+      line.mask_lo = snap(lo_limit + 0.5 * config_.mask_grid);
+  }
+  if (i + 1 < lines.size()) {
+    const Nm hi_limit = lines[i + 1].mask_lo - config_.min_space;
+    if (line.mask_hi > hi_limit && hi_limit > line.mask_lo)
+      line.mask_hi = snap(hi_limit - 0.5 * config_.mask_grid);
+  }
+}
+
+OpcResult OpcEngine::correct(const OpcProblem& problem) const {
+  problem.validate();
+  std::vector<OpcLine> lines = problem.lines;
+  OpcResult result;
+
+  int iterations = 0;
+  Nm max_epe = 0.0;
+  for (int it = 0; it < config_.max_iterations; ++it) {
+    ++iterations;
+    // Jacobi pass: measure all EPEs against the current masks first.
+    // Uncorrectable lines (assist features) are part of every context but
+    // are neither simulated nor moved.
+    std::vector<Printed> printed(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (lines[i].correctable)
+        printed[i] =
+            simulate_line(*model_, lines, i, &result.images_simulated);
+
+    max_epe = 0.0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!lines[i].correctable) continue;  // e.g. assist features
+      if (!printed[i].ok) {
+        // Feature vanished: widen the mask aggressively and keep going.
+        lines[i].mask_lo -= 2.0 * config_.mask_grid;
+        lines[i].mask_hi += 2.0 * config_.mask_grid;
+        enforce_rules(lines, i);
+        max_epe = std::max(max_epe, config_.convergence_epe * 10.0);
+        continue;
+      }
+      const Nm epe_lo = printed[i].lo - lines[i].drawn_lo;
+      const Nm epe_hi = printed[i].hi - lines[i].drawn_hi;
+      max_epe = std::max({max_epe, std::abs(epe_lo), std::abs(epe_hi)});
+      // Move each mask edge against its printed error.
+      lines[i].mask_lo -= config_.damping * epe_lo;
+      lines[i].mask_hi -= config_.damping * epe_hi;
+      enforce_rules(lines, i);
+    }
+    if (max_epe < config_.convergence_epe) break;
+  }
+
+  // Final measurement pass with the corrected masks.
+  result.iterations_used = iterations;
+  result.lines.reserve(lines.size());
+  Nm final_max_epe = 0.0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    OpcLineResult lr;
+    lr.line = lines[i];
+    const Printed p = simulate_line(*wafer_, lines, i, &result.images_simulated);
+    if (p.ok) {
+      lr.printed_lo = p.lo;
+      lr.printed_hi = p.hi;
+      lr.printed_cd = p.hi - p.lo;
+      lr.epe_lo = p.lo - lines[i].drawn_lo;
+      lr.epe_hi = p.hi - lines[i].drawn_hi;
+      final_max_epe =
+          std::max({final_max_epe, std::abs(lr.epe_lo), std::abs(lr.epe_hi)});
+    }
+    result.lines.push_back(lr);
+  }
+  result.final_max_epe = final_max_epe;
+  return result;
+}
+
+OpcResult OpcEngine::measure(const OpcProblem& problem) const {
+  problem.validate();
+  OpcResult result;
+  result.lines.reserve(problem.lines.size());
+  for (std::size_t i = 0; i < problem.lines.size(); ++i) {
+    OpcLineResult lr;
+    lr.line = problem.lines[i];
+    const Printed p =
+        simulate_line(*wafer_, problem.lines, i, &result.images_simulated);
+    if (p.ok) {
+      lr.printed_lo = p.lo;
+      lr.printed_hi = p.hi;
+      lr.printed_cd = p.hi - p.lo;
+      lr.epe_lo = p.lo - problem.lines[i].drawn_lo;
+      lr.epe_hi = p.hi - problem.lines[i].drawn_hi;
+      result.final_max_epe = std::max(
+          {result.final_max_epe, std::abs(lr.epe_lo), std::abs(lr.epe_hi)});
+    }
+    result.lines.push_back(lr);
+  }
+  return result;
+}
+
+}  // namespace sva

@@ -1,0 +1,67 @@
+#include "opc/sraf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+OpcLine make_sraf(Nm lo, Nm width) {
+  OpcLine line;
+  line.drawn_lo = lo;
+  line.drawn_hi = lo + width;
+  line.mask_lo = lo;
+  line.mask_hi = lo + width;
+  line.tag = kSrafTag;
+  line.correctable = false;
+  return line;
+}
+
+}  // namespace
+
+OpcProblem insert_srafs(const OpcProblem& problem, const SrafConfig& config) {
+  SVA_REQUIRE(config.width > 0.0);
+  SVA_REQUIRE(config.space_to_main > 0.0);
+  SVA_REQUIRE(config.single_sraf_gap >=
+              2.0 * config.space_to_main + config.width);
+  SVA_REQUIRE(config.double_sraf_gap >=
+              2.0 * (config.space_to_main + config.width) +
+                  config.min_space_between);
+  problem.validate();
+
+  OpcProblem out;
+  for (std::size_t i = 0; i < problem.lines.size(); ++i) {
+    out.lines.push_back(problem.lines[i]);
+    if (i + 1 == problem.lines.size()) break;
+    const Nm gap_lo = problem.lines[i].drawn_hi;
+    const Nm gap_hi = problem.lines[i + 1].drawn_lo;
+    const Nm gap = gap_hi - gap_lo;
+    if (gap >= config.double_sraf_gap) {
+      // One bar guarding each main feature.
+      out.lines.push_back(
+          make_sraf(gap_lo + config.space_to_main, config.width));
+      out.lines.push_back(make_sraf(
+          gap_hi - config.space_to_main - config.width, config.width));
+    } else if (gap >= config.single_sraf_gap) {
+      // One bar centred in the gap.
+      out.lines.push_back(
+          make_sraf(gap_lo + (gap - config.width) / 2.0, config.width));
+    }
+  }
+  std::sort(out.lines.begin(), out.lines.end(),
+            [](const OpcLine& a, const OpcLine& b) {
+              return a.drawn_lo < b.drawn_lo;
+            });
+  out.validate();
+  return out;
+}
+
+std::size_t count_srafs(const OpcProblem& problem) {
+  std::size_t n = 0;
+  for (const OpcLine& l : problem.lines)
+    if (l.tag == kSrafTag) ++n;
+  return n;
+}
+
+}  // namespace sva

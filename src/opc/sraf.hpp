@@ -1,0 +1,39 @@
+#pragma once
+// Sub-Resolution Assist Feature (SRAF) insertion.
+//
+// Paper Secs. 2 and 6: the through-focus penalty of isolated lines "is
+// somewhat mitigated by insertion of assist features [11] but never
+// completely", and the authors' follow-up work adds SRAFs to the process.
+// Rule-based insertion: wide clear gaps receive one or two narrow
+// scattering bars that make an isolated line image more like a dense one.
+// The bars are below the resolution limit and must not print themselves.
+
+#include <cstddef>
+
+#include "opc/cutline.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+
+/// Tag carried by inserted assist lines.
+inline constexpr long kSrafTag = -2;
+
+struct SrafConfig {
+  Nm width = 40.0;               ///< bar width (sub-resolution)
+  Nm space_to_main = 130.0;      ///< clear space from a main feature edge
+  Nm min_space_between = 120.0;  ///< clear space between two bars
+  /// Gaps at least this wide receive one centred bar.
+  Nm single_sraf_gap = 330.0;
+  /// Gaps at least this wide receive one bar beside each main feature.
+  Nm double_sraf_gap = 520.0;
+};
+
+/// Insert assist bars into the gaps of `problem` by rule; main lines are
+/// untouched.  Inserted lines carry kSrafTag and correctable == false.
+OpcProblem insert_srafs(const OpcProblem& problem,
+                        const SrafConfig& config = {});
+
+/// Number of assist lines in a problem.
+std::size_t count_srafs(const OpcProblem& problem);
+
+}  // namespace sva

@@ -1,0 +1,99 @@
+#include "place/context.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+/// Poly features of `master` (gate stripes + stubs) that vertically
+/// overlap the strip [y_lo, y_hi], as x intervals in cell coordinates.
+std::vector<std::pair<Nm, Nm>> poly_intervals_in_strip(
+    const CellMaster& master, Nm y_lo, Nm y_hi) {
+  std::vector<std::pair<Nm, Nm>> out;
+  const Rect strip = Rect::make(-1e9, y_lo, 1e9, y_hi);
+  for (std::size_t gi = 0; gi < master.gates().size(); ++gi) {
+    const Rect r = master.gate_rect(gi);
+    if (r.y_overlaps(strip)) out.emplace_back(r.x_lo, r.x_hi);
+  }
+  for (const Rect& s : master.poly_stubs())
+    if (s.y_overlaps(strip)) out.emplace_back(s.x_lo, s.x_hi);
+  return out;
+}
+
+/// Measure one side/strip spacing for instance `gi`.
+Nm measure_side(const Placement& placement, std::size_t gi, bool left,
+                Nm strip_y_lo, Nm strip_y_hi, Nm roi) {
+  const Netlist& netlist = placement.netlist();
+  const CellLibrary& lib = netlist.library();
+  const CellMaster& master = lib.master(netlist.gates()[gi].cell_index);
+  const PlacedInstance& inst = placement.instances()[gi];
+
+  const std::size_t boundary_gate =
+      left ? master.leftmost_gate() : master.rightmost_gate();
+  const PolyGate& g = master.gates()[boundary_gate];
+  const Nm own_edge = inst.x + (left ? g.x_lo() : g.x_hi());
+
+  const std::size_t n =
+      left ? placement.left_neighbor(gi) : placement.right_neighbor(gi);
+  if (n == static_cast<std::size_t>(-1)) return roi;
+
+  const CellMaster& n_master = lib.master(netlist.gates()[n].cell_index);
+  const PlacedInstance& n_inst = placement.instances()[n];
+  Nm best = roi;
+  for (const auto& [x_lo, x_hi] :
+       poly_intervals_in_strip(n_master, strip_y_lo, strip_y_hi)) {
+    if (left) {
+      const Nm edge = n_inst.x + x_hi;
+      if (edge <= own_edge) best = std::min(best, own_edge - edge);
+    } else {
+      const Nm edge = n_inst.x + x_lo;
+      if (edge >= own_edge) best = std::min(best, edge - own_edge);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<InstanceNps> extract_nps(const Placement& placement) {
+  const Netlist& netlist = placement.netlist();
+  const CellLibrary& lib = netlist.library();
+  const CellTech& tech = lib.master(0).tech();
+  const Nm roi = tech.radius_of_influence;
+
+  std::vector<InstanceNps> out(netlist.gates().size());
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    InstanceNps nps;
+    nps.lt = measure_side(placement, gi, /*left=*/true, tech.pmos_y_lo,
+                          tech.pmos_y_hi, roi);
+    nps.rt = measure_side(placement, gi, /*left=*/false, tech.pmos_y_lo,
+                          tech.pmos_y_hi, roi);
+    nps.lb = measure_side(placement, gi, /*left=*/true, tech.nmos_y_lo,
+                          tech.nmos_y_hi, roi);
+    nps.rb = measure_side(placement, gi, /*left=*/false, tech.nmos_y_lo,
+                          tech.nmos_y_hi, roi);
+    out[gi] = nps;
+  }
+  return out;
+}
+
+VersionKey nps_to_version(const InstanceNps& nps, const ContextBins& bins) {
+  VersionKey key;
+  key.lt = static_cast<std::uint8_t>(bins.bin_of(nps.lt));
+  key.rt = static_cast<std::uint8_t>(bins.bin_of(nps.rt));
+  key.lb = static_cast<std::uint8_t>(bins.bin_of(nps.lb));
+  key.rb = static_cast<std::uint8_t>(bins.bin_of(nps.rb));
+  return key;
+}
+
+std::vector<VersionKey> assign_versions(const std::vector<InstanceNps>& nps,
+                                        const ContextBins& bins) {
+  std::vector<VersionKey> out;
+  out.reserve(nps.size());
+  for (const InstanceNps& n : nps) out.push_back(nps_to_version(n, bins));
+  return out;
+}
+
+}  // namespace sva

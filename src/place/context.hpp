@@ -1,0 +1,39 @@
+#pragma once
+// Placement-context extraction: the paper's nps_LT / nps_RT / nps_LB /
+// nps_RB parameters (Sec. 3.1.2, Fig. 4) and their binning into cell
+// versions.
+//
+// For every placed instance we measure, on each side and for each
+// diffusion strip (top = PMOS, bottom = NMOS), the clear distance from the
+// boundary device's gate edge to the nearest poly feature of the
+// neighbouring cell.  Distances are clamped to the radius of influence
+// (anything farther prints like an isolated edge); instances at row ends
+// are isolated on that side.
+
+#include <vector>
+
+#include "cell/context_library.hpp"
+#include "place/placement.hpp"
+
+namespace sva {
+
+/// Measured neighbour-poly spacings of one instance (nm, clamped to ROI).
+struct InstanceNps {
+  Nm lt = 0.0;  ///< left-top: PMOS-side spacing into the left neighbour
+  Nm rt = 0.0;
+  Nm lb = 0.0;  ///< left-bottom: NMOS-side spacing into the left neighbour
+  Nm rb = 0.0;
+};
+
+/// Measure nps for every gate of the placement (index-aligned with
+/// netlist gates).
+std::vector<InstanceNps> extract_nps(const Placement& placement);
+
+/// Bin measured spacings into a cell-version key.
+VersionKey nps_to_version(const InstanceNps& nps, const ContextBins& bins);
+
+/// Bin every instance.
+std::vector<VersionKey> assign_versions(const std::vector<InstanceNps>& nps,
+                                        const ContextBins& bins);
+
+}  // namespace sva

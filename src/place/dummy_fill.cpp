@@ -1,0 +1,107 @@
+#include "place/dummy_fill.hpp"
+
+#include <algorithm>
+
+#include "place/context.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+void validate(const DummyFillConfig& config) {
+  SVA_REQUIRE(config.fill_width > 0.0);
+  SVA_REQUIRE(config.target_spacing > 0.0);
+  SVA_REQUIRE(config.min_gap_to_fill >=
+              config.fill_width + 2.0 * 140.0);  // printable on both sides
+}
+
+/// Plan fill for one clear interval [lo, hi] of a row.
+void fill_gap(DummyFillPlan& plan, std::size_t row, Nm lo, Nm hi,
+              const DummyFillConfig& config) {
+  const Nm gap = hi - lo;
+  if (gap < config.min_gap_to_fill) return;
+  const Nm two_dummy_extent =
+      2.0 * (config.target_spacing + config.fill_width) + 140.0;
+  if (gap >= two_dummy_extent) {
+    plan.lines.emplace_back(row, lo + config.target_spacing);
+    plan.lines.emplace_back(
+        row, hi - config.target_spacing - config.fill_width);
+  } else {
+    plan.lines.emplace_back(row, lo + (gap - config.fill_width) / 2.0);
+  }
+}
+
+}  // namespace
+
+DummyFillPlan plan_dummy_fill(const Placement& placement,
+                              const DummyFillConfig& config) {
+  validate(config);
+  const CellLibrary& lib = placement.netlist().library();
+  DummyFillPlan plan;
+  for (std::size_t r = 0; r < placement.rows().size(); ++r) {
+    const auto& row = placement.rows()[r];
+    Nm cursor = 0.0;
+    for (std::size_t gi : row) {
+      const PlacedInstance& inst = placement.instances()[gi];
+      fill_gap(plan, r, cursor, inst.x, config);
+      cursor = inst.x +
+               lib.master(placement.netlist().gates()[gi].cell_index)
+                   .width();
+    }
+    fill_gap(plan, r, cursor, placement.row_width(), config);
+  }
+  return plan;
+}
+
+void apply_dummy_fill(Layout& row_layout, const DummyFillPlan& plan,
+                      std::size_t row, const CellTech& tech,
+                      const DummyFillConfig& config) {
+  for (const auto& [r, x] : plan.lines) {
+    if (r != row) continue;
+    row_layout.add(Layer::DummyPoly,
+                   Rect::make(x, tech.poly_y_lo, x + config.fill_width,
+                              tech.poly_y_hi));
+  }
+}
+
+std::vector<InstanceNps> nps_with_fill(const Placement& placement,
+                                       const DummyFillPlan& plan,
+                                       const DummyFillConfig& config) {
+  const Netlist& netlist = placement.netlist();
+  const CellLibrary& lib = netlist.library();
+  std::vector<InstanceNps> nps = extract_nps(placement);
+
+  // Per-row sorted dummy positions for quick nearest queries.
+  std::vector<std::vector<Nm>> per_row(placement.rows().size());
+  for (const auto& [r, x] : plan.lines) per_row[r].push_back(x);
+  for (auto& v : per_row) std::sort(v.begin(), v.end());
+
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    const PlacedInstance& inst = placement.instances()[gi];
+    const CellMaster& master = lib.master(netlist.gates()[gi].cell_index);
+    const auto& dummies = per_row[inst.row];
+    if (dummies.empty()) continue;
+
+    const Nm left_edge =
+        inst.x + master.gates()[master.leftmost_gate()].x_lo();
+    const Nm right_edge =
+        inst.x + master.gates()[master.rightmost_gate()].x_hi();
+    // Nearest dummy fully to the left / right of the boundary devices.
+    Nm left_dist = 1e18;
+    Nm right_dist = 1e18;
+    for (Nm x : dummies) {
+      const Nm dummy_hi = x + config.fill_width;
+      if (dummy_hi <= left_edge)
+        left_dist = std::min(left_dist, left_edge - dummy_hi);
+      if (x >= right_edge) right_dist = std::min(right_dist, x - right_edge);
+    }
+    // A full-height dummy caps both the top and bottom spacings.
+    nps[gi].lt = std::min(nps[gi].lt, left_dist);
+    nps[gi].lb = std::min(nps[gi].lb, left_dist);
+    nps[gi].rt = std::min(nps[gi].rt, right_dist);
+    nps[gi].rb = std::min(nps[gi].rb, right_dist);
+  }
+  return nps;
+}
+
+}  // namespace sva

@@ -1,0 +1,53 @@
+#pragma once
+// Dummy-poly fill of placement whitespace.
+//
+// The manufacturing-side complement of the paper's methodology: instead of
+// (only) *modelling* the proximity dependence, production flows insert
+// non-functional poly into whitespace so every boundary device sees a
+// dense-like neighbourhood -- the same trick the library-OPC environment
+// plays with its dummy geometries (Fig. 3), applied to the real layout.
+// Fill narrows the spread of neighbour spacings, which (a) moves most
+// arcs toward the smile/dense class and (b) shrinks the context-induced
+// CD spread itself.
+
+#include <cstddef>
+
+#include "geom/layout.hpp"
+#include "place/context.hpp"
+#include "place/placement.hpp"
+
+namespace sva {
+
+struct DummyFillConfig {
+  Nm fill_width = 90.0;     ///< dummy line width (drawn gate length)
+  Nm min_gap_to_fill = 370.0;  ///< gaps at least this wide receive fill
+  Nm target_spacing = 150.0;   ///< desired spacing from cell poly to fill
+};
+
+struct DummyFillPlan {
+  /// One full-height dummy line per entry: (row, absolute x of left edge).
+  std::vector<std::pair<std::size_t, Nm>> lines;
+
+  std::size_t count() const { return lines.size(); }
+};
+
+/// Plan dummy insertion for every gap (including row ends) of the
+/// placement.  The plan is geometry-only; apply it when assembling row
+/// layouts with apply_dummy_fill().
+DummyFillPlan plan_dummy_fill(const Placement& placement,
+                              const DummyFillConfig& config = {});
+
+/// Append the plan's dummies for one row to a row layout (shape tags, if
+/// tracked by the caller, should record -1 for them).
+void apply_dummy_fill(Layout& row_layout, const DummyFillPlan& plan,
+                      std::size_t row, const CellTech& tech,
+                      const DummyFillConfig& config = {});
+
+/// Effective nps with fill: the measured spacing capped by the distance
+/// to the nearest planned dummy.  Returns the per-instance spacings after
+/// fill for version binding.
+std::vector<InstanceNps> nps_with_fill(const Placement& placement,
+                                       const DummyFillPlan& plan,
+                                       const DummyFillConfig& config = {});
+
+}  // namespace sva

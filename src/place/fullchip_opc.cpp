@@ -1,0 +1,54 @@
+#include "place/fullchip_opc.hpp"
+
+#include "opc/cutline.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+
+FullChipOpcResult full_chip_opc(const Placement& placement,
+                                const OpcEngine& engine) {
+  const Netlist& netlist = placement.netlist();
+  const CellLibrary& lib = netlist.library();
+  const CellTech& tech = lib.master(0).tech();
+  const Nm y_n = 0.5 * (tech.nmos_y_lo + tech.nmos_y_hi);
+  const Nm y_p = 0.5 * (tech.pmos_y_lo + tech.pmos_y_hi);
+
+  FullChipOpcResult result;
+  result.device_cd.resize(netlist.gates().size());
+  result.device_mask_width.resize(netlist.gates().size());
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
+    const std::size_t n_dev =
+        lib.master(netlist.gates()[gi].cell_index).devices().size();
+    result.device_cd[gi].assign(n_dev, 0.0);
+    result.device_mask_width[gi].assign(n_dev, 0.0);
+  }
+
+  std::vector<long> tags;
+  for (std::size_t r = 0; r < placement.rows().size(); ++r) {
+    const Layout row = placement.row_layout(r, &tags);
+    if (row.empty()) continue;
+    for (const auto& [y, type] : {std::pair{y_n, DeviceType::Nmos},
+                                  std::pair{y_p, DeviceType::Pmos}}) {
+      const OpcProblem problem = extract_cutline(row, y, tags);
+      const OpcResult corrected = engine.correct(problem);
+      result.images_simulated += corrected.images_simulated;
+      result.lines_corrected += corrected.lines.size();
+      for (const OpcLineResult& lr : corrected.lines) {
+        if (lr.line.tag < 0) continue;
+        const std::size_t gi = Placement::tag_gate(lr.line.tag);
+        const std::size_t poly = Placement::tag_poly(lr.line.tag);
+        const CellMaster& master =
+            lib.master(netlist.gates()[gi].cell_index);
+        for (std::size_t di = 0; di < master.devices().size(); ++di) {
+          const Device& d = master.devices()[di];
+          if (d.type != type || d.gate_index != poly) continue;
+          result.device_cd[gi][di] = lr.printed_cd;
+          result.device_mask_width[gi][di] = lr.line.mask_width();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sva

@@ -1,0 +1,118 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range find_range(const std::vector<Series>& series, bool use_x) {
+  Range r{1e300, -1e300};
+  for (const auto& s : series) {
+    const auto& v = use_x ? s.x : s.y;
+    for (double x : v) {
+      r.lo = std::min(r.lo, x);
+      r.hi = std::max(r.hi, x);
+    }
+  }
+  if (r.lo > r.hi) return {0.0, 1.0};
+  if (r.lo == r.hi) return {r.lo - 1.0, r.hi + 1.0};
+  // Small margin so extreme points do not sit on the frame.
+  const double pad = 0.03 * (r.hi - r.lo);
+  return {r.lo - pad, r.hi + pad};
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  SVA_REQUIRE(!series.empty());
+  SVA_REQUIRE(options.width >= 16 && options.height >= 4);
+  for (const auto& s : series) SVA_REQUIRE(s.x.size() == s.y.size());
+
+  const Range xr = find_range(series, true);
+  const Range yr = find_range(series, false);
+
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double fx = (s.x[i] - xr.lo) / (xr.hi - xr.lo);
+      const double fy = (s.y[i] - yr.lo) / (yr.hi - yr.lo);
+      auto cx = static_cast<std::size_t>(
+          std::clamp(fx * static_cast<double>(options.width - 1), 0.0,
+                     static_cast<double>(options.width - 1)));
+      auto cy = static_cast<std::size_t>(
+          std::clamp(fy * static_cast<double>(options.height - 1), 0.0,
+                     static_cast<double>(options.height - 1)));
+      grid[options.height - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + '\n';
+  const std::string y_hi_label = fmt(yr.hi, 3);
+  const std::string y_lo_label = fmt(yr.lo, 3);
+  const std::size_t label_w = std::max(y_hi_label.size(), y_lo_label.size());
+
+  for (std::size_t row = 0; row < options.height; ++row) {
+    std::string label(label_w, ' ');
+    if (row == 0) label = pad_left(y_hi_label, label_w);
+    if (row == options.height - 1) label = pad_left(y_lo_label, label_w);
+    out += label + " |" + grid[row] + '\n';
+  }
+  out += std::string(label_w + 1, ' ') + '+' +
+         std::string(options.width, '-') + '\n';
+  out += std::string(label_w + 2, ' ') + pad_right(fmt(xr.lo, 1),
+                                                   options.width - 8) +
+         pad_left(fmt(xr.hi, 1), 8) + '\n';
+  if (!options.x_label.empty())
+    out += std::string(label_w + 2, ' ') + "x: " + options.x_label + '\n';
+  if (!options.y_label.empty())
+    out += std::string(label_w + 2, ' ') + "y: " + options.y_label + '\n';
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out += std::string(label_w + 2, ' ') + kGlyphs[si % (sizeof kGlyphs)] +
+           " = " + series[si].name + '\n';
+  return out;
+}
+
+std::string render_histogram(const Histogram& histogram,
+                             const std::string& title,
+                             std::size_t max_bar_width) {
+  SVA_REQUIRE(max_bar_width >= 1);
+  std::size_t peak = 1;
+  for (std::size_t c : histogram.counts) peak = std::max(peak, c);
+
+  std::string out;
+  if (!title.empty()) out += title + '\n';
+  for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+    const double lo = histogram.lo + static_cast<double>(i) *
+                                         histogram.bin_width;
+    const double hi = lo + histogram.bin_width;
+    const auto bar = static_cast<std::size_t>(std::llround(
+        static_cast<double>(histogram.counts[i]) /
+        static_cast<double>(peak) * static_cast<double>(max_bar_width)));
+    out += pad_left(fmt(lo, 1), 8) + " .. " + pad_left(fmt(hi, 1), 8) +
+           "  " + pad_left(std::to_string(histogram.counts[i]), 7) + "  " +
+           std::string(bar, '#') + '\n';
+  }
+  if (histogram.underflow != 0)
+    out += "  underflow: " + std::to_string(histogram.underflow) + '\n';
+  if (histogram.overflow != 0)
+    out += "  overflow: " + std::to_string(histogram.overflow) + '\n';
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,40 @@
+#pragma once
+// Terminal line plots and histograms.
+//
+// The figure benches (Fig. 1 pitch curve, Fig. 2 Bossung, Fig. 7 CD-error
+// histogram) emit both a CSV of the series and an ASCII rendering so the
+// shape is visible directly in the bench output.
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace sva {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;    ///< plot area width in characters
+  std::size_t height = 20;   ///< plot area height in characters
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Render one or more series into a character grid.  Each series is drawn
+/// with its own glyph ('*', 'o', '+', 'x', ...); a legend is appended.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options);
+
+/// Render a histogram as horizontal bars, one line per bin.
+std::string render_histogram(const Histogram& histogram,
+                             const std::string& title,
+                             std::size_t max_bar_width = 60);
+
+}  // namespace sva

@@ -1,0 +1,27 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+
+std::string series_to_csv(const std::vector<Series>& series) {
+  std::string out = "series,x,y\n";
+  for (const auto& s : series) {
+    SVA_REQUIRE(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i)
+      out += s.name + ',' + fmt(s.x[i], 6) + ',' + fmt(s.y[i], 6) + '\n';
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw Error("cannot open file for writing: " + path);
+  os << text;
+  if (!os) throw Error("write failed: " + path);
+}
+
+}  // namespace sva

@@ -1,0 +1,20 @@
+#pragma once
+// CSV emission for plot series, so bench outputs can be re-plotted with
+// external tooling.
+
+#include <string>
+#include <vector>
+
+#include "report/ascii_plot.hpp"
+
+namespace sva {
+
+/// Render series as CSV.  Series may have different x grids; output format
+/// is long-form: series,x,y -- one row per point.
+std::string series_to_csv(const std::vector<Series>& series);
+
+/// Write text to a file, creating/truncating it.  Throws sva::Error on
+/// failure.  Benches use this to drop CSV artifacts next to stdout tables.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace sva

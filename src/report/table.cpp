@@ -1,0 +1,93 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+namespace {
+
+bool is_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::string s = cell;
+  if (s.back() == '%') s.pop_back();
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+std::string escape_csv(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SVA_REQUIRE_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SVA_REQUIRE_MSG(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out += pad_right(headers_[c], widths[c]);
+  }
+  out += '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += "  ";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += "  ";
+      out += is_numeric(row[c]) ? pad_left(row[c], widths[c])
+                                : pad_right(row[c], widths[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Table::render_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += escape_csv(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += escape_csv(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sva

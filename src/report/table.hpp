@@ -1,0 +1,34 @@
+#pragma once
+// Aligned-column text tables for the paper-style outputs (Tables 1 and 2).
+
+#include <string>
+#include <vector>
+
+namespace sva {
+
+/// Builds a fixed-column text table.  Numeric cells should be pre-formatted
+/// with sva::fmt so the caller controls precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Render with a header rule, columns separated by two spaces, numbers
+  /// right-aligned (a cell is "numeric" if it parses as a double, with an
+  /// optional trailing '%').
+  std::string render() const;
+
+  /// Render as comma-separated values (headers first).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sva

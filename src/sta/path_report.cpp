@@ -1,0 +1,82 @@
+#include "sta/path_report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+namespace {
+
+/// Backtrack the worst chain into `endpoint` using arrival times: at each
+/// gate pick the fanin whose arrival is largest (the arrival-setting input
+/// under the max operator, up to slew-induced ties which we break by
+/// arrival).
+std::vector<std::size_t> backtrack(const Netlist& netlist,
+                                   const StaResult& result,
+                                   std::size_t endpoint_net) {
+  std::vector<std::size_t> gates;
+  std::size_t net = endpoint_net;
+  while (!netlist.nets()[net].is_primary_input()) {
+    const std::size_t gi = netlist.nets()[net].driver_gate;
+    gates.push_back(gi);
+    const GateInst& gate = netlist.gates()[gi];
+    std::size_t best = gate.fanin_nets[0];
+    for (std::size_t fanin : gate.fanin_nets)
+      if (result.arrival_ps[fanin] > result.arrival_ps[best]) best = fanin;
+    net = best;
+  }
+  std::reverse(gates.begin(), gates.end());
+  return gates;
+}
+
+}  // namespace
+
+std::vector<TimingPath> worst_paths(const Netlist& netlist, const Sta& sta,
+                                    const ArcScaleProvider& scale,
+                                    std::size_t max_paths) {
+  SVA_REQUIRE(max_paths > 0);
+  const StaResult result = sta.run(scale);
+
+  std::vector<TimingPath> paths;
+  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni) {
+    if (!netlist.nets()[ni].is_primary_output) continue;
+    TimingPath path;
+    path.endpoint_net = ni;
+    path.arrival_ps = result.arrival_ps[ni];
+    path.gates = backtrack(netlist, result, ni);
+    paths.push_back(std::move(path));
+  }
+  std::sort(paths.begin(), paths.end(),
+            [](const TimingPath& a, const TimingPath& b) {
+              return a.arrival_ps > b.arrival_ps;
+            });
+  if (paths.size() > max_paths) paths.resize(max_paths);
+  return paths;
+}
+
+std::string render_paths(const Netlist& netlist,
+                         const std::vector<TimingPath>& paths,
+                         const StaResult& result) {
+  std::string out;
+  const CellLibrary& lib = netlist.library();
+  for (std::size_t pi = 0; pi < paths.size(); ++pi) {
+    const TimingPath& path = paths[pi];
+    out += "Path " + std::to_string(pi + 1) + ": endpoint " +
+           netlist.nets()[path.endpoint_net].name + "  arrival " +
+           fmt(path.arrival_ps, 1) + " ps\n";
+    for (std::size_t gi : path.gates) {
+      const GateInst& gate = netlist.gates()[gi];
+      out += "  " + pad_right(gate.name, 12) +
+             pad_right(lib.master(gate.cell_index).name(), 10) +
+             " arrival " +
+             pad_left(fmt(result.arrival_ps[gate.output_net], 1), 9) +
+             " ps  slew " +
+             pad_left(fmt(result.slew_ps[gate.output_net], 1), 7) +
+             " ps\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace sva

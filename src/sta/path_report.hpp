@@ -1,0 +1,33 @@
+#pragma once
+// Timing-path reporting: the worst path through each primary output,
+// ranked -- the report a sign-off engineer reads after an STA run.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace sva {
+
+/// One reported path: endpoint, arrival, and the gate chain driving it.
+struct TimingPath {
+  std::size_t endpoint_net = 0;
+  double arrival_ps = 0.0;
+  std::vector<std::size_t> gates;  ///< from inputs to the endpoint driver
+};
+
+/// Worst path per primary output, ranked by arrival (worst first), at most
+/// `max_paths` entries.  Paths are re-derived from the result's arrival
+/// times; `netlist` and `scale` must be the ones the result was computed
+/// with.
+std::vector<TimingPath> worst_paths(const Netlist& netlist, const Sta& sta,
+                                    const ArcScaleProvider& scale,
+                                    std::size_t max_paths);
+
+/// Render paths in a report_timing-like text format.
+std::string render_paths(const Netlist& netlist,
+                         const std::vector<TimingPath>& paths,
+                         const StaResult& result);
+
+}  // namespace sva

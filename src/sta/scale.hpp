@@ -1,0 +1,56 @@
+#pragma once
+// Per-arc delay scaling interface.
+//
+// The paper's entire methodology reduces, at the timing level, to scaling
+// each arc's characterized delay by L_eff / L_drawn, where L_eff depends
+// on (a) the corner being analyzed and (b) the instance's placement
+// context version.  The STA engine is agnostic: it consults an
+// ArcScaleProvider for a multiplicative factor per (gate instance, arc).
+
+#include <cstddef>
+#include <vector>
+
+namespace sva {
+
+class ArcScaleProvider {
+ public:
+  virtual ~ArcScaleProvider() = default;
+
+  /// Multiplicative delay/slew factor for `gate`'s timing arc with index
+  /// `arc_index` (index into the master's arcs()).
+  virtual double scale(std::size_t gate, std::size_t arc_index) const = 0;
+};
+
+/// No scaling: the traditional nominal library (drawn gate length).
+class UnitScale final : public ArcScaleProvider {
+ public:
+  double scale(std::size_t, std::size_t) const override { return 1.0; }
+};
+
+/// One global factor for every arc: the traditional corner libraries
+/// (every device worst-cased to L_nom +- total CD variation).
+class UniformScale final : public ArcScaleProvider {
+ public:
+  explicit UniformScale(double factor) : factor_(factor) {}
+  double scale(std::size_t, std::size_t) const override { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// Explicit per-(gate, arc) factors.  Used by Monte-Carlo samples and by
+/// analyses that compute factor matrices themselves.
+class MatrixScale final : public ArcScaleProvider {
+ public:
+  explicit MatrixScale(std::vector<std::vector<double>> factors)
+      : factors_(std::move(factors)) {}
+
+  double scale(std::size_t gate, std::size_t arc_index) const override {
+    return factors_.at(gate).at(arc_index);
+  }
+
+ private:
+  std::vector<std::vector<double>> factors_;
+};
+
+}  // namespace sva

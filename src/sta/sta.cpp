@@ -1,0 +1,192 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+Sta::Sta(const Netlist& netlist, const CharacterizedLibrary& library,
+         const StaConfig& config)
+    : netlist_(&netlist), library_(&library), config_(config) {
+  SVA_REQUIRE(library.cells.size() == netlist.library().size());
+  SVA_REQUIRE(config.input_slew_ps > 0.0);
+  SVA_REQUIRE(config.po_load_ff >= 0.0);
+  SVA_REQUIRE(config.wire_cap_per_sink_ff >= 0.0);
+
+  // Precompute net loads: sink pin caps + wire + PO load.
+  load_cache_.assign(netlist.nets().size(), 0.0);
+  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni) {
+    const Net& net = netlist.nets()[ni];
+    double load = config_.wire_cap_per_sink_ff *
+                  static_cast<double>(net.sinks.size());
+    for (const NetSink& sink : net.sinks) {
+      const GateInst& g = netlist.gates()[sink.gate];
+      const CharacterizedCell& cell = library.cells[g.cell_index];
+      const auto pins = netlist.input_pins_of(g.cell_index);
+      SVA_ASSERT(sink.pin_index < pins.size());
+      load += cell.master.pin(pins[sink.pin_index]).input_cap_ff;
+    }
+    if (net.is_primary_output) load += config_.po_load_ff;
+    load_cache_[ni] = load;
+  }
+}
+
+double Sta::net_load_ff(std::size_t net) const {
+  SVA_REQUIRE(net < load_cache_.size());
+  return load_cache_[net];
+}
+
+void Sta::evaluate_gate(const ArcScaleProvider& scale, std::size_t gi,
+                        StaResult& result) const {
+  const Netlist& nl = *netlist_;
+  const GateInst& gate = nl.gates()[gi];
+  const CharacterizedCell& cell = library_->cells[gate.cell_index];
+  const double load = load_cache_[gate.output_net];
+  const auto pins = nl.input_pins_of(gate.cell_index);
+
+  double worst_arrival = -1.0;
+  double worst_slew = 0.0;
+  std::size_t worst_from = kNoDriver;
+  for (std::size_t pi = 0; pi < gate.fanin_nets.size(); ++pi) {
+    const std::size_t in_net = gate.fanin_nets[pi];
+    const CharacterizedArc& arc = cell.arc_for(pins[pi]);
+    const double factor = scale.scale(gi, arc.arc_index);
+    SVA_ASSERT_MSG(factor > 0.0, "arc scale must be positive");
+    const double in_slew = result.slew_ps[in_net];
+    const double wire_delay =
+        config_.wire_delay_per_sink_ps *
+        static_cast<double>(nl.nets()[in_net].sinks.size());
+    const double arrival = result.arrival_ps[in_net] + wire_delay +
+                           factor * arc.nldm.delay_ps(in_slew, load);
+    if (arrival > worst_arrival) {
+      worst_arrival = arrival;
+      worst_slew = factor * arc.nldm.output_slew_ps(in_slew, load);
+      worst_from = in_net;
+    }
+  }
+  result.arrival_ps[gate.output_net] = worst_arrival;
+  result.slew_ps[gate.output_net] = worst_slew;
+  result.from_net[gate.output_net] = worst_from;
+}
+
+void Sta::finalize_result(StaResult& result) const {
+  const Netlist& nl = *netlist_;
+  result.critical_delay_ps = 0.0;
+  result.critical_path.clear();
+  bool found_po = false;
+  for (std::size_t ni = 0; ni < nl.nets().size(); ++ni) {
+    if (!nl.nets()[ni].is_primary_output) continue;
+    found_po = true;
+    if (result.arrival_ps[ni] >= result.critical_delay_ps) {
+      result.critical_delay_ps = result.arrival_ps[ni];
+      result.critical_po_net = ni;
+    }
+  }
+  SVA_REQUIRE_MSG(found_po, "netlist has no primary outputs");
+
+  std::size_t net = result.critical_po_net;
+  while (net != kNoDriver && !nl.nets()[net].is_primary_input()) {
+    const std::size_t gi = nl.nets()[net].driver_gate;
+    result.critical_path.push_back(gi);
+    net = result.from_net[net];
+  }
+  std::reverse(result.critical_path.begin(), result.critical_path.end());
+}
+
+StaResult Sta::run(const ArcScaleProvider& scale) const {
+  const Netlist& nl = *netlist_;
+  StaResult result;
+  result.arrival_ps.assign(nl.nets().size(), 0.0);
+  result.slew_ps.assign(nl.nets().size(), config_.input_slew_ps);
+  result.from_net.assign(nl.nets().size(), kNoDriver);
+
+  for (std::size_t gi : nl.topological_order())
+    evaluate_gate(scale, gi, result);
+  finalize_result(result);
+  return result;
+}
+
+StaResult Sta::run_incremental(
+    const ArcScaleProvider& scale, const StaResult& previous,
+    const std::vector<std::size_t>& changed_gates) const {
+  const Netlist& nl = *netlist_;
+  SVA_REQUIRE(previous.arrival_ps.size() == nl.nets().size());
+  SVA_REQUIRE(previous.from_net.size() == nl.nets().size());
+
+  StaResult result = previous;
+  std::vector<char> dirty(nl.gates().size(), 0);
+  for (std::size_t gi : changed_gates) {
+    SVA_REQUIRE(gi < nl.gates().size());
+    dirty[gi] = 1;
+  }
+
+  for (std::size_t gi : nl.topological_order()) {
+    if (!dirty[gi]) continue;
+    const std::size_t out = nl.gates()[gi].output_net;
+    const double old_arrival = result.arrival_ps[out];
+    const double old_slew = result.slew_ps[out];
+    evaluate_gate(scale, gi, result);
+    if (result.arrival_ps[out] == old_arrival &&
+        result.slew_ps[out] == old_slew)
+      continue;  // cone converged: fanout unaffected
+    for (const NetSink& sink : nl.nets()[out].sinks) dirty[sink.gate] = 1;
+  }
+  finalize_result(result);
+  return result;
+}
+
+SlackResult Sta::run_with_slack(const ArcScaleProvider& scale,
+                                double clock_period_ps) const {
+  SVA_REQUIRE(clock_period_ps > 0.0);
+  const Netlist& nl = *netlist_;
+  SlackResult out;
+  out.timing = run(scale);
+
+  constexpr double kInf = 1e18;
+  out.required_ps.assign(nl.nets().size(), kInf);
+  for (std::size_t ni = 0; ni < nl.nets().size(); ++ni)
+    if (nl.nets()[ni].is_primary_output)
+      out.required_ps[ni] = clock_period_ps;
+
+  // Backward pass in reverse topological order, re-deriving each arc's
+  // delay from the forward pass's slews.
+  const auto& topo = nl.topological_order();
+  for (std::size_t idx = topo.size(); idx-- > 0;) {
+    const std::size_t gi = topo[idx];
+    const GateInst& gate = nl.gates()[gi];
+    const double out_required = out.required_ps[gate.output_net];
+    if (out_required >= kInf) continue;  // drives nothing timed
+    const CharacterizedCell& cell = library_->cells[gate.cell_index];
+    const double load = load_cache_[gate.output_net];
+    const auto pins = nl.input_pins_of(gate.cell_index);
+    for (std::size_t pi = 0; pi < gate.fanin_nets.size(); ++pi) {
+      const std::size_t in_net = gate.fanin_nets[pi];
+      const CharacterizedArc& arc = cell.arc_for(pins[pi]);
+      const double factor = scale.scale(gi, arc.arc_index);
+      const double wire_delay =
+          config_.wire_delay_per_sink_ps *
+          static_cast<double>(nl.nets()[in_net].sinks.size());
+      const double delay =
+          wire_delay +
+          factor * arc.nldm.delay_ps(out.timing.slew_ps[in_net], load);
+      out.required_ps[in_net] =
+          std::min(out.required_ps[in_net], out_required - delay);
+    }
+  }
+
+  out.slack_ps.assign(nl.nets().size(), kInf);
+  out.worst_slack_ps = kInf;
+  for (std::size_t ni = 0; ni < nl.nets().size(); ++ni) {
+    if (out.required_ps[ni] >= kInf) continue;  // untimed net
+    out.slack_ps[ni] = out.required_ps[ni] - out.timing.arrival_ps[ni];
+    if (out.slack_ps[ni] < out.worst_slack_ps) {
+      out.worst_slack_ps = out.slack_ps[ni];
+      out.worst_slack_net = ni;
+    }
+  }
+  SVA_ASSERT_MSG(out.worst_slack_ps < kInf, "no timed nets found");
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,99 @@
+#pragma once
+// Static timing analysis over a mapped combinational netlist.
+//
+// Standard late-mode block-based STA: arrival times and slews propagate in
+// topological order through NLDM lookups; the design delay is the worst
+// arrival over primary outputs.  Corners are realized by running the same
+// propagation with different ArcScaleProviders (traditional uniform
+// corners, or the paper's context/classification-aware corners).
+
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/scale.hpp"
+
+namespace sva {
+
+struct StaConfig {
+  double input_slew_ps = 20.0;      ///< slew at primary inputs
+  double po_load_ff = 4.0;          ///< load on primary outputs
+  double wire_cap_per_sink_ff = 0.4;  ///< lumped net wire cap per sink
+  /// Interconnect delay added per net, per sink (ps).  Wire delay does not
+  /// depend on poly CD, so it is *not* scaled by any corner -- exactly why
+  /// the CD-corner spread is a fraction of total path delay in real
+  /// designs (the paper's corner libraries likewise vary only the process
+  /// parameters, holding everything else fixed).
+  double wire_delay_per_sink_ps = 6.0;
+};
+
+struct StaResult {
+  std::vector<double> arrival_ps;  ///< per net
+  std::vector<double> slew_ps;     ///< per net
+  double critical_delay_ps = 0.0;  ///< worst arrival over POs
+  std::size_t critical_po_net = 0;
+  /// Critical path as gate indices from inputs to the critical PO.
+  std::vector<std::size_t> critical_path;
+  /// Arrival-setting fanin net per net (kNoDriver for PIs); the
+  /// backtracking state run_incremental() needs to stay exact.
+  std::vector<std::size_t> from_net;
+};
+
+/// Arrival + required-time + slack view of one analysis.
+struct SlackResult {
+  StaResult timing;
+  std::vector<double> required_ps;  ///< per net (clock at POs)
+  std::vector<double> slack_ps;     ///< required - arrival, per net
+  double worst_slack_ps = 0.0;
+  std::size_t worst_slack_net = 0;
+
+  bool meets_timing() const { return worst_slack_ps >= 0.0; }
+};
+
+class Sta {
+ public:
+  /// The netlist and characterized library must outlive the Sta object;
+  /// the characterized library must be index-aligned with the netlist's
+  /// cell library.
+  Sta(const Netlist& netlist, const CharacterizedLibrary& library,
+      const StaConfig& config = {});
+
+  /// Late-mode analysis with the given per-arc delay scaling.
+  StaResult run(const ArcScaleProvider& scale) const;
+
+  /// Late-mode analysis plus required times and slacks against a clock
+  /// period (backward min-propagation of required times through the same
+  /// arc delays the forward pass used).
+  SlackResult run_with_slack(const ArcScaleProvider& scale,
+                             double clock_period_ps) const;
+
+  /// Incremental re-analysis: starting from `previous` (computed with a
+  /// scale that differed only at `changed_gates`), re-propagate arrivals
+  /// and slews from the changed gates forward, pruning fan-out cones as
+  /// soon as a gate's outputs stop changing.  Exact: the result equals
+  /// run(scale).  Worst case degenerates to a full pass; typical
+  /// what-if edits touch a small cone.
+  StaResult run_incremental(const ArcScaleProvider& scale,
+                            const StaResult& previous,
+                            const std::vector<std::size_t>& changed_gates)
+      const;
+
+  /// Capacitive load seen by a net's driver (fF).
+  double net_load_ff(std::size_t net) const;
+
+  const StaConfig& config() const { return config_; }
+
+ private:
+  /// Recompute one gate's output arrival/slew/from in `result`.
+  void evaluate_gate(const ArcScaleProvider& scale, std::size_t gate,
+                     StaResult& result) const;
+  /// Fill critical delay / PO / path from arrivals and from_net.
+  void finalize_result(StaResult& result) const;
+
+  const Netlist* netlist_;
+  const CharacterizedLibrary* library_;
+  StaConfig config_;
+  std::vector<double> load_cache_;  ///< per net, precomputed
+};
+
+}  // namespace sva

@@ -1,0 +1,75 @@
+#pragma once
+// Error handling for the SVA-timing system.
+//
+// Following the C++ Core Guidelines (E.2, I.6) we throw exceptions for
+// errors that violate function preconditions or invariants discovered at
+// run time.  SVA_REQUIRE is used at public API boundaries; internal
+// invariants use SVA_ASSERT (also active in release builds -- EDA bugs that
+// silently corrupt timing data are far more expensive than the check).
+
+#include <stdexcept>
+#include <string>
+
+namespace sva {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition of a public API function.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Violated internal invariant (a bug in this library).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement failed: " + expr +
+                          (msg.empty() ? "" : " (" + msg + ")"));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant failed: " + expr +
+                       (msg.empty() ? "" : " (" + msg + ")"));
+}
+}  // namespace detail
+}  // namespace sva
+
+/// Check a precondition of a public API function; throws PreconditionError.
+#define SVA_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::sva::detail::throw_precondition(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+/// Check a precondition with an explanatory message.
+#define SVA_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::sva::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws InvariantError.
+#define SVA_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::sva::detail::throw_invariant(#expr, __FILE__, __LINE__, "");       \
+  } while (false)
+
+/// Check an internal invariant with an explanatory message.
+#define SVA_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::sva::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));    \
+  } while (false)

@@ -1,0 +1,106 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sva {
+namespace interp {
+
+std::size_t segment_index(const std::vector<double>& axis, double x) {
+  SVA_REQUIRE(axis.size() >= 2);
+  // upper_bound-1 gives the segment whose start is <= x; clamp into range.
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const auto raw = static_cast<std::ptrdiff_t>(it - axis.begin()) - 1;
+  const auto max_seg = static_cast<std::ptrdiff_t>(axis.size()) - 2;
+  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(raw, 0, max_seg));
+}
+
+double lerp(double x0, double y0, double x1, double y1, double x) {
+  SVA_REQUIRE(x1 != x0);
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace interp
+
+namespace {
+
+void check_axis(const std::vector<double>& axis) {
+  SVA_REQUIRE_MSG(!axis.empty(), "axis must be non-empty");
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    SVA_REQUIRE_MSG(axis[i] > axis[i - 1], "axis must be strictly increasing");
+}
+
+}  // namespace
+
+LookupTable1D::LookupTable1D(std::vector<double> axis,
+                             std::vector<double> values)
+    : axis_(std::move(axis)), values_(std::move(values)) {
+  check_axis(axis_);
+  SVA_REQUIRE(axis_.size() == values_.size());
+}
+
+double LookupTable1D::at(double x) const {
+  SVA_REQUIRE_MSG(!axis_.empty(), "lookup on empty table");
+  if (axis_.size() == 1) return values_[0];
+  const std::size_t i = interp::segment_index(axis_, x);
+  return interp::lerp(axis_[i], values_[i], axis_[i + 1], values_[i + 1], x);
+}
+
+double LookupTable1D::slope_at(double x) const {
+  SVA_REQUIRE_MSG(!axis_.empty(), "lookup on empty table");
+  if (axis_.size() == 1) return 0.0;
+  const std::size_t i = interp::segment_index(axis_, x);
+  return (values_[i + 1] - values_[i]) / (axis_[i + 1] - axis_[i]);
+}
+
+double LookupTable1D::min_value() const {
+  SVA_REQUIRE(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double LookupTable1D::max_value() const {
+  SVA_REQUIRE(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+LookupTable2D::LookupTable2D(std::vector<double> x_axis,
+                             std::vector<double> y_axis,
+                             std::vector<double> values)
+    : x_axis_(std::move(x_axis)),
+      y_axis_(std::move(y_axis)),
+      values_(std::move(values)) {
+  check_axis(x_axis_);
+  check_axis(y_axis_);
+  SVA_REQUIRE(values_.size() == x_axis_.size() * y_axis_.size());
+}
+
+double LookupTable2D::value_at(std::size_t ix, std::size_t iy) const {
+  SVA_REQUIRE(ix < nx() && iy < ny());
+  return values_[ix * ny() + iy];
+}
+
+double LookupTable2D::at(double x, double y) const {
+  SVA_REQUIRE_MSG(!values_.empty(), "lookup on empty table");
+  if (nx() == 1 && ny() == 1) return values_[0];
+  if (nx() == 1) {
+    const std::size_t j = interp::segment_index(y_axis_, y);
+    return interp::lerp(y_axis_[j], value_at(0, j), y_axis_[j + 1],
+                        value_at(0, j + 1), y);
+  }
+  if (ny() == 1) {
+    const std::size_t i = interp::segment_index(x_axis_, x);
+    return interp::lerp(x_axis_[i], value_at(i, 0), x_axis_[i + 1],
+                        value_at(i + 1, 0), x);
+  }
+  const std::size_t i = interp::segment_index(x_axis_, x);
+  const std::size_t j = interp::segment_index(y_axis_, y);
+  const double lo = interp::lerp(y_axis_[j], value_at(i, j), y_axis_[j + 1],
+                                 value_at(i, j + 1), y);
+  const double hi = interp::lerp(y_axis_[j], value_at(i + 1, j),
+                                 y_axis_[j + 1], value_at(i + 1, j + 1), y);
+  return interp::lerp(x_axis_[i], lo, x_axis_[i + 1], hi, x);
+}
+
+}  // namespace sva

@@ -1,0 +1,90 @@
+#pragma once
+// Interpolation utilities: 1-D and 2-D table lookup with linear
+// interpolation and linear extrapolation at the edges.
+//
+// These are the numerical backbone of NLDM timing-table evaluation
+// (delay(load, slew)), pitch->CD lookup tables, and Bossung/FEM surfaces.
+// Axes must be strictly increasing; lookups clamp-extrapolate linearly,
+// which matches how Liberty table evaluation behaves outside the
+// characterized window.
+
+#include <cstddef>
+#include <vector>
+
+namespace sva {
+
+/// Piecewise-linear y(x) over a strictly increasing axis.
+class LookupTable1D {
+ public:
+  LookupTable1D() = default;
+
+  /// Construct from matching axis/value vectors (axis strictly increasing,
+  /// at least one point).
+  LookupTable1D(std::vector<double> axis, std::vector<double> values);
+
+  /// Interpolated (or edge-extrapolated) value at x.
+  double at(double x) const;
+
+  /// Derivative dy/dx of the segment containing x (edge segments used for
+  /// out-of-range x).  Zero for single-point tables.
+  double slope_at(double x) const;
+
+  std::size_t size() const { return axis_.size(); }
+  const std::vector<double>& axis() const { return axis_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Minimum / maximum of the stored values (not of the interpolant,
+  /// which for piecewise-linear data is the same).
+  double min_value() const;
+  double max_value() const;
+
+ private:
+  std::vector<double> axis_;
+  std::vector<double> values_;
+};
+
+/// Bilinear z(x, y) over a strictly increasing grid.
+/// Values are stored row-major: value(ix, iy) = values[ix * ny + iy].
+class LookupTable2D {
+ public:
+  LookupTable2D() = default;
+
+  LookupTable2D(std::vector<double> x_axis, std::vector<double> y_axis,
+                std::vector<double> values);
+
+  /// Bilinearly interpolated (edge-extrapolated) value at (x, y).
+  double at(double x, double y) const;
+
+  std::size_t nx() const { return x_axis_.size(); }
+  std::size_t ny() const { return y_axis_.size(); }
+  const std::vector<double>& x_axis() const { return x_axis_; }
+  const std::vector<double>& y_axis() const { return y_axis_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double value_at(std::size_t ix, std::size_t iy) const;
+
+  /// Apply f to every stored value (used to derive scaled corner tables).
+  template <typename F>
+  LookupTable2D transformed(F&& f) const {
+    std::vector<double> v = values_;
+    for (double& x : v) x = f(x);
+    return LookupTable2D(x_axis_, y_axis_, std::move(v));
+  }
+
+ private:
+  std::vector<double> x_axis_;
+  std::vector<double> y_axis_;
+  std::vector<double> values_;
+};
+
+namespace interp {
+
+/// Index i such that axis[i] <= x < axis[i+1], clamped to a valid segment
+/// start for out-of-range x.  Axis must have >= 2 entries.
+std::size_t segment_index(const std::vector<double>& axis, double x);
+
+/// Linear interpolation between (x0,y0) and (x1,y1); extrapolates.
+double lerp(double x0, double y0, double x1, double y1, double x);
+
+}  // namespace interp
+}  // namespace sva

@@ -1,0 +1,69 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the system (benchmark-circuit generation,
+// whitespace distribution, random component of linewidth variation) goes
+// through this generator so that experiments are reproducible bit-for-bit
+// across runs and platforms.  We implement xoshiro256** (Blackman/Vigna)
+// seeded through splitmix64; <random> engines are avoided because their
+// distributions are not guaranteed identical across standard libraries.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sva {
+
+/// xoshiro256** PRNG with platform-independent helper distributions.
+class Rng {
+ public:
+  /// Seed from a 64-bit value (expanded through splitmix64).
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Seed from a string (e.g. a benchmark-circuit name) so each named
+  /// workload gets an independent, stable stream.
+  explicit Rng(std::string_view name);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Box-Muller; deterministic pairing).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Pick an index in [0, weights.size()) with probability proportional to
+  /// the (non-negative) weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sva

@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+Summary summarize(const std::vector<double>& xs) {
+  SVA_REQUIRE_MSG(!xs.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  return s;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  SVA_REQUIRE(!xs.empty());
+  SVA_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  if (i + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(i);
+  return xs[i] + frac * (xs[i + 1] - xs[i]);
+}
+
+double fraction_within(const std::vector<double>& xs, double bound) {
+  SVA_REQUIRE(!xs.empty());
+  SVA_REQUIRE(bound >= 0.0);
+  std::size_t n = 0;
+  for (double x : xs)
+    if (std::abs(x) <= bound) ++n;
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = underflow + overflow;
+  for (std::size_t c : counts) t += c;
+  return t;
+}
+
+Histogram make_histogram(const std::vector<double>& xs, double lo, double hi,
+                         std::size_t n_bins) {
+  SVA_REQUIRE(hi > lo);
+  SVA_REQUIRE(n_bins > 0);
+  Histogram h;
+  h.lo = lo;
+  h.bin_width = (hi - lo) / static_cast<double>(n_bins);
+  h.counts.assign(n_bins, 0);
+  for (double x : xs) {
+    if (x < lo) {
+      ++h.underflow;
+    } else if (x >= hi) {
+      ++h.overflow;
+    } else {
+      auto i = static_cast<std::size_t>((x - lo) / h.bin_width);
+      if (i >= n_bins) i = n_bins - 1;  // numerical edge at the top border
+      ++h.counts[i];
+    }
+  }
+  return h;
+}
+
+}  // namespace sva

@@ -1,0 +1,49 @@
+#pragma once
+// Descriptive statistics and histogram construction.
+//
+// Used to summarize per-device CD-error populations (Table 1, Fig. 7) and
+// timing-spread distributions (Table 2).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sva {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics; requires a non-empty sample.
+Summary summarize(const std::vector<double>& xs);
+
+/// Value at quantile q in [0, 1] by linear interpolation of order
+/// statistics; requires a non-empty sample.
+double quantile(std::vector<double> xs, double q);
+
+/// Fraction of samples with |x| <= bound.
+double fraction_within(const std::vector<double>& xs, double bound);
+
+/// Fixed-width histogram.
+struct Histogram {
+  double lo = 0.0;            ///< lower edge of first bin
+  double bin_width = 0.0;
+  std::vector<std::size_t> counts;
+  std::size_t underflow = 0;  ///< samples below lo
+  std::size_t overflow = 0;   ///< samples at or above the last edge
+
+  /// Center of bin i.
+  double bin_center(std::size_t i) const { return lo + (i + 0.5) * bin_width; }
+  std::size_t total() const;
+};
+
+/// Build a histogram with n_bins equal bins over [lo, hi).
+Histogram make_histogram(const std::vector<double>& xs, double lo, double hi,
+                         std::size_t n_bins);
+
+}  // namespace sva

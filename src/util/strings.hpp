@@ -1,0 +1,28 @@
+#pragma once
+// Small string/formatting helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace sva {
+
+/// printf-style double formatting with fixed decimals, e.g. fmt(3.14159, 2)
+/// == "3.14".
+std::string fmt(double v, int decimals);
+
+/// Format as a percentage with the given decimals: fmt_pct(0.2834, 1) ==
+/// "28.3%".  The input is a fraction, not a percentage.
+std::string fmt_pct(double fraction, int decimals);
+
+/// Left/right padding to a fixed width (no truncation if already wider).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace sva

@@ -1,0 +1,33 @@
+#pragma once
+// Units used throughout the SVA-timing system.
+//
+// All layout geometry is in nanometres (double).  All time quantities are
+// in picoseconds (double).  Capacitance is in femtofarads.  Exposure dose
+// and source coordinates are dimensionless.  Keeping one unit per physical
+// dimension (rather than templated unit types) matches common EDA practice
+// (LEF/DEF databases, Liberty tables) while the aliases below keep
+// signatures self-documenting.
+
+namespace sva {
+
+/// Length in nanometres.
+using Nm = double;
+/// Time in picoseconds.
+using Ps = double;
+/// Capacitance in femtofarads.
+using Ff = double;
+/// Dimensionless quantity (dose, sigma, ratios).
+using Unitless = double;
+
+namespace units {
+
+inline constexpr Nm kMicron = 1000.0;        ///< 1 um in nm
+inline constexpr Ps kNanosecond = 1000.0;    ///< 1 ns in ps
+
+/// Convert picoseconds to nanoseconds (for paper-style table output).
+constexpr double ps_to_ns(Ps ps) { return ps / kNanosecond; }
+/// Convert nanometres to microns.
+constexpr double nm_to_um(Nm nm) { return nm / kMicron; }
+
+}  // namespace units
+}  // namespace sva

@@ -1,0 +1,442 @@
+// Tests for the cell module: masters, the 10-cell library, NLDM tables,
+// characterization, library OPC, and the 81-version context expansion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cell/cell_master.hpp"
+#include "cell/characterize.hpp"
+#include "cell/context_library.hpp"
+#include "cell/library.hpp"
+#include "cell/library_opc.hpp"
+#include "cell/nldm.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary library = build_standard_library();
+  return library;
+}
+
+const LithoProcess& wafer_process() {
+  static const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  return proc;
+}
+
+// ------------------------------------------------------------- CellMaster
+
+TEST(CellMaster, GateAndDeviceGeometry) {
+  const CellTech tech;
+  CellMaster cell("TEST", 510.0, tech);
+  const std::size_t gi = cell.add_gate(255.0, 90.0);
+  cell.add_pin("A", false);
+  cell.add_pin("Y", true);
+  const std::size_t dp =
+      cell.add_device("MP0", DeviceType::Pmos, gi, 1000.0, "A");
+  const std::size_t dn =
+      cell.add_device("MN0", DeviceType::Nmos, gi, 660.0, "A");
+  cell.add_arc("A", "Y", {dp, dn});
+  cell.validate();
+
+  const Rect gr = cell.gate_rect(gi);
+  EXPECT_DOUBLE_EQ(gr.x_lo, 210.0);
+  EXPECT_DOUBLE_EQ(gr.x_hi, 300.0);
+  EXPECT_DOUBLE_EQ(gr.y_lo, tech.poly_y_lo);
+
+  const Rect pr = cell.device_gate_rect(dp);
+  EXPECT_DOUBLE_EQ(pr.y_lo, tech.pmos_y_lo);
+  EXPECT_DOUBLE_EQ(pr.height(), 1000.0);
+  const Rect nr = cell.device_gate_rect(dn);
+  EXPECT_DOUBLE_EQ(nr.y_lo, tech.nmos_y_lo);
+
+  EXPECT_DOUBLE_EQ(cell.edge_clearance(dp, true), 210.0);
+  EXPECT_DOUBLE_EQ(cell.edge_clearance(dp, false), 210.0);
+  EXPECT_TRUE(cell.is_boundary_device(dp));
+}
+
+TEST(CellMaster, ValidateCatchesBadGeometry) {
+  const CellTech tech;
+  CellMaster cell("BAD", 200.0, tech);
+  cell.add_gate(10.0, 90.0);  // sticks out on the left
+  cell.add_pin("Y", true);
+  EXPECT_THROW(cell.validate(), PreconditionError);
+}
+
+TEST(CellMaster, ValidateCatchesOverlappingGates) {
+  const CellTech tech;
+  CellMaster cell("BAD", 1000.0, tech);
+  cell.add_gate(300.0, 90.0);
+  cell.add_gate(350.0, 90.0);  // overlaps the first
+  cell.add_pin("Y", true);
+  EXPECT_THROW(cell.validate(), PreconditionError);
+}
+
+TEST(CellMaster, PinLookupThrowsOnMissing) {
+  const CellTech tech;
+  CellMaster cell("T", 500.0, tech);
+  cell.add_pin("A", false);
+  EXPECT_THROW(cell.pin("B"), PreconditionError);
+}
+
+TEST(CellMaster, LayoutShapeOrder) {
+  const CellMaster& nor2 = lib().by_name("NOR2_X1");
+  const Layout layout = nor2.layout();
+  // Gates first, stubs next, diffusion last.
+  for (std::size_t i = 0; i < nor2.gates().size(); ++i)
+    EXPECT_EQ(layout.shapes()[i].layer, Layer::Poly);
+  EXPECT_EQ(layout.shapes().back().layer, Layer::Diffusion);
+  EXPECT_EQ(layout.size(), nor2.gates().size() + nor2.poly_stubs().size() +
+                               2 /* diffusion strips */);
+}
+
+// ---------------------------------------------------------------- Library
+
+TEST(Library, HasTenMasters) {
+  EXPECT_EQ(lib().size(), 10u);
+  const std::set<std::string> expected = {
+      "INV_X1",  "INV_X2",  "BUF_X1",   "NAND2_X1", "NAND3_X1",
+      "NOR2_X1", "NOR3_X1", "AOI21_X1", "OAI21_X1", "XOR2_X1"};
+  std::set<std::string> actual;
+  for (const auto& m : lib().masters()) actual.insert(m.name());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Library, AllMastersValid) {
+  for (const auto& m : lib().masters()) EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Library, WidthsAreSiteMultiples) {
+  const CellTech tech;
+  for (const auto& m : lib().masters()) {
+    const double sites = m.width() / tech.site_width;
+    EXPECT_NEAR(sites, std::round(sites), 1e-9) << m.name();
+  }
+}
+
+TEST(Library, EveryInputPinHasAnArc) {
+  for (const auto& m : lib().masters()) {
+    for (const auto& p : m.pins()) {
+      if (p.is_output) continue;
+      bool found = false;
+      for (const auto& a : m.arcs()) found |= a.input == p.name;
+      EXPECT_TRUE(found) << m.name() << " pin " << p.name;
+    }
+  }
+}
+
+TEST(Library, InternalSpacingsCoverAllClasses) {
+  // The library must contain dense (< contacted pitch) and isolated
+  // internal spacings so Fig. 5's device classes all occur.
+  const CellTech tech;
+  bool has_dense = false;
+  bool has_iso = false;
+  for (const auto& m : lib().masters()) {
+    for (std::size_t i = 1; i < m.gates().size(); ++i) {
+      const Nm spacing =
+          m.gates()[i].x_lo() - m.gates()[i - 1].x_hi();
+      if (spacing < tech.contacted_pitch) has_dense = true;
+      if (spacing >= tech.contacted_pitch) has_iso = true;
+    }
+  }
+  EXPECT_TRUE(has_dense);
+  EXPECT_TRUE(has_iso);
+}
+
+TEST(Library, IndexLookup) {
+  EXPECT_EQ(lib().index_of("NAND2_X1"), 3u);
+  EXPECT_EQ(lib().by_name("XOR2_X1").name(), "XOR2_X1");
+  EXPECT_THROW(lib().index_of("DFF_X1"), PreconditionError);
+  EXPECT_THROW(lib().master(10), PreconditionError);
+}
+
+TEST(Library, BoundaryClearanceRule) {
+  // Every poly feature keeps >= 70 nm from the cell outline so abutted
+  // neighbours are >= 140 nm apart and never bridge.
+  for (const auto& m : lib().masters()) {
+    for (std::size_t gi = 0; gi < m.gates().size(); ++gi) {
+      const Rect g = m.gate_rect(gi);
+      EXPECT_GE(g.x_lo, 70.0 - 1e-9) << m.name();
+      EXPECT_LE(g.x_hi, m.width() - 70.0 + 1e-9) << m.name();
+    }
+    for (const Rect& s : m.poly_stubs()) {
+      EXPECT_GE(s.x_lo, 70.0 - 1e-9) << m.name();
+      EXPECT_LE(s.x_hi, m.width() - 70.0 + 1e-9) << m.name();
+    }
+  }
+}
+
+TEST(Library, StubSpacingIsPrintable) {
+  // Boundary stubs must not bridge with their nearest gate: spacing at or
+  // above the dense grating spacing.
+  for (const auto& m : lib().masters()) {
+    for (const auto& stub : m.poly_stubs()) {
+      Nm nearest = 1e9;
+      for (std::size_t gi = 0; gi < m.gates().size(); ++gi) {
+        const Rect g = m.gate_rect(gi);
+        if (!g.y_overlaps(stub)) continue;
+        if (stub.x_hi <= g.x_lo) nearest = std::min(nearest, g.x_lo - stub.x_hi);
+        if (stub.x_lo >= g.x_hi) nearest = std::min(nearest, stub.x_lo - g.x_hi);
+      }
+      EXPECT_GE(nearest, 140.0) << m.name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- NLDM
+
+TEST(Nldm, ScaledMultipliesValues) {
+  LookupTable2D d({1.0, 2.0}, {1.0, 2.0}, {10.0, 20.0, 30.0, 40.0});
+  LookupTable2D s({1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0, 3.0, 4.0});
+  const NldmTable table(d, s);
+  const NldmTable scaled = table.scaled(1.1);
+  EXPECT_NEAR(scaled.delay_ps(1.0, 1.0), 11.0, 1e-12);
+  EXPECT_NEAR(scaled.output_slew_ps(2.0, 2.0), 4.4, 1e-12);
+}
+
+TEST(Nldm, RejectsMismatchedAxes) {
+  LookupTable2D d({1.0, 2.0}, {1.0, 2.0}, {1, 2, 3, 4});
+  LookupTable2D s({1.0, 2.0, 3.0}, {1.0, 2.0}, {1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(NldmTable(d, s), PreconditionError);
+}
+
+// ----------------------------------------------------------- Characterize
+
+TEST(Characterize, DelayIncreasesWithLoadAndSlew) {
+  const auto charlib = characterize_library(lib());
+  for (const auto& cell : charlib.cells) {
+    for (const auto& arc : cell.arcs) {
+      EXPECT_LT(arc.nldm.delay_ps(20.0, 2.0), arc.nldm.delay_ps(20.0, 30.0));
+      EXPECT_LT(arc.nldm.delay_ps(10.0, 8.0), arc.nldm.delay_ps(100.0, 8.0));
+      EXPECT_GT(arc.nldm.delay_ps(5.0, 0.5), 0.0);
+    }
+  }
+}
+
+TEST(Characterize, PinCapsPositiveAndWidthOrdered) {
+  const auto charlib = characterize_library(lib());
+  for (const auto& cell : charlib.cells)
+    for (const auto& p : cell.master.pins())
+      if (!p.is_output) {
+        EXPECT_GT(p.input_cap_ff, 0.0);
+      }
+  // INV_X2 has two fingers on pin A => roughly twice INV_X1's input cap.
+  const double c1 =
+      charlib.cells[lib().index_of("INV_X1")].master.pin("A").input_cap_ff;
+  const double c2 =
+      charlib.cells[lib().index_of("INV_X2")].master.pin("A").input_cap_ff;
+  EXPECT_NEAR(c2 / c1, 2.0, 0.01);
+}
+
+TEST(Characterize, StackedCellsAreSlower) {
+  const auto charlib = characterize_library(lib());
+  const auto& inv = charlib.cells[lib().index_of("INV_X1")];
+  const auto& nand3 = charlib.cells[lib().index_of("NAND3_X1")];
+  EXPECT_GT(nand3.arc_for("A").nldm.delay_ps(20.0, 8.0),
+            inv.arc_for("A").nldm.delay_ps(20.0, 8.0));
+}
+
+TEST(Characterize, ArcForThrowsOnUnknownPin) {
+  const auto charlib = characterize_library(lib());
+  EXPECT_THROW(charlib.cells[0].arc_for("Z"), PreconditionError);
+}
+
+TEST(Characterize, DriveResistanceFilled) {
+  const auto charlib = characterize_library(lib());
+  for (const auto& cell : charlib.cells)
+    for (const auto& arc : cell.master.arcs())
+      EXPECT_GT(arc.drive_resistance_kohm, 0.0);
+}
+
+// ------------------------------------------------------------ Library OPC
+
+TEST(LibraryOpc, EnvironmentHasDummies) {
+  const auto& master = lib().by_name("NAND2_X1");
+  const Layout env = library_opc_environment(master, LibraryOpcConfig{});
+  int dummies = 0;
+  for (const auto& s : env.shapes())
+    if (s.layer == Layer::DummyPoly) ++dummies;
+  EXPECT_EQ(dummies, 2);
+  // One dummy on each side of the cell.
+  const auto dums = env.on_layer(Layer::DummyPoly);
+  EXPECT_LT(dums[0].x_hi, 0.0);
+  EXPECT_GT(dums[1].x_lo, master.width());
+}
+
+TEST(LibraryOpc, EveryDeviceGetsACd) {
+  OpcEngine engine(wafer_process(), OpcConfig{});
+  for (const auto& master : lib().masters()) {
+    const auto result = library_opc_cell(master, engine);
+    ASSERT_EQ(result.device_cd.size(), master.devices().size());
+    for (std::size_t d = 0; d < result.device_cd.size(); ++d) {
+      EXPECT_GT(result.device_cd[d], 60.0)
+          << master.name() << " device " << d;
+      EXPECT_LT(result.device_cd[d], 130.0)
+          << master.name() << " device " << d;
+      EXPECT_GT(result.device_mask_width[d], 0.0);
+    }
+  }
+}
+
+TEST(LibraryOpc, AllCellsBatch) {
+  OpcEngine engine(wafer_process(), OpcConfig{});
+  const auto results = library_opc_all(lib().masters(), engine);
+  EXPECT_EQ(results.size(), lib().size());
+}
+
+// ------------------------------------------------------------ ContextBins
+
+TEST(ContextBins, DefaultIsPaper81) {
+  const ContextBins bins;
+  EXPECT_EQ(bins.count(), 3u);
+  EXPECT_EQ(bins.version_count(), 81u);
+  EXPECT_EQ(bins.bin_of(100.0), 0u);
+  EXPECT_EQ(bins.bin_of(399.9), 0u);
+  EXPECT_EQ(bins.bin_of(400.0), 1u);
+  EXPECT_EQ(bins.bin_of(599.9), 1u);
+  EXPECT_EQ(bins.bin_of(600.0), 2u);
+  EXPECT_EQ(bins.bin_of(5000.0), 2u);
+  // Lower bin extremes as representatives ("to be pessimistic").
+  EXPECT_DOUBLE_EQ(bins.representative(0), 300.0);
+  EXPECT_DOUBLE_EQ(bins.representative(1), 400.0);
+  EXPECT_DOUBLE_EQ(bins.representative(2), 600.0);
+}
+
+TEST(ContextBins, CustomSchemeValidation) {
+  EXPECT_NO_THROW(ContextBins({350.0, 500.0, 650.0},
+                              {250.0, 350.0, 500.0, 650.0}));
+  EXPECT_THROW(ContextBins({500.0, 400.0}, {1.0, 2.0, 3.0}),
+               PreconditionError);
+  EXPECT_THROW(ContextBins({400.0}, {300.0}), PreconditionError);
+}
+
+TEST(VersionKey, RoundTrip) {
+  for (std::size_t i = 0; i < 81; ++i) {
+    const VersionKey key = version_key(i, 3);
+    EXPECT_EQ(version_index(key, 3), i);
+  }
+  const VersionKey k{2, 1, 0, 2};
+  EXPECT_EQ(version_key(version_index(k, 3), 3), k);
+}
+
+TEST(VersionKey, RejectsOutOfRange) {
+  EXPECT_THROW(version_index(VersionKey{3, 0, 0, 0}, 3), PreconditionError);
+  EXPECT_THROW(version_key(81, 3), PreconditionError);
+}
+
+// --------------------------------------------------------- ContextLibrary
+
+struct ContextFixture {
+  CharacterizedLibrary charlib = characterize_library(lib());
+  OpcEngine engine{wafer_process(), OpcConfig{}};
+  std::vector<LibraryOpcCellResult> opc_results =
+      library_opc_all(lib().masters(), engine);
+  LookupTable1D table{{150.0, 300.0, 450.0, 600.0},
+                      {95.0, 91.0, 88.0, 85.0}};
+  TableCdModel boundary{90.0, table, 600.0};
+  ContextLibrary context{charlib, opc_results, boundary, ContextBins{}};
+};
+
+ContextFixture& fixture() {
+  static ContextFixture f;
+  return f;
+}
+
+TEST(ContextLibrary, InteriorDeviceIgnoresVersion) {
+  auto& f = fixture();
+  const std::size_t nand3 = lib().index_of("NAND3_X1");
+  // Device on the middle gate (gate index 1) is interior.
+  std::size_t middle_device = 0;
+  for (std::size_t d = 0; d < lib().master(nand3).devices().size(); ++d)
+    if (lib().master(nand3).devices()[d].gate_index == 1) middle_device = d;
+  const Nm cd_a =
+      f.context.device_printed_cd(nand3, VersionKey{0, 0, 0, 0},
+                                  middle_device);
+  const Nm cd_b =
+      f.context.device_printed_cd(nand3, VersionKey{2, 2, 2, 2},
+                                  middle_device);
+  EXPECT_DOUBLE_EQ(cd_a, cd_b);
+  EXPECT_DOUBLE_EQ(cd_a, f.context.interior_cd(nand3, middle_device));
+}
+
+TEST(ContextLibrary, BoundaryDeviceRespondsToVersion) {
+  auto& f = fixture();
+  const std::size_t inv = lib().index_of("INV_X1");
+  // INV's single gate is boundary on both sides.
+  const Nm dense =
+      f.context.device_printed_cd(inv, VersionKey{0, 0, 0, 0}, 0);
+  const Nm iso = f.context.device_printed_cd(inv, VersionKey{2, 2, 2, 2}, 0);
+  EXPECT_GT(dense, iso);  // dense context prints larger
+}
+
+TEST(ContextLibrary, PmosAndNmosUseDifferentBins) {
+  auto& f = fixture();
+  const std::size_t inv = lib().index_of("INV_X1");
+  const auto& devices = lib().master(inv).devices();
+  std::size_t pmos = 0, nmos = 0;
+  for (std::size_t d = 0; d < devices.size(); ++d)
+    (devices[d].type == DeviceType::Pmos ? pmos : nmos) = d;
+  // Version with dense top, iso bottom.
+  const VersionKey v{0, 0, 2, 2};
+  const Nm cd_p = f.context.device_printed_cd(inv, v, pmos);
+  const Nm cd_n = f.context.device_printed_cd(inv, v, nmos);
+  EXPECT_GT(cd_p, cd_n);
+}
+
+TEST(ContextLibrary, DeviceContextClampsToInternal) {
+  auto& f = fixture();
+  const std::size_t nand3 = lib().index_of("NAND3_X1");
+  const auto& master = lib().master(nand3);
+  // Left boundary device: its right side is the internal 160 nm spacing
+  // regardless of version.
+  std::size_t left_dev = 0;
+  for (std::size_t d = 0; d < master.devices().size(); ++d)
+    if (master.devices()[d].gate_index == master.leftmost_gate())
+      left_dev = d;
+  const auto ctx =
+      f.context.device_context(nand3, VersionKey{2, 2, 2, 2}, left_dev);
+  EXPECT_NEAR(ctx.s_right, 160.0, 1e-9);
+}
+
+TEST(ContextLibrary, ArcEffectiveLengthAveragesDevices) {
+  auto& f = fixture();
+  const std::size_t inv = lib().index_of("INV_X1");
+  const VersionKey v{1, 1, 1, 1};
+  const Nm l0 = f.context.device_printed_cd(inv, v, 0);
+  const Nm l1 = f.context.device_printed_cd(inv, v, 1);
+  EXPECT_NEAR(f.context.arc_effective_length(inv, v, 0), (l0 + l1) / 2.0,
+              1e-9);
+}
+
+TEST(ContextLibrary, DelayScaleIsLengthRatio) {
+  auto& f = fixture();
+  const std::size_t inv = lib().index_of("INV_X1");
+  const VersionKey v{0, 0, 0, 0};
+  EXPECT_NEAR(f.context.arc_delay_scale(inv, v, 0),
+              f.context.arc_effective_length(inv, v, 0) / 90.0, 1e-12);
+}
+
+// Property: every (cell, version) yields positive, physically bounded
+// effective lengths for all arcs.
+class AllVersions : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllVersions, EffectiveLengthsBounded) {
+  auto& f = fixture();
+  const VersionKey v = version_key(GetParam(), 3);
+  for (std::size_t ci = 0; ci < lib().size(); ++ci) {
+    for (std::size_t ai = 0; ai < lib().master(ci).arcs().size(); ++ai) {
+      const Nm l = f.context.arc_effective_length(ci, v, ai);
+      EXPECT_GT(l, 60.0);
+      EXPECT_LT(l, 120.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VersionSweep, AllVersions,
+                         ::testing::Values(0u, 1u, 13u, 40u, 41u, 60u,
+                                           79u, 80u));
+
+}  // namespace
+}  // namespace sva

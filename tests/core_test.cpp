@@ -1,0 +1,211 @@
+// Tests for the core module: CD budget, classification, the paper's
+// corner equations (1)-(5), and the corner scale providers.
+
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+#include "core/classify.hpp"
+#include "core/corners.hpp"
+#include "core/scales.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+CdBudget paper_budget() {
+  CdBudget b;
+  b.total_fraction = 0.10;
+  b.pitch_share = 0.30;
+  b.focus_share = 0.30;
+  b.other_process_fraction = 0.05;
+  return b;
+}
+
+// ---------------------------------------------------------------- Budget
+
+TEST(Budget, AbsoluteValues) {
+  const CdBudget b = paper_budget();
+  EXPECT_DOUBLE_EQ(b.total(90.0), 9.0);
+  EXPECT_DOUBLE_EQ(b.lvar_pitch(90.0), 2.7);
+  EXPECT_DOUBLE_EQ(b.lvar_focus(90.0), 2.7);
+}
+
+TEST(Budget, ValidateRejectsOverfullShares) {
+  CdBudget b = paper_budget();
+  b.pitch_share = 0.6;
+  b.focus_share = 0.6;
+  EXPECT_THROW(b.validate(), PreconditionError);
+  b = paper_budget();
+  b.total_fraction = 0.0;
+  EXPECT_THROW(b.validate(), PreconditionError);
+}
+
+TEST(Budget, OtherProcessFactor) {
+  const CdBudget b = paper_budget();
+  EXPECT_DOUBLE_EQ(b.other_process_factor(true), 1.05);
+  EXPECT_DOUBLE_EQ(b.other_process_factor(false), 0.95);
+}
+
+// ---------------------------------------------------------------- Classify
+
+TEST(Classify, DeviceClasses) {
+  const Nm cp = 340.0;
+  EXPECT_EQ(classify_device(150.0, 150.0, cp), DeviceClass::Dense);
+  EXPECT_EQ(classify_device(600.0, 600.0, cp), DeviceClass::Isolated);
+  EXPECT_EQ(classify_device(150.0, 600.0, cp),
+            DeviceClass::SelfCompensated);
+  EXPECT_EQ(classify_device(600.0, 150.0, cp),
+            DeviceClass::SelfCompensated);
+  // Boundary: exactly at contacted pitch counts as isolated ("less than").
+  EXPECT_EQ(classify_device(340.0, 340.0, cp), DeviceClass::Isolated);
+}
+
+TEST(Classify, ArcMajorityRule) {
+  using D = DeviceClass;
+  // Paper footnote 6: two isolated + one dense => frowning.
+  EXPECT_EQ(classify_arc({D::Isolated, D::Isolated, D::Dense}),
+            ArcClass::Frown);
+  EXPECT_EQ(classify_arc({D::Dense, D::Dense, D::Isolated}),
+            ArcClass::Smile);
+  EXPECT_EQ(classify_arc({D::Dense}), ArcClass::Smile);
+  EXPECT_EQ(classify_arc({D::Isolated}), ArcClass::Frown);
+  // Ties and self-compensated majorities.
+  EXPECT_EQ(classify_arc({D::Dense, D::Isolated}),
+            ArcClass::SelfCompensated);
+  EXPECT_EQ(classify_arc({D::SelfCompensated, D::SelfCompensated, D::Dense}),
+            ArcClass::SelfCompensated);
+}
+
+TEST(Classify, ArcConservativePolicy) {
+  using D = DeviceClass;
+  const auto policy = ArcLabelPolicy::Conservative;
+  EXPECT_EQ(classify_arc({D::Dense, D::Dense}, policy), ArcClass::Smile);
+  EXPECT_EQ(classify_arc({D::Isolated, D::Isolated}, policy),
+            ArcClass::Frown);
+  // Any mixture is self-compensated under the conservative policy.
+  EXPECT_EQ(classify_arc({D::Dense, D::Dense, D::Isolated}, policy),
+            ArcClass::SelfCompensated);
+}
+
+TEST(Classify, EmptyArcRejected) {
+  EXPECT_THROW(classify_arc({}), PreconditionError);
+}
+
+TEST(Classify, Names) {
+  EXPECT_STREQ(to_string(DeviceClass::Dense), "dense");
+  EXPECT_STREQ(to_string(ArcClass::Frown), "frown");
+}
+
+// ---------------------------------------------------------------- Corners
+
+TEST(Corners, TraditionalFullBudget) {
+  const CornerLengths c = traditional_corners(90.0, paper_budget());
+  EXPECT_DOUBLE_EQ(c.nom, 90.0);
+  EXPECT_DOUBLE_EQ(c.wc, 99.0);
+  EXPECT_DOUBLE_EQ(c.bc, 81.0);
+  EXPECT_DOUBLE_EQ(c.spread(), 18.0);
+}
+
+TEST(Corners, Equation1PitchRemoval) {
+  // Self-compensated arcs see focus trimming on both sides; verify the
+  // pitch-corner core (Eq. 1) through the smile arc's WC, which is exactly
+  // WC_pitch.
+  const CdBudget b = paper_budget();
+  const CornerLengths c = sva_corners(90.0, 88.0, ArcClass::Smile, b);
+  // WC_pitch = l_nom_new + (total - lvar_pitch) = 88 + (9 - 2.7).
+  EXPECT_DOUBLE_EQ(c.wc, 88.0 + 6.3);
+  // BC_smile = BC_pitch + lvar_focus = 88 - 6.3 + 2.7.
+  EXPECT_DOUBLE_EQ(c.bc, 88.0 - 6.3 + 2.7);
+  EXPECT_DOUBLE_EQ(c.nom, 88.0);
+}
+
+TEST(Corners, Equations3FrownTrimsWorstCase) {
+  const CdBudget b = paper_budget();
+  const CornerLengths c = sva_corners(90.0, 86.0, ArcClass::Frown, b);
+  EXPECT_DOUBLE_EQ(c.wc, 86.0 + 6.3 - 2.7);
+  EXPECT_DOUBLE_EQ(c.bc, 86.0 - 6.3);
+}
+
+TEST(Corners, Equations45SelfCompensatedTrimsBoth) {
+  const CdBudget b = paper_budget();
+  const CornerLengths c =
+      sva_corners(90.0, 90.0, ArcClass::SelfCompensated, b);
+  EXPECT_DOUBLE_EQ(c.wc, 90.0 + 6.3 - 2.7);
+  EXPECT_DOUBLE_EQ(c.bc, 90.0 - 6.3 + 2.7);
+}
+
+TEST(Corners, SvaSpreadNeverExceedsTraditional) {
+  const CdBudget b = paper_budget();
+  const CornerLengths trad = traditional_corners(90.0, b);
+  for (ArcClass cls : {ArcClass::Smile, ArcClass::Frown,
+                       ArcClass::SelfCompensated}) {
+    const CornerLengths c = sva_corners(90.0, 90.0, cls, b);
+    EXPECT_LT(c.spread(), trad.spread());
+    EXPECT_GE(c.wc, c.nom);
+    EXPECT_LE(c.bc, c.nom);
+  }
+}
+
+TEST(Corners, ZeroSharesReproduceTraditionalSpread) {
+  CdBudget b = paper_budget();
+  b.pitch_share = 0.0;
+  b.focus_share = 0.0;
+  const CornerLengths c = sva_corners(90.0, 90.0, ArcClass::Smile, b);
+  EXPECT_DOUBLE_EQ(c.spread(), traditional_corners(90.0, b).spread());
+}
+
+TEST(Corners, CornerAccessor) {
+  const CornerLengths c{81.0, 90.0, 99.0};
+  EXPECT_DOUBLE_EQ(c.at(Corner::Best), 81.0);
+  EXPECT_DOUBLE_EQ(c.at(Corner::Nominal), 90.0);
+  EXPECT_DOUBLE_EQ(c.at(Corner::Worst), 99.0);
+  EXPECT_STREQ(to_string(Corner::Worst), "WC");
+}
+
+TEST(Corners, RejectsBadInputs) {
+  EXPECT_THROW(traditional_corners(-1.0, paper_budget()),
+               PreconditionError);
+  EXPECT_THROW(sva_corners(90.0, 0.0, ArcClass::Smile, paper_budget()),
+               PreconditionError);
+}
+
+// --------------------------------------------------------- Corner scales
+
+TEST(TraditionalCornerScale, FactorsIncludeOtherProcess) {
+  const CdBudget b = paper_budget();
+  const TraditionalCornerScale wc(90.0, b, Corner::Worst);
+  const TraditionalCornerScale bc(90.0, b, Corner::Best);
+  const TraditionalCornerScale nom(90.0, b, Corner::Nominal);
+  EXPECT_DOUBLE_EQ(nom.factor(), 1.0);
+  EXPECT_DOUBLE_EQ(wc.factor(), 1.10 * 1.05);
+  EXPECT_DOUBLE_EQ(bc.factor(), 0.90 * 0.95);
+}
+
+// Property: for every arc class and several context lengths, the SVA WC
+// factor is below the traditional WC factor and the BC factor above the
+// traditional BC factor whenever the context length is at most nominal.
+class CornerDominance
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(CornerDominance, SvaWithinTraditionalBracket) {
+  const double l_new = std::get<0>(GetParam());
+  const auto cls = static_cast<ArcClass>(std::get<1>(GetParam()));
+  const CdBudget b = paper_budget();
+  const CornerLengths trad = traditional_corners(90.0, b);
+  const CornerLengths c = sva_corners(90.0, l_new, cls, b);
+  if (l_new <= 90.0) {
+    EXPECT_LE(c.wc, trad.wc);
+  }
+  if (l_new >= 90.0) {
+    EXPECT_GE(c.bc, trad.bc);
+  }
+  EXPECT_GT(c.spread(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CornerDominance,
+    ::testing::Combine(::testing::Values(84.0, 87.0, 90.0, 93.0),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace sva

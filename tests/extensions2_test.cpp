@@ -1,0 +1,352 @@
+// Tests for the second extension wave: .bench parsing, DRC, process
+// windows, attenuated PSM, spatial statistical sampling, and STA slack.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/statistical.hpp"
+#include "geom/drc.hpp"
+#include "litho/process_window.hpp"
+#include "netlist/bench_format.hpp"
+#include "sta/sta.hpp"
+
+namespace sva {
+namespace {
+
+const SvaFlow& flow() {
+  static const SvaFlow f{FlowConfig{}};
+  return f;
+}
+
+// ------------------------------------------------------------ BenchFormat
+
+const char* kC17 = R"(
+# c17 -- the classic 6-gate example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchFormat, ParsesC17) {
+  const BoolNetwork net = parse_bench(kC17);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  std::size_t inputs = 0;
+  std::size_t nands = 0;
+  for (const auto& n : net.nodes()) {
+    if (n.op == BoolOp::Input) ++inputs;
+    if (n.op == BoolOp::Nand) ++nands;
+  }
+  EXPECT_EQ(inputs, 5u);
+  EXPECT_EQ(nands, 6u);
+}
+
+TEST(BenchFormat, LoadsAndTimesC17) {
+  const Netlist nl = load_bench(kC17, flow().library(), "c17");
+  nl.validate();
+  EXPECT_EQ(nl.primary_input_count(), 5u);
+  EXPECT_EQ(nl.primary_output_count(), 2u);
+  const Placement p = flow().make_placement(nl);
+  const CircuitAnalysis a = flow().analyze(nl, p);
+  EXPECT_GT(a.trad_nom_ps, 0.0);
+  EXPECT_GT(a.uncertainty_reduction(), 0.0);
+}
+
+TEST(BenchFormat, OutOfOrderDefinitionsResolve) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = AND(a, a)
+)";
+  const BoolNetwork net = parse_bench(text);
+  EXPECT_EQ(net.outputs().size(), 1u);
+}
+
+TEST(BenchFormat, SupportsAllGateTypes) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+g1 = AND(a, b)
+g2 = OR(b, c)
+g3 = NAND(a, c)
+g4 = NOR(g1, g2)
+g5 = XOR(g3, g4)
+g6 = XNOR(g5, a)
+g7 = BUFF(g6)
+z = NOT(g7)
+)";
+  EXPECT_NO_THROW(parse_bench(text));
+  const Netlist nl = load_bench(text, flow().library(), "all_ops");
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchFormat, RejectsSequential) {
+  const char* text = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+  EXPECT_THROW(parse_bench(text), Error);
+}
+
+TEST(BenchFormat, RejectsUndefinedSignal) {
+  const char* text = "INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n";
+  EXPECT_THROW(parse_bench(text), Error);
+}
+
+TEST(BenchFormat, RejectsDoubleDriver) {
+  const char* text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\nz = OR(a, b)\n";
+  EXPECT_THROW(parse_bench(text), Error);
+}
+
+TEST(BenchFormat, RejectsCycle) {
+  const char* text =
+      "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n";
+  EXPECT_THROW(parse_bench(text), Error);
+}
+
+TEST(BenchFormat, RejectsMissingDeclarations) {
+  EXPECT_THROW(parse_bench("OUTPUT(z)\nz = AND(a, b)\n"), Error);
+  EXPECT_THROW(parse_bench("INPUT(a)\n"), Error);
+}
+
+// ------------------------------------------------------------------- DRC
+
+TEST(Drc, CleanLayoutPasses) {
+  Layout layout;
+  layout.add(Layer::Poly, Rect::make(0, 0, 90, 1000));
+  layout.add(Layer::Poly, Rect::make(250, 0, 340, 1000));
+  EXPECT_TRUE(check_poly(layout).empty());
+}
+
+TEST(Drc, CatchesNarrowPoly) {
+  Layout layout;
+  layout.add(Layer::Poly, Rect::make(0, 0, 40, 1000));
+  const auto v = check_poly(layout);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, DrcViolationKind::Width);
+  EXPECT_DOUBLE_EQ(v[0].measured, 40.0);
+  EXPECT_FALSE(v[0].describe().empty());
+}
+
+TEST(Drc, CatchesTightSpacing) {
+  Layout layout;
+  layout.add(Layer::Poly, Rect::make(0, 0, 90, 1000));
+  layout.add(Layer::Poly, Rect::make(150, 0, 240, 1000));  // 60 nm space
+  const auto v = check_poly(layout);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, DrcViolationKind::Spacing);
+  EXPECT_DOUBLE_EQ(v[0].measured, 60.0);
+}
+
+TEST(Drc, IgnoresVerticallyDisjointSpacing) {
+  Layout layout;
+  layout.add(Layer::Poly, Rect::make(0, 0, 90, 400));
+  layout.add(Layer::Poly, Rect::make(150, 600, 240, 1000));
+  EXPECT_TRUE(check_poly(layout).empty());
+}
+
+TEST(Drc, LibraryMastersAreClean) {
+  for (const CellMaster& m : flow().library().masters()) {
+    const auto v = check_poly(m.layout());
+    EXPECT_TRUE(v.empty()) << m.name() << ": "
+                           << (v.empty() ? "" : v[0].describe());
+    const auto b = check_boundary(m.layout(), m.width());
+    EXPECT_TRUE(b.empty()) << m.name() << ": "
+                           << (b.empty() ? "" : b[0].describe());
+  }
+}
+
+TEST(Drc, PlacedRowsAreClean) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  for (std::size_t r = 0; r < p.rows().size(); ++r) {
+    const Layout row = p.row_layout(r, nullptr);
+    const auto v = check_poly(row);
+    EXPECT_TRUE(v.empty()) << "row " << r << ": "
+                           << (v.empty() ? "" : v[0].describe());
+  }
+}
+
+TEST(Drc, BoundaryRuleCatchesEdgeHugger) {
+  Layout layout;
+  layout.add(Layer::Poly, Rect::make(10, 0, 100, 1000));
+  const auto v = check_boundary(layout, 500.0);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0].measured, 10.0);
+}
+
+// --------------------------------------------------------- Process window
+
+TEST(ProcessWindow, DenseHasWiderWindowThanIso) {
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const auto fem = build_fem(proc, 90.0, {240.0, 1200.0},
+                             defocus_sweep(300.0, 13),
+                             {0.94, 0.97, 1.0, 1.03, 1.06});
+  const ProcessWindow dense =
+      compute_process_window(fem.entries[0], 90.0, 0.12);
+  const ProcessWindow iso =
+      compute_process_window(fem.entries[1], 90.0, 0.12);
+  EXPECT_TRUE(dense.usable());
+  // The dense pattern holds CD through focus far better than the
+  // isolated one -- the asymmetry the paper's focus treatment encodes.
+  EXPECT_GT(dense.dof_at_nominal_dose, iso.dof_at_nominal_dose);
+}
+
+TEST(ProcessWindow, ToleranceMonotonicity) {
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const auto fem = build_fem(proc, 90.0, {240.0}, defocus_sweep(300.0, 13),
+                             {0.96, 1.0, 1.04});
+  const ProcessWindow tight =
+      compute_process_window(fem.entries[0], 90.0, 0.05);
+  const ProcessWindow loose =
+      compute_process_window(fem.entries[0], 90.0, 0.20);
+  EXPECT_LE(tight.dof_at_nominal_dose, loose.dof_at_nominal_dose);
+  EXPECT_LE(tight.exposure_latitude, loose.exposure_latitude);
+  EXPECT_LE(tight.best_window_defocus_span,
+            loose.best_window_defocus_span);
+}
+
+TEST(ProcessWindow, UnprintableTargetGivesEmptyWindow) {
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const auto fem = build_fem(proc, 90.0, {240.0}, defocus_sweep(200.0, 5),
+                             {1.0});
+  const ProcessWindow w =
+      compute_process_window(fem.entries[0], 300.0, 0.05);
+  EXPECT_FALSE(w.usable());
+  EXPECT_DOUBLE_EQ(w.dof_at_nominal_dose, 0.0);
+}
+
+// --------------------------------------------------------------- AttPSM
+
+TEST(AttPsm, TransmissionValue) {
+  const auto t = MaskPattern1D::attenuated_psm_transmission(0.06);
+  EXPECT_NEAR(std::abs(t), std::sqrt(0.06), 1e-12);
+  EXPECT_NEAR(std::arg(t), 3.14159265358979, 1e-9);
+}
+
+TEST(AttPsm, WithTransmissionPreservesGeometry) {
+  const auto binary = MaskPattern1D::grating(90.0, 300.0);
+  const auto psm = binary.with_transmission(
+      MaskPattern1D::attenuated_psm_transmission());
+  ASSERT_EQ(psm.segments().size(), binary.segments().size());
+  EXPECT_DOUBLE_EQ(psm.segments()[0].x_lo, binary.segments()[0].x_lo);
+  EXPECT_NE(psm.segments()[0].transmission,
+            binary.segments()[0].transmission);
+}
+
+TEST(AttPsm, ImprovesImageContrast) {
+  // The textbook benefit of attenuated PSM: the phase-shifted background
+  // light interferes destructively in the dark region, deepening the dip.
+  const AerialImageSimulator sim(OpticsConfig{});
+  const auto binary = MaskPattern1D::grating(90.0, 300.0);
+  const auto psm = binary.with_transmission(
+      MaskPattern1D::attenuated_psm_transmission());
+  const auto img_b = sim.image(binary, 0.0);
+  const auto img_p = sim.image(psm, 0.0);
+  const double c_b = (img_b.sampled_max() - img_b.sampled_min()) /
+                     (img_b.sampled_max() + img_b.sampled_min());
+  const double c_p = (img_p.sampled_max() - img_p.sampled_min()) /
+                     (img_p.sampled_max() + img_p.sampled_min());
+  EXPECT_GT(c_p, c_b);
+}
+
+// -------------------------------------------------------- Spatial sampler
+
+TEST(SpatialSampler, RegionsCoverPlacement) {
+  const Netlist nl = flow().make_benchmark("C880");
+  const Placement p = flow().make_placement(nl);
+  const SpatialGaussianSampler sampler(p, flow().config().budget, 90.0,
+                                       0.6, 20000.0);
+  EXPECT_GE(sampler.region_count(), 2u);
+}
+
+TEST(SpatialSampler, NearbyGatesCorrelated) {
+  const Netlist nl = flow().make_benchmark("C880");
+  const Placement p = flow().make_placement(nl);
+  // Pure regional variation isolates the correlation structure.
+  const SpatialGaussianSampler sampler(p, flow().config().budget, 90.0,
+                                       1.0, 20000.0);
+  Rng rng(5);
+  const auto factors = sampler.sample(rng);
+  // Two gates in the same row, adjacent: same region (almost surely).
+  const auto& row0 = p.rows()[0];
+  ASSERT_GE(row0.size(), 2u);
+  EXPECT_DOUBLE_EQ(factors[row0[0]][0], factors[row0[1]][0]);
+}
+
+TEST(SpatialSampler, DistributionComparableToNaive) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const SpatialGaussianSampler spatial(p, flow().config().budget, 90.0);
+  const NaiveGaussianSampler naive(nl, flow().config().budget, 90.0);
+  MonteCarloConfig mc;
+  mc.samples = 300;
+  const Summary s_spatial = run_monte_carlo(sta, spatial, mc).summary();
+  const Summary s_naive = run_monte_carlo(sta, naive, mc).summary();
+  // Same budget, similar means; spatial correlation mostly changes the
+  // spread, not the location.
+  EXPECT_NEAR(s_spatial.mean, s_naive.mean, 0.02 * s_naive.mean);
+}
+
+// ------------------------------------------------------------------ Slack
+
+TEST(Slack, SlackMatchesCriticalDelay) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const UnitScale scale;
+  const double period = 2500.0;
+  const SlackResult r = sta.run_with_slack(scale, period);
+  EXPECT_NEAR(r.worst_slack_ps, period - r.timing.critical_delay_ps, 1e-6);
+  EXPECT_TRUE(r.meets_timing());
+}
+
+TEST(Slack, NegativeWhenClockTooFast) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const UnitScale scale;
+  const SlackResult r = sta.run_with_slack(scale, 500.0);
+  EXPECT_LT(r.worst_slack_ps, 0.0);
+  EXPECT_FALSE(r.meets_timing());
+}
+
+TEST(Slack, SlackNonDecreasingAlongCriticalPath) {
+  const Netlist nl = flow().make_benchmark("C880");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const UnitScale scale;
+  const SlackResult r = sta.run_with_slack(scale, 3000.0);
+  // Every net on the critical path carries the worst slack.
+  for (std::size_t gi : r.timing.critical_path) {
+    const std::size_t net = nl.gates()[gi].output_net;
+    EXPECT_NEAR(r.slack_ps[net], r.worst_slack_ps, 1e-6);
+  }
+}
+
+TEST(Slack, RequiredTimesDecreaseUpstream) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const UnitScale scale;
+  const SlackResult r = sta.run_with_slack(scale, 2500.0);
+  for (const GateInst& gate : nl.gates()) {
+    if (r.required_ps[gate.output_net] >= 1e17) continue;
+    for (std::size_t in : gate.fanin_nets) {
+      if (r.required_ps[in] >= 1e17) continue;
+      EXPECT_LT(r.required_ps[in], r.required_ps[gate.output_net]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,115 @@
+// Tests for the third extension wave: MEEF, timing yield, and the
+// systematic-fraction decomposition helpers.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/statistical.hpp"
+#include "litho/meef.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+const LithoProcess& process() {
+  static const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  return proc;
+}
+
+// ------------------------------------------------------------------ MEEF
+
+TEST(Meef, AmplifiesMaskErrors) {
+  // At a dense, near-resolution pitch, mask errors are amplified.
+  const double m = meef_at_pitch(process(), 90.0, 240.0);
+  EXPECT_GT(m, 1.0);
+  EXPECT_LT(m, 10.0);
+}
+
+TEST(Meef, DeterministicAndDeltaRobust) {
+  const double a = meef_at_pitch(process(), 90.0, 300.0, 2.0);
+  const double b = meef_at_pitch(process(), 90.0, 300.0, 2.0);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = meef_at_pitch(process(), 90.0, 300.0, 4.0);
+  EXPECT_NEAR(a, c, 0.8);  // finite-difference step robustness
+}
+
+TEST(Meef, SweepMatchesPointQueries) {
+  const auto points = meef_through_pitch(process(), 90.0, {240.0, 400.0});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].meef, meef_at_pitch(process(), 90.0, 240.0));
+  EXPECT_DOUBLE_EQ(points[1].meef, meef_at_pitch(process(), 90.0, 400.0));
+}
+
+TEST(Meef, FailureReportsZero) {
+  // At extreme defocus the isolated feature vanishes; MEEF reports 0.
+  const double m = meef_at_pitch(process(), 90.0, 900.0, 2.0, 320.0);
+  EXPECT_DOUBLE_EQ(m, 0.0);
+}
+
+TEST(Meef, RejectsBadArguments) {
+  EXPECT_THROW(meef_at_pitch(process(), 90.0, 240.0, 0.0),
+               PreconditionError);
+  EXPECT_THROW(meef_at_pitch(process(), 90.0, 240.0, 60.0),
+               PreconditionError);
+  EXPECT_THROW(meef_at_pitch(process(), 90.0, 92.0, 2.0),
+               PreconditionError);
+}
+
+// ----------------------------------------------------------------- Yield
+
+DelayDistribution fake_distribution() {
+  DelayDistribution d;
+  for (int i = 1; i <= 100; ++i) d.delays_ps.push_back(10.0 * i);
+  return d;
+}
+
+TEST(Yield, FractionMeetingClock) {
+  const DelayDistribution d = fake_distribution();
+  EXPECT_DOUBLE_EQ(timing_yield(d, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(timing_yield(d, 500.0), 0.5);
+  EXPECT_DOUBLE_EQ(timing_yield(d, 5.0), 0.0);
+}
+
+TEST(Yield, MonotoneInClock) {
+  const DelayDistribution d = fake_distribution();
+  double prev = -1.0;
+  for (double clock : {100.0, 300.0, 700.0, 1200.0}) {
+    const double y = timing_yield(d, clock);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+TEST(Yield, PeriodForYieldIsQuantile) {
+  const DelayDistribution d = fake_distribution();
+  EXPECT_DOUBLE_EQ(period_for_yield(d, 1.0), 1000.0);
+  EXPECT_NEAR(period_for_yield(d, 0.5), d.quantile_ps(0.5), 1e-9);
+}
+
+TEST(Yield, RejectsBadInputs) {
+  const DelayDistribution d = fake_distribution();
+  EXPECT_THROW(period_for_yield(d, 0.0), PreconditionError);
+  EXPECT_THROW(timing_yield(DelayDistribution{}, 100.0),
+               PreconditionError);
+}
+
+TEST(Yield, ContextAwareAllowsFasterSignoff) {
+  static const SvaFlow flow{FlowConfig{}};
+  const Netlist nl = flow.make_benchmark("C432");
+  const Placement p = flow.make_placement(nl);
+  const Sta sta(nl, flow.characterized(), flow.config().sta);
+  const auto versions = flow.bind_versions(p);
+  const NaiveGaussianSampler naive(nl, flow.config().budget, 90.0);
+  const ContextAwareSampler aware(nl, flow.context_library(), versions,
+                                  flow.config().budget);
+  MonteCarloConfig mc;
+  mc.samples = 400;
+  const double p_naive =
+      period_for_yield(run_monte_carlo(sta, naive, mc), 0.999);
+  const double p_aware =
+      period_for_yield(run_monte_carlo(sta, aware, mc), 0.999);
+  EXPECT_LT(p_aware, p_naive);
+}
+
+}  // namespace
+}  // namespace sva

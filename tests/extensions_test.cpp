@@ -1,0 +1,406 @@
+// Tests for the extension modules: the Sec. 5 simplified flow, the Sec. 6
+// statistical-timing and exposure-dose analyses, SRAF insertion, the
+// Liberty writer, the technology mapper, and path reporting.
+
+#include <gtest/gtest.h>
+
+#include "cell/liberty_writer.hpp"
+#include "core/exposure.hpp"
+#include "core/flow.hpp"
+#include "core/simplified.hpp"
+#include "core/statistical.hpp"
+#include "netlist/mapper.hpp"
+#include "opc/sraf.hpp"
+#include "sta/path_report.hpp"
+
+namespace sva {
+namespace {
+
+const SvaFlow& flow() {
+  static const SvaFlow f{FlowConfig{}};
+  return f;
+}
+
+// ------------------------------------------------------------- Simplified
+
+TEST(Simplified, BoundaryDevicesGetTraditionalCorners) {
+  const std::size_t inv = flow().library().index_of("INV_X1");
+  // INV's devices are all boundary devices.
+  const CornerLengths c = SimplifiedCornerScale::device_corners(
+      flow().context_library(), inv, 0, flow().config().budget);
+  const CornerLengths trad =
+      traditional_corners(90.0, flow().config().budget);
+  EXPECT_DOUBLE_EQ(c.wc, trad.wc);
+  EXPECT_DOUBLE_EQ(c.bc, trad.bc);
+  EXPECT_DOUBLE_EQ(c.nom, trad.nom);
+}
+
+TEST(Simplified, InteriorDevicesGetTrimmedCorners) {
+  const std::size_t nand3 = flow().library().index_of("NAND3_X1");
+  const CellMaster& master = flow().library().master(nand3);
+  std::size_t interior = 0;
+  for (std::size_t d = 0; d < master.devices().size(); ++d)
+    if (!master.is_boundary_device(d)) interior = d;
+  const CornerLengths c = SimplifiedCornerScale::device_corners(
+      flow().context_library(), nand3, interior, flow().config().budget);
+  const CornerLengths trad =
+      traditional_corners(90.0, flow().config().budget);
+  EXPECT_LT(c.spread(), trad.spread());
+}
+
+TEST(Simplified, ReducesLessThanFullFlow) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const CircuitAnalysis full = flow().analyze(nl, p);
+
+  const SimplifiedCornerScale bc(nl, flow().context_library(),
+                                 flow().config().budget, Corner::Best);
+  const SimplifiedCornerScale wc(nl, flow().context_library(),
+                                 flow().config().budget, Corner::Worst);
+  const double spread =
+      sta.run(wc).critical_delay_ps - sta.run(bc).critical_delay_ps;
+  // Still tighter than traditional, but looser than the full method.
+  EXPECT_LT(spread, full.trad_spread_ps());
+  EXPECT_GT(spread, full.sva_spread_ps());
+}
+
+TEST(Simplified, PlacementIndependent) {
+  const Netlist nl = flow().make_benchmark("C432");
+  PlacementConfig other;
+  other.seed = 1234;
+  const Placement p1 = flow().make_placement(nl);
+  const Placement p2(nl, other);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  // The simplified scale never consults the placement, so both give the
+  // same delays (same netlist, same library).
+  const SimplifiedCornerScale wc(nl, flow().context_library(),
+                                 flow().config().budget, Corner::Worst);
+  const double d1 = sta.run(wc).critical_delay_ps;
+  const double d2 = sta.run(wc).critical_delay_ps;
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+// ------------------------------------------------------------ Statistical
+
+TEST(Statistical, DistributionsAreDeterministicPerSeed) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const NaiveGaussianSampler sampler(nl, flow().config().budget, 90.0);
+  MonteCarloConfig mc;
+  mc.samples = 50;
+  const DelayDistribution a = run_monte_carlo(sta, sampler, mc);
+  const DelayDistribution b = run_monte_carlo(sta, sampler, mc);
+  ASSERT_EQ(a.delays_ps.size(), b.delays_ps.size());
+  for (std::size_t i = 0; i < a.delays_ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.delays_ps[i], b.delays_ps[i]);
+}
+
+TEST(Statistical, ContextAwareTighterThanNaive) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const auto versions = flow().bind_versions(p);
+
+  const NaiveGaussianSampler naive(nl, flow().config().budget, 90.0);
+  const ContextAwareSampler aware(nl, flow().context_library(), versions,
+                                  flow().config().budget);
+  MonteCarloConfig mc;
+  mc.samples = 400;
+  const Summary s_naive = run_monte_carlo(sta, naive, mc).summary();
+  const Summary s_aware = run_monte_carlo(sta, aware, mc).summary();
+  EXPECT_LT(s_aware.stddev, s_naive.stddev);
+}
+
+TEST(Statistical, DistributionInsideCornerBracket) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const CircuitAnalysis corners = flow().analyze(nl, p);
+  const NaiveGaussianSampler naive(nl, flow().config().budget, 90.0);
+  MonteCarloConfig mc;
+  mc.samples = 400;
+  const DelayDistribution dist = run_monte_carlo(sta, naive, mc);
+  EXPECT_GT(dist.quantile_ps(0.001), corners.trad_bc_ps);
+  EXPECT_LT(dist.quantile_ps(0.999), corners.trad_wc_ps);
+}
+
+TEST(Statistical, MeanNearNominal) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const double nominal = sta.run(UnitScale{}).critical_delay_ps;
+  const NaiveGaussianSampler naive(nl, flow().config().budget, 90.0);
+  MonteCarloConfig mc;
+  mc.samples = 400;
+  const Summary s = run_monte_carlo(sta, naive, mc).summary();
+  EXPECT_NEAR(s.mean, nominal, 0.03 * nominal);
+}
+
+// --------------------------------------------------------------- Exposure
+
+TEST(Exposure, NominalDoseHasNoShiftAndNoFlips) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const auto nps = extract_nps(p);
+  const auto versions = assign_versions(nps, flow().config().bins);
+  ExposureConfig config;
+  config.doses = {1.0};
+  const auto points =
+      analyze_exposure(nl, flow().context_library(), versions, nps,
+                       flow().config().budget, sta, config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].spacing_shift, 0.0);
+  EXPECT_EQ(points[0].arc_flips, 0u);
+}
+
+TEST(Exposure, ShiftSignFollowsDose) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const auto nps = extract_nps(p);
+  const auto versions = assign_versions(nps, flow().config().bins);
+  ExposureConfig config;
+  config.doses = {0.9, 1.1};
+  const auto points =
+      analyze_exposure(nl, flow().context_library(), versions, nps,
+                       flow().config().budget, sta, config);
+  EXPECT_LT(points[0].spacing_shift, 0.0);  // underexposure shrinks gaps
+  EXPECT_GT(points[1].spacing_shift, 0.0);
+}
+
+TEST(Exposure, LargeShiftFlipsArcs) {
+  const Netlist nl = flow().make_benchmark("C880");
+  const Placement p = flow().make_placement(nl);
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const auto nps = extract_nps(p);
+  const auto versions = assign_versions(nps, flow().config().bins);
+  ExposureConfig config;
+  config.doses = {0.4};  // extreme underexposure
+  const auto points =
+      analyze_exposure(nl, flow().context_library(), versions, nps,
+                       flow().config().budget, sta, config);
+  EXPECT_GT(points[0].arc_flips, 0u);
+}
+
+// ------------------------------------------------------------------ SRAF
+
+OpcProblem iso_lines(Nm spacing, std::size_t count) {
+  OpcProblem problem;
+  for (std::size_t k = 0; k < count; ++k) {
+    OpcLine line;
+    line.drawn_lo = static_cast<double>(k) * (90.0 + spacing);
+    line.drawn_hi = line.drawn_lo + 90.0;
+    line.mask_lo = line.drawn_lo;
+    line.mask_hi = line.drawn_hi;
+    line.tag = static_cast<long>(k);
+    problem.lines.push_back(line);
+  }
+  return problem;
+}
+
+TEST(Sraf, NoInsertionInDenseGaps) {
+  const auto assisted = insert_srafs(iso_lines(200.0, 5));
+  EXPECT_EQ(count_srafs(assisted), 0u);
+}
+
+TEST(Sraf, SingleBarInMediumGaps) {
+  const auto assisted = insert_srafs(iso_lines(400.0, 3));
+  EXPECT_EQ(count_srafs(assisted), 2u);  // one per gap
+}
+
+TEST(Sraf, TwoBarsInWideGaps) {
+  const auto assisted = insert_srafs(iso_lines(700.0, 3));
+  EXPECT_EQ(count_srafs(assisted), 4u);
+}
+
+TEST(Sraf, GeometryRespectsRules) {
+  const SrafConfig config;
+  const auto assisted = insert_srafs(iso_lines(700.0, 3), config);
+  assisted.validate();
+  for (std::size_t i = 1; i < assisted.lines.size(); ++i) {
+    const Nm space =
+        assisted.lines[i].drawn_lo - assisted.lines[i - 1].drawn_hi;
+    EXPECT_GE(space, config.min_space_between - 1e-9);
+  }
+}
+
+TEST(Sraf, BarsDoNotPrint) {
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const OpcEngine engine(proc, OpcConfig{});
+  const auto assisted = insert_srafs(iso_lines(700.0, 5));
+  const auto result = engine.measure(assisted);
+  for (const auto& lr : result.lines)
+    if (lr.line.tag == kSrafTag) {
+      EXPECT_LT(lr.printed_cd, 20.0);
+    }
+}
+
+TEST(Sraf, BarsPullIsoTowardDense) {
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const OpcEngine engine(proc, OpcConfig{});
+  const auto plain = iso_lines(600.0, 5);
+  const auto assisted = insert_srafs(plain);
+  const Nm cd_plain = engine.measure(plain).by_tag(2).printed_cd;
+  const Nm cd_sraf = engine.measure(assisted).by_tag(2).printed_cd;
+  // Isolated lines print thin; assist bars must pull the CD up, toward
+  // the dense (drawn) value.
+  EXPECT_GT(cd_sraf, cd_plain);
+  EXPECT_LE(cd_sraf, 100.0);
+}
+
+TEST(Sraf, EngineDoesNotMoveBars) {
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const OpcEngine engine(proc, OpcConfig{});
+  const auto assisted = insert_srafs(iso_lines(600.0, 5));
+  const auto corrected = engine.correct(assisted);
+  for (const auto& lr : corrected.lines) {
+    if (lr.line.tag != kSrafTag) continue;
+    EXPECT_DOUBLE_EQ(lr.line.mask_lo, lr.line.drawn_lo);
+    EXPECT_DOUBLE_EQ(lr.line.mask_hi, lr.line.drawn_hi);
+  }
+}
+
+// ---------------------------------------------------------------- Liberty
+
+TEST(Liberty, BaseLibraryStructure) {
+  const std::string lib = to_liberty(flow().characterized(), "sva90");
+  EXPECT_NE(lib.find("library (sva90)"), std::string::npos);
+  EXPECT_NE(lib.find("cell (INV_X1)"), std::string::npos);
+  EXPECT_NE(lib.find("cell (XOR2_X1)"), std::string::npos);
+  EXPECT_NE(lib.find("lu_table_template"), std::string::npos);
+  EXPECT_NE(lib.find("related_pin : \"A\""), std::string::npos);
+  EXPECT_NE(lib.find("cell_rise"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(lib.begin(), lib.end(), '{'),
+            std::count(lib.begin(), lib.end(), '}'));
+}
+
+TEST(Liberty, ExpandedLibraryHas81Versions) {
+  const std::string lib = to_liberty_expanded(
+      flow().characterized(), flow().context_library(), "sva90_ctx");
+  // Every master appears once per version.
+  std::size_t count = 0;
+  std::string needle = "cell (INV_X1_v";
+  for (std::size_t pos = lib.find(needle); pos != std::string::npos;
+       pos = lib.find(needle, pos + 1))
+    ++count;
+  EXPECT_EQ(count, 81u);
+  EXPECT_NE(lib.find("cell (NAND2_X1_v0000)"), std::string::npos);
+  EXPECT_NE(lib.find("cell (NAND2_X1_v2222)"), std::string::npos);
+}
+
+TEST(Liberty, VersionSuffixFormat) {
+  EXPECT_EQ(version_suffix(VersionKey{0, 2, 1, 2}), "_v0212");
+}
+
+// ----------------------------------------------------------------- Mapper
+
+TEST(Mapper, SimpleAndGate) {
+  BoolNetwork net;
+  const auto a = net.add_input("a");
+  const auto b = net.add_input("b");
+  net.mark_output(net.add_op("y", BoolOp::And, {a, b}));
+  const Netlist mapped = map_to_library(net, flow().library(), "and2");
+  mapped.validate();
+  // AND = NAND2 + INV.
+  EXPECT_EQ(mapped.gates().size(), 2u);
+}
+
+TEST(Mapper, WideAndDecomposes) {
+  BoolNetwork net;
+  std::vector<std::size_t> ins;
+  for (int i = 0; i < 7; ++i)
+    ins.push_back(net.add_input("i" + std::to_string(i)));
+  net.mark_output(net.add_op("y", BoolOp::And, ins));
+  const Netlist mapped = map_to_library(net, flow().library(), "and7");
+  mapped.validate();
+  EXPECT_EQ(mapped.primary_input_count(), 7u);
+  EXPECT_EQ(mapped.primary_output_count(), 1u);
+  // Tree of NAND2/NAND3 + INVs; a handful of gates, several levels.
+  EXPECT_GE(mapped.gates().size(), 4u);
+}
+
+TEST(Mapper, XorChain) {
+  BoolNetwork net;
+  const auto a = net.add_input("a");
+  const auto b = net.add_input("b");
+  const auto c = net.add_input("c");
+  net.mark_output(net.add_op("p", BoolOp::Xor, {a, b, c}));
+  const Netlist mapped = map_to_library(net, flow().library(), "parity3");
+  EXPECT_EQ(mapped.gates().size(), 2u);  // two XOR2s
+  for (const auto& g : mapped.gates())
+    EXPECT_EQ(flow().library().master(g.cell_index).name(), "XOR2_X1");
+}
+
+TEST(Mapper, NorAndNotMapDirectly) {
+  BoolNetwork net;
+  const auto a = net.add_input("a");
+  const auto b = net.add_input("b");
+  const auto n = net.add_op("n", BoolOp::Nor, {a, b});
+  net.mark_output(net.add_op("y", BoolOp::Not, {n}));
+  const Netlist mapped = map_to_library(net, flow().library(), "nor_not");
+  mapped.validate();
+  // NOR = NOR2 + INV + INV (structural, unoptimized) -- at least the NOR2
+  // must appear.
+  bool has_nor = false;
+  for (const auto& g : mapped.gates())
+    has_nor |=
+        flow().library().master(g.cell_index).name() == "NOR2_X1";
+  EXPECT_TRUE(has_nor);
+}
+
+TEST(Mapper, ValidatesArity) {
+  BoolNetwork net;
+  const auto a = net.add_input("a");
+  net.mark_output(net.add_op("y", BoolOp::And, {a, a}));
+  EXPECT_NO_THROW(net.validate());
+  BoolNetwork bad;
+  const auto x = bad.add_input("x");
+  bad.mark_output(bad.add_op("y", BoolOp::Not, {x, x}));
+  EXPECT_THROW(bad.validate(), PreconditionError);
+}
+
+TEST(Mapper, MappedDesignRunsThroughFlow) {
+  BoolNetwork net;
+  std::vector<std::size_t> ins;
+  for (int i = 0; i < 6; ++i)
+    ins.push_back(net.add_input("i" + std::to_string(i)));
+  const auto x = net.add_op("x", BoolOp::And, {ins[0], ins[1], ins[2]});
+  const auto y = net.add_op("y", BoolOp::Or, {ins[3], ins[4], ins[5]});
+  net.mark_output(net.add_op("z", BoolOp::Xor, {x, y}));
+  const Netlist mapped = map_to_library(net, flow().library(), "mixed");
+  const Placement placement = flow().make_placement(mapped);
+  const CircuitAnalysis a = flow().analyze(mapped, placement);
+  EXPECT_GT(a.uncertainty_reduction(), 0.0);
+}
+
+// ------------------------------------------------------------ Path report
+
+TEST(PathReport, WorstPathsRankedAndConnected) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const UnitScale scale;
+  const auto paths = worst_paths(nl, sta, scale, 5);
+  ASSERT_LE(paths.size(), 5u);
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i - 1].arrival_ps, paths[i].arrival_ps);
+  // Worst path matches the STA's critical delay.
+  const StaResult r = sta.run(scale);
+  EXPECT_DOUBLE_EQ(paths[0].arrival_ps, r.critical_delay_ps);
+}
+
+TEST(PathReport, RenderContainsEndpoints) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Sta sta(nl, flow().characterized(), flow().config().sta);
+  const UnitScale scale;
+  const auto paths = worst_paths(nl, sta, scale, 3);
+  const StaResult r = sta.run(scale);
+  const std::string report = render_paths(nl, paths, r);
+  EXPECT_NE(report.find("Path 1:"), std::string::npos);
+  EXPECT_NE(report.find("arrival"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,136 @@
+// Integration tests of the end-to-end SVA timing flow: the Table 2
+// properties the paper reports must hold on our reproduction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/flow.hpp"
+#include "opc/pitch_table.hpp"
+
+namespace sva {
+namespace {
+
+/// One flow shared by all tests in this file (construction runs library
+/// OPC and pitch characterization).
+const SvaFlow& flow() {
+  static const SvaFlow f{FlowConfig{}};
+  return f;
+}
+
+TEST(Flow, SetupArtifactsPresent) {
+  EXPECT_EQ(flow().library().size(), 10u);
+  EXPECT_EQ(flow().library_opc_results().size(), 10u);
+  EXPECT_EQ(flow().pitch_points().size(),
+            flow().config().table_spacings.size());
+  EXPECT_GT(flow().setup_opc_seconds(), 0.0);
+}
+
+TEST(Flow, PitchTableShowsResidualBias) {
+  // Post-OPC residual through-pitch variation must be present (it is what
+  // the whole methodology exploits) and bounded (OPC works).
+  const Nm half_range = post_opc_pitch_half_range(flow().pitch_points());
+  EXPECT_GT(half_range, 0.5);
+  EXPECT_LT(half_range, 0.10 * 90.0);
+}
+
+TEST(Flow, InteriorCdsPlausible) {
+  for (std::size_t ci = 0; ci < flow().library().size(); ++ci) {
+    const auto& r = flow().library_opc_results()[ci];
+    for (Nm cd : r.device_cd) {
+      EXPECT_GT(cd, 70.0);
+      EXPECT_LT(cd, 110.0);
+    }
+  }
+}
+
+TEST(Flow, VersionBindingCoversMultipleVersions) {
+  const Netlist nl = flow().make_benchmark("C432");
+  const Placement p = flow().make_placement(nl);
+  const auto versions = flow().bind_versions(p);
+  ASSERT_EQ(versions.size(), nl.gates().size());
+  std::set<std::size_t> distinct;
+  for (const auto& v : versions) distinct.insert(version_index(v, 3));
+  EXPECT_GE(distinct.size(), 5u);
+}
+
+TEST(Flow, Table2PropertiesOnC432) {
+  const CircuitAnalysis a = flow().analyze_benchmark("C432");
+  EXPECT_EQ(a.gate_count, 160u);
+
+  // Corner ordering in both flows.
+  EXPECT_LT(a.trad_bc_ps, a.trad_nom_ps);
+  EXPECT_LT(a.trad_nom_ps, a.trad_wc_ps);
+  EXPECT_LT(a.sva_bc_ps, a.sva_nom_ps);
+  EXPECT_LT(a.sva_nom_ps, a.sva_wc_ps);
+
+  // The headline result: spread shrinks, in the ballpark the paper
+  // reports (28-40%; we accept a slightly wider acceptance band).
+  EXPECT_GT(a.uncertainty_reduction(), 0.20);
+  EXPECT_LT(a.uncertainty_reduction(), 0.55);
+
+  // SVA corners are inside the traditional ones.
+  EXPECT_LE(a.sva_wc_ps, a.trad_wc_ps);
+  EXPECT_GE(a.sva_bc_ps, a.trad_bc_ps);
+}
+
+TEST(Flow, NominalImprovesBecauseMostDevicesPrintThin) {
+  // Paper: "the nominal timing improves when through-pitch variation is
+  // accounted for" (most devices are isolated and print below drawn CD).
+  const CircuitAnalysis a = flow().analyze_benchmark("C432");
+  EXPECT_LE(a.sva_nom_ps, a.trad_nom_ps * 1.01);
+}
+
+TEST(Flow, AllArcClassesOccur) {
+  const CircuitAnalysis a = flow().analyze_benchmark("C880");
+  ASSERT_EQ(a.arc_class_counts.size(), 3u);
+  EXPECT_GT(a.arc_class_counts[0], 0u);  // smile
+  EXPECT_GT(a.arc_class_counts[1], 0u);  // frown
+  EXPECT_GT(a.arc_class_counts[2], 0u);  // self-compensated
+}
+
+TEST(Flow, AnalysisDeterministic) {
+  const CircuitAnalysis a = flow().analyze_benchmark("C432");
+  const CircuitAnalysis b = flow().analyze_benchmark("C432");
+  EXPECT_DOUBLE_EQ(a.sva_wc_ps, b.sva_wc_ps);
+  EXPECT_DOUBLE_EQ(a.trad_wc_ps, b.trad_wc_ps);
+}
+
+TEST(Flow, ZeroSystematicSharesKeepCornersClose) {
+  // Budget ablation: with no systematic shares, the only SVA effect left
+  // is the context-aware nominal shift; the spread reduction collapses.
+  FlowConfig config;
+  config.budget.pitch_share = 0.0;
+  config.budget.focus_share = 0.0;
+  const SvaFlow no_trim{config};
+  const CircuitAnalysis a = no_trim.analyze_benchmark("C432");
+  EXPECT_LT(a.uncertainty_reduction(), 0.10);
+}
+
+TEST(Flow, ConservativePolicyReducesLessOrEqual) {
+  FlowConfig conservative;
+  conservative.arc_policy = ArcLabelPolicy::Conservative;
+  const SvaFlow f2{conservative};
+  const CircuitAnalysis a = flow().analyze_benchmark("C432");
+  const CircuitAnalysis b = f2.analyze_benchmark("C432");
+  // Conservative labeling gives more self-compensated arcs.  SC arcs trim
+  // focus on both sides, so the spread cannot grow.
+  EXPECT_LE(b.sva_spread_ps(), a.sva_spread_ps() * 1.05);
+}
+
+// Property: Table 2 invariants hold across several benchmark sizes.
+class BenchmarkSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkSweep, SpreadReductionInBand) {
+  const CircuitAnalysis a = flow().analyze_benchmark(GetParam());
+  EXPECT_GT(a.uncertainty_reduction(), 0.15) << GetParam();
+  EXPECT_LT(a.uncertainty_reduction(), 0.60) << GetParam();
+  EXPECT_LE(a.sva_wc_ps, a.trad_wc_ps);
+  EXPECT_GE(a.sva_bc_ps, a.trad_bc_ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, BenchmarkSweep,
+                         ::testing::Values("C432", "C880", "C1355"));
+
+}  // namespace
+}  // namespace sva

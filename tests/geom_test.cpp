@@ -1,0 +1,191 @@
+// Tests for the geom module: rectangles, layouts, spacing queries.
+
+#include <gtest/gtest.h>
+
+#include "geom/layout.hpp"
+#include "geom/rect.hpp"
+#include "geom/spacing.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+// ---------------------------------------------------------------- Rect
+
+TEST(Rect, MakeValidates) {
+  EXPECT_NO_THROW(Rect::make(0, 0, 1, 1));
+  EXPECT_NO_THROW(Rect::make(0, 0, 0, 0));  // degenerate allowed
+  EXPECT_THROW(Rect::make(1, 0, 0, 1), PreconditionError);
+  EXPECT_THROW(Rect::make(0, 1, 1, 0), PreconditionError);
+}
+
+TEST(Rect, Dimensions) {
+  const Rect r = Rect::make(1, 2, 4, 8);
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 18.0);
+  EXPECT_DOUBLE_EQ(r.x_center(), 2.5);
+  EXPECT_DOUBLE_EQ(r.y_center(), 5.0);
+}
+
+TEST(Rect, Translated) {
+  const Rect r = Rect::make(0, 0, 1, 1).translated(10, -5);
+  EXPECT_DOUBLE_EQ(r.x_lo, 10.0);
+  EXPECT_DOUBLE_EQ(r.y_hi, -4.0);
+}
+
+TEST(Rect, OverlapSemantics) {
+  const Rect a = Rect::make(0, 0, 10, 10);
+  EXPECT_TRUE(a.y_overlaps(Rect::make(20, 5, 30, 15)));
+  // Touching edges do not count as overlap.
+  EXPECT_FALSE(a.y_overlaps(Rect::make(20, 10, 30, 20)));
+  EXPECT_TRUE(a.intersects(Rect::make(5, 5, 15, 15)));
+  EXPECT_FALSE(a.intersects(Rect::make(10, 0, 20, 10)));
+}
+
+TEST(Rect, Contains) {
+  const Rect r = Rect::make(0, 0, 2, 2);
+  EXPECT_TRUE(r.contains(1, 1));
+  EXPECT_TRUE(r.contains(0, 0));  // boundary inclusive
+  EXPECT_FALSE(r.contains(3, 1));
+}
+
+TEST(Rect, United) {
+  const Rect u = Rect::make(0, 0, 1, 1).united(Rect::make(5, -2, 6, 0.5));
+  EXPECT_EQ(u, Rect::make(0, -2, 6, 1));
+}
+
+// ---------------------------------------------------------------- Layout
+
+TEST(Layout, AddAndQueryByLayer) {
+  Layout l;
+  l.add(Layer::Poly, Rect::make(0, 0, 1, 10));
+  l.add(Layer::Diffusion, Rect::make(-1, 2, 2, 5));
+  l.add(Layer::DummyPoly, Rect::make(3, 0, 4, 10));
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_EQ(l.on_layer(Layer::Poly).size(), 1u);
+  EXPECT_EQ(l.on_layer(Layer::Diffusion).size(), 1u);
+  EXPECT_EQ(l.printable_poly().size(), 2u);  // poly + dummy
+}
+
+TEST(Layout, MergeTranslated) {
+  Layout a;
+  a.add(Layer::Poly, Rect::make(0, 0, 1, 1));
+  Layout b;
+  b.add(Layer::Poly, Rect::make(0, 0, 1, 1));
+  b.merge_translated(a, 10, 20);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.shapes()[1].rect, Rect::make(10, 20, 11, 21));
+}
+
+TEST(Layout, BoundingBox) {
+  Layout l;
+  l.add(Layer::Poly, Rect::make(0, 0, 1, 1));
+  l.add(Layer::Poly, Rect::make(5, -3, 6, 8));
+  EXPECT_EQ(l.bounding_box(), Rect::make(0, -3, 6, 8));
+}
+
+TEST(Layout, BoundingBoxOfEmptyThrows) {
+  Layout l;
+  EXPECT_THROW(l.bounding_box(), PreconditionError);
+}
+
+TEST(Layout, LayerNames) {
+  EXPECT_EQ(layer_name(Layer::Poly), "POLY");
+  EXPECT_EQ(layer_name(Layer::Diffusion), "DIFF");
+  EXPECT_EQ(layer_name(Layer::DummyPoly), "DUMMY");
+}
+
+// ------------------------------------------------------------ SpacingIndex
+
+std::vector<Rect> three_lines() {
+  // Lines at x = [0,90], [290,380], [800,890]; all y = [0,1000].
+  return {Rect::make(0, 0, 90, 1000), Rect::make(290, 0, 380, 1000),
+          Rect::make(800, 0, 890, 1000)};
+}
+
+TEST(SpacingIndex, NearestLeftAndRight) {
+  const SpacingIndex idx(three_lines());
+  const Rect center = Rect::make(290, 0, 380, 1000);
+  const auto left = idx.nearest_left(center, 1000.0);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_DOUBLE_EQ(left->spacing, 200.0);
+  EXPECT_DOUBLE_EQ(left->width, 90.0);
+  const auto right = idx.nearest_right(center, 1000.0);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_DOUBLE_EQ(right->spacing, 420.0);
+}
+
+TEST(SpacingIndex, RespectsMaxDistance) {
+  const SpacingIndex idx(three_lines());
+  const Rect center = Rect::make(290, 0, 380, 1000);
+  EXPECT_FALSE(idx.nearest_right(center, 100.0).has_value());
+  EXPECT_TRUE(idx.nearest_right(center, 420.0).has_value());
+}
+
+TEST(SpacingIndex, IgnoresVerticallyDisjointFeatures) {
+  std::vector<Rect> rects = {Rect::make(0, 0, 90, 100),
+                             Rect::make(290, 500, 380, 900)};
+  const SpacingIndex idx(rects);
+  // The two rects do not overlap in y, so neither sees the other.
+  EXPECT_FALSE(
+      idx.nearest_left(Rect::make(290, 500, 380, 900), 1000).has_value());
+}
+
+TEST(SpacingIndex, SkipsSelf) {
+  const SpacingIndex idx(three_lines());
+  const Rect self = Rect::make(0, 0, 90, 1000);
+  const auto left = idx.nearest_left(self, 1000.0);
+  EXPECT_FALSE(left.has_value());  // nothing left of the first line
+  const auto right = idx.nearest_right(self, 1000.0);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_DOUBLE_EQ(right->spacing, 200.0);
+}
+
+TEST(SpacingIndex, NeighborsSortedNearestFirst) {
+  const SpacingIndex idx(three_lines());
+  const Rect right_line = Rect::make(800, 0, 890, 1000);
+  const auto all = idx.neighbors_left(right_line, 10000.0);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0].spacing, 420.0);
+  EXPECT_DOUBLE_EQ(all[1].spacing, 710.0);
+}
+
+TEST(SpacingIndex, PartialYOverlapCounts) {
+  std::vector<Rect> rects = {Rect::make(0, 0, 90, 600),
+                             Rect::make(290, 500, 380, 1000)};
+  const SpacingIndex idx(rects);
+  const auto left =
+      idx.nearest_left(Rect::make(290, 500, 380, 1000), 1000.0);
+  ASSERT_TRUE(left.has_value());
+  EXPECT_DOUBLE_EQ(left->spacing, 200.0);
+}
+
+// Property: for a uniform array of lines at pitch p, every interior line's
+// nearest neighbours on both sides are at spacing p - width.
+class UniformArraySpacing : public ::testing::TestWithParam<double> {};
+
+TEST_P(UniformArraySpacing, InteriorSpacingIsPitchMinusWidth) {
+  const double pitch = GetParam();
+  const double width = 90.0;
+  std::vector<Rect> rects;
+  for (int i = 0; i < 7; ++i)
+    rects.push_back(
+        Rect::make(i * pitch, 0.0, i * pitch + width, 1000.0));
+  const SpacingIndex idx(rects);
+  for (int i = 1; i < 6; ++i) {
+    const auto l = idx.nearest_left(rects[static_cast<std::size_t>(i)], 1e6);
+    const auto r = idx.nearest_right(rects[static_cast<std::size_t>(i)], 1e6);
+    ASSERT_TRUE(l.has_value());
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(l->spacing, pitch - width);
+    EXPECT_DOUBLE_EQ(r->spacing, pitch - width);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PitchSweep, UniformArraySpacing,
+                         ::testing::Values(240.0, 300.0, 340.0, 500.0,
+                                           777.5));
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,173 @@
+// Tests for the netlist module: netlist invariants, topological ordering,
+// and the ISCAS85-like benchmark generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/iscas85.hpp"
+#include "netlist/netlist.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary library = build_standard_library();
+  return library;
+}
+
+Netlist tiny_netlist() {
+  // pi0 -> INV -> NAND2(a, pi1) -> PO
+  Netlist nl(lib(), "tiny");
+  const std::size_t pi0 = nl.add_primary_input("pi0");
+  const std::size_t pi1 = nl.add_primary_input("pi1");
+  const std::size_t inv_out =
+      nl.add_gate("u1", lib().index_of("INV_X1"), {pi0});
+  const std::size_t nand_out =
+      nl.add_gate("u2", lib().index_of("NAND2_X1"), {inv_out, pi1});
+  nl.mark_primary_output(nand_out);
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist nl = tiny_netlist();
+  EXPECT_EQ(nl.gates().size(), 2u);
+  EXPECT_EQ(nl.primary_input_count(), 2u);
+  EXPECT_EQ(nl.primary_output_count(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, SinksRecorded) {
+  const Netlist nl = tiny_netlist();
+  const Net& pi0 = nl.nets()[0];
+  ASSERT_EQ(pi0.sinks.size(), 1u);
+  EXPECT_EQ(pi0.sinks[0].gate, 0u);
+  EXPECT_EQ(pi0.sinks[0].pin_index, 0u);
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist nl = tiny_netlist();
+  const auto& topo = nl.topological_order();
+  ASSERT_EQ(topo.size(), 2u);
+  EXPECT_EQ(topo[0], 0u);  // INV before NAND2
+  EXPECT_EQ(topo[1], 1u);
+}
+
+TEST(Netlist, GateLevels) {
+  const Netlist nl = tiny_netlist();
+  const auto levels = nl.gate_levels();
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+}
+
+TEST(Netlist, FaninCountMustMatchMaster) {
+  Netlist nl(lib(), "bad");
+  const std::size_t pi0 = nl.add_primary_input("pi0");
+  EXPECT_THROW(nl.add_gate("u1", lib().index_of("NAND2_X1"), {pi0}),
+               PreconditionError);
+}
+
+TEST(Netlist, InputPinsOf) {
+  const Netlist nl(lib(), "t");
+  EXPECT_EQ(nl.input_pins_of(lib().index_of("NAND3_X1")),
+            (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(nl.input_pins_of(lib().index_of("INV_X1")),
+            (std::vector<std::string>{"A"}));
+}
+
+TEST(Netlist, FrozenAfterTopo) {
+  Netlist nl = tiny_netlist();
+  (void)nl.topological_order();
+  EXPECT_THROW(nl.add_primary_input("late"), PreconditionError);
+}
+
+// ---------------------------------------------------------------- ISCAS85
+
+TEST(Iscas85, SpecsArePublishedValues) {
+  const auto& specs = iscas85_specs();
+  ASSERT_EQ(specs.size(), 10u);
+  const auto& c432 = iscas85_spec("C432");
+  EXPECT_EQ(c432.primary_inputs, 36u);
+  EXPECT_EQ(c432.primary_outputs, 7u);
+  EXPECT_EQ(c432.gate_count, 160u);
+  const auto& c7552 = iscas85_spec("c7552");  // case-insensitive
+  EXPECT_EQ(c7552.gate_count, 3512u);
+  EXPECT_THROW(iscas85_spec("C9999"), PreconditionError);
+}
+
+TEST(Iscas85, GeneratedCircuitMatchesSpec) {
+  for (const char* name : {"C432", "C880", "C1355"}) {
+    const auto& spec = iscas85_spec(name);
+    const Netlist nl = generate_iscas85_like(spec, lib());
+    EXPECT_EQ(nl.gates().size(), spec.gate_count) << name;
+    EXPECT_EQ(nl.primary_input_count(), spec.primary_inputs) << name;
+    EXPECT_EQ(nl.primary_output_count(), spec.primary_outputs) << name;
+    EXPECT_NO_THROW(nl.validate());
+  }
+}
+
+TEST(Iscas85, Deterministic) {
+  const Netlist a = generate_iscas85_like("C432", lib());
+  const Netlist b = generate_iscas85_like("C432", lib());
+  ASSERT_EQ(a.gates().size(), b.gates().size());
+  for (std::size_t i = 0; i < a.gates().size(); ++i) {
+    EXPECT_EQ(a.gates()[i].cell_index, b.gates()[i].cell_index);
+    EXPECT_EQ(a.gates()[i].fanin_nets, b.gates()[i].fanin_nets);
+  }
+}
+
+TEST(Iscas85, DifferentBenchmarksDiffer) {
+  const Netlist a = generate_iscas85_like("C432", lib());
+  const Netlist b = generate_iscas85_like("C499", lib());
+  EXPECT_NE(a.gates().size(), b.gates().size());
+}
+
+TEST(Iscas85, RealisticDepth) {
+  const Netlist nl = generate_iscas85_like("C880", lib());
+  const auto levels = nl.gate_levels();
+  std::size_t depth = 0;
+  for (std::size_t l : levels) depth = std::max(depth, l);
+  EXPECT_GE(depth, 10u);
+  EXPECT_LE(depth, 60u);
+}
+
+TEST(Iscas85, UsesDiverseCellMix) {
+  const Netlist nl = generate_iscas85_like("C1908", lib());
+  std::set<std::size_t> used;
+  for (const auto& g : nl.gates()) used.insert(g.cell_index);
+  EXPECT_GE(used.size(), 8u);  // nearly all ten masters appear
+}
+
+TEST(Iscas85, MostNetsAreConsumed) {
+  const Netlist nl = generate_iscas85_like("C1355", lib());
+  std::size_t dangling = 0;
+  for (const auto& net : nl.nets())
+    if (!net.is_primary_input() && net.sinks.empty() &&
+        !net.is_primary_output)
+      ++dangling;
+  EXPECT_LT(static_cast<double>(dangling) /
+                static_cast<double>(nl.gates().size()),
+            0.25);
+}
+
+// Property sweep over every ISCAS85 benchmark: generated circuits honour
+// their published interface statistics and are valid DAGs.
+class AllBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllBenchmarks, SpecHonored) {
+  const auto& spec = iscas85_spec(GetParam());
+  const Netlist nl = generate_iscas85_like(spec, lib());
+  EXPECT_EQ(nl.gates().size(), spec.gate_count);
+  EXPECT_EQ(nl.primary_input_count(), spec.primary_inputs);
+  EXPECT_EQ(nl.primary_output_count(), spec.primary_outputs);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Iscas, AllBenchmarks,
+                         ::testing::Values("C432", "C499", "C880", "C1355",
+                                           "C1908", "C2670", "C3540",
+                                           "C5315", "C6288", "C7552"));
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,275 @@
+// Tests for the place module: row placement invariants, whitespace
+// distribution, nps context extraction, and full-chip OPC plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "netlist/iscas85.hpp"
+#include "place/context.hpp"
+#include "place/fullchip_opc.hpp"
+#include "place/placement.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary library = build_standard_library();
+  return library;
+}
+
+const Netlist& c432() {
+  static const Netlist nl = generate_iscas85_like("C432", lib());
+  return nl;
+}
+
+Placement place_c432() { return Placement(c432(), PlacementConfig{}); }
+
+TEST(Placement, EveryGatePlacedExactlyOnce) {
+  const Placement p = place_c432();
+  EXPECT_EQ(p.instances().size(), c432().gates().size());
+  std::size_t in_rows = 0;
+  for (const auto& row : p.rows()) in_rows += row.size();
+  EXPECT_EQ(in_rows, c432().gates().size());
+}
+
+TEST(Placement, NoOverlapsWithinRows) {
+  const Placement p = place_c432();
+  for (const auto& row : p.rows()) {
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      const auto& prev = p.instances()[row[i - 1]];
+      const auto& cur = p.instances()[row[i]];
+      const Nm prev_end =
+          prev.x + lib().master(c432().gates()[row[i - 1]].cell_index).width();
+      EXPECT_GE(cur.x, prev_end - 1e-9);
+    }
+  }
+}
+
+TEST(Placement, RowsFitWithinRowWidth) {
+  const Placement p = place_c432();
+  for (const auto& row : p.rows()) {
+    if (row.empty()) continue;
+    const auto& last = p.instances()[row.back()];
+    const Nm end =
+        last.x + lib().master(c432().gates()[row.back()].cell_index).width();
+    EXPECT_LE(end, p.row_width() + 1e-6);
+  }
+}
+
+TEST(Placement, UtilizationApproximatelyHonored) {
+  PlacementConfig config;
+  config.utilization = 0.7;
+  const Placement p(c432(), config);
+  Nm cells = 0.0;
+  for (const auto& g : c432().gates())
+    cells += lib().master(g.cell_index).width();
+  const Nm area = p.row_width() * static_cast<double>(p.rows().size());
+  EXPECT_NEAR(cells / area, 0.7, 0.1);
+}
+
+TEST(Placement, MixOfAbutmentsAndGaps) {
+  const Placement p = place_c432();
+  std::size_t abut = 0, gaps = 0;
+  for (std::size_t gi = 0; gi < c432().gates().size(); ++gi) {
+    const Nm gap = p.gap_left(gi, -1.0);
+    if (gap == -1.0) continue;  // row start
+    if (gap < 1e-9)
+      ++abut;
+    else
+      ++gaps;
+  }
+  EXPECT_GT(abut, 10u);
+  EXPECT_GT(gaps, 10u);
+}
+
+TEST(Placement, GapsAreSiteMultiples) {
+  const CellTech tech;
+  const Placement p = place_c432();
+  for (std::size_t gi = 0; gi < c432().gates().size(); ++gi) {
+    const Nm gap = p.gap_left(gi, -1.0);
+    if (gap <= 0.0) continue;
+    const double sites = gap / tech.site_width;
+    EXPECT_NEAR(sites, std::round(sites), 1e-6);
+  }
+}
+
+TEST(Placement, NeighborsConsistent) {
+  const Placement p = place_c432();
+  for (std::size_t gi = 0; gi < c432().gates().size(); ++gi) {
+    const std::size_t l = p.left_neighbor(gi);
+    if (l != static_cast<std::size_t>(-1)) {
+      EXPECT_EQ(p.right_neighbor(l), gi);
+    }
+    const std::size_t r = p.right_neighbor(gi);
+    if (r != static_cast<std::size_t>(-1)) {
+      EXPECT_EQ(p.left_neighbor(r), gi);
+    }
+  }
+}
+
+TEST(Placement, DeterministicForSeed) {
+  const Placement a(c432(), PlacementConfig{});
+  const Placement b(c432(), PlacementConfig{});
+  for (std::size_t gi = 0; gi < c432().gates().size(); ++gi)
+    EXPECT_DOUBLE_EQ(a.instances()[gi].x, b.instances()[gi].x);
+}
+
+TEST(Placement, SeedChangesWhitespace) {
+  PlacementConfig c2;
+  c2.seed = 99;
+  const Placement a(c432(), PlacementConfig{});
+  const Placement b(c432(), c2);
+  bool any_diff = false;
+  for (std::size_t gi = 0; gi < c432().gates().size(); ++gi)
+    any_diff |= a.instances()[gi].x != b.instances()[gi].x;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Placement, RowLayoutTagsDecode) {
+  const Placement p = place_c432();
+  std::vector<long> tags;
+  const Layout row = p.row_layout(0, &tags);
+  ASSERT_EQ(tags.size(), row.size());
+  bool found_gate_tag = false;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] < 0) continue;
+    found_gate_tag = true;
+    const std::size_t gi = Placement::tag_gate(tags[i]);
+    const std::size_t poly = Placement::tag_poly(tags[i]);
+    EXPECT_LT(gi, c432().gates().size());
+    EXPECT_LT(poly,
+              lib().master(c432().gates()[gi].cell_index).gates().size());
+    EXPECT_EQ(row.shapes()[i].layer, Layer::Poly);
+  }
+  EXPECT_TRUE(found_gate_tag);
+}
+
+// ----------------------------------------------------------------- Nps
+
+TEST(Nps, RowEndIsIsolated) {
+  const CellTech tech;
+  const Placement p = place_c432();
+  const std::vector<InstanceNps> nps = extract_nps(p);
+  for (const auto& row : p.rows()) {
+    if (row.empty()) continue;
+    const auto& first = nps[row.front()];
+    EXPECT_DOUBLE_EQ(first.lt, tech.radius_of_influence);
+    EXPECT_DOUBLE_EQ(first.lb, tech.radius_of_influence);
+    const auto& last = nps[row.back()];
+    EXPECT_DOUBLE_EQ(last.rt, tech.radius_of_influence);
+    EXPECT_DOUBLE_EQ(last.rb, tech.radius_of_influence);
+  }
+}
+
+TEST(Nps, ClampedToRoi) {
+  const CellTech tech;
+  const std::vector<InstanceNps> nps = extract_nps(place_c432());
+  for (const auto& n : nps) {
+    for (Nm v : {n.lt, n.rt, n.lb, n.rb}) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, tech.radius_of_influence);
+    }
+  }
+}
+
+TEST(Nps, AbuttedNeighborsAreCloserThanGapped) {
+  const Placement p = place_c432();
+  const std::vector<InstanceNps> nps = extract_nps(p);
+  double abut_sum = 0.0, gap_sum = 0.0;
+  std::size_t abut_n = 0, gap_n = 0;
+  for (std::size_t gi = 0; gi < c432().gates().size(); ++gi) {
+    const Nm gap = p.gap_left(gi, -1.0);
+    if (gap < 0.0) continue;
+    if (gap < 1e-9) {
+      abut_sum += nps[gi].lt;
+      ++abut_n;
+    } else {
+      gap_sum += nps[gi].lt;
+      ++gap_n;
+    }
+  }
+  ASSERT_GT(abut_n, 0u);
+  ASSERT_GT(gap_n, 0u);
+  EXPECT_LT(abut_sum / static_cast<double>(abut_n),
+            gap_sum / static_cast<double>(gap_n));
+}
+
+TEST(Nps, StubsMakeTopBottomDiffer) {
+  // With boundary stubs on some masters, at least some instances must see
+  // different top and bottom spacings on a side.
+  const std::vector<InstanceNps> nps = extract_nps(place_c432());
+  std::size_t differing = 0;
+  for (const auto& n : nps)
+    if (std::abs(n.lt - n.lb) > 1.0 || std::abs(n.rt - n.rb) > 1.0)
+      ++differing;
+  EXPECT_GT(differing, 5u);
+}
+
+TEST(Nps, VersionAssignment) {
+  const ContextBins bins;
+  const std::vector<InstanceNps> nps = extract_nps(place_c432());
+  const auto versions = assign_versions(nps, bins);
+  ASSERT_EQ(versions.size(), nps.size());
+  // Multiple distinct versions must occur in a realistic placement.
+  std::set<std::size_t> distinct;
+  for (const auto& v : versions) distinct.insert(version_index(v, 3));
+  EXPECT_GE(distinct.size(), 5u);
+}
+
+// ------------------------------------------------------------ FullChipOpc
+
+TEST(FullChipOpc, SmallCircuitAllDevicesMeasured) {
+  // A small hand netlist keeps the runtime negligible.
+  Netlist nl(lib(), "mini");
+  const auto a = nl.add_primary_input("a");
+  const auto b = nl.add_primary_input("b");
+  const auto x = nl.add_gate("u1", lib().index_of("INV_X1"), {a});
+  const auto y = nl.add_gate("u2", lib().index_of("NAND2_X1"), {x, b});
+  nl.mark_primary_output(y);
+  const Placement p(nl, PlacementConfig{});
+
+  const LithoProcess proc(OpticsConfig{}, 90.0, 240.0);
+  const OpcEngine engine(proc, OpcConfig{});
+  const FullChipOpcResult result = full_chip_opc(p, engine);
+
+  ASSERT_EQ(result.device_cd.size(), 2u);
+  for (std::size_t gi = 0; gi < 2; ++gi)
+    for (Nm cd : result.device_cd[gi]) {
+      EXPECT_GT(cd, 60.0);
+      EXPECT_LT(cd, 130.0);
+    }
+  EXPECT_GT(result.images_simulated, 0u);
+  EXPECT_GT(result.lines_corrected, 0u);
+}
+
+// Property sweep: placement invariants hold across utilizations.
+class UtilizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweep, ValidRows) {
+  PlacementConfig config;
+  config.utilization = GetParam();
+  const Placement p(c432(), config);
+  std::size_t placed = 0;
+  for (const auto& row : p.rows()) {
+    placed += row.size();
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      const auto& prev = p.instances()[row[i - 1]];
+      const auto& cur = p.instances()[row[i]];
+      EXPECT_GE(cur.x,
+                prev.x +
+                    lib().master(c432().gates()[row[i - 1]].cell_index)
+                        .width() -
+                    1e-9);
+    }
+  }
+  EXPECT_EQ(placed, c432().gates().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, UtilizationSweep,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.85, 0.95));
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,124 @@
+// Tests for the report module: tables, CSV, ASCII plots and histograms.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Testcase", "Gates", "Delay"});
+  t.add_row({"C432", "160", "1.974"});
+  t.add_row({"C880", "383", "2.918"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Testcase"), std::string::npos);
+  EXPECT_NE(out.find("C432"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("--------"), std::string::npos);
+  // Numeric cells right-aligned: "160" appears padded to width of "Gates".
+  EXPECT_NE(out.find("  160"), std::string::npos);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+  EXPECT_NO_THROW(t.add_row({"x", "y"}));
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvEscapes) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, PercentCellsAreNumeric) {
+  Table t({"x", "pct"});
+  t.add_row({"r", "28.3%"});
+  const std::string out = t.render();
+  // Right-aligned under the 3-wide header "pct" -> padded.
+  EXPECT_NE(out.find("28.3%"), std::string::npos);
+}
+
+TEST(Plot, RendersSeriesAndLegend) {
+  Series s;
+  s.name = "dense";
+  for (int i = 0; i <= 10; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(i * i);
+  }
+  PlotOptions opt;
+  opt.title = "test plot";
+  opt.x_label = "pitch";
+  opt.y_label = "cd";
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find("* = dense"), std::string::npos);
+  EXPECT_NE(out.find("x: pitch"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Plot, MultipleSeriesUseDistinctGlyphs) {
+  Series a{"a", {0, 1}, {0, 1}};
+  Series b{"b", {0, 1}, {1, 0}};
+  const std::string out = render_plot({a, b}, PlotOptions{});
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("o = b"), std::string::npos);
+}
+
+TEST(Plot, RejectsDegenerateOptions) {
+  Series s{"s", {0.0}, {0.0}};
+  PlotOptions tiny;
+  tiny.width = 4;
+  EXPECT_THROW(render_plot({s}, tiny), PreconditionError);
+  EXPECT_THROW(render_plot({}, PlotOptions{}), PreconditionError);
+}
+
+TEST(Plot, HistogramBars) {
+  const Histogram h = make_histogram({1.0, 1.1, 1.2, 5.0}, 0.0, 10.0, 5);
+  const std::string out = render_histogram(h, "hist");
+  EXPECT_NE(out.find("hist"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Plot, HistogramShowsOverflow) {
+  const Histogram h = make_histogram({-5.0, 20.0, 1.0}, 0.0, 10.0, 2);
+  const std::string out = render_histogram(h, "");
+  EXPECT_NE(out.find("underflow: 1"), std::string::npos);
+  EXPECT_NE(out.find("overflow: 1"), std::string::npos);
+}
+
+TEST(Csv, LongFormSeries) {
+  Series a{"a", {1.0, 2.0}, {3.0, 4.0}};
+  const std::string csv = series_to_csv({a});
+  EXPECT_NE(csv.find("series,x,y"), std::string::npos);
+  EXPECT_NE(csv.find("a,1.000000,3.000000"), std::string::npos);
+}
+
+TEST(Csv, WriteTextFileRoundTrip) {
+  const std::string path = "/tmp/sva_report_test.csv";
+  write_text_file(path, "hello\n");
+  std::ifstream is(path);
+  std::string content;
+  std::getline(is, content);
+  EXPECT_EQ(content, "hello");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteTextFileFailsOnBadPath) {
+  EXPECT_THROW(write_text_file("/nonexistent_dir_xyz/file.txt", "x"),
+               Error);
+}
+
+}  // namespace
+}  // namespace sva

@@ -1,0 +1,237 @@
+// Tests for the sta module: load computation, arrival/slew propagation,
+// critical paths, and scale-provider semantics, including hand-computed
+// delays on a tiny netlist.
+
+#include <gtest/gtest.h>
+
+#include "netlist/iscas85.hpp"
+#include "sta/scale.hpp"
+#include "sta/sta.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary library = build_standard_library();
+  return library;
+}
+
+const CharacterizedLibrary& charlib() {
+  static const CharacterizedLibrary cl = characterize_library(lib());
+  return cl;
+}
+
+/// pi -> INV -> INV -> PO chain.
+Netlist inv_chain(std::size_t length) {
+  Netlist nl(lib(), "chain");
+  std::size_t net = nl.add_primary_input("pi");
+  for (std::size_t i = 0; i < length; ++i)
+    net = nl.add_gate("u" + std::to_string(i), lib().index_of("INV_X1"),
+                      {net});
+  nl.mark_primary_output(net);
+  return nl;
+}
+
+TEST(Sta, NetLoadMatchesHandComputation) {
+  const Netlist nl = inv_chain(2);
+  StaConfig config;
+  const Sta sta(nl, charlib(), config);
+  // Net 1 (output of u0) drives u1's pin A plus wire cap for one sink.
+  const double pin_cap = charlib().cells[lib().index_of("INV_X1")]
+                             .master.pin("A")
+                             .input_cap_ff;
+  EXPECT_NEAR(sta.net_load_ff(1), pin_cap + config.wire_cap_per_sink_ff,
+              1e-12);
+  // Final net: PO load only (no sinks).
+  EXPECT_NEAR(sta.net_load_ff(2), config.po_load_ff, 1e-12);
+}
+
+TEST(Sta, ChainDelayMatchesHandComputation) {
+  const Netlist nl = inv_chain(1);
+  StaConfig config;
+  config.wire_delay_per_sink_ps = 0.0;
+  const Sta sta(nl, charlib(), config);
+  const StaResult r = sta.run(UnitScale{});
+
+  const auto& arc = charlib().cells[lib().index_of("INV_X1")].arc_for("A");
+  const double expected =
+      arc.nldm.delay_ps(config.input_slew_ps, config.po_load_ff);
+  EXPECT_NEAR(r.critical_delay_ps, expected, 1e-9);
+}
+
+TEST(Sta, TwoStageChainPropagatesSlew) {
+  const Netlist nl = inv_chain(2);
+  StaConfig config;
+  config.wire_delay_per_sink_ps = 0.0;
+  const Sta sta(nl, charlib(), config);
+  const StaResult r = sta.run(UnitScale{});
+
+  const auto& arc = charlib().cells[lib().index_of("INV_X1")].arc_for("A");
+  const double load1 = sta.net_load_ff(1);
+  const double d1 = arc.nldm.delay_ps(config.input_slew_ps, load1);
+  const double s1 = arc.nldm.output_slew_ps(config.input_slew_ps, load1);
+  const double d2 = arc.nldm.delay_ps(s1, config.po_load_ff);
+  EXPECT_NEAR(r.critical_delay_ps, d1 + d2, 1e-9);
+  EXPECT_NEAR(r.slew_ps[1], s1, 1e-9);
+}
+
+TEST(Sta, WireDelayAdds) {
+  const Netlist nl = inv_chain(2);
+  StaConfig with;
+  with.wire_delay_per_sink_ps = 10.0;
+  StaConfig without;
+  without.wire_delay_per_sink_ps = 0.0;
+  const double d_with =
+      Sta(nl, charlib(), with).run(UnitScale{}).critical_delay_ps;
+  const double d_without =
+      Sta(nl, charlib(), without).run(UnitScale{}).critical_delay_ps;
+  // Two nets feed gates (pi and the middle net), one sink each.
+  EXPECT_NEAR(d_with - d_without, 20.0, 1e-9);
+}
+
+TEST(Sta, UniformScaleSlowsEverything) {
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  const Sta sta(nl, charlib());
+  const double nominal = sta.run(UnitScale{}).critical_delay_ps;
+  const double slow = sta.run(UniformScale{1.1}).critical_delay_ps;
+  const double fast = sta.run(UniformScale{0.9}).critical_delay_ps;
+  EXPECT_GT(slow, nominal);
+  EXPECT_LT(fast, nominal);
+}
+
+TEST(Sta, CriticalPathIsConnected) {
+  const Netlist nl = generate_iscas85_like("C880", lib());
+  const Sta sta(nl, charlib());
+  const StaResult r = sta.run(UnitScale{});
+  ASSERT_FALSE(r.critical_path.empty());
+  // Consecutive gates on the path must be connected.
+  for (std::size_t i = 1; i < r.critical_path.size(); ++i) {
+    const std::size_t prev_out = nl.gates()[r.critical_path[i - 1]].output_net;
+    bool connected = false;
+    for (std::size_t net : nl.gates()[r.critical_path[i]].fanin_nets)
+      connected |= net == prev_out;
+    EXPECT_TRUE(connected) << "path break at position " << i;
+  }
+  // The path ends at the critical PO's driver.
+  EXPECT_EQ(nl.gates()[r.critical_path.back()].output_net,
+            r.critical_po_net);
+}
+
+TEST(Sta, ArrivalsMonotoneAlongPath) {
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  const Sta sta(nl, charlib());
+  const StaResult r = sta.run(UnitScale{});
+  double prev = -1.0;
+  for (std::size_t gi : r.critical_path) {
+    const double a = r.arrival_ps[nl.gates()[gi].output_net];
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Sta, PoWorstArrivalIsCriticalDelay) {
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  const Sta sta(nl, charlib());
+  const StaResult r = sta.run(UnitScale{});
+  for (std::size_t ni = 0; ni < nl.nets().size(); ++ni)
+    if (nl.nets()[ni].is_primary_output) {
+      EXPECT_LE(r.arrival_ps[ni], r.critical_delay_ps + 1e-9);
+    }
+}
+
+TEST(Sta, RequiresPrimaryOutput) {
+  Netlist nl(lib(), "nopo");
+  const std::size_t pi = nl.add_primary_input("pi");
+  nl.add_gate("u0", lib().index_of("INV_X1"), {pi});
+  const Sta sta(nl, charlib());
+  EXPECT_THROW(sta.run(UnitScale{}), PreconditionError);
+}
+
+TEST(StaIncremental, MatchesFullRunAfterLocalChange) {
+  const Netlist nl = generate_iscas85_like("C880", lib());
+  const Sta sta(nl, charlib());
+  const UnitScale base;
+  const StaResult before = sta.run(base);
+
+  // Perturb a handful of gates' scales.
+  std::vector<std::vector<double>> factors(nl.gates().size());
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi)
+    factors[gi].assign(
+        lib().master(nl.gates()[gi].cell_index).arcs().size(), 1.0);
+  const std::vector<std::size_t> changed = {3, 57, 200};
+  for (std::size_t gi : changed)
+    for (double& f : factors[gi]) f = 1.2;
+  const MatrixScale perturbed(std::move(factors));
+
+  const StaResult full = sta.run(perturbed);
+  const StaResult incr = sta.run_incremental(perturbed, before, changed);
+  ASSERT_EQ(full.arrival_ps.size(), incr.arrival_ps.size());
+  for (std::size_t ni = 0; ni < full.arrival_ps.size(); ++ni) {
+    EXPECT_DOUBLE_EQ(full.arrival_ps[ni], incr.arrival_ps[ni]) << ni;
+    EXPECT_DOUBLE_EQ(full.slew_ps[ni], incr.slew_ps[ni]) << ni;
+  }
+  EXPECT_DOUBLE_EQ(full.critical_delay_ps, incr.critical_delay_ps);
+  EXPECT_EQ(full.critical_path, incr.critical_path);
+}
+
+TEST(StaIncremental, NoChangeIsIdentity) {
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  const Sta sta(nl, charlib());
+  const UnitScale base;
+  const StaResult before = sta.run(base);
+  const StaResult incr = sta.run_incremental(base, before, {});
+  EXPECT_DOUBLE_EQ(incr.critical_delay_ps, before.critical_delay_ps);
+}
+
+TEST(StaIncremental, ChangedEverythingStillExact) {
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  const Sta sta(nl, charlib());
+  const StaResult before = sta.run(UnitScale{});
+  std::vector<std::size_t> all(nl.gates().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const UniformScale slow(1.15);
+  const StaResult full = sta.run(slow);
+  const StaResult incr = sta.run_incremental(slow, before, all);
+  EXPECT_DOUBLE_EQ(full.critical_delay_ps, incr.critical_delay_ps);
+}
+
+TEST(StaIncremental, RejectsMismatchedPrevious) {
+  const Netlist a = generate_iscas85_like("C432", lib());
+  const Netlist b = generate_iscas85_like("C880", lib());
+  const Sta sta_a(a, charlib());
+  const Sta sta_b(b, charlib());
+  const StaResult r_a = sta_a.run(UnitScale{});
+  EXPECT_THROW(sta_b.run_incremental(UnitScale{}, r_a, {0}),
+               PreconditionError);
+}
+
+// Property: scaling delay by f scales the pure-gate-delay portion; with
+// zero wire delay the critical delay is within the scale bracket
+// [f_min, f_max] of nominal.
+class ScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScaleSweep, DelayScalesWithinBracket) {
+  const double f = GetParam();
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  StaConfig config;
+  config.wire_delay_per_sink_ps = 0.0;
+  const Sta sta(nl, charlib(), config);
+  const double nominal = sta.run(UnitScale{}).critical_delay_ps;
+  const double scaled = sta.run(UniformScale{f}).critical_delay_ps;
+  // The scaled path delay cannot move outside the uniform bracket (slew
+  // effects keep it close to linear but path switching keeps it bounded).
+  if (f > 1.0) {
+    EXPECT_GE(scaled, nominal);
+    EXPECT_LE(scaled, nominal * f * 1.1);
+  } else {
+    EXPECT_LE(scaled, nominal);
+    EXPECT_GE(scaled, nominal * f * 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScaleSweep,
+                         ::testing::Values(0.85, 0.95, 1.05, 1.2));
+
+}  // namespace
+}  // namespace sva

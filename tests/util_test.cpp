@@ -1,0 +1,312 @@
+// Tests for the util module: RNG determinism and distributions,
+// interpolation tables, statistics, strings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/interp.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace sva {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StringSeedIsStable) {
+  Rng a("C432"), b("C432"), c("C880");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng a2("C432");
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsAreCorrect) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0.0, ss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    ss += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(37);
+  std::vector<double> none;
+  EXPECT_THROW(rng.weighted_index(none), PreconditionError);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), PreconditionError);
+  std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), PreconditionError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+// ---------------------------------------------------------------- Interp
+
+TEST(LookupTable1D, ExactAtKnots) {
+  LookupTable1D t({0.0, 1.0, 3.0}, {10.0, 20.0, 0.0});
+  EXPECT_DOUBLE_EQ(t.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.at(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.at(3.0), 0.0);
+}
+
+TEST(LookupTable1D, LinearBetweenKnots) {
+  LookupTable1D t({0.0, 2.0}, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(t.at(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(t.at(1.0), 5.0);
+}
+
+TEST(LookupTable1D, ExtrapolatesLinearly) {
+  LookupTable1D t({0.0, 1.0, 2.0}, {0.0, 1.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.at(-1.0), -1.0);  // first segment slope 1
+  EXPECT_DOUBLE_EQ(t.at(3.0), 7.0);    // last segment slope 3
+}
+
+TEST(LookupTable1D, SlopeAt) {
+  LookupTable1D t({0.0, 1.0, 3.0}, {0.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.slope_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.slope_at(2.0), 0.0);
+}
+
+TEST(LookupTable1D, RejectsNonIncreasingAxis) {
+  EXPECT_THROW(LookupTable1D({1.0, 1.0}, {0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(LookupTable1D({2.0, 1.0}, {0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(LookupTable1D({1.0}, {0.0, 0.0}), PreconditionError);
+}
+
+TEST(LookupTable1D, MinMaxValues) {
+  LookupTable1D t({0.0, 1.0, 2.0}, {3.0, -1.0, 5.0});
+  EXPECT_DOUBLE_EQ(t.min_value(), -1.0);
+  EXPECT_DOUBLE_EQ(t.max_value(), 5.0);
+}
+
+TEST(LookupTable2D, BilinearInterior) {
+  // z = x + 10*y on the grid => exact everywhere under bilinear.
+  LookupTable2D t({0.0, 1.0}, {0.0, 1.0}, {0.0, 10.0, 1.0, 11.0});
+  EXPECT_DOUBLE_EQ(t.at(0.5, 0.5), 5.5);
+  EXPECT_DOUBLE_EQ(t.at(0.25, 0.75), 7.75);
+}
+
+TEST(LookupTable2D, EdgeExtrapolation) {
+  LookupTable2D t({0.0, 1.0}, {0.0, 1.0}, {0.0, 10.0, 1.0, 11.0});
+  EXPECT_DOUBLE_EQ(t.at(2.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(0.0, 2.0), 20.0);
+}
+
+TEST(LookupTable2D, TransformedScalesValues) {
+  LookupTable2D t({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+  const auto doubled = t.transformed([](double v) { return 2.0 * v; });
+  EXPECT_DOUBLE_EQ(doubled.at(0.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(doubled.at(1.0, 1.0), 8.0);
+}
+
+TEST(LookupTable2D, RejectsSizeMismatch) {
+  EXPECT_THROW(LookupTable2D({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0}),
+               PreconditionError);
+}
+
+TEST(Interp, SegmentIndexClamps) {
+  const std::vector<double> axis = {0.0, 1.0, 2.0};
+  EXPECT_EQ(interp::segment_index(axis, -5.0), 0u);
+  EXPECT_EQ(interp::segment_index(axis, 0.5), 0u);
+  EXPECT_EQ(interp::segment_index(axis, 1.5), 1u);
+  EXPECT_EQ(interp::segment_index(axis, 99.0), 1u);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, SummaryRejectsEmpty) {
+  EXPECT_THROW(summarize({}), PreconditionError);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);  // unsorted in
+}
+
+TEST(Stats, FractionWithin) {
+  const std::vector<double> xs = {-3.0, -1.0, 0.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 1.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 0.0), 0.2);
+}
+
+TEST(Stats, HistogramBinsAndOverflow) {
+  const Histogram h =
+      make_histogram({-1.0, 0.5, 1.5, 2.5, 9.0, 10.0}, 0.0, 10.0, 10);
+  EXPECT_EQ(h.counts.size(), 10u);
+  EXPECT_EQ(h.underflow, 1u);
+  EXPECT_EQ(h.overflow, 1u);  // 10.0 is at the top edge
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[9], 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Stats, HistogramBinCenter) {
+  const Histogram h = make_histogram({0.5}, 0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 0.75);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(Strings, Fmt) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-1.0, 0), "-1");
+  EXPECT_EQ(fmt(2.5, 3), "2.500");
+}
+
+TEST(Strings, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.2834, 1), "28.3%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("C432", "C"));
+  EXPECT_FALSE(starts_with("C", "C432"));
+}
+
+// ---------------------------------------------------------------- Units
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::ps_to_ns(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(units::nm_to_um(250.0), 0.25);
+}
+
+// Property sweep: 1-D interpolation is monotone between knots for
+// monotone data.
+class MonotoneInterp : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotoneInterp, PreservesMonotonicity) {
+  LookupTable1D t({0.0, 1.0, 2.0, 4.0}, {0.0, 1.0, 3.0, 10.0});
+  const double x = GetParam();
+  EXPECT_LE(t.at(x), t.at(x + 0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MonotoneInterp,
+                         ::testing::Values(0.0, 0.3, 0.9, 1.4, 2.0, 2.9,
+                                           3.6));
+
+}  // namespace
+}  // namespace sva
