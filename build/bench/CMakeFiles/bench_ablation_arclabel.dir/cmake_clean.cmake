@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arclabel.dir/ablation_arclabel.cpp.o"
+  "CMakeFiles/bench_ablation_arclabel.dir/ablation_arclabel.cpp.o.d"
+  "bench_ablation_arclabel"
+  "bench_ablation_arclabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arclabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lvar_share.dir/ablation_lvar_share.cpp.o"
+  "CMakeFiles/bench_ablation_lvar_share.dir/ablation_lvar_share.cpp.o.d"
+  "bench_ablation_lvar_share"
+  "bench_ablation_lvar_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lvar_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dummy_fill.dir/dummy_fill.cpp.o"
+  "CMakeFiles/bench_dummy_fill.dir/dummy_fill.cpp.o.d"
+  "bench_dummy_fill"
+  "bench_dummy_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dummy_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exposure.dir/exposure.cpp.o"
+  "CMakeFiles/bench_exposure.dir/exposure.cpp.o.d"
+  "bench_exposure"
+  "bench_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

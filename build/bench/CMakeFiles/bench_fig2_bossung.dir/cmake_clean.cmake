@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bossung.dir/fig2_bossung.cpp.o"
+  "CMakeFiles/bench_fig2_bossung.dir/fig2_bossung.cpp.o.d"
+  "bench_fig2_bossung"
+  "bench_fig2_bossung.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bossung.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

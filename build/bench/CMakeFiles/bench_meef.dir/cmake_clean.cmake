@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meef.dir/meef.cpp.o"
+  "CMakeFiles/bench_meef.dir/meef.cpp.o.d"
+  "bench_meef"
+  "bench_meef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

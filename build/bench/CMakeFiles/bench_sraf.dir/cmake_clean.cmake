@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sraf.dir/sraf.cpp.o"
+  "CMakeFiles/bench_sraf.dir/sraf.cpp.o.d"
+  "bench_sraf"
+  "bench_sraf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sraf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/systematic_fraction.cpp" "bench/CMakeFiles/bench_systematic_fraction.dir/systematic_fraction.cpp.o" "gcc" "bench/CMakeFiles/bench_systematic_fraction.dir/systematic_fraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sva_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/sva_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/sva_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sva_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sva_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/sva_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sva_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

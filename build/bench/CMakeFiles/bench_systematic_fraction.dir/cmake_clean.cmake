@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_systematic_fraction.dir/systematic_fraction.cpp.o"
+  "CMakeFiles/bench_systematic_fraction.dir/systematic_fraction.cpp.o.d"
+  "bench_systematic_fraction"
+  "bench_systematic_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_systematic_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

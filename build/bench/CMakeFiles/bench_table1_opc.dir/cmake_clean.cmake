@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_opc.dir/table1_opc.cpp.o"
+  "CMakeFiles/bench_table1_opc.dir/table1_opc.cpp.o.d"
+  "bench_table1_opc"
+  "bench_table1_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

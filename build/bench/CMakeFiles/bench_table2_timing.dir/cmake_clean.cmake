@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_timing.dir/table2_timing.cpp.o"
+  "CMakeFiles/bench_table2_timing.dir/table2_timing.cpp.o.d"
+  "bench_table2_timing"
+  "bench_table2_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_demo.dir/context_demo.cpp.o"
+  "CMakeFiles/context_demo.dir/context_demo.cpp.o.d"
+  "context_demo"
+  "context_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_export.dir/liberty_export.cpp.o"
+  "CMakeFiles/liberty_export.dir/liberty_export.cpp.o.d"
+  "liberty_export"
+  "liberty_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_explorer.dir/litho_explorer.cpp.o"
+  "CMakeFiles/litho_explorer.dir/litho_explorer.cpp.o.d"
+  "litho_explorer"
+  "litho_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_and_report.dir/map_and_report.cpp.o"
+  "CMakeFiles/map_and_report.dir/map_and_report.cpp.o.d"
+  "map_and_report"
+  "map_and_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_and_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

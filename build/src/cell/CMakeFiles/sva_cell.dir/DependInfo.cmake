@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cell_master.cpp" "src/cell/CMakeFiles/sva_cell.dir/cell_master.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/cell_master.cpp.o.d"
+  "/root/repo/src/cell/characterize.cpp" "src/cell/CMakeFiles/sva_cell.dir/characterize.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/characterize.cpp.o.d"
+  "/root/repo/src/cell/context_library.cpp" "src/cell/CMakeFiles/sva_cell.dir/context_library.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/context_library.cpp.o.d"
+  "/root/repo/src/cell/liberty_reader.cpp" "src/cell/CMakeFiles/sva_cell.dir/liberty_reader.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/liberty_reader.cpp.o.d"
+  "/root/repo/src/cell/liberty_writer.cpp" "src/cell/CMakeFiles/sva_cell.dir/liberty_writer.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/liberty_writer.cpp.o.d"
+  "/root/repo/src/cell/library.cpp" "src/cell/CMakeFiles/sva_cell.dir/library.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/library.cpp.o.d"
+  "/root/repo/src/cell/library_opc.cpp" "src/cell/CMakeFiles/sva_cell.dir/library_opc.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/library_opc.cpp.o.d"
+  "/root/repo/src/cell/nldm.cpp" "src/cell/CMakeFiles/sva_cell.dir/nldm.cpp.o" "gcc" "src/cell/CMakeFiles/sva_cell.dir/nldm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opc/CMakeFiles/sva_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

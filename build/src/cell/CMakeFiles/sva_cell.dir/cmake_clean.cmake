@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_cell.dir/cell_master.cpp.o"
+  "CMakeFiles/sva_cell.dir/cell_master.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/characterize.cpp.o"
+  "CMakeFiles/sva_cell.dir/characterize.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/context_library.cpp.o"
+  "CMakeFiles/sva_cell.dir/context_library.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/liberty_reader.cpp.o"
+  "CMakeFiles/sva_cell.dir/liberty_reader.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/liberty_writer.cpp.o"
+  "CMakeFiles/sva_cell.dir/liberty_writer.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/library.cpp.o"
+  "CMakeFiles/sva_cell.dir/library.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/library_opc.cpp.o"
+  "CMakeFiles/sva_cell.dir/library_opc.cpp.o.d"
+  "CMakeFiles/sva_cell.dir/nldm.cpp.o"
+  "CMakeFiles/sva_cell.dir/nldm.cpp.o.d"
+  "libsva_cell.a"
+  "libsva_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva-timing.dir/main.cpp.o"
+  "CMakeFiles/sva-timing.dir/main.cpp.o.d"
+  "sva-timing"
+  "sva-timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva-timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

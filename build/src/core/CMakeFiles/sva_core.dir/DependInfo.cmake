@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/budget_calibration.cpp" "src/core/CMakeFiles/sva_core.dir/budget_calibration.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/budget_calibration.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/sva_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/compensation.cpp" "src/core/CMakeFiles/sva_core.dir/compensation.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/compensation.cpp.o.d"
+  "/root/repo/src/core/corners.cpp" "src/core/CMakeFiles/sva_core.dir/corners.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/corners.cpp.o.d"
+  "/root/repo/src/core/exposure.cpp" "src/core/CMakeFiles/sva_core.dir/exposure.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/exposure.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/sva_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/leakage.cpp" "src/core/CMakeFiles/sva_core.dir/leakage.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/leakage.cpp.o.d"
+  "/root/repo/src/core/scales.cpp" "src/core/CMakeFiles/sva_core.dir/scales.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/scales.cpp.o.d"
+  "/root/repo/src/core/simplified.cpp" "src/core/CMakeFiles/sva_core.dir/simplified.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/simplified.cpp.o.d"
+  "/root/repo/src/core/statistical.cpp" "src/core/CMakeFiles/sva_core.dir/statistical.cpp.o" "gcc" "src/core/CMakeFiles/sva_core.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/sva_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/sva_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sva_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sva_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/sva_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/sva_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_core.dir/budget_calibration.cpp.o"
+  "CMakeFiles/sva_core.dir/budget_calibration.cpp.o.d"
+  "CMakeFiles/sva_core.dir/classify.cpp.o"
+  "CMakeFiles/sva_core.dir/classify.cpp.o.d"
+  "CMakeFiles/sva_core.dir/compensation.cpp.o"
+  "CMakeFiles/sva_core.dir/compensation.cpp.o.d"
+  "CMakeFiles/sva_core.dir/corners.cpp.o"
+  "CMakeFiles/sva_core.dir/corners.cpp.o.d"
+  "CMakeFiles/sva_core.dir/exposure.cpp.o"
+  "CMakeFiles/sva_core.dir/exposure.cpp.o.d"
+  "CMakeFiles/sva_core.dir/flow.cpp.o"
+  "CMakeFiles/sva_core.dir/flow.cpp.o.d"
+  "CMakeFiles/sva_core.dir/leakage.cpp.o"
+  "CMakeFiles/sva_core.dir/leakage.cpp.o.d"
+  "CMakeFiles/sva_core.dir/scales.cpp.o"
+  "CMakeFiles/sva_core.dir/scales.cpp.o.d"
+  "CMakeFiles/sva_core.dir/simplified.cpp.o"
+  "CMakeFiles/sva_core.dir/simplified.cpp.o.d"
+  "CMakeFiles/sva_core.dir/statistical.cpp.o"
+  "CMakeFiles/sva_core.dir/statistical.cpp.o.d"
+  "libsva_core.a"
+  "libsva_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

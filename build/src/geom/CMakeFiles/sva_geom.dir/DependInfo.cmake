@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/drc.cpp" "src/geom/CMakeFiles/sva_geom.dir/drc.cpp.o" "gcc" "src/geom/CMakeFiles/sva_geom.dir/drc.cpp.o.d"
+  "/root/repo/src/geom/layout.cpp" "src/geom/CMakeFiles/sva_geom.dir/layout.cpp.o" "gcc" "src/geom/CMakeFiles/sva_geom.dir/layout.cpp.o.d"
+  "/root/repo/src/geom/spacing.cpp" "src/geom/CMakeFiles/sva_geom.dir/spacing.cpp.o" "gcc" "src/geom/CMakeFiles/sva_geom.dir/spacing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_geom.dir/drc.cpp.o"
+  "CMakeFiles/sva_geom.dir/drc.cpp.o.d"
+  "CMakeFiles/sva_geom.dir/layout.cpp.o"
+  "CMakeFiles/sva_geom.dir/layout.cpp.o.d"
+  "CMakeFiles/sva_geom.dir/spacing.cpp.o"
+  "CMakeFiles/sva_geom.dir/spacing.cpp.o.d"
+  "libsva_geom.a"
+  "libsva_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/aerial.cpp" "src/litho/CMakeFiles/sva_litho.dir/aerial.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/aerial.cpp.o.d"
+  "/root/repo/src/litho/bossung.cpp" "src/litho/CMakeFiles/sva_litho.dir/bossung.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/bossung.cpp.o.d"
+  "/root/repo/src/litho/cd_model.cpp" "src/litho/CMakeFiles/sva_litho.dir/cd_model.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/cd_model.cpp.o.d"
+  "/root/repo/src/litho/focus_response.cpp" "src/litho/CMakeFiles/sva_litho.dir/focus_response.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/focus_response.cpp.o.d"
+  "/root/repo/src/litho/mask1d.cpp" "src/litho/CMakeFiles/sva_litho.dir/mask1d.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/mask1d.cpp.o.d"
+  "/root/repo/src/litho/meef.cpp" "src/litho/CMakeFiles/sva_litho.dir/meef.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/meef.cpp.o.d"
+  "/root/repo/src/litho/optics.cpp" "src/litho/CMakeFiles/sva_litho.dir/optics.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/optics.cpp.o.d"
+  "/root/repo/src/litho/pitch_curve.cpp" "src/litho/CMakeFiles/sva_litho.dir/pitch_curve.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/pitch_curve.cpp.o.d"
+  "/root/repo/src/litho/process_window.cpp" "src/litho/CMakeFiles/sva_litho.dir/process_window.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/process_window.cpp.o.d"
+  "/root/repo/src/litho/resist.cpp" "src/litho/CMakeFiles/sva_litho.dir/resist.cpp.o" "gcc" "src/litho/CMakeFiles/sva_litho.dir/resist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_litho.dir/aerial.cpp.o"
+  "CMakeFiles/sva_litho.dir/aerial.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/bossung.cpp.o"
+  "CMakeFiles/sva_litho.dir/bossung.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/cd_model.cpp.o"
+  "CMakeFiles/sva_litho.dir/cd_model.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/focus_response.cpp.o"
+  "CMakeFiles/sva_litho.dir/focus_response.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/mask1d.cpp.o"
+  "CMakeFiles/sva_litho.dir/mask1d.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/meef.cpp.o"
+  "CMakeFiles/sva_litho.dir/meef.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/optics.cpp.o"
+  "CMakeFiles/sva_litho.dir/optics.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/pitch_curve.cpp.o"
+  "CMakeFiles/sva_litho.dir/pitch_curve.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/process_window.cpp.o"
+  "CMakeFiles/sva_litho.dir/process_window.cpp.o.d"
+  "CMakeFiles/sva_litho.dir/resist.cpp.o"
+  "CMakeFiles/sva_litho.dir/resist.cpp.o.d"
+  "libsva_litho.a"
+  "libsva_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

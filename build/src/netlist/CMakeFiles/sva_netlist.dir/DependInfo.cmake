@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_format.cpp" "src/netlist/CMakeFiles/sva_netlist.dir/bench_format.cpp.o" "gcc" "src/netlist/CMakeFiles/sva_netlist.dir/bench_format.cpp.o.d"
+  "/root/repo/src/netlist/iscas85.cpp" "src/netlist/CMakeFiles/sva_netlist.dir/iscas85.cpp.o" "gcc" "src/netlist/CMakeFiles/sva_netlist.dir/iscas85.cpp.o.d"
+  "/root/repo/src/netlist/mapper.cpp" "src/netlist/CMakeFiles/sva_netlist.dir/mapper.cpp.o" "gcc" "src/netlist/CMakeFiles/sva_netlist.dir/mapper.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/sva_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/sva_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/sva_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/sva_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cell/CMakeFiles/sva_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/sva_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

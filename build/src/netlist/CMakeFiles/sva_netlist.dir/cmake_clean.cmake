@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_netlist.dir/bench_format.cpp.o"
+  "CMakeFiles/sva_netlist.dir/bench_format.cpp.o.d"
+  "CMakeFiles/sva_netlist.dir/iscas85.cpp.o"
+  "CMakeFiles/sva_netlist.dir/iscas85.cpp.o.d"
+  "CMakeFiles/sva_netlist.dir/mapper.cpp.o"
+  "CMakeFiles/sva_netlist.dir/mapper.cpp.o.d"
+  "CMakeFiles/sva_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/sva_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/sva_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/sva_netlist.dir/verilog.cpp.o.d"
+  "libsva_netlist.a"
+  "libsva_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opc/cutline.cpp" "src/opc/CMakeFiles/sva_opc.dir/cutline.cpp.o" "gcc" "src/opc/CMakeFiles/sva_opc.dir/cutline.cpp.o.d"
+  "/root/repo/src/opc/engine.cpp" "src/opc/CMakeFiles/sva_opc.dir/engine.cpp.o" "gcc" "src/opc/CMakeFiles/sva_opc.dir/engine.cpp.o.d"
+  "/root/repo/src/opc/pitch_table.cpp" "src/opc/CMakeFiles/sva_opc.dir/pitch_table.cpp.o" "gcc" "src/opc/CMakeFiles/sva_opc.dir/pitch_table.cpp.o.d"
+  "/root/repo/src/opc/sraf.cpp" "src/opc/CMakeFiles/sva_opc.dir/sraf.cpp.o" "gcc" "src/opc/CMakeFiles/sva_opc.dir/sraf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_opc.dir/cutline.cpp.o"
+  "CMakeFiles/sva_opc.dir/cutline.cpp.o.d"
+  "CMakeFiles/sva_opc.dir/engine.cpp.o"
+  "CMakeFiles/sva_opc.dir/engine.cpp.o.d"
+  "CMakeFiles/sva_opc.dir/pitch_table.cpp.o"
+  "CMakeFiles/sva_opc.dir/pitch_table.cpp.o.d"
+  "CMakeFiles/sva_opc.dir/sraf.cpp.o"
+  "CMakeFiles/sva_opc.dir/sraf.cpp.o.d"
+  "libsva_opc.a"
+  "libsva_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

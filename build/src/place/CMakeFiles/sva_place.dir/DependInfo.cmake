@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/context.cpp" "src/place/CMakeFiles/sva_place.dir/context.cpp.o" "gcc" "src/place/CMakeFiles/sva_place.dir/context.cpp.o.d"
+  "/root/repo/src/place/dummy_fill.cpp" "src/place/CMakeFiles/sva_place.dir/dummy_fill.cpp.o" "gcc" "src/place/CMakeFiles/sva_place.dir/dummy_fill.cpp.o.d"
+  "/root/repo/src/place/fullchip_opc.cpp" "src/place/CMakeFiles/sva_place.dir/fullchip_opc.cpp.o" "gcc" "src/place/CMakeFiles/sva_place.dir/fullchip_opc.cpp.o.d"
+  "/root/repo/src/place/placement.cpp" "src/place/CMakeFiles/sva_place.dir/placement.cpp.o" "gcc" "src/place/CMakeFiles/sva_place.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sva_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sva_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/sva_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_place.dir/context.cpp.o"
+  "CMakeFiles/sva_place.dir/context.cpp.o.d"
+  "CMakeFiles/sva_place.dir/dummy_fill.cpp.o"
+  "CMakeFiles/sva_place.dir/dummy_fill.cpp.o.d"
+  "CMakeFiles/sva_place.dir/fullchip_opc.cpp.o"
+  "CMakeFiles/sva_place.dir/fullchip_opc.cpp.o.d"
+  "CMakeFiles/sva_place.dir/placement.cpp.o"
+  "CMakeFiles/sva_place.dir/placement.cpp.o.d"
+  "libsva_place.a"
+  "libsva_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

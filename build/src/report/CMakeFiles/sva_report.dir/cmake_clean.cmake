@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_report.dir/ascii_plot.cpp.o"
+  "CMakeFiles/sva_report.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/sva_report.dir/csv.cpp.o"
+  "CMakeFiles/sva_report.dir/csv.cpp.o.d"
+  "CMakeFiles/sva_report.dir/table.cpp.o"
+  "CMakeFiles/sva_report.dir/table.cpp.o.d"
+  "libsva_report.a"
+  "libsva_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

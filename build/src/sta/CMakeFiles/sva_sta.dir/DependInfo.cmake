@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/path_report.cpp" "src/sta/CMakeFiles/sva_sta.dir/path_report.cpp.o" "gcc" "src/sta/CMakeFiles/sva_sta.dir/path_report.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/sva_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/sva_sta.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sva_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/sva_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sva_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/opc/CMakeFiles/sva_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/sva_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sva_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_sta.dir/path_report.cpp.o"
+  "CMakeFiles/sva_sta.dir/path_report.cpp.o.d"
+  "CMakeFiles/sva_sta.dir/sta.cpp.o"
+  "CMakeFiles/sva_sta.dir/sta.cpp.o.d"
+  "libsva_sta.a"
+  "libsva_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sva_util.dir/interp.cpp.o"
+  "CMakeFiles/sva_util.dir/interp.cpp.o.d"
+  "CMakeFiles/sva_util.dir/logging.cpp.o"
+  "CMakeFiles/sva_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sva_util.dir/rng.cpp.o"
+  "CMakeFiles/sva_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sva_util.dir/stats.cpp.o"
+  "CMakeFiles/sva_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sva_util.dir/strings.cpp.o"
+  "CMakeFiles/sva_util.dir/strings.cpp.o.d"
+  "libsva_util.a"
+  "libsva_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sva_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_fill_test.dir/leakage_fill_test.cpp.o"
+  "CMakeFiles/leakage_fill_test.dir/leakage_fill_test.cpp.o.d"
+  "leakage_fill_test"
+  "leakage_fill_test.pdb"
+  "leakage_fill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_fill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_test.dir/litho_test.cpp.o"
+  "CMakeFiles/litho_test.dir/litho_test.cpp.o.d"
+  "litho_test"
+  "litho_test.pdb"
+  "litho_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/litho_test[1]_include.cmake")
+include("/root/repo/build/tests/opc_test[1]_include.cmake")
+include("/root/repo/build/tests/cell_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/place_test[1]_include.cmake")
+include("/root/repo/build/tests/sta_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions2_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions3_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions4_test[1]_include.cmake")
+include("/root/repo/build/tests/compensation_test[1]_include.cmake")
+include("/root/repo/build/tests/leakage_fill_test[1]_include.cmake")
