@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a ThreadSanitizer pass of the execution engine.
+#
+#   scripts/check.sh            full check (build + ctest + TSan engine_test)
+#   scripts/check.sh --fast     skip the TSan rebuild
+#
+# Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== skipping TSan pass (--fast) =="
+  exit 0
+fi
+
+echo "== TSan: engine_test under -fsanitize=thread =="
+cmake -B build-tsan -S . -DSVA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j --target engine_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+
+echo "== all checks passed =="

@@ -11,11 +11,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "cell/liberty_writer.hpp"
 #include "core/flow.hpp"
+#include "engine/batch.hpp"
+#include "engine/metrics.hpp"
+#include "engine/thread_pool.hpp"
 #include "litho/pitch_curve.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/verilog.hpp"
@@ -31,15 +35,55 @@ using namespace sva;
 
 int usage() {
   std::printf(
-      "usage: sva-timing <command> [args]\n"
+      "usage: sva-timing <command> [args] [--threads N] [--metrics]\n"
       "  analyze <bench...>     corner analysis (traditional vs SVA)\n"
       "  paths <bench> [-n K]   worst K paths under the SVA WC corner\n"
       "  pitch-curve [out.csv]  through-pitch printed-CD curve\n"
       "  export-lib <out.lib> [--expanded]\n"
       "  verilog <bench> <out.v>\n"
       "  bench <file.bench>     analyze an ISCAS .bench netlist\n"
-      "  list                   built-in benchmark circuits\n");
+      "  list                   built-in benchmark circuits\n"
+      "global options:\n"
+      "  --threads N            worker threads for analyze/paths\n"
+      "                         (default: hardware concurrency)\n"
+      "  --metrics              print engine counters/timers on exit\n");
   return 2;
+}
+
+/// Global execution options, stripped from the arg list before command
+/// dispatch.
+struct EngineOptions {
+  std::size_t threads = ThreadPool::default_thread_count();
+  bool metrics = false;
+};
+
+EngineOptions extract_engine_options(std::vector<std::string>& args) {
+  EngineOptions opts;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--metrics") {
+      opts.metrics = true;
+    } else if (args[i] == "--threads") {
+      if (i + 1 >= args.size())
+        throw std::runtime_error("--threads requires a value");
+      const std::string& value = args[++i];
+      std::size_t parsed = 0;
+      unsigned long n = 0;
+      try {
+        n = std::stoul(value, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed != value.size())
+        throw std::runtime_error("--threads expects a non-negative integer, got '" +
+                                 value + "'");
+      opts.threads = static_cast<std::size_t>(n);
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return opts;
 }
 
 int cmd_list() {
@@ -52,13 +96,16 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_analyze(const std::vector<std::string>& names) {
+int cmd_analyze(const std::vector<std::string>& names,
+                const EngineOptions& opts) {
   if (names.empty()) return usage();
   const SvaFlow flow{FlowConfig{}};
+  ThreadPool pool(opts.threads);
+  const BatchRunner runner(flow, pool);
+  const BatchResult batch = runner.run_names(names);
   Table table({"Testcase", "#Gates", "Trad Nom", "Trad BC", "Trad WC",
                "New Nom", "New BC", "New WC", "Reduction"});
-  for (const std::string& name : names) {
-    const CircuitAnalysis a = flow.analyze_benchmark(name);
+  for (const CircuitAnalysis& a : batch.analyses) {
     table.add_row({a.name, std::to_string(a.gate_count),
                    fmt(units::ps_to_ns(a.trad_nom_ps), 3),
                    fmt(units::ps_to_ns(a.trad_bc_ps), 3),
@@ -69,10 +116,13 @@ int cmd_analyze(const std::vector<std::string>& names) {
                    fmt_pct(a.uncertainty_reduction(), 1)});
   }
   std::printf("%s", table.render().c_str());
+  std::printf("(%zu circuits, %zu threads, %.2f s)\n", batch.analyses.size(),
+              opts.threads, batch.wall_seconds);
   return 0;
 }
 
-int cmd_paths(const std::string& name, std::size_t k) {
+int cmd_paths(const std::string& name, std::size_t k,
+              const EngineOptions& opts) {
   const SvaFlow flow{FlowConfig{}};
   const Netlist netlist = flow.make_benchmark(name);
   const Placement placement = flow.make_placement(netlist);
@@ -81,8 +131,10 @@ int cmd_paths(const std::string& name, std::size_t k) {
   const auto versions = assign_versions(nps, flow.config().bins);
   const SvaCornerScale wc(netlist, flow.context_library(), versions,
                           flow.config().budget, Corner::Worst,
-                          flow.config().arc_policy, &nps);
-  const StaResult result = sta.run(wc);
+                          flow.config().arc_policy, &nps,
+                          &flow.context_cache());
+  ThreadPool pool(opts.threads);
+  const StaResult result = sta.run_parallel(wc, pool);
   const auto paths = worst_paths(netlist, sta, wc, k);
   std::printf("%s: SVA worst-case design delay %.3f ns\n\n", name.c_str(),
               units::ps_to_ns(result.critical_delay_ps));
@@ -147,38 +199,50 @@ int cmd_bench_file(const std::string& path) {
 
 }  // namespace
 
+int dispatch(const std::string& command, std::vector<std::string>& args,
+             const EngineOptions& opts) {
+  if (command == "list") return cmd_list();
+  if (command == "analyze") return cmd_analyze(args, opts);
+  if (command == "paths") {
+    if (args.empty()) return usage();
+    std::size_t k = 3;
+    if (args.size() >= 3 && args[1] == "-n")
+      k = static_cast<std::size_t>(std::stoul(args[2]));
+    return cmd_paths(args[0], k, opts);
+  }
+  if (command == "pitch-curve")
+    return cmd_pitch_curve(args.empty() ? "" : args[0]);
+  if (command == "export-lib") {
+    if (args.empty()) return usage();
+    const bool expanded =
+        args.size() > 1 && (args[1] == "--expanded" || args[1] == "-x");
+    return cmd_export_lib(args[0], expanded);
+  }
+  if (command == "verilog") {
+    if (args.size() < 2) return usage();
+    return cmd_verilog(args[0], args[1]);
+  }
+  if (command == "bench") {
+    if (args.empty()) return usage();
+    return cmd_bench_file(args[0]);
+  }
+  return usage();
+}
+
 int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
+    const EngineOptions opts = extract_engine_options(args);
 
-    if (command == "list") return cmd_list();
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "paths") {
-      if (args.empty()) return usage();
-      std::size_t k = 3;
-      if (args.size() >= 3 && args[1] == "-n")
-        k = static_cast<std::size_t>(std::stoul(args[2]));
-      return cmd_paths(args[0], k);
+    const int rc = dispatch(command, args, opts);
+    if (opts.metrics) {
+      const std::string metrics = MetricsRegistry::global().render();
+      std::printf("\nengine metrics:\n%s",
+                  metrics.empty() ? "  (none)\n" : metrics.c_str());
     }
-    if (command == "pitch-curve")
-      return cmd_pitch_curve(args.empty() ? "" : args[0]);
-    if (command == "export-lib") {
-      if (args.empty()) return usage();
-      const bool expanded =
-          args.size() > 1 && (args[1] == "--expanded" || args[1] == "-x");
-      return cmd_export_lib(args[0], expanded);
-    }
-    if (command == "verilog") {
-      if (args.size() < 2) return usage();
-      return cmd_verilog(args[0], args[1]);
-    }
-    if (command == "bench") {
-      if (args.empty()) return usage();
-      return cmd_bench_file(args[0]);
-    }
-    return usage();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

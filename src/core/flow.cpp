@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "engine/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -42,6 +43,7 @@ SvaFlow::SvaFlow(const FlowConfig& config)
       config_.cell_tech.radius_of_influence);
   context_ = std::make_unique<ContextLibrary>(
       characterized_, library_opc_, *boundary_model_, config_.bins);
+  context_cache_ = std::make_unique<ContextCache>(*context_);
 }
 
 Netlist SvaFlow::make_benchmark(const std::string& name) const {
@@ -59,7 +61,21 @@ std::vector<VersionKey> SvaFlow::bind_versions(
 
 CircuitAnalysis SvaFlow::analyze(const Netlist& netlist,
                                  const Placement& placement) const {
+  return analyze_impl(netlist, placement, nullptr, false);
+}
+
+CircuitAnalysis SvaFlow::analyze(const Netlist& netlist,
+                                 const Placement& placement, ThreadPool& pool,
+                                 bool parallel_sta) const {
+  return analyze_impl(netlist, placement, &pool, parallel_sta);
+}
+
+CircuitAnalysis SvaFlow::analyze_impl(const Netlist& netlist,
+                                      const Placement& placement,
+                                      ThreadPool* pool,
+                                      bool parallel_sta) const {
   SVA_REQUIRE(&placement.netlist() == &netlist);
+  ScopedTimer timer(MetricsRegistry::global().timer("flow.analyze"));
   const Nm l_nom = config_.cell_tech.gate_length;
   const Sta sta(netlist, characterized_, config_.sta);
 
@@ -67,33 +83,50 @@ CircuitAnalysis SvaFlow::analyze(const Netlist& netlist,
   out.name = netlist.name();
   out.gate_count = netlist.gates().size();
 
-  // Traditional corner analysis: the drawn-length library plus uniform
+  // Traditional corners: the drawn-length library plus uniform
   // full-budget corners.
-  {
-    const UnitScale nominal;
-    out.trad_nom_ps = sta.run(nominal).critical_delay_ps;
-    const TraditionalCornerScale bc(l_nom, config_.budget, Corner::Best);
-    const TraditionalCornerScale wc(l_nom, config_.budget, Corner::Worst);
-    out.trad_bc_ps = sta.run(bc).critical_delay_ps;
-    out.trad_wc_ps = sta.run(wc).critical_delay_ps;
-  }
+  const UnitScale trad_nom;
+  const TraditionalCornerScale trad_bc(l_nom, config_.budget, Corner::Best);
+  const TraditionalCornerScale trad_wc(l_nom, config_.budget, Corner::Worst);
 
-  // In-context analysis with the expanded library.  Delay tables come
-  // from the binned versions; device labels use the measured spacings.
-  {
-    const std::vector<InstanceNps> nps = extract_nps(placement);
-    const std::vector<VersionKey> versions =
-        assign_versions(nps, config_.bins);
-    const SvaCornerScale nom(netlist, *context_, versions, config_.budget,
-                             Corner::Nominal, config_.arc_policy, &nps);
-    const SvaCornerScale bc(netlist, *context_, versions, config_.budget,
-                            Corner::Best, config_.arc_policy, &nps);
-    const SvaCornerScale wc(netlist, *context_, versions, config_.budget,
-                            Corner::Worst, config_.arc_policy, &nps);
-    out.sva_nom_ps = sta.run(nom).critical_delay_ps;
-    out.sva_bc_ps = sta.run(bc).critical_delay_ps;
-    out.sva_wc_ps = sta.run(wc).critical_delay_ps;
-    out.arc_class_counts = wc.class_histogram();
+  // In-context corners with the expanded library.  Delay tables come from
+  // the binned versions (memoized in the context cache); device labels use
+  // the measured spacings.  Annotating once and deriving the three corner
+  // factor matrices is exactly what three SvaCornerScale constructions
+  // would compute, without re-annotating per corner.
+  const std::vector<InstanceNps> nps = extract_nps(placement);
+  const std::vector<VersionKey> versions = assign_versions(nps, config_.bins);
+  const std::vector<std::vector<ArcAnnotation>> annotations =
+      annotate_arcs(netlist, *context_, versions, config_.budget,
+                    config_.arc_policy, 0.0, &nps, context_cache_.get());
+  const MatrixScale sva_nom(
+      corner_factors(netlist, annotations, config_.budget, Corner::Nominal));
+  const MatrixScale sva_bc(
+      corner_factors(netlist, annotations, config_.budget, Corner::Best));
+  const MatrixScale sva_wc(
+      corner_factors(netlist, annotations, config_.budget, Corner::Worst));
+
+  out.arc_class_counts.assign(3, 0);
+  for (const auto& gate : annotations)
+    for (const ArcAnnotation& ann : gate)
+      ++out.arc_class_counts[static_cast<std::size_t>(ann.arc_class)];
+
+  const ArcScaleProvider* scales[6] = {&trad_nom, &trad_bc, &trad_wc,
+                                       &sva_nom, &sva_bc, &sva_wc};
+  double* fields[6] = {&out.trad_nom_ps, &out.trad_bc_ps, &out.trad_wc_ps,
+                       &out.sva_nom_ps, &out.sva_bc_ps, &out.sva_wc_ps};
+  auto run_one = [&](std::size_t i) {
+    *fields[i] = (pool != nullptr && parallel_sta)
+                     ? sta.run_parallel(*scales[i], *pool).critical_delay_ps
+                     : sta.run(*scales[i]).critical_delay_ps;
+  };
+  if (pool != nullptr) {
+    TaskGroup group(*pool);
+    for (std::size_t i = 0; i < 6; ++i)
+      group.run([&run_one, i] { run_one(i); });
+    group.wait();
+  } else {
+    for (std::size_t i = 0; i < 6; ++i) run_one(i);
   }
   return out;
 }

@@ -25,6 +25,8 @@
 #include "core/budget.hpp"
 #include "core/classify.hpp"
 #include "core/scales.hpp"
+#include "engine/context_cache.hpp"
+#include "engine/thread_pool.hpp"
 #include "litho/cd_model.hpp"
 #include "netlist/iscas85.hpp"
 #include "opc/engine.hpp"
@@ -112,6 +114,10 @@ class SvaFlow {
   }
   const TableCdModel& boundary_model() const { return *boundary_model_; }
   const ContextLibrary& context_library() const { return *context_; }
+  /// Memoized view of the context library: (cell, version) slots are
+  /// characterized once, lazily, and shared by all analyses (and all
+  /// threads) running against this flow.
+  const ContextCache& context_cache() const { return *context_cache_; }
 
   /// Wall-clock seconds spent on library OPC + pitch characterization
   /// during construction (Table 1's "Library OPC Runtime").
@@ -129,10 +135,20 @@ class SvaFlow {
   CircuitAnalysis analyze(const Netlist& netlist,
                           const Placement& placement) const;
 
+  /// Parallel analysis: the six corner STA runs (traditional and SVA
+  /// {nominal, best, worst}) fan out as pool tasks; with `parallel_sta`
+  /// each run additionally levelizes across the pool.  Bit-identical to
+  /// the serial analyze() at any thread count.
+  CircuitAnalysis analyze(const Netlist& netlist, const Placement& placement,
+                          ThreadPool& pool, bool parallel_sta = false) const;
+
   /// Convenience: generate, place, analyze.
   CircuitAnalysis analyze_benchmark(const std::string& name) const;
 
  private:
+  CircuitAnalysis analyze_impl(const Netlist& netlist,
+                               const Placement& placement, ThreadPool* pool,
+                               bool parallel_sta) const;
   FlowConfig config_;
   CellLibrary library_;
   CharacterizedLibrary characterized_;
@@ -143,6 +159,7 @@ class SvaFlow {
   std::vector<PostOpcPitchPoint> pitch_points_;
   std::unique_ptr<TableCdModel> boundary_model_;
   std::unique_ptr<ContextLibrary> context_;
+  std::unique_ptr<ContextCache> context_cache_;
   double setup_opc_seconds_ = 0.0;
 };
 

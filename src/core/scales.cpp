@@ -30,7 +30,8 @@ std::vector<std::vector<ArcAnnotation>> annotate_arcs(
     const Netlist& netlist, const ContextLibrary& context,
     const std::vector<VersionKey>& versions, const CdBudget& budget,
     ArcLabelPolicy policy, Nm spacing_shift,
-    const std::vector<InstanceNps>* measured_nps) {
+    const std::vector<InstanceNps>* measured_nps,
+    const ContextCache* cache) {
   SVA_REQUIRE(measured_nps == nullptr ||
               measured_nps->size() == netlist.gates().size());
   SVA_REQUIRE(versions.size() == netlist.gates().size());
@@ -47,7 +48,9 @@ std::vector<std::vector<ArcAnnotation>> annotate_arcs(
     out[gi].resize(master.arcs().size());
     for (std::size_t ai = 0; ai < master.arcs().size(); ++ai) {
       ArcAnnotation ann;
-      ann.l_nom_new = context.arc_effective_length(ci, version, ai);
+      ann.l_nom_new = cache != nullptr
+                          ? cache->arc_effective_length(ci, version, ai)
+                          : context.arc_effective_length(ci, version, ai);
 
       std::vector<DeviceClass> classes;
       classes.reserve(master.arcs()[ai].device_indices.size());
@@ -96,9 +99,10 @@ SvaCornerScale::SvaCornerScale(const Netlist& netlist,
                                const std::vector<VersionKey>& versions,
                                const CdBudget& budget, Corner corner,
                                ArcLabelPolicy policy,
-                               const std::vector<InstanceNps>* measured_nps)
+                               const std::vector<InstanceNps>* measured_nps,
+                               const ContextCache* cache)
     : annotations_(annotate_arcs(netlist, context, versions, budget, policy,
-                                 0.0, measured_nps)),
+                                 0.0, measured_nps, cache)),
       factors_(corner_factors(netlist, annotations_, budget, corner)) {}
 
 double SvaCornerScale::scale(std::size_t gate, std::size_t arc_index) const {

@@ -15,6 +15,7 @@
 #include "core/budget.hpp"
 #include "core/classify.hpp"
 #include "core/corners.hpp"
+#include "engine/context_cache.hpp"
 #include "netlist/netlist.hpp"
 #include "place/context.hpp"
 #include "sta/scale.hpp"
@@ -49,7 +50,8 @@ class SvaCornerScale final : public ArcScaleProvider {
                  const std::vector<VersionKey>& versions,
                  const CdBudget& budget, Corner corner,
                  ArcLabelPolicy policy = ArcLabelPolicy::Majority,
-                 const std::vector<InstanceNps>* measured_nps = nullptr);
+                 const std::vector<InstanceNps>* measured_nps = nullptr,
+                 const ContextCache* cache = nullptr);
 
   double scale(std::size_t gate, std::size_t arc_index) const override;
 
@@ -78,11 +80,16 @@ class SvaCornerScale final : public ArcScaleProvider {
 /// classification: exposure-dose errors widen or thin all printed lines,
 /// shrinking or growing the clear spacings between them (Sec. 6: "Exposure
 /// variation can alter the nature of devices (i.e. dense or isolated)").
+///
+/// When `cache` is given, effective lengths come from the memoized
+/// (cell, version) slots instead of re-deriving them per instance --
+/// bit-identical values, characterized once and shared across threads.
 std::vector<std::vector<ArcAnnotation>> annotate_arcs(
     const Netlist& netlist, const ContextLibrary& context,
     const std::vector<VersionKey>& versions, const CdBudget& budget,
     ArcLabelPolicy policy, Nm spacing_shift = 0.0,
-    const std::vector<InstanceNps>* measured_nps = nullptr);
+    const std::vector<InstanceNps>* measured_nps = nullptr,
+    const ContextCache* cache = nullptr);
 
 /// Delay factors per (gate, arc) for one corner from annotations.
 std::vector<std::vector<double>> corner_factors(

@@ -1,0 +1,47 @@
+#include "engine/batch.hpp"
+
+#include <chrono>
+
+#include "engine/metrics.hpp"
+
+namespace sva {
+
+BatchRunner::BatchRunner(const SvaFlow& flow, ThreadPool& pool,
+                         BatchOptions options)
+    : flow_(&flow), pool_(&pool), options_(options) {}
+
+BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  ScopedTimer timer(MetricsRegistry::global().timer("batch.run"));
+  MetricsRegistry::global().counter("batch.jobs").add(jobs.size());
+
+  BatchResult out;
+  out.analyses.resize(jobs.size());
+  TaskGroup group(*pool_);
+  for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
+    group.run([this, &jobs, &out, ji] {
+      const Netlist netlist = flow_->make_benchmark(jobs[ji].circuit);
+      const Placement placement = flow_->make_placement(netlist);
+      out.analyses[ji] =
+          options_.parallel_corners
+              ? flow_->analyze(netlist, placement, *pool_,
+                               options_.parallel_sta)
+              : flow_->analyze(netlist, placement);
+    });
+  }
+  group.wait();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+BatchResult BatchRunner::run_names(
+    const std::vector<std::string>& names) const {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(names.size());
+  for (const std::string& name : names) jobs.push_back({name});
+  return run(jobs);
+}
+
+}  // namespace sva

@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic multi-circuit batch runner over the SVA flow.
+//
+// A batch is a list of jobs (benchmark circuit names today; the struct
+// leaves room for per-job knobs).  Jobs fan out across the pool; inside a
+// job the six corner STA runs fan out again, and optionally each run
+// levelizes across the pool too -- all three tiers compose because waiting
+// threads execute queued work (see thread_pool.hpp).  Results land in a
+// vector indexed by job, so the output ordering -- and, because every
+// computation is bit-exact under reordering, the output values -- are
+// independent of thread count and schedule.
+
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace sva {
+
+struct BatchJob {
+  std::string circuit;  ///< built-in benchmark name (e.g. "C432")
+};
+
+struct BatchOptions {
+  bool parallel_corners = true;  ///< fan the 6 corner runs out as tasks
+  bool parallel_sta = true;      ///< levelized parallel_for inside each run
+};
+
+struct BatchResult {
+  std::vector<CircuitAnalysis> analyses;  ///< one per job, in job order
+  double wall_seconds = 0.0;
+};
+
+class BatchRunner {
+ public:
+  /// `flow` and `pool` must outlive the runner.
+  BatchRunner(const SvaFlow& flow, ThreadPool& pool,
+              BatchOptions options = {});
+
+  BatchResult run(const std::vector<BatchJob>& jobs) const;
+  BatchResult run_names(const std::vector<std::string>& names) const;
+
+ private:
+  const SvaFlow* flow_;
+  ThreadPool* pool_;
+  BatchOptions options_;
+};
+
+}  // namespace sva

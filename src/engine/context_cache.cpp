@@ -1,0 +1,67 @@
+#include "engine/context_cache.hpp"
+
+#include "engine/metrics.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+
+ContextCache::ContextCache(const ContextLibrary& library)
+    : library_(&library),
+      versions_per_cell_(library.bins().version_count()) {
+  const CharacterizedLibrary& chars = library.characterized();
+  drawn_length_.reserve(chars.cells.size());
+  slots_.reserve(chars.cells.size());
+  for (const CharacterizedCell& cell : chars.cells) {
+    drawn_length_.push_back(cell.master.tech().gate_length);
+    slots_.push_back(std::make_unique<Slot[]>(versions_per_cell_));
+  }
+}
+
+const std::vector<Nm>& ContextCache::version_lengths(
+    std::size_t cell, const VersionKey& version) const {
+  SVA_REQUIRE(cell < slots_.size());
+  const std::size_t vi = version_index(version, library_->bins().count());
+  Slot& slot = slots_[cell][vi];
+  bool computed = false;
+  std::call_once(slot.once, [&] {
+    const CellMaster& master =
+        library_->characterized().cells[cell].master;
+    slot.lengths.reserve(master.arcs().size());
+    for (std::size_t ai = 0; ai < master.arcs().size(); ++ai)
+      slot.lengths.push_back(
+          library_->arc_effective_length(cell, version, ai));
+    computed = true;
+  });
+  if (computed) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    characterized_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("context_cache.misses").add();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("context_cache.hits").add();
+  }
+  return slot.lengths;
+}
+
+Nm ContextCache::arc_effective_length(std::size_t cell,
+                                      const VersionKey& version,
+                                      std::size_t arc) const {
+  const std::vector<Nm>& lengths = version_lengths(cell, version);
+  SVA_REQUIRE(arc < lengths.size());
+  return lengths[arc];
+}
+
+double ContextCache::arc_delay_scale(std::size_t cell,
+                                     const VersionKey& version,
+                                     std::size_t arc) const {
+  return arc_effective_length(cell, version, arc) / drawn_length_[cell];
+}
+
+ContextCache::Stats ContextCache::stats() const {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed),
+          characterized_.load(std::memory_order_relaxed),
+          slots_.size() * versions_per_cell_};
+}
+
+}  // namespace sva

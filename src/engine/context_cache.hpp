@@ -1,0 +1,66 @@
+#pragma once
+// Memoized, thread-safe view of the context library's version expansion.
+//
+// The paper's 81 context versions per cell (Sec. 3.1.2) are pure functions
+// of (cell, version key), yet the flow re-derives every arc's effective
+// length for every instance of every analysis.  This cache characterizes a
+// (cell, version) slot exactly once -- lazily, on first demand, via
+// std::call_once -- and shares the result across all concurrent analyses.
+// Values are bit-identical to calling ContextLibrary directly: the slot
+// computation *is* that call, memoized.
+//
+// Hit/miss counts feed the "context_cache.*" metrics.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cell/context_library.hpp"
+
+namespace sva {
+
+class ContextCache {
+ public:
+  /// `library` must outlive the cache.
+  explicit ContextCache(const ContextLibrary& library);
+
+  const ContextLibrary& library() const { return *library_; }
+
+  /// Per-arc effective gate lengths of one (cell, version), characterized
+  /// on first use (arc order = master arc order).  Safe to call from any
+  /// number of threads; exactly one of them performs the characterization.
+  const std::vector<Nm>& version_lengths(std::size_t cell,
+                                         const VersionKey& version) const;
+
+  /// Memoized equivalents of the ContextLibrary queries.
+  Nm arc_effective_length(std::size_t cell, const VersionKey& version,
+                          std::size_t arc) const;
+  double arc_delay_scale(std::size_t cell, const VersionKey& version,
+                         std::size_t arc) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;    ///< lookups served from a filled slot
+    std::uint64_t misses = 0;  ///< lookups that performed characterization
+    std::size_t characterized = 0;  ///< filled (cell, version) slots
+    std::size_t capacity = 0;       ///< total slots = cells * versions
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    std::vector<Nm> lengths;
+  };
+
+  const ContextLibrary* library_;
+  std::vector<Nm> drawn_length_;                 ///< per cell
+  std::vector<std::unique_ptr<Slot[]>> slots_;   ///< [cell][version index]
+  std::size_t versions_per_cell_ = 0;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::size_t> characterized_{0};
+};
+
+}  // namespace sva

@@ -1,0 +1,59 @@
+#include "engine/metrics.hpp"
+
+#include <cstdio>
+
+namespace sva {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+TimerStat& MetricsRegistry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (!slot) slot = std::make_unique<TimerStat>();
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + timers_.size());
+  for (const auto& [name, c] : counters_)
+    out.push_back({name, c->value(), 0.0, false});
+  for (const auto& [name, t] : timers_)
+    out.push_back({name, t->count(), t->seconds(), true});
+  return out;
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  char line[160];
+  for (const MetricSample& s : snapshot()) {
+    if (s.is_timer)
+      std::snprintf(line, sizeof line, "  %-32s %10.3f s  (%llu samples)\n",
+                    s.name.c_str(), s.seconds,
+                    static_cast<unsigned long long>(s.count));
+    else
+      std::snprintf(line, sizeof line, "  %-32s %10llu\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.count));
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace sva

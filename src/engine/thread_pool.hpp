@@ -1,0 +1,119 @@
+#pragma once
+// Work-stealing thread pool and fork/join primitives.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache locality) and
+// steals FIFO from siblings when empty, so a burst of chunks submitted by
+// one parallel_for spreads across the pool.  Waiting is cooperative --
+// TaskGroup::wait() and parallel_for() execute queued tasks on the calling
+// thread instead of blocking -- which makes nested parallelism (a batch job
+// that itself runs a levelized parallel STA pass) deadlock-free: every
+// waiter is also a worker.
+//
+// A pool with zero threads degrades to deferred inline execution: submit()
+// queues, and the work runs on whichever thread waits.  parallel_for short-
+// circuits to a plain loop in that case.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sva {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers.  0 => no worker threads; queued tasks run
+  /// on threads that wait (TaskGroup::wait / parallel_for).
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// std::thread::hardware_concurrency, floored at 1.
+  static std::size_t default_thread_count();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+  /// Enqueue one task.  Never runs inline; ordering between tasks is
+  /// unspecified.  Tasks must not throw out -- wrap with TaskGroup (which
+  /// captures and rethrows) for anything that can fail.
+  void submit(std::function<void()> task);
+
+  /// Execute one queued task on the calling thread, if any is available.
+  /// This is how external threads help drain the pool.
+  bool try_run_one();
+
+  /// Parallel loop over [begin, end): fn(i) for every index, partitioned
+  /// into chunks of ~`grain` indices (0 => automatic).  Blocks until every
+  /// index ran; the calling thread participates.  Writes to distinct
+  /// locations per index are race-free; no ordering between indices.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  struct Stats {
+    std::uint64_t executed = 0;  ///< tasks run to completion
+    std::uint64_t steals = 0;    ///< tasks taken from another worker's deque
+  };
+  Stats stats() const;
+
+ private:
+  friend class TaskGroup;
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_main(std::size_t id);
+  /// Pop own queue LIFO, else steal FIFO starting after `self`.
+  bool try_pop(std::size_t self, std::function<void()>& task);
+  void execute(std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> queued_{0};     ///< tasks sitting in deques
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin submit cursor
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// Fork/join scope over a pool: run() fires tasks, wait() helps execute
+/// queued work until every task of this group finished, then rethrows the
+/// first captured exception, if any.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  void finish_one();
+
+  ThreadPool* pool_;
+  // All group state lives under mu_: the finishing task's last touch of
+  // the group is its mu_ unlock, so once wait() observes pending_ == 0
+  // under mu_ the group is safe to destroy (no decrement-then-lock
+  // window for a waiter to race through).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;  ///< first failure
+};
+
+}  // namespace sva

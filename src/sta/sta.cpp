@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/metrics.hpp"
 #include "util/error.hpp"
 
 namespace sva {
@@ -30,6 +31,16 @@ Sta::Sta(const Netlist& netlist, const CharacterizedLibrary& library,
     if (net.is_primary_output) load += config_.po_load_ff;
     load_cache_[ni] = load;
   }
+
+  // Bucket gates by logic level for the parallel path.  Also freezes the
+  // netlist's topological-order cache up front.
+  const std::vector<std::size_t> level = netlist.gate_levels();
+  std::size_t max_level = 0;
+  for (std::size_t gi : netlist.topological_order())
+    max_level = std::max(max_level, level[gi]);
+  levels_.resize(netlist.gates().empty() ? 0 : max_level + 1);
+  for (std::size_t gi : netlist.topological_order())
+    levels_[level[gi]].push_back(gi);
 }
 
 double Sta::net_load_ff(std::size_t net) const {
@@ -103,6 +114,33 @@ StaResult Sta::run(const ArcScaleProvider& scale) const {
 
   for (std::size_t gi : nl.topological_order())
     evaluate_gate(scale, gi, result);
+  finalize_result(result);
+  return result;
+}
+
+StaResult Sta::run_parallel(const ArcScaleProvider& scale,
+                            ThreadPool& pool) const {
+  ScopedTimer timer(MetricsRegistry::global().timer("sta.parallel_run"));
+  const Netlist& nl = *netlist_;
+  StaResult result;
+  result.arrival_ps.assign(nl.nets().size(), 0.0);
+  result.slew_ps.assign(nl.nets().size(), config_.input_slew_ps);
+  result.from_net.assign(nl.nets().size(), kNoDriver);
+
+  // A gate evaluation is a handful of NLDM lookups (~1 us); chunks well
+  // below kGrain gates are pure fork/join overhead, so narrow levels run
+  // inline and wide ones split into kGrain-gate tasks.
+  constexpr std::size_t kGrain = 64;
+  for (const std::vector<std::size_t>& level : levels_) {
+    if (pool.thread_count() == 0 || level.size() < 2 * kGrain) {
+      for (std::size_t gi : level) evaluate_gate(scale, gi, result);
+      continue;
+    }
+    pool.parallel_for(
+        0, level.size(),
+        [&](std::size_t i) { evaluate_gate(scale, level[i], result); },
+        kGrain);
+  }
   finalize_result(result);
   return result;
 }

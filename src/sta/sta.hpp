@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cell/characterize.hpp"
+#include "engine/thread_pool.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/scale.hpp"
 
@@ -61,6 +62,15 @@ class Sta {
   /// Late-mode analysis with the given per-arc delay scaling.
   StaResult run(const ArcScaleProvider& scale) const;
 
+  /// Levelized parallel analysis: every topological level is partitioned
+  /// across the pool with parallel_for.  A gate's fanins all live at
+  /// strictly lower levels and each gate writes only its own output net,
+  /// so the result is bit-identical to run(scale) at any thread count and
+  /// under any task schedule.  Small levels run inline (task overhead
+  /// would dominate).
+  StaResult run_parallel(const ArcScaleProvider& scale,
+                         ThreadPool& pool) const;
+
   /// Late-mode analysis plus required times and slacks against a clock
   /// period (backward min-propagation of required times through the same
   /// arc delays the forward pass used).
@@ -94,6 +104,11 @@ class Sta {
   const CharacterizedLibrary* library_;
   StaConfig config_;
   std::vector<double> load_cache_;  ///< per net, precomputed
+  /// Gates bucketed by logic level, each bucket in topological-order
+  /// sequence.  Built eagerly in the constructor (which also warms the
+  /// netlist's lazy topological-order cache, making concurrent const use
+  /// of the netlist race-free).
+  std::vector<std::vector<std::size_t>> levels_;
 };
 
 }  // namespace sva

@@ -1,0 +1,199 @@
+// Execution-engine tests: thread pool semantics, bit-exactness of the
+// levelized parallel STA path, schedule-independence of the batch runner,
+// and coherence of the memoized context cache under concurrent access.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "engine/batch.hpp"
+#include "engine/context_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "place/context.hpp"
+
+namespace sva {
+namespace {
+
+/// Flow construction runs library OPC; share one instance across tests.
+const SvaFlow& shared_flow() {
+  static const SvaFlow* flow = new SvaFlow(FlowConfig{});
+  return *flow;
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolRunsWorkOnWaiters) {
+  ThreadPool pool(0);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100);
+
+  TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i)
+    group.run([&] { total.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();  // drains the queue on this thread
+  EXPECT_EQ(total.load(), 110);
+  EXPECT_GE(pool.stats().executed, 10u);
+}
+
+TEST(ThreadPoolTest, TaskGroupPropagatesFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 0; i < 4; ++i)
+    group.run([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(EngineStaTest, ParallelStaBitIdenticalToSerial) {
+  const SvaFlow& flow = shared_flow();
+  // C3540 has the widest levels; C880 covers the narrow-level inline path.
+  for (const char* name : {"C880", "C3540"}) {
+    const Netlist netlist = flow.make_benchmark(name);
+    const Placement placement = flow.make_placement(netlist);
+    const Sta sta(netlist, flow.characterized(), flow.config().sta);
+    const auto nps = extract_nps(placement);
+    const auto versions = assign_versions(nps, flow.config().bins);
+    const SvaCornerScale wc(netlist, flow.context_library(), versions,
+                            flow.config().budget, Corner::Worst,
+                            flow.config().arc_policy, &nps,
+                            &flow.context_cache());
+    const StaResult serial = sta.run(wc);
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      const StaResult parallel = sta.run_parallel(wc, pool);
+      // Exact equality, not near-equality: the parallel schedule must not
+      // change a single bit of the propagation.
+      EXPECT_EQ(parallel.arrival_ps, serial.arrival_ps)
+          << name << " @ " << threads << " threads";
+      EXPECT_EQ(parallel.slew_ps, serial.slew_ps);
+      EXPECT_EQ(parallel.from_net, serial.from_net);
+      EXPECT_EQ(parallel.critical_delay_ps, serial.critical_delay_ps);
+      EXPECT_EQ(parallel.critical_po_net, serial.critical_po_net);
+      EXPECT_EQ(parallel.critical_path, serial.critical_path);
+    }
+  }
+}
+
+void expect_same_analysis(const CircuitAnalysis& a, const CircuitAnalysis& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.name, b.name) << what;
+  EXPECT_EQ(a.gate_count, b.gate_count) << what;
+  EXPECT_EQ(a.trad_nom_ps, b.trad_nom_ps) << what;
+  EXPECT_EQ(a.trad_bc_ps, b.trad_bc_ps) << what;
+  EXPECT_EQ(a.trad_wc_ps, b.trad_wc_ps) << what;
+  EXPECT_EQ(a.sva_nom_ps, b.sva_nom_ps) << what;
+  EXPECT_EQ(a.sva_bc_ps, b.sva_bc_ps) << what;
+  EXPECT_EQ(a.sva_wc_ps, b.sva_wc_ps) << what;
+  EXPECT_EQ(a.arc_class_counts, b.arc_class_counts) << what;
+}
+
+TEST(EngineBatchTest, ResultsIndependentOfThreadCountAndSchedule) {
+  const SvaFlow& flow = shared_flow();
+  const std::vector<std::string> names = {"C432", "C880"};
+
+  // Serial references through the plain analyze() path.
+  std::vector<CircuitAnalysis> reference;
+  for (const std::string& name : names) {
+    const Netlist netlist = flow.make_benchmark(name);
+    const Placement placement = flow.make_placement(netlist);
+    reference.push_back(flow.analyze(netlist, placement));
+  }
+
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    const BatchRunner runner(flow, pool);
+    // Two runs per pool: the second sees a warm cache and a different
+    // task interleaving; both must reproduce the serial result exactly.
+    for (int round = 0; round < 2; ++round) {
+      const BatchResult batch = runner.run_names(names);
+      ASSERT_EQ(batch.analyses.size(), names.size());
+      for (std::size_t i = 0; i < names.size(); ++i)
+        expect_same_analysis(batch.analyses[i], reference[i],
+                             names[i] + " @ " + std::to_string(threads) +
+                                 " threads, round " + std::to_string(round));
+    }
+  }
+}
+
+TEST(ContextCacheTest, MatchesEagerExpansionUnderConcurrentAccess) {
+  const SvaFlow& flow = shared_flow();
+  const ContextLibrary& library = flow.context_library();
+  const std::size_t cells = library.characterized().cells.size();
+  const std::size_t versions = library.bins().version_count();
+  const std::size_t bins = library.bins().count();
+
+  // Eager expansion: every (cell, version, arc) scale straight from the
+  // context library.
+  std::vector<std::vector<std::vector<double>>> eager(cells);
+  for (std::size_t ci = 0; ci < cells; ++ci) {
+    const std::size_t arcs =
+        library.characterized().cells[ci].master.arcs().size();
+    eager[ci].resize(versions);
+    for (std::size_t vi = 0; vi < versions; ++vi) {
+      const VersionKey key = version_key(vi, bins);
+      for (std::size_t ai = 0; ai < arcs; ++ai)
+        eager[ci][vi].push_back(library.arc_delay_scale(ci, key, ai));
+    }
+  }
+
+  // Fresh cache hammered from 4 threads, several passes over every slot,
+  // so first touches race and later passes must hit.
+  const ContextCache cache(library);
+  ThreadPool pool(4);
+  constexpr std::size_t kPasses = 4;
+  pool.parallel_for(0, versions * kPasses, [&](std::size_t i) {
+    const std::size_t vi = i % versions;
+    const VersionKey key = version_key(vi, bins);
+    for (std::size_t ci = 0; ci < cells; ++ci)
+      for (std::size_t ai = 0; ai < eager[ci][vi].size(); ++ai)
+        ASSERT_EQ(cache.arc_delay_scale(ci, key, ai), eager[ci][vi][ai]);
+  });
+
+  const ContextCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.capacity, cells * versions);
+  // Every slot characterized exactly once, no matter how many threads
+  // raced to it...
+  EXPECT_EQ(stats.characterized, cells * versions);
+  EXPECT_EQ(stats.misses, cells * versions);
+  // ...and all remaining lookups were served from the memo.
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(ContextCacheTest, FlowCacheIsSharedAcrossAnalyses) {
+  const SvaFlow& flow = shared_flow();
+  const ContextCache::Stats before = flow.context_cache().stats();
+  ThreadPool pool(2);
+  const BatchRunner runner(flow, pool);
+  runner.run_names({"C432", "C432"});
+  const ContextCache::Stats after = flow.context_cache().stats();
+  EXPECT_GT(after.hits, before.hits);
+  // The version universe is bounded: repeated analyses cannot add slots
+  // beyond capacity.
+  EXPECT_LE(after.characterized, after.capacity);
+}
+
+}  // namespace
+}  // namespace sva
