@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a ThreadSanitizer pass of the execution engine.
+# Tier-1 verify plus sanitizer passes: ThreadSanitizer on the execution
+# engine and AddressSanitizer over the full tier-1 suite.
 #
-#   scripts/check.sh            full check (build + ctest + TSan engine_test)
-#   scripts/check.sh --fast     skip the TSan rebuild
+#   scripts/check.sh            full check (build + ctest + TSan + ASan)
+#   scripts/check.sh --fast     skip the sanitizer rebuilds
 #
 # Run from the repo root.
 set -euo pipefail
@@ -17,7 +18,7 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== skipping TSan pass (--fast) =="
+  echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
@@ -25,5 +26,11 @@ echo "== TSan: engine_test under -fsanitize=thread =="
 cmake -B build-tsan -S . -DSVA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j --target engine_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+
+echo "== ASan: full tier-1 suite under -fsanitize=address =="
+cmake -B build-asan -S . -DSVA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j
+(cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ctest --output-on-failure -j)
 
 echo "== all checks passed =="

@@ -93,6 +93,22 @@ CharacterizedCell characterize_cell(const CellMaster& master,
   return out;
 }
 
+CellMaster scale_device_widths(const CellMaster& master, double width_factor,
+                               const std::string& variant_name) {
+  SVA_REQUIRE_MSG(width_factor > 0.0, "width factor must be positive");
+  CellMaster out(variant_name, master.width(), master.tech());
+  for (const Pin& p : master.pins()) out.add_pin(p.name, p.is_output);
+  for (const PolyGate& g : master.gates()) out.add_gate(g.x_center, g.length);
+  for (const Rect& s : master.poly_stubs()) out.add_poly_stub(s);
+  for (const Device& d : master.devices())
+    out.add_device(d.name, d.type, d.gate_index, d.width * width_factor,
+                   d.input_pin);
+  for (const TimingArc& a : master.arcs())
+    out.add_arc(a.input, a.output, a.device_indices);
+  out.validate();
+  return out;
+}
+
 CharacterizedLibrary characterize_library(const CellLibrary& library,
                                           const ElectricalTech& et) {
   CharacterizedLibrary out;

@@ -68,6 +68,18 @@ double pin_input_cap(const CellMaster& master, const std::string& pin,
 CharacterizedCell characterize_cell(const CellMaster& master,
                                     const ElectricalTech& et);
 
+/// Derive a drive-strength variant of a master: identical footprint, poly
+/// geometry (gate stripes + stubs), pins, and timing arcs, with every
+/// device width multiplied by `width_factor`.  Because printing depends
+/// only on the poly geometry, a variant shares the base cell's library-OPC
+/// CDs, boundary-device behaviour, and context classification; only its
+/// electrical characterization (drive resistance, pin and parasitic caps)
+/// changes.  This is what makes in-place ECO sizing legal: swapping a
+/// gate to a variant never perturbs the placement or any neighbour's
+/// printing context.
+CellMaster scale_device_widths(const CellMaster& master, double width_factor,
+                               const std::string& variant_name);
+
 /// Characterize the whole library.
 CharacterizedLibrary characterize_library(const CellLibrary& library,
                                           const ElectricalTech& et = {});

@@ -19,10 +19,14 @@
 #include "core/flow.hpp"
 #include "engine/batch.hpp"
 #include "engine/metrics.hpp"
+#include "engine/options.hpp"
 #include "engine/thread_pool.hpp"
 #include "litho/pitch_curve.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/verilog.hpp"
+#include "opt/eco.hpp"
+#include "opt/sizing.hpp"
+#include "opt/trajectory.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "sta/path_report.hpp"
@@ -38,52 +42,21 @@ int usage() {
       "usage: sva-timing <command> [args] [--threads N] [--metrics]\n"
       "  analyze <bench...>     corner analysis (traditional vs SVA)\n"
       "  paths <bench> [-n K]   worst K paths under the SVA WC corner\n"
+      "  optimize <bench> [--clock NS] [--max-moves K] [--corner sva|trad]\n"
+      "           [--window PS] [--csv PATH]\n"
+      "                         variation-aware ECO: size + respace until\n"
+      "                         the clock is met (default clock: 97%% of\n"
+      "                         the unoptimized corner delay)\n"
       "  pitch-curve [out.csv]  through-pitch printed-CD curve\n"
       "  export-lib <out.lib> [--expanded]\n"
       "  verilog <bench> <out.v>\n"
       "  bench <file.bench>     analyze an ISCAS .bench netlist\n"
       "  list                   built-in benchmark circuits\n"
       "global options:\n"
-      "  --threads N            worker threads for analyze/paths\n"
+      "  --threads N            worker threads for analyze/paths/optimize\n"
       "                         (default: hardware concurrency)\n"
       "  --metrics              print engine counters/timers on exit\n");
   return 2;
-}
-
-/// Global execution options, stripped from the arg list before command
-/// dispatch.
-struct EngineOptions {
-  std::size_t threads = ThreadPool::default_thread_count();
-  bool metrics = false;
-};
-
-EngineOptions extract_engine_options(std::vector<std::string>& args) {
-  EngineOptions opts;
-  std::vector<std::string> rest;
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--metrics") {
-      opts.metrics = true;
-    } else if (args[i] == "--threads") {
-      if (i + 1 >= args.size())
-        throw std::runtime_error("--threads requires a value");
-      const std::string& value = args[++i];
-      std::size_t parsed = 0;
-      unsigned long n = 0;
-      try {
-        n = std::stoul(value, &parsed);
-      } catch (const std::exception&) {
-        parsed = 0;
-      }
-      if (parsed != value.size())
-        throw std::runtime_error("--threads expects a non-negative integer, got '" +
-                                 value + "'");
-      opts.threads = static_cast<std::size_t>(n);
-    } else {
-      rest.push_back(args[i]);
-    }
-  }
-  args = std::move(rest);
-  return opts;
 }
 
 int cmd_list() {
@@ -140,6 +113,59 @@ int cmd_paths(const std::string& name, std::size_t k,
               units::ps_to_ns(result.critical_delay_ps));
   std::printf("%s", render_paths(netlist, paths, result).c_str());
   return 0;
+}
+
+int cmd_optimize(const std::vector<std::string>& args,
+                 const EngineOptions& opts) {
+  if (args.empty()) return usage();
+  const std::string name = args[0];
+  EcoConfig eco;
+  std::string csv_path = "eco_trajectory.csv";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string flag = args[i];
+    if (flag == "--clock") {
+      eco.clock_period_ps =
+          parse_double_flag(flag, flag_value(args, i)) * 1000.0;
+    } else if (flag == "--max-moves") {
+      eco.max_moves = parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--window") {
+      eco.near_critical_window_ps =
+          parse_double_flag(flag, flag_value(args, i));
+    } else if (flag == "--corner") {
+      const std::string& mode = flag_value(args, i);
+      if (mode == "sva") {
+        eco.mode = EcoCornerMode::SvaWorst;
+      } else if (mode == "trad") {
+        eco.mode = EcoCornerMode::TraditionalWorst;
+      } else {
+        throw std::runtime_error("--corner expects 'sva' or 'trad', got '" +
+                                 mode + "'");
+      }
+    } else if (flag == "--csv") {
+      csv_path = flag_value(args, i);
+    } else {
+      throw std::runtime_error("unknown optimize flag '" + flag + "'");
+    }
+  }
+
+  const SvaFlow flow{FlowConfig{}};
+  eco.budget = flow.config().budget;
+  eco.arc_policy = flow.config().arc_policy;
+  eco.sta = flow.config().sta;
+  const SizedLibrary sized(flow.library(), flow.config().electrical,
+                           flow.library_opc_results(), flow.boundary_model(),
+                           flow.config().bins);
+  Netlist netlist = generate_iscas85_like(name, sized.library());
+  EcoOptimizer optimizer(sized, std::move(netlist),
+                         flow.config().placement, eco);
+  ThreadPool pool(opts.threads);
+  const EcoResult result = optimizer.run(&pool);
+  std::printf("%s", trajectory_table(result).c_str());
+  if (!csv_path.empty()) {
+    write_text_file(csv_path, trajectory_csv(result));
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return result.met_timing ? 0 : 1;
 }
 
 int cmd_pitch_curve(const std::string& out_path) {
@@ -206,10 +232,11 @@ int dispatch(const std::string& command, std::vector<std::string>& args,
   if (command == "paths") {
     if (args.empty()) return usage();
     std::size_t k = 3;
-    if (args.size() >= 3 && args[1] == "-n")
-      k = static_cast<std::size_t>(std::stoul(args[2]));
+    for (std::size_t i = 1; i < args.size(); ++i)
+      if (args[i] == "-n") k = parse_size_flag("-n", flag_value(args, i));
     return cmd_paths(args[0], k, opts);
   }
+  if (command == "optimize") return cmd_optimize(args, opts);
   if (command == "pitch-curve")
     return cmd_pitch_curve(args.empty() ? "" : args[0]);
   if (command == "export-lib") {

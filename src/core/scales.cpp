@@ -26,6 +26,45 @@ TraditionalCornerScale::TraditionalCornerScale(Nm l_nom,
   SVA_ASSERT(factor_ > 0.0);
 }
 
+std::vector<ArcAnnotation> annotate_gate_arcs(
+    const Netlist& netlist, std::size_t gate, const ContextLibrary& context,
+    const VersionKey& version, const CdBudget& budget, ArcLabelPolicy policy,
+    Nm spacing_shift, const InstanceNps* nps, const ContextCache* cache) {
+  SVA_REQUIRE(gate < netlist.gates().size());
+  const std::size_t ci = netlist.gates()[gate].cell_index;
+  const CellMaster& master = netlist.library().master(ci);
+  const Nm l_nom = master.tech().gate_length;
+  const Nm contacted = master.tech().contacted_pitch;
+
+  std::vector<ArcAnnotation> out(master.arcs().size());
+  for (std::size_t ai = 0; ai < master.arcs().size(); ++ai) {
+    ArcAnnotation ann;
+    ann.l_nom_new = cache != nullptr
+                        ? cache->arc_effective_length(ci, version, ai)
+                        : context.arc_effective_length(ci, version, ai);
+
+    std::vector<DeviceClass> classes;
+    classes.reserve(master.arcs()[ai].device_indices.size());
+    for (std::size_t di : master.arcs()[ai].device_indices) {
+      DeviceContext ctx;
+      if (nps != nullptr) {
+        const bool pmos = master.devices()[di].type == DeviceType::Pmos;
+        ctx = context.device_context_measured(
+            ci, di, pmos ? nps->lt : nps->lb, pmos ? nps->rt : nps->rb);
+      } else {
+        ctx = context.device_context(ci, version, di);
+      }
+      classes.push_back(classify_device(ctx.s_left + spacing_shift,
+                                        ctx.s_right + spacing_shift,
+                                        contacted));
+    }
+    ann.arc_class = classify_arc(classes, policy);
+    ann.corners = sva_corners(l_nom, ann.l_nom_new, ann.arc_class, budget);
+    out[ai] = ann;
+  }
+  return out;
+}
+
 std::vector<std::vector<ArcAnnotation>> annotate_arcs(
     const Netlist& netlist, const ContextLibrary& context,
     const std::vector<VersionKey>& versions, const CdBudget& budget,
@@ -35,62 +74,38 @@ std::vector<std::vector<ArcAnnotation>> annotate_arcs(
   SVA_REQUIRE(measured_nps == nullptr ||
               measured_nps->size() == netlist.gates().size());
   SVA_REQUIRE(versions.size() == netlist.gates().size());
-  const CellLibrary& lib = netlist.library();
 
   std::vector<std::vector<ArcAnnotation>> out(netlist.gates().size());
-  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
-    const std::size_t ci = netlist.gates()[gi].cell_index;
-    const CellMaster& master = lib.master(ci);
-    const Nm l_nom = master.tech().gate_length;
-    const Nm contacted = master.tech().contacted_pitch;
-    const VersionKey& version = versions[gi];
-
-    out[gi].resize(master.arcs().size());
-    for (std::size_t ai = 0; ai < master.arcs().size(); ++ai) {
-      ArcAnnotation ann;
-      ann.l_nom_new = cache != nullptr
-                          ? cache->arc_effective_length(ci, version, ai)
-                          : context.arc_effective_length(ci, version, ai);
-
-      std::vector<DeviceClass> classes;
-      classes.reserve(master.arcs()[ai].device_indices.size());
-      for (std::size_t di : master.arcs()[ai].device_indices) {
-        DeviceContext ctx;
-        if (measured_nps != nullptr) {
-          const InstanceNps& nps = (*measured_nps)[gi];
-          const bool pmos =
-              master.devices()[di].type == DeviceType::Pmos;
-          ctx = context.device_context_measured(
-              ci, di, pmos ? nps.lt : nps.lb, pmos ? nps.rt : nps.rb);
-        } else {
-          ctx = context.device_context(ci, version, di);
-        }
-        classes.push_back(classify_device(ctx.s_left + spacing_shift,
-                                          ctx.s_right + spacing_shift,
-                                          contacted));
-      }
-      ann.arc_class = classify_arc(classes, policy);
-      ann.corners = sva_corners(l_nom, ann.l_nom_new, ann.arc_class, budget);
-      out[gi][ai] = ann;
-    }
-  }
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi)
+    out[gi] = annotate_gate_arcs(
+        netlist, gi, context, versions[gi], budget, policy, spacing_shift,
+        measured_nps != nullptr ? &(*measured_nps)[gi] : nullptr, cache);
   return out;
+}
+
+std::vector<double> gate_corner_factors(
+    const Netlist& netlist, std::size_t gate,
+    const std::vector<ArcAnnotation>& annotations, const CdBudget& budget,
+    Corner corner) {
+  const Nm l_nom = netlist.library()
+                       .master(netlist.gates()[gate].cell_index)
+                       .tech()
+                       .gate_length;
+  std::vector<double> factors(annotations.size());
+  for (std::size_t ai = 0; ai < annotations.size(); ++ai)
+    factors[ai] = annotations[ai].corners.at(corner) / l_nom *
+                  other_process(budget, corner);
+  return factors;
 }
 
 std::vector<std::vector<double>> corner_factors(
     const Netlist& netlist,
     const std::vector<std::vector<ArcAnnotation>>& annotations,
     const CdBudget& budget, Corner corner) {
-  const CellLibrary& lib = netlist.library();
   std::vector<std::vector<double>> factors(annotations.size());
-  for (std::size_t gi = 0; gi < annotations.size(); ++gi) {
-    const Nm l_nom =
-        lib.master(netlist.gates()[gi].cell_index).tech().gate_length;
-    factors[gi].resize(annotations[gi].size());
-    for (std::size_t ai = 0; ai < annotations[gi].size(); ++ai)
-      factors[gi][ai] = annotations[gi][ai].corners.at(corner) / l_nom *
-                        other_process(budget, corner);
-  }
+  for (std::size_t gi = 0; gi < annotations.size(); ++gi)
+    factors[gi] = gate_corner_factors(netlist, gi, annotations[gi], budget,
+                                      corner);
   return factors;
 }
 

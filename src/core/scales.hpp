@@ -91,10 +91,26 @@ std::vector<std::vector<ArcAnnotation>> annotate_arcs(
     const std::vector<InstanceNps>* measured_nps = nullptr,
     const ContextCache* cache = nullptr);
 
+/// Annotate the arcs of a single gate (the per-gate body of
+/// annotate_arcs).  ECO candidate evaluation re-annotates just the
+/// instances whose placement context a move perturbs; `nps`, when given,
+/// holds the (hypothetical) measured spacings of this one instance.
+std::vector<ArcAnnotation> annotate_gate_arcs(
+    const Netlist& netlist, std::size_t gate, const ContextLibrary& context,
+    const VersionKey& version, const CdBudget& budget, ArcLabelPolicy policy,
+    Nm spacing_shift = 0.0, const InstanceNps* nps = nullptr,
+    const ContextCache* cache = nullptr);
+
 /// Delay factors per (gate, arc) for one corner from annotations.
 std::vector<std::vector<double>> corner_factors(
     const Netlist& netlist,
     const std::vector<std::vector<ArcAnnotation>>& annotations,
     const CdBudget& budget, Corner corner);
+
+/// One gate's corner factor row (the per-gate body of corner_factors).
+std::vector<double> gate_corner_factors(
+    const Netlist& netlist, std::size_t gate,
+    const std::vector<ArcAnnotation>& annotations, const CdBudget& budget,
+    Corner corner);
 
 }  // namespace sva

@@ -1,0 +1,60 @@
+#include "engine/options.hpp"
+
+#include <stdexcept>
+
+namespace sva {
+
+const std::string& flag_value(const std::vector<std::string>& args,
+                              std::size_t& i) {
+  if (i + 1 >= args.size())
+    throw std::runtime_error(args[i] + " requires a value");
+  return args[++i];
+}
+
+std::size_t parse_size_flag(const std::string& flag,
+                            const std::string& value) {
+  std::size_t parsed = 0;
+  unsigned long n = 0;
+  try {
+    n = std::stoul(value, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (value.empty() || parsed != value.size() || value[0] == '-')
+    throw std::runtime_error(flag + " expects a non-negative integer, got '" +
+                             value + "'");
+  return static_cast<std::size_t>(n);
+}
+
+double parse_double_flag(const std::string& flag, const std::string& value) {
+  std::size_t parsed = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &parsed);
+  } catch (const std::exception&) {
+    parsed = 0;
+  }
+  if (value.empty() || parsed != value.size() || !(v > 0.0))
+    throw std::runtime_error(flag + " expects a positive number, got '" +
+                             value + "'");
+  return v;
+}
+
+EngineOptions extract_engine_options(std::vector<std::string>& args) {
+  EngineOptions opts;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--metrics") {
+      opts.metrics = true;
+    } else if (args[i] == "--threads") {
+      const std::string flag = args[i];
+      opts.threads = parse_size_flag(flag, flag_value(args, i));
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  args = std::move(rest);
+  return opts;
+}
+
+}  // namespace sva

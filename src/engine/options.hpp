@@ -1,0 +1,40 @@
+#pragma once
+// Global CLI execution options and shared flag parsing.
+//
+// Every sva-timing subcommand accepts the same global flags (--threads N,
+// --metrics) with identical validation and error messages; this header is
+// the single implementation the dispatcher and all subcommands share.
+// The value parsers are exposed so per-command flags (--clock, --max-moves,
+// ...) report malformed values in the same uniform style.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.hpp"
+
+namespace sva {
+
+/// Global execution options, stripped from the arg list before command
+/// dispatch.
+struct EngineOptions {
+  std::size_t threads = ThreadPool::default_thread_count();
+  bool metrics = false;
+};
+
+/// Remove --threads N / --metrics from `args` (wherever they appear) and
+/// return the parsed options.  Throws std::runtime_error with a uniform
+/// message on a missing or malformed value.
+EngineOptions extract_engine_options(std::vector<std::string>& args);
+
+/// The value following flag `args[i]`; advances `i` past it.  Throws
+/// "<flag> requires a value" when the list ends first.
+const std::string& flag_value(const std::vector<std::string>& args,
+                              std::size_t& i);
+
+/// Parse a flag value as a non-negative integer / positive double; throws
+/// "<flag> expects ..." on anything else (trailing junk included).
+std::size_t parse_size_flag(const std::string& flag, const std::string& value);
+double parse_double_flag(const std::string& flag, const std::string& value);
+
+}  // namespace sva

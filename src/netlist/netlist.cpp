@@ -55,6 +55,15 @@ std::size_t Netlist::add_gate(const std::string& name, std::size_t cell_index,
   return out_net;
 }
 
+void Netlist::set_gate_cell(std::size_t gate, std::size_t cell_index) {
+  SVA_REQUIRE(gate < gates_.size());
+  SVA_REQUIRE(cell_index < library_->size());
+  SVA_REQUIRE_MSG(
+      input_pins_of(cell_index) == input_pins_of(gates_[gate].cell_index),
+      "replacement master must have identical input pins");
+  gates_[gate].cell_index = cell_index;
+}
+
 void Netlist::mark_primary_output(std::size_t net) {
   SVA_REQUIRE(net < nets_.size());
   nets_[net].is_primary_output = true;

@@ -56,6 +56,13 @@ class Netlist {
   /// Mark a net as a primary output.
   void mark_primary_output(std::size_t net);
 
+  /// Swap a gate's master for a pin-compatible one (same input pin names
+  /// in the same order, e.g. a drive-strength variant).  Connectivity and
+  /// topology are untouched, so the cached topological order stays valid;
+  /// callers holding derived per-cell state (an Sta's net-load cache) must
+  /// re-sync it.  Used by ECO gate sizing.
+  void set_gate_cell(std::size_t gate, std::size_t cell_index);
+
   const std::vector<Net>& nets() const { return nets_; }
   const std::vector<GateInst>& gates() const { return gates_; }
 

@@ -1,0 +1,274 @@
+#include "opt/eco.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/scales.hpp"
+#include "engine/metrics.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+
+const char* eco_corner_mode_name(EcoCornerMode mode) {
+  switch (mode) {
+    case EcoCornerMode::SvaWorst: return "sva";
+    case EcoCornerMode::TraditionalWorst: return "trad";
+  }
+  return "?";
+}
+
+EcoOptimizer::EcoOptimizer(const SizedLibrary& sized, Netlist netlist,
+                           const PlacementConfig& placement, EcoConfig config)
+    : sized_(&sized),
+      config_(std::move(config)),
+      netlist_(std::move(netlist)),
+      placement_(netlist_, placement),
+      sta_(netlist_, sized.characterized(), config_.sta) {
+  SVA_REQUIRE_MSG(&netlist_.library() == &sized.library(),
+                  "netlist must be mapped onto the sized library");
+  nps_ = extract_nps(placement_);
+  versions_ = assign_versions(nps_, sized_->context_library().bins());
+  factors_.resize(netlist_.gates().size());
+  for (std::size_t g = 0; g < netlist_.gates().size(); ++g)
+    factors_[g] = committed_row(g);
+  current_ = sta_.run(FactorsScale(factors_));
+  if (config_.clock_period_ps <= 0.0) {
+    SVA_REQUIRE_MSG(
+        config_.auto_clock_fraction > 0.0 && config_.auto_clock_fraction < 1.0,
+        "auto clock fraction must lie in (0, 1)");
+    config_.clock_period_ps =
+        config_.auto_clock_fraction * current_.critical_delay_ps;
+  }
+}
+
+double EcoOptimizer::worst_slack_ps() const {
+  return config_.clock_period_ps - current_.critical_delay_ps;
+}
+
+std::vector<double> EcoOptimizer::committed_row(std::size_t gate) const {
+  const std::size_t cell = netlist_.gates()[gate].cell_index;
+  const CellMaster& master = netlist_.library().master(cell);
+  if (config_.mode == EcoCornerMode::TraditionalWorst) {
+    // Context-blind uniform corner: every arc of every gate at the full
+    // CD budget, regardless of placement.
+    const TraditionalCornerScale trad(master.tech().gate_length,
+                                      config_.budget, Corner::Worst);
+    return std::vector<double>(master.arcs().size(), trad.factor());
+  }
+  const auto annotations = annotate_gate_arcs(
+      netlist_, gate, sized_->context_library(), versions_[gate],
+      config_.budget, config_.arc_policy, 0.0, &nps_[gate],
+      &sized_->context_cache());
+  return gate_corner_factors(netlist_, gate, annotations, config_.budget,
+                             Corner::Worst);
+}
+
+std::vector<Move> EcoOptimizer::enumerate_candidates(
+    const std::vector<double>& net_slack_ps, double threshold_ps) const {
+  std::vector<Move> out;
+  const auto& gates = netlist_.gates();
+  const Nm site = netlist_.library().master(0).tech().site_width;
+  std::vector<char> downsize_seen(gates.size(), 0);
+
+  for (std::size_t g = 0; g < gates.size(); ++g) {
+    if (net_slack_ps[gates[g].output_net] > threshold_ps) continue;
+
+    if (sized_->can_upsize(gates[g].cell_index))
+      out.push_back({MoveKind::Upsize, g,
+                     sized_->upsized(gates[g].cell_index), 0.0});
+
+    // Re-spacing is only enumerated under the SVA corner: a uniform
+    // traditional corner assigns the same factor at every position, so
+    // every respace candidate would price at exactly zero gain.
+    if (config_.mode == EcoCornerMode::SvaWorst) {
+      const auto [lo, hi] = placement_.shift_range(g);
+      for (std::size_t k = 1; k <= config_.respace_sites_each_way; ++k) {
+        const Nm dx = static_cast<double>(k) * site;
+        if (dx <= hi) out.push_back({MoveKind::Respace, g, 0, dx});
+        if (-dx >= lo) out.push_back({MoveKind::Respace, g, 0, -dx});
+      }
+    }
+
+    // Off-cone sinks loading this near-critical net: shrinking them cuts
+    // the load the critical driver sees at zero speed cost of their own
+    // (the exact what-if pricing rejects the move if their path would
+    // become the new wall).
+    for (const NetSink& sink : netlist_.nets()[gates[g].output_net].sinks) {
+      const std::size_t sg = sink.gate;
+      if (downsize_seen[sg]) continue;
+      if (net_slack_ps[gates[sg].output_net] <= threshold_ps) continue;
+      if (!sized_->can_downsize(gates[sg].cell_index)) continue;
+      downsize_seen[sg] = 1;
+      out.push_back({MoveKind::Downsize, sg,
+                     sized_->downsized(gates[sg].cell_index), 0.0});
+    }
+  }
+  return out;
+}
+
+void EcoOptimizer::evaluate(const Move& move, Evaluation& out) const {
+  out.move = move;
+  switch (move.kind) {
+    case MoveKind::Upsize:
+    case MoveKind::Downsize: {
+      // Sizing is printing-context-neutral (see opt/sizing.hpp): the
+      // committed corner factors apply unchanged; only the master (and
+      // the pin caps it presents upstream) is hypothetically swapped.
+      const std::vector<Sta::GateCellOverride> swap{
+          {move.gate, move.to_cell}};
+      const FactorsScale scale(factors_);
+      out.timing = sta_.run_what_if(scale, current_, swap, {});
+      out.area_delta =
+          sized_->multiplier_of(move.to_cell) -
+          sized_->multiplier_of(netlist_.gates()[move.gate].cell_index);
+      break;
+    }
+    case MoveKind::Respace: {
+      out.nps_updates = nps_after_shift(placement_, move.gate, move.dx);
+      const ContextBins& bins = sized_->context_library().bins();
+      std::vector<std::size_t> changed;
+      out.factor_rows.reserve(out.nps_updates.size());
+      for (const NpsUpdate& u : out.nps_updates) {
+        const VersionKey version = nps_to_version(u.nps, bins);
+        const auto annotations = annotate_gate_arcs(
+            netlist_, u.gate, sized_->context_library(), version,
+            config_.budget, config_.arc_policy, 0.0, &u.nps,
+            &sized_->context_cache());
+        auto row = gate_corner_factors(netlist_, u.gate, annotations,
+                                       config_.budget, Corner::Worst);
+        if (row != factors_[u.gate]) changed.push_back(u.gate);
+        out.factor_rows.emplace_back(u.gate, std::move(row));
+      }
+      const OverlayScale scale(factors_, out.factor_rows);
+      out.timing = sta_.run_what_if(scale, current_, {}, changed);
+      break;
+    }
+  }
+  out.gain_ps = current_.critical_delay_ps - out.timing.critical_delay_ps;
+}
+
+bool EcoOptimizer::better(const Evaluation& a, const Evaluation& b) {
+  if (a.gain_ps != b.gain_ps) return a.gain_ps > b.gain_ps;
+  if (a.area_delta != b.area_delta) return a.area_delta < b.area_delta;
+  if (a.move.gate != b.move.gate) return a.move.gate < b.move.gate;
+  if (a.move.kind != b.move.kind)
+    return static_cast<int>(a.move.kind) < static_cast<int>(b.move.kind);
+  if (a.move.to_cell != b.move.to_cell) return a.move.to_cell < b.move.to_cell;
+  if (std::abs(a.move.dx) != std::abs(b.move.dx))
+    return std::abs(a.move.dx) < std::abs(b.move.dx);
+  return a.move.dx > b.move.dx;
+}
+
+void EcoOptimizer::commit(Evaluation&& best) {
+  switch (best.move.kind) {
+    case MoveKind::Upsize:
+    case MoveKind::Downsize:
+      netlist_.set_gate_cell(best.move.gate, best.move.to_cell);
+      sta_.update_gate_master(best.move.gate);
+      break;
+    case MoveKind::Respace: {
+      placement_.shift_instance(best.move.gate, best.move.dx);
+      const ContextBins& bins = sized_->context_library().bins();
+      for (const NpsUpdate& u : best.nps_updates) {
+        nps_[u.gate] = u.nps;
+        versions_[u.gate] = nps_to_version(u.nps, bins);
+      }
+      for (OverlayScale::Row& row : best.factor_rows)
+        factors_[row.first] = std::move(row.second);
+      break;
+    }
+  }
+  // The what-if result is exact, so it becomes the committed timing.
+  current_ = std::move(best.timing);
+}
+
+EcoResult EcoOptimizer::run(ThreadPool* pool) {
+  EcoResult result;
+  result.benchmark = netlist_.name();
+  result.mode = config_.mode;
+  result.clock_period_ps = config_.clock_period_ps;
+  result.initial_worst_slack_ps = worst_slack_ps();
+
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  Counter& evaluated = metrics.counter("eco.candidates_evaluated");
+  Counter& committed = metrics.counter("eco.moves_committed");
+  TimerStat& eval_timer = metrics.timer("eco.candidate_eval");
+
+  while (result.trajectory.size() < config_.max_moves &&
+         worst_slack_ps() < 0.0) {
+    const FactorsScale scale(factors_);
+    const SlackResult slack =
+        sta_.slack_from(scale, current_, config_.clock_period_ps);
+    const double threshold =
+        slack.worst_slack_ps + config_.near_critical_window_ps;
+    const std::vector<Move> candidates =
+        enumerate_candidates(slack.slack_ps, threshold);
+    if (candidates.empty()) break;
+
+    // Price every candidate into its own slot; with a pool the pricing
+    // fans out, and the serial argmax below keeps selection (and thus
+    // the whole trajectory) schedule-independent.
+    std::vector<Evaluation> evals(candidates.size());
+    {
+      const ScopedTimer timer(eval_timer);
+      const auto price = [&](std::size_t i) {
+        evaluate(candidates[i], evals[i]);
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(0, candidates.size(), price);
+      } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) price(i);
+      }
+    }
+    evaluated.add(candidates.size());
+    result.candidates_evaluated += candidates.size();
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < evals.size(); ++i)
+      if (better(evals[i], evals[best])) best = i;
+    if (evals[best].gain_ps < config_.min_gain_ps) break;  // stalled
+
+    Evaluation chosen = std::move(evals[best]);
+    EcoMoveRecord record;
+    record.index = result.trajectory.size() + 1;
+    record.kind = chosen.move.kind;
+    record.gate = chosen.move.gate;
+    record.gate_name = netlist_.gates()[chosen.move.gate].name;
+    record.gain_ps = chosen.gain_ps;
+    record.area_delta = chosen.area_delta;
+    const CellLibrary& lib = netlist_.library();
+    switch (chosen.move.kind) {
+      case MoveKind::Upsize:
+        ++result.upsizes;
+        result.upsize_area_delta += chosen.area_delta;
+        result.total_area_delta += chosen.area_delta;
+        record.detail =
+            lib.master(netlist_.gates()[chosen.move.gate].cell_index).name() +
+            " -> " + lib.master(chosen.move.to_cell).name();
+        break;
+      case MoveKind::Downsize:
+        ++result.downsizes;
+        result.total_area_delta += chosen.area_delta;
+        record.detail =
+            lib.master(netlist_.gates()[chosen.move.gate].cell_index).name() +
+            " -> " + lib.master(chosen.move.to_cell).name();
+        break;
+      case MoveKind::Respace:
+        ++result.respaces;
+        record.detail = "dx " + std::string(chosen.move.dx >= 0 ? "+" : "") +
+                        fmt(chosen.move.dx, 0) + " nm";
+        break;
+    }
+    commit(std::move(chosen));
+    committed.add(1);
+    record.worst_slack_ps = worst_slack_ps();
+    result.trajectory.push_back(std::move(record));
+  }
+
+  result.final_worst_slack_ps = worst_slack_ps();
+  result.met_timing = result.final_worst_slack_ps >= 0.0;
+  return result;
+}
+
+}  // namespace sva

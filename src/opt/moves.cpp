@@ -1,0 +1,33 @@
+#include "opt/moves.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+const char* move_kind_name(MoveKind kind) {
+  switch (kind) {
+    case MoveKind::Upsize: return "upsize";
+    case MoveKind::Downsize: return "downsize";
+    case MoveKind::Respace: return "respace";
+  }
+  return "?";
+}
+
+OverlayScale::OverlayScale(const std::vector<std::vector<double>>& base,
+                           const std::vector<Row>& rows)
+    : base_(&base), rows_(&rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    SVA_REQUIRE(rows[i].first < base.size());
+    SVA_REQUIRE_MSG(i == 0 || rows[i - 1].first < rows[i].first,
+                    "overlay rows must be sorted by gate");
+  }
+}
+
+double OverlayScale::scale(std::size_t gate, std::size_t arc_index) const {
+  // A candidate touches at most three gates: a linear scan beats a map.
+  for (const Row& row : *rows_)
+    if (row.first == gate) return row.second[arc_index];
+  return (*base_)[gate][arc_index];
+}
+
+}  // namespace sva

@@ -1,0 +1,55 @@
+#include "opt/trajectory.hpp"
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+namespace sva {
+
+namespace {
+
+std::vector<std::vector<std::string>> trajectory_rows(
+    const EcoResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.trajectory.size());
+  for (const EcoMoveRecord& m : result.trajectory)
+    rows.push_back({std::to_string(m.index), move_kind_name(m.kind),
+                    m.gate_name, m.detail, fmt(m.gain_ps, 2),
+                    fmt(m.worst_slack_ps, 2), fmt(m.area_delta, 2)});
+  return rows;
+}
+
+}  // namespace
+
+std::string trajectory_table(const EcoResult& result) {
+  Table table({"#", "Move", "Gate", "Detail", "Gain ps", "WS ps", "dArea"});
+  for (auto& row : trajectory_rows(result)) table.add_row(std::move(row));
+  return table.render() + trajectory_summary(result);
+}
+
+std::string trajectory_csv(const EcoResult& result) {
+  return rows_to_csv({"move", "kind", "gate", "detail", "gain_ps",
+                      "worst_slack_ps", "area_delta"},
+                     trajectory_rows(result));
+}
+
+std::string trajectory_summary(const EcoResult& result) {
+  std::string out = result.benchmark + " (" +
+                    eco_corner_mode_name(result.mode) + " corner, clock " +
+                    fmt(result.clock_period_ps, 1) + " ps): ";
+  out += result.met_timing ? "met timing" : "MISSED timing";
+  out += ", worst slack " + fmt(result.initial_worst_slack_ps, 2) + " -> " +
+         fmt(result.final_worst_slack_ps, 2) + " ps\n";
+  out += "  " + std::to_string(result.moves_committed()) + " moves (" +
+         std::to_string(result.upsizes) + " upsize, " +
+         std::to_string(result.downsizes) + " downsize, " +
+         std::to_string(result.respaces) + " respace), upsize area +" +
+         fmt(result.upsize_area_delta, 2) + "x, net area " +
+         std::string(result.total_area_delta >= 0 ? "+" : "") +
+         fmt(result.total_area_delta, 2) + "x, " +
+         std::to_string(result.candidates_evaluated) +
+         " candidates evaluated\n";
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,23 @@
+#pragma once
+// Rendering of ECO optimization trajectories: the per-move convergence
+// table for the CLI and a CSV artifact (eco_trajectory.csv) for external
+// plotting.
+
+#include <string>
+
+#include "opt/eco.hpp"
+
+namespace sva {
+
+/// Aligned text table: one row per committed move plus a summary line.
+std::string trajectory_table(const EcoResult& result);
+
+/// CSV with one row per committed move (header: move, kind, gate, detail,
+/// gain_ps, worst_slack_ps, area_delta).
+std::string trajectory_csv(const EcoResult& result);
+
+/// One-paragraph summary of a finished run (met/missed, move counts,
+/// area cost) for CLI and bench output.
+std::string trajectory_summary(const EcoResult& result);
+
+}  // namespace sva

@@ -22,37 +22,63 @@ std::vector<std::pair<Nm, Nm>> poly_intervals_in_strip(
   return out;
 }
 
+/// A single hypothetical x-position override (SIZE_MAX => no override).
+struct XOverride {
+  std::size_t gate = static_cast<std::size_t>(-1);
+  Nm x = 0.0;
+};
+
+Nm x_of(const Placement& placement, std::size_t gi, const XOverride& ov) {
+  return gi == ov.gate ? ov.x : placement.instances()[gi].x;
+}
+
 /// Measure one side/strip spacing for instance `gi`.
 Nm measure_side(const Placement& placement, std::size_t gi, bool left,
-                Nm strip_y_lo, Nm strip_y_hi, Nm roi) {
+                Nm strip_y_lo, Nm strip_y_hi, Nm roi,
+                const XOverride& ov = {}) {
   const Netlist& netlist = placement.netlist();
   const CellLibrary& lib = netlist.library();
   const CellMaster& master = lib.master(netlist.gates()[gi].cell_index);
-  const PlacedInstance& inst = placement.instances()[gi];
 
   const std::size_t boundary_gate =
       left ? master.leftmost_gate() : master.rightmost_gate();
   const PolyGate& g = master.gates()[boundary_gate];
-  const Nm own_edge = inst.x + (left ? g.x_lo() : g.x_hi());
+  const Nm own_edge = x_of(placement, gi, ov) + (left ? g.x_lo() : g.x_hi());
 
   const std::size_t n =
       left ? placement.left_neighbor(gi) : placement.right_neighbor(gi);
   if (n == static_cast<std::size_t>(-1)) return roi;
 
   const CellMaster& n_master = lib.master(netlist.gates()[n].cell_index);
-  const PlacedInstance& n_inst = placement.instances()[n];
+  const Nm n_x = x_of(placement, n, ov);
   Nm best = roi;
   for (const auto& [x_lo, x_hi] :
        poly_intervals_in_strip(n_master, strip_y_lo, strip_y_hi)) {
     if (left) {
-      const Nm edge = n_inst.x + x_hi;
+      const Nm edge = n_x + x_hi;
       if (edge <= own_edge) best = std::min(best, own_edge - edge);
     } else {
-      const Nm edge = n_inst.x + x_lo;
+      const Nm edge = n_x + x_lo;
       if (edge >= own_edge) best = std::min(best, edge - own_edge);
     }
   }
   return best;
+}
+
+/// All four spacings of one instance under an optional x override.
+InstanceNps measure_instance(const Placement& placement, std::size_t gi,
+                             const CellTech& tech, Nm roi,
+                             const XOverride& ov = {}) {
+  InstanceNps nps;
+  nps.lt = measure_side(placement, gi, /*left=*/true, tech.pmos_y_lo,
+                        tech.pmos_y_hi, roi, ov);
+  nps.rt = measure_side(placement, gi, /*left=*/false, tech.pmos_y_lo,
+                        tech.pmos_y_hi, roi, ov);
+  nps.lb = measure_side(placement, gi, /*left=*/true, tech.nmos_y_lo,
+                        tech.nmos_y_hi, roi, ov);
+  nps.rb = measure_side(placement, gi, /*left=*/false, tech.nmos_y_lo,
+                        tech.nmos_y_hi, roi, ov);
+  return nps;
 }
 
 }  // namespace
@@ -64,18 +90,34 @@ std::vector<InstanceNps> extract_nps(const Placement& placement) {
   const Nm roi = tech.radius_of_influence;
 
   std::vector<InstanceNps> out(netlist.gates().size());
-  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi) {
-    InstanceNps nps;
-    nps.lt = measure_side(placement, gi, /*left=*/true, tech.pmos_y_lo,
-                          tech.pmos_y_hi, roi);
-    nps.rt = measure_side(placement, gi, /*left=*/false, tech.pmos_y_lo,
-                          tech.pmos_y_hi, roi);
-    nps.lb = measure_side(placement, gi, /*left=*/true, tech.nmos_y_lo,
-                          tech.nmos_y_hi, roi);
-    nps.rb = measure_side(placement, gi, /*left=*/false, tech.nmos_y_lo,
-                          tech.nmos_y_hi, roi);
-    out[gi] = nps;
-  }
+  for (std::size_t gi = 0; gi < netlist.gates().size(); ++gi)
+    out[gi] = measure_instance(placement, gi, tech, roi);
+  return out;
+}
+
+std::vector<NpsUpdate> nps_after_shift(const Placement& placement,
+                                       std::size_t gate, Nm dx) {
+  const Netlist& netlist = placement.netlist();
+  SVA_REQUIRE(gate < netlist.gates().size());
+  const auto [lo, hi] = placement.shift_range(gate);
+  SVA_REQUIRE_MSG(dx >= lo - 1e-9 && dx <= hi + 1e-9,
+                  "shift outside the legal range");
+  const CellTech& tech = netlist.library().master(0).tech();
+  const Nm roi = tech.radius_of_influence;
+  const XOverride ov{gate, placement.instances()[gate].x + dx};
+
+  std::vector<std::size_t> affected;
+  const std::size_t l = placement.left_neighbor(gate);
+  const std::size_t r = placement.right_neighbor(gate);
+  if (l != static_cast<std::size_t>(-1)) affected.push_back(l);
+  affected.push_back(gate);
+  if (r != static_cast<std::size_t>(-1)) affected.push_back(r);
+  std::sort(affected.begin(), affected.end());
+
+  std::vector<NpsUpdate> out;
+  out.reserve(affected.size());
+  for (std::size_t gi : affected)
+    out.push_back({gi, measure_instance(placement, gi, tech, roi, ov)});
   return out;
 }
 

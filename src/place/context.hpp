@@ -29,6 +29,23 @@ struct InstanceNps {
 /// netlist gates).
 std::vector<InstanceNps> extract_nps(const Placement& placement);
 
+/// One instance's re-measured spacings after a hypothetical move.
+struct NpsUpdate {
+  std::size_t gate = 0;
+  InstanceNps nps;
+};
+
+/// Spacing perturbation: the nps values after shifting `gate` by `dx`
+/// within its row, WITHOUT mutating the placement.  Returns updates for
+/// exactly the instances a shift can affect -- the moved gate and its
+/// immediate left/right row neighbours (nps measurement never reaches
+/// past the abutting neighbour cell) -- in ascending gate order.  `dx`
+/// must lie inside shift_range(gate).  ECO context re-spacing evaluates
+/// candidates through this; a committed move then calls shift_instance()
+/// and the same values become the new measured state.
+std::vector<NpsUpdate> nps_after_shift(const Placement& placement,
+                                       std::size_t gate, Nm dx);
+
 /// Bin measured spacings into a cell-version key.
 VersionKey nps_to_version(const InstanceNps& nps, const ContextBins& bins);
 

@@ -17,6 +17,41 @@ std::string series_to_csv(const std::vector<Series>& series) {
   return out;
 }
 
+namespace {
+
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string rows_to_csv(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out += ',';
+    out += csv_cell(header[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    SVA_REQUIRE_MSG(row.size() == header.size(),
+                    "CSV row width must match the header");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += csv_cell(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 void write_text_file(const std::string& path, const std::string& text) {
   std::ofstream os(path, std::ios::trunc);
   if (!os) throw Error("cannot open file for writing: " + path);

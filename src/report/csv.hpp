@@ -13,6 +13,12 @@ namespace sva {
 /// is long-form: series,x,y -- one row per point.
 std::string series_to_csv(const std::vector<Series>& series);
 
+/// Render pre-formatted rows as CSV under a header.  Every row must have
+/// exactly header.size() cells; cells containing commas, quotes, or
+/// newlines are quoted (RFC 4180 style).
+std::string rows_to_csv(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
 /// Write text to a file, creating/truncating it.  Throws sva::Error on
 /// failure.  Benches use this to drop CSV artifacts next to stdout tables.
 void write_text_file(const std::string& path, const std::string& text);

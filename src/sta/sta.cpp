@@ -17,20 +17,8 @@ Sta::Sta(const Netlist& netlist, const CharacterizedLibrary& library,
 
   // Precompute net loads: sink pin caps + wire + PO load.
   load_cache_.assign(netlist.nets().size(), 0.0);
-  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni) {
-    const Net& net = netlist.nets()[ni];
-    double load = config_.wire_cap_per_sink_ff *
-                  static_cast<double>(net.sinks.size());
-    for (const NetSink& sink : net.sinks) {
-      const GateInst& g = netlist.gates()[sink.gate];
-      const CharacterizedCell& cell = library.cells[g.cell_index];
-      const auto pins = netlist.input_pins_of(g.cell_index);
-      SVA_ASSERT(sink.pin_index < pins.size());
-      load += cell.master.pin(pins[sink.pin_index]).input_cap_ff;
-    }
-    if (net.is_primary_output) load += config_.po_load_ff;
-    load_cache_[ni] = load;
-  }
+  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni)
+    load_cache_[ni] = compute_net_load(ni);
 
   // Bucket gates by logic level for the parallel path.  Also freezes the
   // netlist's topological-order cache up front.
@@ -43,18 +31,59 @@ Sta::Sta(const Netlist& netlist, const CharacterizedLibrary& library,
     levels_[level[gi]].push_back(gi);
 }
 
+double Sta::compute_net_load(std::size_t net_index) const {
+  const Netlist& nl = *netlist_;
+  const Net& net = nl.nets()[net_index];
+  double load =
+      config_.wire_cap_per_sink_ff * static_cast<double>(net.sinks.size());
+  for (const NetSink& sink : net.sinks) {
+    const GateInst& g = nl.gates()[sink.gate];
+    const CharacterizedCell& cell = library_->cells[g.cell_index];
+    const auto pins = nl.input_pins_of(g.cell_index);
+    SVA_ASSERT(sink.pin_index < pins.size());
+    load += cell.master.pin(pins[sink.pin_index]).input_cap_ff;
+  }
+  if (net.is_primary_output) load += config_.po_load_ff;
+  return load;
+}
+
 double Sta::net_load_ff(std::size_t net) const {
   SVA_REQUIRE(net < load_cache_.size());
   return load_cache_[net];
 }
 
+void Sta::update_gate_master(std::size_t gate) {
+  SVA_REQUIRE(gate < netlist_->gates().size());
+  for (std::size_t net : netlist_->gates()[gate].fanin_nets)
+    load_cache_[net] = compute_net_load(net);
+}
+
+std::size_t Sta::WhatIfOverlay::cell_of(std::size_t gate,
+                                        std::size_t base) const {
+  for (const GateCellOverride& o : cells)
+    if (o.gate == gate) return o.cell_index;
+  return base;
+}
+
+double Sta::WhatIfOverlay::load_delta(std::size_t net) const {
+  double delta = 0.0;
+  for (const auto& [n, d] : load)
+    if (n == net) delta += d;
+  return delta;
+}
+
 void Sta::evaluate_gate(const ArcScaleProvider& scale, std::size_t gi,
-                        StaResult& result) const {
+                        StaResult& result,
+                        const WhatIfOverlay* overlay) const {
   const Netlist& nl = *netlist_;
   const GateInst& gate = nl.gates()[gi];
-  const CharacterizedCell& cell = library_->cells[gate.cell_index];
-  const double load = load_cache_[gate.output_net];
-  const auto pins = nl.input_pins_of(gate.cell_index);
+  const std::size_t cell_index =
+      overlay != nullptr ? overlay->cell_of(gi, gate.cell_index)
+                         : gate.cell_index;
+  const CharacterizedCell& cell = library_->cells[cell_index];
+  double load = load_cache_[gate.output_net];
+  if (overlay != nullptr) load += overlay->load_delta(gate.output_net);
+  const auto pins = nl.input_pins_of(cell_index);
 
   double worst_arrival = -1.0;
   double worst_slew = 0.0;
@@ -145,16 +174,17 @@ StaResult Sta::run_parallel(const ArcScaleProvider& scale,
   return result;
 }
 
-StaResult Sta::run_incremental(
+StaResult Sta::propagate_incremental(
     const ArcScaleProvider& scale, const StaResult& previous,
-    const std::vector<std::size_t>& changed_gates) const {
+    const std::vector<std::size_t>& seed_gates,
+    const WhatIfOverlay* overlay) const {
   const Netlist& nl = *netlist_;
   SVA_REQUIRE(previous.arrival_ps.size() == nl.nets().size());
   SVA_REQUIRE(previous.from_net.size() == nl.nets().size());
 
   StaResult result = previous;
   std::vector<char> dirty(nl.gates().size(), 0);
-  for (std::size_t gi : changed_gates) {
+  for (std::size_t gi : seed_gates) {
     SVA_REQUIRE(gi < nl.gates().size());
     dirty[gi] = 1;
   }
@@ -164,7 +194,7 @@ StaResult Sta::run_incremental(
     const std::size_t out = nl.gates()[gi].output_net;
     const double old_arrival = result.arrival_ps[out];
     const double old_slew = result.slew_ps[out];
-    evaluate_gate(scale, gi, result);
+    evaluate_gate(scale, gi, result, overlay);
     if (result.arrival_ps[out] == old_arrival &&
         result.slew_ps[out] == old_slew)
       continue;  // cone converged: fanout unaffected
@@ -174,12 +204,56 @@ StaResult Sta::run_incremental(
   return result;
 }
 
+StaResult Sta::run_incremental(
+    const ArcScaleProvider& scale, const StaResult& previous,
+    const std::vector<std::size_t>& changed_gates) const {
+  return propagate_incremental(scale, previous, changed_gates, nullptr);
+}
+
+StaResult Sta::run_what_if(
+    const ArcScaleProvider& scale, const StaResult& previous,
+    const std::vector<GateCellOverride>& cell_overrides,
+    const std::vector<std::size_t>& scale_changed_gates) const {
+  const Netlist& nl = *netlist_;
+
+  WhatIfOverlay overlay;
+  overlay.cells = cell_overrides;
+  std::vector<std::size_t> seeds = scale_changed_gates;
+  for (const GateCellOverride& o : cell_overrides) {
+    SVA_REQUIRE(o.gate < nl.gates().size());
+    SVA_REQUIRE(o.cell_index < library_->cells.size());
+    const GateInst& gate = nl.gates()[o.gate];
+    const CellMaster& old_master = library_->cells[gate.cell_index].master;
+    const CellMaster& new_master = library_->cells[o.cell_index].master;
+    seeds.push_back(o.gate);
+    // The swap changes the pin caps this gate presents to its fanin nets:
+    // those nets' drivers see a different load, so they re-evaluate too.
+    const auto pins = nl.input_pins_of(gate.cell_index);
+    for (std::size_t pi = 0; pi < gate.fanin_nets.size(); ++pi) {
+      const std::size_t net = gate.fanin_nets[pi];
+      const double delta = new_master.pin(pins[pi]).input_cap_ff -
+                           old_master.pin(pins[pi]).input_cap_ff;
+      if (delta == 0.0) continue;
+      overlay.load.emplace_back(net, delta);
+      if (!nl.nets()[net].is_primary_input())
+        seeds.push_back(nl.nets()[net].driver_gate);
+    }
+  }
+  return propagate_incremental(scale, previous, seeds, &overlay);
+}
+
 SlackResult Sta::run_with_slack(const ArcScaleProvider& scale,
                                 double clock_period_ps) const {
+  return slack_from(scale, run(scale), clock_period_ps);
+}
+
+SlackResult Sta::slack_from(const ArcScaleProvider& scale, StaResult timing,
+                            double clock_period_ps) const {
   SVA_REQUIRE(clock_period_ps > 0.0);
   const Netlist& nl = *netlist_;
+  SVA_REQUIRE(timing.arrival_ps.size() == nl.nets().size());
   SlackResult out;
-  out.timing = run(scale);
+  out.timing = std::move(timing);
 
   constexpr double kInf = 1e18;
   out.required_ps.assign(nl.nets().size(), kInf);

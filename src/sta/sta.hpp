@@ -88,17 +88,68 @@ class Sta {
                             const std::vector<std::size_t>& changed_gates)
       const;
 
+  /// A hypothetical master swap for candidate evaluation: analyze as if
+  /// `gate` were an instance of `cell_index` (a pin-compatible
+  /// drive-strength variant) without mutating the netlist.
+  struct GateCellOverride {
+    std::size_t gate = 0;
+    std::size_t cell_index = 0;
+  };
+
+  /// Candidate-scoped what-if analysis: incremental re-propagation from
+  /// `previous` as if the overridden gates had swapped masters (their own
+  /// arcs change AND the pin caps they present to their fanin nets change,
+  /// so the fanin drivers are re-evaluated too) and as if `scale` had
+  /// additionally changed at `scale_changed_gates`.  Exact: equals a full
+  /// run() on a mutated netlist.  Const and allocation-local, so any
+  /// number of candidates can be evaluated concurrently against one Sta.
+  StaResult run_what_if(const ArcScaleProvider& scale,
+                        const StaResult& previous,
+                        const std::vector<GateCellOverride>& cell_overrides,
+                        const std::vector<std::size_t>& scale_changed_gates)
+      const;
+
+  /// Required times + slacks for an already-computed forward result (the
+  /// backward min-propagation of run_with_slack without re-running the
+  /// forward pass).  `timing` must come from this Sta with this `scale`.
+  SlackResult slack_from(const ArcScaleProvider& scale, StaResult timing,
+                         double clock_period_ps) const;
+
+  /// Re-sync the cached net loads after the netlist swapped `gate`'s
+  /// master in place (Netlist::set_gate_cell): the gate's fanin nets see
+  /// different pin caps.  Call after every committed sizing move.
+  void update_gate_master(std::size_t gate);
+
   /// Capacitive load seen by a net's driver (fF).
   double net_load_ff(std::size_t net) const;
 
   const StaConfig& config() const { return config_; }
 
  private:
-  /// Recompute one gate's output arrival/slew/from in `result`.
+  /// Per-candidate state of run_what_if: hypothetical cell swaps plus the
+  /// net-load deltas they induce.  Small sorted vectors -- a candidate
+  /// touches a handful of gates.
+  struct WhatIfOverlay {
+    std::vector<GateCellOverride> cells;               ///< sorted by gate
+    std::vector<std::pair<std::size_t, double>> load;  ///< (net, delta fF)
+
+    std::size_t cell_of(std::size_t gate, std::size_t base) const;
+    double load_delta(std::size_t net) const;
+  };
+
+  /// Recompute one gate's output arrival/slew/from in `result`.  The
+  /// overlay, when present, substitutes hypothetical masters and loads.
   void evaluate_gate(const ArcScaleProvider& scale, std::size_t gate,
-                     StaResult& result) const;
+                     StaResult& result,
+                     const WhatIfOverlay* overlay = nullptr) const;
+  /// Shared dirty-cone propagation of run_incremental / run_what_if.
+  StaResult propagate_incremental(const ArcScaleProvider& scale,
+                                  const StaResult& previous,
+                                  const std::vector<std::size_t>& seed_gates,
+                                  const WhatIfOverlay* overlay) const;
   /// Fill critical delay / PO / path from arrivals and from_net.
   void finalize_result(StaResult& result) const;
+  double compute_net_load(std::size_t net) const;
 
   const Netlist* netlist_;
   const CharacterizedLibrary* library_;

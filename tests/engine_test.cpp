@@ -10,6 +10,7 @@
 #include "core/flow.hpp"
 #include "engine/batch.hpp"
 #include "engine/context_cache.hpp"
+#include "engine/options.hpp"
 #include "engine/thread_pool.hpp"
 #include "place/context.hpp"
 
@@ -193,6 +194,73 @@ TEST(ContextCacheTest, FlowCacheIsSharedAcrossAnalyses) {
   // The version universe is bounded: repeated analyses cannot add slots
   // beyond capacity.
   EXPECT_LE(after.characterized, after.capacity);
+}
+
+TEST(EngineOptionsTest, DefaultsWhenNoFlagsPresent) {
+  std::vector<std::string> args = {"C432", "C880"};
+  const EngineOptions opts = extract_engine_options(args);
+  EXPECT_EQ(opts.threads, ThreadPool::default_thread_count());
+  EXPECT_FALSE(opts.metrics);
+  EXPECT_EQ(args, (std::vector<std::string>{"C432", "C880"}));
+}
+
+TEST(EngineOptionsTest, StripsFlagsAnywhereInTheList) {
+  std::vector<std::string> args = {"--metrics", "C432", "--threads", "7",
+                                   "C880"};
+  const EngineOptions opts = extract_engine_options(args);
+  EXPECT_EQ(opts.threads, 7u);
+  EXPECT_TRUE(opts.metrics);
+  EXPECT_EQ(args, (std::vector<std::string>{"C432", "C880"}));
+}
+
+TEST(EngineOptionsTest, ThreadsZeroIsAccepted) {
+  std::vector<std::string> args = {"--threads", "0"};
+  EXPECT_EQ(extract_engine_options(args).threads, 0u);
+}
+
+TEST(EngineOptionsTest, MissingValueThrowsUniformMessage) {
+  std::vector<std::string> args = {"--threads"};
+  try {
+    extract_engine_options(args);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "--threads requires a value");
+  }
+}
+
+TEST(EngineOptionsTest, MalformedValueThrowsUniformMessage) {
+  for (const char* bad : {"abc", "3x", "-2", ""}) {
+    std::vector<std::string> args = {"--threads", bad};
+    try {
+      extract_engine_options(args);
+      FAIL() << "expected an exception for '" << bad << "'";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()),
+                std::string("--threads expects a non-negative integer, "
+                            "got '") +
+                    bad + "'");
+    }
+  }
+}
+
+TEST(EngineOptionsTest, SizeFlagParserSharedBySubcommands) {
+  EXPECT_EQ(parse_size_flag("--max-moves", "12"), 12u);
+  EXPECT_THROW(parse_size_flag("--max-moves", "1.5"), std::runtime_error);
+  EXPECT_THROW(parse_size_flag("-n", "-1"), std::runtime_error);
+}
+
+TEST(EngineOptionsTest, DoubleFlagParserSharedBySubcommands) {
+  EXPECT_DOUBLE_EQ(parse_double_flag("--clock", "2.25"), 2.25);
+  EXPECT_THROW(parse_double_flag("--clock", "0"), std::runtime_error);
+  EXPECT_THROW(parse_double_flag("--clock", "-3"), std::runtime_error);
+  EXPECT_THROW(parse_double_flag("--clock", "2ns"), std::runtime_error);
+}
+
+TEST(EngineOptionsTest, FlagValueAdvancesPastTheValue) {
+  const std::vector<std::string> args = {"--clock", "2.0", "--metrics"};
+  std::size_t i = 0;
+  EXPECT_EQ(flag_value(args, i), "2.0");
+  EXPECT_EQ(i, 1u);
 }
 
 }  // namespace

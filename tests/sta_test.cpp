@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "engine/thread_pool.hpp"
 #include "netlist/iscas85.hpp"
 #include "sta/scale.hpp"
 #include "sta/sta.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace sva {
 namespace {
@@ -204,6 +208,71 @@ TEST(StaIncremental, RejectsMismatchedPrevious) {
   const StaResult r_a = sta_a.run(UnitScale{});
   EXPECT_THROW(sta_b.run_incremental(UnitScale{}, r_a, {0}),
                PreconditionError);
+}
+
+/// Randomized equivalence: drive a long sequence of random arc-scale
+/// edits through run_incremental, checking bit-identity against a fresh
+/// full pass after EVERY edit.  Each incremental result becomes the next
+/// edit's `previous`, so errors would compound -- exactly the way the ECO
+/// loop uses the API.  `parallel` checks against run_parallel instead of
+/// run (the reference itself must be schedule-independent).
+void random_edit_sequence_stays_exact(const std::string& bench,
+                                      std::size_t edits, bool parallel) {
+  const Netlist nl = generate_iscas85_like(bench, lib());
+  const Sta sta(nl, charlib());
+  ThreadPool pool(parallel ? 4 : 0);
+  Rng rng(bench);
+
+  std::vector<std::vector<double>> factors(nl.gates().size());
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi)
+    factors[gi].assign(
+        lib().master(nl.gates()[gi].cell_index).arcs().size(), 1.0);
+
+  StaResult current = sta.run(MatrixScale(factors));
+  for (std::size_t e = 0; e < edits; ++e) {
+    const std::size_t n_changes =
+        static_cast<std::size_t>(rng.uniform_int(1, 5));
+    std::vector<std::size_t> changed;
+    for (std::size_t c = 0; c < n_changes; ++c) {
+      const auto g = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(nl.gates().size()) - 1));
+      if (std::find(changed.begin(), changed.end(), g) != changed.end())
+        continue;
+      changed.push_back(g);
+      for (double& f : factors[g]) f = rng.uniform(0.85, 1.25);
+    }
+    const MatrixScale scale(factors);
+    const StaResult incr = sta.run_incremental(scale, current, changed);
+    const StaResult full =
+        parallel ? sta.run_parallel(scale, pool) : sta.run(scale);
+    ASSERT_EQ(full.arrival_ps.size(), incr.arrival_ps.size());
+    for (std::size_t ni = 0; ni < full.arrival_ps.size(); ++ni) {
+      ASSERT_DOUBLE_EQ(full.arrival_ps[ni], incr.arrival_ps[ni])
+          << "edit " << e << " net " << ni;
+      ASSERT_DOUBLE_EQ(full.slew_ps[ni], incr.slew_ps[ni])
+          << "edit " << e << " net " << ni;
+    }
+    ASSERT_DOUBLE_EQ(full.critical_delay_ps, incr.critical_delay_ps)
+        << "edit " << e;
+    ASSERT_EQ(full.critical_path, incr.critical_path) << "edit " << e;
+    current = incr;
+  }
+}
+
+TEST(StaIncremental, RandomEditSequenceStaysExactC432) {
+  random_edit_sequence_stays_exact("C432", 60, /*parallel=*/false);
+}
+
+TEST(StaIncremental, RandomEditSequenceStaysExactC880) {
+  random_edit_sequence_stays_exact("C880", 40, /*parallel=*/false);
+}
+
+TEST(StaIncremental, RandomEditSequenceMatchesParallelC432) {
+  random_edit_sequence_stays_exact("C432", 30, /*parallel=*/true);
+}
+
+TEST(StaIncremental, RandomEditSequenceMatchesParallelC880) {
+  random_edit_sequence_stays_exact("C880", 20, /*parallel=*/true);
 }
 
 // Property: scaling delay by f scales the pure-gate-delay portion; with
