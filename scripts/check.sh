@@ -12,10 +12,38 @@ cd "$(dirname "$0")/.."
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
+# Hermetic persistent cache: every CLI invocation below (and any child that
+# honours $SVA_CACHE_DIR) reads and writes a throwaway directory, never the
+# developer's .sva_cache.
+CACHE_DIR="$(mktemp -d)"
+export SVA_CACHE_DIR="$CACHE_DIR"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo "== persistent cache: cold vs warm CLI runs =="
+CLI=./build/src/cli/sva-timing
+cold_out="$("$CLI" analyze C432 C880 --threads 2 --cache-dir "$CACHE_DIR" --metrics)"
+warm_out="$("$CLI" analyze C432 C880 --threads 2 --cache-dir "$CACHE_DIR" --metrics)"
+hits="$(echo "$warm_out" | awk '/context_cache\.disk_hits/ {print $2}')"
+if [[ -z "$hits" || "$hits" -le 0 ]]; then
+  echo "FAIL: warm run reported no context-cache disk hits"
+  echo "$warm_out"
+  exit 1
+fi
+echo "warm run restored $hits slots from disk"
+# Only the wall-time line and the metrics section may differ between the
+# two runs; the analysis table must be bit-identical.
+strip_variance() { sed -e '/circuits, .* threads, .* s)$/d' -e '/^engine metrics:$/,$d'; }
+if ! diff <(echo "$cold_out" | strip_variance) \
+          <(echo "$warm_out" | strip_variance); then
+  echo "FAIL: warm analysis output differs from cold"
+  exit 1
+fi
+echo "cold and warm analysis tables are identical"
 
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="

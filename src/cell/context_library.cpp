@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
 
@@ -181,6 +182,61 @@ double ContextLibrary::arc_delay_scale(std::size_t cell,
   const CellMaster& master = characterized_->cells[cell].master;
   return arc_effective_length(cell, version, arc) /
          master.tech().gate_length;
+}
+
+std::uint64_t ContextLibrary::content_hash() const {
+  std::call_once(hash_once_, [&] { hash_value_ = compute_content_hash(); });
+  return hash_value_;
+}
+
+std::uint64_t ContextLibrary::compute_content_hash() const {
+  Fnv1aHasher h;
+  // Binning config: edges decide which version an instance binds to,
+  // representatives decide what a boundary device sees inside a version.
+  h.vec_f64(bins_.upper_edges());
+  h.vec_f64(bins_.representatives());
+
+  for (std::size_t ci = 0; ci < characterized_->cells.size(); ++ci) {
+    const CellMaster& master = characterized_->cells[ci].master;
+    h.str(master.name());
+    h.f64(master.tech().gate_length);
+    h.f64(master.tech().radius_of_influence);
+    // Per-device printing inputs: boundary classification, internal
+    // spacings, device polarity (selects the top/bottom nps corner), and
+    // the library-OPC interior CD.
+    h.u64(master.devices().size());
+    for (std::size_t di = 0; di < master.devices().size(); ++di) {
+      const DeviceGeometry& geo = geometry_[ci][di];
+      h.u64((geo.boundary_left ? 1u : 0u) | (geo.boundary_right ? 2u : 0u));
+      h.f64(geo.internal_left);
+      h.f64(geo.internal_right);
+      h.u64(static_cast<std::uint64_t>(master.devices()[di].type));
+      h.f64(library_opc_[ci].device_cd[di]);
+    }
+    // Arc structure: which devices average into each effective length.
+    h.u64(master.arcs().size());
+    for (const TimingArc& arc : master.arcs()) {
+      h.u64(arc.device_indices.size());
+      for (std::size_t di : arc.device_indices) h.u64(di);
+    }
+  }
+
+  // The boundary model has no serializable internals in general (it is an
+  // abstract CdModel), so capture its behaviour by sampling the nominal
+  // printed CD over the spacing range the versions can query.  Any model
+  // change that could alter a cached value perturbs at least one sample.
+  if (!characterized_->cells.empty()) {
+    const CellTech& tech = characterized_->cells[0].master.tech();
+    const Nm w = tech.gate_length;
+    std::vector<Nm> samples = bins_.representatives();
+    for (Nm s = 100.0; s <= 700.0; s += 25.0) samples.push_back(s);
+    for (Nm s : samples) {
+      h.f64(boundary_model_->printed_cd_nominal(w, s, s));
+      h.f64(boundary_model_->printed_cd_nominal(
+          w, s, tech.radius_of_influence));
+    }
+  }
+  return h.digest();
 }
 
 }  // namespace sva

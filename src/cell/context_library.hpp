@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "cell/characterize.hpp"
@@ -42,6 +43,9 @@ class ContextBins {
   std::size_t count() const { return representatives_.size(); }
   std::size_t bin_of(Nm spacing) const;
   Nm representative(std::size_t bin) const;
+
+  const std::vector<Nm>& upper_edges() const { return upper_edges_; }
+  const std::vector<Nm>& representatives() const { return representatives_; }
 
   /// Number of cell versions the scheme induces (count^4).
   std::size_t version_count() const;
@@ -115,6 +119,16 @@ class ContextLibrary {
   /// version-independent part).
   Nm interior_cd(std::size_t cell, std::size_t device) const;
 
+  /// FNV-1a digest of everything the per-(cell, version) characterization
+  /// depends on: the binning config, every master's geometry and arc
+  /// structure, the library-OPC printed CDs, and the boundary CD model
+  /// (captured by sampling it over the spacing range of interest).  Two
+  /// ContextLibrary instances with equal hashes produce bit-identical
+  /// version expansions, so this is the invalidation key of the persistent
+  /// on-disk context cache.  Computed once (the inputs are immutable) and
+  /// memoized; safe to call concurrently.
+  std::uint64_t content_hash() const;
+
  private:
   struct DeviceGeometry {
     bool boundary_left = false;
@@ -123,7 +137,11 @@ class ContextLibrary {
     Nm internal_right = 0.0;  ///< (radius of influence if none)
   };
 
+  std::uint64_t compute_content_hash() const;
+
   const CharacterizedLibrary* characterized_;
+  mutable std::once_flag hash_once_;
+  mutable std::uint64_t hash_value_ = 0;
   std::vector<LibraryOpcCellResult> library_opc_;
   const CdModel* boundary_model_;
   ContextBins bins_;

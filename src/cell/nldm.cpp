@@ -16,4 +16,19 @@ NldmTable NldmTable::scaled(double factor) const {
                    slew_.transformed([factor](double v) { return v * factor; }));
 }
 
+void serialize(ByteWriter& w, const NldmTable& t) {
+  serialize(w, t.delay_table());
+  serialize(w, t.slew_table());
+}
+
+NldmTable deserialize_nldm(ByteReader& r) {
+  LookupTable2D delay = deserialize_lut2d(r);
+  LookupTable2D slew = deserialize_lut2d(r);
+  if (delay.x_axis() != slew.x_axis() || delay.y_axis() != slew.y_axis())
+    throw SerializeError("corrupt NLDM: delay/slew axes differ");
+  if (delay.nx() < 2 || delay.ny() < 2)
+    throw SerializeError("corrupt NLDM: grid smaller than 2x2");
+  return NldmTable(std::move(delay), std::move(slew));
+}
+
 }  // namespace sva

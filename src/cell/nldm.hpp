@@ -7,6 +7,7 @@
 // Values are picoseconds; loads are femtofarads.
 
 #include "util/interp.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
 
@@ -36,5 +37,12 @@ class NldmTable {
   LookupTable2D delay_;
   LookupTable2D slew_;
 };
+
+/// Binary codec (see util/serialize.hpp).  Deserialization re-validates
+/// the NldmTable invariants (shared axes, >= 2x2 grid) and reports any
+/// violation as SerializeError, so corrupt cache data can never construct
+/// a malformed table.
+void serialize(ByteWriter& w, const NldmTable& t);
+NldmTable deserialize_nldm(ByteReader& r);
 
 }  // namespace sva

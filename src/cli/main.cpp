@@ -30,12 +30,39 @@
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "sta/path_report.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
 namespace {
 
 using namespace sva;
+
+// Warm-start / snapshot the persistent context-library cache around a
+// command.  A failed load degrades to a cold run inside try_load; a failed
+// save must not fail the command (the analysis already succeeded), so it
+// only warns.
+void cache_warm_start(const ContextCache& cache, const EngineOptions& opts) {
+  if (opts.cache_enabled()) cache.try_load(opts.cache_dir);
+}
+
+/// Flow configuration with the persistent-cache directory plumbed in, so
+/// SvaFlow construction itself warm-starts (library OPC + pitch table
+/// restored from the setup snapshot).
+FlowConfig flow_config(const EngineOptions& opts) {
+  FlowConfig cfg;
+  if (opts.cache_enabled()) cfg.cache_dir = opts.cache_dir;
+  return cfg;
+}
+
+void cache_snapshot(const ContextCache& cache, const EngineOptions& opts) {
+  if (!opts.cache_enabled()) return;
+  try {
+    cache.save(opts.cache_dir);
+  } catch (const std::exception& e) {
+    log_warn("context cache: snapshot failed (", e.what(), ")");
+  }
+}
 
 int usage() {
   std::printf(
@@ -55,7 +82,10 @@ int usage() {
       "global options:\n"
       "  --threads N            worker threads for analyze/paths/optimize\n"
       "                         (default: hardware concurrency)\n"
-      "  --metrics              print engine counters/timers on exit\n");
+      "  --metrics              print engine counters/timers on exit\n"
+      "  --cache-dir DIR        persistent context-library cache directory\n"
+      "                         (default: $SVA_CACHE_DIR or .sva_cache)\n"
+      "  --no-cache             run cold; neither load nor save the cache\n");
   return 2;
 }
 
@@ -72,10 +102,12 @@ int cmd_list() {
 int cmd_analyze(const std::vector<std::string>& names,
                 const EngineOptions& opts) {
   if (names.empty()) return usage();
-  const SvaFlow flow{FlowConfig{}};
+  const SvaFlow flow{flow_config(opts)};
+  cache_warm_start(flow.context_cache(), opts);
   ThreadPool pool(opts.threads);
   const BatchRunner runner(flow, pool);
   const BatchResult batch = runner.run_names(names);
+  cache_snapshot(flow.context_cache(), opts);
   Table table({"Testcase", "#Gates", "Trad Nom", "Trad BC", "Trad WC",
                "New Nom", "New BC", "New WC", "Reduction"});
   for (const CircuitAnalysis& a : batch.analyses) {
@@ -96,7 +128,8 @@ int cmd_analyze(const std::vector<std::string>& names,
 
 int cmd_paths(const std::string& name, std::size_t k,
               const EngineOptions& opts) {
-  const SvaFlow flow{FlowConfig{}};
+  const SvaFlow flow{flow_config(opts)};
+  cache_warm_start(flow.context_cache(), opts);
   const Netlist netlist = flow.make_benchmark(name);
   const Placement placement = flow.make_placement(netlist);
   const Sta sta(netlist, flow.characterized(), flow.config().sta);
@@ -108,6 +141,7 @@ int cmd_paths(const std::string& name, std::size_t k,
                           &flow.context_cache());
   ThreadPool pool(opts.threads);
   const StaResult result = sta.run_parallel(wc, pool);
+  cache_snapshot(flow.context_cache(), opts);
   const auto paths = worst_paths(netlist, sta, wc, k);
   std::printf("%s: SVA worst-case design delay %.3f ns\n\n", name.c_str(),
               units::ps_to_ns(result.critical_delay_ps));
@@ -148,18 +182,22 @@ int cmd_optimize(const std::vector<std::string>& args,
     }
   }
 
-  const SvaFlow flow{FlowConfig{}};
+  const SvaFlow flow{flow_config(opts)};
   eco.budget = flow.config().budget;
   eco.arc_policy = flow.config().arc_policy;
   eco.sta = flow.config().sta;
   const SizedLibrary sized(flow.library(), flow.config().electrical,
                            flow.library_opc_results(), flow.boundary_model(),
                            flow.config().bins);
+  // The sized library's expanded context cache hashes differently from the
+  // base flow's, so both snapshots coexist in the same cache directory.
+  cache_warm_start(sized.context_cache(), opts);
   Netlist netlist = generate_iscas85_like(name, sized.library());
   EcoOptimizer optimizer(sized, std::move(netlist),
                          flow.config().placement, eco);
   ThreadPool pool(opts.threads);
   const EcoResult result = optimizer.run(&pool);
+  cache_snapshot(sized.context_cache(), opts);
   std::printf("%s", trajectory_table(result).c_str());
   if (!csv_path.empty()) {
     write_text_file(csv_path, trajectory_csv(result));
@@ -186,8 +224,9 @@ int cmd_pitch_curve(const std::string& out_path) {
   return 0;
 }
 
-int cmd_export_lib(const std::string& path, bool expanded) {
-  const SvaFlow flow{FlowConfig{}};
+int cmd_export_lib(const std::string& path, bool expanded,
+                   const EngineOptions& opts) {
+  const SvaFlow flow{flow_config(opts)};
   const std::string lib =
       expanded ? to_liberty_expanded(flow.characterized(),
                                      flow.context_library(), "sva90_context")
@@ -206,12 +245,14 @@ int cmd_verilog(const std::string& name, const std::string& out) {
   return 0;
 }
 
-int cmd_bench_file(const std::string& path) {
-  const SvaFlow flow{FlowConfig{}};
+int cmd_bench_file(const std::string& path, const EngineOptions& opts) {
+  const SvaFlow flow{flow_config(opts)};
+  cache_warm_start(flow.context_cache(), opts);
   const Netlist netlist =
       load_bench_file(path, flow.library(), "bench_design");
   const Placement placement = flow.make_placement(netlist);
   const CircuitAnalysis a = flow.analyze(netlist, placement);
+  cache_snapshot(flow.context_cache(), opts);
   std::printf("%s: %zu gates\n", path.c_str(), a.gate_count);
   std::printf("  traditional: %.3f / %.3f / %.3f ns\n",
               units::ps_to_ns(a.trad_nom_ps), units::ps_to_ns(a.trad_bc_ps),
@@ -243,7 +284,7 @@ int dispatch(const std::string& command, std::vector<std::string>& args,
     if (args.empty()) return usage();
     const bool expanded =
         args.size() > 1 && (args[1] == "--expanded" || args[1] == "-x");
-    return cmd_export_lib(args[0], expanded);
+    return cmd_export_lib(args[0], expanded, opts);
   }
   if (command == "verilog") {
     if (args.size() < 2) return usage();
@@ -251,7 +292,7 @@ int dispatch(const std::string& command, std::vector<std::string>& args,
   }
   if (command == "bench") {
     if (args.empty()) return usage();
-    return cmd_bench_file(args[0]);
+    return cmd_bench_file(args[0], opts);
   }
   return usage();
 }

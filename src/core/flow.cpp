@@ -1,10 +1,12 @@
 #include "core/flow.hpp"
 
 #include <chrono>
+#include <cstdio>
 
 #include "engine/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
 namespace {
@@ -29,13 +31,30 @@ SvaFlow::SvaFlow(const FlowConfig& config)
   config_.budget.validate();
 
   const auto t0 = std::chrono::steady_clock::now();
-  log_info("flow: library OPC of ", library_.size(), " masters");
-  library_opc_ = library_opc_all(library_.masters(), engine_,
-                                 config_.library_opc);
-  log_info("flow: post-OPC pitch characterization (",
-           config_.table_spacings.size(), " spacings)");
-  pitch_points_ = characterize_post_opc_pitch(
-      wafer_, engine_, config_.cell_tech.gate_length, config_.table_spacings);
+  if (!config_.cache_dir.empty() && try_load_setup(config_.cache_dir)) {
+    setup_from_cache_ = true;
+    MetricsRegistry::global().counter("flow.setup_disk_hits").add();
+    log_info("flow: characterization setup restored from ",
+             setup_cache_file_path(config_.cache_dir));
+  } else {
+    if (!config_.cache_dir.empty())
+      MetricsRegistry::global().counter("flow.setup_disk_misses").add();
+    log_info("flow: library OPC of ", library_.size(), " masters");
+    library_opc_ = library_opc_all(library_.masters(), engine_,
+                                   config_.library_opc);
+    log_info("flow: post-OPC pitch characterization (",
+             config_.table_spacings.size(), " spacings)");
+    pitch_points_ = characterize_post_opc_pitch(
+        wafer_, engine_, config_.cell_tech.gate_length,
+        config_.table_spacings);
+    if (!config_.cache_dir.empty()) {
+      try {
+        save_setup(config_.cache_dir);
+      } catch (const std::exception& e) {
+        log_warn("flow: setup snapshot failed (", e.what(), ")");
+      }
+    }
+  }
   setup_opc_seconds_ = seconds_since(t0);
 
   boundary_model_ = std::make_unique<TableCdModel>(
@@ -44,6 +63,142 @@ SvaFlow::SvaFlow(const FlowConfig& config)
   context_ = std::make_unique<ContextLibrary>(
       characterized_, library_opc_, *boundary_model_, config_.bins);
   context_cache_ = std::make_unique<ContextCache>(*context_);
+}
+
+std::uint64_t SvaFlow::setup_content_hash() const {
+  Fnv1aHasher h;
+  const CellTech& t = config_.cell_tech;
+  h.f64(t.gate_length).f64(t.cell_height).f64(t.site_width);
+  h.f64(t.poly_y_lo).f64(t.poly_y_hi);
+  h.f64(t.nmos_y_lo).f64(t.nmos_y_hi).f64(t.pmos_y_lo).f64(t.pmos_y_hi);
+  h.f64(t.contacted_pitch).f64(t.radius_of_influence);
+  const ElectricalTech& e = config_.electrical;
+  h.f64(e.r_unit_kohm).f64(e.w_unit).f64(e.c_gate_ff).f64(e.c_parasitic_ff);
+  h.f64(e.c_par_per_um).f64(e.t_intrinsic_ps).f64(e.slew_sensitivity);
+  h.f64(e.slew_gain).f64(e.slew_floor_ps);
+  for (const OpticsConfig* o :
+       {&config_.wafer_optics, &config_.opc_model_optics}) {
+    h.f64(o->wavelength).f64(o->na).f64(o->sigma_inner).f64(o->sigma_outer);
+    h.u64(static_cast<std::uint64_t>(o->source_radial));
+    h.u64(static_cast<std::uint64_t>(o->source_azimuthal));
+    h.f64(o->resist_diffusion_length);
+  }
+  const OpcConfig& c = config_.opc;
+  h.u64(static_cast<std::uint64_t>(c.max_iterations));
+  h.f64(c.damping).f64(c.mask_grid).f64(c.min_width).f64(c.min_space);
+  h.f64(c.max_bias).f64(c.convergence_epe).f64(c.radius_of_influence);
+  h.f64(config_.library_opc.dummy_gap).f64(config_.library_opc.dummy_width);
+  h.vec_f64(config_.table_spacings);
+  h.f64(config_.anchor_spacing);
+  h.vec_f64(config_.bins.upper_edges());
+  h.vec_f64(config_.bins.representatives());
+  // Master structure.  The geometry itself is a pure function of the tech
+  // already hashed, so name + device/arc counts suffice to catch a
+  // different library.
+  h.u64(library_.size());
+  for (const CellMaster& m : library_.masters()) {
+    h.str(m.name());
+    h.u64(m.devices().size());
+    h.u64(m.arcs().size());
+  }
+  return h.digest();
+}
+
+std::string SvaFlow::setup_cache_file_path(const std::string& dir) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "setup_%016llx.svac",
+                static_cast<unsigned long long>(setup_content_hash()));
+  return dir + "/" + name;
+}
+
+bool SvaFlow::try_load_setup(const std::string& dir) {
+  const std::string path = setup_cache_file_path(dir);
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const SerializeError&) {
+    // No snapshot yet: the normal first run, not worth a warning.
+    log_debug("flow: no setup snapshot at ", path);
+    return false;
+  }
+
+  // Parse and validate everything -- including a checksum of the payload
+  // bytes -- before committing, so a corrupt snapshot can never yield
+  // wrong characterization data.
+  std::vector<LibraryOpcCellResult> opc;
+  std::vector<PostOpcPitchPoint> points;
+  try {
+    ByteReader r(bytes);
+    if (r.u32() != kSetupMagic) throw SerializeError("bad magic");
+    if (r.u32() != kSetupFormatVersion)
+      throw SerializeError("unsupported format version");
+    if (r.u64() != setup_content_hash())
+      throw SerializeError("content hash mismatch (stale snapshot)");
+    const std::uint64_t payload_hash = r.u64();
+    if (fnv1a64_words(bytes.data() + (bytes.size() - r.remaining()),
+                      r.remaining()) != payload_hash)
+      throw SerializeError("payload checksum mismatch");
+    const std::uint64_t n_masters = r.u64();
+    if (n_masters != library_.size())
+      throw SerializeError("master count mismatch");
+    opc.reserve(library_.size());
+    for (std::size_t i = 0; i < library_.size(); ++i) {
+      LibraryOpcCellResult res;
+      res.device_cd = r.vec_f64();
+      res.device_mask_width = r.vec_f64();
+      res.images_simulated = static_cast<std::size_t>(r.u64());
+      if (res.device_cd.size() != library_.masters()[i].devices().size() ||
+          res.device_mask_width.size() != res.device_cd.size())
+        throw SerializeError("device count mismatch");
+      opc.push_back(std::move(res));
+    }
+    const std::uint64_t n_points = r.u64();
+    if (n_points != config_.table_spacings.size())
+      throw SerializeError("pitch point count mismatch");
+    points.reserve(config_.table_spacings.size());
+    for (std::size_t i = 0; i < config_.table_spacings.size(); ++i) {
+      PostOpcPitchPoint p;
+      p.spacing = r.f64();
+      p.printed_cd = r.f64();
+      p.mask_bias = r.f64();
+      if (p.spacing != config_.table_spacings[i])
+        throw SerializeError("pitch spacing mismatch");
+      points.push_back(p);
+    }
+    r.expect_end();
+  } catch (const SerializeError& e) {
+    log_warn("flow: setup cold start (", e.what(), ")");
+    return false;
+  }
+
+  library_opc_ = std::move(opc);
+  pitch_points_ = std::move(points);
+  return true;
+}
+
+void SvaFlow::save_setup(const std::string& dir) const {
+  ByteWriter payload;
+  payload.u64(library_opc_.size());
+  for (const LibraryOpcCellResult& res : library_opc_) {
+    payload.vec_f64(res.device_cd);
+    payload.vec_f64(res.device_mask_width);
+    payload.u64(res.images_simulated);
+  }
+  payload.u64(pitch_points_.size());
+  for (const PostOpcPitchPoint& p : pitch_points_) {
+    payload.f64(p.spacing);
+    payload.f64(p.printed_cd);
+    payload.f64(p.mask_bias);
+  }
+
+  ByteWriter file;
+  file.u32(kSetupMagic);
+  file.u32(kSetupFormatVersion);
+  file.u64(setup_content_hash());
+  file.u64(fnv1a64_words(payload.bytes().data(), payload.size()));
+  atomic_write_file(setup_cache_file_path(dir),
+                    file.bytes() + payload.bytes());
+  log_debug("flow: setup snapshot saved to ", setup_cache_file_path(dir));
 }
 
 Netlist SvaFlow::make_benchmark(const std::string& name) const {

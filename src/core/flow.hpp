@@ -13,7 +13,13 @@
 // analyze() then runs, for one benchmark circuit: placement, nps
 // extraction and version binding (Sec. 3.1.3), traditional corner STA,
 // and the proposed in-context corner STA, returning the Table 2 row.
+//
+// Steps 3-4 dominate construction time and are pure functions of the
+// configuration, so with FlowConfig::cache_dir set they are persisted to
+// a content-hash-keyed snapshot and restored bit-identically on later
+// runs (a warm start skips the OPC simulations entirely).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +73,13 @@ struct FlowConfig {
                                     400, 450, 500, 550, 600};
   /// Dense anchor spacing used to calibrate resist thresholds.
   Nm anchor_spacing = 150.0;
+
+  /// Directory of the persistent characterization cache.  When non-empty,
+  /// construction tries to restore the library-OPC and pitch products
+  /// from a snapshot there (keyed by setup_content_hash()) and snapshots
+  /// them after a cold computation.  Empty disables persistence; the CLI
+  /// plumbs --cache-dir / --no-cache into this field.
+  std::string cache_dir;
 };
 
 /// One benchmark circuit's corner results: a row of the paper's Table 2.
@@ -119,9 +132,39 @@ class SvaFlow {
   /// threads) running against this flow.
   const ContextCache& context_cache() const { return *context_cache_; }
 
+  /// Warm-start the context cache from / snapshot it to a persistent
+  /// cache directory (see engine/context_cache.hpp for the format and the
+  /// corruption policy).  Thin forwarders so every flow consumer -- CLI
+  /// commands, benches, tests -- shares one call site idiom.
+  bool try_load_context_cache(const std::string& dir) const {
+    return context_cache_->try_load(dir);
+  }
+  std::size_t save_context_cache(const std::string& dir) const {
+    return context_cache_->save(dir);
+  }
+
   /// Wall-clock seconds spent on library OPC + pitch characterization
-  /// during construction (Table 1's "Library OPC Runtime").
+  /// during construction (Table 1's "Library OPC Runtime").  Near zero
+  /// when the setup was restored from a snapshot.
   double setup_opc_seconds() const { return setup_opc_seconds_; }
+
+  /// True when construction restored the OPC setup products from a
+  /// persistent snapshot instead of recomputing them.
+  bool setup_from_cache() const { return setup_from_cache_; }
+
+  /// FNV-1a hash of everything the setup products depend on: library
+  /// masters, tech and electrical parameters, both optics models, the OPC
+  /// configs, grating spacings, and the binning config.  The snapshot
+  /// invalidation key.
+  std::uint64_t setup_content_hash() const;
+
+  /// Setup snapshot file for this configuration inside `dir` (the content
+  /// hash is part of the name, so snapshots of different configurations
+  /// coexist).
+  std::string setup_cache_file_path(const std::string& dir) const;
+
+  static constexpr std::uint32_t kSetupMagic = 0x53415653;  ///< "SVAS" (LE)
+  static constexpr std::uint32_t kSetupFormatVersion = 1;
 
   /// Generate a benchmark netlist / its placement with this flow's
   /// library and configuration.
@@ -149,6 +192,10 @@ class SvaFlow {
   CircuitAnalysis analyze_impl(const Netlist& netlist,
                                const Placement& placement, ThreadPool* pool,
                                bool parallel_sta) const;
+  /// Restore library_opc_ + pitch_points_ from `dir`; false (and leaves
+  /// both empty) when the snapshot is missing, stale, or corrupt.
+  bool try_load_setup(const std::string& dir);
+  void save_setup(const std::string& dir) const;
   FlowConfig config_;
   CellLibrary library_;
   CharacterizedLibrary characterized_;
@@ -161,6 +208,7 @@ class SvaFlow {
   std::unique_ptr<ContextLibrary> context_;
   std::unique_ptr<ContextCache> context_cache_;
   double setup_opc_seconds_ = 0.0;
+  bool setup_from_cache_ = false;
 };
 
 }  // namespace sva

@@ -1,13 +1,33 @@
 #include "engine/context_cache.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
 #include "engine/metrics.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
+namespace {
+
+std::uint64_t ns_since(const std::chrono::steady_clock::time_point& t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
 
 ContextCache::ContextCache(const ContextLibrary& library)
     : library_(&library),
-      versions_per_cell_(library.bins().version_count()) {
+      versions_per_cell_(library.bins().version_count()),
+      metric_hits_(&MetricsRegistry::global().counter("context_cache.hits")),
+      metric_misses_(
+          &MetricsRegistry::global().counter("context_cache.misses")) {
   const CharacterizedLibrary& chars = library.characterized();
   drawn_length_.reserve(chars.cells.size());
   slots_.reserve(chars.cells.size());
@@ -17,30 +37,52 @@ ContextCache::ContextCache(const ContextLibrary& library)
   }
 }
 
+ContextCache::Slot& ContextCache::slot_at(std::size_t cell,
+                                          std::size_t version_idx) const {
+  return slots_[cell][version_idx];
+}
+
 const std::vector<Nm>& ContextCache::version_lengths(
     std::size_t cell, const VersionKey& version) const {
   SVA_REQUIRE(cell < slots_.size());
   const std::size_t vi = version_index(version, library_->bins().count());
   Slot& slot = slots_[cell][vi];
-  bool computed = false;
-  std::call_once(slot.once, [&] {
-    const CellMaster& master =
-        library_->characterized().cells[cell].master;
-    slot.lengths.reserve(master.arcs().size());
-    for (std::size_t ai = 0; ai < master.arcs().size(); ++ai)
-      slot.lengths.push_back(
-          library_->arc_effective_length(cell, version, ai));
-    computed = true;
-  });
-  if (computed) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    characterized_.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("context_cache.misses").add();
-  } else {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    MetricsRegistry::global().counter("context_cache.hits").add();
+  for (;;) {
+    const std::uint8_t s = slot.state.load(std::memory_order_acquire);
+    if (s == Slot::kFilled) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      metric_hits_->add();
+      return slot.lengths;
+    }
+    std::uint8_t expected = Slot::kEmpty;
+    if (s == Slot::kEmpty &&
+        slot.state.compare_exchange_strong(expected, Slot::kBusy,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      try {
+        const CellMaster& master =
+            library_->characterized().cells[cell].master;
+        std::vector<Nm> lengths;
+        lengths.reserve(master.arcs().size());
+        for (std::size_t ai = 0; ai < master.arcs().size(); ++ai)
+          lengths.push_back(
+              library_->arc_effective_length(cell, version, ai));
+        slot.lengths = std::move(lengths);
+      } catch (...) {
+        // Release the claim so another caller can retry.
+        slot.state.store(Slot::kEmpty, std::memory_order_release);
+        throw;
+      }
+      slot.state.store(Slot::kFilled, std::memory_order_release);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      characterized_.fetch_add(1, std::memory_order_relaxed);
+      metric_misses_->add();
+      return slot.lengths;
+    }
+    // Another thread holds the slot Busy; its characterization is short
+    // (a few table lookups per arc), so yield rather than block.
+    std::this_thread::yield();
   }
-  return slot.lengths;
 }
 
 Nm ContextCache::arc_effective_length(std::size_t cell,
@@ -57,11 +99,183 @@ double ContextCache::arc_delay_scale(std::size_t cell,
   return arc_effective_length(cell, version, arc) / drawn_length_[cell];
 }
 
+void ContextCache::warm_all() const {
+  const std::size_t bins = library_->bins().count();
+  for (std::size_t ci = 0; ci < slots_.size(); ++ci)
+    for (std::size_t vi = 0; vi < versions_per_cell_; ++vi)
+      version_lengths(ci, version_key(vi, bins));
+}
+
+bool ContextCache::fill_slot(std::size_t cell, std::size_t version_idx,
+                             std::vector<Nm>&& lengths) const {
+  Slot& slot = slot_at(cell, version_idx);
+  std::uint8_t expected = Slot::kEmpty;
+  if (!slot.state.compare_exchange_strong(expected, Slot::kBusy,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+    // Already filled, or a concurrent characterization owns it -- which
+    // will produce the same bit-identical values.
+    return false;
+  slot.lengths = std::move(lengths);
+  slot.state.store(Slot::kFilled, std::memory_order_release);
+  return true;
+}
+
+std::string ContextCache::cache_file_path(const std::string& dir) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "ctx_%016llx.svac",
+                static_cast<unsigned long long>(library_->content_hash()));
+  return dir + "/" + name;
+}
+
+std::size_t ContextCache::save(const std::string& dir) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Collect the filled slots first (the count precedes the records).  A
+  // slot whose characterization is still in flight on another thread is
+  // simply not snapshotted.
+  ByteWriter records;
+  std::size_t count = 0;
+  for (std::size_t ci = 0; ci < slots_.size(); ++ci) {
+    for (std::size_t vi = 0; vi < versions_per_cell_; ++vi) {
+      const Slot& slot = slots_[ci][vi];
+      if (slot.state.load(std::memory_order_acquire) != Slot::kFilled)
+        continue;
+      records.u64(ci);
+      records.u64(vi);
+      records.vec_f64(slot.lengths);
+      ++count;
+    }
+  }
+
+  ByteWriter file;
+  file.u32(kMagic);
+  file.u32(kFormatVersion);
+  file.u64(library_->content_hash());
+  file.u64(slots_.size());
+  file.u64(versions_per_cell_);
+  file.u64(count);
+  // Checksum of the record block: any bit flipped in the payload -- even
+  // inside a double, which no structural check can catch -- fails the
+  // load instead of producing wrong numbers.
+  file.u64(fnv1a64_words(records.bytes().data(), records.size()));
+  // Single buffer: header followed by the record block.
+  atomic_write_file(cache_file_path(dir), file.bytes() + records.bytes());
+
+  const std::uint64_t ns = ns_since(t0);
+  save_ns_.fetch_add(ns, std::memory_order_relaxed);
+  MetricsRegistry::global().counter("context_cache.save_ns").add(ns);
+  log_debug("context cache: saved ", count, " slots to ",
+            cache_file_path(dir));
+  return count;
+}
+
+bool ContextCache::try_load(const std::string& dir) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string path = cache_file_path(dir);
+
+  const auto count_cold_start = [&] {
+    disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("context_cache.disk_misses").add();
+    const std::uint64_t ns = ns_since(t0);
+    load_ns_.fetch_add(ns, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("context_cache.load_ns").add(ns);
+  };
+
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const SerializeError&) {
+    // No snapshot yet: the normal first run, not worth a warning.
+    count_cold_start();
+    log_debug("context cache: no snapshot at ", path);
+    return false;
+  }
+
+  // Parse and validate the whole file before touching a single slot, so a
+  // corrupt tail can never leave the cache partially poisoned.
+  std::vector<std::pair<std::size_t, std::size_t>> keys;
+  std::vector<std::vector<Nm>> lengths;
+  try {
+    ByteReader r(bytes);
+    if (r.u32() != kMagic) throw SerializeError("bad magic");
+    if (r.u32() != kFormatVersion)
+      throw SerializeError("unsupported format version");
+    if (r.u64() != library_->content_hash())
+      throw SerializeError("content hash mismatch (stale cache)");
+    if (r.u64() != slots_.size() || r.u64() != versions_per_cell_)
+      throw SerializeError("slot grid mismatch");
+    const std::uint64_t count = r.u64();
+    const std::uint64_t payload_hash = r.u64();
+    if (fnv1a64_words(bytes.data() + (bytes.size() - r.remaining()),
+                      r.remaining()) != payload_hash)
+      throw SerializeError("payload checksum mismatch");
+    // A record is at least cell + version + length count = 24 bytes, so a
+    // corrupt count cannot force a huge reserve.
+    if (count > r.remaining() / 24)
+      throw SerializeError("corrupt slot count " + std::to_string(count));
+    keys.reserve(static_cast<std::size_t>(count));
+    lengths.reserve(static_cast<std::size_t>(count));
+    const CharacterizedLibrary& chars = library_->characterized();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t ci = r.u64();
+      const std::uint64_t vi = r.u64();
+      if (ci >= slots_.size() || vi >= versions_per_cell_)
+        throw SerializeError("slot index out of range");
+      std::vector<Nm> arc_lengths = r.vec_f64();
+      if (arc_lengths.size() !=
+          chars.cells[static_cast<std::size_t>(ci)].master.arcs().size())
+        throw SerializeError("arc count mismatch");
+      keys.emplace_back(static_cast<std::size_t>(ci),
+                        static_cast<std::size_t>(vi));
+      lengths.push_back(std::move(arc_lengths));
+    }
+    r.expect_end();
+  } catch (const SerializeError& e) {
+    count_cold_start();
+    log_warn("context cache: cold start (", e.what(), ")");
+    return false;
+  }
+
+  std::uint64_t restored = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    if (fill_slot(keys[i].first, keys[i].second, std::move(lengths[i])))
+      ++restored;
+  disk_hits_.fetch_add(restored, std::memory_order_relaxed);
+  characterized_.fetch_add(static_cast<std::size_t>(restored),
+                           std::memory_order_relaxed);
+  MetricsRegistry::global().counter("context_cache.disk_hits").add(restored);
+  const std::uint64_t ns = ns_since(t0);
+  load_ns_.fetch_add(ns, std::memory_order_relaxed);
+  MetricsRegistry::global().counter("context_cache.load_ns").add(ns);
+  log_debug("context cache: restored ", restored, " of ", keys.size(),
+            " slots from ", path);
+  return true;
+}
+
+ContextCache::Stats ContextCache::read_stats_once() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_acquire);
+  s.misses = misses_.load(std::memory_order_acquire);
+  s.characterized = characterized_.load(std::memory_order_acquire);
+  s.capacity = slots_.size() * versions_per_cell_;
+  s.disk_hits = disk_hits_.load(std::memory_order_acquire);
+  s.disk_misses = disk_misses_.load(std::memory_order_acquire);
+  s.load_ns = load_ns_.load(std::memory_order_acquire);
+  s.save_ns = save_ns_.load(std::memory_order_acquire);
+  return s;
+}
+
 ContextCache::Stats ContextCache::stats() const {
-  return {hits_.load(std::memory_order_relaxed),
-          misses_.load(std::memory_order_relaxed),
-          characterized_.load(std::memory_order_relaxed),
-          slots_.size() * versions_per_cell_};
+  // Retry until two consecutive passes over every counter agree: the
+  // returned snapshot is one consistent read, never a mix of pre- and
+  // post-update values from a concurrent characterization.
+  Stats prev = read_stats_once();
+  for (;;) {
+    const Stats next = read_stats_once();
+    if (next == prev) return next;
+    prev = next;
+  }
 }
 
 }  // namespace sva

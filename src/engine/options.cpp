@@ -1,8 +1,14 @@
 #include "engine/options.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 namespace sva {
+
+std::string EngineOptions::default_cache_dir() {
+  const char* env = std::getenv("SVA_CACHE_DIR");
+  return env != nullptr ? std::string(env) : std::string(".sva_cache");
+}
 
 const std::string& flag_value(const std::vector<std::string>& args,
                               std::size_t& i) {
@@ -49,6 +55,10 @@ EngineOptions extract_engine_options(std::vector<std::string>& args) {
     } else if (args[i] == "--threads") {
       const std::string flag = args[i];
       opts.threads = parse_size_flag(flag, flag_value(args, i));
+    } else if (args[i] == "--cache-dir") {
+      opts.cache_dir = flag_value(args, i);
+    } else if (args[i] == "--no-cache") {
+      opts.no_cache = true;
     } else {
       rest.push_back(args[i]);
     }

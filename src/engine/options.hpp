@@ -2,8 +2,9 @@
 // Global CLI execution options and shared flag parsing.
 //
 // Every sva-timing subcommand accepts the same global flags (--threads N,
-// --metrics) with identical validation and error messages; this header is
-// the single implementation the dispatcher and all subcommands share.
+// --metrics, --cache-dir DIR, --no-cache) with identical validation and
+// error messages; this header is the single implementation the dispatcher
+// and all subcommands share.
 // The value parsers are exposed so per-command flags (--clock, --max-moves,
 // ...) report malformed values in the same uniform style.
 
@@ -20,11 +21,21 @@ namespace sva {
 struct EngineOptions {
   std::size_t threads = ThreadPool::default_thread_count();
   bool metrics = false;
+  /// Persistent context-library cache directory (--cache-dir).  Defaults
+  /// to $SVA_CACHE_DIR when set, else ".sva_cache".
+  std::string cache_dir = default_cache_dir();
+  /// --no-cache: skip both the warm-start load and the exit save.
+  bool no_cache = false;
+
+  bool cache_enabled() const { return !no_cache && !cache_dir.empty(); }
+
+  static std::string default_cache_dir();
 };
 
-/// Remove --threads N / --metrics from `args` (wherever they appear) and
-/// return the parsed options.  Throws std::runtime_error with a uniform
-/// message on a missing or malformed value.
+/// Remove --threads N / --metrics / --cache-dir DIR / --no-cache from
+/// `args` (wherever they appear) and return the parsed options.  Throws
+/// std::runtime_error with a uniform message on a missing or malformed
+/// value.
 EngineOptions extract_engine_options(std::vector<std::string>& args);
 
 /// The value following flag `args[i]`; advances `i` past it.  Throws

@@ -1,0 +1,254 @@
+#include "util/serialize.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace sva {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+// Little-endian encode/decode of an unsigned integer of N bytes.  The
+// byte-by-byte form is host-endianness independent.
+template <typename T>
+void put_le(std::string& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+template <typename T>
+T get_le(const char* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+void le_bytes_of_u64(std::uint64_t v, unsigned char out[8]) {
+  for (std::size_t i = 0; i < 8; ++i)
+    out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64_words(const void* data, std::size_t size) {
+  const auto* p = static_cast<const char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const std::size_t words = size / 8;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t w;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&w, p + 8 * i, 8);
+    } else {
+      w = get_le<std::uint64_t>(p + 8 * i);
+    }
+    h ^= w;
+    h *= kFnvPrime;
+  }
+  if (const std::size_t rem = size % 8; rem != 0) {
+    char tail[8] = {0};
+    std::memcpy(tail, p + 8 * words, rem);
+    h ^= get_le<std::uint64_t>(tail);
+    h *= kFnvPrime;
+  }
+  // Mix in the size so buffers differing only in trailing zero bytes
+  // (absorbed by the padding) still hash differently.
+  h ^= size;
+  h *= kFnvPrime;
+  return h;
+}
+
+Fnv1aHasher& Fnv1aHasher::bytes(const void* data, std::size_t size) {
+  hash_ = fnv1a64(data, size, hash_);
+  return *this;
+}
+
+Fnv1aHasher& Fnv1aHasher::u64(std::uint64_t v) {
+  unsigned char le[8];
+  le_bytes_of_u64(v, le);
+  return bytes(le, sizeof(le));
+}
+
+Fnv1aHasher& Fnv1aHasher::f64(double v) {
+  return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+Fnv1aHasher& Fnv1aHasher::str(const std::string& s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Fnv1aHasher& Fnv1aHasher::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+  return *this;
+}
+
+void ByteWriter::u8(std::uint8_t v) { put_le(buf_, v); }
+void ByteWriter::u32(std::uint32_t v) { put_le(buf_, v); }
+void ByteWriter::u64(std::uint64_t v) { put_le(buf_, v); }
+void ByteWriter::f64(double v) { put_le(buf_, std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.append(s);
+}
+
+void ByteWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  if constexpr (std::endian::native == std::endian::little) {
+    // Bulk append: IEEE-754 doubles on a little-endian host already have
+    // the on-disk byte order.
+    buf_.append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(double));
+  } else {
+    for (double x : v) f64(x);
+  }
+}
+
+const char* ByteReader::need(std::size_t n) {
+  if (remaining() < n)
+    throw SerializeError("truncated data: need " + std::to_string(n) +
+                         " bytes, have " + std::to_string(remaining()));
+  const char* p = p_;
+  p_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() { return get_le<std::uint8_t>(need(1)); }
+std::uint32_t ByteReader::u32() { return get_le<std::uint32_t>(need(4)); }
+std::uint64_t ByteReader::u64() { return get_le<std::uint64_t>(need(8)); }
+double ByteReader::f64() {
+  return std::bit_cast<double>(get_le<std::uint64_t>(need(8)));
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining())
+    throw SerializeError("corrupt string length " + std::to_string(n));
+  const char* p = need(static_cast<std::size_t>(n));
+  return std::string(p, static_cast<std::size_t>(n));
+}
+
+std::vector<double> ByteReader::vec_f64() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / sizeof(double))
+    throw SerializeError("corrupt vector length " + std::to_string(n));
+  std::vector<double> v(static_cast<std::size_t>(n));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(v.data(), need(v.size() * sizeof(double)),
+                v.size() * sizeof(double));
+  } else {
+    for (double& x : v) x = f64();
+  }
+  return v;
+}
+
+void ByteReader::expect_end() const {
+  if (!at_end())
+    throw SerializeError("trailing bytes: " + std::to_string(remaining()) +
+                         " unread");
+}
+
+namespace {
+
+void require_strictly_increasing(const std::vector<double>& axis) {
+  if (axis.empty()) throw SerializeError("corrupt table: empty axis");
+  for (std::size_t i = 1; i < axis.size(); ++i)
+    if (!(axis[i] > axis[i - 1]))
+      throw SerializeError("corrupt table: axis not strictly increasing");
+}
+
+}  // namespace
+
+void serialize(ByteWriter& w, const LookupTable1D& t) {
+  w.vec_f64(t.axis());
+  w.vec_f64(t.values());
+}
+
+LookupTable1D deserialize_lut1d(ByteReader& r) {
+  std::vector<double> axis = r.vec_f64();
+  std::vector<double> values = r.vec_f64();
+  require_strictly_increasing(axis);
+  if (values.size() != axis.size())
+    throw SerializeError("corrupt 1-D table: axis/value size mismatch");
+  return LookupTable1D(std::move(axis), std::move(values));
+}
+
+void serialize(ByteWriter& w, const LookupTable2D& t) {
+  w.vec_f64(t.x_axis());
+  w.vec_f64(t.y_axis());
+  w.vec_f64(t.values());
+}
+
+LookupTable2D deserialize_lut2d(ByteReader& r) {
+  std::vector<double> x = r.vec_f64();
+  std::vector<double> y = r.vec_f64();
+  std::vector<double> values = r.vec_f64();
+  require_strictly_increasing(x);
+  require_strictly_increasing(y);
+  if (values.size() != x.size() * y.size())
+    throw SerializeError("corrupt 2-D table: value count mismatch");
+  return LookupTable2D(std::move(x), std::move(y), std::move(values));
+}
+
+void atomic_write_file(const std::string& path, const std::string& bytes) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec)
+      throw Error("cannot create cache directory '" +
+                  target.parent_path().string() + "': " + ec.message());
+  }
+  const fs::path tmp =
+      target.string() + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw Error("cannot open '" + tmp.string() + "' for write");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    fs::remove(tmp, ec);
+    throw Error("short write to '" + tmp.string() + "'");
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ec2;
+    fs::remove(tmp, ec2);
+    throw Error("cannot rename '" + tmp.string() + "' to '" + path +
+                "': " + ec.message());
+  }
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw SerializeError("cannot open '" + path + "'");
+  std::string bytes;
+  char chunk[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+    bytes.append(chunk, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) throw SerializeError("read error on '" + path + "'");
+  return bytes;
+}
+
+}  // namespace sva

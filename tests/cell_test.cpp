@@ -202,6 +202,59 @@ TEST(Nldm, RejectsMismatchedAxes) {
   EXPECT_THROW(NldmTable(d, s), PreconditionError);
 }
 
+TEST(Nldm, CodecRoundTripIsBitIdentical) {
+  LookupTable2D d({1.0, 2.0, 4.5}, {0.5, 2.0},
+                  {10.0, 20.0, 30.0, 40.0, 50.0, 60.0});
+  LookupTable2D s({1.0, 2.0, 4.5}, {0.5, 2.0},
+                  {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const NldmTable table(d, s);
+  ByteWriter w;
+  serialize(w, table);
+  ByteReader r(w.bytes());
+  const NldmTable back = deserialize_nldm(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(back.delay_table().values(), table.delay_table().values());
+  EXPECT_EQ(back.slew_table().values(), table.slew_table().values());
+  EXPECT_EQ(back.delay_ps(1.7, 1.1), table.delay_ps(1.7, 1.1));
+  EXPECT_EQ(back.output_slew_ps(3.0, 0.9), table.output_slew_ps(3.0, 0.9));
+}
+
+TEST(Nldm, CodecRoundTripsCharacterizedArcs) {
+  // Real characterized tables, not synthetic ones.
+  const CellLibrary lib = build_standard_library(CellTech{});
+  const CharacterizedLibrary chars =
+      characterize_library(lib, ElectricalTech{});
+  for (const CharacterizedCell& cell : chars.cells) {
+    for (const CharacterizedArc& arc : cell.arcs) {
+      ByteWriter w;
+      serialize(w, arc.nldm);
+      ByteReader r(w.bytes());
+      const NldmTable back = deserialize_nldm(r);
+      EXPECT_EQ(back.delay_table().values(), arc.nldm.delay_table().values());
+      EXPECT_EQ(back.slew_table().values(), arc.nldm.slew_table().values());
+    }
+  }
+}
+
+TEST(Nldm, DecoderRejectsMismatchedOrCorruptTables) {
+  {
+    // Delay and slew tables with different axes: invalid as an NldmTable
+    // even though each is a valid LookupTable2D.
+    ByteWriter w;
+    serialize(w, LookupTable2D({1.0, 2.0}, {1.0, 2.0}, {1, 2, 3, 4}));
+    serialize(w, LookupTable2D({1.0, 3.0}, {1.0, 2.0}, {1, 2, 3, 4}));
+    ByteReader r(w.bytes());
+    EXPECT_THROW(deserialize_nldm(r), SerializeError);
+  }
+  {
+    // Truncated stream.
+    ByteWriter w;
+    serialize(w, LookupTable2D({1.0, 2.0}, {1.0, 2.0}, {1, 2, 3, 4}));
+    ByteReader r(std::string_view(w.bytes()).substr(0, w.size() - 3));
+    EXPECT_THROW(deserialize_nldm(r), SerializeError);
+  }
+}
+
 // ----------------------------------------------------------- Characterize
 
 TEST(Characterize, DelayIncreasesWithLoadAndSlew) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -13,6 +15,7 @@
 #include "engine/options.hpp"
 #include "engine/thread_pool.hpp"
 #include "place/context.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
 namespace {
@@ -196,12 +199,184 @@ TEST(ContextCacheTest, FlowCacheIsSharedAcrossAnalyses) {
   EXPECT_LE(after.characterized, after.capacity);
 }
 
+// ------------------------------------------------- persistent snapshot
+
+/// Fresh per-test cache directory under the gtest temp dir.
+std::string persist_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sva_cache_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(ContextCachePersistTest, SaveLoadRoundTripIsBitIdentical) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::size_t bins = library.bins().count();
+  const std::string dir = persist_dir("roundtrip");
+
+  const ContextCache cold(library);
+  cold.warm_all();
+  const std::size_t saved = cold.save(dir);
+  EXPECT_EQ(saved, cold.stats().capacity);
+
+  const ContextCache warm(library);
+  ASSERT_TRUE(warm.try_load(dir));
+  const ContextCache::Stats stats = warm.stats();
+  EXPECT_EQ(stats.disk_hits, stats.capacity);
+  EXPECT_EQ(stats.disk_misses, 0u);
+  EXPECT_EQ(stats.characterized, stats.capacity);
+  // Restoring is not a (re)characterization miss.
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_GT(stats.load_ns, 0u);
+  EXPECT_GT(cold.stats().save_ns, 0u);
+
+  // Every slot value and derived scale must match the cold cache exactly.
+  const std::size_t cells = library.characterized().cells.size();
+  for (std::size_t ci = 0; ci < cells; ++ci) {
+    const std::size_t arcs =
+        library.characterized().cells[ci].master.arcs().size();
+    for (std::size_t vi = 0; vi < library.bins().version_count(); ++vi) {
+      const VersionKey key = version_key(vi, bins);
+      ASSERT_EQ(warm.version_lengths(ci, key), cold.version_lengths(ci, key));
+      for (std::size_t ai = 0; ai < arcs; ++ai)
+        ASSERT_EQ(warm.arc_delay_scale(ci, key, ai),
+                  cold.arc_delay_scale(ci, key, ai));
+    }
+  }
+}
+
+TEST(ContextCachePersistTest, PartialSnapshotRestoresOnlyFilledSlots) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::size_t bins = library.bins().count();
+  const std::string dir = persist_dir("partial");
+
+  const ContextCache partial(library);
+  constexpr std::size_t kFilled = 5;
+  for (std::size_t vi = 0; vi < kFilled; ++vi)
+    partial.version_lengths(0, version_key(vi, bins));
+  EXPECT_EQ(partial.save(dir), kFilled);
+
+  const ContextCache warm(library);
+  ASSERT_TRUE(warm.try_load(dir));
+  EXPECT_EQ(warm.stats().disk_hits, kFilled);
+  EXPECT_EQ(warm.stats().characterized, kFilled);
+
+  // A restored slot is a hit; an unrestored one characterizes on demand.
+  warm.version_lengths(0, version_key(0, bins));
+  EXPECT_EQ(warm.stats().misses, 0u);
+  warm.version_lengths(0, version_key(kFilled, bins));
+  EXPECT_EQ(warm.stats().misses, 1u);
+}
+
+TEST(ContextCachePersistTest, LoadIntoWarmCacheKeepsComputedValues) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::size_t bins = library.bins().count();
+  const std::string dir = persist_dir("overlay");
+
+  {
+    const ContextCache seed(library);
+    seed.warm_all();
+    seed.save(dir);
+  }
+  const ContextCache cache(library);
+  const std::vector<Nm> before =
+      cache.version_lengths(0, version_key(0, bins));
+  ASSERT_TRUE(cache.try_load(dir));
+  // The already-computed slot was not overwritten (it was not a disk hit),
+  // and its value is unchanged.
+  EXPECT_EQ(cache.stats().disk_hits, cache.stats().capacity - 1);
+  EXPECT_EQ(cache.version_lengths(0, version_key(0, bins)), before);
+}
+
+TEST(ContextCachePersistTest, RejectsMangledSnapshots) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::size_t bins = library.bins().count();
+  const std::string dir = persist_dir("mangle");
+
+  const ContextCache seed(library);
+  seed.warm_all();
+  seed.save(dir);
+  const std::string path = seed.cache_file_path(dir);
+  const std::string good = read_file_bytes(path);
+
+  const auto write_raw = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const auto flipped = [&](std::size_t offset) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x5a);
+    return bad;
+  };
+
+  struct Case {
+    const char* what;
+    std::string bytes;
+  };
+  const std::vector<Case> cases = {
+      {"flipped magic", flipped(0)},
+      {"flipped format version", flipped(4)},
+      {"flipped content hash", flipped(8)},
+      {"flipped header grid", flipped(17)},
+      {"flipped payload byte", flipped(good.size() - 3)},
+      {"truncated header", good.substr(0, 10)},
+      {"truncated payload", good.substr(0, good.size() / 2)},
+      {"empty file", std::string{}},
+      {"garbage", std::string(200, '\x42')},
+  };
+  for (const Case& c : cases) {
+    write_raw(c.bytes);
+    const ContextCache cache(library);
+    EXPECT_FALSE(cache.try_load(dir)) << c.what;
+    const ContextCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.disk_hits, 0u) << c.what;
+    EXPECT_EQ(stats.disk_misses, 1u) << c.what;
+    // No slot was poisoned: a cold query still matches the library.
+    EXPECT_EQ(stats.characterized, 0u) << c.what;
+    EXPECT_EQ(cache.arc_effective_length(0, version_key(0, bins), 0),
+              library.arc_effective_length(0, version_key(0, bins), 0))
+        << c.what;
+  }
+
+  // The pristine bytes still load, so the rejections above were caused by
+  // the mangling alone.
+  write_raw(good);
+  const ContextCache cache(library);
+  EXPECT_TRUE(cache.try_load(dir));
+}
+
+TEST(ContextCachePersistTest, MissingSnapshotIsACleanColdStart) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const ContextCache cache(library);
+  EXPECT_FALSE(cache.try_load(persist_dir("missing")));
+  EXPECT_EQ(cache.stats().disk_misses, 1u);
+  EXPECT_EQ(cache.stats().characterized, 0u);
+}
+
 TEST(EngineOptionsTest, DefaultsWhenNoFlagsPresent) {
   std::vector<std::string> args = {"C432", "C880"};
   const EngineOptions opts = extract_engine_options(args);
   EXPECT_EQ(opts.threads, ThreadPool::default_thread_count());
   EXPECT_FALSE(opts.metrics);
+  EXPECT_FALSE(opts.no_cache);
   EXPECT_EQ(args, (std::vector<std::string>{"C432", "C880"}));
+}
+
+TEST(EngineOptionsTest, CacheFlagsParsed) {
+  std::vector<std::string> args = {"C432", "--cache-dir", "/tmp/x",
+                                   "--no-cache"};
+  const EngineOptions opts = extract_engine_options(args);
+  EXPECT_EQ(opts.cache_dir, "/tmp/x");
+  EXPECT_TRUE(opts.no_cache);
+  EXPECT_FALSE(opts.cache_enabled());
+  EXPECT_EQ(args, (std::vector<std::string>{"C432"}));
+}
+
+TEST(EngineOptionsTest, CacheEnabledByDefault) {
+  std::vector<std::string> args = {"C432"};
+  const EngineOptions opts = extract_engine_options(args);
+  EXPECT_FALSE(opts.no_cache);
+  EXPECT_FALSE(opts.cache_dir.empty());
+  EXPECT_TRUE(opts.cache_enabled());
 }
 
 TEST(EngineOptionsTest, StripsFlagsAnywhereInTheList) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "core/flow.hpp"
@@ -131,6 +133,96 @@ TEST_P(BenchmarkSweep, SpreadReductionInBand) {
 
 INSTANTIATE_TEST_SUITE_P(Table2, BenchmarkSweep,
                          ::testing::Values("C432", "C880", "C1355"));
+
+// ------------------------------------------- persistent warm start
+
+TEST(FlowCache, WarmStartIsBitIdenticalToCold) {
+  const std::string dir = ::testing::TempDir() + "sva_flow_cache";
+  std::filesystem::remove_all(dir);
+  FlowConfig config;
+  config.cache_dir = dir;
+
+  // Cold run: computes the setup products and snapshots them (plus the
+  // context-cache slots it touches).
+  const SvaFlow cold{config};
+  EXPECT_FALSE(cold.setup_from_cache());
+  const CircuitAnalysis a = cold.analyze_benchmark("C432");
+  cold.save_context_cache(dir);
+
+  // Warm run: everything restored from disk.
+  const SvaFlow warm{config};
+  EXPECT_TRUE(warm.setup_from_cache());
+  EXPECT_TRUE(warm.try_load_context_cache(dir));
+  EXPECT_GT(warm.context_cache().stats().disk_hits, 0u);
+
+  // The restored products are the exact bytes the cold run computed...
+  ASSERT_EQ(warm.library_opc_results().size(),
+            cold.library_opc_results().size());
+  for (std::size_t ci = 0; ci < cold.library_opc_results().size(); ++ci) {
+    EXPECT_EQ(warm.library_opc_results()[ci].device_cd,
+              cold.library_opc_results()[ci].device_cd);
+    EXPECT_EQ(warm.library_opc_results()[ci].device_mask_width,
+              cold.library_opc_results()[ci].device_mask_width);
+  }
+  ASSERT_EQ(warm.pitch_points().size(), cold.pitch_points().size());
+  for (std::size_t i = 0; i < cold.pitch_points().size(); ++i)
+    EXPECT_EQ(warm.pitch_points()[i].printed_cd,
+              cold.pitch_points()[i].printed_cd);
+
+  // ...so the full analysis is bit-identical, not merely close.
+  const CircuitAnalysis b = warm.analyze_benchmark("C432");
+  EXPECT_EQ(a.trad_nom_ps, b.trad_nom_ps);
+  EXPECT_EQ(a.trad_bc_ps, b.trad_bc_ps);
+  EXPECT_EQ(a.trad_wc_ps, b.trad_wc_ps);
+  EXPECT_EQ(a.sva_nom_ps, b.sva_nom_ps);
+  EXPECT_EQ(a.sva_bc_ps, b.sva_bc_ps);
+  EXPECT_EQ(a.sva_wc_ps, b.sva_wc_ps);
+  EXPECT_EQ(a.arc_class_counts, b.arc_class_counts);
+}
+
+TEST(FlowCache, CorruptSetupSnapshotFallsBackToColdComputation) {
+  const std::string dir = ::testing::TempDir() + "sva_flow_cache_corrupt";
+  std::filesystem::remove_all(dir);
+  FlowConfig config;
+  config.cache_dir = dir;
+
+  const SvaFlow seed{config};
+  const std::string path = seed.setup_cache_file_path(dir);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a snapshot";
+  }
+  const SvaFlow recovered{config};
+  EXPECT_FALSE(recovered.setup_from_cache());
+  // The cold recomputation overwrote the mangled file with a good one.
+  const SvaFlow warm{config};
+  EXPECT_TRUE(warm.setup_from_cache());
+  for (std::size_t i = 0; i < seed.pitch_points().size(); ++i)
+    EXPECT_EQ(warm.pitch_points()[i].printed_cd,
+              seed.pitch_points()[i].printed_cd);
+}
+
+TEST(FlowCache, StaleSnapshotIsIgnoredAcrossConfigs) {
+  const std::string dir = ::testing::TempDir() + "sva_flow_cache_stale";
+  std::filesystem::remove_all(dir);
+  FlowConfig config;
+  config.cache_dir = dir;
+  const SvaFlow base{config};
+
+  // A different OPC budget keys a different snapshot file, so the two
+  // configurations never cross-contaminate.
+  FlowConfig other = config;
+  other.opc.max_iterations += 1;
+  const SvaFlow changed{other};
+  EXPECT_FALSE(changed.setup_from_cache());
+  EXPECT_NE(base.setup_content_hash(), changed.setup_content_hash());
+  EXPECT_NE(base.setup_cache_file_path(dir),
+            changed.setup_cache_file_path(dir));
+
+  // Each configuration warm-starts from its own snapshot.
+  EXPECT_TRUE(SvaFlow{config}.setup_from_cache());
+  EXPECT_TRUE(SvaFlow{other}.setup_from_cache());
+}
 
 }  // namespace
 }  // namespace sva

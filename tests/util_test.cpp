@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/interp.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -292,6 +293,151 @@ TEST(Strings, StartsWith) {
 TEST(Units, Conversions) {
   EXPECT_DOUBLE_EQ(units::ps_to_ns(1500.0), 1.5);
   EXPECT_DOUBLE_EQ(units::nm_to_um(250.0), 0.25);
+}
+
+// ---------------------------------------------------------- Serialize
+
+TEST(Serialize, GoldenLittleEndianBytes) {
+  // The on-disk byte order is little-endian regardless of host, so these
+  // exact byte sequences must hold on every platform.
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0x11223344u);
+  w.u64(0x0102030405060708ull);
+  w.f64(1.0);  // IEEE-754: 0x3ff0000000000000
+  const std::string expected =
+      std::string("\xab", 1) + std::string("\x44\x33\x22\x11", 4) +
+      std::string("\x08\x07\x06\x05\x04\x03\x02\x01", 8) +
+      std::string("\x00\x00\x00\x00\x00\x00\xf0\x3f", 8);
+  EXPECT_EQ(w.bytes(), expected);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0x11223344u);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_EQ(r.f64(), 1.0);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, Fnv1aKnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Serialize, WordHashDetectsAnyByteFlip) {
+  std::string data(100, '\0');
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = char(i * 37);
+  const std::uint64_t base = fnv1a64_words(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(fnv1a64_words(mutated.data(), mutated.size()), base)
+        << "flip at byte " << i << " not detected";
+  }
+  // The zero-padded tail must not collide with explicit trailing zeros.
+  const std::string longer = data + std::string(3, '\0');
+  EXPECT_NE(fnv1a64_words(longer.data(), longer.size()), base);
+}
+
+TEST(Serialize, HasherIsOrderSensitive) {
+  Fnv1aHasher a, b;
+  a.u64(1).u64(2);
+  b.u64(2).u64(1);
+  EXPECT_NE(a.digest(), b.digest());
+  Fnv1aHasher c, d;
+  c.str("ab").str("c");
+  d.str("a").str("bc");
+  EXPECT_NE(c.digest(), d.digest());  // length prefixes disambiguate
+}
+
+TEST(Serialize, RoundTripsStringsAndVectors) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.vec_f64({1.5, -2.25, 0.0});
+  w.vec_f64({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.vec_f64(), (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_EQ(r.vec_f64(), std::vector<double>{});
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serialize, ReaderRejectsTruncation) {
+  ByteWriter w;
+  w.u64(42);
+  for (std::size_t keep = 0; keep < 8; ++keep) {
+    ByteReader r(std::string_view(w.bytes()).substr(0, keep));
+    EXPECT_THROW(r.u64(), SerializeError) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Serialize, ReaderRejectsCorruptCountsWithoutAllocating) {
+  // A huge length prefix must throw before any allocation is attempted.
+  ByteWriter w;
+  w.u64(~0ull);
+  {
+    ByteReader r(w.bytes());
+    EXPECT_THROW(r.vec_f64(), SerializeError);
+  }
+  {
+    ByteReader r(w.bytes());
+    EXPECT_THROW(r.str(), SerializeError);
+  }
+}
+
+TEST(Serialize, ReaderRejectsTrailingBytes) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SerializeError);
+}
+
+TEST(Serialize, LookupTable1dRoundTrip) {
+  const LookupTable1D t({0.0, 1.0, 2.5}, {10.0, 20.0, 15.0});
+  ByteWriter w;
+  serialize(w, t);
+  ByteReader r(w.bytes());
+  const LookupTable1D back = deserialize_lut1d(r);
+  EXPECT_EQ(back.axis(), t.axis());
+  EXPECT_EQ(back.values(), t.values());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, LookupTable2dRoundTrip) {
+  const LookupTable2D t({1.0, 2.0}, {0.0, 5.0, 9.0},
+                        {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  ByteWriter w;
+  serialize(w, t);
+  ByteReader r(w.bytes());
+  const LookupTable2D back = deserialize_lut2d(r);
+  EXPECT_EQ(back.x_axis(), t.x_axis());
+  EXPECT_EQ(back.y_axis(), t.y_axis());
+  EXPECT_EQ(back.values(), t.values());
+}
+
+TEST(Serialize, TableDecodersRevalidateInvariants) {
+  {
+    // Non-increasing axis.
+    ByteWriter w;
+    w.vec_f64({0.0, 0.0, 1.0});
+    w.vec_f64({1.0, 2.0, 3.0});
+    ByteReader r(w.bytes());
+    EXPECT_THROW(deserialize_lut1d(r), SerializeError);
+  }
+  {
+    // Value count does not match the axes.
+    ByteWriter w;
+    w.vec_f64({1.0, 2.0});
+    w.vec_f64({1.0, 2.0});
+    w.vec_f64({1.0, 2.0, 3.0});
+    ByteReader r(w.bytes());
+    EXPECT_THROW(deserialize_lut2d(r), SerializeError);
+  }
 }
 
 // Property sweep: 1-D interpolation is monotone between knots for
