@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus sanitizer passes: ThreadSanitizer on the execution
-# engine and AddressSanitizer over the full tier-1 suite.
+# Tier-1 verify plus robustness passes: fault-injection smoke tests on the
+# CLI, ThreadSanitizer on the execution engine, AddressSanitizer over the
+# full tier-1 suite, and UndefinedBehaviorSanitizer over the full suite.
 #
-#   scripts/check.sh            full check (build + ctest + TSan + ASan)
+#   scripts/check.sh            full check (build + ctest + faults + sanitizers)
 #   scripts/check.sh --fast     skip the sanitizer rebuilds
 #
 # Run from the repo root.
@@ -45,6 +46,42 @@ if ! diff <(echo "$cold_out" | strip_variance) \
 fi
 echo "cold and warm analysis tables are identical"
 
+echo "== fault injection: graceful degradation under --keep-going =="
+# Break the snapshot loads AND every per-cell OPC solve: the run must
+# still complete (exit 0), fall back to the uniform drawn-CD cells, and
+# say so in the diagnostics report.
+degraded_out="$(SVA_FAILPOINTS="context_cache.load=throw,flow.setup_load=throw,opc.cell_solve=throw" \
+  "$CLI" analyze C432 C880 --threads 2 --cache-dir "$CACHE_DIR" --diagnostics)" || {
+  echo "FAIL: degraded --keep-going run exited non-zero"
+  exit 1
+}
+if ! echo "$degraded_out" | grep -q "opc_cell_degraded"; then
+  echo "FAIL: degraded run did not report opc_cell_degraded diagnostics"
+  echo "$degraded_out"
+  exit 1
+fi
+echo "degraded run completed with opc_cell_degraded warnings"
+
+echo "== fault injection: fail-fast under --strict =="
+if SVA_FAILPOINTS="opc.cell_solve=throw" \
+   "$CLI" analyze C432 --strict --cache-dir "$CACHE_DIR" >/dev/null 2>&1; then
+  echo "FAIL: --strict run with an injected OPC fault exited zero"
+  exit 1
+fi
+echo "--strict run failed fast as required"
+
+echo "== fault injection: transient faults leave the tables bit-identical =="
+# Transient/cache-only faults are retried or degrade to a cold start;
+# either way the analysis table must match the untroubled run exactly.
+faulted_out="$(SVA_FAILPOINTS="serialize.read=prob(0.3),context_cache.load=throw,flow.setup_load=throw" \
+  "$CLI" analyze C432 C880 --threads 2 --cache-dir "$CACHE_DIR" --metrics)"
+if ! diff <(echo "$cold_out" | strip_variance) \
+          <(echo "$faulted_out" | strip_variance); then
+  echo "FAIL: analysis table changed under transient cache faults"
+  exit 1
+fi
+echo "analysis tables identical under injected cache faults"
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0
@@ -59,6 +96,12 @@ echo "== ASan: full tier-1 suite under -fsanitize=address =="
 cmake -B build-asan -S . -DSVA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j
 (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ctest --output-on-failure -j)
+
+echo "== UBSan: full tier-1 suite under -fsanitize=undefined =="
+cmake -B build-ubsan -S . -DSVA_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-ubsan -j
+(cd build-ubsan && UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --output-on-failure -j)
 
 echo "== all checks passed =="

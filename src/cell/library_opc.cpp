@@ -2,6 +2,9 @@
 
 #include "opc/cutline.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
 
@@ -25,6 +28,11 @@ Layout library_opc_environment(const CellMaster& master,
 LibraryOpcCellResult library_opc_cell(const CellMaster& master,
                                       const OpcEngine& engine,
                                       const LibraryOpcConfig& config) {
+  // Keyed by cell name: a prob() fault degrades the same deterministic
+  // subset of masters in every run and on every thread schedule.
+  SVA_FAILPOINT_KEYED(
+      "opc.cell_solve",
+      fnv1a64(master.name().data(), master.name().size()));
   const Layout env = library_opc_environment(master, config);
   // Tag each poly shape with its gate index; the master's layout() emits
   // gates first, so shape i < gates().size() is gate i.
@@ -56,13 +64,36 @@ LibraryOpcCellResult library_opc_cell(const CellMaster& master,
   return result;
 }
 
+LibraryOpcCellResult library_opc_fallback(const CellMaster& master) {
+  LibraryOpcCellResult result;
+  const Nm drawn = master.tech().gate_length;
+  result.device_cd.assign(master.devices().size(), drawn);
+  result.device_mask_width.assign(master.devices().size(), drawn);
+  result.images_simulated = 0;
+  result.degraded = true;
+  return result;
+}
+
 std::vector<LibraryOpcCellResult> library_opc_all(
     const std::vector<CellMaster>& masters, const OpcEngine& engine,
-    const LibraryOpcConfig& config) {
+    const LibraryOpcConfig& config, FaultPolicy policy) {
   std::vector<LibraryOpcCellResult> out;
   out.reserve(masters.size());
-  for (const CellMaster& m : masters)
-    out.push_back(library_opc_cell(m, engine, config));
+  for (const CellMaster& m : masters) {
+    if (policy == FaultPolicy::Strict) {
+      out.push_back(library_opc_cell(m, engine, config));
+      continue;
+    }
+    try {
+      out.push_back(library_opc_cell(m, engine, config));
+    } catch (const std::exception& e) {
+      out.push_back(library_opc_fallback(m));
+      MetricsRegistry::global().counter("opc.cells_degraded").add();
+      diag_warn("opc", "opc_cell_degraded",
+                "cell " + m.name() + " OPC solve failed (" + e.what() +
+                    "); using uniform drawn-CD fallback");
+    }
+  }
   return out;
 }
 

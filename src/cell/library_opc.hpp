@@ -14,6 +14,7 @@
 
 #include "cell/cell_master.hpp"
 #include "opc/engine.hpp"
+#include "util/diagnostics.hpp"
 
 namespace sva {
 
@@ -33,6 +34,12 @@ struct LibraryOpcCellResult {
   /// Corrected mask width per device.
   std::vector<Nm> device_mask_width;
   std::size_t images_simulated = 0;
+  /// True when the per-cell solve failed and this result is the uniform
+  /// drawn-CD fallback (see library_opc_fallback): the cell times exactly
+  /// like the traditional uniform corner, the same conservative stance
+  /// variation-aware flows take when variation data is missing.  Degraded
+  /// results are never persisted to the setup snapshot.
+  bool degraded = false;
 };
 
 /// Build the dummy environment layout for a master: the master's layout
@@ -46,10 +53,21 @@ LibraryOpcCellResult library_opc_cell(const CellMaster& master,
                                       const OpcEngine& engine,
                                       const LibraryOpcConfig& config = {});
 
+/// Degraded stand-in for a failed per-cell solve: every device prints at
+/// its drawn CD, so downstream characterization sees the uniform
+/// traditional corner for this cell (delay scale 1 at nominal; corner
+/// shifts come from the full uniform budget).
+LibraryOpcCellResult library_opc_fallback(const CellMaster& master);
+
 /// Run library OPC on every master of a library; results index-aligned
-/// with the library.
+/// with the library.  Under FaultPolicy::Degrade a failing cell solve is
+/// isolated: it yields library_opc_fallback(master), a warning diagnostic
+/// (code "opc_cell_degraded"), and the "opc.cells_degraded" metric, and
+/// the remaining masters still solve.  Under Strict the first failure
+/// propagates.
 std::vector<LibraryOpcCellResult> library_opc_all(
     const std::vector<CellMaster>& masters, const OpcEngine& engine,
-    const LibraryOpcConfig& config = {});
+    const LibraryOpcConfig& config = {},
+    FaultPolicy policy = FaultPolicy::Strict);
 
 }  // namespace sva

@@ -30,6 +30,8 @@
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "sta/path_report.hpp"
+#include "util/diagnostics.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -52,6 +54,7 @@ void cache_warm_start(const ContextCache& cache, const EngineOptions& opts) {
 FlowConfig flow_config(const EngineOptions& opts) {
   FlowConfig cfg;
   if (opts.cache_enabled()) cfg.cache_dir = opts.cache_dir;
+  cfg.fault_policy = opts.fault_policy();
   return cfg;
 }
 
@@ -85,7 +88,22 @@ int usage() {
       "  --metrics              print engine counters/timers on exit\n"
       "  --cache-dir DIR        persistent context-library cache directory\n"
       "                         (default: $SVA_CACHE_DIR or .sva_cache)\n"
-      "  --no-cache             run cold; neither load nor save the cache\n");
+      "  --no-cache             run cold; neither load nor save the cache\n"
+      "  --keep-going           degrade gracefully on recoverable faults\n"
+      "                         (default; warnings via --diagnostics)\n"
+      "  --strict               fail fast: any recoverable fault aborts\n"
+      "                         the run with exit code 1\n"
+      "  --diagnostics          print the structured diagnostics report\n"
+      "                         (severity, component, error code) on exit\n"
+      "fault injection:\n"
+      "  SVA_FAILPOINTS=name=action,...   arm failpoints (actions: throw,\n"
+      "                         prob(p), delay(ms), corrupt); see DESIGN.md\n"
+      "exit codes:\n"
+      "  0  success (degradations possible; inspect --diagnostics)\n"
+      "  1  fatal error, or any fault under --strict\n"
+      "  2  usage error\n"
+      "  3  --keep-going run completed but one or more jobs failed\n"
+      "  (optimize: 1 also means the clock was not met)\n");
   return 2;
 }
 
@@ -105,12 +123,19 @@ int cmd_analyze(const std::vector<std::string>& names,
   const SvaFlow flow{flow_config(opts)};
   cache_warm_start(flow.context_cache(), opts);
   ThreadPool pool(opts.threads);
-  const BatchRunner runner(flow, pool);
+  BatchOptions batch_opts;
+  batch_opts.keep_going = !opts.strict;
+  const BatchRunner runner(flow, pool, batch_opts);
   const BatchResult batch = runner.run_names(names);
   cache_snapshot(flow.context_cache(), opts);
   Table table({"Testcase", "#Gates", "Trad Nom", "Trad BC", "Trad WC",
                "New Nom", "New BC", "New WC", "Reduction"});
-  for (const CircuitAnalysis& a : batch.analyses) {
+  for (std::size_t ji = 0; ji < batch.analyses.size(); ++ji) {
+    const CircuitAnalysis& a = batch.analyses[ji];
+    if (!batch.outcomes[ji].ok) {
+      table.add_row({a.name, "FAILED", "-", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
     table.add_row({a.name, std::to_string(a.gate_count),
                    fmt(units::ps_to_ns(a.trad_nom_ps), 3),
                    fmt(units::ps_to_ns(a.trad_bc_ps), 3),
@@ -123,6 +148,11 @@ int cmd_analyze(const std::vector<std::string>& names,
   std::printf("%s", table.render().c_str());
   std::printf("(%zu circuits, %zu threads, %.2f s)\n", batch.analyses.size(),
               opts.threads, batch.wall_seconds);
+  if (!batch.all_ok()) {
+    std::printf("%zu job(s) failed; run with --diagnostics for details\n",
+                batch.failed_count());
+    return 3;
+  }
   return 0;
 }
 
@@ -236,8 +266,9 @@ int cmd_export_lib(const std::string& path, bool expanded,
   return 0;
 }
 
-int cmd_verilog(const std::string& name, const std::string& out) {
-  const SvaFlow flow{FlowConfig{}};
+int cmd_verilog(const std::string& name, const std::string& out,
+                const EngineOptions& opts) {
+  const SvaFlow flow{flow_config(opts)};
   const Netlist netlist = flow.make_benchmark(name);
   write_verilog_file(out, netlist);
   std::printf("wrote %s (%zu gates)\n", out.c_str(),
@@ -288,7 +319,7 @@ int dispatch(const std::string& command, std::vector<std::string>& args,
   }
   if (command == "verilog") {
     if (args.size() < 2) return usage();
-    return cmd_verilog(args[0], args[1]);
+    return cmd_verilog(args[0], args[1], opts);
   }
   if (command == "bench") {
     if (args.empty()) return usage();
@@ -298,21 +329,33 @@ int dispatch(const std::string& command, std::vector<std::string>& args,
 }
 
 int main(int argc, char** argv) {
+  EngineOptions opts;
+  int rc = 0;
   try {
     if (argc < 2) return usage();
     const std::string command = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
-    const EngineOptions opts = extract_engine_options(args);
+    opts = extract_engine_options(args);
+    // Fault injection is armed once, up front, from $SVA_FAILPOINTS; a
+    // malformed spec is a usage-level error before any work starts.
+    FailPoints::configure_from_env();
 
-    const int rc = dispatch(command, args, opts);
-    if (opts.metrics) {
-      const std::string metrics = MetricsRegistry::global().render();
-      std::printf("\nengine metrics:\n%s",
-                  metrics.empty() ? "  (none)\n" : metrics.c_str());
-    }
-    return rc;
+    rc = dispatch(command, args, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  // Reports print even after a strict-mode abort: the diagnostics trail
+  // is most valuable exactly when the run did not finish.
+  if (opts.metrics) {
+    const std::string metrics = MetricsRegistry::global().render();
+    std::printf("\nengine metrics:\n%s",
+                metrics.empty() ? "  (none)\n" : metrics.c_str());
+  }
+  if (opts.diagnostics) {
+    const std::string report = Diagnostics::global().render();
+    std::printf("\ndiagnostics:\n%s",
+                report.empty() ? "  (none)\n" : report.c_str());
+  }
+  return rc;
 }

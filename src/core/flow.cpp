@@ -3,9 +3,14 @@
 #include <chrono>
 #include <cstdio>
 
+#include <algorithm>
+
 #include "engine/metrics.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
+#include "util/retry.hpp"
 #include "util/serialize.hpp"
 
 namespace sva {
@@ -41,13 +46,22 @@ SvaFlow::SvaFlow(const FlowConfig& config)
       MetricsRegistry::global().counter("flow.setup_disk_misses").add();
     log_info("flow: library OPC of ", library_.size(), " masters");
     library_opc_ = library_opc_all(library_.masters(), engine_,
-                                   config_.library_opc);
+                                   config_.library_opc,
+                                   config_.fault_policy);
+    setup_degraded_ = std::any_of(
+        library_opc_.begin(), library_opc_.end(),
+        [](const LibraryOpcCellResult& r) { return r.degraded; });
+    if (setup_degraded_)
+      MetricsRegistry::global().counter("flow.setup_degraded").add();
     log_info("flow: post-OPC pitch characterization (",
              config_.table_spacings.size(), " spacings)");
     pitch_points_ = characterize_post_opc_pitch(
         wafer_, engine_, config_.cell_tech.gate_length,
         config_.table_spacings);
-    if (!config_.cache_dir.empty()) {
+    // Never persist a degraded setup: the fallback CDs are a conservative
+    // stand-in, not characterization data a later healthy run should
+    // warm-start from.
+    if (!config_.cache_dir.empty() && !setup_degraded_) {
       try {
         save_setup(config_.cache_dir);
       } catch (const std::exception& e) {
@@ -115,10 +129,17 @@ bool SvaFlow::try_load_setup(const std::string& dir) {
   const std::string path = setup_cache_file_path(dir);
   std::string bytes;
   try {
-    bytes = read_file_bytes(path);
-  } catch (const SerializeError&) {
+    bytes = with_retry("flow setup read", RetryPolicy{},
+                       [&] { return read_file_bytes(path); });
+  } catch (const FileMissingError&) {
     // No snapshot yet: the normal first run, not worth a warning.
     log_debug("flow: no setup snapshot at ", path);
+    return false;
+  } catch (const Error& e) {
+    // Transport failure that survived the retries; the file itself may be
+    // intact, so leave it in place for the next run.
+    diag_warn("flow", "setup_read_failed",
+              std::string("setup cold start: ") + e.what());
     return false;
   }
 
@@ -128,6 +149,7 @@ bool SvaFlow::try_load_setup(const std::string& dir) {
   std::vector<LibraryOpcCellResult> opc;
   std::vector<PostOpcPitchPoint> points;
   try {
+    SVA_FAILPOINT("flow.setup_load");
     ByteReader r(bytes);
     if (r.u32() != kSetupMagic) throw SerializeError("bad magic");
     if (r.u32() != kSetupFormatVersion)
@@ -166,8 +188,14 @@ bool SvaFlow::try_load_setup(const std::string& dir) {
       points.push_back(p);
     }
     r.expect_end();
-  } catch (const SerializeError& e) {
-    log_warn("flow: setup cold start (", e.what(), ")");
+  } catch (const Error& e) {
+    // The snapshot failed validation: quarantine it so later runs
+    // cold-start on a clean miss instead of re-parsing a bad file.
+    quarantine_file(path);
+    MetricsRegistry::global().counter("flow.setup_quarantined").add();
+    diag_warn("flow", "setup_quarantined",
+              "setup snapshot " + path + " quarantined (" + e.what() +
+                  "); cold start");
     return false;
   }
 

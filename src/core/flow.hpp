@@ -40,6 +40,7 @@
 #include "place/context.hpp"
 #include "place/placement.hpp"
 #include "sta/sta.hpp"
+#include "util/diagnostics.hpp"
 
 namespace sva {
 
@@ -80,6 +81,13 @@ struct FlowConfig {
   /// them after a cold computation.  Empty disables persistence; the CLI
   /// plumbs --cache-dir / --no-cache into this field.
   std::string cache_dir;
+
+  /// Reaction to recoverable setup faults (a failed per-cell OPC solve):
+  /// Degrade isolates the cell with the uniform drawn-CD fallback and a
+  /// warning diagnostic; Strict propagates the failure out of the
+  /// constructor.  The CLI plumbs --strict / --keep-going into this field
+  /// (keep-going, i.e. Degrade, is the default).
+  FaultPolicy fault_policy = FaultPolicy::Degrade;
 };
 
 /// One benchmark circuit's corner results: a row of the paper's Table 2.
@@ -152,6 +160,11 @@ class SvaFlow {
   /// persistent snapshot instead of recomputing them.
   bool setup_from_cache() const { return setup_from_cache_; }
 
+  /// True when at least one per-cell OPC solve failed and was replaced by
+  /// the uniform drawn-CD fallback (FaultPolicy::Degrade).  A degraded
+  /// setup is never snapshotted to the cache.
+  bool setup_degraded() const { return setup_degraded_; }
+
   /// FNV-1a hash of everything the setup products depend on: library
   /// masters, tech and electrical parameters, both optics models, the OPC
   /// configs, grating spacings, and the binning config.  The snapshot
@@ -209,6 +222,7 @@ class SvaFlow {
   std::unique_ptr<ContextCache> context_cache_;
   double setup_opc_seconds_ = 0.0;
   bool setup_from_cache_ = false;
+  bool setup_degraded_ = false;
 };
 
 }  // namespace sva

@@ -3,8 +3,18 @@
 #include <chrono>
 
 #include "engine/metrics.hpp"
+#include "util/diagnostics.hpp"
+#include "util/failpoint.hpp"
+#include "util/serialize.hpp"
 
 namespace sva {
+
+std::size_t BatchResult::failed_count() const {
+  std::size_t n = 0;
+  for (const BatchJobOutcome& o : outcomes)
+    if (!o.ok) ++n;
+  return n;
+}
 
 BatchRunner::BatchRunner(const SvaFlow& flow, ThreadPool& pool,
                          BatchOptions options)
@@ -17,19 +27,43 @@ BatchResult BatchRunner::run(const std::vector<BatchJob>& jobs) const {
 
   BatchResult out;
   out.analyses.resize(jobs.size());
+  out.outcomes.resize(jobs.size());
   TaskGroup group(*pool_);
   for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
     group.run([this, &jobs, &out, ji] {
-      const Netlist netlist = flow_->make_benchmark(jobs[ji].circuit);
-      const Placement placement = flow_->make_placement(netlist);
-      out.analyses[ji] =
-          options_.parallel_corners
-              ? flow_->analyze(netlist, placement, *pool_,
-                               options_.parallel_sta)
-              : flow_->analyze(netlist, placement);
+      const std::string& circuit = jobs[ji].circuit;
+      try {
+        // Keyed by circuit name: a prob() fault fails the same
+        // deterministic subset of jobs in every run and schedule.
+        SVA_FAILPOINT_KEYED("batch.job",
+                            fnv1a64(circuit.data(), circuit.size()));
+        const Netlist netlist = flow_->make_benchmark(circuit);
+        const Placement placement = flow_->make_placement(netlist);
+        out.analyses[ji] =
+            options_.parallel_corners
+                ? flow_->analyze(netlist, placement, *pool_,
+                                 options_.parallel_sta)
+                : flow_->analyze(netlist, placement);
+      } catch (const std::exception& e) {
+        // Isolate the fault to this job's slot: deterministic failed
+        // result (name only, zeroed numbers), batch continues.
+        out.analyses[ji] = CircuitAnalysis{};
+        out.analyses[ji].name = circuit;
+        out.outcomes[ji] = {false, e.what()};
+        MetricsRegistry::global().counter("batch.jobs_failed").add();
+        diag_warn("batch", "batch_job_failed",
+                  "job " + std::to_string(ji) + " (" + circuit +
+                      ") failed: " + e.what());
+      }
     });
   }
   group.wait();
+  if (!options_.keep_going) {
+    for (std::size_t ji = 0; ji < jobs.size(); ++ji)
+      if (!out.outcomes[ji].ok)
+        throw Error("batch job " + std::to_string(ji) + " (" +
+                    jobs[ji].circuit + ") failed: " + out.outcomes[ji].error);
+  }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -25,11 +25,29 @@ struct BatchJob {
 struct BatchOptions {
   bool parallel_corners = true;  ///< fan the 6 corner runs out as tasks
   bool parallel_sta = true;      ///< levelized parallel_for inside each run
+  /// Per-job fault isolation: a throwing job records a Failed outcome (and
+  /// a "batch_job_failed" diagnostic) in its own slot, deterministically,
+  /// and every other job still runs.  false => run() raises the first
+  /// failure in job order after all jobs settle (the CLI's --strict).
+  bool keep_going = true;
+};
+
+/// Terminal classification of one batch job.
+struct BatchJobOutcome {
+  bool ok = true;
+  std::string error;  ///< empty when ok
 };
 
 struct BatchResult {
-  std::vector<CircuitAnalysis> analyses;  ///< one per job, in job order
+  /// One per job, in job order.  A failed job's slot carries the circuit
+  /// name with zeroed results -- deterministic regardless of where in the
+  /// job the fault hit.
+  std::vector<CircuitAnalysis> analyses;
+  std::vector<BatchJobOutcome> outcomes;  ///< index-aligned with analyses
   double wall_seconds = 0.0;
+
+  std::size_t failed_count() const;
+  bool all_ok() const { return failed_count() == 0; }
 };
 
 class BatchRunner {

@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "engine/metrics.hpp"
+#include "util/diagnostics.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
+#include "util/retry.hpp"
 #include "util/serialize.hpp"
 
 namespace sva {
@@ -130,6 +133,7 @@ std::string ContextCache::cache_file_path(const std::string& dir) const {
 
 std::size_t ContextCache::save(const std::string& dir) const {
   const auto t0 = std::chrono::steady_clock::now();
+  SVA_FAILPOINT("context_cache.save");
 
   // Collect the filled slots first (the count precedes the records).  A
   // slot whose characterization is still in flight on another thread is
@@ -184,11 +188,22 @@ bool ContextCache::try_load(const std::string& dir) const {
 
   std::string bytes;
   try {
-    bytes = read_file_bytes(path);
-  } catch (const SerializeError&) {
+    // Transient read errors (including injected "serialize.read" faults)
+    // retry with backoff; a retried-then-successful load is bit-identical
+    // to an untroubled one.
+    bytes = with_retry("context cache read", RetryPolicy{},
+                       [&] { return read_file_bytes(path); });
+  } catch (const FileMissingError&) {
     // No snapshot yet: the normal first run, not worth a warning.
     count_cold_start();
     log_debug("context cache: no snapshot at ", path);
+    return false;
+  } catch (const Error& e) {
+    // Read failed even after retries.  The file content may still be fine
+    // (the fault was in the transport), so do not quarantine.
+    count_cold_start();
+    diag_warn("context_cache", "cache_read_failed",
+              std::string("cold start: ") + e.what());
     return false;
   }
 
@@ -197,6 +212,7 @@ bool ContextCache::try_load(const std::string& dir) const {
   std::vector<std::pair<std::size_t, std::size_t>> keys;
   std::vector<std::vector<Nm>> lengths;
   try {
+    SVA_FAILPOINT("context_cache.load");
     ByteReader r(bytes);
     if (r.u32() != kMagic) throw SerializeError("bad magic");
     if (r.u32() != kFormatVersion)
@@ -231,9 +247,16 @@ bool ContextCache::try_load(const std::string& dir) const {
       lengths.push_back(std::move(arc_lengths));
     }
     r.expect_end();
-  } catch (const SerializeError& e) {
+  } catch (const Error& e) {
+    // Validation failed on bytes we did read: the snapshot itself is bad.
+    // Quarantine it so no later run wastes time re-parsing a file known
+    // corrupt; the next run cold-starts cleanly on FileMissingError.
     count_cold_start();
-    log_warn("context cache: cold start (", e.what(), ")");
+    quarantine_file(path);
+    MetricsRegistry::global().counter("context_cache.quarantined").add();
+    diag_warn("context_cache", "cache_quarantined",
+              "snapshot " + path + " quarantined (" + e.what() +
+                  "); cold start");
     return false;
   }
 

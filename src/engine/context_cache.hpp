@@ -72,9 +72,12 @@ class ContextCache {
   /// Restore slots from a prior save() in `dir`.  Returns true and counts
   /// each restored slot as a disk hit on success; returns false -- after
   /// validating, without modifying any slot -- when the file is missing,
-  /// truncated, corrupt, or keyed by a different content hash (logged at
-  /// Warn level, counted as a disk miss).  Slots already filled in this
-  /// process keep their computed values.
+  /// truncated, corrupt, or keyed by a different content hash (reported
+  /// via diagnostics, counted as a disk miss).  Transient read errors are
+  /// retried with backoff before giving up; a file that fails validation
+  /// is quarantined to `*.svac.corrupt` ("context_cache.quarantined"
+  /// metric) so later runs cold-start cleanly instead of re-parsing it.
+  /// Slots already filled in this process keep their computed values.
   bool try_load(const std::string& dir) const;
 
   struct Stats {

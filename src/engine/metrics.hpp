@@ -1,111 +1,6 @@
 #pragma once
-// Lightweight engine observability: named monotonic counters and wall-time
-// accumulators with lock-free increments.
-//
-// The registry hands out stable references (creation takes a lock, updates
-// are relaxed atomics), so hot paths -- pool workers, the STA inner loop,
-// the context cache -- pay one atomic add per event.  snapshot()/render()
-// give the CLI and benches a consistent view; reset() zeroes values between
-// batch runs without invalidating held references.
+// MetricsRegistry moved to util/metrics.hpp so the util layer (diagnostics,
+// failpoints, retry) can feed counters without depending on the engine.
+// This forwarder keeps the historical include path working.
 
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
-
-namespace sva {
-
-/// Monotonic event counter.
-class Counter {
- public:
-  void add(std::uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
-  std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Accumulated wall time (nanoseconds internally) plus sample count.
-class TimerStat {
- public:
-  void add_seconds(double s) {
-    nanos_.fetch_add(static_cast<std::uint64_t>(s * 1e9),
-                     std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-  }
-  double seconds() const {
-    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
-  }
-  std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-  void reset() {
-    nanos_.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> nanos_{0};
-  std::atomic<std::uint64_t> count_{0};
-};
-
-/// One row of a metrics snapshot.
-struct MetricSample {
-  std::string name;
-  std::uint64_t count = 0;
-  double seconds = 0.0;   ///< 0 for plain counters
-  bool is_timer = false;
-};
-
-class MetricsRegistry {
- public:
-  /// Process-wide registry (pools, caches, and the batch runner all report
-  /// here unless handed a private registry).
-  static MetricsRegistry& global();
-
-  /// Look up or create; the returned reference stays valid for the
-  /// registry's lifetime.
-  Counter& counter(const std::string& name);
-  TimerStat& timer(const std::string& name);
-
-  std::vector<MetricSample> snapshot() const;
-  /// Aligned "name  value" listing, sorted by name; empty string when no
-  /// metric has fired yet.
-  std::string render() const;
-  /// Zero every value; held Counter/TimerStat references stay valid.
-  void reset();
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<TimerStat>> timers_;
-};
-
-/// RAII wall-time sample into a TimerStat.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(TimerStat& stat)
-      : stat_(&stat), start_(std::chrono::steady_clock::now()) {}
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-  ~ScopedTimer() {
-    stat_->add_seconds(std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start_)
-                           .count());
-  }
-
- private:
-  TimerStat* stat_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace sva
+#include "util/metrics.hpp"

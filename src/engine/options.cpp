@@ -59,6 +59,12 @@ EngineOptions extract_engine_options(std::vector<std::string>& args) {
       opts.cache_dir = flag_value(args, i);
     } else if (args[i] == "--no-cache") {
       opts.no_cache = true;
+    } else if (args[i] == "--strict") {
+      opts.strict = true;
+    } else if (args[i] == "--keep-going") {
+      opts.strict = false;
+    } else if (args[i] == "--diagnostics") {
+      opts.diagnostics = true;
     } else {
       rest.push_back(args[i]);
     }

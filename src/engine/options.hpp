@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/thread_pool.hpp"
+#include "util/diagnostics.hpp"
 
 namespace sva {
 
@@ -26,16 +27,25 @@ struct EngineOptions {
   std::string cache_dir = default_cache_dir();
   /// --no-cache: skip both the warm-start load and the exit save.
   bool no_cache = false;
+  /// --strict: fail fast on recoverable faults (exit non-zero) instead of
+  /// the default --keep-going graceful degradation.  The last of
+  /// --strict / --keep-going on the command line wins.
+  bool strict = false;
+  /// --diagnostics: print the structured diagnostics report on exit.
+  bool diagnostics = false;
 
   bool cache_enabled() const { return !no_cache && !cache_dir.empty(); }
+  FaultPolicy fault_policy() const {
+    return strict ? FaultPolicy::Strict : FaultPolicy::Degrade;
+  }
 
   static std::string default_cache_dir();
 };
 
-/// Remove --threads N / --metrics / --cache-dir DIR / --no-cache from
-/// `args` (wherever they appear) and return the parsed options.  Throws
-/// std::runtime_error with a uniform message on a missing or malformed
-/// value.
+/// Remove --threads N / --metrics / --cache-dir DIR / --no-cache /
+/// --strict / --keep-going / --diagnostics from `args` (wherever they
+/// appear) and return the parsed options.  Throws std::runtime_error with
+/// a uniform message on a missing or malformed value.
 EngineOptions extract_engine_options(std::vector<std::string>& args);
 
 /// The value following flag `args[i]`; advances `i` past it.  Throws

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "engine/metrics.hpp"
+#include "util/failpoint.hpp"
 
 namespace sva {
 
@@ -159,6 +160,10 @@ void TaskGroup::run(std::function<void()> fn) {
   pool_->submit([this, fn = std::move(fn)] {
     std::exception_ptr error;
     try {
+      // Inside the capture, so an injected task fault surfaces exactly
+      // like a real one: rethrown at the group's wait(), where the owning
+      // job's isolation boundary classifies it.
+      SVA_FAILPOINT("engine.task");
       fn();
     } catch (...) {
       error = std::current_exception();

@@ -1,0 +1,122 @@
+#include "util/diagnostics.hpp"
+
+#include <cctype>
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace sva {
+namespace {
+
+LogLevel log_level_of(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::Info:
+      return LogLevel::Info;
+    case DiagSeverity::Warning:
+      return LogLevel::Warn;
+    case DiagSeverity::Error:
+      return LogLevel::Error;
+  }
+  return LogLevel::Error;
+}
+
+}  // namespace
+
+const char* severity_label(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::Info:
+      return "info";
+    case DiagSeverity::Warning:
+      return "warning";
+    case DiagSeverity::Error:
+      return "error";
+  }
+  return "error";
+}
+
+Diagnostics& Diagnostics::global() {
+  static Diagnostics sink;
+  return sink;
+}
+
+void Diagnostics::report(DiagSeverity severity, std::string component,
+                         std::string code, std::string message) {
+  if (log_level() <= log_level_of(severity))
+    log(log_level_of(severity),
+        "[" + component + "/" + code + "] " + message);
+  MetricsRegistry::global()
+      .counter(std::string("diagnostics.") + severity_label(severity))
+      .add();
+  MetricsRegistry::global().counter("diag." + code).add();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_[static_cast<std::size_t>(severity)];
+  if (entries_.size() >= kMaxStored) {
+    ++dropped_;
+    return;
+  }
+  entries_.push_back({severity, std::move(component), std::move(code),
+                      std::move(message)});
+}
+
+std::vector<Diagnostic> Diagnostics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::uint64_t Diagnostics::count(DiagSeverity severity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[static_cast<std::size_t>(severity)];
+}
+
+std::size_t Diagnostics::count_code(const std::string& code) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const Diagnostic& d : entries_)
+    if (d.code == code) ++n;
+  return n;
+}
+
+std::string Diagnostics::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty() && totals_[0] + totals_[1] + totals_[2] == 0)
+    return "";
+  std::string out;
+  for (const Diagnostic& d : entries_) {
+    const char level = severity_label(d.severity)[0];
+    out += "  ";
+    out += static_cast<char>(std::toupper(level));
+    out += " [" + d.component + "] " + d.code + ": " + d.message + "\n";
+  }
+  if (dropped_ > 0)
+    out += "  ... " + std::to_string(dropped_) + " further entries dropped\n";
+  out += "  summary: " + std::to_string(totals_[2]) + " error(s), " +
+         std::to_string(totals_[1]) + " warning(s), " +
+         std::to_string(totals_[0]) + " info\n";
+  return out;
+}
+
+void Diagnostics::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  dropped_ = 0;
+  totals_[0] = totals_[1] = totals_[2] = 0;
+}
+
+void diag_info(std::string component, std::string code, std::string message) {
+  Diagnostics::global().report(DiagSeverity::Info, std::move(component),
+                               std::move(code), std::move(message));
+}
+
+void diag_warn(std::string component, std::string code, std::string message) {
+  Diagnostics::global().report(DiagSeverity::Warning, std::move(component),
+                               std::move(code), std::move(message));
+}
+
+void diag_error(std::string component, std::string code, std::string message) {
+  Diagnostics::global().report(DiagSeverity::Error, std::move(component),
+                               std::move(code), std::move(message));
+}
+
+}  // namespace sva

@@ -1,0 +1,106 @@
+#pragma once
+// Named fault-injection points, near-zero-cost when disabled.
+//
+// A failpoint is a named hook compiled into a failure-prone code path --
+// cache file reads, per-cell OPC solves, batch jobs -- that normally does
+// nothing: the macro is one relaxed atomic load of a global "anything
+// configured?" counter.  When a test (or the SVA_FAILPOINTS environment
+// variable, parsed by the CLI) arms a failpoint, hits at that site execute
+// the configured action:
+//
+//   throw        throw FailPointError on every hit
+//   prob(p)      throw FailPointError with probability p per hit
+//   delay(ms)    sleep for `ms` milliseconds, then continue
+//   corrupt      flip a payload byte at sites that support it (serialize
+//                writes); sites without a payload treat corrupt as throw
+//   off          disarm (same as clear())
+//
+// Probability decisions are a pure hash of (site name, hit key), so a site
+// keyed by a stable identity -- the circuit name for "batch.job", the cell
+// name for "opc.cell_solve" -- classifies deterministically across runs
+// and thread schedules.  Unkeyed sites roll a fresh per-hit counter key,
+// which is what lets a bounded retry of a transiently failing read succeed
+// on the next attempt.
+//
+// The wired sites are listed in catalogue(); the chaos suite sweeps it.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sva {
+
+/// Fault injected by an armed failpoint.  Deliberately a plain sva::Error
+/// subclass: injected faults must flow through exactly the handling that
+/// real faults of the wrapped operation would.
+class FailPointError : public Error {
+ public:
+  explicit FailPointError(const std::string& what) : Error(what) {}
+};
+
+/// What a hit on an armed failpoint asks the site to do.  Throwing actions
+/// never return through hit(); Corrupt is returned only to sites that
+/// declared support for it.
+enum class FailAction { None, Corrupt };
+
+class FailPoints {
+ public:
+  /// Fast path: false whenever no failpoint is armed (one relaxed load).
+  static bool any_active() {
+    return active_count().load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arm `name` with an action spec ("throw", "prob(0.1)", "delay(5)",
+  /// "corrupt", "off").  Throws PreconditionError on a malformed spec.
+  static void set(const std::string& name, const std::string& spec);
+  static void clear(const std::string& name);
+  static void clear_all();
+
+  /// Parse a comma-separated "name=spec,name=spec" list (the
+  /// SVA_FAILPOINTS format) and arm every entry.
+  static void configure(const std::string& list);
+  /// configure($SVA_FAILPOINTS) when the variable is set; returns the
+  /// number of armed failpoints.
+  static std::size_t configure_from_env();
+
+  /// Names of every failpoint site wired into the codebase, for sweeps
+  /// and documentation.  Arming a name outside this list is allowed (the
+  /// hook simply never fires).
+  static const std::vector<std::string>& catalogue();
+
+  /// Number of times an armed action actually fired (threw, corrupted, or
+  /// delayed) at `name` since the last clear of that name.
+  static std::uint64_t fired_count(const std::string& name);
+
+  /// Slow path behind any_active(): look up `name`, execute its action.
+  /// `key` seeds the prob() decision; kNoKey draws a fresh per-hit counter
+  /// value instead.  Sites that can corrupt their payload pass
+  /// supports_corrupt=true and honour a Corrupt return.
+  static constexpr std::uint64_t kNoKey = ~0ull;
+  static FailAction hit(const char* name, std::uint64_t key = kNoKey,
+                        bool supports_corrupt = false);
+
+ private:
+  static std::atomic<int>& active_count();
+};
+
+}  // namespace sva
+
+/// Failpoint with a per-hit counter key: each hit (and each retry) rolls
+/// an independent prob() decision.
+#define SVA_FAILPOINT(name)                               \
+  do {                                                    \
+    if (::sva::FailPoints::any_active())                  \
+      ::sva::FailPoints::hit(name);                       \
+  } while (false)
+
+/// Failpoint keyed by a stable identity: prob() classifies the same key
+/// the same way in every run and on every thread schedule.
+#define SVA_FAILPOINT_KEYED(name, key)                    \
+  do {                                                    \
+    if (::sva::FailPoints::any_active())                  \
+      ::sva::FailPoints::hit(name, (key));                \
+  } while (false)

@@ -1,4 +1,4 @@
-#include "engine/metrics.hpp"
+#include "util/metrics.hpp"
 
 #include <cstdio>
 

@@ -1,0 +1,53 @@
+#pragma once
+// Bounded retry-with-backoff for transient I/O.
+//
+// Cache reads can fail transiently (NFS hiccup, AV scanner holding the
+// file, an injected "serialize.read" fault); retrying a couple of times
+// with a short exponential backoff converts those into a warm start that
+// is bit-identical to an untroubled run.  Permanent conditions are not
+// retried: FileMissingError (a missing snapshot is the normal cold start)
+// rethrows immediately, and anything still failing after max_attempts
+// propagates to the caller's degradation path.
+//
+// Every swallowed failure counts the "io.retries" metric, so soak runs
+// show how often the transient path actually fired.
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/serialize.hpp"
+
+namespace sva {
+
+struct RetryPolicy {
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{1};
+  int backoff_multiplier = 2;
+};
+
+/// Run `fn`, retrying transient sva::Error failures per `policy`.  Returns
+/// fn()'s value; rethrows FileMissingError immediately and the last error
+/// once attempts are exhausted.
+template <typename Fn>
+auto with_retry(const char* what, const RetryPolicy& policy, Fn&& fn)
+    -> decltype(fn()) {
+  auto backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const FileMissingError&) {
+      throw;  // permanent: absence is a state, not a fault
+    } catch (const Error& e) {
+      if (attempt >= policy.max_attempts) throw;
+      MetricsRegistry::global().counter("io.retries").add();
+      log_debug("retrying ", what, " (attempt ", attempt, "/",
+                policy.max_attempts, "): ", e.what());
+      std::this_thread::sleep_for(backoff);
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace sva

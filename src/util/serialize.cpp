@@ -3,9 +3,13 @@
 #include <unistd.h>
 
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
 
 namespace sva {
 namespace {
@@ -113,9 +117,11 @@ void ByteWriter::vec_f64(const std::vector<double>& v) {
   u64(v.size());
   if constexpr (std::endian::native == std::endian::little) {
     // Bulk append: IEEE-754 doubles on a little-endian host already have
-    // the on-disk byte order.
-    buf_.append(reinterpret_cast<const char*>(v.data()),
-                v.size() * sizeof(double));
+    // the on-disk byte order.  Empty vectors may hand out a null data()
+    // pointer, which append/memcpy must never see.
+    if (!v.empty())
+      buf_.append(reinterpret_cast<const char*>(v.data()),
+                  v.size() * sizeof(double));
   } else {
     for (double x : v) f64(x);
   }
@@ -151,8 +157,9 @@ std::vector<double> ByteReader::vec_f64() {
     throw SerializeError("corrupt vector length " + std::to_string(n));
   std::vector<double> v(static_cast<std::size_t>(n));
   if constexpr (std::endian::native == std::endian::little) {
-    std::memcpy(v.data(), need(v.size() * sizeof(double)),
-                v.size() * sizeof(double));
+    if (!v.empty())
+      std::memcpy(v.data(), need(v.size() * sizeof(double)),
+                  v.size() * sizeof(double));
   } else {
     for (double& x : v) x = f64();
   }
@@ -209,6 +216,18 @@ LookupTable2D deserialize_lut2d(ByteReader& r) {
 
 void atomic_write_file(const std::string& path, const std::string& bytes) {
   namespace fs = std::filesystem;
+  // Failpoint: throw models a failed write; corrupt flips one payload byte
+  // (the checksum-validated read path must catch it and quarantine).
+  const std::string* payload = &bytes;
+  std::string corrupted;
+  if (FailPoints::any_active() &&
+      FailPoints::hit("serialize.write", FailPoints::kNoKey,
+                      /*supports_corrupt=*/true) == FailAction::Corrupt &&
+      !bytes.empty()) {
+    corrupted = bytes;
+    corrupted[corrupted.size() / 2] ^= 0x55;
+    payload = &corrupted;
+  }
   const fs::path target(path);
   std::error_code ec;
   if (target.has_parent_path()) {
@@ -221,12 +240,19 @@ void atomic_write_file(const std::string& path, const std::string& bytes) {
       target.string() + ".tmp." + std::to_string(::getpid());
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) throw Error("cannot open '" + tmp.string() + "' for write");
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const std::size_t written =
+      std::fwrite(payload->data(), 1, payload->size(), f);
   const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
-  if (written != bytes.size() || !flushed) {
+  if (written != payload->size() || !flushed) {
     fs::remove(tmp, ec);
     throw Error("short write to '" + tmp.string() + "'");
+  }
+  try {
+    SVA_FAILPOINT("serialize.rename");
+  } catch (...) {
+    fs::remove(tmp, ec);
+    throw;
   }
   fs::rename(tmp, target, ec);
   if (ec) {
@@ -238,8 +264,15 @@ void atomic_write_file(const std::string& path, const std::string& bytes) {
 }
 
 std::string read_file_bytes(const std::string& path) {
+  // Unkeyed failpoint: a prob() fault here re-rolls per attempt, so a
+  // bounded retry (util/retry.hpp) models a genuinely transient error.
+  SVA_FAILPOINT("serialize.read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw SerializeError("cannot open '" + path + "'");
+  if (f == nullptr) {
+    if (errno == ENOENT)
+      throw FileMissingError("no such file '" + path + "'");
+    throw SerializeError("cannot open '" + path + "'");
+  }
   std::string bytes;
   char chunk[65536];
   std::size_t n = 0;
@@ -249,6 +282,17 @@ std::string read_file_bytes(const std::string& path) {
   std::fclose(f);
   if (failed) throw SerializeError("read error on '" + path + "'");
   return bytes;
+}
+
+bool quarantine_file(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".corrupt", ec);
+  if (ec) {
+    log_warn("quarantine of '", path, "' failed: ", ec.message());
+    return false;
+  }
+  log_warn("quarantined corrupt file '", path, "' -> '", path, ".corrupt'");
+  return true;
 }
 
 }  // namespace sva

@@ -29,6 +29,14 @@ class SerializeError : public Error {
   explicit SerializeError(const std::string& what) : Error(what) {}
 };
 
+/// The file simply does not exist (the normal cold start).  Distinct from
+/// other read failures so retry logic can treat absence as permanent while
+/// retrying genuinely transient I/O errors.
+class FileMissingError : public SerializeError {
+ public:
+  explicit FileMissingError(const std::string& what) : SerializeError(what) {}
+};
+
 /// 64-bit FNV-1a over a byte range.
 std::uint64_t fnv1a64(const void* data, std::size_t size,
                       std::uint64_t seed = 0xcbf29ce484222325ull);
@@ -113,8 +121,15 @@ LookupTable2D deserialize_lut2d(ByteReader& r);
 /// directories.  Throws Error on I/O failure.
 void atomic_write_file(const std::string& path, const std::string& bytes);
 
-/// Whole file as bytes; empty optional-style: throws SerializeError when
-/// the file cannot be opened or read.
+/// Whole file as bytes; throws FileMissingError when the file does not
+/// exist and SerializeError on any other open/read failure.
 std::string read_file_bytes(const std::string& path);
+
+/// Best-effort quarantine of a corrupt snapshot: rename `path` to
+/// `path + ".corrupt"` (replacing any previous quarantine) so it is never
+/// re-parsed -- the next run cold-starts cleanly instead of re-validating
+/// a file known to be bad.  Returns false (and logs) when the rename
+/// itself fails; never throws.
+bool quarantine_file(const std::string& path) noexcept;
 
 }  // namespace sva

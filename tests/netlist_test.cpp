@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "netlist/bench_format.hpp"
 #include "netlist/iscas85.hpp"
 #include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
 #include "util/error.hpp"
 
 namespace sva {
@@ -168,6 +171,161 @@ INSTANTIATE_TEST_SUITE_P(Iscas, AllBenchmarks,
                          ::testing::Values("C432", "C499", "C880", "C1355",
                                            "C1908", "C2670", "C3540",
                                            "C5315", "C6288", "C7552"));
+
+// ----------------------------------------------- malformed-input corpus
+//
+// Every reader failure must be a precise sva::Error, never a crash or a
+// silently wrong netlist.  Each case asserts the diagnostic substring the
+// parser documents, so error messages stay stable contracts.
+
+/// Run `fn`, assert it throws sva::Error whose message contains `expect`.
+template <typename Fn>
+void expect_parse_error(const std::string& what, const std::string& expect,
+                        Fn&& fn) {
+  try {
+    fn();
+    FAIL() << what << ": expected an sva::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(expect), std::string::npos)
+        << what << ": message was '" << e.what() << "'";
+  }
+}
+
+TEST(BenchCorpus, WellFormedInputStillParses) {
+  // Sanity anchor: the corpus failures below are caused by the
+  // malformation alone, not by the harness.
+  const Netlist nl = load_bench(
+      "# c-tiny\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", lib(),
+      "tiny");
+  EXPECT_GE(nl.gates().size(), 1u);  // mapper may decompose/buffer
+  EXPECT_EQ(nl.primary_input_count(), 2u);
+  EXPECT_EQ(nl.primary_output_count(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchCorpus, EmptyAndDeclarationlessInputs) {
+  expect_parse_error("empty file", "no INPUT declarations",
+                     [] { parse_bench(""); });
+  expect_parse_error("comments only", "no INPUT declarations",
+                     [] { parse_bench("# just a comment\n\n"); });
+  expect_parse_error("no outputs", "no OUTPUT declarations",
+                     [] { parse_bench("INPUT(a)\n"); });
+}
+
+TEST(BenchCorpus, GarbageAndTruncatedLines) {
+  expect_parse_error(".bench garbage line", ".bench line 2",
+                     [] { parse_bench("INPUT(a)\n%!@ garbage\n"); });
+  expect_parse_error("truncated gate", "expected 'out = OP(in, ...)'", [] {
+    parse_bench("INPUT(a)\nOUTPUT(g)\ng = AND(a\n");
+  });
+  expect_parse_error("empty operand", "empty operand", [] {
+    parse_bench("INPUT(a)\nOUTPUT(g)\ng = AND(a, )\n");
+  });
+  expect_parse_error("empty signal name", "empty signal name",
+                     [] { parse_bench("INPUT()\n"); });
+  expect_parse_error("unknown declaration", "unknown declaration",
+                     [] { parse_bench("SIGNAL(a)\n"); });
+}
+
+TEST(BenchCorpus, SemanticViolations) {
+  expect_parse_error("duplicate driver", "signal 'g' driven twice", [] {
+    parse_bench(
+        "INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = AND(a, b)\ng = OR(a, b)\n");
+  });
+  expect_parse_error("duplicate input", "duplicate INPUT 'a'",
+                     [] { parse_bench("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"); });
+  expect_parse_error("combinational cycle", "combinational cycle through", [] {
+    parse_bench(
+        "INPUT(a)\nOUTPUT(y)\n"
+        "b = AND(a, c)\nc = AND(a, b)\ny = AND(b, c)\n");
+  });
+  expect_parse_error("unknown gate type", "unknown gate type 'MAJ'", [] {
+    parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = MAJ(a, b)\n");
+  });
+  expect_parse_error("sequential element", "sequential element", [] {
+    parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n");
+  });
+  expect_parse_error("undefined signal", "undefined signal 'phantom'", [] {
+    parse_bench("INPUT(a)\nOUTPUT(g)\ng = AND(a, phantom)\n");
+  });
+  expect_parse_error("NOT arity", "NOT takes exactly one input", [] {
+    parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = NOT(a, b)\n");
+  });
+}
+
+TEST(VerilogCorpus, WellFormedInputStillParses) {
+  const Netlist nl = parse_verilog(
+      "module tiny (a, b, y);\n"
+      "  input a, b;\n  output y;\n"
+      "  NAND2_X1 u1 (.A(a), .B(b), .Y(y));\n"
+      "endmodule\n",
+      lib());
+  EXPECT_EQ(nl.gates().size(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(VerilogCorpus, EmptyGarbageAndTruncatedSources) {
+  EXPECT_THROW(parse_verilog("", lib()), PreconditionError);
+  EXPECT_THROW(parse_verilog("// only a comment\n", lib()),
+               PreconditionError);
+  expect_parse_error("garbage prelude", "expected 'module'",
+                     [] { parse_verilog("entity tiny is\n", lib()); });
+  expect_parse_error("truncated module", "unexpected end of file",
+                     [] { parse_verilog("module m (a);\ninput a;\n", lib()); });
+  expect_parse_error("truncated instance", "unexpected end of file", [] {
+    parse_verilog("module m (y);\noutput y;\nINV_X1 u1 (.A(", lib());
+  });
+}
+
+TEST(VerilogCorpus, SemanticViolations) {
+  expect_parse_error("duplicate input", "duplicate input 'a'", [] {
+    parse_verilog(
+        "module m (a, y);\ninput a, a;\noutput y;\n"
+        "INV_X1 u1 (.A(a), .Y(y));\nendmodule\n",
+        lib());
+  });
+  expect_parse_error("driven twice", "net 'y' driven twice", [] {
+    parse_verilog(
+        "module m (a, y);\ninput a;\noutput y;\n"
+        "INV_X1 u1 (.A(a), .Y(y));\nINV_X1 u2 (.A(a), .Y(y));\nendmodule\n",
+        lib());
+  });
+  expect_parse_error("combinational cycle", "combinational cycle through", [] {
+    parse_verilog(
+        "module m (a, y);\ninput a;\noutput y;\nwire w1, w2;\n"
+        "INV_X1 u1 (.A(w2), .Y(w1));\n"
+        "INV_X1 u2 (.A(w1), .Y(w2));\n"
+        "INV_X1 u3 (.A(w1), .Y(y));\nendmodule\n",
+        lib());
+  });
+  expect_parse_error("undriven net", "undriven net 'ghost'", [] {
+    parse_verilog(
+        "module m (y);\noutput y;\n"
+        "INV_X1 u1 (.A(ghost), .Y(y));\nendmodule\n",
+        lib());
+  });
+  expect_parse_error("no outputs", "module declares no outputs", [] {
+    parse_verilog("module m (a);\ninput a;\nendmodule\n", lib());
+  });
+  expect_parse_error("missing .Y", "instance without .Y connection", [] {
+    parse_verilog(
+        "module m (a, y);\ninput a;\noutput y;\n"
+        "INV_X1 u1 (.A(a));\nendmodule\n",
+        lib());
+  });
+  expect_parse_error("unknown pin", "has no input pin Q", [] {
+    parse_verilog(
+        "module m (a, y);\ninput a;\noutput y;\n"
+        "INV_X1 u1 (.Q(a), .Y(y));\nendmodule\n",
+        lib());
+  });
+  expect_parse_error("unconnected pin", "leaves pin B unconnected", [] {
+    parse_verilog(
+        "module m (a, y);\ninput a;\noutput y;\n"
+        "NAND2_X1 u1 (.A(a), .Y(y));\nendmodule\n",
+        lib());
+  });
+}
 
 }  // namespace
 }  // namespace sva

@@ -1,0 +1,737 @@
+// Robustness tests: the fault-injection framework (failpoints), the
+// structured diagnostics sink, bounded retry, snapshot quarantine, the
+// graceful-degradation paths (per-cell OPC fallback, per-job batch
+// isolation), and a chaos sweep over every registered failpoint.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "cell/library_opc.hpp"
+#include "core/flow.hpp"
+#include "engine/batch.hpp"
+#include "engine/context_cache.hpp"
+#include "engine/thread_pool.hpp"
+#include "util/diagnostics.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/retry.hpp"
+#include "util/serialize.hpp"
+
+namespace sva {
+namespace {
+
+/// Flow construction runs library OPC; share one fault-free instance.
+const SvaFlow& shared_flow() {
+  static const SvaFlow* flow = new SvaFlow(FlowConfig{});
+  return *flow;
+}
+
+/// Every test starts and ends with no armed failpoint and a clean
+/// diagnostics sink, so injected faults can never leak across tests.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::clear_all();
+    Diagnostics::global().reset();
+  }
+  void TearDown() override {
+    FailPoints::clear_all();
+    Diagnostics::global().reset();
+  }
+};
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sva_robust_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------------------ failpoints
+
+using FailPointTest = RobustnessTest;
+
+TEST_F(FailPointTest, DisabledByDefault) {
+  EXPECT_FALSE(FailPoints::any_active());
+  SVA_FAILPOINT("robust.test.nothing");  // must be a no-op
+  EXPECT_EQ(FailPoints::fired_count("robust.test.nothing"), 0u);
+}
+
+TEST_F(FailPointTest, ThrowActionFiresEveryHit) {
+  FailPoints::set("robust.test.site", "throw");
+  EXPECT_TRUE(FailPoints::any_active());
+  for (int i = 0; i < 3; ++i)
+    EXPECT_THROW(SVA_FAILPOINT("robust.test.site"), FailPointError);
+  EXPECT_EQ(FailPoints::fired_count("robust.test.site"), 3u);
+  // An armed site does not affect other sites.
+  SVA_FAILPOINT("robust.test.other");
+}
+
+TEST_F(FailPointTest, InjectedFaultIsAnSvaError) {
+  FailPoints::set("robust.test.site", "throw");
+  // FailPointError must flow through the same handlers as real faults.
+  EXPECT_THROW(SVA_FAILPOINT("robust.test.site"), Error);
+}
+
+TEST_F(FailPointTest, OffAndClearDisarm) {
+  FailPoints::set("robust.test.site", "throw");
+  FailPoints::set("robust.test.site", "off");
+  EXPECT_FALSE(FailPoints::any_active());
+  SVA_FAILPOINT("robust.test.site");
+
+  FailPoints::set("robust.test.site", "throw");
+  FailPoints::clear("robust.test.site");
+  EXPECT_FALSE(FailPoints::any_active());
+  SVA_FAILPOINT("robust.test.site");
+}
+
+TEST_F(FailPointTest, ProbEndpointsAreExact) {
+  FailPoints::set("robust.test.p0", "prob(0.0)");
+  for (int i = 0; i < 100; ++i) SVA_FAILPOINT("robust.test.p0");
+  EXPECT_EQ(FailPoints::fired_count("robust.test.p0"), 0u);
+
+  FailPoints::set("robust.test.p1", "prob(1.0)");
+  EXPECT_THROW(SVA_FAILPOINT("robust.test.p1"), FailPointError);
+}
+
+TEST_F(FailPointTest, KeyedProbDecisionIsDeterministic) {
+  FailPoints::set("robust.test.keyed", "prob(0.5)");
+  // The decision is a pure hash of (name, key): replaying the same key
+  // must replay the same outcome, hit after hit.
+  std::vector<bool> first;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    bool threw = false;
+    try {
+      SVA_FAILPOINT_KEYED("robust.test.keyed", key);
+    } catch (const FailPointError&) {
+      threw = true;
+    }
+    first.push_back(threw);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      bool threw = false;
+      try {
+        SVA_FAILPOINT_KEYED("robust.test.keyed", key);
+      } catch (const FailPointError&) {
+        threw = true;
+      }
+      EXPECT_EQ(threw, first[key]) << "key " << key;
+    }
+  }
+  // At p=0.5 over 64 keys, an all-pass or all-fail split would mean the
+  // hash is not mixing (probability 2^-63 for a real uniform).
+  std::size_t fired = 0;
+  for (const bool b : first) fired += b ? 1u : 0u;
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, first.size());
+}
+
+TEST_F(FailPointTest, UnkeyedProbRerollsPerHit) {
+  FailPoints::set("robust.test.roll", "prob(0.5)");
+  // Each unkeyed hit draws a fresh counter key, so across 64 hits both
+  // outcomes must appear (this is what lets a retry succeed).
+  std::size_t threw = 0;
+  for (int i = 0; i < 64; ++i) {
+    try {
+      SVA_FAILPOINT("robust.test.roll");
+    } catch (const FailPointError&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0u);
+  EXPECT_LT(threw, 64u);
+}
+
+TEST_F(FailPointTest, DelayActionSleepsAndContinues) {
+  FailPoints::set("robust.test.delay", "delay(5)");
+  const auto t0 = std::chrono::steady_clock::now();
+  SVA_FAILPOINT("robust.test.delay");  // must not throw
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(5));
+  EXPECT_EQ(FailPoints::fired_count("robust.test.delay"), 1u);
+}
+
+TEST_F(FailPointTest, CorruptHonouredOnlyWhereSupported) {
+  FailPoints::set("robust.test.corrupt", "corrupt");
+  EXPECT_EQ(FailPoints::hit("robust.test.corrupt", FailPoints::kNoKey,
+                            /*supports_corrupt=*/true),
+            FailAction::Corrupt);
+  // A site without a payload treats corrupt as throw.
+  EXPECT_THROW(SVA_FAILPOINT("robust.test.corrupt"), FailPointError);
+}
+
+TEST_F(FailPointTest, ConfigureParsesCommaList) {
+  FailPoints::configure(
+      "robust.test.a=throw,robust.test.b=prob(0.25),robust.test.c=delay(1)");
+  EXPECT_THROW(SVA_FAILPOINT("robust.test.a"), FailPointError);
+  SVA_FAILPOINT("robust.test.c");
+  EXPECT_EQ(FailPoints::fired_count("robust.test.c"), 1u);
+}
+
+TEST_F(FailPointTest, MalformedSpecsRejectedBeforeArming) {
+  for (const char* bad :
+       {"explode", "prob(2)", "prob(-0.1)", "prob(x)", "prob(", "delay(-1)",
+        "delay(abc)", "prob(0.5)x"}) {
+    EXPECT_THROW(FailPoints::set("robust.test.bad", bad), PreconditionError)
+        << bad;
+    EXPECT_FALSE(FailPoints::any_active()) << bad;
+  }
+  EXPECT_THROW(FailPoints::configure("=throw"), PreconditionError);
+  EXPECT_THROW(FailPoints::configure("noequals"), PreconditionError);
+  EXPECT_THROW(FailPoints::set("", "throw"), PreconditionError);
+}
+
+TEST_F(FailPointTest, ConfigureFromEnvArmsAndCounts) {
+  ::setenv("SVA_FAILPOINTS", "robust.test.env=throw", 1);
+  EXPECT_EQ(FailPoints::configure_from_env(), 1u);
+  ::unsetenv("SVA_FAILPOINTS");
+  EXPECT_THROW(SVA_FAILPOINT("robust.test.env"), FailPointError);
+}
+
+TEST_F(FailPointTest, CatalogueListsEveryWiredSite) {
+  const std::vector<std::string>& sites = FailPoints::catalogue();
+  for (const char* expected :
+       {"serialize.read", "serialize.write", "serialize.rename",
+        "context_cache.load", "context_cache.save", "flow.setup_load",
+        "opc.cell_solve", "engine.task", "batch.job"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << expected;
+  }
+}
+
+// ----------------------------------------------------------- diagnostics
+
+using DiagnosticsTest = RobustnessTest;
+
+TEST_F(DiagnosticsTest, ReportCountsAndSnapshots) {
+  Diagnostics& diag = Diagnostics::global();
+  diag_warn("opc", "opc_cell_degraded", "cell NAND2 fell back");
+  diag_error("batch", "batch_job_failed", "job 0 (C432) failed");
+  diag_info("flow", "setup_note", "warm start");
+
+  EXPECT_EQ(diag.count(DiagSeverity::Warning), 1u);
+  EXPECT_EQ(diag.count(DiagSeverity::Error), 1u);
+  EXPECT_EQ(diag.count(DiagSeverity::Info), 1u);
+  EXPECT_EQ(diag.count_code("opc_cell_degraded"), 1u);
+  EXPECT_EQ(diag.count_code("no_such_code"), 0u);
+
+  const std::vector<Diagnostic> entries = diag.snapshot();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].component, "opc");
+  EXPECT_EQ(entries[0].code, "opc_cell_degraded");
+  EXPECT_EQ(entries[1].severity, DiagSeverity::Error);
+}
+
+TEST_F(DiagnosticsTest, RenderListsEntriesAndSummary) {
+  Diagnostics& diag = Diagnostics::global();
+  EXPECT_TRUE(diag.render().empty());
+  diag_warn("context_cache", "cache_quarantined", "snapshot x quarantined");
+  const std::string report = diag.render();
+  EXPECT_NE(report.find("cache_quarantined"), std::string::npos);
+  EXPECT_NE(report.find("context_cache"), std::string::npos);
+  EXPECT_NE(report.find("1 warning"), std::string::npos);
+
+  diag.reset();
+  EXPECT_TRUE(diag.render().empty());
+  EXPECT_EQ(diag.count(DiagSeverity::Warning), 0u);
+}
+
+TEST_F(DiagnosticsTest, SeverityTotalsExactPastStorageCap) {
+  Diagnostics& diag = Diagnostics::global();
+  const std::size_t n = Diagnostics::kMaxStored + 17;
+  for (std::size_t i = 0; i < n; ++i)
+    diag_warn("soak", "soak_overflow", "entry");
+  EXPECT_EQ(diag.count(DiagSeverity::Warning), n);
+  // Stored detail is bounded; totals are not.
+  EXPECT_EQ(diag.snapshot().size(), Diagnostics::kMaxStored);
+  EXPECT_EQ(diag.count_code("soak_overflow"), Diagnostics::kMaxStored);
+}
+
+TEST_F(DiagnosticsTest, ConcurrentReportsAllCounted) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i)
+        diag_warn("stress", "stress_code", "m");
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(Diagnostics::global().count(DiagSeverity::Warning),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST_F(DiagnosticsTest, ReportsFeedMetrics) {
+  const std::uint64_t before =
+      MetricsRegistry::global().counter("diag.metrics_probe").value();
+  diag_warn("test", "metrics_probe", "x");
+  diag_warn("test", "metrics_probe", "y");
+  EXPECT_EQ(MetricsRegistry::global().counter("diag.metrics_probe").value(),
+            before + 2);
+}
+
+// ----------------------------------------------------------------- retry
+
+using RetryTest = RobustnessTest;
+
+TEST_F(RetryTest, TransientFailureEventuallySucceeds) {
+  int attempts = 0;
+  const int value = with_retry("unit", RetryPolicy{}, [&] {
+    if (++attempts < 3) throw SerializeError("transient");
+    return 42;
+  });
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST_F(RetryTest, ExhaustedAttemptsRethrowLastError) {
+  int attempts = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_THROW(with_retry("unit", policy,
+                          [&]() -> int {
+                            ++attempts;
+                            throw SerializeError("persistent");
+                          }),
+               SerializeError);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST_F(RetryTest, FileMissingIsPermanentNotRetried) {
+  int attempts = 0;
+  EXPECT_THROW(with_retry("unit", RetryPolicy{},
+                          [&]() -> int {
+                            ++attempts;
+                            throw FileMissingError("no such file");
+                          }),
+               FileMissingError);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST_F(RetryTest, InjectedFaultsAreRetriable) {
+  // A FailPointError is an sva::Error, so an injected transient read
+  // fault goes down the same retry path as a real one.
+  FailPoints::set("robust.test.retry", "throw");
+  int attempts = 0;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  EXPECT_THROW(with_retry("unit", policy,
+                          [&]() -> int {
+                            ++attempts;
+                            SVA_FAILPOINT("robust.test.retry");
+                            return 0;
+                          }),
+               FailPointError);
+  EXPECT_EQ(attempts, 2);
+}
+
+// ----------------------------------------- quarantine & cache degradation
+
+using CacheFaultTest = RobustnessTest;
+
+TEST_F(CacheFaultTest, CorruptSnapshotQuarantinedOnce) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::string dir = fresh_dir("quarantine");
+  const ContextCache cache(library);
+  const std::string path = cache.cache_file_path(dir);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << std::string(64, '\x42');
+  }
+
+  const std::uint64_t quarantined_before =
+      MetricsRegistry::global().counter("context_cache.quarantined").value();
+  EXPECT_FALSE(cache.try_load(dir));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_EQ(
+      MetricsRegistry::global().counter("context_cache.quarantined").value(),
+      quarantined_before + 1);
+  EXPECT_EQ(Diagnostics::global().count_code("cache_quarantined"), 1u);
+
+  // The next run sees a clean miss, not a re-parse of the bad file.
+  const ContextCache cold(library);
+  EXPECT_FALSE(cold.try_load(dir));
+  EXPECT_EQ(Diagnostics::global().count_code("cache_quarantined"), 1u);
+}
+
+TEST_F(CacheFaultTest, InjectedLoadFaultQuarantines) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::string dir = fresh_dir("loadfault");
+  const ContextCache seed(library);
+  seed.version_lengths(0, version_key(0, library.bins().count()));
+  seed.save(dir);
+
+  FailPoints::set("context_cache.load", "throw");
+  const ContextCache cache(library);
+  EXPECT_FALSE(cache.try_load(dir));
+  EXPECT_GE(FailPoints::fired_count("context_cache.load"), 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(cache.cache_file_path(dir) + ".corrupt"));
+  EXPECT_EQ(Diagnostics::global().count_code("cache_quarantined"), 1u);
+}
+
+TEST_F(CacheFaultTest, ReadFaultDoesNotQuarantineTheFile) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::string dir = fresh_dir("readfault");
+  const ContextCache seed(library);
+  seed.version_lengths(0, version_key(0, library.bins().count()));
+  seed.save(dir);
+
+  // Transport failure on every attempt: degrade to a cold start but leave
+  // the (possibly fine) file in place.
+  FailPoints::set("serialize.read", "throw");
+  const ContextCache cache(library);
+  EXPECT_FALSE(cache.try_load(dir));
+  EXPECT_TRUE(std::filesystem::exists(cache.cache_file_path(dir)));
+  EXPECT_EQ(Diagnostics::global().count_code("cache_read_failed"), 1u);
+  EXPECT_EQ(Diagnostics::global().count_code("cache_quarantined"), 0u);
+
+  // Once the transport heals, the untouched snapshot loads cleanly.
+  FailPoints::clear_all();
+  const ContextCache healed(library);
+  EXPECT_TRUE(healed.try_load(dir));
+}
+
+TEST_F(CacheFaultTest, SaveFaultLeavesNoPartialFile) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::string dir = fresh_dir("savefault");
+  const ContextCache cache(library);
+  cache.version_lengths(0, version_key(0, library.bins().count()));
+
+  FailPoints::set("context_cache.save", "throw");
+  EXPECT_THROW(cache.save(dir), FailPointError);
+  FailPoints::clear_all();
+  EXPECT_FALSE(std::filesystem::exists(cache.cache_file_path(dir)));
+  EXPECT_EQ(cache.save(dir), 1u);
+}
+
+TEST_F(CacheFaultTest, RenameFaultLeavesNoTempFiles) {
+  const std::string dir = fresh_dir("renamefault");
+  FailPoints::set("serialize.rename", "throw");
+  EXPECT_THROW(atomic_write_file(dir + "/x.svac", "payload"), FailPointError);
+  FailPoints::clear_all();
+  // The temp file was cleaned up and the target never appeared.
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+}
+
+TEST_F(CacheFaultTest, CorruptWriteIsRejectedAtLoad) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::string dir = fresh_dir("corruptwrite");
+  const ContextCache seed(library);
+  seed.version_lengths(0, version_key(0, library.bins().count()));
+
+  // A corrupted save goes to disk (one payload byte flipped); the
+  // checksum must catch it on load and quarantine the file.
+  FailPoints::set("serialize.write", "corrupt");
+  seed.save(dir);
+  FailPoints::clear_all();
+
+  const ContextCache cache(library);
+  EXPECT_FALSE(cache.try_load(dir));
+  EXPECT_TRUE(
+      std::filesystem::exists(cache.cache_file_path(dir) + ".corrupt"));
+  EXPECT_EQ(cache.stats().characterized, 0u);
+}
+
+// ------------------------------------------------- OPC graceful fallback
+
+using OpcDegradeTest = RobustnessTest;
+
+const CellLibrary& test_library() {
+  static const CellLibrary library = build_standard_library();
+  return library;
+}
+
+const OpcEngine& test_engine() {
+  static const LithoProcess* proc =
+      new LithoProcess(OpticsConfig{}, 90.0, 240.0);
+  static const OpcEngine* engine = new OpcEngine(*proc, OpcConfig{});
+  return *engine;
+}
+
+TEST_F(OpcDegradeTest, FallbackIsUniformDrawnCd) {
+  const CellMaster& master = test_library().masters()[0];
+  const LibraryOpcCellResult fb = library_opc_fallback(master);
+  EXPECT_TRUE(fb.degraded);
+  EXPECT_EQ(fb.images_simulated, 0u);
+  ASSERT_EQ(fb.device_cd.size(), master.devices().size());
+  for (std::size_t i = 0; i < fb.device_cd.size(); ++i) {
+    EXPECT_EQ(fb.device_cd[i], master.tech().gate_length);
+    EXPECT_EQ(fb.device_mask_width[i], master.tech().gate_length);
+  }
+}
+
+TEST_F(OpcDegradeTest, DegradePolicyIsolatesEveryFailedCell) {
+  FailPoints::set("opc.cell_solve", "throw");
+  const std::vector<LibraryOpcCellResult> results =
+      library_opc_all(test_library().masters(), test_engine(), {},
+                      FaultPolicy::Degrade);
+  ASSERT_EQ(results.size(), test_library().size());
+  for (const LibraryOpcCellResult& r : results) EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(Diagnostics::global().count_code("opc_cell_degraded"),
+            test_library().size());
+}
+
+TEST_F(OpcDegradeTest, StrictPolicyPropagatesTheFault) {
+  FailPoints::set("opc.cell_solve", "throw");
+  EXPECT_THROW(library_opc_all(test_library().masters(), test_engine(), {},
+                               FaultPolicy::Strict),
+               FailPointError);
+}
+
+TEST_F(OpcDegradeTest, KeyedProbClassifiesCellsDeterministically) {
+  // prob() keyed by cell name: the same subset of cells degrades on every
+  // run and every thread schedule.
+  FailPoints::set("opc.cell_solve", "prob(0.8)");
+  const auto first = library_opc_all(test_library().masters(), test_engine(),
+                                     {}, FaultPolicy::Degrade);
+  const auto second = library_opc_all(test_library().masters(), test_engine(),
+                                      {}, FaultPolicy::Degrade);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].degraded, second[i].degraded) << "cell " << i;
+    if (first[i].degraded) {
+      EXPECT_EQ(first[i].device_cd, second[i].device_cd);
+    }
+  }
+}
+
+TEST_F(OpcDegradeTest, DegradedFlowSetupIsNeverPersisted) {
+  const std::string dir = fresh_dir("degradedsetup");
+  FailPoints::set("opc.cell_solve", "throw");
+  FlowConfig cfg;
+  cfg.cache_dir = dir;
+  const SvaFlow flow(cfg);
+  EXPECT_TRUE(flow.setup_degraded());
+  EXPECT_FALSE(std::filesystem::exists(flow.setup_cache_file_path(dir)));
+  FailPoints::clear_all();
+
+  // The degraded flow still analyzes end to end with sane outputs.
+  const CircuitAnalysis a = flow.analyze_benchmark("C432");
+  EXPECT_GT(a.gate_count, 0u);
+  EXPECT_GT(a.trad_nom_ps, 0.0);
+  EXPECT_GT(a.sva_wc_ps, 0.0);
+  EXPECT_GE(a.trad_wc_ps, a.trad_bc_ps);
+}
+
+TEST_F(OpcDegradeTest, StrictFlowConstructionThrows) {
+  FailPoints::set("opc.cell_solve", "throw");
+  FlowConfig cfg;
+  cfg.fault_policy = FaultPolicy::Strict;
+  EXPECT_THROW(SvaFlow{cfg}, FailPointError);
+}
+
+// ------------------------------------------------- batch fault isolation
+
+using BatchFaultTest = RobustnessTest;
+
+void expect_same_analysis(const CircuitAnalysis& a, const CircuitAnalysis& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.name, b.name) << what;
+  EXPECT_EQ(a.gate_count, b.gate_count) << what;
+  EXPECT_EQ(a.trad_nom_ps, b.trad_nom_ps) << what;
+  EXPECT_EQ(a.trad_bc_ps, b.trad_bc_ps) << what;
+  EXPECT_EQ(a.trad_wc_ps, b.trad_wc_ps) << what;
+  EXPECT_EQ(a.sva_nom_ps, b.sva_nom_ps) << what;
+  EXPECT_EQ(a.sva_bc_ps, b.sva_bc_ps) << what;
+  EXPECT_EQ(a.sva_wc_ps, b.sva_wc_ps) << what;
+  EXPECT_EQ(a.arc_class_counts, b.arc_class_counts) << what;
+}
+
+TEST_F(BatchFaultTest, AllJobsFailButTheBatchSurvives) {
+  const SvaFlow& flow = shared_flow();
+  ThreadPool pool(2);
+  const BatchRunner runner(flow, pool);
+  FailPoints::set("batch.job", "throw");
+  const BatchResult batch = runner.run_names({"C432", "C880"});
+  ASSERT_EQ(batch.outcomes.size(), 2u);
+  EXPECT_FALSE(batch.all_ok());
+  EXPECT_EQ(batch.failed_count(), 2u);
+  for (std::size_t i = 0; i < batch.analyses.size(); ++i) {
+    EXPECT_FALSE(batch.outcomes[i].ok);
+    EXPECT_NE(batch.outcomes[i].error.find("batch.job"), std::string::npos);
+    // Failed slot: name kept, numbers deterministically zeroed.
+    EXPECT_FALSE(batch.analyses[i].name.empty());
+    EXPECT_EQ(batch.analyses[i].gate_count, 0u);
+    EXPECT_EQ(batch.analyses[i].trad_wc_ps, 0.0);
+  }
+  EXPECT_EQ(Diagnostics::global().count_code("batch_job_failed"), 2u);
+}
+
+TEST_F(BatchFaultTest, ProbFaultClassifiesJobsDeterministically) {
+  const SvaFlow& flow = shared_flow();
+  const std::vector<std::string> names = {"C432", "C499", "C880", "C1355"};
+
+  // Fault-free reference (serial analyze path).
+  FailPoints::clear_all();
+  std::vector<CircuitAnalysis> reference;
+  for (const std::string& name : names)
+    reference.push_back(flow.analyze_benchmark(name));
+
+  FailPoints::set("batch.job", "prob(0.5)");
+  ThreadPool pool(2);
+  const BatchRunner runner(flow, pool);
+  const BatchResult first = runner.run_names(names);
+  const BatchResult second = runner.run_names(names);
+  ASSERT_EQ(first.outcomes.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    // prob() is keyed by circuit name: the classification repeats exactly.
+    EXPECT_EQ(first.outcomes[i].ok, second.outcomes[i].ok) << names[i];
+    if (first.outcomes[i].ok) {
+      // Surviving jobs are bit-identical to a fault-free run.
+      expect_same_analysis(first.analyses[i], reference[i], names[i]);
+      expect_same_analysis(second.analyses[i], reference[i], names[i]);
+    } else {
+      EXPECT_EQ(first.analyses[i].name, names[i]);
+      EXPECT_EQ(first.analyses[i].gate_count, 0u);
+    }
+  }
+}
+
+TEST_F(BatchFaultTest, StrictBatchRaisesFirstFailureInJobOrder) {
+  const SvaFlow& flow = shared_flow();
+  ThreadPool pool(2);
+  BatchOptions options;
+  options.keep_going = false;
+  const BatchRunner runner(flow, pool, options);
+  FailPoints::set("batch.job", "throw");
+  try {
+    runner.run_names({"C432", "C880"});
+    FAIL() << "expected the batch to raise";
+  } catch (const Error& e) {
+    // Deterministic: always the first failed job in job order, whatever
+    // order the scheduler ran them in.
+    EXPECT_NE(std::string(e.what()).find("batch job 0 (C432)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(BatchFaultTest, TaskFaultSurfacesAtWaitNotTerminate) {
+  ThreadPool pool(2);
+  FailPoints::set("engine.task", "throw");
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i)
+    group.run([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  // The injected fault fires inside the pool's task wrapper; it must be
+  // captured and rethrown here, never escape a worker thread.
+  EXPECT_THROW(group.wait(), FailPointError);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// ------------------------------------------------------------ chaos sweep
+
+using ChaosTest = RobustnessTest;
+
+/// Sites whose faults touch only cache/persistence paths: every such
+/// fault is retried or degrades to a cold start, so analysis results must
+/// stay bit-identical to a fault-free run.
+bool analysis_safe_site(const std::string& site) {
+  return site.rfind("serialize.", 0) == 0 ||
+         site.rfind("context_cache.", 0) == 0 || site == "flow.setup_load";
+}
+
+TEST_F(ChaosTest, EveryCatalogueSiteSurvivesProbabilisticFaults) {
+  const std::vector<std::string> names = {"C432", "C880"};
+
+  // Fault-free seed run: builds the setup + context snapshots the chaos
+  // iterations warm-start from, and the bit-identical reference.
+  const std::string seed_dir = fresh_dir("chaos_seed");
+  FlowConfig seed_cfg;
+  seed_cfg.cache_dir = seed_dir;
+  const SvaFlow seed_flow(seed_cfg);
+  ASSERT_FALSE(seed_flow.setup_degraded());
+  std::vector<CircuitAnalysis> reference;
+  for (const std::string& name : names)
+    reference.push_back(seed_flow.analyze_benchmark(name));
+  seed_flow.save_context_cache(seed_dir);
+
+  for (const std::string& site : FailPoints::catalogue()) {
+    SCOPED_TRACE("failpoint " + site);
+    // Fresh copy of the seeded cache per site: a quarantine in one
+    // iteration must not starve the next.
+    const std::string dir = fresh_dir("chaos_" + site);
+    std::filesystem::copy(seed_dir, dir,
+                          std::filesystem::copy_options::recursive |
+                              std::filesystem::copy_options::overwrite_existing);
+
+    FailPoints::clear_all();
+    Diagnostics::global().reset();
+    FailPoints::set(site, "prob(0.3)");
+
+    // Construction must always survive under the default Degrade policy,
+    // whatever the armed site does to the cache or the OPC solves.
+    FlowConfig cfg;
+    cfg.cache_dir = dir;
+    const SvaFlow flow(cfg);
+    flow.try_load_context_cache(dir);
+    try {
+      flow.save_context_cache(dir);
+    } catch (const Error&) {
+      // An injected save/write fault is an acceptable outcome; the run
+      // itself continues (the CLI warns and moves on).
+    }
+
+    ThreadPool pool(2);
+    const BatchRunner runner(flow, pool);
+    bool batch_threw = false;
+    BatchResult batch;
+    try {
+      batch = runner.run_names(names);
+    } catch (const Error&) {
+      // Only a fault in the pool's own task wrapper escapes run() under
+      // keep-going; everything else is isolated per job.
+      batch_threw = true;
+      EXPECT_EQ(site, "engine.task");
+    }
+    if (batch_threw) continue;
+
+    // Every job is classified, never silently dropped.
+    ASSERT_EQ(batch.analyses.size(), names.size());
+    ASSERT_EQ(batch.outcomes.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (batch.outcomes[i].ok) {
+        EXPECT_EQ(batch.analyses[i].name, names[i]);
+        EXPECT_GT(batch.analyses[i].gate_count, 0u);
+      } else {
+        EXPECT_FALSE(batch.outcomes[i].error.empty());
+        EXPECT_EQ(batch.analyses[i].gate_count, 0u);
+      }
+    }
+
+    if (analysis_safe_site(site)) {
+      // Cache-only faults: retried or degraded to cold characterization,
+      // which is bit-identical to the warm path.
+      EXPECT_FALSE(flow.setup_degraded());
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        ASSERT_TRUE(batch.outcomes[i].ok) << names[i];
+        expect_same_analysis(batch.analyses[i], reference[i], site);
+      }
+    } else if (site == "batch.job") {
+      // Keyed classification: a second run repeats it exactly, and the
+      // surviving jobs still match the reference bit for bit.
+      const BatchResult again = runner.run_names(names);
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(batch.outcomes[i].ok, again.outcomes[i].ok) << names[i];
+        if (batch.outcomes[i].ok)
+          expect_same_analysis(batch.analyses[i], reference[i], site);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sva
