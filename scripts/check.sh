@@ -23,7 +23,8 @@ trap 'rm -rf "$CACHE_DIR"' EXIT
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+# --timeout backstops the per-test TIMEOUT property: nothing hangs CI.
+(cd build && ctest --output-on-failure -j --timeout 300)
 
 echo "== persistent cache: cold vs warm CLI runs =="
 CLI=./build/src/cli/sva-timing
@@ -81,6 +82,126 @@ if ! diff <(echo "$cold_out" | strip_variance) \
   exit 1
 fi
 echo "analysis tables identical under injected cache faults"
+
+echo "== interruptibility: deadline-cancelled analyze resumes bit-identically =="
+# Slow every pool task so a sub-second deadline lands mid-batch, then
+# resume from the written checkpoint: the final table must match the
+# uninterrupted run byte for byte, and the exit codes must follow the
+# documented contract (4 = cancelled with checkpoint).
+ANALYZE_CKPT="$CACHE_DIR/analyze_resume.ckpt"
+rc=0
+SVA_FAILPOINTS="engine.task=delay(100)" \
+  "$CLI" analyze C432 C499 C880 C1355 --threads 2 --cache-dir "$CACHE_DIR" \
+  --deadline 0.5 --checkpoint "$ANALYZE_CKPT" >/dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 4 ]]; then
+  echo "FAIL: deadline-cancelled analyze exited $rc, expected 4"
+  exit 1
+fi
+if [[ ! -f "$ANALYZE_CKPT" ]]; then
+  echo "FAIL: cancelled analyze left no checkpoint at $ANALYZE_CKPT"
+  exit 1
+fi
+uninterrupted_out="$("$CLI" analyze C432 C499 C880 C1355 --threads 2 --cache-dir "$CACHE_DIR")"
+resumed_out="$("$CLI" analyze C432 C499 C880 C1355 --threads 2 --cache-dir "$CACHE_DIR" \
+  --resume "$ANALYZE_CKPT")"
+if ! diff <(echo "$uninterrupted_out" | strip_variance) \
+          <(echo "$resumed_out" | strip_variance); then
+  echo "FAIL: resumed analyze table differs from the uninterrupted run"
+  exit 1
+fi
+echo "cancelled at deadline (exit 4), resumed to an identical table"
+
+echo "== interruptibility: SIGINT mid-optimize, then --resume =="
+# Reference uninterrupted trajectory first, then an interrupted run:
+# SIGINT lands while pricing (slowed by the delay failpoint), the
+# optimizer winds down between commits and journals its prefix.
+OPT_CKPT="$CACHE_DIR/optimize_resume.ckpt"
+"$CLI" optimize C880 --max-moves 12 --threads 2 --cache-dir "$CACHE_DIR" \
+  --csv "$CACHE_DIR/eco_full.csv" > "$CACHE_DIR/eco_full.txt"
+rc=0
+SVA_FAILPOINTS="engine.task=delay(100)" \
+  "$CLI" optimize C880 --max-moves 12 --threads 2 --cache-dir "$CACHE_DIR" \
+  --checkpoint "$OPT_CKPT" --csv "$CACHE_DIR/eco_part.csv" \
+  > "$CACHE_DIR/eco_part.txt" 2>&1 &
+opt_pid=$!
+sleep 0.5
+kill -INT "$opt_pid" 2>/dev/null || true
+wait "$opt_pid" || rc=$?
+if [[ "$rc" -ne 4 ]]; then
+  echo "FAIL: SIGINT-interrupted optimize exited $rc, expected 4"
+  cat "$CACHE_DIR/eco_part.txt"
+  exit 1
+fi
+if [[ ! -f "$OPT_CKPT" ]]; then
+  echo "FAIL: interrupted optimize left no checkpoint at $OPT_CKPT"
+  exit 1
+fi
+"$CLI" optimize C880 --max-moves 12 --threads 2 --cache-dir "$CACHE_DIR" \
+  --resume "$OPT_CKPT" --csv "$CACHE_DIR/eco_resumed.csv" \
+  > "$CACHE_DIR/eco_resumed.txt"
+if ! cmp -s "$CACHE_DIR/eco_full.csv" "$CACHE_DIR/eco_resumed.csv"; then
+  echo "FAIL: resumed trajectory CSV differs from the uninterrupted run"
+  diff "$CACHE_DIR/eco_full.csv" "$CACHE_DIR/eco_resumed.csv" || true
+  exit 1
+fi
+# The printed summary (table + closure line) must match too; only the
+# "wrote <csv>" trailer names a different file.
+if ! diff <(grep -v '^wrote ' "$CACHE_DIR/eco_full.txt") \
+          <(grep -v '^wrote ' "$CACHE_DIR/eco_resumed.txt"); then
+  echo "FAIL: resumed optimize summary differs from the uninterrupted run"
+  exit 1
+fi
+echo "SIGINT-interrupted optimize (exit 4) resumed byte-identically"
+
+echo "== multi-process cache safety: two concurrent runs, one cache dir =="
+# Two simultaneous cold CLI runs share a fresh cache directory.  The
+# per-file locks and unique temp names must keep the cache uncorrupted:
+# both runs exit 0 with bit-identical tables and no quarantine files.
+SHARED_CACHE="$(mktemp -d)"
+"$CLI" analyze C432 C499 C880 --threads 2 --cache-dir "$SHARED_CACHE" \
+  > "$CACHE_DIR/mp_a.txt" 2>&1 &
+pid_a=$!
+"$CLI" analyze C432 C499 C880 --threads 2 --cache-dir "$SHARED_CACHE" \
+  > "$CACHE_DIR/mp_b.txt" 2>&1 &
+pid_b=$!
+rc_a=0; rc_b=0
+wait "$pid_a" || rc_a=$?
+wait "$pid_b" || rc_b=$?
+if [[ "$rc_a" -ne 0 || "$rc_b" -ne 0 ]]; then
+  echo "FAIL: concurrent runs exited $rc_a / $rc_b"
+  cat "$CACHE_DIR/mp_a.txt" "$CACHE_DIR/mp_b.txt"
+  rm -rf "$SHARED_CACHE"
+  exit 1
+fi
+if ! diff <(strip_variance < "$CACHE_DIR/mp_a.txt") \
+          <(strip_variance < "$CACHE_DIR/mp_b.txt"); then
+  echo "FAIL: concurrent runs disagree on the analysis table"
+  rm -rf "$SHARED_CACHE"
+  exit 1
+fi
+if compgen -G "$SHARED_CACHE/*.corrupt*" >/dev/null; then
+  echo "FAIL: concurrent runs quarantined cache files:"
+  ls -l "$SHARED_CACHE"
+  rm -rf "$SHARED_CACHE"
+  exit 1
+fi
+# A third (warm) run proves the surviving snapshots parse cleanly.
+if ! "$CLI" analyze C432 --cache-dir "$SHARED_CACHE" >/dev/null 2>&1; then
+  echo "FAIL: cache left unreadable after concurrent runs"
+  rm -rf "$SHARED_CACHE"
+  exit 1
+fi
+rm -rf "$SHARED_CACHE"
+echo "concurrent runs shared the cache safely (identical tables, no quarantines)"
+
+echo "== cache-gc: size eviction honours the budget =="
+gc_out="$("$CLI" cache-gc --cache-dir "$CACHE_DIR" --cache-gc-max-mb 0)"
+if compgen -G "$CACHE_DIR/*.svac" >/dev/null; then
+  echo "FAIL: cache-gc --cache-gc-max-mb 0 left snapshots behind"
+  ls -l "$CACHE_DIR"
+  exit 1
+fi
+echo "$gc_out"
 
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="

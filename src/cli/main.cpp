@@ -30,6 +30,8 @@
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "sta/path_report.hpp"
+#include "util/cache_gc.hpp"
+#include "util/cancel.hpp"
 #include "util/diagnostics.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
@@ -67,6 +69,28 @@ void cache_snapshot(const ContextCache& cache, const EngineOptions& opts) {
   }
 }
 
+/// The checkpoint file a cancelled run journals to: --checkpoint PATH, or
+/// the command's documented default in the working directory.
+std::string checkpoint_path(const EngineOptions& opts,
+                            const char* command_default) {
+  return opts.checkpoint_path.empty() ? command_default
+                                      : opts.checkpoint_path;
+}
+
+/// Exit path of a run that wound down on a tripped token: report why and
+/// where the journal went (empty `ckpt` => none was written).
+int report_cancelled(const std::string& ckpt) {
+  const CancelToken& token = global_cancel_token();
+  std::printf("run cancelled (%s)%s\n",
+              cancel_reason_name(token.reason()),
+              token.reason() == CancelReason::Deadline ? ": deadline exceeded"
+                                                       : "");
+  if (!ckpt.empty())
+    std::printf("checkpoint written to %s; continue with --resume %s\n",
+                ckpt.c_str(), ckpt.c_str());
+  return kExitCancelled;
+}
+
 int usage() {
   std::printf(
       "usage: sva-timing <command> [args] [--threads N] [--metrics]\n"
@@ -82,6 +106,7 @@ int usage() {
       "  verilog <bench> <out.v>\n"
       "  bench <file.bench>     analyze an ISCAS .bench netlist\n"
       "  list                   built-in benchmark circuits\n"
+      "  cache-gc               evict old/oversized cache entries, then exit\n"
       "global options:\n"
       "  --threads N            worker threads for analyze/paths/optimize\n"
       "                         (default: hardware concurrency)\n"
@@ -95,6 +120,17 @@ int usage() {
       "                         the run with exit code 1\n"
       "  --diagnostics          print the structured diagnostics report\n"
       "                         (severity, component, error code) on exit\n"
+      "  --deadline SEC         wall-clock time box: expiry winds the run\n"
+      "                         down cooperatively (checkpointing where\n"
+      "                         supported) and exits with code 4\n"
+      "  --checkpoint PATH      where a cancelled analyze/optimize journals\n"
+      "                         its state (default sva_<command>.ckpt)\n"
+      "  --resume PATH          continue an interrupted analyze/optimize\n"
+      "                         from its checkpoint; the final result is\n"
+      "                         bit-identical to an uninterrupted run\n"
+      "  --cache-gc             run cache eviction before the command\n"
+      "                         (knobs: --cache-gc-max-mb N, default 512;\n"
+      "                         --cache-gc-max-age-days D, default 30)\n"
       "fault injection:\n"
       "  SVA_FAILPOINTS=name=action,...   arm failpoints (actions: throw,\n"
       "                         prob(p), delay(ms), corrupt); see DESIGN.md\n"
@@ -103,8 +139,10 @@ int usage() {
       "  1  fatal error, or any fault under --strict\n"
       "  2  usage error\n"
       "  3  --keep-going run completed but one or more jobs failed\n"
+      "  4  cancelled (SIGINT/SIGTERM or --deadline); analyze/optimize\n"
+      "     write a checkpoint first -- continue with --resume\n"
       "  (optimize: 1 also means the clock was not met)\n");
-  return 2;
+  return kExitUsage;
 }
 
 int cmd_list() {
@@ -125,9 +163,33 @@ int cmd_analyze(const std::vector<std::string>& names,
   ThreadPool pool(opts.threads);
   BatchOptions batch_opts;
   batch_opts.keep_going = !opts.strict;
+  batch_opts.cancel = &global_cancel_token();
+  std::vector<BatchJob> jobs;
+  jobs.reserve(names.size());
+  for (const std::string& name : names) jobs.push_back({name});
+  // --resume: reload the interrupted run's journal (hash-verified against
+  // this flow + job list) so final slots are copied, not recomputed.
+  BatchResult prior;
+  const bool resuming = !opts.resume_path.empty();
+  if (resuming) prior = load_batch_checkpoint(opts.resume_path, flow, jobs);
   const BatchRunner runner(flow, pool, batch_opts);
-  const BatchResult batch = runner.run_names(names);
+  const BatchResult batch = runner.run(jobs, resuming ? &prior : nullptr);
   cache_snapshot(flow.context_cache(), opts);
+  if (batch.cancelled_count() > 0) {
+    // Journal the final slots and exit with the documented cancelled
+    // code.  A failed journal write (disk full, injected fault) does not
+    // mask the cancellation -- it only costs the resume file.
+    std::string ckpt = checkpoint_path(opts, "sva_analyze.ckpt");
+    try {
+      save_batch_checkpoint(ckpt, flow, jobs, batch);
+    } catch (const std::exception& e) {
+      log_warn("checkpoint write failed (", e.what(), ")");
+      ckpt.clear();
+    }
+    std::printf("%zu/%zu jobs complete\n",
+                jobs.size() - batch.cancelled_count(), jobs.size());
+    return report_cancelled(ckpt);
+  }
   Table table({"Testcase", "#Gates", "Trad Nom", "Trad BC", "Trad WC",
                "New Nom", "New BC", "New WC", "Reduction"});
   for (std::size_t ji = 0; ji < batch.analyses.size(); ++ji) {
@@ -170,7 +232,7 @@ int cmd_paths(const std::string& name, std::size_t k,
                           flow.config().arc_policy, &nps,
                           &flow.context_cache());
   ThreadPool pool(opts.threads);
-  const StaResult result = sta.run_parallel(wc, pool);
+  const StaResult result = sta.run_parallel(wc, pool, &global_cancel_token());
   cache_snapshot(flow.context_cache(), opts);
   const auto paths = worst_paths(netlist, sta, wc, k);
   std::printf("%s: SVA worst-case design delay %.3f ns\n\n", name.c_str(),
@@ -225,9 +287,24 @@ int cmd_optimize(const std::vector<std::string>& args,
   Netlist netlist = generate_iscas85_like(name, sized.library());
   EcoOptimizer optimizer(sized, std::move(netlist),
                          flow.config().placement, eco);
+  // --resume: replay the interrupted run's journal (hash-verified, each
+  // move witness-checked bit-for-bit) before continuing the loop.
+  if (!opts.resume_path.empty()) optimizer.restore(opts.resume_path);
   ThreadPool pool(opts.threads);
-  const EcoResult result = optimizer.run(&pool);
+  const EcoResult result = optimizer.run(&pool, &global_cancel_token());
   cache_snapshot(sized.context_cache(), opts);
+  if (result.cancelled) {
+    std::string ckpt = checkpoint_path(opts, "sva_optimize.ckpt");
+    try {
+      optimizer.checkpoint(ckpt);
+    } catch (const std::exception& e) {
+      log_warn("checkpoint write failed (", e.what(), ")");
+      ckpt.clear();
+    }
+    std::printf("%zu move(s) committed before cancellation\n",
+                result.moves_committed());
+    return report_cancelled(ckpt);
+  }
   std::printf("%s", trajectory_table(result).c_str());
   if (!csv_path.empty()) {
     write_text_file(csv_path, trajectory_csv(result));
@@ -274,6 +351,17 @@ int cmd_verilog(const std::string& name, const std::string& out,
   std::printf("wrote %s (%zu gates)\n", out.c_str(),
               netlist.gates().size());
   return 0;
+}
+
+/// One eviction pass over the cache directory (also runs pre-dispatch when
+/// --cache-gc accompanies another command).
+int cmd_cache_gc(const EngineOptions& opts) {
+  CacheGcConfig cfg;
+  cfg.max_total_bytes = opts.cache_gc_max_mb * std::size_t{1024} * 1024;
+  cfg.max_age_days = opts.cache_gc_max_age_days;
+  const CacheGcStats stats = run_cache_gc(opts.cache_dir, cfg);
+  std::printf("%s (%s)\n", stats.summary().c_str(), opts.cache_dir.c_str());
+  return kExitOk;
 }
 
 int cmd_bench_file(const std::string& path, const EngineOptions& opts) {
@@ -325,6 +413,7 @@ int dispatch(const std::string& command, std::vector<std::string>& args,
     if (args.empty()) return usage();
     return cmd_bench_file(args[0], opts);
   }
+  if (command == "cache-gc") return cmd_cache_gc(opts);
   return usage();
 }
 
@@ -339,8 +428,21 @@ int main(int argc, char** argv) {
     // Fault injection is armed once, up front, from $SVA_FAILPOINTS; a
     // malformed spec is a usage-level error before any work starts.
     FailPoints::configure_from_env();
+    // Interruptibility: SIGINT/SIGTERM trip the global token (the handler
+    // only sets lock-free flags); --deadline arms a monotonic expiry on
+    // the same token.  Commands poll it at work-unit granularity.
+    install_cancel_signal_handlers();
+    if (opts.deadline_seconds > 0.0)
+      global_cancel_token().set_deadline(
+          Deadline::after_seconds(opts.deadline_seconds));
+    if (opts.cache_gc && command != "cache-gc") cmd_cache_gc(opts);
 
     rc = dispatch(command, args, opts);
+  } catch (const CancelledError&) {
+    // A trip that surfaced as an exception past any checkpointing command
+    // logic (e.g. during paths/bench).  Same documented exit code; there
+    // is simply no journal to resume from.
+    rc = report_cancelled("");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;

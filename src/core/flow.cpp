@@ -9,6 +9,7 @@
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/filelock.hpp"
 #include "util/logging.hpp"
 #include "util/retry.hpp"
 #include "util/serialize.hpp"
@@ -224,6 +225,11 @@ void SvaFlow::save_setup(const std::string& dir) const {
   file.u32(kSetupFormatVersion);
   file.u64(setup_content_hash());
   file.u64(fnv1a64_words(payload.bytes().data(), payload.size()));
+  // Per-file advisory lock: concurrent processes cold-starting the same
+  // configuration serialize their snapshot writes instead of racing the
+  // temp+rename (last-writer-wins is correct either way -- the contents
+  // are identical -- but the lock keeps temp-file churn bounded).
+  const FileLock lock = FileLock::acquire(setup_cache_file_path(dir));
   atomic_write_file(setup_cache_file_path(dir),
                     file.bytes() + payload.bytes());
   log_debug("flow: setup snapshot saved to ", setup_cache_file_path(dir));
@@ -244,19 +250,20 @@ std::vector<VersionKey> SvaFlow::bind_versions(
 
 CircuitAnalysis SvaFlow::analyze(const Netlist& netlist,
                                  const Placement& placement) const {
-  return analyze_impl(netlist, placement, nullptr, false);
+  return analyze_impl(netlist, placement, nullptr, false, nullptr);
 }
 
 CircuitAnalysis SvaFlow::analyze(const Netlist& netlist,
                                  const Placement& placement, ThreadPool& pool,
-                                 bool parallel_sta) const {
-  return analyze_impl(netlist, placement, &pool, parallel_sta);
+                                 bool parallel_sta,
+                                 const CancelToken* cancel) const {
+  return analyze_impl(netlist, placement, &pool, parallel_sta, cancel);
 }
 
 CircuitAnalysis SvaFlow::analyze_impl(const Netlist& netlist,
                                       const Placement& placement,
-                                      ThreadPool* pool,
-                                      bool parallel_sta) const {
+                                      ThreadPool* pool, bool parallel_sta,
+                                      const CancelToken* cancel) const {
   SVA_REQUIRE(&placement.netlist() == &netlist);
   ScopedTimer timer(MetricsRegistry::global().timer("flow.analyze"));
   const Nm l_nom = config_.cell_tech.gate_length;
@@ -299,17 +306,21 @@ CircuitAnalysis SvaFlow::analyze_impl(const Netlist& netlist,
   double* fields[6] = {&out.trad_nom_ps, &out.trad_bc_ps, &out.trad_wc_ps,
                        &out.sva_nom_ps, &out.sva_bc_ps, &out.sva_wc_ps};
   auto run_one = [&](std::size_t i) {
-    *fields[i] = (pool != nullptr && parallel_sta)
-                     ? sta.run_parallel(*scales[i], *pool).critical_delay_ps
-                     : sta.run(*scales[i]).critical_delay_ps;
+    *fields[i] =
+        (pool != nullptr && parallel_sta)
+            ? sta.run_parallel(*scales[i], *pool, cancel).critical_delay_ps
+            : sta.run(*scales[i]).critical_delay_ps;
   };
   if (pool != nullptr) {
-    TaskGroup group(*pool);
+    TaskGroup group(*pool, cancel);
     for (std::size_t i = 0; i < 6; ++i)
       group.run([&run_one, i] { run_one(i); });
     group.wait();
   } else {
-    for (std::size_t i = 0; i < 6; ++i) run_one(i);
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (cancel) cancel->check();
+      run_one(i);
+    }
   }
   return out;
 }

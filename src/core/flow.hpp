@@ -194,9 +194,12 @@ class SvaFlow {
   /// Parallel analysis: the six corner STA runs (traditional and SVA
   /// {nominal, best, worst}) fan out as pool tasks; with `parallel_sta`
   /// each run additionally levelizes across the pool.  Bit-identical to
-  /// the serial analyze() at any thread count.
+  /// the serial analyze() at any thread count.  A non-null `cancel` is
+  /// polled before each corner run (and per STA level when parallel_sta);
+  /// a tripped token surfaces as CancelledError out of analyze().
   CircuitAnalysis analyze(const Netlist& netlist, const Placement& placement,
-                          ThreadPool& pool, bool parallel_sta = false) const;
+                          ThreadPool& pool, bool parallel_sta = false,
+                          const CancelToken* cancel = nullptr) const;
 
   /// Convenience: generate, place, analyze.
   CircuitAnalysis analyze_benchmark(const std::string& name) const;
@@ -204,7 +207,8 @@ class SvaFlow {
  private:
   CircuitAnalysis analyze_impl(const Netlist& netlist,
                                const Placement& placement, ThreadPool* pool,
-                               bool parallel_sta) const;
+                               bool parallel_sta,
+                               const CancelToken* cancel) const;
   /// Restore library_opc_ + pitch_points_ from `dir`; false (and leaves
   /// both empty) when the snapshot is missing, stale, or corrupt.
   bool try_load_setup(const std::string& dir);

@@ -9,6 +9,7 @@
 #include "util/diagnostics.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/filelock.hpp"
 #include "util/logging.hpp"
 #include "util/retry.hpp"
 #include "util/serialize.hpp"
@@ -163,7 +164,10 @@ std::size_t ContextCache::save(const std::string& dir) const {
   // inside a double, which no structural check can catch -- fails the
   // load instead of producing wrong numbers.
   file.u64(fnv1a64_words(records.bytes().data(), records.size()));
-  // Single buffer: header followed by the record block.
+  // Single buffer: header followed by the record block, written under the
+  // snapshot's advisory lock so concurrent processes sharing the cache dir
+  // serialize their writes (see util/filelock.hpp).
+  const FileLock lock = FileLock::acquire(cache_file_path(dir));
   atomic_write_file(cache_file_path(dir), file.bytes() + records.bytes());
 
   const std::uint64_t ns = ns_since(t0);

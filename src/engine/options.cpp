@@ -65,6 +65,22 @@ EngineOptions extract_engine_options(std::vector<std::string>& args) {
       opts.strict = false;
     } else if (args[i] == "--diagnostics") {
       opts.diagnostics = true;
+    } else if (args[i] == "--deadline") {
+      const std::string flag = args[i];
+      opts.deadline_seconds = parse_double_flag(flag, flag_value(args, i));
+    } else if (args[i] == "--resume") {
+      opts.resume_path = flag_value(args, i);
+    } else if (args[i] == "--checkpoint") {
+      opts.checkpoint_path = flag_value(args, i);
+    } else if (args[i] == "--cache-gc") {
+      opts.cache_gc = true;
+    } else if (args[i] == "--cache-gc-max-mb") {
+      const std::string flag = args[i];
+      opts.cache_gc_max_mb = parse_size_flag(flag, flag_value(args, i));
+    } else if (args[i] == "--cache-gc-max-age-days") {
+      const std::string flag = args[i];
+      opts.cache_gc_max_age_days =
+          parse_double_flag(flag, flag_value(args, i));
     } else {
       rest.push_back(args[i]);
     }

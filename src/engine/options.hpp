@@ -17,6 +17,16 @@
 
 namespace sva {
 
+/// CLI exit-code contract (README "Exit codes").  Stable: scripts and the
+/// check.sh legs assert on these values.
+inline constexpr int kExitOk = 0;         ///< success
+inline constexpr int kExitFatal = 1;      ///< fatal error, or --strict fault
+inline constexpr int kExitUsage = 2;      ///< bad command line
+inline constexpr int kExitJobsFailed = 3; ///< keep-going run, >=1 job failed
+/// Run cancelled (SIGINT/SIGTERM or --deadline) after winding down
+/// cooperatively; commands with resumable state wrote a checkpoint first.
+inline constexpr int kExitCancelled = 4;
+
 /// Global execution options, stripped from the arg list before command
 /// dispatch.
 struct EngineOptions {
@@ -33,6 +43,22 @@ struct EngineOptions {
   bool strict = false;
   /// --diagnostics: print the structured diagnostics report on exit.
   bool diagnostics = false;
+  /// --deadline SEC: wall-clock time box.  On expiry the run winds down
+  /// cooperatively (checkpointing where supported) and exits
+  /// kExitCancelled.  0 disables.
+  double deadline_seconds = 0.0;
+  /// --resume PATH: continue an interrupted analyze/optimize run from the
+  /// checkpoint it wrote.  Empty disables.
+  std::string resume_path;
+  /// --checkpoint PATH: where a cancelled run journals its state.
+  /// Empty => the command's documented default name in the working
+  /// directory (sva_<command>.ckpt).
+  std::string checkpoint_path;
+  /// --cache-gc: run a size/age eviction pass over cache_dir before the
+  /// command (see util/cache_gc.hpp), tuned by the two knobs below.
+  bool cache_gc = false;
+  std::size_t cache_gc_max_mb = 512;
+  double cache_gc_max_age_days = 30.0;
 
   bool cache_enabled() const { return !no_cache && !cache_dir.empty(); }
   FaultPolicy fault_policy() const {
@@ -43,9 +69,11 @@ struct EngineOptions {
 };
 
 /// Remove --threads N / --metrics / --cache-dir DIR / --no-cache /
-/// --strict / --keep-going / --diagnostics from `args` (wherever they
-/// appear) and return the parsed options.  Throws std::runtime_error with
-/// a uniform message on a missing or malformed value.
+/// --strict / --keep-going / --diagnostics / --deadline SEC /
+/// --resume PATH / --checkpoint PATH / --cache-gc [+knobs] from `args`
+/// (wherever they appear) and return the parsed options.  Throws
+/// std::runtime_error with a uniform message on a missing or malformed
+/// value.
 EngineOptions extract_engine_options(std::vector<std::string>& args);
 
 /// The value following flag `args[i]`; advances `i` past it.  Throws

@@ -115,7 +115,8 @@ bool ThreadPool::try_run_one() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain,
+                              const CancelToken* cancel) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   if (grain == 0) {
@@ -125,10 +126,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     grain = std::max<std::size_t>(1, n / (4 * lanes));
   }
   if (threads_.empty() || n <= grain) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      if (cancel) cancel->check();  // chunk-granularity, like the pool path
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }
     return;
   }
-  TaskGroup group(*this);
+  TaskGroup group(*this, cancel);
   for (std::size_t lo = begin; lo < end; lo += grain) {
     const std::size_t hi = std::min(end, lo + grain);
     group.run([&fn, lo, hi] {
@@ -164,6 +169,9 @@ void TaskGroup::run(std::function<void()> fn) {
       // like a real one: rethrown at the group's wait(), where the owning
       // job's isolation boundary classifies it.
       SVA_FAILPOINT("engine.task");
+      // Cancellation check rides the same capture: a tripped token skips
+      // the body and surfaces CancelledError at wait().
+      if (cancel_) cancel_->check();
       fn();
     } catch (...) {
       error = std::current_exception();

@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace sva {
 
 class ThreadPool {
@@ -54,9 +56,17 @@ class ThreadPool {
   /// into chunks of ~`grain` indices (0 => automatic).  Blocks until every
   /// index ran; the calling thread participates.  Writes to distinct
   /// locations per index are race-free; no ordering between indices.
+  ///
+  /// A non-null `cancel` is polled once per chunk; once tripped, chunks
+  /// not yet started are skipped and the loop exits by throwing
+  /// CancelledError after all in-flight chunks drain.  Chunks that did run
+  /// ran completely -- a caller observing CancelledError knows its state
+  /// is a clean prefix, never a torn update.  Null `cancel` costs one
+  /// untaken branch per chunk.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 0);
+                    std::size_t grain = 0,
+                    const CancelToken* cancel = nullptr);
 
   struct Stats {
     std::uint64_t executed = 0;  ///< tasks run to completion
@@ -93,7 +103,12 @@ class ThreadPool {
 /// first captured exception, if any.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+  /// A non-null `cancel` is polled before each task body: tripped =>
+  /// the task throws CancelledError instead of running, and wait()
+  /// rethrows the first captured exception as usual (so a real fault that
+  /// landed before the cancellation still surfaces as itself).
+  explicit TaskGroup(ThreadPool& pool, const CancelToken* cancel = nullptr)
+      : pool_(&pool), cancel_(cancel) {}
   ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
@@ -106,6 +121,7 @@ class TaskGroup {
   void finish_one();
 
   ThreadPool* pool_;
+  const CancelToken* cancel_ = nullptr;
   // All group state lives under mu_: the finishing task's last touch of
   // the group is its mu_ unlock, so once wait() observes pending_ == 0
   // under mu_ the group is safe to destroy (no decrement-then-lock

@@ -1,11 +1,14 @@
 #include "opt/eco.hpp"
 
+#include <bit>
 #include <cmath>
 #include <utility>
 
 #include "core/scales.hpp"
 #include "engine/metrics.hpp"
+#include "util/checkpoint.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
 #include "util/strings.hpp"
 
 namespace sva {
@@ -40,6 +43,12 @@ EcoOptimizer::EcoOptimizer(const SizedLibrary& sized, Netlist netlist,
     config_.clock_period_ps =
         config_.auto_clock_fraction * current_.critical_delay_ps;
   }
+  // The committed-state accumulator's header fields are fixed from here
+  // on; run() and restore() only ever append to it.
+  result_.benchmark = netlist_.name();
+  result_.mode = config_.mode;
+  result_.clock_period_ps = config_.clock_period_ps;
+  result_.initial_worst_slack_ps = worst_slack_ps();
 }
 
 double EcoOptimizer::worst_slack_ps() const {
@@ -183,20 +192,58 @@ void EcoOptimizer::commit(Evaluation&& best) {
   current_ = std::move(best.timing);
 }
 
-EcoResult EcoOptimizer::run(ThreadPool* pool) {
-  EcoResult result;
-  result.benchmark = netlist_.name();
-  result.mode = config_.mode;
-  result.clock_period_ps = config_.clock_period_ps;
-  result.initial_worst_slack_ps = worst_slack_ps();
+void EcoOptimizer::apply_move(Evaluation&& chosen) {
+  EcoMoveRecord record;
+  record.index = result_.trajectory.size() + 1;
+  record.kind = chosen.move.kind;
+  record.gate = chosen.move.gate;
+  record.gate_name = netlist_.gates()[chosen.move.gate].name;
+  record.gain_ps = chosen.gain_ps;
+  record.area_delta = chosen.area_delta;
+  const CellLibrary& lib = netlist_.library();
+  switch (chosen.move.kind) {
+    case MoveKind::Upsize:
+      ++result_.upsizes;
+      result_.upsize_area_delta += chosen.area_delta;
+      result_.total_area_delta += chosen.area_delta;
+      record.detail =
+          lib.master(netlist_.gates()[chosen.move.gate].cell_index).name() +
+          " -> " + lib.master(chosen.move.to_cell).name();
+      break;
+    case MoveKind::Downsize:
+      ++result_.downsizes;
+      result_.total_area_delta += chosen.area_delta;
+      record.detail =
+          lib.master(netlist_.gates()[chosen.move.gate].cell_index).name() +
+          " -> " + lib.master(chosen.move.to_cell).name();
+      break;
+    case MoveKind::Respace:
+      ++result_.respaces;
+      record.detail = "dx " + std::string(chosen.move.dx >= 0 ? "+" : "") +
+                      fmt(chosen.move.dx, 0) + " nm";
+      break;
+  }
+  committed_moves_.push_back(chosen.move);
+  commit(std::move(chosen));
+  MetricsRegistry::global().counter("eco.moves_committed").add();
+  record.worst_slack_ps = worst_slack_ps();
+  result_.trajectory.push_back(std::move(record));
+}
 
+EcoResult EcoOptimizer::run(ThreadPool* pool, const CancelToken* cancel) {
   MetricsRegistry& metrics = MetricsRegistry::global();
   Counter& evaluated = metrics.counter("eco.candidates_evaluated");
-  Counter& committed = metrics.counter("eco.moves_committed");
   TimerStat& eval_timer = metrics.timer("eco.candidate_eval");
+  result_.cancelled = false;
 
-  while (result.trajectory.size() < config_.max_moves &&
+  while (result_.trajectory.size() < config_.max_moves &&
          worst_slack_ps() < 0.0) {
+    // Commit-granularity poll: a trip lands between iterations, so the
+    // committed state (and thus any checkpoint) is a clean prefix.
+    if (cancel != nullptr && cancel->poll()) {
+      result_.cancelled = true;
+      break;
+    }
     const FactorsScale scale(factors_);
     const SlackResult slack =
         sta_.slack_from(scale, current_, config_.clock_period_ps);
@@ -210,65 +257,153 @@ EcoResult EcoOptimizer::run(ThreadPool* pool) {
     // fans out, and the serial argmax below keeps selection (and thus
     // the whole trajectory) schedule-independent.
     std::vector<Evaluation> evals(candidates.size());
-    {
+    try {
       const ScopedTimer timer(eval_timer);
       const auto price = [&](std::size_t i) {
         evaluate(candidates[i], evals[i]);
       };
       if (pool != nullptr) {
-        pool->parallel_for(0, candidates.size(), price);
+        pool->parallel_for(0, candidates.size(), price, 0, cancel);
       } else {
-        for (std::size_t i = 0; i < candidates.size(); ++i) price(i);
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (cancel != nullptr) cancel->check();
+          price(i);
+        }
       }
+    } catch (const CancelledError&) {
+      // Mid-pricing trip: the partial evals are discarded, nothing was
+      // committed this iteration.
+      result_.cancelled = true;
+      break;
     }
     evaluated.add(candidates.size());
-    result.candidates_evaluated += candidates.size();
+    result_.candidates_evaluated += candidates.size();
 
     std::size_t best = 0;
     for (std::size_t i = 1; i < evals.size(); ++i)
       if (better(evals[i], evals[best])) best = i;
     if (evals[best].gain_ps < config_.min_gain_ps) break;  // stalled
 
-    Evaluation chosen = std::move(evals[best]);
-    EcoMoveRecord record;
-    record.index = result.trajectory.size() + 1;
-    record.kind = chosen.move.kind;
-    record.gate = chosen.move.gate;
-    record.gate_name = netlist_.gates()[chosen.move.gate].name;
-    record.gain_ps = chosen.gain_ps;
-    record.area_delta = chosen.area_delta;
-    const CellLibrary& lib = netlist_.library();
-    switch (chosen.move.kind) {
-      case MoveKind::Upsize:
-        ++result.upsizes;
-        result.upsize_area_delta += chosen.area_delta;
-        result.total_area_delta += chosen.area_delta;
-        record.detail =
-            lib.master(netlist_.gates()[chosen.move.gate].cell_index).name() +
-            " -> " + lib.master(chosen.move.to_cell).name();
-        break;
-      case MoveKind::Downsize:
-        ++result.downsizes;
-        result.total_area_delta += chosen.area_delta;
-        record.detail =
-            lib.master(netlist_.gates()[chosen.move.gate].cell_index).name() +
-            " -> " + lib.master(chosen.move.to_cell).name();
-        break;
-      case MoveKind::Respace:
-        ++result.respaces;
-        record.detail = "dx " + std::string(chosen.move.dx >= 0 ? "+" : "") +
-                        fmt(chosen.move.dx, 0) + " nm";
-        break;
-    }
-    commit(std::move(chosen));
-    committed.add(1);
-    record.worst_slack_ps = worst_slack_ps();
-    result.trajectory.push_back(std::move(record));
+    apply_move(std::move(evals[best]));
   }
 
-  result.final_worst_slack_ps = worst_slack_ps();
-  result.met_timing = result.final_worst_slack_ps >= 0.0;
-  return result;
+  result_.final_worst_slack_ps = worst_slack_ps();
+  result_.met_timing =
+      !result_.cancelled && result_.final_worst_slack_ps >= 0.0;
+  return result_;
+}
+
+namespace {
+
+constexpr char kEcoCheckpointKind[] = "eco";
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+std::uint64_t EcoOptimizer::state_hash() const {
+  Fnv1aHasher h;
+  h.u64(sized_->context_library().content_hash());
+  h.str(netlist_.name());
+  h.u64(netlist_.gates().size());
+  h.u64(static_cast<std::uint64_t>(config_.mode));
+  h.f64(config_.clock_period_ps);  // resolved, so auto-clock is covered
+  // max_moves is deliberately NOT part of the identity: it only caps
+  // where the loop stops, never which move a given prefix commits next,
+  // so a journal is valid under any cap >= its own length (restore()
+  // still checks that bound explicitly).
+  h.f64(config_.near_critical_window_ps);
+  h.f64(config_.min_gain_ps);
+  h.u64(config_.respace_sites_each_way);
+  h.f64(config_.budget.total_fraction);
+  h.f64(config_.budget.pitch_share);
+  h.f64(config_.budget.focus_share);
+  h.f64(config_.budget.other_process_fraction);
+  h.u64(static_cast<std::uint64_t>(config_.arc_policy));
+  h.f64(config_.sta.input_slew_ps);
+  h.f64(config_.sta.po_load_ff);
+  h.f64(config_.sta.wire_cap_per_sink_ff);
+  h.f64(config_.sta.wire_delay_per_sink_ps);
+  return h.digest();
+}
+
+void EcoOptimizer::checkpoint(const std::string& path) const {
+  ByteWriter w;
+  w.str(result_.benchmark);
+  w.u8(static_cast<std::uint8_t>(config_.mode));
+  w.f64(config_.clock_period_ps);
+  w.f64(result_.initial_worst_slack_ps);
+  w.u64(result_.candidates_evaluated);
+  w.u64(committed_moves_.size());
+  SVA_ASSERT(committed_moves_.size() == result_.trajectory.size());
+  for (std::size_t i = 0; i < committed_moves_.size(); ++i) {
+    const Move& m = committed_moves_[i];
+    w.u8(static_cast<std::uint8_t>(m.kind));
+    w.u64(m.gate);
+    w.u64(m.to_cell);
+    w.f64(m.dx);
+    // Witness values: replay re-derives both and verifies bit equality,
+    // turning "resume is exact" from a hope into a checked invariant.
+    w.f64(result_.trajectory[i].gain_ps);
+    w.f64(result_.trajectory[i].worst_slack_ps);
+  }
+  write_checkpoint(path, kEcoCheckpointKind, state_hash(), w.bytes());
+}
+
+void EcoOptimizer::restore(const std::string& path) {
+  SVA_REQUIRE_MSG(committed_moves_.empty(),
+                  "restore() must run before any move is committed");
+  const std::string payload =
+      read_checkpoint(path, kEcoCheckpointKind, state_hash());
+  ByteReader r(payload);
+  if (r.str() != result_.benchmark)
+    throw SerializeError("eco checkpoint benchmark mismatch");
+  if (r.u8() != static_cast<std::uint8_t>(config_.mode))
+    throw SerializeError("eco checkpoint corner-mode mismatch");
+  if (!same_bits(r.f64(), config_.clock_period_ps))
+    throw SerializeError("eco checkpoint clock-period mismatch");
+  if (!same_bits(r.f64(), result_.initial_worst_slack_ps))
+    throw SerializeError("eco checkpoint initial-slack mismatch");
+  const std::uint64_t candidates_evaluated = r.u64();
+  const std::uint64_t nmoves = r.u64();
+  if (nmoves > config_.max_moves)
+    throw SerializeError("eco checkpoint has more moves than max_moves");
+
+  for (std::uint64_t i = 0; i < nmoves; ++i) {
+    Move m;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(MoveKind::Respace))
+      throw SerializeError("eco checkpoint: invalid move kind");
+    m.kind = static_cast<MoveKind>(kind);
+    m.gate = static_cast<std::size_t>(r.u64());
+    m.to_cell = static_cast<std::size_t>(r.u64());
+    m.dx = r.f64();
+    const double want_gain = r.f64();
+    const double want_slack = r.f64();
+    if (m.gate >= netlist_.gates().size())
+      throw SerializeError("eco checkpoint: gate index out of range");
+    // Replay through the live evaluate+commit pipeline: what-if pricing
+    // is exact, so the re-derived gain must match the journaled one
+    // bit-for-bit -- any drift means the inputs are not the ones the
+    // checkpoint was written for (or the journal is corrupt).
+    Evaluation eval;
+    evaluate(m, eval);
+    if (!same_bits(eval.gain_ps, want_gain))
+      throw SerializeError("eco checkpoint replay diverged at move " +
+                           std::to_string(i + 1) + " (gain mismatch)");
+    apply_move(std::move(eval));
+    if (!same_bits(result_.trajectory.back().worst_slack_ps, want_slack))
+      throw SerializeError("eco checkpoint replay diverged at move " +
+                           std::to_string(i + 1) + " (slack mismatch)");
+  }
+  r.expect_end();
+  // The summary also prints the pricing work done before the interrupt;
+  // restoring the counter keeps a resumed run's report byte-identical.
+  result_.candidates_evaluated =
+      static_cast<std::size_t>(candidates_evaluated);
+  MetricsRegistry::global().counter("eco.moves_restored").add(nmoves);
 }
 
 }  // namespace sva

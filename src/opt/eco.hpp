@@ -24,6 +24,7 @@
 // traditional corner, because (a) the SVA corner is less pessimistic and
 // (b) only it can monetize zero-area re-spacing moves.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,7 @@
 #include "place/context.hpp"
 #include "place/placement.hpp"
 #include "sta/sta.hpp"
+#include "util/cancel.hpp"
 
 namespace sva {
 
@@ -94,6 +96,9 @@ struct EcoResult {
   double total_area_delta = 0.0;
   std::size_t candidates_evaluated = 0;
   std::vector<EcoMoveRecord> trajectory;
+  /// True when run() stopped because its CancelToken tripped (the
+  /// committed state is a clean prefix -- checkpoint it and resume).
+  bool cancelled = false;
 
   std::size_t moves_committed() const { return trajectory.size(); }
   double slack_recovered_ps() const {
@@ -117,7 +122,35 @@ class EcoOptimizer {
   /// serial deterministic selection).  Repeated calls continue from the
   /// committed state (the first call does the work; a second is a no-op
   /// unless the config was loosened).
-  EcoResult run(ThreadPool* pool = nullptr);
+  ///
+  /// A non-null `cancel` is polled at commit granularity (the top of each
+  /// iteration and per pricing chunk).  On a trip the loop stops between
+  /// commits -- never mid-commit -- and returns with result.cancelled set;
+  /// the trajectory so far is exactly the prefix an uninterrupted run
+  /// would have committed (checkpoint() it, then restore() + run() in a
+  /// later process continues to a bit-identical final result).
+  EcoResult run(ThreadPool* pool = nullptr,
+                const CancelToken* cancel = nullptr);
+
+  /// Identity of this optimization for checkpoint validation: context
+  /// library content hash + benchmark + every config field that shapes
+  /// the trajectory.  Restoring a journal whose hash differs is refused.
+  std::uint64_t state_hash() const;
+
+  /// Journal the committed state (the accepted-move sequence plus the
+  /// counters the summary prints) to `path` as an "eco"-kind checkpoint
+  /// envelope.  Valid at any point between run() calls.
+  void checkpoint(const std::string& path) const;
+
+  /// Reload `path` (written by checkpoint() for identical inputs -- the
+  /// state hash is verified) and replay the journaled moves through the
+  /// exact evaluate+commit pipeline.  What-if pricing is exact and
+  /// deterministic, so the replayed state is bit-identical to the state
+  /// that was checkpointed; each replayed move's worst slack is verified
+  /// against the journal bit-for-bit as proof.  Must be called before the
+  /// first run() (i.e. with no moves committed yet); a following run()
+  /// continues the trajectory exactly where the interrupted run stopped.
+  void restore(const std::string& path);
 
   const Netlist& netlist() const { return netlist_; }
   const Placement& placement() const { return placement_; }
@@ -146,6 +179,10 @@ class EcoOptimizer {
   /// lower gate, then kind, then target cell, then smaller |dx|.
   static bool better(const Evaluation& a, const Evaluation& b);
   void commit(Evaluation&& best);
+  /// Commit `chosen` and append its trajectory record / counters to
+  /// result_.  The single bookkeeping path shared by run() and restore()
+  /// -- which is what makes a replayed trajectory byte-identical.
+  void apply_move(Evaluation&& chosen);
 
   const SizedLibrary* sized_;
   EcoConfig config_;
@@ -156,6 +193,14 @@ class EcoOptimizer {
   std::vector<VersionKey> versions_;
   std::vector<std::vector<double>> factors_;  // committed, [gate][arc]
   StaResult current_;                         // committed forward timing
+  /// Committed-state accumulator: trajectory, counters, and the header
+  /// fields the summary prints.  Lives on the optimizer (not run()'s
+  /// stack) so checkpoint/restore and repeated run() calls all see one
+  /// continuous history.
+  EcoResult result_;
+  /// The raw committed moves, in order -- the replay journal.  The
+  /// trajectory records lack the target cell / dx needed to re-execute.
+  std::vector<Move> committed_moves_;
 };
 
 }  // namespace sva

@@ -147,8 +147,8 @@ StaResult Sta::run(const ArcScaleProvider& scale) const {
   return result;
 }
 
-StaResult Sta::run_parallel(const ArcScaleProvider& scale,
-                            ThreadPool& pool) const {
+StaResult Sta::run_parallel(const ArcScaleProvider& scale, ThreadPool& pool,
+                            const CancelToken* cancel) const {
   ScopedTimer timer(MetricsRegistry::global().timer("sta.parallel_run"));
   const Netlist& nl = *netlist_;
   StaResult result;
@@ -161,6 +161,7 @@ StaResult Sta::run_parallel(const ArcScaleProvider& scale,
   // inline and wide ones split into kGrain-gate tasks.
   constexpr std::size_t kGrain = 64;
   for (const std::vector<std::size_t>& level : levels_) {
+    if (cancel) cancel->check();  // level granularity: ~100s of gates
     if (pool.thread_count() == 0 || level.size() < 2 * kGrain) {
       for (std::size_t gi : level) evaluate_gate(scale, gi, result);
       continue;

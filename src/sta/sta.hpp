@@ -67,9 +67,10 @@ class Sta {
   /// strictly lower levels and each gate writes only its own output net,
   /// so the result is bit-identical to run(scale) at any thread count and
   /// under any task schedule.  Small levels run inline (task overhead
-  /// would dominate).
-  StaResult run_parallel(const ArcScaleProvider& scale,
-                         ThreadPool& pool) const;
+  /// would dominate).  A non-null `cancel` is polled once per level
+  /// (throwing CancelledError); the per-gate inner loop stays unchecked.
+  StaResult run_parallel(const ArcScaleProvider& scale, ThreadPool& pool,
+                         const CancelToken* cancel = nullptr) const;
 
   /// Late-mode analysis plus required times and slacks against a clock
   /// period (backward min-propagation of required times through the same

@@ -1,0 +1,127 @@
+#include "util/cache_gc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <vector>
+
+#include "util/filelock.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace sva {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Entry {
+  fs::path path;
+  std::uint64_t bytes = 0;
+  double age_seconds = 0.0;
+  bool is_snapshot = false;   // *.svac -- evictable for size
+  bool is_quarantine = false; // *.corrupt* -- age rule only
+  bool is_tmp = false;        // *.tmp.* -- orphan rule
+};
+
+bool remove_entry(const Entry& e, CacheGcStats& stats) {
+  std::error_code ec;
+  if (!fs::remove(e.path, ec) || ec) return false;
+  ++stats.removed_files;
+  stats.removed_bytes += e.bytes;
+  return true;
+}
+
+}  // namespace
+
+std::string CacheGcStats::summary() const {
+  return "cache-gc: scanned " + std::to_string(scanned_files) +
+         " files, removed " + std::to_string(removed_files) + " (" +
+         std::to_string(removed_bytes) + " bytes), kept " +
+         std::to_string(kept_files) + " (" + std::to_string(kept_bytes) +
+         " bytes)";
+}
+
+CacheGcStats run_cache_gc(const std::string& cache_dir,
+                          const CacheGcConfig& config) {
+  CacheGcStats stats;
+  std::error_code ec;
+  if (!fs::is_directory(cache_dir, ec)) return stats;
+
+  // Directory-wide lock: one GC at a time, and writers' per-file locks are
+  // irrelevant -- GC only unlinks, and atomic rename wins either way (a
+  // writer racing an eviction simply re-creates the snapshot).
+  const FileLock gc_lock = FileLock::acquire(cache_dir + "/gc");
+
+  const auto now = fs::file_time_type::clock::now();
+  std::vector<Entry> entries;
+  for (const fs::directory_entry& de : fs::directory_iterator(cache_dir, ec)) {
+    if (ec) break;
+    if (!de.is_regular_file(ec) || ec) continue;
+    const std::string name = de.path().filename().string();
+    if (name.size() >= 5 && name.ends_with(".lock")) continue;  // live locks
+    if (name.ends_with(".ckpt")) continue;  // resume journals are not cache
+    Entry e;
+    e.path = de.path();
+    e.bytes = static_cast<std::uint64_t>(de.file_size(ec));
+    if (ec) continue;
+    const auto mtime = de.last_write_time(ec);
+    if (ec) continue;
+    e.age_seconds =
+        std::chrono::duration<double>(now - mtime).count();
+    e.is_tmp = name.find(".tmp.") != std::string::npos;
+    e.is_quarantine = name.find(".corrupt") != std::string::npos;
+    e.is_snapshot = !e.is_tmp && !e.is_quarantine && name.ends_with(".svac");
+    ++stats.scanned_files;
+    entries.push_back(std::move(e));
+  }
+
+  const double max_age_s = config.max_age_days * 86400.0;
+  const double tmp_age_s = config.tmp_age_minutes * 60.0;
+  std::vector<Entry> snapshots;
+  for (Entry& e : entries) {
+    if (e.is_tmp && e.age_seconds > tmp_age_s) {
+      if (remove_entry(e, stats)) continue;
+    } else if ((e.is_quarantine || e.is_snapshot) && config.max_age_days > 0 &&
+               e.age_seconds > max_age_s) {
+      if (remove_entry(e, stats)) continue;
+    }
+    if (e.is_snapshot) {
+      snapshots.push_back(e);
+      continue;
+    }
+    ++stats.kept_files;
+    stats.kept_bytes += e.bytes;
+  }
+
+  // Size budget applies to the snapshots only; evict oldest-first (ties
+  // broken by path for a deterministic order).
+  std::sort(snapshots.begin(), snapshots.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.age_seconds != b.age_seconds)
+                return a.age_seconds > b.age_seconds;
+              return a.path < b.path;
+            });
+  std::uint64_t snapshot_bytes = 0;
+  for (const Entry& e : snapshots) snapshot_bytes += e.bytes;
+  std::size_t i = 0;
+  while (snapshot_bytes > config.max_total_bytes && i < snapshots.size()) {
+    if (remove_entry(snapshots[i], stats)) {
+      snapshot_bytes -= snapshots[i].bytes;
+    } else {
+      ++stats.kept_files;
+      stats.kept_bytes += snapshots[i].bytes;
+    }
+    ++i;
+  }
+  for (; i < snapshots.size(); ++i) {
+    ++stats.kept_files;
+    stats.kept_bytes += snapshots[i].bytes;
+  }
+
+  MetricsRegistry::global().counter("cache_gc.removed").add(
+      stats.removed_files);
+  if (stats.removed_files > 0) log_info(stats.summary());
+  return stats;
+}
+
+}  // namespace sva

@@ -1,0 +1,49 @@
+#pragma once
+// Size/age garbage collection for a shared on-disk cache directory.
+//
+// A long-lived shared SVA_CACHE_DIR accumulates three kinds of debris:
+// snapshots for libraries/configs nobody uses any more, quarantined
+// `*.corrupt*` evidence files, and `*.tmp.*` leftovers from writers that
+// died between open and rename.  The GC pass (CLI `--cache-gc`) removes
+// debris and then evicts the oldest snapshots until the directory fits a
+// size budget.  Eviction is safe by construction: every `.svac` file is a
+// pure cache entry -- deleting one costs a re-characterization, never
+// correctness.
+//
+// The pass runs under the directory-wide `gc` FileLock so two concurrent
+// `--cache-gc` invocations never double-delete, and it never touches
+// `.lock` sidecars (unlinking one from under a live holder would let two
+// writers in) or checkpoint journals (`*.ckpt`, which are not cache).
+
+#include <cstdint>
+#include <string>
+
+namespace sva {
+
+struct CacheGcConfig {
+  /// Evict oldest snapshots until the directory's snapshot bytes fit.
+  std::uint64_t max_total_bytes = 512ull * 1024 * 1024;
+  /// Snapshots and quarantine files untouched for longer are removed
+  /// regardless of the size budget.  <= 0 disables the age rule.
+  double max_age_days = 30.0;
+  /// Temp-file leftovers older than this are orphans (their writer is
+  /// gone -- a live atomic_write_file holds a temp for milliseconds).
+  double tmp_age_minutes = 10.0;
+};
+
+struct CacheGcStats {
+  std::uint64_t scanned_files = 0;
+  std::uint64_t removed_files = 0;
+  std::uint64_t removed_bytes = 0;
+  std::uint64_t kept_files = 0;
+  std::uint64_t kept_bytes = 0;
+
+  std::string summary() const;
+};
+
+/// Run one GC pass over `cache_dir`.  Missing directory is a no-op (empty
+/// stats).  Throws sva::Error only when the GC lock cannot be acquired.
+CacheGcStats run_cache_gc(const std::string& cache_dir,
+                          const CacheGcConfig& config = {});
+
+}  // namespace sva

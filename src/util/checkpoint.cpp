@@ -1,0 +1,71 @@
+#include "util/checkpoint.hpp"
+
+#include "util/failpoint.hpp"
+#include "util/filelock.hpp"
+#include "util/serialize.hpp"
+
+namespace sva {
+namespace {
+
+struct Envelope {
+  std::string kind;
+  std::uint64_t content_hash = 0;
+  std::string payload;
+};
+
+Envelope read_envelope(const std::string& path, const std::string& kind) {
+  const std::string bytes = read_file_bytes(path);
+  ByteReader r(bytes);
+  if (r.u32() != kCheckpointMagic)
+    throw SerializeError("'" + path + "' is not a checkpoint (bad magic)");
+  if (const std::uint32_t v = r.u32(); v != kCheckpointVersion)
+    throw SerializeError("checkpoint '" + path + "' has version " +
+                         std::to_string(v) + ", expected " +
+                         std::to_string(kCheckpointVersion));
+  Envelope env;
+  env.kind = r.str();
+  env.content_hash = r.u64();
+  env.payload = r.str();
+  const std::uint64_t checksum = r.u64();
+  r.expect_end();
+  if (checksum != fnv1a64_words(env.payload.data(), env.payload.size()))
+    throw SerializeError("checkpoint '" + path + "' failed its checksum");
+  if (env.kind != kind)
+    throw SerializeError("checkpoint '" + path + "' is a '" + env.kind +
+                         "' journal, expected '" + kind + "'");
+  return env;
+}
+
+}  // namespace
+
+void write_checkpoint(const std::string& path, const std::string& kind,
+                      std::uint64_t content_hash,
+                      const std::string& payload) {
+  SVA_FAILPOINT("checkpoint.write");
+  ByteWriter w;
+  w.u32(kCheckpointMagic);
+  w.u32(kCheckpointVersion);
+  w.str(kind);
+  w.u64(content_hash);
+  w.str(payload);
+  w.u64(fnv1a64_words(payload.data(), payload.size()));
+  const FileLock lock = FileLock::acquire(path);
+  atomic_write_file(path, w.bytes());
+}
+
+std::string read_checkpoint(const std::string& path, const std::string& kind,
+                            std::uint64_t expected_hash) {
+  Envelope env = read_envelope(path, kind);
+  if (expected_hash != kAnyHash && env.content_hash != expected_hash)
+    throw SerializeError(
+        "checkpoint '" + path + "' was written for different inputs " +
+        "(content hash mismatch); refusing to resume from it");
+  return std::move(env.payload);
+}
+
+std::uint64_t checkpoint_content_hash(const std::string& path,
+                                      const std::string& kind) {
+  return read_envelope(path, kind).content_hash;
+}
+
+}  // namespace sva

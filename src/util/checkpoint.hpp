@@ -1,0 +1,52 @@
+#pragma once
+// Checkpoint envelope for interrupted-run journals.
+//
+// A checkpoint is the committed prefix of a deterministic run -- the
+// accepted ECO moves, the completed batch-job slots -- written when a
+// CancelToken trips so `--resume` can skip straight past work already
+// done.  The envelope binds the payload to its producer three ways:
+//
+//   kind          which subsystem wrote it ("eco", "batch"), so a batch
+//                 journal can never be fed to the optimizer;
+//   content hash  the same identity the cache snapshots key on (setup
+//                 hash + job/config identity), so a checkpoint from a
+//                 different netlist, library, or config is rejected, not
+//                 silently replayed into the wrong run;
+//   checksum      fnv1a64_words over the payload, so a torn or corrupt
+//                 file reads as SerializeError (and the caller cold-starts)
+//                 rather than as plausible state.
+//
+// Writes go through FileLock + atomic temp+rename, so N processes
+// checkpointing into one directory never tear each other's journals.
+// Failpoint `checkpoint.write` models a failed journal write: the run
+// still exits with the cancelled code, it just reports that no resume
+// file exists.
+
+#include <cstdint>
+#include <string>
+
+namespace sva {
+
+/// Envelope magic "SVAK" (little-endian u32) + format version.
+inline constexpr std::uint32_t kCheckpointMagic = 0x4b415653u;
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Wrap `payload` in the envelope and atomically write it to `path`
+/// (under the path's FileLock).  Throws sva::Error on IO failure.
+void write_checkpoint(const std::string& path, const std::string& kind,
+                      std::uint64_t content_hash, const std::string& payload);
+
+/// Read and unwrap `path`.  Throws FileMissingError when absent,
+/// SerializeError on a bad magic/version/checksum, a kind other than
+/// `kind`, or -- unless `expected_hash` is kAnyHash -- a content hash
+/// other than `expected_hash`.  Returns the payload bytes.
+inline constexpr std::uint64_t kAnyHash = ~0ull;
+std::string read_checkpoint(const std::string& path, const std::string& kind,
+                            std::uint64_t expected_hash = kAnyHash);
+
+/// Content hash recorded in `path`'s envelope without validating it
+/// against an expectation (still checks magic/version/kind/checksum).
+std::uint64_t checkpoint_content_hash(const std::string& path,
+                                      const std::string& kind);
+
+}  // namespace sva

@@ -193,6 +193,8 @@ const std::vector<std::string>& FailPoints::catalogue() {
       "opc.cell_solve",      // per-cell library OPC (keyed by cell name)
       "engine.task",         // thread-pool task execution
       "batch.job",           // BatchRunner job (keyed by circuit name)
+      "checkpoint.write",    // write_checkpoint envelope write
+      "cache.lock",          // FileLock::acquire (cache/checkpoint locks)
   };
   return kSites;
 }

@@ -1,0 +1,67 @@
+#pragma once
+// Advisory per-file locking for multi-process cache safety.
+//
+// N CLI processes pointed at one SVA_CACHE_DIR coordinate writes through
+// flock(2) on a sidecar "<target>.lock" file.  flock is advisory (readers
+// never block -- the validate-whole-file-before-commit read path already
+// tolerates concurrent rename) and is released by the kernel when the
+// holder dies, so a SIGKILLed writer can never wedge the cache.
+//
+// The takeover path covers the one case flock cannot: a *stale sidecar
+// held by nobody yet locked through a leaked descriptor* does not exist
+// under real flock semantics, but a lock file whose recorded holder PID is
+// dead while flock still reports busy (seen on some network/overlay
+// filesystems that emulate flock per-file rather than per-open) is broken
+// state -- after half the acquire budget we read the holder PID and, if
+// that process no longer exists, unlink the sidecar and retry against the
+// fresh inode.  Takeovers are diagnosed (`lock_takeover`) and counted
+// (`filelock.takeovers`), never silent.
+//
+// Failpoint `cache.lock` fires on every acquire attempt, letting the chaos
+// suite model lock-service failures.
+
+#include <cstdint>
+#include <string>
+
+namespace sva {
+
+/// RAII advisory lock on "<target>.lock".  Movable, not copyable.
+class FileLock {
+ public:
+  FileLock() = default;
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock() { release(); }
+
+  /// Acquire the lock guarding `target_path` (sidecar `<target>.lock`),
+  /// polling with backoff for up to `timeout_ms`.  Returns a held lock on
+  /// success; throws sva::Error on timeout or unrecoverable IO error.
+  static FileLock acquire(const std::string& target_path,
+                          int timeout_ms = kDefaultTimeoutMs);
+
+  /// Non-throwing variant: default-constructed (un-held) lock on failure.
+  static FileLock try_acquire(const std::string& target_path,
+                              int timeout_ms = kDefaultTimeoutMs) noexcept;
+
+  bool held() const { return fd_ >= 0; }
+  const std::string& lock_path() const { return lock_path_; }
+
+  /// Drop the lock (flock released, descriptor closed).  The sidecar file
+  /// is left in place -- unlinking it would race a concurrent acquirer
+  /// that already opened the same inode.
+  void release() noexcept;
+
+  static constexpr int kDefaultTimeoutMs = 10000;
+
+ private:
+  int fd_ = -1;
+  std::string lock_path_;
+};
+
+/// Sidecar path convention, exposed for tests and the GC pass (which must
+/// never evict live lock files).
+std::string lock_sidecar_path(const std::string& target_path);
+
+}  // namespace sva

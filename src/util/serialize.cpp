@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -35,6 +36,15 @@ T get_le(const char* p) {
 void le_bytes_of_u64(std::uint64_t v, unsigned char out[8]) {
   for (std::size_t i = 0; i < 8; ++i)
     out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+// Per-process unique suffix for temp and quarantine names.  The PID alone
+// is not enough: two threads of one process (or two quick writes of the
+// same slot) would collide, so a process-wide counter disambiguates.
+std::string unique_name_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  return std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -236,8 +246,7 @@ void atomic_write_file(const std::string& path, const std::string& bytes) {
       throw Error("cannot create cache directory '" +
                   target.parent_path().string() + "': " + ec.message());
   }
-  const fs::path tmp =
-      target.string() + ".tmp." + std::to_string(::getpid());
+  const fs::path tmp = target.string() + ".tmp." + unique_name_suffix();
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) throw Error("cannot open '" + tmp.string() + "' for write");
   const std::size_t written =
@@ -286,12 +295,22 @@ std::string read_file_bytes(const std::string& path) {
 
 bool quarantine_file(const std::string& path) noexcept {
   std::error_code ec;
-  std::filesystem::rename(path, path + ".corrupt", ec);
+  // Collision-proof destination: PID + counter keep every corruption event
+  // as separate evidence -- repeated corruption of one slot (or two
+  // processes quarantining concurrently) must never overwrite a prior
+  // quarantine file.
+  std::string dest;
+  try {
+    dest = path + ".corrupt." + unique_name_suffix();
+  } catch (...) {
+    return false;
+  }
+  std::filesystem::rename(path, dest, ec);
   if (ec) {
     log_warn("quarantine of '", path, "' failed: ", ec.message());
     return false;
   }
-  log_warn("quarantined corrupt file '", path, "' -> '", path, ".corrupt'");
+  log_warn("quarantined corrupt file '", path, "' -> '", dest, "'");
   return true;
 }
 

@@ -126,10 +126,12 @@ void atomic_write_file(const std::string& path, const std::string& bytes);
 std::string read_file_bytes(const std::string& path);
 
 /// Best-effort quarantine of a corrupt snapshot: rename `path` to
-/// `path + ".corrupt"` (replacing any previous quarantine) so it is never
-/// re-parsed -- the next run cold-starts cleanly instead of re-validating
-/// a file known to be bad.  Returns false (and logs) when the rename
-/// itself fails; never throws.
+/// `path + ".corrupt.<pid>.<counter>"` so it is never re-parsed -- the
+/// next run cold-starts cleanly instead of re-validating a file known to
+/// be bad.  The PID+counter suffix makes names collision-proof: repeated
+/// corruption of the same slot (or two processes quarantining at once)
+/// preserves every piece of evidence instead of overwriting the last.
+/// Returns false (and logs) when the rename itself fails; never throws.
 bool quarantine_file(const std::string& path) noexcept;
 
 }  // namespace sva

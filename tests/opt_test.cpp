@@ -351,6 +351,97 @@ TEST(Eco, TraditionalModeEnumeratesNoRespaces) {
   EXPECT_EQ(result.respaces, 0u);
 }
 
+TEST(Eco, CancelledRunStopsBetweenCommitsWithCleanPrefix) {
+  EcoConfig cfg = eco_config();
+  EcoOptimizer opt(sized(), generate_iscas85_like("C432", sized().library()),
+                   flow().config().placement, cfg);
+  CancelToken token;
+  token.request_cancel();
+  const EcoResult result = opt.run(nullptr, &token);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.met_timing);
+  EXPECT_EQ(result.moves_committed(), 0u);  // tripped before iteration 1
+
+  // A later run with a clear token continues from the committed state to
+  // the same final result an uninterrupted run produces.
+  EcoOptimizer fresh(sized(),
+                     generate_iscas85_like("C432", sized().library()),
+                     flow().config().placement, cfg);
+  const EcoResult reference = fresh.run();
+  const EcoResult continued = opt.run();
+  EXPECT_FALSE(continued.cancelled);
+  EXPECT_EQ(continued.moves_committed(), reference.moves_committed());
+  EXPECT_EQ(continued.final_worst_slack_ps, reference.final_worst_slack_ps);
+}
+
+TEST(Eco, CheckpointRestoreResumesBitIdentically) {
+  // Reference: one uninterrupted run.
+  EcoConfig cfg = eco_config();
+  EcoOptimizer full(sized(), generate_iscas85_like("C432", sized().library()),
+                    flow().config().placement, cfg);
+  const EcoResult reference = full.run();
+  ASSERT_GE(reference.moves_committed(), 2u);
+
+  // Interrupted run: a max_moves cap stands in for a mid-run cancellation
+  // (both stop between commits, and the greedy prefix is independent of
+  // the cap -- which is why max_moves is not part of the journal
+  // identity).  Journal the half-way state.
+  EcoConfig capped = cfg;
+  capped.max_moves = reference.moves_committed() / 2;
+  EcoOptimizer interrupted(
+      sized(), generate_iscas85_like("C432", sized().library()),
+      flow().config().placement, capped);
+  const EcoResult prefix = interrupted.run();
+  ASSERT_EQ(prefix.moves_committed(), capped.max_moves);
+  const std::string ckpt = ::testing::TempDir() + "sva_opt_eco_resume.ckpt";
+  interrupted.checkpoint(ckpt);
+
+  // Restore under the full config (replay verifies every move's gain and
+  // resulting slack bit-for-bit against the journal) and continue.
+  EcoOptimizer resumed(sized(),
+                       generate_iscas85_like("C432", sized().library()),
+                       flow().config().placement, cfg);
+  resumed.restore(ckpt);
+  EXPECT_EQ(resumed.worst_slack_ps(), interrupted.worst_slack_ps());
+  const EcoResult continued = resumed.run();
+  EXPECT_FALSE(continued.cancelled);
+  EXPECT_TRUE(continued.met_timing);
+  EXPECT_EQ(continued.moves_committed(), reference.moves_committed());
+  EXPECT_EQ(continued.final_worst_slack_ps, reference.final_worst_slack_ps);
+  EXPECT_EQ(continued.candidates_evaluated, reference.candidates_evaluated);
+  // The resume invariant, end to end: byte-identical trajectory CSV.
+  EXPECT_EQ(trajectory_csv(continued), trajectory_csv(reference));
+}
+
+TEST(Eco, RestoreRefusesMismatchedIdentity) {
+  EcoConfig cfg = eco_config();
+  cfg.max_moves = 1;
+  EcoOptimizer opt(sized(), generate_iscas85_like("C432", sized().library()),
+                   flow().config().placement, cfg);
+  opt.run();
+  const std::string ckpt = ::testing::TempDir() + "sva_opt_eco_ident.ckpt";
+  opt.checkpoint(ckpt);
+
+  // Different circuit: the state hash refuses the journal.
+  EcoOptimizer other(sized(),
+                     generate_iscas85_like("C880", sized().library()),
+                     flow().config().placement, cfg);
+  EXPECT_THROW(other.restore(ckpt), Error);
+  // A config change that shapes the trajectory (the pricing window) is
+  // part of the identity too.
+  EcoConfig wider = cfg;
+  wider.near_critical_window_ps += 1.0;
+  EcoOptimizer reshaped(sized(),
+                        generate_iscas85_like("C432", sized().library()),
+                        flow().config().placement, wider);
+  EXPECT_THROW(reshaped.restore(ckpt), Error);
+  // restore() must come before any committed move.
+  EcoOptimizer ran(sized(), generate_iscas85_like("C432", sized().library()),
+                   flow().config().placement, cfg);
+  ran.run();
+  EXPECT_THROW(ran.restore(ckpt), Error);
+}
+
 TEST(Eco, RendersTrajectoryTableAndCsv) {
   EcoConfig cfg = eco_config();
   cfg.max_moves = 2;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -13,6 +16,7 @@
 #include <fstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "cell/library.hpp"
@@ -20,9 +24,14 @@
 #include "core/flow.hpp"
 #include "engine/batch.hpp"
 #include "engine/context_cache.hpp"
+#include "engine/options.hpp"
 #include "engine/thread_pool.hpp"
+#include "util/cache_gc.hpp"
+#include "util/cancel.hpp"
+#include "util/checkpoint.hpp"
 #include "util/diagnostics.hpp"
 #include "util/failpoint.hpp"
+#include "util/filelock.hpp"
 #include "util/metrics.hpp"
 #include "util/retry.hpp"
 #include "util/serialize.hpp"
@@ -55,6 +64,23 @@ std::string fresh_dir(const std::string& name) {
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Quarantine names carry a ".<pid>.<counter>" suffix (collision-proof
+/// across concurrent processes), so tests match by prefix.
+std::size_t quarantine_count(const std::string& path) {
+  const std::filesystem::path target(path);
+  const std::string prefix = target.filename().string() + ".corrupt";
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(target.parent_path(), ec))
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++n;
+  return n;
+}
+
+bool quarantine_exists(const std::string& path) {
+  return quarantine_count(path) > 0;
 }
 
 // ------------------------------------------------------------ failpoints
@@ -204,7 +230,8 @@ TEST_F(FailPointTest, CatalogueListsEveryWiredSite) {
   for (const char* expected :
        {"serialize.read", "serialize.write", "serialize.rename",
         "context_cache.load", "context_cache.save", "flow.setup_load",
-        "opc.cell_solve", "engine.task", "batch.job"}) {
+        "opc.cell_solve", "engine.task", "batch.job", "checkpoint.write",
+        "cache.lock"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << expected;
   }
@@ -354,7 +381,7 @@ TEST_F(CacheFaultTest, CorruptSnapshotQuarantinedOnce) {
       MetricsRegistry::global().counter("context_cache.quarantined").value();
   EXPECT_FALSE(cache.try_load(dir));
   EXPECT_FALSE(std::filesystem::exists(path));
-  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_TRUE(quarantine_exists(path));
   EXPECT_EQ(
       MetricsRegistry::global().counter("context_cache.quarantined").value(),
       quarantined_before + 1);
@@ -377,8 +404,7 @@ TEST_F(CacheFaultTest, InjectedLoadFaultQuarantines) {
   const ContextCache cache(library);
   EXPECT_FALSE(cache.try_load(dir));
   EXPECT_GE(FailPoints::fired_count("context_cache.load"), 1u);
-  EXPECT_TRUE(
-      std::filesystem::exists(cache.cache_file_path(dir) + ".corrupt"));
+  EXPECT_TRUE(quarantine_exists(cache.cache_file_path(dir)));
   EXPECT_EQ(Diagnostics::global().count_code("cache_quarantined"), 1u);
 }
 
@@ -440,9 +466,23 @@ TEST_F(CacheFaultTest, CorruptWriteIsRejectedAtLoad) {
 
   const ContextCache cache(library);
   EXPECT_FALSE(cache.try_load(dir));
-  EXPECT_TRUE(
-      std::filesystem::exists(cache.cache_file_path(dir) + ".corrupt"));
+  EXPECT_TRUE(quarantine_exists(cache.cache_file_path(dir)));
   EXPECT_EQ(cache.stats().characterized, 0u);
+}
+
+TEST_F(CacheFaultTest, RepeatedQuarantinesNeverCollide) {
+  const ContextLibrary& library = shared_flow().context_library();
+  const std::string dir = fresh_dir("quarantine_twice");
+  const ContextCache cache(library);
+  const std::string path = cache.cache_file_path(dir);
+  // Two corruption episodes in a row: each quarantine must land in its
+  // own uniquely-named file (pid + counter suffix), never clobber the
+  // evidence of the previous one.
+  for (int episode = 0; episode < 2; ++episode) {
+    std::ofstream(path, std::ios::binary) << std::string(64, '\x42');
+    EXPECT_FALSE(cache.try_load(dir));
+  }
+  EXPECT_EQ(quarantine_count(path), 2u);
 }
 
 // ------------------------------------------------- OPC graceful fallback
@@ -632,6 +672,364 @@ TEST_F(BatchFaultTest, TaskFaultSurfacesAtWaitNotTerminate) {
   EXPECT_EQ(ran.load(), 0);
 }
 
+// ----------------------------------------------- cancellation & deadlines
+
+using CancelTest = RobustnessTest;
+
+TEST_F(CancelTest, ExitCodeContractIsStable) {
+  // Documented in README "Exit codes"; scripts/check.sh asserts on these.
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitFatal, 1);
+  EXPECT_EQ(kExitUsage, 2);
+  EXPECT_EQ(kExitJobsFailed, 3);
+  EXPECT_EQ(kExitCancelled, 4);
+}
+
+TEST_F(CancelTest, TokenLifecycle) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.poll());
+  EXPECT_EQ(token.reason(), CancelReason::None);
+  token.check();  // clear token: no-op
+
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.poll());
+  EXPECT_EQ(token.reason(), CancelReason::Api);
+  EXPECT_THROW(token.check(), CancelledError);
+
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::None);
+}
+
+TEST_F(CancelTest, FirstTripsReasonWins) {
+  CancelToken token;
+  token.request_cancel(CancelReason::Signal, SIGINT);
+  token.request_cancel(CancelReason::Deadline);
+  EXPECT_EQ(token.reason(), CancelReason::Signal);
+  EXPECT_EQ(token.signal_number(), SIGINT);
+}
+
+TEST_F(CancelTest, DeadlineExpiryTripsOnPoll) {
+  CancelToken token;
+  token.set_deadline(Deadline::after_seconds(0.0));
+  // The flag itself only flips on a poll (cancelled() stays a pure load).
+  EXPECT_TRUE(token.poll());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::Deadline);
+
+  const Deadline never;
+  EXPECT_FALSE(never.valid());
+  EXPECT_FALSE(never.expired());
+  const Deadline later = Deadline::after_seconds(3600.0);
+  EXPECT_TRUE(later.valid());
+  EXPECT_FALSE(later.expired());
+  EXPECT_GT(later.remaining_seconds(), 3000.0);
+}
+
+TEST_F(CancelTest, CancelledErrorBypassesFaultHandlers) {
+  // CancelledError is deliberately NOT an sva::Error: the degradation
+  // handlers (batch keep-going, OPC fallback) catch Error and must never
+  // swallow a cancellation.
+  static_assert(!std::is_base_of_v<Error, CancelledError>);
+  static_assert(std::is_base_of_v<std::runtime_error, CancelledError>);
+}
+
+TEST_F(CancelTest, ParallelForStopsBetweenChunks) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.request_cancel();
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, 1000,
+          [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+          0, &token),
+      CancelledError);
+  // Pre-tripped token: every chunk checks before running its indices.
+  EXPECT_EQ(ran.load(), 0u);
+
+  // A null token costs nothing and runs everything.
+  pool.parallel_for(0, 100, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST_F(CancelTest, TaskGroupSkipsBodiesAfterTrip) {
+  ThreadPool pool(2);
+  CancelToken token;
+  token.request_cancel();
+  TaskGroup group(pool, &token);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i)
+    group.run([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(group.wait(), CancelledError);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// ------------------------------------------------- file locks & takeover
+
+using FileLockTest = RobustnessTest;
+
+TEST_F(FileLockTest, ExclusionAndRelease) {
+  const std::string dir = fresh_dir("filelock");
+  const std::string target = dir + "/data.svac";
+  FileLock first = FileLock::acquire(target);
+  EXPECT_TRUE(first.held());
+  EXPECT_TRUE(std::filesystem::exists(lock_sidecar_path(target)));
+
+  // Same-process second open contends (flock is per open-file-description).
+  FileLock second = FileLock::try_acquire(target, /*timeout_ms=*/50);
+  EXPECT_FALSE(second.held());
+
+  first.release();
+  EXPECT_FALSE(first.held());
+  FileLock third = FileLock::try_acquire(target, /*timeout_ms=*/50);
+  EXPECT_TRUE(third.held());
+  // The sidecar is never unlinked on release (unlink would race takeover).
+  third.release();
+  EXPECT_TRUE(std::filesystem::exists(lock_sidecar_path(target)));
+}
+
+TEST_F(FileLockTest, CreatesMissingCacheDirectory) {
+  // The lock is taken before the write that would otherwise create the
+  // cache directory, so acquire() must create it (cold first run).
+  const std::string dir = fresh_dir("filelock_cold") + "/nested/cache";
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  const FileLock lock = FileLock::acquire(dir + "/ctx.svac");
+  EXPECT_TRUE(lock.held());
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+}
+
+TEST_F(FileLockTest, DeadHolderIsTakenOver) {
+  const std::string dir = fresh_dir("filelock_stale");
+  const std::string target = dir + "/data.svac";
+  // Hold the flock (so acquire() sees "busy") but record a PID that is
+  // guaranteed dead -- a reaped child -- as the holder.  That is exactly
+  // the broken state a crashed process leaves on an flock-emulating
+  // filesystem, and the half-timeout takeover must recover from it.
+  FileLock holder = FileLock::acquire(target);
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  ASSERT_EQ(::waitpid(child, nullptr, 0), child);
+  std::ofstream(lock_sidecar_path(target), std::ios::trunc)
+      << static_cast<long>(child) << "\n";
+
+  const std::uint64_t takeovers_before =
+      MetricsRegistry::global().counter("filelock.takeovers").value();
+  const FileLock taken = FileLock::acquire(target, /*timeout_ms=*/400);
+  EXPECT_TRUE(taken.held());
+  EXPECT_EQ(MetricsRegistry::global().counter("filelock.takeovers").value(),
+            takeovers_before + 1);
+  EXPECT_GE(Diagnostics::global().count_code("lock_takeover"), 1u);
+}
+
+TEST_F(FileLockTest, LiveHolderTimesOutInsteadOfTakeover) {
+  const std::string dir = fresh_dir("filelock_live");
+  const std::string target = dir + "/data.svac";
+  const FileLock holder = FileLock::acquire(target);
+  // The sidecar records our (alive) PID: the takeover check must refuse
+  // and the second acquire must time out.
+  EXPECT_THROW(FileLock::acquire(target, /*timeout_ms=*/120), Error);
+  EXPECT_TRUE(holder.held());
+}
+
+TEST_F(FileLockTest, InjectedLockFaultFires) {
+  FailPoints::set("cache.lock", "throw");
+  EXPECT_THROW(FileLock::acquire(fresh_dir("filelock_fp") + "/x"),
+               FailPointError);
+}
+
+// --------------------------------------------------- checkpoint envelope
+
+using CheckpointTest = RobustnessTest;
+
+TEST_F(CheckpointTest, RoundTripPreservesPayload) {
+  const std::string path = fresh_dir("ckpt") + "/state.ckpt";
+  const std::string payload = "\x01\x02payload bytes\xff";
+  write_checkpoint(path, "eco", /*content_hash=*/0xabcdefull, payload);
+  EXPECT_EQ(read_checkpoint(path, "eco", 0xabcdefull), payload);
+  // kAnyHash skips the identity check (used by inspection tools).
+  EXPECT_EQ(read_checkpoint(path, "eco", kAnyHash), payload);
+  EXPECT_EQ(checkpoint_content_hash(path, "eco"), 0xabcdefull);
+}
+
+TEST_F(CheckpointTest, MismatchesAreRefused) {
+  const std::string dir = fresh_dir("ckpt_bad");
+  const std::string path = dir + "/state.ckpt";
+  write_checkpoint(path, "eco", 7, "payload");
+  // Wrong kind (an optimize checkpoint fed to analyze --resume).
+  EXPECT_THROW(read_checkpoint(path, "batch", kAnyHash), SerializeError);
+  // Wrong content hash (resumed against different inputs).
+  EXPECT_THROW(read_checkpoint(path, "eco", 8), SerializeError);
+  // Missing file.
+  EXPECT_THROW(read_checkpoint(dir + "/nope.ckpt", "eco", kAnyHash),
+               FileMissingError);
+  // Flipped byte: the checksum rejects it.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(-1, std::ios::end);
+  const int last = f.get();
+  f.seekp(-1, std::ios::end);
+  f.put(static_cast<char>(last ^ 0x5a));
+  f.close();
+  EXPECT_THROW(read_checkpoint(path, "eco", kAnyHash), SerializeError);
+}
+
+TEST_F(CheckpointTest, InjectedWriteFaultLeavesNoFile) {
+  const std::string path = fresh_dir("ckpt_fp") + "/state.ckpt";
+  FailPoints::set("checkpoint.write", "throw");
+  EXPECT_THROW(write_checkpoint(path, "eco", 1, "p"), FailPointError);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// --------------------------------------- batch cancellation & resumption
+
+using BatchCancelTest = RobustnessTest;
+
+TEST_F(BatchCancelTest, PreTrippedTokenCancelsEverySlot) {
+  const SvaFlow& flow = shared_flow();
+  ThreadPool pool(2);
+  CancelToken token;
+  token.request_cancel();
+  BatchOptions options;
+  options.cancel = &token;
+  const BatchRunner runner(flow, pool, options);
+  const BatchResult batch = runner.run({{"C432"}, {"C880"}});
+  ASSERT_EQ(batch.outcomes.size(), 2u);
+  EXPECT_EQ(batch.cancelled_count(), 2u);
+  // Cancelled is incomplete, not failed: no failure diagnostics, and the
+  // two counts never overlap.
+  EXPECT_EQ(batch.failed_count(), 0u);
+  EXPECT_FALSE(batch.all_ok());
+  EXPECT_EQ(Diagnostics::global().count_code("batch_job_failed"), 0u);
+  for (const BatchJobOutcome& o : batch.outcomes) {
+    EXPECT_TRUE(o.cancelled);
+    EXPECT_FALSE(o.ok);
+  }
+}
+
+TEST_F(BatchCancelTest, CheckpointResumeIsBitIdentical) {
+  const SvaFlow& flow = shared_flow();
+  ThreadPool pool(2);
+  const std::vector<BatchJob> jobs = {{"C432"}, {"C499"}, {"C880"}};
+  const BatchRunner runner(flow, pool);
+  const BatchResult reference = runner.run(jobs);
+  ASSERT_TRUE(reference.all_ok());
+
+  // Interrupt after job 0: journal a partial result whose middle slot is
+  // cancelled, reload it, and resume.  The merged result must equal the
+  // uninterrupted reference bit for bit (final slots copied, cancelled
+  // slots recomputed -- and each job is a pure function of flow+circuit).
+  BatchResult partial = reference;
+  partial.outcomes[1] = BatchJobOutcome{false, "cancelled", true};
+  partial.analyses[1] = CircuitAnalysis{};
+  partial.analyses[1].name = jobs[1].circuit;
+  partial.outcomes[2] = BatchJobOutcome{false, "cancelled", true};
+  partial.analyses[2] = CircuitAnalysis{};
+  partial.analyses[2].name = jobs[2].circuit;
+
+  const std::string ckpt = fresh_dir("batch_ckpt") + "/batch.ckpt";
+  save_batch_checkpoint(ckpt, flow, jobs, partial);
+  const BatchResult prior = load_batch_checkpoint(ckpt, flow, jobs);
+  EXPECT_EQ(prior.cancelled_count(), 2u);
+  EXPECT_EQ(prior.failed_count(), 0u);
+
+  const std::uint64_t resumed_before =
+      MetricsRegistry::global().counter("batch.jobs_resumed").value();
+  const BatchResult resumed = runner.run(jobs, &prior);
+  EXPECT_TRUE(resumed.all_ok());
+  EXPECT_EQ(MetricsRegistry::global().counter("batch.jobs_resumed").value(),
+            resumed_before + 1);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    expect_same_analysis(resumed.analyses[i], reference.analyses[i],
+                         jobs[i].circuit);
+}
+
+TEST_F(BatchCancelTest, CheckpointRefusesDifferentJobList) {
+  const SvaFlow& flow = shared_flow();
+  ThreadPool pool(2);
+  const std::vector<BatchJob> jobs = {{"C432"}};
+  const BatchRunner runner(flow, pool);
+  const BatchResult result = runner.run(jobs);
+  const std::string ckpt = fresh_dir("batch_ckpt_id") + "/batch.ckpt";
+  save_batch_checkpoint(ckpt, flow, jobs, result);
+  // Same file, different job list: the content hash must refuse it.
+  const std::vector<BatchJob> other = {{"C880"}};
+  EXPECT_THROW(load_batch_checkpoint(ckpt, flow, other), SerializeError);
+  EXPECT_NE(batch_content_hash(flow, jobs), batch_content_hash(flow, other));
+}
+
+// -------------------------------------------------------------- cache GC
+
+using CacheGcTest = RobustnessTest;
+
+void set_age(const std::string& path, std::chrono::minutes age) {
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() - age);
+}
+
+void write_file(const std::string& path, std::size_t bytes) {
+  std::ofstream(path, std::ios::binary) << std::string(bytes, 'x');
+}
+
+TEST_F(CacheGcTest, AgeRulesAndProtectedNames) {
+  const std::string dir = fresh_dir("gc_age");
+  write_file(dir + "/live.svac", 100);
+  write_file(dir + "/old.svac", 100);
+  set_age(dir + "/old.svac", std::chrono::minutes(60 * 24 * 40));
+  write_file(dir + "/orphan.svac.tmp.123.4", 100);
+  set_age(dir + "/orphan.svac.tmp.123.4", std::chrono::minutes(30));
+  write_file(dir + "/fresh.svac.tmp.123.5", 100);
+  write_file(dir + "/evidence.svac.corrupt.123.6", 100);
+  set_age(dir + "/evidence.svac.corrupt.123.6",
+          std::chrono::minutes(60 * 24 * 40));
+  write_file(dir + "/held.svac.lock", 10);
+  set_age(dir + "/held.svac.lock", std::chrono::minutes(60 * 24 * 400));
+  write_file(dir + "/run.ckpt", 10);
+  set_age(dir + "/run.ckpt", std::chrono::minutes(60 * 24 * 400));
+
+  const CacheGcStats stats = run_cache_gc(dir, CacheGcConfig{});
+  // Aged snapshot, aged quarantine, orphaned temp: gone.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/old.svac"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/orphan.svac.tmp.123.4"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/evidence.svac.corrupt.123.6"));
+  // Live snapshot and fresh temp: kept.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/live.svac"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/fresh.svac.tmp.123.5"));
+  // Locks and checkpoints are never GC targets, whatever their age.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/held.svac.lock"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/run.ckpt"));
+  EXPECT_EQ(stats.removed_files, 3u);
+}
+
+TEST_F(CacheGcTest, SizeBudgetEvictsOldestFirst) {
+  const std::string dir = fresh_dir("gc_size");
+  write_file(dir + "/a.svac", 600);
+  set_age(dir + "/a.svac", std::chrono::minutes(300));
+  write_file(dir + "/b.svac", 600);
+  set_age(dir + "/b.svac", std::chrono::minutes(200));
+  write_file(dir + "/c.svac", 600);
+  set_age(dir + "/c.svac", std::chrono::minutes(100));
+
+  CacheGcConfig cfg;
+  cfg.max_total_bytes = 1300;  // fits two of the three
+  const CacheGcStats stats = run_cache_gc(dir, cfg);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/a.svac"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/b.svac"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/c.svac"));
+  EXPECT_EQ(stats.removed_files, 1u);
+  EXPECT_EQ(stats.removed_bytes, 600u);
+  EXPECT_LE(stats.kept_bytes, cfg.max_total_bytes);
+
+  // Missing directory: a clean no-op, not an error.
+  const CacheGcStats none = run_cache_gc(dir + "/does_not_exist");
+  EXPECT_EQ(none.scanned_files, 0u);
+  EXPECT_EQ(none.removed_files, 0u);
+}
+
 // ------------------------------------------------------------ chaos sweep
 
 using ChaosTest = RobustnessTest;
@@ -641,7 +1039,8 @@ using ChaosTest = RobustnessTest;
 /// stay bit-identical to a fault-free run.
 bool analysis_safe_site(const std::string& site) {
   return site.rfind("serialize.", 0) == 0 ||
-         site.rfind("context_cache.", 0) == 0 || site == "flow.setup_load";
+         site.rfind("context_cache.", 0) == 0 || site == "flow.setup_load" ||
+         site == "cache.lock";
 }
 
 TEST_F(ChaosTest, EveryCatalogueSiteSurvivesProbabilisticFaults) {
