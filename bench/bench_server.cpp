@@ -1,0 +1,185 @@
+// Timing-server benchmark: warm-daemon queries vs cold CLI runs.
+//
+// A direct `sva-timing analyze C432` pays the full startup bill on every
+// invocation -- library OPC, pitch-table characterization, context-cache
+// expansion -- before the microseconds of STA it came for.  The `sva
+// serve` daemon pays that bill once and keeps the SvaFlow hot, so a
+// client query costs one socket round-trip plus the STA itself.  This
+// bench quantifies the win for single-circuit analyze:
+//
+//   * cold CLI:    fresh SvaFlow construction + analyze, per invocation
+//                  (no persistent cache -- the honest first-run cost);
+//   * warm daemon: an in-process TimingServer on a Unix socket, one
+//                  connect+request+response round-trip per query;
+//   * bit-identity: the daemon's bytes must equal the direct run's
+//                  (wall-time trailer aside) or the bench aborts.
+//
+// Writes BENCH_server.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "engine/thread_pool.hpp"
+#include "report/csv.hpp"
+#include "server/client.hpp"
+#include "server/jobs.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/socket.hpp"
+#include "util/error.hpp"
+
+using namespace sva;
+
+namespace {
+
+constexpr const char* kCircuit = "C432";
+constexpr int kColdRepeats = 3;
+constexpr int kWarmQueries = 9;
+constexpr std::size_t kThreads = 2;
+
+std::uint64_t ns_of(const std::chrono::steady_clock::time_point& t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+std::uint64_t median(std::vector<std::uint64_t> ns) {
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+/// Drop the "(N circuits, T threads, X s)" wall-time trailer, the one
+/// line that differs between any two runs (scripts/check.sh convention).
+std::string strip_variance(const std::string& text) {
+  std::string out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("circuits, ") != std::string::npos &&
+        line.size() >= 2 && line.compare(line.size() - 2, 2, "s)") == 0)
+      continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// One full cold invocation: flow construction plus the analyze itself,
+/// exactly the work a fresh CLI process performs (minus exec/link).
+std::uint64_t time_cold_run(JobResult* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SvaFlow flow{FlowConfig{}};
+  ThreadPool pool(kThreads);
+  AnalyzeJobSpec spec;
+  spec.circuits = {kCircuit};
+  JobResult result = run_analyze_job(flow, pool, spec, nullptr);
+  const std::uint64_t ns = ns_of(t0);
+  if (result.exit_code != 0 || !result.error.empty())
+    throw Error("cold analyze failed: " + result.error);
+  if (out != nullptr) *out = std::move(result);
+  return ns;
+}
+
+JobResult query_daemon(const std::string& socket_path) {
+  ServerClient client(socket_path);
+  AnalyzeRequest req;
+  req.spec.circuits = {kCircuit};
+  const Frame response =
+      client.call({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  if (response.type != MsgType::ResultResponse)
+    throw Error(std::string("daemon answered ") +
+                msg_type_name(response.type));
+  return decode_result_response(response.body);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Timing server: warm-daemon queries vs cold CLI runs ===\n\n");
+
+  // --- cold CLI runs. -------------------------------------------------
+  JobResult direct;
+  std::vector<std::uint64_t> cold_ns;
+  for (int i = 0; i < kColdRepeats; ++i)
+    cold_ns.push_back(time_cold_run(i == 0 ? &direct : nullptr));
+  const std::uint64_t cold = median(cold_ns);
+  std::printf("cold CLI run (flow construction + analyze %s):\n", kCircuit);
+  std::printf("  median of %d: %8.3f ms\n\n", kColdRepeats, cold * 1e-6);
+
+  // --- warm daemon. ---------------------------------------------------
+  SvaFlow flow{FlowConfig{}};
+  ThreadPool pool(kThreads);
+  ServerConfig config;
+  config.socket_path =
+      "/tmp/sva_bench_server_" + std::to_string(::getpid()) + ".sock";
+  TimingServer server(flow, config);
+  std::thread serving([&] { server.serve(pool); });
+  for (int i = 0; i < 100; ++i) {
+    try {
+      Fd probe = unix_connect(config.socket_path);
+      break;
+    } catch (const SocketError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  // One untimed query characterizes the circuit's contexts; steady-state
+  // queries then measure the round-trip + hot STA alone.
+  const JobResult warmup = query_daemon(config.socket_path);
+  if (strip_variance(warmup.output) != strip_variance(direct.output))
+    throw Error("daemon result differs from the direct run");
+
+  std::vector<std::uint64_t> warm_ns;
+  for (int i = 0; i < kWarmQueries; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const JobResult remote = query_daemon(config.socket_path);
+    warm_ns.push_back(ns_of(t0));
+    if (strip_variance(remote.output) != strip_variance(direct.output))
+      throw Error("daemon result drifted from the direct run");
+  }
+  server.request_stop();
+  serving.join();
+
+  const std::uint64_t warm = median(warm_ns);
+  const double speedup =
+      warm > 0 ? static_cast<double>(cold) / static_cast<double>(warm) : 0.0;
+  std::printf("warm daemon query (connect + request + response):\n");
+  std::printf("  median of %d: %8.3f ms   (speedup %.1fx)\n\n", kWarmQueries,
+              warm * 1e-6, speedup);
+  std::printf("results bit-identical to the direct run "
+              "(wall-time trailer aside)\n");
+
+  // --- JSON artifact. -------------------------------------------------
+  std::string json = "{\n  \"bench\": \"server\",\n  \"circuit\": \"";
+  json += kCircuit;
+  json += "\",\n  \"threads\": ";
+  json += std::to_string(kThreads);
+  json += ",\n  \"cold_cli_runs\": ";
+  json += std::to_string(kColdRepeats);
+  json += ",\n  \"cold_cli_ns\": ";
+  json += std::to_string(cold);
+  json += ",\n  \"warm_daemon_queries\": ";
+  json += std::to_string(kWarmQueries);
+  json += ",\n  \"warm_daemon_ns\": ";
+  json += std::to_string(warm);
+  json += ",\n  \"speedup\": ";
+  json += fmt(speedup, 2);
+  json += ",\n  \"bit_identical\": true\n}\n";
+  write_text_file("BENCH_server.json", json);
+  std::printf("wrote BENCH_server.json\n");
+  return 0;
+}

@@ -203,6 +203,93 @@ if compgen -G "$CACHE_DIR/*.svac" >/dev/null; then
 fi
 echo "$gc_out"
 
+echo "== server mode: 3 concurrent clients byte-identical to direct runs =="
+SOCK="$CACHE_DIR/sva.sock"
+"$CLI" serve --socket "$SOCK" --threads 2 --cache-dir "$CACHE_DIR" \
+  > "$CACHE_DIR/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$SOCK" ]]; then
+  echo "FAIL: daemon never created $SOCK"
+  cat "$CACHE_DIR/serve.log"
+  exit 1
+fi
+direct_out="$("$CLI" analyze C432 C880 --threads 2 --cache-dir "$CACHE_DIR")"
+client_pids=()
+for i in 1 2 3; do
+  "$CLI" analyze C432 C880 --connect "$SOCK" \
+    > "$CACHE_DIR/client_$i.txt" 2>&1 &
+  client_pids+=($!)
+done
+for i in 1 2 3; do
+  rc=0
+  wait "${client_pids[$((i - 1))]}" || rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "FAIL: remote client $i exited $rc"
+    cat "$CACHE_DIR/client_$i.txt"
+    exit 1
+  fi
+  if ! diff <(echo "$direct_out" | strip_variance) \
+            <(strip_variance < "$CACHE_DIR/client_$i.txt"); then
+    echo "FAIL: remote client $i output differs from the direct run"
+    exit 1
+  fi
+done
+echo "3 concurrent remote analyzes identical to the direct run"
+
+# Optimize through the daemon: printed summary and trajectory CSV must be
+# byte-identical to a direct run (only the "wrote <csv>" trailer names a
+# different file).
+"$CLI" optimize C880 --max-moves 6 --threads 2 --cache-dir "$CACHE_DIR" \
+  --csv "$CACHE_DIR/opt_direct.csv" > "$CACHE_DIR/opt_direct.txt"
+"$CLI" optimize C880 --max-moves 6 --connect "$SOCK" \
+  --csv "$CACHE_DIR/opt_remote.csv" > "$CACHE_DIR/opt_remote.txt"
+if ! cmp -s "$CACHE_DIR/opt_direct.csv" "$CACHE_DIR/opt_remote.csv"; then
+  echo "FAIL: remote optimize trajectory CSV differs from the direct run"
+  diff "$CACHE_DIR/opt_direct.csv" "$CACHE_DIR/opt_remote.csv" || true
+  exit 1
+fi
+if ! diff <(grep -v '^wrote ' "$CACHE_DIR/opt_direct.txt") \
+          <(grep -v '^wrote ' "$CACHE_DIR/opt_remote.txt"); then
+  echo "FAIL: remote optimize summary differs from the direct run"
+  exit 1
+fi
+echo "remote optimize byte-identical to the direct run"
+
+# A malformed client must not kill the daemon: garbage bytes get the
+# connection dropped with a structured error, the next client is served.
+# (tests/server_test.cpp covers this in-process too; skip when no python3.)
+if command -v python3 >/dev/null 2>&1; then
+  printf 'not a frame' | timeout 5 python3 -c '
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(sys.stdin.buffer.read())
+s.shutdown(socket.SHUT_WR)
+s.recv(4096)
+s.close()' "$SOCK" 2>/dev/null || true
+  if ! "$CLI" analyze C432 --connect "$SOCK" >/dev/null 2>&1; then
+    echo "FAIL: daemon stopped serving after a malformed client frame"
+    exit 1
+  fi
+  echo "daemon survived a malformed client frame"
+fi
+
+# Graceful drain: SIGTERM must exit 0 and remove the socket file.
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+  echo "FAIL: daemon exited $rc on SIGTERM, expected 0"
+  cat "$CACHE_DIR/serve.log"
+  exit 1
+fi
+if [[ -e "$SOCK" ]]; then
+  echo "FAIL: daemon left an orphaned socket file at $SOCK"
+  exit 1
+fi
+echo "SIGTERM drained the daemon (exit 0, socket removed)"
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0

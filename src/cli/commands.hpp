@@ -1,0 +1,41 @@
+#pragma once
+// Command-dispatch table of the sva-timing CLI.
+//
+// Every subcommand is one entry: a name, a handler, and its usage/help
+// lines.  main.cpp stays a thin shell (global options, failpoints,
+// signal handlers, exit reports); adding a command means adding a table
+// row here, not growing main().  The analyze/optimize handlers run
+// locally or -- with --connect PATH -- ship the identical job spec to a
+// `sva serve` daemon through server/client.hpp.
+
+#include <string>
+#include <vector>
+
+#include "engine/options.hpp"
+
+namespace sva {
+
+/// One CLI subcommand.  `args` arrives with the global options already
+/// stripped; handlers may consume per-command flags from it.
+struct CommandSpec {
+  const char* name;
+  int (*handler)(std::vector<std::string>& args, const EngineOptions& opts);
+  /// One usage line for the help text, e.g. "analyze <bench...>".
+  const char* usage_line;
+  /// Short description shown next to the usage line.
+  const char* summary;
+};
+
+/// The full dispatch table, in help-text order.
+const std::vector<CommandSpec>& command_table();
+
+/// Print the usage text (built from the table plus the global-options
+/// epilogue) and return the usage exit code.
+int usage();
+
+/// Look up `command` and run it; unknown commands print usage.
+int dispatch_command(const std::string& command,
+                     std::vector<std::string>& args,
+                     const EngineOptions& opts);
+
+}  // namespace sva

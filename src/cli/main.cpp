@@ -1,423 +1,23 @@
 // sva-timing: command-line driver for the systematic-variation aware
-// timing flow.
-//
-//   sva-timing analyze C432 C880          Table-2 style corner analysis
-//   sva-timing paths C432 -n 3            worst paths under the SVA corners
-//   sva-timing pitch-curve                through-pitch CD curve (CSV)
-//   sva-timing export-lib out.lib [-x]    write the (expanded) .lib
-//   sva-timing verilog C432 out.v         dump a benchmark as Verilog
-//   sva-timing bench FILE.bench           analyze an ISCAS .bench file
-//   sva-timing list                       available built-in benchmarks
+// timing flow.  The subcommands live in the dispatch table of
+// cli/commands.cpp; this file is only the process shell -- global option
+// extraction, fault-injection arming, signal handlers, and the exit-time
+// metrics/diagnostics reports.
 
 #include <cstdio>
-#include <cstring>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "cell/liberty_writer.hpp"
-#include "core/flow.hpp"
-#include "engine/batch.hpp"
-#include "engine/metrics.hpp"
+#include "cli/commands.hpp"
 #include "engine/options.hpp"
-#include "engine/thread_pool.hpp"
-#include "litho/pitch_curve.hpp"
-#include "netlist/bench_format.hpp"
-#include "netlist/verilog.hpp"
-#include "opt/eco.hpp"
-#include "opt/sizing.hpp"
-#include "opt/trajectory.hpp"
 #include "report/csv.hpp"
-#include "report/table.hpp"
-#include "sta/path_report.hpp"
-#include "util/cache_gc.hpp"
 #include "util/cancel.hpp"
 #include "util/diagnostics.hpp"
 #include "util/failpoint.hpp"
-#include "util/logging.hpp"
-#include "util/strings.hpp"
-#include "util/units.hpp"
-
-namespace {
-
-using namespace sva;
-
-// Warm-start / snapshot the persistent context-library cache around a
-// command.  A failed load degrades to a cold run inside try_load; a failed
-// save must not fail the command (the analysis already succeeded), so it
-// only warns.
-void cache_warm_start(const ContextCache& cache, const EngineOptions& opts) {
-  if (opts.cache_enabled()) cache.try_load(opts.cache_dir);
-}
-
-/// Flow configuration with the persistent-cache directory plumbed in, so
-/// SvaFlow construction itself warm-starts (library OPC + pitch table
-/// restored from the setup snapshot).
-FlowConfig flow_config(const EngineOptions& opts) {
-  FlowConfig cfg;
-  if (opts.cache_enabled()) cfg.cache_dir = opts.cache_dir;
-  cfg.fault_policy = opts.fault_policy();
-  return cfg;
-}
-
-void cache_snapshot(const ContextCache& cache, const EngineOptions& opts) {
-  if (!opts.cache_enabled()) return;
-  try {
-    cache.save(opts.cache_dir);
-  } catch (const std::exception& e) {
-    log_warn("context cache: snapshot failed (", e.what(), ")");
-  }
-}
-
-/// The checkpoint file a cancelled run journals to: --checkpoint PATH, or
-/// the command's documented default in the working directory.
-std::string checkpoint_path(const EngineOptions& opts,
-                            const char* command_default) {
-  return opts.checkpoint_path.empty() ? command_default
-                                      : opts.checkpoint_path;
-}
-
-/// Exit path of a run that wound down on a tripped token: report why and
-/// where the journal went (empty `ckpt` => none was written).
-int report_cancelled(const std::string& ckpt) {
-  const CancelToken& token = global_cancel_token();
-  std::printf("run cancelled (%s)%s\n",
-              cancel_reason_name(token.reason()),
-              token.reason() == CancelReason::Deadline ? ": deadline exceeded"
-                                                       : "");
-  if (!ckpt.empty())
-    std::printf("checkpoint written to %s; continue with --resume %s\n",
-                ckpt.c_str(), ckpt.c_str());
-  return kExitCancelled;
-}
-
-int usage() {
-  std::printf(
-      "usage: sva-timing <command> [args] [--threads N] [--metrics]\n"
-      "  analyze <bench...>     corner analysis (traditional vs SVA)\n"
-      "  paths <bench> [-n K]   worst K paths under the SVA WC corner\n"
-      "  optimize <bench> [--clock NS] [--max-moves K] [--corner sva|trad]\n"
-      "           [--window PS] [--csv PATH]\n"
-      "                         variation-aware ECO: size + respace until\n"
-      "                         the clock is met (default clock: 97%% of\n"
-      "                         the unoptimized corner delay)\n"
-      "  pitch-curve [out.csv]  through-pitch printed-CD curve\n"
-      "  export-lib <out.lib> [--expanded]\n"
-      "  verilog <bench> <out.v>\n"
-      "  bench <file.bench>     analyze an ISCAS .bench netlist\n"
-      "  list                   built-in benchmark circuits\n"
-      "  cache-gc               evict old/oversized cache entries, then exit\n"
-      "global options:\n"
-      "  --threads N            worker threads for analyze/paths/optimize\n"
-      "                         (default: hardware concurrency)\n"
-      "  --metrics              print engine counters/timers on exit\n"
-      "  --cache-dir DIR        persistent context-library cache directory\n"
-      "                         (default: $SVA_CACHE_DIR or .sva_cache)\n"
-      "  --no-cache             run cold; neither load nor save the cache\n"
-      "  --keep-going           degrade gracefully on recoverable faults\n"
-      "                         (default; warnings via --diagnostics)\n"
-      "  --strict               fail fast: any recoverable fault aborts\n"
-      "                         the run with exit code 1\n"
-      "  --diagnostics          print the structured diagnostics report\n"
-      "                         (severity, component, error code) on exit\n"
-      "  --deadline SEC         wall-clock time box: expiry winds the run\n"
-      "                         down cooperatively (checkpointing where\n"
-      "                         supported) and exits with code 4\n"
-      "  --checkpoint PATH      where a cancelled analyze/optimize journals\n"
-      "                         its state (default sva_<command>.ckpt)\n"
-      "  --resume PATH          continue an interrupted analyze/optimize\n"
-      "                         from its checkpoint; the final result is\n"
-      "                         bit-identical to an uninterrupted run\n"
-      "  --cache-gc             run cache eviction before the command\n"
-      "                         (knobs: --cache-gc-max-mb N, default 512;\n"
-      "                         --cache-gc-max-age-days D, default 30)\n"
-      "fault injection:\n"
-      "  SVA_FAILPOINTS=name=action,...   arm failpoints (actions: throw,\n"
-      "                         prob(p), delay(ms), corrupt); see DESIGN.md\n"
-      "exit codes:\n"
-      "  0  success (degradations possible; inspect --diagnostics)\n"
-      "  1  fatal error, or any fault under --strict\n"
-      "  2  usage error\n"
-      "  3  --keep-going run completed but one or more jobs failed\n"
-      "  4  cancelled (SIGINT/SIGTERM or --deadline); analyze/optimize\n"
-      "     write a checkpoint first -- continue with --resume\n"
-      "  (optimize: 1 also means the clock was not met)\n");
-  return kExitUsage;
-}
-
-int cmd_list() {
-  Table table({"Benchmark", "PIs", "POs", "Gates"});
-  for (const auto& spec : iscas85_specs())
-    table.add_row({spec.name, std::to_string(spec.primary_inputs),
-                   std::to_string(spec.primary_outputs),
-                   std::to_string(spec.gate_count)});
-  std::printf("%s", table.render().c_str());
-  return 0;
-}
-
-int cmd_analyze(const std::vector<std::string>& names,
-                const EngineOptions& opts) {
-  if (names.empty()) return usage();
-  const SvaFlow flow{flow_config(opts)};
-  cache_warm_start(flow.context_cache(), opts);
-  ThreadPool pool(opts.threads);
-  BatchOptions batch_opts;
-  batch_opts.keep_going = !opts.strict;
-  batch_opts.cancel = &global_cancel_token();
-  std::vector<BatchJob> jobs;
-  jobs.reserve(names.size());
-  for (const std::string& name : names) jobs.push_back({name});
-  // --resume: reload the interrupted run's journal (hash-verified against
-  // this flow + job list) so final slots are copied, not recomputed.
-  BatchResult prior;
-  const bool resuming = !opts.resume_path.empty();
-  if (resuming) prior = load_batch_checkpoint(opts.resume_path, flow, jobs);
-  const BatchRunner runner(flow, pool, batch_opts);
-  const BatchResult batch = runner.run(jobs, resuming ? &prior : nullptr);
-  cache_snapshot(flow.context_cache(), opts);
-  if (batch.cancelled_count() > 0) {
-    // Journal the final slots and exit with the documented cancelled
-    // code.  A failed journal write (disk full, injected fault) does not
-    // mask the cancellation -- it only costs the resume file.
-    std::string ckpt = checkpoint_path(opts, "sva_analyze.ckpt");
-    try {
-      save_batch_checkpoint(ckpt, flow, jobs, batch);
-    } catch (const std::exception& e) {
-      log_warn("checkpoint write failed (", e.what(), ")");
-      ckpt.clear();
-    }
-    std::printf("%zu/%zu jobs complete\n",
-                jobs.size() - batch.cancelled_count(), jobs.size());
-    return report_cancelled(ckpt);
-  }
-  Table table({"Testcase", "#Gates", "Trad Nom", "Trad BC", "Trad WC",
-               "New Nom", "New BC", "New WC", "Reduction"});
-  for (std::size_t ji = 0; ji < batch.analyses.size(); ++ji) {
-    const CircuitAnalysis& a = batch.analyses[ji];
-    if (!batch.outcomes[ji].ok) {
-      table.add_row({a.name, "FAILED", "-", "-", "-", "-", "-", "-", "-"});
-      continue;
-    }
-    table.add_row({a.name, std::to_string(a.gate_count),
-                   fmt(units::ps_to_ns(a.trad_nom_ps), 3),
-                   fmt(units::ps_to_ns(a.trad_bc_ps), 3),
-                   fmt(units::ps_to_ns(a.trad_wc_ps), 3),
-                   fmt(units::ps_to_ns(a.sva_nom_ps), 3),
-                   fmt(units::ps_to_ns(a.sva_bc_ps), 3),
-                   fmt(units::ps_to_ns(a.sva_wc_ps), 3),
-                   fmt_pct(a.uncertainty_reduction(), 1)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("(%zu circuits, %zu threads, %.2f s)\n", batch.analyses.size(),
-              opts.threads, batch.wall_seconds);
-  if (!batch.all_ok()) {
-    std::printf("%zu job(s) failed; run with --diagnostics for details\n",
-                batch.failed_count());
-    return 3;
-  }
-  return 0;
-}
-
-int cmd_paths(const std::string& name, std::size_t k,
-              const EngineOptions& opts) {
-  const SvaFlow flow{flow_config(opts)};
-  cache_warm_start(flow.context_cache(), opts);
-  const Netlist netlist = flow.make_benchmark(name);
-  const Placement placement = flow.make_placement(netlist);
-  const Sta sta(netlist, flow.characterized(), flow.config().sta);
-  const auto nps = extract_nps(placement);
-  const auto versions = assign_versions(nps, flow.config().bins);
-  const SvaCornerScale wc(netlist, flow.context_library(), versions,
-                          flow.config().budget, Corner::Worst,
-                          flow.config().arc_policy, &nps,
-                          &flow.context_cache());
-  ThreadPool pool(opts.threads);
-  const StaResult result = sta.run_parallel(wc, pool, &global_cancel_token());
-  cache_snapshot(flow.context_cache(), opts);
-  const auto paths = worst_paths(netlist, sta, wc, k);
-  std::printf("%s: SVA worst-case design delay %.3f ns\n\n", name.c_str(),
-              units::ps_to_ns(result.critical_delay_ps));
-  std::printf("%s", render_paths(netlist, paths, result).c_str());
-  return 0;
-}
-
-int cmd_optimize(const std::vector<std::string>& args,
-                 const EngineOptions& opts) {
-  if (args.empty()) return usage();
-  const std::string name = args[0];
-  EcoConfig eco;
-  std::string csv_path = "eco_trajectory.csv";
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    const std::string flag = args[i];
-    if (flag == "--clock") {
-      eco.clock_period_ps =
-          parse_double_flag(flag, flag_value(args, i)) * 1000.0;
-    } else if (flag == "--max-moves") {
-      eco.max_moves = parse_size_flag(flag, flag_value(args, i));
-    } else if (flag == "--window") {
-      eco.near_critical_window_ps =
-          parse_double_flag(flag, flag_value(args, i));
-    } else if (flag == "--corner") {
-      const std::string& mode = flag_value(args, i);
-      if (mode == "sva") {
-        eco.mode = EcoCornerMode::SvaWorst;
-      } else if (mode == "trad") {
-        eco.mode = EcoCornerMode::TraditionalWorst;
-      } else {
-        throw std::runtime_error("--corner expects 'sva' or 'trad', got '" +
-                                 mode + "'");
-      }
-    } else if (flag == "--csv") {
-      csv_path = flag_value(args, i);
-    } else {
-      throw std::runtime_error("unknown optimize flag '" + flag + "'");
-    }
-  }
-
-  const SvaFlow flow{flow_config(opts)};
-  eco.budget = flow.config().budget;
-  eco.arc_policy = flow.config().arc_policy;
-  eco.sta = flow.config().sta;
-  const SizedLibrary sized(flow.library(), flow.config().electrical,
-                           flow.library_opc_results(), flow.boundary_model(),
-                           flow.config().bins);
-  // The sized library's expanded context cache hashes differently from the
-  // base flow's, so both snapshots coexist in the same cache directory.
-  cache_warm_start(sized.context_cache(), opts);
-  Netlist netlist = generate_iscas85_like(name, sized.library());
-  EcoOptimizer optimizer(sized, std::move(netlist),
-                         flow.config().placement, eco);
-  // --resume: replay the interrupted run's journal (hash-verified, each
-  // move witness-checked bit-for-bit) before continuing the loop.
-  if (!opts.resume_path.empty()) optimizer.restore(opts.resume_path);
-  ThreadPool pool(opts.threads);
-  const EcoResult result = optimizer.run(&pool, &global_cancel_token());
-  cache_snapshot(sized.context_cache(), opts);
-  if (result.cancelled) {
-    std::string ckpt = checkpoint_path(opts, "sva_optimize.ckpt");
-    try {
-      optimizer.checkpoint(ckpt);
-    } catch (const std::exception& e) {
-      log_warn("checkpoint write failed (", e.what(), ")");
-      ckpt.clear();
-    }
-    std::printf("%zu move(s) committed before cancellation\n",
-                result.moves_committed());
-    return report_cancelled(ckpt);
-  }
-  std::printf("%s", trajectory_table(result).c_str());
-  if (!csv_path.empty()) {
-    write_text_file(csv_path, trajectory_csv(result));
-    std::printf("wrote %s\n", csv_path.c_str());
-  }
-  return result.met_timing ? 0 : 1;
-}
-
-int cmd_pitch_curve(const std::string& out_path) {
-  const OpticsConfig optics;
-  const LithoProcess process(optics, 90.0, 240.0);
-  const auto curve =
-      through_pitch_curve(process, 90.0, pitch_sweep(240.0, 1000.0, 30));
-  Series series{"printed CD", {}, {}};
-  for (const auto& p : curve) {
-    series.x.push_back(p.pitch);
-    series.y.push_back(p.cd);
-    std::printf("%8.1f  %8.3f\n", p.pitch, p.cd);
-  }
-  if (!out_path.empty()) {
-    write_text_file(out_path, series_to_csv({series}));
-    std::printf("wrote %s\n", out_path.c_str());
-  }
-  return 0;
-}
-
-int cmd_export_lib(const std::string& path, bool expanded,
-                   const EngineOptions& opts) {
-  const SvaFlow flow{flow_config(opts)};
-  const std::string lib =
-      expanded ? to_liberty_expanded(flow.characterized(),
-                                     flow.context_library(), "sva90_context")
-               : to_liberty(flow.characterized(), "sva90");
-  write_text_file(path, lib);
-  std::printf("wrote %s (%zu bytes)\n", path.c_str(), lib.size());
-  return 0;
-}
-
-int cmd_verilog(const std::string& name, const std::string& out,
-                const EngineOptions& opts) {
-  const SvaFlow flow{flow_config(opts)};
-  const Netlist netlist = flow.make_benchmark(name);
-  write_verilog_file(out, netlist);
-  std::printf("wrote %s (%zu gates)\n", out.c_str(),
-              netlist.gates().size());
-  return 0;
-}
-
-/// One eviction pass over the cache directory (also runs pre-dispatch when
-/// --cache-gc accompanies another command).
-int cmd_cache_gc(const EngineOptions& opts) {
-  CacheGcConfig cfg;
-  cfg.max_total_bytes = opts.cache_gc_max_mb * std::size_t{1024} * 1024;
-  cfg.max_age_days = opts.cache_gc_max_age_days;
-  const CacheGcStats stats = run_cache_gc(opts.cache_dir, cfg);
-  std::printf("%s (%s)\n", stats.summary().c_str(), opts.cache_dir.c_str());
-  return kExitOk;
-}
-
-int cmd_bench_file(const std::string& path, const EngineOptions& opts) {
-  const SvaFlow flow{flow_config(opts)};
-  cache_warm_start(flow.context_cache(), opts);
-  const Netlist netlist =
-      load_bench_file(path, flow.library(), "bench_design");
-  const Placement placement = flow.make_placement(netlist);
-  const CircuitAnalysis a = flow.analyze(netlist, placement);
-  cache_snapshot(flow.context_cache(), opts);
-  std::printf("%s: %zu gates\n", path.c_str(), a.gate_count);
-  std::printf("  traditional: %.3f / %.3f / %.3f ns\n",
-              units::ps_to_ns(a.trad_nom_ps), units::ps_to_ns(a.trad_bc_ps),
-              units::ps_to_ns(a.trad_wc_ps));
-  std::printf("  SVA-aware:   %.3f / %.3f / %.3f ns  (reduction %s)\n",
-              units::ps_to_ns(a.sva_nom_ps), units::ps_to_ns(a.sva_bc_ps),
-              units::ps_to_ns(a.sva_wc_ps),
-              fmt_pct(a.uncertainty_reduction(), 1).c_str());
-  return 0;
-}
-
-}  // namespace
-
-int dispatch(const std::string& command, std::vector<std::string>& args,
-             const EngineOptions& opts) {
-  if (command == "list") return cmd_list();
-  if (command == "analyze") return cmd_analyze(args, opts);
-  if (command == "paths") {
-    if (args.empty()) return usage();
-    std::size_t k = 3;
-    for (std::size_t i = 1; i < args.size(); ++i)
-      if (args[i] == "-n") k = parse_size_flag("-n", flag_value(args, i));
-    return cmd_paths(args[0], k, opts);
-  }
-  if (command == "optimize") return cmd_optimize(args, opts);
-  if (command == "pitch-curve")
-    return cmd_pitch_curve(args.empty() ? "" : args[0]);
-  if (command == "export-lib") {
-    if (args.empty()) return usage();
-    const bool expanded =
-        args.size() > 1 && (args[1] == "--expanded" || args[1] == "-x");
-    return cmd_export_lib(args[0], expanded, opts);
-  }
-  if (command == "verilog") {
-    if (args.size() < 2) return usage();
-    return cmd_verilog(args[0], args[1], opts);
-  }
-  if (command == "bench") {
-    if (args.empty()) return usage();
-    return cmd_bench_file(args[0], opts);
-  }
-  if (command == "cache-gc") return cmd_cache_gc(opts);
-  return usage();
-}
+#include "util/metrics.hpp"
 
 int main(int argc, char** argv) {
+  using namespace sva;
   EngineOptions opts;
   int rc = 0;
   try {
@@ -435,14 +35,23 @@ int main(int argc, char** argv) {
     if (opts.deadline_seconds > 0.0)
       global_cancel_token().set_deadline(
           Deadline::after_seconds(opts.deadline_seconds));
-    if (opts.cache_gc && command != "cache-gc") cmd_cache_gc(opts);
+    if (opts.cache_gc && command != "cache-gc") {
+      std::vector<std::string> no_args;
+      dispatch_command("cache-gc", no_args, opts);
+    }
 
-    rc = dispatch(command, args, opts);
+    rc = dispatch_command(command, args, opts);
   } catch (const CancelledError&) {
     // A trip that surfaced as an exception past any checkpointing command
     // logic (e.g. during paths/bench).  Same documented exit code; there
     // is simply no journal to resume from.
-    rc = report_cancelled("");
+    const CancelToken& token = global_cancel_token();
+    std::printf("run cancelled (%s)%s\n",
+                cancel_reason_name(token.reason()),
+                token.reason() == CancelReason::Deadline
+                    ? ": deadline exceeded"
+                    : "");
+    rc = kExitCancelled;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
@@ -453,6 +62,19 @@ int main(int argc, char** argv) {
     const std::string metrics = MetricsRegistry::global().render();
     std::printf("\nengine metrics:\n%s",
                 metrics.empty() ? "  (none)\n" : metrics.c_str());
+  }
+  if (!opts.metrics_json_path.empty()) {
+    const std::string json = MetricsRegistry::global().render_json() + "\n";
+    if (opts.metrics_json_path == "-") {
+      std::printf("%s", json.c_str());
+    } else {
+      try {
+        write_text_file(opts.metrics_json_path, json);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: --metrics-json write failed: %s\n",
+                     e.what());
+      }
+    }
   }
   if (opts.diagnostics) {
     const std::string report = Diagnostics::global().render();

@@ -81,6 +81,10 @@ EngineOptions extract_engine_options(std::vector<std::string>& args) {
       const std::string flag = args[i];
       opts.cache_gc_max_age_days =
           parse_double_flag(flag, flag_value(args, i));
+    } else if (args[i] == "--connect") {
+      opts.connect_path = flag_value(args, i);
+    } else if (args[i] == "--metrics-json") {
+      opts.metrics_json_path = flag_value(args, i);
     } else {
       rest.push_back(args[i]);
     }

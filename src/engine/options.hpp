@@ -59,6 +59,14 @@ struct EngineOptions {
   bool cache_gc = false;
   std::size_t cache_gc_max_mb = 512;
   double cache_gc_max_age_days = 30.0;
+  /// --connect PATH: ship analyze/optimize jobs to the `sva serve`
+  /// daemon at this Unix-domain socket instead of running them locally
+  /// (also the target of the `metrics` and `shutdown` commands).  Empty
+  /// disables.
+  std::string connect_path;
+  /// --metrics-json PATH: write the MetricsRegistry snapshot as JSON on
+  /// exit ("-" = stdout).  Empty disables.
+  std::string metrics_json_path;
 
   bool cache_enabled() const { return !no_cache && !cache_dir.empty(); }
   FaultPolicy fault_policy() const {

@@ -1,0 +1,95 @@
+#include "server/client.hpp"
+
+#include <cstdio>
+
+#include "engine/options.hpp"
+
+namespace sva {
+
+namespace {
+
+/// Map a response frame onto the shared JobResult emit path.  Exit-code
+/// semantics mirror a direct run: results carry their own code,
+/// cancellations exit kExitCancelled, server-side errors and Busy
+/// rejections exit kExitFatal with a stderr report.
+int deliver_response(const Frame& response) {
+  switch (response.type) {
+    case MsgType::ResultResponse:
+      return emit_job_result(decode_result_response(response.body));
+    case MsgType::CancelledResponse: {
+      const CancelledResponse c = decode_cancelled_response(response.body);
+      JobResult result;
+      result.exit_code = kExitCancelled;
+      result.output = c.output;
+      result.cancelled = true;
+      result.cancel_reason = c.reason;
+      return emit_job_result(result);
+    }
+    case MsgType::BusyResponse: {
+      const BusyResponse busy = decode_busy_response(response.body);
+      std::fprintf(stderr,
+                   "error: server busy (queue %llu/%llu); retry later\n",
+                   static_cast<unsigned long long>(busy.queue_depth),
+                   static_cast<unsigned long long>(busy.max_depth));
+      return kExitFatal;
+    }
+    case MsgType::ErrorResponse: {
+      const ErrorResponse err = decode_error_response(response.body);
+      std::fprintf(stderr, "error: server (%s): %s\n",
+                   proto_status_name(err.code), err.message.c_str());
+      return kExitFatal;
+    }
+    default:
+      std::fprintf(stderr, "error: unexpected server response '%s'\n",
+                   msg_type_name(response.type));
+      return kExitFatal;
+  }
+}
+
+}  // namespace
+
+ServerClient::ServerClient(const std::string& socket_path)
+    : fd_(unix_connect(socket_path)) {}
+
+Frame ServerClient::call(const Frame& request) {
+  write_frame(fd_.get(), request);
+  std::optional<Frame> response = read_frame(fd_.get());
+  if (!response)
+    throw SocketError("server closed the connection without a response");
+  return *response;
+}
+
+int run_remote_analyze(const std::string& socket_path,
+                       const AnalyzeRequest& request) {
+  ServerClient client(socket_path);
+  return deliver_response(client.call(
+      {MsgType::AnalyzeRequest, encode_analyze_request(request)}));
+}
+
+int run_remote_optimize(const std::string& socket_path,
+                        const OptimizeRequest& request) {
+  ServerClient client(socket_path);
+  return deliver_response(client.call(
+      {MsgType::OptimizeRequest, encode_optimize_request(request)}));
+}
+
+MetricsResponse fetch_remote_metrics(const std::string& socket_path) {
+  ServerClient client(socket_path);
+  const Frame response = client.call({MsgType::MetricsRequest, ""});
+  if (response.type != MsgType::MetricsResponse)
+    throw ProtocolError(ProtoStatus::BadType,
+                        std::string("expected metrics_response, got ") +
+                            msg_type_name(response.type));
+  return decode_metrics_response(response.body);
+}
+
+void request_remote_shutdown(const std::string& socket_path) {
+  ServerClient client(socket_path);
+  const Frame response = client.call({MsgType::ShutdownRequest, ""});
+  if (response.type != MsgType::ShutdownAck)
+    throw ProtocolError(ProtoStatus::BadType,
+                        std::string("expected shutdown_ack, got ") +
+                            msg_type_name(response.type));
+}
+
+}  // namespace sva

@@ -1,0 +1,51 @@
+#pragma once
+// Client side of the `sva serve` protocol.
+//
+// `sva analyze/optimize --connect PATH` builds the same job spec the
+// local command would execute, ships it to the daemon, and feeds the
+// response back through the shared emit_job_result() path -- so the
+// bytes the user sees (tables, CSV artifacts, exit codes, cancellation
+// reports) are identical to a direct run, minus the process-start and
+// flow-construction cost the daemon already paid.
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+
+namespace sva {
+
+/// One connection to a serving daemon.
+class ServerClient {
+ public:
+  /// Connects immediately; throws SocketError when no daemon listens at
+  /// `socket_path`.
+  explicit ServerClient(const std::string& socket_path);
+
+  /// Send one request frame and block for the response frame.  Throws
+  /// SocketError / ProtocolError on transport or framing failures
+  /// (including the daemon dropping the connection mid-job).
+  Frame call(const Frame& request);
+
+ private:
+  Fd fd_;
+};
+
+/// Ship an analyze/optimize job to the daemon at `socket_path` and
+/// deliver the response exactly as the local command would (stdout
+/// bytes, artifact files, cancellation report).  Returns the process
+/// exit code; a Busy rejection reports on stderr and exits with the
+/// fatal code.
+int run_remote_analyze(const std::string& socket_path,
+                       const AnalyzeRequest& request);
+int run_remote_optimize(const std::string& socket_path,
+                        const OptimizeRequest& request);
+
+/// Fetch the daemon's server-wide MetricsRegistry snapshot.
+MetricsResponse fetch_remote_metrics(const std::string& socket_path);
+
+/// Ask the daemon to drain and exit.  Returns once the ack arrives.
+void request_remote_shutdown(const std::string& socket_path);
+
+}  // namespace sva

@@ -1,0 +1,51 @@
+#include "server/job_queue.hpp"
+
+namespace sva {
+
+JobQueue::JobQueue(std::size_t max_depth)
+    : max_depth_(max_depth == 0 ? 1 : max_depth) {}
+
+bool JobQueue::try_push(ServerJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || jobs_.size() >= max_depth_) return false;
+    jobs_.push_back(std::move(job));
+    if (jobs_.size() > peak_) peak_ = jobs_.size();
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<ServerJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;
+  ServerJob job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+std::size_t JobQueue::peak_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+}  // namespace sva

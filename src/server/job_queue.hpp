@@ -1,0 +1,67 @@
+#pragma once
+// Bounded job queue with admission control for the timing daemon.
+//
+// Connection threads are producers; one executor thread is the consumer,
+// so admitted jobs run in admission order -- combined with the engine's
+// bit-exact parallelism this makes daemon results independent of client
+// arrival interleaving.  Admission is non-blocking by design: a full
+// queue rejects immediately (try_push == false) and the connection
+// answers with a Busy response instead of stalling the client behind an
+// unbounded backlog.  close() stops new admissions while pop() keeps
+// draining what was already accepted -- the graceful-shutdown contract.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "server/jobs.hpp"
+#include "util/cancel.hpp"
+
+namespace sva {
+
+/// One admitted job: the bound work, its private cancel token, and the
+/// promise the owning connection thread waits on.
+struct ServerJob {
+  std::uint64_t id = 0;
+  std::function<JobResult()> work;
+  std::shared_ptr<CancelToken> cancel;
+  std::promise<JobResult> done;
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t max_depth);
+
+  /// Admit one job.  False when the queue is at max_depth or closed (the
+  /// caller answers Busy); never blocks.
+  bool try_push(ServerJob job);
+
+  /// Take the oldest admitted job; blocks while the queue is open and
+  /// empty.  nullopt once the queue is closed *and* drained.
+  std::optional<ServerJob> pop();
+
+  /// Refuse all future admissions; pop() continues until empty.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t max_depth() const { return max_depth_; }
+  /// High-water mark of depth() since construction.
+  std::size_t peak_depth() const;
+
+ private:
+  const std::size_t max_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ServerJob> jobs_;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sva

@@ -1,0 +1,284 @@
+#include "server/protocol.hpp"
+
+namespace sva {
+
+namespace {
+
+/// Re-map low-level codec failures (truncation, overlong counts) to the
+/// protocol-level Truncated status so every malformed frame surfaces as
+/// one error type with a stable code.
+template <typename Fn>
+auto map_codec_errors(ProtoStatus status, Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const SerializeError& e) {
+    throw ProtocolError(status, e.what());
+  }
+}
+
+bool known_type(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::AnalyzeRequest:
+    case MsgType::OptimizeRequest:
+    case MsgType::MetricsRequest:
+    case MsgType::ShutdownRequest:
+    case MsgType::PingRequest:
+    case MsgType::ResultResponse:
+    case MsgType::BusyResponse:
+    case MsgType::ErrorResponse:
+    case MsgType::CancelledResponse:
+    case MsgType::MetricsResponse:
+    case MsgType::ShutdownAck:
+    case MsgType::PongResponse:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* proto_status_name(ProtoStatus status) {
+  switch (status) {
+    case ProtoStatus::Ok: return "ok";
+    case ProtoStatus::BadMagic: return "bad_magic";
+    case ProtoStatus::Oversized: return "oversized";
+    case ProtoStatus::Truncated: return "truncated";
+    case ProtoStatus::VersionMismatch: return "version_mismatch";
+    case ProtoStatus::BadChecksum: return "bad_checksum";
+    case ProtoStatus::BadType: return "bad_type";
+    case ProtoStatus::BadBody: return "bad_body";
+    case ProtoStatus::ServerError: return "server_error";
+    case ProtoStatus::Busy: return "busy";
+  }
+  return "unknown";
+}
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::AnalyzeRequest: return "analyze_request";
+    case MsgType::OptimizeRequest: return "optimize_request";
+    case MsgType::MetricsRequest: return "metrics_request";
+    case MsgType::ShutdownRequest: return "shutdown_request";
+    case MsgType::PingRequest: return "ping_request";
+    case MsgType::ResultResponse: return "result_response";
+    case MsgType::BusyResponse: return "busy_response";
+    case MsgType::ErrorResponse: return "error_response";
+    case MsgType::CancelledResponse: return "cancelled_response";
+    case MsgType::MetricsResponse: return "metrics_response";
+    case MsgType::ShutdownAck: return "shutdown_ack";
+    case MsgType::PongResponse: return "pong_response";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(const Frame& frame) {
+  ByteWriter payload;
+  payload.u32(kProtocolVersion);
+  payload.u8(static_cast<std::uint8_t>(frame.type));
+  payload.u64(fnv1a64_words(frame.body.data(), frame.body.size()));
+  payload.str(frame.body);
+  if (payload.size() > kMaxFramePayload)
+    throw ProtocolError(ProtoStatus::Oversized,
+                        "frame payload exceeds the protocol maximum");
+  ByteWriter wire;
+  wire.u32(kFrameMagic);
+  wire.u32(static_cast<std::uint32_t>(payload.size()));
+  return wire.bytes() + payload.bytes();
+}
+
+Frame decode_frame_payload(std::string_view payload) {
+  return map_codec_errors(ProtoStatus::Truncated, [&] {
+    ByteReader r(payload);
+    const std::uint32_t version = r.u32();
+    if (version != kProtocolVersion)
+      throw ProtocolError(ProtoStatus::VersionMismatch,
+                          "protocol version " + std::to_string(version) +
+                              " (this server speaks " +
+                              std::to_string(kProtocolVersion) + ")");
+    Frame frame;
+    const std::uint8_t type = r.u8();
+    const std::uint64_t checksum = r.u64();
+    frame.body = r.str();
+    r.expect_end();
+    if (!known_type(type))
+      throw ProtocolError(ProtoStatus::BadType,
+                          "unknown message type " + std::to_string(type));
+    frame.type = static_cast<MsgType>(type);
+    if (fnv1a64_words(frame.body.data(), frame.body.size()) != checksum)
+      throw ProtocolError(ProtoStatus::BadChecksum,
+                          "frame body checksum mismatch");
+    return frame;
+  });
+}
+
+// --- request bodies ---------------------------------------------------
+
+std::string encode_analyze_request(const AnalyzeRequest& req) {
+  ByteWriter w;
+  w.u64(req.spec.circuits.size());
+  for (const std::string& name : req.spec.circuits) w.str(name);
+  w.u8(req.spec.strict ? 1 : 0);
+  w.u64(req.deadline_ms);
+  return w.bytes();
+}
+
+AnalyzeRequest decode_analyze_request(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    AnalyzeRequest req;
+    const std::uint64_t count = r.u64();
+    if (count > body.size())  // each name costs >= 1 length byte
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "analyze request circuit count is implausible");
+    req.spec.circuits.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+      req.spec.circuits.push_back(r.str());
+    req.spec.strict = r.u8() != 0;
+    req.deadline_ms = r.u64();
+    r.expect_end();
+    return req;
+  });
+}
+
+std::string encode_optimize_request(const OptimizeRequest& req) {
+  ByteWriter w;
+  w.str(req.spec.circuit);
+  w.f64(req.spec.clock_period_ps);
+  w.u64(req.spec.max_moves);
+  w.f64(req.spec.window_ps);
+  w.u8(req.spec.corner_mode);
+  w.str(req.spec.csv_path);
+  w.u64(req.deadline_ms);
+  return w.bytes();
+}
+
+OptimizeRequest decode_optimize_request(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    OptimizeRequest req;
+    req.spec.circuit = r.str();
+    req.spec.clock_period_ps = r.f64();
+    req.spec.max_moves = r.u64();
+    req.spec.window_ps = r.f64();
+    req.spec.corner_mode = r.u8();
+    req.spec.csv_path = r.str();
+    req.deadline_ms = r.u64();
+    r.expect_end();
+    if (req.spec.corner_mode > 1)
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "optimize request corner mode out of range");
+    return req;
+  });
+}
+
+// --- response bodies --------------------------------------------------
+
+std::string encode_result_response(const JobResult& result) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(result.exit_code));
+  w.str(result.output);
+  w.u64(result.artifacts.size());
+  for (const JobArtifact& a : result.artifacts) {
+    w.str(a.path);
+    w.str(a.bytes);
+  }
+  return w.bytes();
+}
+
+JobResult decode_result_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    JobResult result;
+    result.exit_code = static_cast<int>(r.u32());
+    result.output = r.str();
+    const std::uint64_t count = r.u64();
+    if (count > body.size())
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "result artifact count is implausible");
+    result.artifacts.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      JobArtifact a;
+      a.path = r.str();
+      a.bytes = r.str();
+      result.artifacts.push_back(std::move(a));
+    }
+    r.expect_end();
+    return result;
+  });
+}
+
+std::string encode_busy_response(const BusyResponse& busy) {
+  ByteWriter w;
+  w.u64(busy.queue_depth);
+  w.u64(busy.max_depth);
+  return w.bytes();
+}
+
+BusyResponse decode_busy_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    BusyResponse busy;
+    busy.queue_depth = r.u64();
+    busy.max_depth = r.u64();
+    r.expect_end();
+    return busy;
+  });
+}
+
+std::string encode_error_response(const ErrorResponse& err) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(err.code));
+  w.str(err.message);
+  return w.bytes();
+}
+
+ErrorResponse decode_error_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    ErrorResponse err;
+    err.code = static_cast<ProtoStatus>(r.u32());
+    err.message = r.str();
+    r.expect_end();
+    return err;
+  });
+}
+
+std::string encode_cancelled_response(const CancelledResponse& c) {
+  ByteWriter w;
+  w.u8(c.reason);
+  w.str(c.output);
+  return w.bytes();
+}
+
+CancelledResponse decode_cancelled_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    CancelledResponse c;
+    c.reason = r.u8();
+    c.output = r.str();
+    r.expect_end();
+    return c;
+  });
+}
+
+std::string encode_metrics_response(const MetricsResponse& m) {
+  ByteWriter w;
+  w.str(m.rendered);
+  w.str(m.json);
+  return w.bytes();
+}
+
+MetricsResponse decode_metrics_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    MetricsResponse m;
+    m.rendered = r.str();
+    m.json = r.str();
+    r.expect_end();
+    return m;
+  });
+}
+
+}  // namespace sva

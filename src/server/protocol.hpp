@@ -1,0 +1,173 @@
+#pragma once
+// Framed request/response protocol of the `sva serve` daemon.
+//
+// Every message on the Unix-domain socket is one frame:
+//
+//   [u32 magic "SVAF"][u32 payload_len][payload]
+//
+// where the payload is a ByteWriter envelope mirroring the checkpoint
+// discipline (util/checkpoint.hpp): protocol version, message type, an
+// fnv1a64_words checksum of the body, then the length-prefixed body
+// bytes.  The byte order is the codec's fixed little-endian, so golden
+// frame bytes in the tests are platform-stable.
+//
+// Malformed input is never undefined behaviour: a bad magic, an
+// oversized length, a truncated payload, a checksum mismatch, or an
+// unknown type decodes to a ProtocolError carrying a stable ProtoStatus
+// code, and the server answers with a structured ErrorResponse (or drops
+// the connection when the stream is unframeable) -- the daemon itself
+// never dies on client bytes.  A version mismatch is refused explicitly
+// (ProtoStatus::VersionMismatch) so old clients get a diagnosable answer
+// instead of garbage.
+//
+// Body codecs for the individual message kinds live here too; the job
+// specs they carry are the exact structs the local CLI path executes
+// (server/jobs.hpp), which is what makes remote results bit-identical to
+// direct runs by construction.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/jobs.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace sva {
+
+/// Frame magic "SVAF" as a little-endian u32, and the protocol version a
+/// server refuses to cross.
+inline constexpr std::uint32_t kFrameMagic = 0x46415653u;  // "SVAF" (LE)
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard ceiling on one frame's payload: a corrupt length can neither
+/// trigger a huge allocation nor stall the reader.
+inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;  // 64 MiB
+
+/// Stable machine-readable classification of a protocol failure; carried
+/// in ErrorResponse.code so clients (and tests) can assert on the cause.
+enum class ProtoStatus : std::uint32_t {
+  Ok = 0,
+  BadMagic = 1,         ///< first 4 bytes are not "SVAF"
+  Oversized = 2,        ///< payload length exceeds kMaxFramePayload
+  Truncated = 3,        ///< stream ended inside a frame
+  VersionMismatch = 4,  ///< envelope version != kProtocolVersion
+  BadChecksum = 5,      ///< body does not hash to the envelope checksum
+  BadType = 6,          ///< unknown message type
+  BadBody = 7,          ///< body failed to decode as its type's schema
+  ServerError = 8,      ///< job raised an error server-side
+  Busy = 9,             ///< admission control rejected the job
+};
+
+const char* proto_status_name(ProtoStatus status);
+
+/// Malformed frame or envelope.  A SerializeError subclass so generic
+/// codec handling (tests, retry classification) treats it uniformly,
+/// with the ProtoStatus preserved for structured error responses.
+class ProtocolError : public SerializeError {
+ public:
+  ProtocolError(ProtoStatus status, const std::string& what)
+      : SerializeError(what), status_(status) {}
+  ProtoStatus status() const { return status_; }
+
+ private:
+  ProtoStatus status_;
+};
+
+/// Message kinds.  Requests are < 64, responses >= 64; the gap leaves
+/// room for either side to grow without renumbering.
+enum class MsgType : std::uint8_t {
+  AnalyzeRequest = 1,
+  OptimizeRequest = 2,
+  MetricsRequest = 3,
+  ShutdownRequest = 4,
+  PingRequest = 5,
+
+  ResultResponse = 64,
+  BusyResponse = 65,
+  ErrorResponse = 66,
+  CancelledResponse = 67,
+  MetricsResponse = 68,
+  ShutdownAck = 69,
+  PongResponse = 70,
+};
+
+const char* msg_type_name(MsgType type);
+
+/// One decoded frame: the type tag plus the raw body bytes (decoded
+/// further by the per-type codecs below).
+struct Frame {
+  MsgType type = MsgType::PingRequest;
+  std::string body;
+};
+
+/// Full wire bytes of a frame: magic + length + versioned envelope.
+std::string encode_frame(const Frame& frame);
+
+/// Decode the payload that followed a [magic][len] header (the socket
+/// layer strips the header).  Throws ProtocolError on a malformed
+/// envelope, a checksum mismatch, a version mismatch, or an unknown type.
+Frame decode_frame_payload(std::string_view payload);
+
+// --- request bodies ---------------------------------------------------
+
+/// Analyze/optimize requests carry the job spec plus a per-job deadline
+/// (0 = none).  The deadline is armed server-side at admission, so queue
+/// wait counts against it.
+struct AnalyzeRequest {
+  AnalyzeJobSpec spec;
+  std::uint64_t deadline_ms = 0;
+};
+
+struct OptimizeRequest {
+  OptimizeJobSpec spec;
+  std::uint64_t deadline_ms = 0;
+};
+
+std::string encode_analyze_request(const AnalyzeRequest& req);
+AnalyzeRequest decode_analyze_request(std::string_view body);
+
+std::string encode_optimize_request(const OptimizeRequest& req);
+OptimizeRequest decode_optimize_request(std::string_view body);
+
+// --- response bodies --------------------------------------------------
+
+/// A finished job: the exact stdout text and artifact bytes the direct
+/// CLI run would have produced, plus its exit code.
+std::string encode_result_response(const JobResult& result);
+JobResult decode_result_response(std::string_view body);
+
+/// Admission control rejection: the queue was full.
+struct BusyResponse {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t max_depth = 0;
+};
+std::string encode_busy_response(const BusyResponse& busy);
+BusyResponse decode_busy_response(std::string_view body);
+
+/// Structured failure: a protocol fault or a server-side job error.
+struct ErrorResponse {
+  ProtoStatus code = ProtoStatus::ServerError;
+  std::string message;
+};
+std::string encode_error_response(const ErrorResponse& err);
+ErrorResponse decode_error_response(std::string_view body);
+
+/// The job was cancelled (deadline, client disconnect, or server
+/// shutdown); `output` is the same wind-down text a direct run prints.
+struct CancelledResponse {
+  std::uint8_t reason = 0;  ///< CancelReason as u8
+  std::string output;
+};
+std::string encode_cancelled_response(const CancelledResponse& c);
+CancelledResponse decode_cancelled_response(std::string_view body);
+
+/// Server-wide metrics snapshot, both human-rendered and JSON.
+struct MetricsResponse {
+  std::string rendered;
+  std::string json;
+};
+std::string encode_metrics_response(const MetricsResponse& m);
+MetricsResponse decode_metrics_response(std::string_view body);
+
+}  // namespace sva

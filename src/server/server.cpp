@@ -1,0 +1,297 @@
+#include "server/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+
+#include "core/flow.hpp"
+#include "engine/options.hpp"
+#include "engine/thread_pool.hpp"
+#include "opt/sizing.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+namespace sva {
+
+namespace {
+
+/// Cadence of every bounded wait in the daemon: accept polls, idle
+/// connection reads, and in-flight job watches.  Short enough that stop
+/// requests and client disconnects are noticed promptly.
+constexpr int kPollMs = 50;
+
+Counter& counter(const char* name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+Frame result_frame(const JobResult& result) {
+  if (!result.error.empty())
+    return {MsgType::ErrorResponse,
+            encode_error_response({ProtoStatus::ServerError, result.error})};
+  if (result.cancelled)
+    return {MsgType::CancelledResponse,
+            encode_cancelled_response({result.cancel_reason, result.output})};
+  return {MsgType::ResultResponse, encode_result_response(result)};
+}
+
+}  // namespace
+
+TimingServer::TimingServer(const SvaFlow& flow, ServerConfig config)
+    : flow_(flow), config_(std::move(config)), queue_(config_.queue_depth) {}
+
+TimingServer::~TimingServer() { reap_handlers(true); }
+
+void TimingServer::request_stop() { stop_.store(true); }
+
+const SizedLibrary& TimingServer::ensure_sized() {
+  std::call_once(sized_once_, [&] {
+    sized_ = std::make_unique<SizedLibrary>(
+        flow_.library(), flow_.config().electrical, flow_.library_opc_results(),
+        flow_.boundary_model(), flow_.config().bins);
+    if (!config_.cache_dir.empty())
+      sized_->context_cache().try_load(config_.cache_dir);
+  });
+  return *sized_;
+}
+
+void TimingServer::reap_handlers(bool join_all) {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    for (auto it = handlers_.begin(); it != handlers_.end();) {
+      if (join_all || it->finished->load()) {
+        joinable.push_back(std::move(it->thread));
+        it = handlers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : joinable)
+    if (t.joinable()) t.join();
+}
+
+int TimingServer::serve(ThreadPool& pool, const CancelToken* stop) {
+  pool_ = &pool;
+  Fd listener = unix_listen(config_.socket_path);
+  log_info("sva serve: listening on ", config_.socket_path, " (queue depth ",
+           config_.queue_depth, ")");
+  std::thread executor([this] { executor_loop(); });
+
+  while (!stop_.load()) {
+    if (stop != nullptr && stop->poll()) break;
+    int ready = 0;
+    try {
+      ready = poll_readable(listener.get(), kPollMs);
+    } catch (const std::exception& e) {
+      log_warn("server: listener poll failed (", e.what(), ")");
+      break;
+    }
+    reap_handlers(false);
+    if (ready <= 0) continue;
+    try {
+      // Injected accept faults must cost at most the one connection that
+      // hit them; the loop keeps serving.
+      SVA_FAILPOINT("server.accept");
+      const int conn = ::accept(listener.get(), nullptr, nullptr);
+      if (conn < 0) continue;
+      counter("server.connections").add();
+      Fd conn_fd(conn);
+      auto finished = std::make_shared<std::atomic<bool>>(false);
+      std::thread t([this, fd = std::move(conn_fd), finished]() mutable {
+        handle_connection(std::move(fd));
+        finished->store(true);
+      });
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      handlers_.push_back({std::move(t), std::move(finished)});
+    } catch (const std::exception& e) {
+      counter("server.accept_faults").add();
+      log_warn("server: accept failed (", e.what(), "); connection dropped");
+    }
+  }
+
+  // Graceful drain: no new admissions, every admitted job still reaches
+  // its client, then the socket file disappears.
+  stop_.store(true);
+  listener.close_now();
+  queue_.close();
+  executor.join();
+  reap_handlers(true);
+  ::unlink(config_.socket_path.c_str());
+  // The lazily built sized library accumulated characterizations worth
+  // persisting; a failed snapshot must not fail the drain.
+  if (sized_ != nullptr && !config_.cache_dir.empty()) {
+    try {
+      sized_->context_cache().save(config_.cache_dir);
+    } catch (const std::exception& e) {
+      log_warn("server: sized-library cache snapshot failed (", e.what(), ")");
+    }
+  }
+  log_info("sva serve: drained and stopped");
+  return 0;
+}
+
+void TimingServer::executor_loop() {
+  while (auto job = queue_.pop()) {
+    MetricsRegistry::global().timer("server.queue_wait").add_seconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job->enqueued_at)
+            .count());
+    JobResult result;
+    {
+      ScopedTimer timer(MetricsRegistry::global().timer("server.job_exec"));
+      try {
+        result = job->work();
+      } catch (const CancelledError&) {
+        result = JobResult{};
+        result.exit_code = kExitCancelled;
+        result.cancelled = true;
+        result.cancel_reason =
+            static_cast<std::uint8_t>(job->cancel->reason());
+      } catch (const std::exception& e) {
+        result = JobResult{};
+        result.exit_code = kExitFatal;
+        result.error = e.what();
+      }
+    }
+    if (!result.error.empty())
+      counter("server.jobs_failed").add();
+    else if (result.cancelled)
+      counter("server.jobs_cancelled").add();
+    else
+      counter("server.jobs_completed").add();
+    job->done.set_value(std::move(result));
+  }
+}
+
+void TimingServer::submit_and_wait(
+    int fd, std::uint64_t deadline_ms,
+    std::function<JobResult(const CancelToken*)> work) {
+  ServerJob job;
+  job.id = next_job_id_.fetch_add(1);
+  job.cancel = std::make_shared<CancelToken>();
+  if (deadline_ms > 0)
+    job.cancel->set_deadline(
+        Deadline::after_seconds(static_cast<double>(deadline_ms) / 1000.0));
+  job.work = [w = std::move(work), token = job.cancel] {
+    return w(token.get());
+  };
+  job.enqueued_at = std::chrono::steady_clock::now();
+  std::future<JobResult> done = job.done.get_future();
+  std::shared_ptr<CancelToken> cancel = job.cancel;
+
+  if (!queue_.try_push(std::move(job))) {
+    counter("server.jobs_rejected").add();
+    write_frame(fd, {MsgType::BusyResponse,
+                     encode_busy_response({queue_.depth(),
+                                           queue_.max_depth()})});
+    return;
+  }
+  counter("server.jobs_accepted").add();
+
+  // Watch the client while its job is queued/running: an orderly
+  // disconnect trips that job's token only -- every other in-flight job
+  // is untouched.
+  while (done.wait_for(std::chrono::milliseconds(kPollMs)) !=
+         std::future_status::ready) {
+    if (!cancel->cancelled() && peer_disconnected(fd)) {
+      cancel->request_cancel(CancelReason::Api);
+      counter("server.client_disconnects").add();
+    }
+  }
+  const JobResult result = done.get();
+  try {
+    write_frame(fd, result_frame(result));
+  } catch (const std::exception& e) {
+    log_warn("server: response write failed (", e.what(), ")");
+  }
+}
+
+void TimingServer::handle_request(int fd, const Frame& request,
+                                  bool& keep_open) {
+  switch (request.type) {
+    case MsgType::PingRequest:
+      write_frame(fd, {MsgType::PongResponse, ""});
+      return;
+    case MsgType::MetricsRequest: {
+      MetricsResponse m;
+      m.rendered = MetricsRegistry::global().render();
+      m.json = MetricsRegistry::global().render_json();
+      write_frame(fd, {MsgType::MetricsResponse, encode_metrics_response(m)});
+      return;
+    }
+    case MsgType::ShutdownRequest:
+      write_frame(fd, {MsgType::ShutdownAck, ""});
+      request_stop();
+      keep_open = false;
+      return;
+    case MsgType::AnalyzeRequest: {
+      const AnalyzeRequest req = decode_analyze_request(request.body);
+      submit_and_wait(fd, req.deadline_ms,
+                      [this, spec = req.spec](const CancelToken* cancel) {
+                        return run_analyze_job(flow_, *pool_, spec, cancel);
+                      });
+      return;
+    }
+    case MsgType::OptimizeRequest: {
+      const OptimizeRequest req = decode_optimize_request(request.body);
+      submit_and_wait(fd, req.deadline_ms,
+                      [this, spec = req.spec](const CancelToken* cancel) {
+                        return run_optimize_job(flow_, ensure_sized(), *pool_,
+                                                spec, cancel);
+                      });
+      return;
+    }
+    default:
+      write_frame(fd, {MsgType::ErrorResponse,
+                       encode_error_response(
+                           {ProtoStatus::BadType,
+                            std::string("unexpected message type ") +
+                                msg_type_name(request.type)})});
+      keep_open = false;
+      return;
+  }
+}
+
+void TimingServer::handle_connection(Fd fd) {
+  bool keep_open = true;
+  while (keep_open && !stop_.load()) {
+    // Idle wait with a bounded poll so a draining server can close idle
+    // connections instead of blocking in read() forever.
+    int ready = 0;
+    try {
+      ready = poll_readable(fd.get(), kPollMs);
+    } catch (const std::exception&) {
+      break;
+    }
+    if (ready < 0) break;   // peer hung up while idle
+    if (ready == 0) continue;
+    try {
+      // Injected read faults and malformed frames cost this connection,
+      // never the daemon: structured error response where the stream
+      // still has integrity, then drop.
+      SVA_FAILPOINT("server.read");
+      std::optional<Frame> frame = read_frame(fd.get());
+      if (!frame) break;  // clean EOF
+      handle_request(fd.get(), *frame, keep_open);
+    } catch (const ProtocolError& e) {
+      counter("server.bad_frames").add();
+      try {
+        write_frame(fd.get(),
+                    {MsgType::ErrorResponse,
+                     encode_error_response({e.status(), e.what()})});
+      } catch (const std::exception&) {
+      }
+      break;
+    } catch (const std::exception& e) {
+      counter("server.connection_faults").add();
+      log_warn("server: connection dropped (", e.what(), ")");
+      break;
+    }
+  }
+}
+
+}  // namespace sva

@@ -1,0 +1,112 @@
+#pragma once
+// The `sva serve` daemon: a long-lived timing server over a Unix-domain
+// socket.
+//
+// Construction-time cost is paid once: the caller builds the SvaFlow
+// (library OPC, pitch table, context cache -- warm-started from the
+// persistent cache where available) and hands it in; the SizedLibrary
+// the optimize path needs is built lazily on the first optimize request
+// and then stays hot.  serve() then runs three kinds of thread:
+//
+//   accept loop     (caller's thread)  poll/accept, failpoint
+//                   "server.accept", spawns one handler per connection;
+//   handlers        read frames ("server.read" failpoint), answer
+//                   metrics/ping/shutdown inline, submit analyze and
+//                   optimize jobs to the bounded JobQueue -- a full
+//                   queue answers Busy immediately (admission control)
+//                   -- then wait on the job while watching the socket:
+//                   a client disconnect cancels that client's job only;
+//   executor        (one thread) pops admitted jobs in order and runs
+//                   them on the shared ThreadPool, so results are
+//                   independent of client arrival interleaving.
+//
+// Each job carries its own CancelToken; a per-request deadline_ms is
+// armed at admission (queue wait counts).  Graceful shutdown -- SIGTERM/
+// SIGINT via the `stop` token, or a client Shutdown request -- stops
+// admissions, drains every admitted job to its waiting client, joins all
+// threads, unlinks the socket file, and returns 0.  A malformed or
+// faulted client frame drops that connection and nothing else: the
+// daemon survives every client-side byte sequence.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/job_queue.hpp"
+#include "server/protocol.hpp"
+#include "server/socket.hpp"
+#include "util/cancel.hpp"
+
+namespace sva {
+
+class SvaFlow;
+class SizedLibrary;
+class ThreadPool;
+
+struct ServerConfig {
+  std::string socket_path;
+  /// Admission-control bound: jobs queued-or-running beyond this are
+  /// rejected with a Busy response.
+  std::size_t queue_depth = 8;
+  /// Persistent cache directory for the lazily built SizedLibrary's
+  /// context cache (empty disables; the flow's own cache is the
+  /// caller's business).
+  std::string cache_dir;
+};
+
+class TimingServer {
+ public:
+  /// `flow` must outlive the server and stay constructed for the whole
+  /// serve() call; it is shared by every job.
+  TimingServer(const SvaFlow& flow, ServerConfig config);
+  ~TimingServer();
+
+  TimingServer(const TimingServer&) = delete;
+  TimingServer& operator=(const TimingServer&) = delete;
+
+  /// Bind the socket and serve until shutdown.  Jobs execute on `pool`.
+  /// A non-null `stop` token (the CLI passes the global signal token) is
+  /// polled by the accept loop; tripping it begins the graceful drain.
+  /// Returns the process exit code (0 on a clean drain).
+  int serve(ThreadPool& pool, const CancelToken* stop = nullptr);
+
+  /// Begin the graceful drain from another thread (tests; the shutdown
+  /// request uses it internally).  Idempotent.
+  void request_stop();
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void executor_loop();
+  void handle_connection(Fd fd);
+  void handle_request(int fd, const Frame& request, bool& keep_open);
+  void submit_and_wait(int fd, std::uint64_t deadline_ms,
+                       std::function<JobResult(const CancelToken*)> work);
+  /// The lazily built sized library (first optimize request pays for
+  /// it); throws out of the executor on construction failure.
+  const SizedLibrary& ensure_sized();
+
+  const SvaFlow& flow_;
+  ServerConfig config_;
+  ThreadPool* pool_ = nullptr;
+  JobQueue queue_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> next_job_id_{1};
+
+  std::unique_ptr<SizedLibrary> sized_;
+  std::once_flag sized_once_;
+
+  std::mutex handlers_mu_;
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> finished;
+  };
+  std::vector<Handler> handlers_;
+  void reap_handlers(bool join_all);
+};
+
+}  // namespace sva

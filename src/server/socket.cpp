@@ -1,0 +1,177 @@
+#include "server/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/serialize.hpp"
+
+namespace sva {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw SocketError("socket path '" + path +
+                      "' is empty or too long for sockaddr_un");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Fd make_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  return Fd(fd);
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close_now();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::close_now() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd unix_listen(const std::string& path, int backlog) {
+  const sockaddr_un addr = make_addr(path);
+  // Reclaim a stale socket file: a connect() that is refused proves no
+  // daemon owns it.  A successful probe means the address is live.
+  {
+    Fd probe = make_socket();
+    if (::connect(probe.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      throw SocketError("socket '" + path +
+                        "' is already served by a live daemon");
+    if (errno == ECONNREFUSED) ::unlink(path.c_str());
+  }
+  Fd fd = make_socket();
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno("bind('" + path + "')");
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen('" + path + "')");
+  return fd;
+}
+
+Fd unix_connect(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  Fd fd = make_socket();
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno("connect('" + path + "')");
+  return fd;
+}
+
+int poll_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("poll");
+  if (rc == 0) return 0;
+  if (pfd.revents & (POLLERR | POLLNVAL)) return -1;
+  // POLLHUP with pending bytes still reads; bare POLLHUP is a hangup.
+  if ((pfd.revents & POLLHUP) && !(pfd.revents & POLLIN)) return -1;
+  return 1;
+}
+
+bool peer_disconnected(int fd) {
+  // Readable + zero-byte peek == orderly shutdown from the peer.  A
+  // pending frame (readable, nonzero peek) is not a disconnect.
+  if (poll_readable(fd, 0) == -1) return true;
+  char byte;
+  ssize_t n;
+  do {
+    n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  } while (n < 0 && errno == EINTR);
+  if (n == 0) return true;
+  if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return true;
+  return false;
+}
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE, never SIGPIPE.
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a boundary
+      throw SocketError("peer closed the connection mid-read (" +
+                        std::to_string(got) + "/" + std::to_string(n) +
+                        " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void write_frame(int fd, const Frame& frame) {
+  const std::string wire = encode_frame(frame);
+  write_all(fd, wire.data(), wire.size());
+}
+
+std::optional<Frame> read_frame(int fd) {
+  std::uint8_t header[8];
+  if (!read_exact(fd, header, sizeof header)) return std::nullopt;
+  ByteReader r(std::string_view(reinterpret_cast<const char*>(header),
+                                sizeof header));
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t len = r.u32();
+  if (magic != kFrameMagic)
+    throw ProtocolError(ProtoStatus::BadMagic,
+                        "frame does not start with the SVAF magic");
+  if (len > kMaxFramePayload)
+    throw ProtocolError(ProtoStatus::Oversized,
+                        "frame payload length " + std::to_string(len) +
+                            " exceeds the protocol maximum");
+  std::string payload(len, '\0');
+  if (len > 0 && !read_exact(fd, payload.data(), payload.size()))
+    throw ProtocolError(ProtoStatus::Truncated,
+                        "peer closed the connection inside a frame");
+  return decode_frame_payload(payload);
+}
+
+}  // namespace sva

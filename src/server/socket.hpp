@@ -1,0 +1,83 @@
+#pragma once
+// Minimal Unix-domain socket layer under the frame protocol.
+//
+// Everything here is a thin, EINTR-safe wrapper over POSIX sockets with
+// the repo's error discipline: failures throw SocketError (an sva::Error,
+// so the daemon's per-connection isolation handles them like any other
+// recoverable fault), clean EOF is a value, not an exception, and all
+// blocking waits are poll()-based with bounded timeouts so the accept
+// and connection loops can poll CancelTokens at a fixed cadence.
+//
+// Stale socket files (a previous daemon that died without unlinking) are
+// reclaimed at bind time by probing with connect(): refused means dead
+// owner, so the path is unlinked and rebound; accepted means a live
+// daemon already serves it and bind fails loudly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "util/error.hpp"
+
+namespace sva {
+
+/// Socket-level I/O failure (connect refused, mid-frame disconnect, ...).
+class SocketError : public Error {
+ public:
+  explicit SocketError(const std::string& what) : Error(what) {}
+};
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close_now(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close eagerly (idempotent).  The destructor calls this.
+  void close_now() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on a Unix-domain socket at `path` (see the stale-file
+/// policy above).  Throws SocketError when the path is too long for
+/// sockaddr_un, already live, or any syscall fails.
+Fd unix_listen(const std::string& path, int backlog = 16);
+
+/// Connect to the daemon at `path`.  Throws SocketError on failure.
+Fd unix_connect(const std::string& path);
+
+/// Wait up to `timeout_ms` for `fd` to become readable.
+/// Returns: 1 readable, 0 timeout, -1 hangup/error on the descriptor.
+int poll_readable(int fd, int timeout_ms);
+
+/// True once the peer has closed its end (recv MSG_PEEK sees EOF).  Used
+/// by the server to notice a client abandoning an in-flight job.
+bool peer_disconnected(int fd);
+
+/// Write all `n` bytes (EINTR/short-write safe, SIGPIPE suppressed).
+/// Throws SocketError on failure.
+void write_all(int fd, const void* data, std::size_t n);
+
+/// Read exactly `n` bytes.  Returns false on clean EOF before the first
+/// byte; throws SocketError on EOF mid-read or any error.
+bool read_exact(int fd, void* data, std::size_t n);
+
+/// Send one protocol frame.
+void write_frame(int fd, const Frame& frame);
+
+/// Receive one protocol frame.  Returns nullopt on clean EOF at a frame
+/// boundary (the peer hung up).  Throws ProtocolError on bad magic /
+/// oversized / malformed payloads and SocketError on transport failure.
+std::optional<Frame> read_frame(int fd);
+
+}  // namespace sva

@@ -195,6 +195,8 @@ const std::vector<std::string>& FailPoints::catalogue() {
       "batch.job",           // BatchRunner job (keyed by circuit name)
       "checkpoint.write",    // write_checkpoint envelope write
       "cache.lock",          // FileLock::acquire (cache/checkpoint locks)
+      "server.accept",       // daemon accept loop (connection dropped)
+      "server.read",         // daemon per-connection frame read
   };
   return kSites;
 }

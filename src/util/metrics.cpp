@@ -50,6 +50,42 @@ std::string MetricsRegistry::render() const {
   return out;
 }
 
+std::string MetricsRegistry::render_json() const {
+  // Metric names are plain identifiers, but escape defensively so the
+  // output is always valid JSON whatever callers register.
+  const auto quoted = [](const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char esc[8];
+        std::snprintf(esc, sizeof esc, "\\u%04x", c);
+        out += esc;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  };
+  std::string counters, timers;
+  char buf[96];
+  for (const MetricSample& s : snapshot()) {
+    std::string& section = s.is_timer ? timers : counters;
+    if (!section.empty()) section += ',';
+    if (s.is_timer) {
+      std::snprintf(buf, sizeof buf, ":{\"seconds\":%.9f,\"count\":%llu}",
+                    s.seconds, static_cast<unsigned long long>(s.count));
+    } else {
+      std::snprintf(buf, sizeof buf, ":%llu",
+                    static_cast<unsigned long long>(s.count));
+    }
+    section += quoted(s.name) + buf;
+  }
+  return "{\"counters\":{" + counters + "},\"timers\":{" + timers + "}}";
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();

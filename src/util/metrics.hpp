@@ -81,6 +81,12 @@ class MetricsRegistry {
   /// Aligned "name  value" listing, sorted by name; empty string when no
   /// metric has fired yet.
   std::string render() const;
+  /// Machine-readable snapshot:
+  ///   {"counters":{"name":N,...},"timers":{"name":{"seconds":S,"count":N}}}
+  /// (stable key order -- the registry iterates sorted names), so daemon
+  /// metrics are scrapeable via --metrics-json and the server's
+  /// `metrics` request.
+  std::string render_json() const;
   /// Zero every value; held Counter/TimerStat references stay valid.
   void reset();
 

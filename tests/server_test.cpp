@@ -1,0 +1,742 @@
+// Timing-server tests: frame-codec golden bytes and malformed-input
+// rejection, JobQueue admission control, and live-daemon integration --
+// concurrent clients bit-identical to direct runs, per-job deadlines
+// cancelling only their own client, failpoint robustness (a faulted or
+// malformed client frame never kills the daemon), and graceful shutdown.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "engine/options.hpp"
+#include "engine/thread_pool.hpp"
+#include "server/client.hpp"
+#include "server/job_queue.hpp"
+#include "server/jobs.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/socket.hpp"
+#include "util/cancel.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/serialize.hpp"
+
+namespace sva {
+namespace {
+
+/// Flow construction runs library OPC; share one instance across tests.
+const SvaFlow& shared_flow() {
+  static const SvaFlow* flow = new SvaFlow(FlowConfig{});
+  return *flow;
+}
+
+/// Drop the one nondeterministic line of an analyze run -- the
+/// "(N circuits, T threads, X s)" wall-time trailer -- exactly as
+/// scripts/check.sh does before comparing outputs.
+std::string strip_variance(const std::string& text) {
+  std::string out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("circuits, ") != std::string::npos &&
+        line.size() >= 2 && line.compare(line.size() - 2, 2, "s)") == 0)
+      continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+ProtoStatus decode_status(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const ProtocolError& e) {
+    return e.status();
+  } catch (...) {
+    return ProtoStatus::Ok;
+  }
+}
+
+/// Decode and return the ProtoStatus a malformed payload is rejected
+/// with; Ok means it unexpectedly decoded (or threw the wrong type).
+ProtoStatus reject_status(std::string_view payload) {
+  try {
+    decode_frame_payload(payload);
+    return ProtoStatus::Ok;
+  } catch (...) {
+    return decode_status(std::current_exception());
+  }
+}
+
+// --- frame codec ------------------------------------------------------
+
+TEST(ProtocolCodecTest, GoldenPingFrameBytes) {
+  // The full wire bytes of an empty-body ping, fixed by the protocol:
+  // magic "SVAF", payload length 21, version 1, type 5, fnv1a64 of the
+  // empty body, and a zero-length body.  Platform-stable because the
+  // codec is fixed little-endian.
+  static const unsigned char kGolden[] = {
+      0x53, 0x56, 0x41, 0x46, 0x15, 0x00, 0x00, 0x00,  // "SVAF", len=21
+      0x01, 0x00, 0x00, 0x00,                          // version 1
+      0x05,                                            // PingRequest
+      0xdf, 0xb7, 0x01, 0x86, 0x4c, 0xbd, 0x63, 0xaf,  // fnv1a64("")
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 0
+  };
+  const std::string wire = encode_frame({MsgType::PingRequest, ""});
+  ASSERT_EQ(wire.size(), sizeof(kGolden));
+  EXPECT_EQ(wire, std::string(reinterpret_cast<const char*>(kGolden),
+                              sizeof(kGolden)));
+
+  const Frame decoded = decode_frame_payload(wire.substr(8));
+  EXPECT_EQ(decoded.type, MsgType::PingRequest);
+  EXPECT_TRUE(decoded.body.empty());
+}
+
+TEST(ProtocolCodecTest, GoldenAnalyzeFrameBytes) {
+  AnalyzeRequest req;
+  req.spec.circuits = {"C17"};
+  static const unsigned char kGolden[] = {
+      0x53, 0x56, 0x41, 0x46, 0x31, 0x00, 0x00, 0x00,  // "SVAF", len=49
+      0x01, 0x00, 0x00, 0x00,                          // version 1
+      0x01,                                            // AnalyzeRequest
+      0x56, 0x14, 0x4f, 0x19, 0xe8, 0x03, 0x7d, 0x31,  // body checksum
+      0x1c, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 28
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // 1 circuit
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // name len 3
+      0x43, 0x31, 0x37,                                 // "C17"
+      0x00,                                             // strict=false
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // deadline_ms=0
+  };
+  const std::string wire =
+      encode_frame({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  ASSERT_EQ(wire.size(), sizeof(kGolden));
+  EXPECT_EQ(wire, std::string(reinterpret_cast<const char*>(kGolden),
+                              sizeof(kGolden)));
+
+  const Frame decoded = decode_frame_payload(wire.substr(8));
+  const AnalyzeRequest back = decode_analyze_request(decoded.body);
+  ASSERT_EQ(back.spec.circuits.size(), 1u);
+  EXPECT_EQ(back.spec.circuits[0], "C17");
+  EXPECT_FALSE(back.spec.strict);
+  EXPECT_EQ(back.deadline_ms, 0u);
+}
+
+TEST(ProtocolCodecTest, RequestBodiesRoundTrip) {
+  AnalyzeRequest a;
+  a.spec.circuits = {"C432", "C6288"};
+  a.spec.strict = true;
+  a.deadline_ms = 2500;
+  const AnalyzeRequest a2 = decode_analyze_request(encode_analyze_request(a));
+  EXPECT_EQ(a2.spec.circuits, a.spec.circuits);
+  EXPECT_EQ(a2.spec.strict, a.spec.strict);
+  EXPECT_EQ(a2.deadline_ms, a.deadline_ms);
+
+  OptimizeRequest o;
+  o.spec.circuit = "C1355";
+  o.spec.clock_period_ps = 812.5;
+  o.spec.max_moves = 42;
+  o.spec.window_ps = 37.25;
+  o.spec.corner_mode = 1;
+  o.spec.csv_path = "out/traj.csv";
+  o.deadline_ms = 99;
+  const OptimizeRequest o2 =
+      decode_optimize_request(encode_optimize_request(o));
+  EXPECT_EQ(o2.spec.circuit, o.spec.circuit);
+  EXPECT_EQ(o2.spec.clock_period_ps, o.spec.clock_period_ps);
+  EXPECT_EQ(o2.spec.max_moves, o.spec.max_moves);
+  EXPECT_EQ(o2.spec.window_ps, o.spec.window_ps);
+  EXPECT_EQ(o2.spec.corner_mode, o.spec.corner_mode);
+  EXPECT_EQ(o2.spec.csv_path, o.spec.csv_path);
+  EXPECT_EQ(o2.deadline_ms, o.deadline_ms);
+}
+
+TEST(ProtocolCodecTest, ResponseBodiesRoundTrip) {
+  JobResult result;
+  result.exit_code = 3;
+  result.output = "corner table\nwith lines\n";
+  result.artifacts.push_back({"eco_trajectory.csv", "a,b\n1,2\n"});
+  const JobResult r2 = decode_result_response(encode_result_response(result));
+  EXPECT_EQ(r2.exit_code, result.exit_code);
+  EXPECT_EQ(r2.output, result.output);
+  ASSERT_EQ(r2.artifacts.size(), 1u);
+  EXPECT_EQ(r2.artifacts[0].path, result.artifacts[0].path);
+  EXPECT_EQ(r2.artifacts[0].bytes, result.artifacts[0].bytes);
+
+  const BusyResponse busy =
+      decode_busy_response(encode_busy_response({7, 8}));
+  EXPECT_EQ(busy.queue_depth, 7u);
+  EXPECT_EQ(busy.max_depth, 8u);
+
+  const ErrorResponse err = decode_error_response(
+      encode_error_response({ProtoStatus::VersionMismatch, "nope"}));
+  EXPECT_EQ(err.code, ProtoStatus::VersionMismatch);
+  EXPECT_EQ(err.message, "nope");
+
+  const CancelledResponse c = decode_cancelled_response(
+      encode_cancelled_response({3, "run cancelled (deadline)\n"}));
+  EXPECT_EQ(c.reason, 3);
+  EXPECT_EQ(c.output, "run cancelled (deadline)\n");
+
+  const MetricsResponse m = decode_metrics_response(
+      encode_metrics_response({"  counter x\n", "{\"counters\":{}}"}));
+  EXPECT_EQ(m.rendered, "  counter x\n");
+  EXPECT_EQ(m.json, "{\"counters\":{}}");
+}
+
+TEST(ProtocolCodecTest, EveryTruncationOfAValidPayloadIsRejected) {
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  const std::string wire =
+      encode_frame({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  const std::string payload = wire.substr(8);
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    const ProtoStatus status = reject_status(payload.substr(0, n));
+    EXPECT_EQ(status, ProtoStatus::Truncated) << "prefix length " << n;
+  }
+}
+
+TEST(ProtocolCodecTest, VersionMismatchIsRefusedExplicitly) {
+  ByteWriter payload;
+  payload.u32(kProtocolVersion + 1);
+  payload.u8(static_cast<std::uint8_t>(MsgType::PingRequest));
+  payload.u64(fnv1a64_words("", 0));
+  payload.str("");
+  EXPECT_EQ(reject_status(payload.bytes()), ProtoStatus::VersionMismatch);
+}
+
+TEST(ProtocolCodecTest, UnknownTypeIsRejected) {
+  ByteWriter payload;
+  payload.u32(kProtocolVersion);
+  payload.u8(200);  // neither request nor response
+  payload.u64(fnv1a64_words("", 0));
+  payload.str("");
+  EXPECT_EQ(reject_status(payload.bytes()), ProtoStatus::BadType);
+}
+
+TEST(ProtocolCodecTest, CorruptBodyFailsTheChecksum) {
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  const std::string wire =
+      encode_frame({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  std::string payload = wire.substr(8);
+  payload.back() ^= 0x01;  // inside the body (deadline field)
+  EXPECT_EQ(reject_status(payload), ProtoStatus::BadChecksum);
+}
+
+TEST(ProtocolCodecTest, GarbageBodyIsRejectedAsBadBody) {
+  // A huge circuit count that cannot fit in the remaining bytes.
+  ByteWriter body;
+  body.u64(~0ull);
+  try {
+    decode_analyze_request(body.bytes());
+    FAIL() << "garbage body decoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadBody);
+  }
+  // A truncated body maps to BadBody too (the envelope was intact).
+  const std::string valid = encode_analyze_request(AnalyzeRequest{});
+  try {
+    decode_analyze_request(std::string_view(valid).substr(0, 3));
+    FAIL() << "truncated body decoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadBody);
+  }
+}
+
+TEST(ProtocolCodecTest, OversizedFrameIsRefusedAtEncode) {
+  Frame frame{MsgType::ResultResponse,
+              std::string(kMaxFramePayload, 'x')};
+  try {
+    encode_frame(frame);
+    FAIL() << "oversized frame encoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::Oversized);
+  }
+}
+
+// --- socket framing ---------------------------------------------------
+
+struct SocketPair {
+  Fd a, b;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+      throw SocketError("socketpair failed");
+    a = Fd(fds[0]);
+    b = Fd(fds[1]);
+  }
+};
+
+TEST(SocketFramingTest, FrameRoundTripsOverASocket) {
+  SocketPair pair;
+  const Frame sent{MsgType::ErrorResponse,
+                   encode_error_response({ProtoStatus::Busy, "full"})};
+  write_frame(pair.a.get(), sent);
+  std::optional<Frame> got = read_frame(pair.b.get());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, sent.type);
+  EXPECT_EQ(got->body, sent.body);
+}
+
+TEST(SocketFramingTest, BadMagicIsRejected) {
+  SocketPair pair;
+  const char garbage[16] = "GET / HTTP/1.1\r";
+  write_all(pair.a.get(), garbage, sizeof(garbage));
+  try {
+    read_frame(pair.b.get());
+    FAIL() << "garbage stream framed";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadMagic);
+  }
+}
+
+TEST(SocketFramingTest, OversizedHeaderIsRejectedBeforeAllocation) {
+  SocketPair pair;
+  ByteWriter header;
+  header.u32(kFrameMagic);
+  header.u32(0xffffffffu);  // 4 GiB payload claim
+  write_all(pair.a.get(), header.bytes().data(), header.bytes().size());
+  try {
+    read_frame(pair.b.get());
+    FAIL() << "oversized header framed";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::Oversized);
+  }
+}
+
+TEST(SocketFramingTest, CleanEofIsAValueNotAnError) {
+  SocketPair pair;
+  pair.a.close_now();
+  EXPECT_FALSE(read_frame(pair.b.get()).has_value());
+}
+
+TEST(SocketFramingTest, MidFrameEofIsRejectedAsTruncated) {
+  SocketPair pair;
+  ByteWriter header;
+  header.u32(kFrameMagic);
+  header.u32(100);  // promises 100 payload bytes, delivers none
+  write_all(pair.a.get(), header.bytes().data(), header.bytes().size());
+  pair.a.close_now();
+  try {
+    read_frame(pair.b.get());
+    FAIL() << "mid-frame EOF framed";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::Truncated);
+  }
+}
+
+// --- job queue --------------------------------------------------------
+
+ServerJob make_job(std::uint64_t id) {
+  ServerJob job;
+  job.id = id;
+  job.cancel = std::make_shared<CancelToken>();
+  job.work = [] { return JobResult{}; };
+  return job;
+}
+
+TEST(JobQueueTest, AdmissionControlRejectsBeyondMaxDepth) {
+  JobQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_job(1)));
+  EXPECT_TRUE(queue.try_push(make_job(2)));
+  EXPECT_FALSE(queue.try_push(make_job(3)));  // full: reject, never block
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.peak_depth(), 2u);
+
+  std::optional<ServerJob> first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 1u);  // admission order
+  EXPECT_TRUE(queue.try_push(make_job(4)));  // slot freed
+}
+
+TEST(JobQueueTest, CloseStopsAdmissionsButDrainsTheBacklog) {
+  JobQueue queue(4);
+  EXPECT_TRUE(queue.try_push(make_job(1)));
+  EXPECT_TRUE(queue.try_push(make_job(2)));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(make_job(3)));  // closed: no new admissions
+  std::optional<ServerJob> a = queue.pop();
+  std::optional<ServerJob> b = queue.pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->id, 1u);
+  EXPECT_EQ(b->id, 2u);
+  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+}
+
+TEST(JobQueueTest, PopBlocksUntilAJobArrives) {
+  JobQueue queue(2);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    std::optional<ServerJob> job = queue.pop();
+    EXPECT_TRUE(job.has_value());
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());
+  EXPECT_TRUE(queue.try_push(make_job(1)));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+// --- live daemon ------------------------------------------------------
+
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/sva_server_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// One in-process daemon on a fresh socket.  The flow is the shared
+/// static instance; serve() runs on a background thread until stop().
+struct ServerHarness {
+  std::string socket_path = unique_socket_path();
+  ThreadPool pool{2};
+  TimingServer server;
+  std::thread thread;
+  int exit_code = -1;
+
+  explicit ServerHarness(std::size_t queue_depth = 8)
+      : server(shared_flow(),
+               ServerConfig{socket_path, queue_depth, std::string()}) {
+    thread = std::thread([this] { exit_code = server.serve(pool); });
+    wait_until_listening();
+  }
+
+  ~ServerHarness() { stop(); }
+
+  void stop() {
+    if (!thread.joinable()) return;
+    server.request_stop();
+    thread.join();
+  }
+
+  void wait_until_listening() {
+    for (int i = 0; i < 500; ++i) {
+      try {
+        Fd probe = unix_connect(socket_path);
+        return;
+      } catch (const SocketError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    FAIL() << "daemon never started listening on " << socket_path;
+  }
+};
+
+TEST(TimingServerTest, PingAndMetricsAnswerInline) {
+  ServerHarness harness;
+  ServerClient client(harness.socket_path);
+  const Frame pong = client.call({MsgType::PingRequest, ""});
+  EXPECT_EQ(pong.type, MsgType::PongResponse);
+
+  const MetricsResponse metrics = fetch_remote_metrics(harness.socket_path);
+  EXPECT_NE(metrics.json.find("server.connections"), std::string::npos);
+  EXPECT_NE(metrics.json.find("\"counters\""), std::string::npos);
+}
+
+TEST(TimingServerTest, ThreeConcurrentClientsMatchTheDirectRunBitForBit) {
+  const SvaFlow& flow = shared_flow();
+  AnalyzeJobSpec spec;
+  spec.circuits = {"C432"};
+  ThreadPool direct_pool(2);
+  const JobResult direct = run_analyze_job(flow, direct_pool, spec, nullptr);
+  ASSERT_EQ(direct.exit_code, 0);
+  ASSERT_TRUE(direct.error.empty());
+
+  ServerHarness harness;
+  constexpr int kClients = 3;
+  std::vector<JobResult> remote(kClients);
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        ServerClient client(harness.socket_path);
+        AnalyzeRequest req;
+        req.spec = spec;
+        const Frame response = client.call(
+            {MsgType::AnalyzeRequest, encode_analyze_request(req)});
+        if (response.type != MsgType::ResultResponse) {
+          failures[i] = std::string("unexpected response ") +
+                        msg_type_name(response.type);
+          return;
+        }
+        remote[i] = decode_result_response(response.body);
+      } catch (const std::exception& e) {
+        failures[i] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(failures[i].empty()) << "client " << i << ": " << failures[i];
+    EXPECT_EQ(remote[i].exit_code, 0) << "client " << i;
+    // Bit-identical modulo the wall-time trailer, which varies between
+    // *any* two runs (scripts/check.sh strips the same line).
+    EXPECT_EQ(strip_variance(remote[i].output), strip_variance(direct.output))
+        << "client " << i;
+    EXPECT_TRUE(remote[i].artifacts.empty()) << "client " << i;
+  }
+}
+
+TEST(TimingServerTest, PerJobDeadlineCancelsOnlyThatClient) {
+  ServerHarness harness;
+
+  std::string doomed_failure, healthy_failure;
+  Frame doomed_response, healthy_response;
+  std::thread doomed([&] {
+    try {
+      ServerClient client(harness.socket_path);
+      AnalyzeRequest req;
+      req.spec.circuits = {"C6288"};
+      req.deadline_ms = 1;  // expires in the queue: cancelled at first poll
+      doomed_response = client.call(
+          {MsgType::AnalyzeRequest, encode_analyze_request(req)});
+    } catch (const std::exception& e) {
+      doomed_failure = e.what();
+    }
+  });
+  std::thread healthy([&] {
+    try {
+      ServerClient client(harness.socket_path);
+      AnalyzeRequest req;
+      req.spec.circuits = {"C432"};
+      healthy_response = client.call(
+          {MsgType::AnalyzeRequest, encode_analyze_request(req)});
+    } catch (const std::exception& e) {
+      healthy_failure = e.what();
+    }
+  });
+  doomed.join();
+  healthy.join();
+
+  ASSERT_TRUE(doomed_failure.empty()) << doomed_failure;
+  ASSERT_EQ(doomed_response.type, MsgType::CancelledResponse);
+  const CancelledResponse cancelled =
+      decode_cancelled_response(doomed_response.body);
+  EXPECT_EQ(cancelled.reason,
+            static_cast<std::uint8_t>(CancelReason::Deadline));
+  EXPECT_NE(cancelled.output.find("run cancelled (deadline)"),
+            std::string::npos);
+
+  ASSERT_TRUE(healthy_failure.empty()) << healthy_failure;
+  ASSERT_EQ(healthy_response.type, MsgType::ResultResponse);
+  EXPECT_EQ(decode_result_response(healthy_response.body).exit_code, 0);
+}
+
+TEST(TimingServerTest, MalformedFrameGetsAStructuredErrorAndTheDaemonLives) {
+  ServerHarness harness;
+  const std::uint64_t bad_before =
+      MetricsRegistry::global().counter("server.bad_frames").value();
+
+  // Exactly one header's worth of garbage: the server consumes all 8
+  // bytes before rejecting, so its close is a clean FIN and the error
+  // response is readable (trailing unread bytes would turn it into a
+  // reset).
+  Fd raw = unix_connect(harness.socket_path);
+  const char garbage[8] = {'h', 'i', ' ', 't', 'h', 'e', 'r', 'e'};
+  write_all(raw.get(), garbage, sizeof(garbage));
+  std::optional<Frame> response = read_frame(raw.get());
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, MsgType::ErrorResponse);
+  EXPECT_EQ(decode_error_response(response->body).code,
+            ProtoStatus::BadMagic);
+  // The server drops the poisoned connection after answering.
+  EXPECT_FALSE(read_frame(raw.get()).has_value());
+  EXPECT_GT(MetricsRegistry::global().counter("server.bad_frames").value(),
+            bad_before);
+
+  // ...and the next client is served normally.
+  ServerClient next(harness.socket_path);
+  EXPECT_EQ(next.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, OldProtocolVersionIsRefusedWithAClearError) {
+  ServerHarness harness;
+  ByteWriter payload;
+  payload.u32(kProtocolVersion + 7);
+  payload.u8(static_cast<std::uint8_t>(MsgType::PingRequest));
+  payload.u64(fnv1a64_words("", 0));
+  payload.str("");
+  ByteWriter wire;
+  wire.u32(kFrameMagic);
+  wire.u32(static_cast<std::uint32_t>(payload.size()));
+  const std::string bytes = wire.bytes() + payload.bytes();
+
+  Fd raw = unix_connect(harness.socket_path);
+  write_all(raw.get(), bytes.data(), bytes.size());
+  std::optional<Frame> response = read_frame(raw.get());
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, MsgType::ErrorResponse);
+  const ErrorResponse err = decode_error_response(response->body);
+  EXPECT_EQ(err.code, ProtoStatus::VersionMismatch);
+  EXPECT_NE(err.message.find("version"), std::string::npos);
+}
+
+/// Disarm every failpoint on scope exit, pass or fail.
+struct FailPointGuard {
+  ~FailPointGuard() { FailPoints::clear_all(); }
+};
+
+TEST(TimingServerTest, ReadFaultDropsTheConnectionNotTheDaemon) {
+  ServerHarness harness;
+  FailPointGuard guard;
+  const std::uint64_t faults_before =
+      MetricsRegistry::global().counter("server.connection_faults").value();
+
+  FailPoints::set("server.read", "throw");
+  Fd raw = unix_connect(harness.socket_path);
+  const std::string ping = encode_frame({MsgType::PingRequest, ""});
+  write_all(raw.get(), ping.data(), ping.size());
+  // The injected fault costs this connection: it is dropped without a
+  // response -- as EOF or as a reset, depending on whether the kernel
+  // still held our unread ping bytes at close time.
+  try {
+    EXPECT_FALSE(read_frame(raw.get()).has_value());
+  } catch (const SocketError&) {
+  }
+  EXPECT_GT(FailPoints::fired_count("server.read"), 0u);
+  EXPECT_GT(
+      MetricsRegistry::global().counter("server.connection_faults").value(),
+      faults_before);
+
+  FailPoints::clear("server.read");
+  ServerClient next(harness.socket_path);
+  EXPECT_EQ(next.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, AcceptFaultIsSurvivedAndThePendingClientIsServed) {
+  ServerHarness harness;
+  FailPointGuard guard;
+
+  FailPoints::set("server.accept", "throw");
+  // The connection parks in the listen backlog while accepts fault.
+  Fd raw = unix_connect(harness.socket_path);
+  const std::string ping = encode_frame({MsgType::PingRequest, ""});
+  write_all(raw.get(), ping.data(), ping.size());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_GT(FailPoints::fired_count("server.accept"), 0u);
+
+  // Once the fault clears the daemon accepts the parked connection and
+  // answers the frame it already buffered.
+  FailPoints::clear("server.accept");
+  std::optional<Frame> response = read_frame(raw.get());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->type, MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, ClientDisconnectCancelsOnlyItsOwnJob) {
+  ServerHarness harness;
+  FailPointGuard guard;
+  const std::uint64_t disconnects_before =
+      MetricsRegistry::global().counter("server.client_disconnects").value();
+  const std::uint64_t cancelled_before =
+      MetricsRegistry::global().counter("server.jobs_cancelled").value();
+
+  // Warm-cache analyzes finish inside the watcher's first 50 ms tick, so
+  // hold the abandoned job open with an injected per-job delay -- long
+  // enough that the disconnect must be noticed while it is in flight.
+  FailPoints::set("batch.job", "delay(2000)");
+  {
+    // Submit a job and walk away: the watcher must notice the EOF and
+    // trip that job's token (nobody is left to read the result).
+    Fd deserter = unix_connect(harness.socket_path);
+    AnalyzeRequest req;
+    req.spec.circuits = {"C432"};
+    const std::string wire =
+        encode_frame({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+    write_all(deserter.get(), wire.data(), wire.size());
+  }  // closes the socket with the job in flight
+
+  // The watcher notices the EOF within a few poll ticks.
+  for (int i = 0; i < 100; ++i) {
+    if (MetricsRegistry::global()
+            .counter("server.client_disconnects")
+            .value() > disconnects_before)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_GT(
+      MetricsRegistry::global().counter("server.client_disconnects").value(),
+      disconnects_before);
+  FailPoints::clear("batch.job");
+
+  // A well-behaved client is untouched while the abandoned job winds
+  // down (its job queues behind the doomed one and still succeeds).
+  ServerClient client(harness.socket_path);
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  const Frame response =
+      client.call({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  ASSERT_EQ(response.type, MsgType::ResultResponse);
+  EXPECT_EQ(decode_result_response(response.body).exit_code, 0);
+
+  EXPECT_GT(MetricsRegistry::global().counter("server.jobs_cancelled").value(),
+            cancelled_before);
+}
+
+TEST(TimingServerTest, FullQueueAnswersBusyInsteadOfBlocking) {
+  // Depth 1: one job executing, one queued, the third must be rejected.
+  // The injected per-job delay pins job A in the executor long enough
+  // that B is still parked in the queue when C asks for admission.
+  ServerHarness harness(1);
+  FailPointGuard guard;
+  FailPoints::set("batch.job", "delay(1500)");
+
+  Fd slow_a = unix_connect(harness.socket_path);
+  AnalyzeRequest slow_req;
+  slow_req.spec.circuits = {"C432"};
+  std::string wire =
+      encode_frame({MsgType::AnalyzeRequest, encode_analyze_request(slow_req)});
+  write_all(slow_a.get(), wire.data(), wire.size());
+  // Give the executor time to pop A so the queue slot frees for B.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  Fd slow_b = unix_connect(harness.socket_path);
+  slow_req.spec.circuits = {"C499"};
+  wire =
+      encode_frame({MsgType::AnalyzeRequest, encode_analyze_request(slow_req)});
+  write_all(slow_b.get(), wire.data(), wire.size());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  ServerClient rejected(harness.socket_path);
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  const Frame response =
+      rejected.call({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  ASSERT_EQ(response.type, MsgType::BusyResponse);
+  const BusyResponse busy = decode_busy_response(response.body);
+  EXPECT_EQ(busy.max_depth, 1u);
+
+  // Dropping the slow clients cancels their jobs so teardown is quick.
+  slow_a.close_now();
+  slow_b.close_now();
+}
+
+TEST(TimingServerTest, ShutdownRequestDrainsAndRemovesTheSocketFile) {
+  ServerHarness harness;
+  request_remote_shutdown(harness.socket_path);
+  harness.thread.join();
+  EXPECT_EQ(harness.exit_code, 0);
+  struct stat st;
+  EXPECT_NE(::stat(harness.socket_path.c_str(), &st), 0)
+      << "socket file orphaned after a graceful drain";
+}
+
+}  // namespace
+}  // namespace sva
