@@ -312,4 +312,42 @@ cmake --build build-ubsan -j
 (cd build-ubsan && UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --output-on-failure -j)
 
+echo "== ssta: cold run byte-identical through the daemon =="
+# Block-based SSTA carries no wall-time trailer, so the remote bytes must
+# match the direct run exactly -- report, MC cross-check lines, and the
+# criticality CSV artifact (only the "wrote <csv>" trailer may differ).
+SOCK="$CACHE_DIR/sva_ssta.sock"
+"$CLI" serve --socket "$SOCK" --threads 2 --cache-dir "$CACHE_DIR" \
+  > "$CACHE_DIR/serve_ssta.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$SOCK" ]]; then
+  echo "FAIL: daemon never created $SOCK"
+  cat "$CACHE_DIR/serve_ssta.log"
+  exit 1
+fi
+"$CLI" ssta C880 --clock 3.1 --mc 200 --threads 2 --cache-dir "$CACHE_DIR" \
+  --csv "$CACHE_DIR/ssta_direct.csv" > "$CACHE_DIR/ssta_direct.txt"
+"$CLI" ssta C880 --clock 3.1 --mc 200 --connect "$SOCK" \
+  --csv "$CACHE_DIR/ssta_remote.csv" > "$CACHE_DIR/ssta_remote.txt"
+if ! cmp -s "$CACHE_DIR/ssta_direct.csv" "$CACHE_DIR/ssta_remote.csv"; then
+  echo "FAIL: remote ssta criticality CSV differs from the direct run"
+  diff "$CACHE_DIR/ssta_direct.csv" "$CACHE_DIR/ssta_remote.csv" || true
+  exit 1
+fi
+if ! diff <(grep -v '^wrote ' "$CACHE_DIR/ssta_direct.txt") \
+          <(grep -v '^wrote ' "$CACHE_DIR/ssta_remote.txt"); then
+  echo "FAIL: remote ssta report differs from the direct run"
+  exit 1
+fi
+kill -TERM "$serve_pid"
+rc=0
+wait "$serve_pid" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+  echo "FAIL: ssta daemon exited $rc on SIGTERM, expected 0"
+  cat "$CACHE_DIR/serve_ssta.log"
+  exit 1
+fi
+echo "remote ssta byte-identical to the direct run"
+
 echo "== all checks passed =="

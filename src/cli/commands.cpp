@@ -187,6 +187,41 @@ int cmd_optimize(std::vector<std::string>& args, const EngineOptions& opts) {
   return emit_job_result(result);
 }
 
+int cmd_ssta(std::vector<std::string>& args, const EngineOptions& opts) {
+  if (args.empty()) return usage();
+  SstaJobSpec spec;
+  spec.circuit = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string flag = args[i];
+    if (flag == "--clock") {
+      spec.clock_period_ps =
+          parse_double_flag(flag, flag_value(args, i)) * 1000.0;
+    } else if (flag == "--quantile") {
+      spec.quantile = parse_double_flag(flag, flag_value(args, i));
+    } else if (flag == "--mc") {
+      spec.mc_samples = parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--global-share") {
+      spec.global_share = parse_double_flag(flag, flag_value(args, i));
+    } else if (flag == "--csv") {
+      spec.csv_path = flag_value(args, i);
+    } else {
+      throw std::runtime_error("unknown ssta flag '" + flag + "'");
+    }
+  }
+  if (!opts.connect_path.empty()) {
+    reject_checkpoint_flags_remote(opts);
+    return run_remote_ssta(opts.connect_path,
+                           {spec, remote_deadline_ms(opts)});
+  }
+  const SvaFlow flow{flow_config(opts)};
+  cache_warm_start(flow.context_cache(), opts);
+  ThreadPool pool(opts.threads);
+  const JobResult result =
+      run_ssta_job(flow, pool, spec, &global_cancel_token());
+  cache_snapshot(flow.context_cache(), opts);
+  return emit_job_result(result);
+}
+
 int cmd_serve(std::vector<std::string>& args, const EngineOptions& opts) {
   ServerConfig cfg;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -339,9 +374,16 @@ const std::vector<CommandSpec>& command_table() {
        "                         --window PS, --corner sva|trad, --csv PATH;\n"
        "                         default clock: 97% of the unoptimized\n"
        "                         corner delay); --connect runs it remotely"},
+      {"ssta", cmd_ssta, "ssta <bench> [flags]",
+       "block-based statistical STA: canonical first-order\n"
+       "                         delays, Clark max, per-arc criticality\n"
+       "                         (flags: --clock NS, --quantile Q, --mc N,\n"
+       "                         --global-share F, --csv PATH; default CSV:\n"
+       "                         ssta_criticality.csv); --connect runs it\n"
+       "                         remotely"},
       {"serve", cmd_serve, "serve --socket PATH [--queue-depth N]",
        "long-lived daemon: load the library once, then answer\n"
-       "                         analyze/optimize jobs from concurrent\n"
+       "                         analyze/optimize/ssta jobs from concurrent\n"
        "                         clients over a Unix socket (default\n"
        "                         queue depth: 8)"},
       {"metrics", cmd_metrics, "metrics [--json]",
@@ -374,7 +416,8 @@ int usage() {
       "  --metrics              print engine counters/timers on exit\n"
       "  --metrics-json PATH    write the metrics snapshot as JSON to PATH\n"
       "                         on exit ('-' = stdout)\n"
-      "  --connect PATH         ship analyze/optimize to the `serve` daemon\n"
+      "  --connect PATH         ship analyze/optimize/ssta to the `serve`\n"
+      "                         daemon\n"
       "                         at this socket (no local library build)\n"
       "  --cache-dir DIR        persistent context-library cache directory\n"
       "                         (default: $SVA_CACHE_DIR or .sva_cache)\n"

@@ -51,17 +51,21 @@ std::vector<std::vector<double>> NaiveGaussianSampler::sample(
 ContextAwareSampler::ContextAwareSampler(
     const Netlist& netlist, const ContextLibrary& context,
     const std::vector<VersionKey>& versions, const CdBudget& budget,
-    ArcLabelPolicy policy)
+    ArcLabelPolicy policy, double global_share)
     : netlist_(&netlist),
       annotations_(annotate_arcs(netlist, context, versions, budget, policy)) {
   budget.validate();
+  SVA_REQUIRE(global_share >= 0.0 && global_share <= 1.0);
   const CellLibrary& lib = netlist.library();
   l_nom_ = lib.master(0).tech().gate_length;
   lvar_focus_ = budget.lvar_focus(l_nom_);
   // Residual randomness: whatever the systematic components do not explain
-  // (3-sigma = residual half-range).
-  sigma_residual_ =
+  // (3-sigma = residual half-range), optionally split into a chip-global
+  // and a per-device local component.
+  const Nm residual =
       (budget.total(l_nom_) - budget.lvar_pitch(l_nom_) - lvar_focus_) / 3.0;
+  sigma_global_ = residual * global_share;
+  sigma_residual_ = residual * (1.0 - global_share);
 }
 
 std::vector<std::vector<double>> ContextAwareSampler::sample(
@@ -70,6 +74,10 @@ std::vector<std::vector<double>> ContextAwareSampler::sample(
   // class peaks at +-lvar_focus at the edge of the focus window.
   const double f = rng.uniform(-1.0, 1.0);
   const double focus_sq = f * f;
+  // One chip-global residual draw; skipped when the share is zero so the
+  // historic (all-local) sample stream is untouched.
+  const Nm global =
+      sigma_global_ > 0.0 ? rng.normal(0.0, sigma_global_) : 0.0;
 
   std::vector<std::vector<double>> out(annotations_.size());
   for (std::size_t gi = 0; gi < annotations_.size(); ++gi) {
@@ -88,7 +96,7 @@ std::vector<std::vector<double>> ContextAwareSampler::sample(
           focus_shift = 0.0;  // smile and frown components cancel
           break;
       }
-      const Nm length = ann.l_nom_new + focus_shift +
+      const Nm length = ann.l_nom_new + focus_shift + global +
                         rng.normal(0.0, sigma_residual_);
       out[gi][ai] = factor_from_length(length, l_nom_);
     }
@@ -172,12 +180,14 @@ double period_for_yield(const DelayDistribution& distribution,
 
 DelayDistribution run_monte_carlo(const Sta& sta,
                                   const GateLengthSampler& sampler,
-                                  const MonteCarloConfig& config) {
+                                  const MonteCarloConfig& config,
+                                  const CancelToken* cancel) {
   SVA_REQUIRE(config.samples > 0);
   Rng rng(config.seed);
   DelayDistribution dist;
   dist.delays_ps.reserve(config.samples);
   for (std::size_t s = 0; s < config.samples; ++s) {
+    if (cancel != nullptr) cancel->check();
     const MatrixScale scale(sampler.sample(rng));
     dist.delays_ps.push_back(sta.run(scale).critical_delay_ps);
   }

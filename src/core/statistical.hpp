@@ -32,6 +32,7 @@
 #include "netlist/netlist.hpp"
 #include "place/placement.hpp"
 #include "sta/sta.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -66,10 +67,15 @@ class NaiveGaussianSampler final : public GateLengthSampler {
 /// residual.
 class ContextAwareSampler final : public GateLengthSampler {
  public:
+  /// `global_share` splits the residual sigma into a chip-correlated
+  /// component and an independent local one (0 = all local, the historic
+  /// behaviour; the global draw is skipped entirely at 0 so existing
+  /// sample streams are bit-identical).
   ContextAwareSampler(const Netlist& netlist, const ContextLibrary& context,
                       const std::vector<VersionKey>& versions,
                       const CdBudget& budget,
-                      ArcLabelPolicy policy = ArcLabelPolicy::Majority);
+                      ArcLabelPolicy policy = ArcLabelPolicy::Majority,
+                      double global_share = 0.0);
 
   std::vector<std::vector<double>> sample(Rng& rng) const override;
 
@@ -77,6 +83,7 @@ class ContextAwareSampler final : public GateLengthSampler {
   const Netlist* netlist_;
   Nm l_nom_;
   Nm lvar_focus_;
+  Nm sigma_global_;
   Nm sigma_residual_;
   /// Context-predicted nominal length and class per (gate, arc).
   std::vector<std::vector<ArcAnnotation>> annotations_;
@@ -134,8 +141,12 @@ double timing_yield(const DelayDistribution& distribution,
 double period_for_yield(const DelayDistribution& distribution, double yield);
 
 /// Run Monte-Carlo SSTA: one STA evaluation per sampled process instance.
+/// A non-null `cancel` is polled between samples (throwing CancelledError),
+/// so `--deadline`/SIGINT leave a clean sample prefix instead of an
+/// uninterruptible loop.
 DelayDistribution run_monte_carlo(const Sta& sta,
                                   const GateLengthSampler& sampler,
-                                  const MonteCarloConfig& config = {});
+                                  const MonteCarloConfig& config = {},
+                                  const CancelToken* cancel = nullptr);
 
 }  // namespace sva

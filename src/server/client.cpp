@@ -73,6 +73,13 @@ int run_remote_optimize(const std::string& socket_path,
       {MsgType::OptimizeRequest, encode_optimize_request(request)}));
 }
 
+int run_remote_ssta(const std::string& socket_path,
+                    const SstaRequest& request) {
+  ServerClient client(socket_path);
+  return deliver_response(
+      client.call({MsgType::SstaRequest, encode_ssta_request(request)}));
+}
+
 MetricsResponse fetch_remote_metrics(const std::string& socket_path) {
   ServerClient client(socket_path);
   const Frame response = client.call({MsgType::MetricsRequest, ""});

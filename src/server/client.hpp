@@ -41,6 +41,8 @@ int run_remote_analyze(const std::string& socket_path,
                        const AnalyzeRequest& request);
 int run_remote_optimize(const std::string& socket_path,
                         const OptimizeRequest& request);
+int run_remote_ssta(const std::string& socket_path,
+                    const SstaRequest& request);
 
 /// Fetch the daemon's server-wide MetricsRegistry snapshot.
 MetricsResponse fetch_remote_metrics(const std::string& socket_path);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/flow.hpp"
+#include "core/statistical.hpp"
 #include "engine/batch.hpp"
 #include "engine/options.hpp"
 #include "engine/thread_pool.hpp"
@@ -12,6 +13,11 @@
 #include "opt/trajectory.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "ssta/criticality.hpp"
+#include "ssta/propagate.hpp"
+#include "ssta/report.hpp"
+#include "util/diagnostics.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -163,6 +169,74 @@ JobResult run_optimize_job(const SvaFlow& flow, const SizedLibrary& sized,
   if (!spec.csv_path.empty())
     result.artifacts.push_back({spec.csv_path, trajectory_csv(eco_result)});
   result.exit_code = eco_result.met_timing ? kExitOk : kExitFatal;
+  return result;
+}
+
+JobResult run_ssta_job(const SvaFlow& flow, ThreadPool& pool,
+                       const SstaJobSpec& spec, const CancelToken* cancel) {
+  JobResult result;
+  try {
+    if (!(spec.quantile > 0.0 && spec.quantile < 1.0))
+      throw Error("ssta quantile must be in (0,1)");
+    if (!(spec.global_share >= 0.0 && spec.global_share <= 1.0))
+      throw Error("ssta global share must be in [0,1]");
+
+    const Netlist netlist = flow.make_benchmark(spec.circuit);
+    const Placement placement = flow.make_placement(netlist);
+    const std::vector<VersionKey> versions = flow.bind_versions(placement);
+
+    SstaVariationModel model;
+    model.budget = flow.config().budget;
+    model.policy = flow.config().arc_policy;
+    model.global_share = spec.global_share;
+    const SstaEngine engine(netlist, flow.characterized(),
+                            flow.context_library(), versions, model,
+                            flow.config().sta, &flow.context_cache());
+    const SstaResult ssta = engine.run_parallel(pool, cancel);
+    const CriticalityResult crit = compute_criticality(netlist, ssta);
+
+    result.output = ssta_text_report(netlist, ssta, crit, spec.quantile,
+                                     spec.clock_period_ps);
+    if (spec.mc_samples > 0) {
+      // Deterministic-seed Monte-Carlo cross-check against the same
+      // variation model (the context-aware sampler is the oracle the
+      // canonical engine approximates).
+      const Sta sta(netlist, flow.characterized(), flow.config().sta);
+      const ContextAwareSampler sampler(
+          netlist, flow.context_library(), versions, flow.config().budget,
+          flow.config().arc_policy, spec.global_share);
+      MonteCarloConfig mc;
+      mc.samples = spec.mc_samples;
+      const DelayDistribution dist = run_monte_carlo(sta, sampler, mc, cancel);
+      const Summary s = dist.summary();
+      const CanonicalDelay& c = ssta.critical;
+      appendf(result.output,
+              "  Monte-Carlo cross-check (%zu samples): mean %s ns (%+.2f%%),"
+              " sigma %s ps (%+.2f%%)\n",
+              static_cast<std::size_t>(mc.samples),
+              fmt(units::ps_to_ns(s.mean), 4).c_str(),
+              100.0 * (c.mean_ps - s.mean) / s.mean,
+              fmt(s.stddev, 2).c_str(),
+              s.stddev > 0.0 ? 100.0 * (c.sigma_ps() - s.stddev) / s.stddev
+                             : 0.0);
+    }
+    if (!spec.csv_path.empty())
+      result.artifacts.push_back(
+          {spec.csv_path, criticality_csv(netlist, ssta, crit)});
+    result.exit_code = kExitOk;
+  } catch (const CancelledError&) {
+    std::string output;
+    append_cancel_report(output, *cancel, std::string());
+    return cancelled_result(std::move(output), *cancel);
+  } catch (const std::exception& e) {
+    // Per-job isolation, matching the batch runner: a bad circuit name or
+    // injected fault costs this job only and leaves a structured trace.
+    diag_error("ssta", "ssta_job_failed",
+               spec.circuit + ": " + std::string(e.what()));
+    result = JobResult{};
+    result.exit_code = kExitFatal;
+    result.error = e.what();
+  }
   return result;
 }
 

@@ -62,6 +62,20 @@ struct OptimizeJobSpec {
   }
 };
 
+/// One block-based SSTA job (the `ssta` command).
+struct SstaJobSpec {
+  std::string circuit;
+  double clock_period_ps = 0.0;  ///< <= 0: no yield line
+  double quantile = 0.999;       ///< reported upper quantile, in (0,1)
+  /// Monte-Carlo cross-check sample count (0 = skip; deterministic seed,
+  /// so the cross-check lines are byte-stable too).
+  std::uint64_t mc_samples = 0;
+  /// Chip-global share of the residual sigma, in [0,1].
+  double global_share = 0.0;
+  /// Criticality report CSV artifact name (caller writes it); empty: none.
+  std::string csv_path = "ssta_criticality.csv";
+};
+
 /// A file the job produced, to be written by whichever process faces the
 /// user (the local command or the remote client).
 struct JobArtifact {
@@ -94,6 +108,14 @@ JobResult run_analyze_job(const SvaFlow& flow, ThreadPool& pool,
 JobResult run_optimize_job(const SvaFlow& flow, const SizedLibrary& sized,
                            ThreadPool& pool, const OptimizeJobSpec& spec,
                            const CancelToken* cancel);
+
+/// Run a block-based SSTA analysis (canonical propagation + criticality,
+/// optional Monte-Carlo cross-check) against a constructed flow.  A
+/// non-fatal spec or circuit fault comes back as an error result with a
+/// structured diagnostic rather than an exception, mirroring the batch
+/// runner's per-job isolation.
+JobResult run_ssta_job(const SvaFlow& flow, ThreadPool& pool,
+                       const SstaJobSpec& spec, const CancelToken* cancel);
 
 /// Deliver a finished job to the user: print the output text, write each
 /// artifact (with the "wrote <path>" trailer the CLI always printed), or

@@ -25,6 +25,7 @@ bool known_type(std::uint8_t t) {
     case MsgType::MetricsRequest:
     case MsgType::ShutdownRequest:
     case MsgType::PingRequest:
+    case MsgType::SstaRequest:
     case MsgType::ResultResponse:
     case MsgType::BusyResponse:
     case MsgType::ErrorResponse:
@@ -62,6 +63,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::MetricsRequest: return "metrics_request";
     case MsgType::ShutdownRequest: return "shutdown_request";
     case MsgType::PingRequest: return "ping_request";
+    case MsgType::SstaRequest: return "ssta_request";
     case MsgType::ResultResponse: return "result_response";
     case MsgType::BusyResponse: return "busy_response";
     case MsgType::ErrorResponse: return "error_response";
@@ -169,6 +171,40 @@ OptimizeRequest decode_optimize_request(std::string_view body) {
     if (req.spec.corner_mode > 1)
       throw ProtocolError(ProtoStatus::BadBody,
                           "optimize request corner mode out of range");
+    return req;
+  });
+}
+
+std::string encode_ssta_request(const SstaRequest& req) {
+  ByteWriter w;
+  w.str(req.spec.circuit);
+  w.f64(req.spec.clock_period_ps);
+  w.f64(req.spec.quantile);
+  w.u64(req.spec.mc_samples);
+  w.f64(req.spec.global_share);
+  w.str(req.spec.csv_path);
+  w.u64(req.deadline_ms);
+  return w.bytes();
+}
+
+SstaRequest decode_ssta_request(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    SstaRequest req;
+    req.spec.circuit = r.str();
+    req.spec.clock_period_ps = r.f64();
+    req.spec.quantile = r.f64();
+    req.spec.mc_samples = r.u64();
+    req.spec.global_share = r.f64();
+    req.spec.csv_path = r.str();
+    req.deadline_ms = r.u64();
+    r.expect_end();
+    if (!(req.spec.quantile > 0.0 && req.spec.quantile < 1.0))
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "ssta request quantile must be in (0,1)");
+    if (!(req.spec.global_share >= 0.0 && req.spec.global_share <= 1.0))
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "ssta request global share must be in [0,1]");
     return req;
   });
 }

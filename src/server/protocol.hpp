@@ -39,7 +39,8 @@ namespace sva {
 /// Frame magic "SVAF" as a little-endian u32, and the protocol version a
 /// server refuses to cross.
 inline constexpr std::uint32_t kFrameMagic = 0x46415653u;  // "SVAF" (LE)
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v1: analyze/optimize/metrics/shutdown/ping.  v2: adds SstaRequest.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Hard ceiling on one frame's payload: a corrupt length can neither
 /// trigger a huge allocation nor stall the reader.
 inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;  // 64 MiB
@@ -82,6 +83,7 @@ enum class MsgType : std::uint8_t {
   MetricsRequest = 3,
   ShutdownRequest = 4,
   PingRequest = 5,
+  SstaRequest = 6,
 
   ResultResponse = 64,
   BusyResponse = 65,
@@ -124,11 +126,19 @@ struct OptimizeRequest {
   std::uint64_t deadline_ms = 0;
 };
 
+struct SstaRequest {
+  SstaJobSpec spec;
+  std::uint64_t deadline_ms = 0;
+};
+
 std::string encode_analyze_request(const AnalyzeRequest& req);
 AnalyzeRequest decode_analyze_request(std::string_view body);
 
 std::string encode_optimize_request(const OptimizeRequest& req);
 OptimizeRequest decode_optimize_request(std::string_view body);
+
+std::string encode_ssta_request(const SstaRequest& req);
+SstaRequest decode_ssta_request(std::string_view body);
 
 // --- response bodies --------------------------------------------------
 

@@ -245,6 +245,14 @@ void TimingServer::handle_request(int fd, const Frame& request,
                       });
       return;
     }
+    case MsgType::SstaRequest: {
+      const SstaRequest req = decode_ssta_request(request.body);
+      submit_and_wait(fd, req.deadline_ms,
+                      [this, spec = req.spec](const CancelToken* cancel) {
+                        return run_ssta_job(flow_, *pool_, spec, cancel);
+                      });
+      return;
+    }
     default:
       write_frame(fd, {MsgType::ErrorResponse,
                        encode_error_response(

@@ -1,0 +1,146 @@
+#include "ssta/canonical.hpp"
+
+#include <algorithm>
+
+namespace sva {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+/// Beyond this |alpha| one input dominates the max to better than
+/// ~1e-15 probability; shortcutting keeps tightness exactly 0/1 and
+/// avoids fp noise in the tails.
+constexpr double kAlphaSaturation = 8.0;
+
+}  // namespace
+
+double normal_pdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / kSqrt2); }
+
+double normal_quantile(double p) {
+  // Acklam's rational approximation, then one Halley refinement step.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (!(p > 0.0 && p < 1.0)) {
+    if (p <= 0.0) return -HUGE_VAL;
+    if (p >= 1.0) return HUGE_VAL;
+    return 0.0;  // NaN in, NaN-ish out; callers validate first
+  }
+
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley step against the exact cdf tightens the tail error from
+  // ~1e-9 absolute to near machine precision.
+  const double e = normal_cdf(x) - p;
+  const double u = e / normal_pdf(x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+CanonicalDelay canonical_sum(const CanonicalDelay& a, const CanonicalDelay& b) {
+  CanonicalDelay out;
+  out.mean_ps = a.mean_ps + b.mean_ps;
+  out.a_focus_ps = a.a_focus_ps + b.a_focus_ps;
+  out.a_global_ps = a.a_global_ps + b.a_global_ps;
+  out.local_ps = std::sqrt(a.local_ps * a.local_ps + b.local_ps * b.local_ps);
+  return out;
+}
+
+CanonicalDelay canonical_scale(const CanonicalDelay& d, double k) {
+  return {d.mean_ps * k, d.a_focus_ps * k, d.a_global_ps * k, d.local_ps * k};
+}
+
+double canonical_covariance_ps2(const CanonicalDelay& a,
+                                const CanonicalDelay& b) {
+  return a.a_focus_ps * b.a_focus_ps + a.a_global_ps * b.a_global_ps;
+}
+
+ClarkMax clark_max(const CanonicalDelay& a, const CanonicalDelay& b) {
+  return clark_max(a, b, 0.0);
+}
+
+ClarkMax clark_max(const CanonicalDelay& a, const CanonicalDelay& b,
+                   double local_cov_ps2) {
+  const double var_a = a.variance_ps2();
+  const double var_b = b.variance_ps2();
+  const double cov = canonical_covariance_ps2(a, b) + local_cov_ps2;
+  const double theta2 = var_a + var_b - 2.0 * cov;
+
+  // theta^2 is the variance of (A - B); when it vanishes the two forms
+  // differ only by a deterministic offset and the max is whichever mean
+  // is larger.  The relative epsilon absorbs fp noise from identical
+  // forms arriving via different arithmetic orders.
+  const double eps = 1e-12 * std::max({var_a, var_b, 1.0});
+  if (theta2 <= eps) {
+    if (a.mean_ps >= b.mean_ps) return {a, 1.0};
+    return {b, 0.0};
+  }
+
+  const double theta = std::sqrt(theta2);
+  const double alpha = (a.mean_ps - b.mean_ps) / theta;
+  if (alpha >= kAlphaSaturation) return {a, 1.0};
+  if (alpha <= -kAlphaSaturation) return {b, 0.0};
+
+  const double t = normal_cdf(alpha);  // tightness: P(A >= B)
+  const double u = 1.0 - t;
+  const double pdf = normal_pdf(alpha);
+
+  ClarkMax out;
+  out.tightness_a = t;
+  CanonicalDelay& m = out.value;
+  m.mean_ps = a.mean_ps * t + b.mean_ps * u + theta * pdf;
+  const double second_moment = (a.mean_ps * a.mean_ps + var_a) * t +
+                               (b.mean_ps * b.mean_ps + var_b) * u +
+                               (a.mean_ps + b.mean_ps) * theta * pdf;
+  const double var_max =
+      std::max(second_moment - m.mean_ps * m.mean_ps, 0.0);
+
+  // Tightness-weighted shared sensitivities preserve the covariance of
+  // the max with each global variable (Clark's E[max * X_i] identity).
+  m.a_focus_ps = t * a.a_focus_ps + u * b.a_focus_ps;
+  m.a_global_ps = t * a.a_global_ps + u * b.a_global_ps;
+  const double shared =
+      m.a_focus_ps * m.a_focus_ps + m.a_global_ps * m.a_global_ps;
+  if (var_max >= shared) {
+    m.local_ps = std::sqrt(var_max - shared);
+  } else {
+    // Matched variance smaller than the shared part alone: shrink the
+    // sensitivities so the total variance is exact and drop the local.
+    const double scale = shared > 0.0 ? std::sqrt(var_max / shared) : 0.0;
+    m.a_focus_ps *= scale;
+    m.a_global_ps *= scale;
+    m.local_ps = 0.0;
+  }
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,92 @@
+#pragma once
+// Canonical first-order delay forms for block-based SSTA.
+//
+// Every timing quantity is carried as
+//
+//   d = mean + a_focus * X_F + a_global * X_G + local * R
+//
+// where X_F is the one chip-level standardized defocus variable (the
+// paper's through-focus smile/frown behaviour: all arcs on the chip see
+// the same defocus, so their focus terms are perfectly correlated),
+// X_G is a chip-global CD variable (shared residual), and R is an
+// independent standard normal local term, aggregated in quadrature.
+// Sums over arcs are exact; statistical max at merge points uses
+// Clark's moment-matched approximation with the correlation implied by
+// the shared terms.
+
+#include <cmath>
+
+namespace sva {
+
+/// Standard normal pdf.
+double normal_pdf(double x);
+
+/// Standard normal cdf (via erfc; deterministic within a process).
+double normal_cdf(double x);
+
+/// Inverse standard normal cdf (Acklam's rational approximation,
+/// refined with one Halley step; |error| < 1e-9 over (0,1)).
+double normal_quantile(double p);
+
+/// A canonical first-order delay form (all terms in picoseconds).
+struct CanonicalDelay {
+  double mean_ps = 0.0;      ///< deterministic mean
+  double a_focus_ps = 0.0;   ///< sensitivity to the shared defocus variable
+  double a_global_ps = 0.0;  ///< sensitivity to the chip-global CD variable
+  double local_ps = 0.0;     ///< independent local sigma (>= 0)
+
+  double variance_ps2() const {
+    return a_focus_ps * a_focus_ps + a_global_ps * a_global_ps +
+           local_ps * local_ps;
+  }
+  double sigma_ps() const { return std::sqrt(variance_ps2()); }
+
+  /// Gaussian quantile of this form: mean + z_q * sigma.
+  double quantile_ps(double q) const {
+    return mean_ps + normal_quantile(q) * sigma_ps();
+  }
+};
+
+/// Exact sum of two canonical forms: means and shared sensitivities add
+/// linearly; independent local terms add in quadrature.
+CanonicalDelay canonical_sum(const CanonicalDelay& a, const CanonicalDelay& b);
+
+/// Scale a canonical form by a deterministic factor (k >= 0).
+CanonicalDelay canonical_scale(const CanonicalDelay& d, double k);
+
+/// Covariance between two canonical forms (shared terms only; the local
+/// terms are independent by construction).
+double canonical_covariance_ps2(const CanonicalDelay& a,
+                                const CanonicalDelay& b);
+
+/// Result of a Clark moment-matched max: the canonical form of
+/// max(a, b), plus the tightness P(a >= b) used for criticality.
+struct ClarkMax {
+  CanonicalDelay value;
+  double tightness_a = 1.0;  ///< probability that `a` sets the max
+};
+
+/// Clark's moment-matched statistical max of two canonical forms.
+///
+/// The matched form reproduces E[max] exactly and Var[max] as closely
+/// as the canonical basis allows: shared sensitivities are
+/// tightness-weighted (a_max = T*a_A + (1-T)*a_B) and the local term
+/// absorbs the variance residual.  If the residual is negative (rare:
+/// strongly anti-correlated inputs) the shared sensitivities are
+/// rescaled so the total variance matches and local is zero.
+///
+/// Deterministic degenerate handling: when the forms are (near-)
+/// perfectly correlated (theta ~ 0) the larger mean wins outright with
+/// tightness 1/0; a tie goes to `a`, matching the strict `>` winner
+/// selection in Sta::evaluate_gate where the incumbent keeps the max.
+ClarkMax clark_max(const CanonicalDelay& a, const CanonicalDelay& b);
+
+/// Same, with an explicit extra covariance (ps^2) between the two local
+/// terms on top of the shared-variable covariance.  The propagation
+/// engine supplies the exact dot product of the two forms' per-residual
+/// coefficient vectors here, so reconvergent paths (which share most of
+/// their upstream arcs) are not treated as independent at merge points.
+ClarkMax clark_max(const CanonicalDelay& a, const CanonicalDelay& b,
+                   double local_cov_ps2);
+
+}  // namespace sva

@@ -1,0 +1,43 @@
+#include "ssta/criticality.hpp"
+
+#include "util/error.hpp"
+
+namespace sva {
+
+CriticalityResult compute_criticality(const Netlist& netlist,
+                                      const SstaResult& ssta) {
+  const std::size_t n_nets = netlist.nets().size();
+  const std::size_t n_gates = netlist.gates().size();
+  SVA_REQUIRE(ssta.arrival.size() == n_nets);
+  SVA_REQUIRE(ssta.gate_pin_tightness.size() == n_gates);
+
+  CriticalityResult out;
+  out.net_criticality.assign(n_nets, 0.0);
+  out.arc_criticality.resize(n_gates);
+
+  // Seed the endpoints with the chip-max fold probabilities.
+  for (std::size_t i = 0; i < ssta.po_nets.size(); ++i)
+    out.net_criticality[ssta.po_nets[i]] += ssta.po_tightness[i];
+
+  // Reverse topological order: when a gate is visited, every downstream
+  // consumer of its output has already deposited its share, so the full
+  // output-net mass can be split across the fanin pins by the forward
+  // fold's selection probabilities.
+  const std::vector<std::size_t>& topo = netlist.topological_order();
+  for (std::size_t t = topo.size(); t-- > 0;) {
+    const std::size_t gi = topo[t];
+    const GateInst& gate = netlist.gates()[gi];
+    const double crit = out.net_criticality[gate.output_net];
+    const std::vector<double>& q = ssta.gate_pin_tightness[gi];
+    SVA_ASSERT(q.size() == gate.fanin_nets.size());
+    std::vector<double>& arcs = out.arc_criticality[gi];
+    arcs.assign(q.size(), 0.0);
+    for (std::size_t pi = 0; pi < q.size(); ++pi) {
+      arcs[pi] = crit * q[pi];
+      out.net_criticality[gate.fanin_nets[pi]] += arcs[pi];
+    }
+  }
+  return out;
+}
+
+}  // namespace sva

@@ -1,0 +1,37 @@
+#pragma once
+// Criticality computation from a forward SSTA pass (Li/Schlichtmann).
+//
+// The forward fold at every merge point already produced the per-pin
+// selection probabilities q_i (the probability that pin i's candidate
+// sets the max) and the endpoint fold produced per-PO tightness.  The
+// backward pass distributes probability mass from the endpoints toward
+// the primary inputs: a net's criticality is the probability that the
+// chip's critical path passes through it, a gate arc's criticality the
+// probability it passes through that specific (gate, pin) edge.
+//
+// Mass is conserved at every step, so endpoint criticalities sum to 1
+// and so do the criticalities of any cutset (in particular the primary
+// inputs) -- up to the usual canonical-form independence approximation
+// across reconvergent fanout.
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "ssta/propagate.hpp"
+
+namespace sva {
+
+struct CriticalityResult {
+  /// P(critical path passes through this net), per net.
+  std::vector<double> net_criticality;
+  /// P(critical path uses this gate's fanin pin), per [gate][pin].
+  std::vector<std::vector<double>> arc_criticality;
+};
+
+/// Backward pass over the forward result (reverse topological order,
+/// serial and deterministic).
+CriticalityResult compute_criticality(const Netlist& netlist,
+                                      const SstaResult& ssta);
+
+}  // namespace sva

@@ -1,0 +1,25 @@
+#pragma once
+// Human- and machine-readable rendering of an SSTA analysis.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "ssta/criticality.hpp"
+#include "ssta/propagate.hpp"
+
+namespace sva {
+
+/// Criticality report CSV: one row per endpoint, per gate timing arc,
+/// and per primary input, in deterministic (net/gate index) order.
+/// Columns: kind,gate,pin,net,criticality,arrival_mean_ps,arrival_sigma_ps.
+std::string criticality_csv(const Netlist& netlist, const SstaResult& ssta,
+                            const CriticalityResult& crit);
+
+/// Deterministic text summary (no timestamps/wall times): critical-delay
+/// canonical form, requested quantile, optional clock yield, and the
+/// top critical endpoints.  `clock_period_ps <= 0` omits the yield line.
+std::string ssta_text_report(const Netlist& netlist, const SstaResult& ssta,
+                             const CriticalityResult& crit, double quantile,
+                             double clock_period_ps);
+
+}  // namespace sva

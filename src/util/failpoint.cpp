@@ -197,6 +197,7 @@ const std::vector<std::string>& FailPoints::catalogue() {
       "cache.lock",          // FileLock::acquire (cache/checkpoint locks)
       "server.accept",       // daemon accept loop (connection dropped)
       "server.read",         // daemon per-connection frame read
+      "ssta.propagate",      // SstaEngine forward pass entry
   };
   return kSites;
 }

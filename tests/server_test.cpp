@@ -83,12 +83,12 @@ ProtoStatus reject_status(std::string_view payload) {
 
 TEST(ProtocolCodecTest, GoldenPingFrameBytes) {
   // The full wire bytes of an empty-body ping, fixed by the protocol:
-  // magic "SVAF", payload length 21, version 1, type 5, fnv1a64 of the
+  // magic "SVAF", payload length 21, version 2, type 5, fnv1a64 of the
   // empty body, and a zero-length body.  Platform-stable because the
   // codec is fixed little-endian.
   static const unsigned char kGolden[] = {
       0x53, 0x56, 0x41, 0x46, 0x15, 0x00, 0x00, 0x00,  // "SVAF", len=21
-      0x01, 0x00, 0x00, 0x00,                          // version 1
+      0x02, 0x00, 0x00, 0x00,                          // version 2
       0x05,                                            // PingRequest
       0xdf, 0xb7, 0x01, 0x86, 0x4c, 0xbd, 0x63, 0xaf,  // fnv1a64("")
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 0
@@ -108,7 +108,7 @@ TEST(ProtocolCodecTest, GoldenAnalyzeFrameBytes) {
   req.spec.circuits = {"C17"};
   static const unsigned char kGolden[] = {
       0x53, 0x56, 0x41, 0x46, 0x31, 0x00, 0x00, 0x00,  // "SVAF", len=49
-      0x01, 0x00, 0x00, 0x00,                          // version 1
+      0x02, 0x00, 0x00, 0x00,                          // version 2
       0x01,                                            // AnalyzeRequest
       0x56, 0x14, 0x4f, 0x19, 0xe8, 0x03, 0x7d, 0x31,  // body checksum
       0x1c, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 28
@@ -159,6 +159,33 @@ TEST(ProtocolCodecTest, RequestBodiesRoundTrip) {
   EXPECT_EQ(o2.spec.corner_mode, o.spec.corner_mode);
   EXPECT_EQ(o2.spec.csv_path, o.spec.csv_path);
   EXPECT_EQ(o2.deadline_ms, o.deadline_ms);
+
+  SstaRequest s;
+  s.spec.circuit = "C880";
+  s.spec.clock_period_ps = 3100.0;
+  s.spec.quantile = 0.9987;
+  s.spec.mc_samples = 500;
+  s.spec.global_share = 0.25;
+  s.spec.csv_path = "out/crit.csv";
+  s.deadline_ms = 1200;
+  const SstaRequest s2 = decode_ssta_request(encode_ssta_request(s));
+  EXPECT_EQ(s2.spec.circuit, s.spec.circuit);
+  EXPECT_EQ(s2.spec.clock_period_ps, s.spec.clock_period_ps);
+  EXPECT_EQ(s2.spec.quantile, s.spec.quantile);
+  EXPECT_EQ(s2.spec.mc_samples, s.spec.mc_samples);
+  EXPECT_EQ(s2.spec.global_share, s.spec.global_share);
+  EXPECT_EQ(s2.spec.csv_path, s.spec.csv_path);
+  EXPECT_EQ(s2.deadline_ms, s.deadline_ms);
+}
+
+TEST(ProtocolCodecTest, SstaRequestRejectsOutOfRangeFields) {
+  SstaRequest s;
+  s.spec.circuit = "C432";
+  s.spec.quantile = 1.25;
+  EXPECT_THROW(decode_ssta_request(encode_ssta_request(s)), ProtocolError);
+  s.spec.quantile = 0.999;
+  s.spec.global_share = -0.5;
+  EXPECT_THROW(decode_ssta_request(encode_ssta_request(s)), ProtocolError);
 }
 
 TEST(ProtocolCodecTest, ResponseBodiesRoundTrip) {
@@ -490,6 +517,35 @@ TEST(TimingServerTest, ThreeConcurrentClientsMatchTheDirectRunBitForBit) {
         << "client " << i;
     EXPECT_TRUE(remote[i].artifacts.empty()) << "client " << i;
   }
+}
+
+TEST(TimingServerTest, SstaJobMatchesTheDirectRunBitForBit) {
+  const SvaFlow& flow = shared_flow();
+  SstaJobSpec spec;
+  spec.circuit = "C432";
+  spec.clock_period_ps = 2500.0;
+  spec.mc_samples = 200;
+  ThreadPool direct_pool(2);
+  const JobResult direct = run_ssta_job(flow, direct_pool, spec, nullptr);
+  ASSERT_EQ(direct.exit_code, 0);
+  ASSERT_TRUE(direct.error.empty());
+
+  ServerHarness harness;
+  ServerClient client(harness.socket_path);
+  SstaRequest req;
+  req.spec = spec;
+  const Frame response =
+      client.call({MsgType::SstaRequest, encode_ssta_request(req)});
+  ASSERT_EQ(response.type, MsgType::ResultResponse);
+  const JobResult remote = decode_result_response(response.body);
+  EXPECT_EQ(remote.exit_code, 0);
+  // SSTA output carries no wall-time trailer: the remote bytes must be
+  // identical, artifacts included (the criticality CSV).
+  EXPECT_EQ(remote.output, direct.output);
+  ASSERT_EQ(remote.artifacts.size(), direct.artifacts.size());
+  ASSERT_EQ(remote.artifacts.size(), 1u);
+  EXPECT_EQ(remote.artifacts[0].path, direct.artifacts[0].path);
+  EXPECT_EQ(remote.artifacts[0].bytes, direct.artifacts[0].bytes);
 }
 
 TEST(TimingServerTest, PerJobDeadlineCancelsOnlyThatClient) {
