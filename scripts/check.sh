@@ -290,21 +290,30 @@ if [[ -e "$SOCK" ]]; then
 fi
 echo "SIGTERM drained the daemon (exit 0, socket removed)"
 
+echo "== kernel bench smoke: compiled/scalar bit-identity on C432 =="
+cmake --build build -j --target bench_sta_kernel
+./build/bench/bench_sta_kernel --smoke
+
 if [[ "$FAST" == "1" ]]; then
   echo "== skipping sanitizer passes (--fast) =="
   exit 0
 fi
 
-echo "== TSan: engine_test under -fsanitize=thread =="
+echo "== TSan: engine_test + sta_test under -fsanitize=thread =="
+# sta_test drives the compiled kernel through run_parallel at several
+# thread counts, extending race coverage to the flat-arena evaluate path.
 cmake -B build-tsan -S . -DSVA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j --target engine_test
+cmake --build build-tsan -j --target engine_test sta_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sta_test
 
-echo "== ASan: full tier-1 suite under -fsanitize=address =="
+echo "== ASan: full tier-1 suite + kernel bench smoke under -fsanitize=address =="
 cmake -B build-asan -S . -DSVA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j
 (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   ctest --output-on-failure -j)
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ./build-asan/bench/bench_sta_kernel --smoke
 
 echo "== UBSan: full tier-1 suite under -fsanitize=undefined =="
 cmake -B build-ubsan -S . -DSVA_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo

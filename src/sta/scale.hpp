@@ -8,6 +8,7 @@
 // ArcScaleProvider for a multiplicative factor per (gate instance, arc).
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 namespace sva {
@@ -39,18 +40,32 @@ class UniformScale final : public ArcScaleProvider {
 };
 
 /// Explicit per-(gate, arc) factors.  Used by Monte-Carlo samples and by
-/// analyses that compute factor matrices themselves.
+/// analyses that compute factor matrices themselves.  Stored CSR-style
+/// (one flat array plus per-gate offsets): scale() is on the hot path of
+/// every analysis -- the kernel's gather_factors calls it once per arc --
+/// and a flat lookup stays cache-resident where a vector-of-vectors
+/// chases a pointer per gate.
 class MatrixScale final : public ArcScaleProvider {
  public:
-  explicit MatrixScale(std::vector<std::vector<double>> factors)
-      : factors_(std::move(factors)) {}
+  explicit MatrixScale(const std::vector<std::vector<double>>& factors) {
+    offsets_.reserve(factors.size() + 1);
+    offsets_.push_back(0);
+    for (const std::vector<double>& row : factors) {
+      flat_.insert(flat_.end(), row.begin(), row.end());
+      offsets_.push_back(flat_.size());
+    }
+  }
 
   double scale(std::size_t gate, std::size_t arc_index) const override {
-    return factors_.at(gate).at(arc_index);
+    if (gate + 1 >= offsets_.size() ||
+        arc_index >= offsets_[gate + 1] - offsets_[gate])
+      throw std::out_of_range("MatrixScale: (gate, arc) out of range");
+    return flat_[offsets_[gate] + arc_index];
   }
 
  private:
-  std::vector<std::vector<double>> factors_;
+  std::vector<double> flat_;
+  std::vector<std::size_t> offsets_;
 };
 
 }  // namespace sva

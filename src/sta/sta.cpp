@@ -1,8 +1,11 @@
 #include "sta/sta.hpp"
 
 #include <algorithm>
+#include <queue>
+#include <utility>
 
 #include "engine/metrics.hpp"
+#include "sta/compiled.hpp"
 #include "util/error.hpp"
 
 namespace sva {
@@ -15,21 +18,54 @@ Sta::Sta(const Netlist& netlist, const CharacterizedLibrary& library,
   SVA_REQUIRE(config.po_load_ff >= 0.0);
   SVA_REQUIRE(config.wire_cap_per_sink_ff >= 0.0);
 
-  // Precompute net loads: sink pin caps + wire + PO load.
-  load_cache_.assign(netlist.nets().size(), 0.0);
-  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni)
-    load_cache_[ni] = compute_net_load(ni);
+  // Resolve every library cell's arcs and pin caps by input-pin position
+  // once, so no evaluation path ever allocates pin-name vectors or
+  // resolves arcs by string compare again.
+  cell_arcs_.resize(library.cells.size());
+  cell_pin_caps_.resize(library.cells.size());
+  for (std::size_t ci = 0; ci < library.cells.size(); ++ci) {
+    const CharacterizedCell& cell = library.cells[ci];
+    for (const Pin& pin : cell.master.pins()) {
+      if (pin.is_output) continue;
+      cell_arcs_[ci].push_back(&cell.arc_for(pin.name));
+      cell_pin_caps_[ci].push_back(pin.input_cap_ff);
+    }
+  }
 
-  // Bucket gates by logic level for the parallel path.  Also freezes the
-  // netlist's topological-order cache up front.
-  const std::vector<std::size_t> level = netlist.gate_levels();
+  // Precompute net loads (sink pin caps + wire + PO load) and per-net
+  // wire delays.
+  load_cache_.assign(netlist.nets().size(), 0.0);
+  wire_delay_cache_.assign(netlist.nets().size(), 0.0);
+  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni) {
+    load_cache_[ni] = compute_net_load(ni);
+    wire_delay_cache_[ni] =
+        config_.wire_delay_per_sink_ps *
+        static_cast<double>(netlist.nets()[ni].sinks.size());
+    if (netlist.nets()[ni].is_primary_output) po_nets_.push_back(ni);
+  }
+
+  // Bucket gates by logic level for the levelized kernel and the dirty
+  // queue.  Also freezes the netlist's topological-order cache up front.
+  gate_level_ = netlist.gate_levels();
   std::size_t max_level = 0;
   for (std::size_t gi : netlist.topological_order())
-    max_level = std::max(max_level, level[gi]);
+    max_level = std::max(max_level, gate_level_[gi]);
   levels_.resize(netlist.gates().empty() ? 0 : max_level + 1);
   for (std::size_t gi : netlist.topological_order())
-    levels_[level[gi]].push_back(gi);
+    levels_[gate_level_[gi]].push_back(gi);
+
+  compiled_ =
+      std::make_unique<CompiledTiming>(netlist, library, config_, levels_);
+  compiled_->bind_loads(load_cache_.data(), load_cache_.size());
+
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  incr_touched_ = &metrics.counter("sta.kernel.incremental_gates_touched");
+  incr_total_ = &metrics.counter("sta.kernel.incremental_gates_total");
 }
+
+Sta::~Sta() = default;
+Sta::Sta(Sta&&) noexcept = default;
+Sta& Sta::operator=(Sta&&) noexcept = default;
 
 double Sta::compute_net_load(std::size_t net_index) const {
   const Netlist& nl = *netlist_;
@@ -38,10 +74,9 @@ double Sta::compute_net_load(std::size_t net_index) const {
       config_.wire_cap_per_sink_ff * static_cast<double>(net.sinks.size());
   for (const NetSink& sink : net.sinks) {
     const GateInst& g = nl.gates()[sink.gate];
-    const CharacterizedCell& cell = library_->cells[g.cell_index];
-    const auto pins = nl.input_pins_of(g.cell_index);
-    SVA_ASSERT(sink.pin_index < pins.size());
-    load += cell.master.pin(pins[sink.pin_index]).input_cap_ff;
+    const std::vector<double>& caps = cell_pin_caps_[g.cell_index];
+    SVA_ASSERT(sink.pin_index < caps.size());
+    load += caps[sink.pin_index];
   }
   if (net.is_primary_output) load += config_.po_load_ff;
   return load;
@@ -54,22 +89,54 @@ double Sta::net_load_ff(std::size_t net) const {
 
 void Sta::update_gate_master(std::size_t gate) {
   SVA_REQUIRE(gate < netlist_->gates().size());
-  for (std::size_t net : netlist_->gates()[gate].fanin_nets)
+  for (std::size_t net : netlist_->gates()[gate].fanin_nets) {
     load_cache_[net] = compute_net_load(net);
+    compiled_->update_net_load(net, load_cache_[net]);
+  }
+  compiled_->refresh_gate(gate, netlist_->gates()[gate].cell_index);
+}
+
+void Sta::WhatIfOverlay::build_index() {
+  // stable_sort keeps insertion order among equal keys, so cell_of
+  // returns the first-inserted override for a gate.
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const GateCellOverride& a, const GateCellOverride& b) {
+                     return a.gate < b.gate;
+                   });
 }
 
 std::size_t Sta::WhatIfOverlay::cell_of(std::size_t gate,
                                         std::size_t base) const {
-  for (const GateCellOverride& o : cells)
-    if (o.gate == gate) return o.cell_index;
+  const auto it = std::lower_bound(
+      cells.begin(), cells.end(), gate,
+      [](const GateCellOverride& o, std::size_t g) { return o.gate < g; });
+  if (it != cells.end() && it->gate == gate) return it->cell_index;
   return base;
 }
 
-double Sta::WhatIfOverlay::load_delta(std::size_t net) const {
-  double delta = 0.0;
-  for (const auto& [n, d] : load)
-    if (n == net) delta += d;
-  return delta;
+double Sta::WhatIfOverlay::net_load(std::size_t net, double fallback) const {
+  const auto it = std::lower_bound(
+      load.begin(), load.end(), net,
+      [](const std::pair<std::size_t, double>& e, std::size_t n) {
+        return e.first < n;
+      });
+  if (it != load.end() && it->first == net) return it->second;
+  return fallback;
+}
+
+double Sta::compute_net_load_overlay(std::size_t net_index,
+                                     const WhatIfOverlay& overlay) const {
+  const Netlist& nl = *netlist_;
+  const Net& net = nl.nets()[net_index];
+  double load =
+      config_.wire_cap_per_sink_ff * static_cast<double>(net.sinks.size());
+  for (const NetSink& sink : net.sinks) {
+    const std::size_t cell_index =
+        overlay.cell_of(sink.gate, nl.gates()[sink.gate].cell_index);
+    load += cell_pin_caps_[cell_index][sink.pin_index];
+  }
+  if (net.is_primary_output) load += config_.po_load_ff;
+  return load;
 }
 
 void Sta::evaluate_gate(const ArcScaleProvider& scale, std::size_t gi,
@@ -80,23 +147,21 @@ void Sta::evaluate_gate(const ArcScaleProvider& scale, std::size_t gi,
   const std::size_t cell_index =
       overlay != nullptr ? overlay->cell_of(gi, gate.cell_index)
                          : gate.cell_index;
-  const CharacterizedCell& cell = library_->cells[cell_index];
+  const std::vector<const CharacterizedArc*>& arcs = cell_arcs_[cell_index];
   double load = load_cache_[gate.output_net];
-  if (overlay != nullptr) load += overlay->load_delta(gate.output_net);
-  const auto pins = nl.input_pins_of(cell_index);
+  if (overlay != nullptr)
+    load = overlay->net_load(gate.output_net, load);
 
   double worst_arrival = -1.0;
   double worst_slew = 0.0;
   std::size_t worst_from = kNoDriver;
   for (std::size_t pi = 0; pi < gate.fanin_nets.size(); ++pi) {
     const std::size_t in_net = gate.fanin_nets[pi];
-    const CharacterizedArc& arc = cell.arc_for(pins[pi]);
+    const CharacterizedArc& arc = *arcs[pi];
     const double factor = scale.scale(gi, arc.arc_index);
     SVA_ASSERT_MSG(factor > 0.0, "arc scale must be positive");
     const double in_slew = result.slew_ps[in_net];
-    const double wire_delay =
-        config_.wire_delay_per_sink_ps *
-        static_cast<double>(nl.nets()[in_net].sinks.size());
+    const double wire_delay = wire_delay_cache_[in_net];
     const double arrival = result.arrival_ps[in_net] + wire_delay +
                            factor * arc.nldm.delay_ps(in_slew, load);
     if (arrival > worst_arrival) {
@@ -114,16 +179,13 @@ void Sta::finalize_result(StaResult& result) const {
   const Netlist& nl = *netlist_;
   result.critical_delay_ps = 0.0;
   result.critical_path.clear();
-  bool found_po = false;
-  for (std::size_t ni = 0; ni < nl.nets().size(); ++ni) {
-    if (!nl.nets()[ni].is_primary_output) continue;
-    found_po = true;
+  SVA_REQUIRE_MSG(!po_nets_.empty(), "netlist has no primary outputs");
+  for (std::size_t ni : po_nets_) {
     if (result.arrival_ps[ni] >= result.critical_delay_ps) {
       result.critical_delay_ps = result.arrival_ps[ni];
       result.critical_po_net = ni;
     }
   }
-  SVA_REQUIRE_MSG(found_po, "netlist has no primary outputs");
 
   std::size_t net = result.critical_po_net;
   while (net != kNoDriver && !nl.nets()[net].is_primary_input()) {
@@ -134,13 +196,30 @@ void Sta::finalize_result(StaResult& result) const {
   std::reverse(result.critical_path.begin(), result.critical_path.end());
 }
 
-StaResult Sta::run(const ArcScaleProvider& scale) const {
+StaResult Sta::make_result() const {
   const Netlist& nl = *netlist_;
   StaResult result;
   result.arrival_ps.assign(nl.nets().size(), 0.0);
   result.slew_ps.assign(nl.nets().size(), config_.input_slew_ps);
   result.from_net.assign(nl.nets().size(), kNoDriver);
+  return result;
+}
 
+StaResult Sta::run(const ArcScaleProvider& scale) const {
+  StaResult result = make_result();
+  std::vector<double> factors;
+  compiled_->gather_factors(scale, factors);
+  // Serial full pass: levels are laid out back to back, so the whole
+  // graph is one contiguous gate-record span.
+  compiled_->evaluate_span(0, compiled_->gate_count(), factors.data(),
+                           load_cache_.data(), result);
+  finalize_result(result);
+  return result;
+}
+
+StaResult Sta::run_scalar(const ArcScaleProvider& scale) const {
+  const Netlist& nl = *netlist_;
+  StaResult result = make_result();
   for (std::size_t gi : nl.topological_order())
     evaluate_gate(scale, gi, result);
   finalize_result(result);
@@ -150,25 +229,28 @@ StaResult Sta::run(const ArcScaleProvider& scale) const {
 StaResult Sta::run_parallel(const ArcScaleProvider& scale, ThreadPool& pool,
                             const CancelToken* cancel) const {
   ScopedTimer timer(MetricsRegistry::global().timer("sta.parallel_run"));
-  const Netlist& nl = *netlist_;
-  StaResult result;
-  result.arrival_ps.assign(nl.nets().size(), 0.0);
-  result.slew_ps.assign(nl.nets().size(), config_.input_slew_ps);
-  result.from_net.assign(nl.nets().size(), kNoDriver);
+  StaResult result = make_result();
+  std::vector<double> factors;
+  compiled_->gather_factors(scale, factors);
 
-  // A gate evaluation is a handful of NLDM lookups (~1 us); chunks well
-  // below kGrain gates are pure fork/join overhead, so narrow levels run
+  // A gate evaluation is a handful of NLDM lookups; chunks well below
+  // kGrain gates are pure fork/join overhead, so narrow levels run
   // inline and wide ones split into kGrain-gate tasks.
   constexpr std::size_t kGrain = 64;
-  for (const std::vector<std::size_t>& level : levels_) {
+  for (const CompiledTiming::LevelSpan& span : compiled_->level_spans()) {
     if (cancel) cancel->check();  // level granularity: ~100s of gates
-    if (pool.thread_count() == 0 || level.size() < 2 * kGrain) {
-      for (std::size_t gi : level) evaluate_gate(scale, gi, result);
+    const std::size_t width = span.end - span.begin;
+    if (pool.thread_count() == 0 || width < 2 * kGrain) {
+      compiled_->evaluate_span(span.begin, span.end, factors.data(),
+                               load_cache_.data(), result);
       continue;
     }
     pool.parallel_for(
-        0, level.size(),
-        [&](std::size_t i) { evaluate_gate(scale, level[i], result); },
+        span.begin, span.end,
+        [&](std::size_t g) {
+          compiled_->evaluate_span(g, g + 1, factors.data(),
+                                   load_cache_.data(), result);
+        },
         kGrain);
   }
   finalize_result(result);
@@ -185,13 +267,31 @@ StaResult Sta::propagate_incremental(
 
   StaResult result = previous;
   std::vector<char> dirty(nl.gates().size(), 0);
+
+  // Level-ordered dirty queue: pop the lowest-level dirty gate, re-
+  // evaluate, push changed fanout.  Every push targets a strictly higher
+  // level than the gate that caused it (a sink of its output net), so by
+  // the time a gate pops, all dirty gates that could affect its fanins
+  // have been processed -- the same dataflow order as a full topological
+  // scan, without visiting the O(V) clean gates.
+  using Item = std::pair<std::uint32_t, std::uint32_t>;  // (level, gate)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  const auto mark = [&](std::size_t gi) {
+    if (dirty[gi]) return;
+    dirty[gi] = 1;
+    queue.emplace(static_cast<std::uint32_t>(gate_level_[gi]),
+                  static_cast<std::uint32_t>(gi));
+  };
   for (std::size_t gi : seed_gates) {
     SVA_REQUIRE(gi < nl.gates().size());
-    dirty[gi] = 1;
+    mark(gi);
   }
 
-  for (std::size_t gi : nl.topological_order()) {
-    if (!dirty[gi]) continue;
+  std::size_t touched = 0;
+  while (!queue.empty()) {
+    const std::size_t gi = queue.top().second;
+    queue.pop();
+    ++touched;
     const std::size_t out = nl.gates()[gi].output_net;
     const double old_arrival = result.arrival_ps[out];
     const double old_slew = result.slew_ps[out];
@@ -199,8 +299,10 @@ StaResult Sta::propagate_incremental(
     if (result.arrival_ps[out] == old_arrival &&
         result.slew_ps[out] == old_slew)
       continue;  // cone converged: fanout unaffected
-    for (const NetSink& sink : nl.nets()[out].sinks) dirty[sink.gate] = 1;
+    for (const NetSink& sink : nl.nets()[out].sinks) mark(sink.gate);
   }
+  incr_touched_->add(touched);
+  incr_total_->add(nl.gates().size());
   finalize_result(result);
   return result;
 }
@@ -219,26 +321,36 @@ StaResult Sta::run_what_if(
 
   WhatIfOverlay overlay;
   overlay.cells = cell_overrides;
+  overlay.build_index();
+
   std::vector<std::size_t> seeds = scale_changed_gates;
+  std::vector<std::size_t> affected_nets;
   for (const GateCellOverride& o : cell_overrides) {
     SVA_REQUIRE(o.gate < nl.gates().size());
     SVA_REQUIRE(o.cell_index < library_->cells.size());
     const GateInst& gate = nl.gates()[o.gate];
-    const CellMaster& old_master = library_->cells[gate.cell_index].master;
-    const CellMaster& new_master = library_->cells[o.cell_index].master;
+    SVA_REQUIRE_MSG(cell_pin_caps_[o.cell_index].size() ==
+                        cell_pin_caps_[gate.cell_index].size(),
+                    "override master must be pin-compatible");
     seeds.push_back(o.gate);
-    // The swap changes the pin caps this gate presents to its fanin nets:
-    // those nets' drivers see a different load, so they re-evaluate too.
-    const auto pins = nl.input_pins_of(gate.cell_index);
-    for (std::size_t pi = 0; pi < gate.fanin_nets.size(); ++pi) {
-      const std::size_t net = gate.fanin_nets[pi];
-      const double delta = new_master.pin(pins[pi]).input_cap_ff -
-                           old_master.pin(pins[pi]).input_cap_ff;
-      if (delta == 0.0) continue;
-      overlay.load.emplace_back(net, delta);
-      if (!nl.nets()[net].is_primary_input())
-        seeds.push_back(nl.nets()[net].driver_gate);
-    }
+    // The swap changes the pin caps this gate presents to its fanin
+    // nets: those nets' drivers see a different load.
+    affected_nets.insert(affected_nets.end(), gate.fanin_nets.begin(),
+                         gate.fanin_nets.end());
+  }
+  std::sort(affected_nets.begin(), affected_nets.end());
+  affected_nets.erase(
+      std::unique(affected_nets.begin(), affected_nets.end()),
+      affected_nets.end());
+  for (std::size_t net : affected_nets) {
+    // Recompute the load from scratch under the overlay rather than
+    // patching the cache with a delta: the fresh summation is the exact
+    // double a committed set_gate_cell would produce.
+    const double load = compute_net_load_overlay(net, overlay);
+    if (load == load_cache_[net]) continue;  // e.g. same-cap variant
+    overlay.load.emplace_back(net, load);
+    if (!nl.nets()[net].is_primary_input())
+      seeds.push_back(nl.nets()[net].driver_gate);
   }
   return propagate_incremental(scale, previous, seeds, &overlay);
 }
@@ -270,16 +382,14 @@ SlackResult Sta::slack_from(const ArcScaleProvider& scale, StaResult timing,
     const GateInst& gate = nl.gates()[gi];
     const double out_required = out.required_ps[gate.output_net];
     if (out_required >= kInf) continue;  // drives nothing timed
-    const CharacterizedCell& cell = library_->cells[gate.cell_index];
+    const std::vector<const CharacterizedArc*>& arcs =
+        cell_arcs_[gate.cell_index];
     const double load = load_cache_[gate.output_net];
-    const auto pins = nl.input_pins_of(gate.cell_index);
     for (std::size_t pi = 0; pi < gate.fanin_nets.size(); ++pi) {
       const std::size_t in_net = gate.fanin_nets[pi];
-      const CharacterizedArc& arc = cell.arc_for(pins[pi]);
+      const CharacterizedArc& arc = *arcs[pi];
       const double factor = scale.scale(gi, arc.arc_index);
-      const double wire_delay =
-          config_.wire_delay_per_sink_ps *
-          static_cast<double>(nl.nets()[in_net].sinks.size());
+      const double wire_delay = wire_delay_cache_[in_net];
       const double delay =
           wire_delay +
           factor * arc.nldm.delay_ps(out.timing.slew_ps[in_net], load);

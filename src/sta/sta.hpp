@@ -6,7 +6,22 @@
 // arrival over primary outputs.  Corners are realized by running the same
 // propagation with different ArcScaleProviders (traditional uniform
 // corners, or the paper's context/classification-aware corners).
+//
+// Two interchangeable engines produce bit-identical results:
+//
+//   * run()/run_parallel() execute the compiled flat kernel (see
+//     sta/compiled.hpp): the levelized graph flattened once into
+//     structure-of-arrays arc records over a deduplicated NLDM table
+//     arena, evaluated as a tight branch-free loop.
+//   * run_scalar() interprets the netlist directly; it is the readable
+//     reference implementation and the oracle the kernel is differentially
+//     fuzzed against (tests/sta_test.cpp).
+//
+// Incremental re-analysis (run_incremental / run_what_if) propagates
+// dirty gates through a level-ordered priority queue, touching O(cone)
+// gates instead of scanning the full topological order per edit.
 
+#include <memory>
 #include <vector>
 
 #include "cell/characterize.hpp"
@@ -15,6 +30,8 @@
 #include "sta/scale.hpp"
 
 namespace sva {
+
+class CompiledTiming;
 
 struct StaConfig {
   double input_slew_ps = 20.0;      ///< slew at primary inputs
@@ -55,20 +72,31 @@ class Sta {
  public:
   /// The netlist and characterized library must outlive the Sta object;
   /// the characterized library must be index-aligned with the netlist's
-  /// cell library.
+  /// cell library.  Construction compiles the flat timing program
+  /// (sta.kernel.* metrics record compile time and arena stats).
   Sta(const Netlist& netlist, const CharacterizedLibrary& library,
       const StaConfig& config = {});
+  ~Sta();
+  Sta(Sta&&) noexcept;
+  Sta& operator=(Sta&&) noexcept;
 
-  /// Late-mode analysis with the given per-arc delay scaling.
+  /// Late-mode analysis with the given per-arc delay scaling, executed on
+  /// the compiled flat kernel.  Bit-identical to run_scalar(scale).
   StaResult run(const ArcScaleProvider& scale) const;
 
-  /// Levelized parallel analysis: every topological level is partitioned
-  /// across the pool with parallel_for.  A gate's fanins all live at
-  /// strictly lower levels and each gate writes only its own output net,
-  /// so the result is bit-identical to run(scale) at any thread count and
-  /// under any task schedule.  Small levels run inline (task overhead
-  /// would dominate).  A non-null `cancel` is polled once per level
-  /// (throwing CancelledError); the per-gate inner loop stays unchecked.
+  /// Reference scalar interpreter: walks the netlist gate by gate through
+  /// the characterized-cell tables.  Same results as run() bit for bit;
+  /// kept as the readable specification and differential-test oracle.
+  StaResult run_scalar(const ArcScaleProvider& scale) const;
+
+  /// Levelized parallel analysis on the compiled kernel: every topological
+  /// level is partitioned across the pool with parallel_for.  A gate's
+  /// fanins all live at strictly lower levels and each gate writes only
+  /// its own output net, so the result is bit-identical to run(scale) at
+  /// any thread count and under any task schedule.  Small levels run
+  /// inline (task overhead would dominate).  A non-null `cancel` is
+  /// polled once per level (throwing CancelledError); the per-gate inner
+  /// loop stays unchecked.
   StaResult run_parallel(const ArcScaleProvider& scale, ThreadPool& pool,
                          const CancelToken* cancel = nullptr) const;
 
@@ -80,10 +108,11 @@ class Sta {
 
   /// Incremental re-analysis: starting from `previous` (computed with a
   /// scale that differed only at `changed_gates`), re-propagate arrivals
-  /// and slews from the changed gates forward, pruning fan-out cones as
-  /// soon as a gate's outputs stop changing.  Exact: the result equals
-  /// run(scale).  Worst case degenerates to a full pass; typical
-  /// what-if edits touch a small cone.
+  /// and slews from the changed gates forward through a level-ordered
+  /// priority queue, pruning fan-out cones as soon as a gate's outputs
+  /// stop changing.  Exact: the result equals run(scale).  Worst case
+  /// degenerates to a full pass; typical what-if edits touch a small
+  /// cone, and only that cone is visited.
   StaResult run_incremental(const ArcScaleProvider& scale,
                             const StaResult& previous,
                             const std::vector<std::size_t>& changed_gates)
@@ -116,9 +145,10 @@ class Sta {
   SlackResult slack_from(const ArcScaleProvider& scale, StaResult timing,
                          double clock_period_ps) const;
 
-  /// Re-sync the cached net loads after the netlist swapped `gate`'s
-  /// master in place (Netlist::set_gate_cell): the gate's fanin nets see
-  /// different pin caps.  Call after every committed sizing move.
+  /// Re-sync the cached net loads and the compiled arc records after the
+  /// netlist swapped `gate`'s master in place (Netlist::set_gate_cell):
+  /// the gate's fanin nets see different pin caps and the gate evaluates
+  /// through different tables.  Call after every committed sizing move.
   void update_gate_master(std::size_t gate);
 
   /// Capacitive load seen by a net's driver (fF).
@@ -126,16 +156,29 @@ class Sta {
 
   const StaConfig& config() const { return config_; }
 
+  /// The compiled flat program (compile stats for benches/reports).
+  const CompiledTiming& compiled() const { return *compiled_; }
+
  private:
   /// Per-candidate state of run_what_if: hypothetical cell swaps plus the
-  /// net-load deltas they induce.  Small sorted vectors -- a candidate
-  /// touches a handful of gates.
+  /// net-load deltas they induce.  Indexed once at construction (sorted
+  /// by gate / by net) so per-gate lookups binary-search instead of
+  /// scanning every override on every evaluation.
   struct WhatIfOverlay {
     std::vector<GateCellOverride> cells;               ///< sorted by gate
-    std::vector<std::pair<std::size_t, double>> load;  ///< (net, delta fF)
+    /// (net, absolute load fF): the affected fanin nets' loads recomputed
+    /// from scratch with the hypothetical masters' pin caps, in the exact
+    /// summation order compute_net_load uses -- so a what-if result is
+    /// bit-identical to a fresh analysis of a really-mutated netlist.
+    std::vector<std::pair<std::size_t, double>> load;
+
+    /// Sort the override list by gate.  Must be called before any
+    /// cell_of lookup (run_what_if recomputes loads through cell_of).
+    void build_index();
 
     std::size_t cell_of(std::size_t gate, std::size_t base) const;
-    double load_delta(std::size_t net) const;
+    /// The net's load under this overlay (`fallback` when unaffected).
+    double net_load(std::size_t net, double fallback) const;
   };
 
   /// Recompute one gate's output arrival/slew/from in `result`.  The
@@ -143,24 +186,46 @@ class Sta {
   void evaluate_gate(const ArcScaleProvider& scale, std::size_t gate,
                      StaResult& result,
                      const WhatIfOverlay* overlay = nullptr) const;
-  /// Shared dirty-cone propagation of run_incremental / run_what_if.
+  /// compute_net_load with the overlay's hypothetical masters swapped in
+  /// (identical FP summation order, so hypothetical == committed bitwise).
+  double compute_net_load_overlay(std::size_t net,
+                                  const WhatIfOverlay& overlay) const;
+  /// Shared dirty-cone propagation of run_incremental / run_what_if:
+  /// level-ordered priority-queue pop/evaluate/push, O(cone) gates.
   StaResult propagate_incremental(const ArcScaleProvider& scale,
                                   const StaResult& previous,
                                   const std::vector<std::size_t>& seed_gates,
                                   const WhatIfOverlay* overlay) const;
   /// Fill critical delay / PO / path from arrivals and from_net.
   void finalize_result(StaResult& result) const;
+  StaResult make_result() const;
   double compute_net_load(std::size_t net) const;
 
   const Netlist* netlist_;
   const CharacterizedLibrary* library_;
   StaConfig config_;
   std::vector<double> load_cache_;  ///< per net, precomputed
+  /// Per net: wire_delay_per_sink_ps * sink count, precomputed with the
+  /// same FP product the scalar path used to re-derive per evaluation.
+  std::vector<double> wire_delay_cache_;
+  /// Per library cell, its characterized arcs in input-pin order.  Kills
+  /// the per-evaluation input_pins_of() string-vector allocation and the
+  /// string-compare arc_for() resolution on every lookup path.
+  std::vector<std::vector<const CharacterizedArc*>> cell_arcs_;
+  /// Per library cell, its input-pin caps in pin order (fF).
+  std::vector<std::vector<double>> cell_pin_caps_;
   /// Gates bucketed by logic level, each bucket in topological-order
   /// sequence.  Built eagerly in the constructor (which also warms the
   /// netlist's lazy topological-order cache, making concurrent const use
   /// of the netlist race-free).
   std::vector<std::vector<std::size_t>> levels_;
+  std::vector<std::size_t> gate_level_;  ///< per gate, for the dirty queue
+  std::vector<std::size_t> po_nets_;     ///< ascending, for finalize
+  std::unique_ptr<CompiledTiming> compiled_;
+  /// Cached metric handles (creation locks the registry; the what-if path
+  /// is too hot to take that lock per candidate).
+  class Counter* incr_touched_ = nullptr;
+  class Counter* incr_total_ = nullptr;
 };
 
 }  // namespace sva

@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string>
 
 #include "engine/thread_pool.hpp"
+#include "sta/compiled.hpp"
+#include "util/metrics.hpp"
 #include "netlist/iscas85.hpp"
 #include "sta/scale.hpp"
 #include "sta/sta.hpp"
@@ -301,6 +306,240 @@ TEST_P(ScaleSweep, DelayScalesWithinBracket) {
 
 INSTANTIATE_TEST_SUITE_P(Factors, ScaleSweep,
                          ::testing::Values(0.85, 0.95, 1.05, 1.2));
+
+// ---------------------------------------------------------------------------
+// Compiled-kernel differential fuzzing: run() executes the flat compiled
+// program (sta/compiled.hpp) and must be BIT-identical -- not just close --
+// to the scalar interpreter run_scalar() under every scale provider, thread
+// count, override set, and incremental seed set.  All comparisons below go
+// through std::bit_cast so even a last-ulp divergence fails.
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_bit_identical(const StaResult& a, const StaResult& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.arrival_ps.size(), b.arrival_ps.size()) << what;
+  for (std::size_t ni = 0; ni < a.arrival_ps.size(); ++ni) {
+    ASSERT_EQ(bits(a.arrival_ps[ni]), bits(b.arrival_ps[ni]))
+        << what << " arrival net " << ni;
+    ASSERT_EQ(bits(a.slew_ps[ni]), bits(b.slew_ps[ni]))
+        << what << " slew net " << ni;
+    ASSERT_EQ(a.from_net[ni], b.from_net[ni]) << what << " from net " << ni;
+  }
+  ASSERT_EQ(bits(a.critical_delay_ps), bits(b.critical_delay_ps)) << what;
+  ASSERT_EQ(a.critical_po_net, b.critical_po_net) << what;
+  ASSERT_EQ(a.critical_path, b.critical_path) << what;
+}
+
+/// Random per-(gate, arc) factors in [0.8, 1.3), seeded by `tag`.
+MatrixScale random_scale(const Netlist& nl, const std::string& tag) {
+  Rng rng(tag);
+  std::vector<std::vector<double>> factors(nl.gates().size());
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi) {
+    factors[gi].resize(lib().master(nl.gates()[gi].cell_index).arcs().size());
+    for (double& f : factors[gi]) f = rng.uniform(0.8, 1.3);
+  }
+  return MatrixScale(std::move(factors));
+}
+
+TEST(StaKernel, CompiledMatchesScalarBitwiseAllCircuits) {
+  for (const BenchmarkSpec& spec : iscas85_specs()) {
+    const Netlist nl = generate_iscas85_like(spec.name, lib());
+    const Sta sta(nl, charlib());
+    const MatrixScale scale = random_scale(nl, "kernel-" + spec.name);
+    expect_bit_identical(sta.run(scale), sta.run_scalar(scale), spec.name);
+    expect_bit_identical(sta.run(UnitScale{}), sta.run_scalar(UnitScale{}),
+                         spec.name + " unit");
+  }
+}
+
+TEST(StaKernel, CompiledMatchesScalarUnderRandomScaleFuzz) {
+  const Netlist nl = generate_iscas85_like("C880", lib());
+  const Sta sta(nl, charlib());
+  for (int round = 0; round < 25; ++round) {
+    const MatrixScale scale =
+        random_scale(nl, "fuzz-" + std::to_string(round));
+    expect_bit_identical(sta.run(scale), sta.run_scalar(scale),
+                         "round " + std::to_string(round));
+  }
+}
+
+TEST(StaKernel, ParallelIsBitIdenticalAcrossThreadCounts) {
+  const Netlist nl = generate_iscas85_like("C2670", lib());
+  const Sta sta(nl, charlib());
+  const MatrixScale scale = random_scale(nl, "threads");
+  const StaResult reference = sta.run(scale);
+  for (std::size_t threads : {0u, 1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    expect_bit_identical(reference, sta.run_parallel(scale, pool),
+                         "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(StaKernel, SlackFromCompiledRunMatchesScalarRun) {
+  const Netlist nl = generate_iscas85_like("C1355", lib());
+  const Sta sta(nl, charlib());
+  const MatrixScale scale = random_scale(nl, "slack");
+  const double clock = sta.run(scale).critical_delay_ps * 1.05;
+  const SlackResult a = sta.run_with_slack(scale, clock);
+  const SlackResult b = sta.slack_from(scale, sta.run_scalar(scale), clock);
+  ASSERT_EQ(a.slack_ps.size(), b.slack_ps.size());
+  for (std::size_t ni = 0; ni < a.slack_ps.size(); ++ni)
+    ASSERT_EQ(bits(a.slack_ps[ni]), bits(b.slack_ps[ni])) << ni;
+  ASSERT_EQ(bits(a.worst_slack_ps), bits(b.worst_slack_ps));
+  ASSERT_EQ(a.worst_slack_net, b.worst_slack_net);
+}
+
+TEST(StaKernel, ArenaDeduplicatesSharedTables) {
+  const Netlist nl = generate_iscas85_like("C432", lib());
+  const Sta sta(nl, charlib());
+  // Symmetric arcs (e.g. XOR2's repeated A/B devices) produce content-
+  // identical tables; the arena must fold them.
+  EXPECT_GT(sta.compiled().tables_total(), sta.compiled().tables_unique());
+  EXPECT_GT(sta.compiled().arena_bytes(), 0u);
+  EXPECT_EQ(sta.compiled().gate_count(), nl.gates().size());
+}
+
+/// Cells grouped by identical input-pin name sequences -- the
+/// set_gate_cell / GateCellOverride pin-compatibility domain.
+std::vector<std::size_t> compatible_cells(std::size_t cell_index) {
+  const auto input_pins = [](std::size_t ci) {
+    std::vector<std::string> names;
+    for (const Pin& p : lib().master(ci).pins())
+      if (!p.is_output) names.push_back(p.name);
+    return names;
+  };
+  const std::vector<std::string> want = input_pins(cell_index);
+  std::vector<std::size_t> out;
+  for (std::size_t ci = 0; ci < lib().size(); ++ci)
+    if (input_pins(ci) == want) out.push_back(ci);
+  return out;
+}
+
+/// Long random what-if fuzz: masters swapped hypothetically through
+/// run_what_if must match a full compiled run on a REALLY mutated netlist
+/// (fresh Sta) bit for bit, round after round, with each what-if result
+/// feeding the next round's `previous` after committing the swaps.
+TEST(StaKernel, WhatIfOverridesMatchMutatedNetlistBitwise) {
+  Netlist nl = generate_iscas85_like("C880", lib());
+  Rng rng("whatif");
+  Sta sta(nl, charlib());
+  const UnitScale scale;
+  StaResult current = sta.run(scale);
+
+  for (int round = 0; round < 12; ++round) {
+    // Pick up to 4 distinct gates and a pin-compatible replacement each.
+    std::vector<Sta::GateCellOverride> overrides;
+    for (int k = 0; k < 4; ++k) {
+      const auto gi = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(nl.gates().size()) - 1));
+      const auto already = [&](const Sta::GateCellOverride& o) {
+        return o.gate == gi;
+      };
+      if (std::find_if(overrides.begin(), overrides.end(), already) !=
+          overrides.end())
+        continue;
+      const std::vector<std::size_t> group =
+          compatible_cells(nl.gates()[gi].cell_index);
+      const std::size_t pick = group[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(group.size()) - 1))];
+      overrides.push_back({gi, pick});
+    }
+
+    const StaResult what_if = sta.run_what_if(scale, current, overrides, {});
+
+    // Oracle: actually mutate a copy of the netlist and analyze fresh.
+    Netlist mutated = nl;
+    for (const Sta::GateCellOverride& o : overrides)
+      mutated.set_gate_cell(o.gate, o.cell_index);
+    const Sta oracle(mutated, charlib());
+    expect_bit_identical(what_if, oracle.run(scale),
+                         "round " + std::to_string(round));
+
+    // Commit the swaps for the next round (exercises update_gate_master's
+    // compiled-program refresh).
+    for (const Sta::GateCellOverride& o : overrides) {
+      nl.set_gate_cell(o.gate, o.cell_index);
+      sta.update_gate_master(o.gate);
+    }
+    current = sta.run(scale);
+    expect_bit_identical(current, oracle.run(scale),
+                         "commit round " + std::to_string(round));
+  }
+}
+
+TEST(StaKernel, WhatIfCombinedOverridesAndScaleSeedsStayExact) {
+  const Netlist nl = generate_iscas85_like("C1908", lib());
+  const Sta sta(nl, charlib());
+  Rng rng("combined");
+
+  std::vector<std::vector<double>> factors(nl.gates().size());
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi)
+    factors[gi].assign(
+        lib().master(nl.gates()[gi].cell_index).arcs().size(), 1.0);
+  StaResult current = sta.run(MatrixScale(factors));
+
+  for (int round = 0; round < 10; ++round) {
+    // Scale edits...
+    std::vector<std::size_t> changed;
+    for (int k = 0; k < 3; ++k) {
+      const auto gi = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(nl.gates().size()) - 1));
+      changed.push_back(gi);
+      for (double& f : factors[gi]) f = rng.uniform(0.85, 1.25);
+    }
+    // ...plus hypothetical master swaps in the same what-if call.
+    std::vector<Sta::GateCellOverride> overrides;
+    const auto gi = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(nl.gates().size()) - 1));
+    const std::vector<std::size_t> group =
+        compatible_cells(nl.gates()[gi].cell_index);
+    overrides.push_back({gi, group[static_cast<std::size_t>(rng.uniform_int(
+                                 0, static_cast<std::int64_t>(group.size()) -
+                                        1))]});
+
+    const MatrixScale scale(factors);
+    const StaResult what_if =
+        sta.run_what_if(scale, current, overrides, changed);
+
+    Netlist mutated = nl;
+    for (const Sta::GateCellOverride& o : overrides)
+      mutated.set_gate_cell(o.gate, o.cell_index);
+    const Sta oracle(mutated, charlib());
+    expect_bit_identical(what_if, oracle.run(scale),
+                         "round " + std::to_string(round));
+
+    // Next round continues from the no-override state of the edited scale.
+    current = sta.run_incremental(scale, current, changed);
+  }
+}
+
+TEST(StaKernel, IncrementalCountsTouchedGates) {
+  const Netlist nl = generate_iscas85_like("C2670", lib());
+  const Sta sta(nl, charlib());
+  const StaResult before = sta.run(UnitScale{});
+
+  Counter& touched = MetricsRegistry::global().counter(
+      "sta.kernel.incremental_gates_touched");
+  Counter& total =
+      MetricsRegistry::global().counter("sta.kernel.incremental_gates_total");
+  const std::uint64_t touched0 = touched.value();
+  const std::uint64_t total0 = total.value();
+
+  // A single late-level seed must re-evaluate a small cone, not the graph.
+  std::vector<std::vector<double>> factors(nl.gates().size());
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi)
+    factors[gi].assign(
+        lib().master(nl.gates()[gi].cell_index).arcs().size(), 1.0);
+  const std::size_t seed = nl.gates().size() - 1;
+  for (double& f : factors[seed]) f = 1.3;
+  sta.run_incremental(MatrixScale(std::move(factors)), before, {seed});
+
+  const std::uint64_t cone = touched.value() - touched0;
+  EXPECT_EQ(total.value() - total0, nl.gates().size());
+  EXPECT_GE(cone, 1u);
+  EXPECT_LT(cone, nl.gates().size() / 4);
+}
 
 }  // namespace
 }  // namespace sva
