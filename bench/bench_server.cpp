@@ -14,6 +14,17 @@
 //   * bit-identity: the daemon's bytes must equal the direct run's
 //                  (wall-time trailer aside) or the bench aborts.
 //
+// Two more legs measure the multi-lane executor:
+//
+//   * lane scaling: a batch of four distinct circuits issued by four
+//                  concurrent clients against a 1-, 2-, and 4-lane
+//                  daemon (result cache off, so every query really
+//                  executes) -- the distinct specs hash to different
+//                  lanes and run concurrently;
+//   * cached replay: the same spec twice against a cache-enabled daemon;
+//                  the second answer replays the stored bytes without
+//                  re-execution.
+//
 // Writes BENCH_server.json.
 
 #include <algorithm>
@@ -94,16 +105,77 @@ std::uint64_t time_cold_run(JobResult* out) {
   return ns;
 }
 
-JobResult query_daemon(const std::string& socket_path) {
+JobResult query_daemon(const std::string& socket_path,
+                       const std::string& circuit = kCircuit) {
   ServerClient client(socket_path);
   AnalyzeRequest req;
-  req.spec.circuits = {kCircuit};
+  req.spec.circuits = {circuit};
   const Frame response =
       client.call({MsgType::AnalyzeRequest, encode_analyze_request(req)});
   if (response.type != MsgType::ResultResponse)
     throw Error(std::string("daemon answered ") +
                 msg_type_name(response.type));
   return decode_result_response(response.body);
+}
+
+/// An in-process daemon for the lane-scaling / cached-replay legs.
+struct BenchDaemon {
+  ServerConfig config;
+  TimingServer server;
+  std::thread serving;
+
+  BenchDaemon(const SvaFlow& flow, ThreadPool& pool, std::size_t lanes,
+              std::size_t result_cache)
+      : config(make_config(lanes, result_cache)), server(flow, config) {
+    serving = std::thread([this, &pool] { server.serve(pool); });
+    for (int i = 0; i < 100; ++i) {
+      try {
+        Fd probe = unix_connect(config.socket_path);
+        return;
+      } catch (const SocketError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    throw Error("bench daemon never started listening");
+  }
+  ~BenchDaemon() {
+    server.request_stop();
+    serving.join();
+  }
+
+  static ServerConfig make_config(std::size_t lanes,
+                                  std::size_t result_cache) {
+    static int counter = 0;
+    ServerConfig cfg;
+    cfg.socket_path = "/tmp/sva_bench_lanes_" + std::to_string(::getpid()) +
+                      "_" + std::to_string(counter++) + ".sock";
+    cfg.lanes = lanes;
+    cfg.result_cache_capacity = result_cache;
+    return cfg;
+  }
+};
+
+/// Median wall time for four concurrent clients each analyzing its own
+/// circuit against an L-lane daemon (distinct specs => distinct lanes).
+std::uint64_t time_lane_batch(const SvaFlow& flow, ThreadPool& pool,
+                              std::size_t lanes,
+                              const std::vector<std::string>& circuits,
+                              int rounds) {
+  BenchDaemon daemon(flow, pool, lanes, /*result_cache=*/0);
+  // Untimed warmup characterizes every circuit's contexts.
+  for (const std::string& c : circuits) query_daemon(daemon.config.socket_path, c);
+
+  std::vector<std::uint64_t> round_ns;
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (const std::string& c : circuits)
+      clients.emplace_back(
+          [&, c] { query_daemon(daemon.config.socket_path, c); });
+    for (std::thread& t : clients) t.join();
+    round_ns.push_back(ns_of(t0));
+  }
+  return median(round_ns);
 }
 
 }  // namespace
@@ -161,7 +233,50 @@ int main() {
   std::printf("  median of %d: %8.3f ms   (speedup %.1fx)\n\n", kWarmQueries,
               warm * 1e-6, speedup);
   std::printf("results bit-identical to the direct run "
-              "(wall-time trailer aside)\n");
+              "(wall-time trailer aside)\n\n");
+
+  // --- lane scaling. --------------------------------------------------
+  // Four distinct circuits from four concurrent clients: the specs hash
+  // to different lanes, so extra lanes buy real concurrency (bounded by
+  // the shared thread pool underneath).  Result cache off: every query
+  // must execute.
+  const std::vector<std::string> batch = {"C432", "C499", "C880", "C1355"};
+  const std::vector<std::size_t> lane_counts = {1, 2, 4};
+  constexpr int kScalingRounds = 3;
+  ThreadPool scaling_pool(4);
+  std::printf("lane scaling (batch of %zu distinct circuits, "
+              "%d-round median):\n", batch.size(), kScalingRounds);
+  std::vector<std::uint64_t> lane_batch_ns;
+  for (std::size_t lanes : lane_counts) {
+    lane_batch_ns.push_back(
+        time_lane_batch(flow, scaling_pool, lanes, batch, kScalingRounds));
+    std::printf("  lanes %zu: %8.3f ms%s\n", lanes,
+                lane_batch_ns.back() * 1e-6,
+                lanes == 1 ? "  (baseline)"
+                           : ("  (" + fmt(static_cast<double>(lane_batch_ns[0]) /
+                                              static_cast<double>(
+                                                  lane_batch_ns.back()),
+                                          2) + "x)").c_str());
+  }
+  std::printf("\n");
+
+  // --- cached replay. -------------------------------------------------
+  std::uint64_t cache_miss_ns = 0, cache_hit_ns = 0;
+  {
+    BenchDaemon daemon(flow, scaling_pool, /*lanes=*/2, /*result_cache=*/16);
+    auto t0 = std::chrono::steady_clock::now();
+    const JobResult miss = query_daemon(daemon.config.socket_path);
+    cache_miss_ns = ns_of(t0);
+    t0 = std::chrono::steady_clock::now();
+    const JobResult hit = query_daemon(daemon.config.socket_path);
+    cache_hit_ns = ns_of(t0);
+    // A replay is byte-identical INCLUDING the wall-time trailer.
+    if (hit.output != miss.output)
+      throw Error("cached replay drifted from the first answer");
+  }
+  std::printf("cached replay (same spec twice, result cache on):\n");
+  std::printf("  first (execute): %8.3f ms   replay (cache hit): %8.3f ms\n\n",
+              cache_miss_ns * 1e-6, cache_hit_ns * 1e-6);
 
   // --- JSON artifact. -------------------------------------------------
   std::string json = "{\n  \"bench\": \"server\",\n  \"circuit\": \"";
@@ -178,6 +293,18 @@ int main() {
   json += std::to_string(warm);
   json += ",\n  \"speedup\": ";
   json += fmt(speedup, 2);
+  json += ",\n  \"lane_scaling_circuits\": ";
+  json += std::to_string(batch.size());
+  json += ",\n  \"lane_batch_ns\": {";
+  for (std::size_t i = 0; i < lane_counts.size(); ++i) {
+    json += (i == 0 ? "" : ", ");
+    json += "\"" + std::to_string(lane_counts[i]) + "\": " +
+            std::to_string(lane_batch_ns[i]);
+  }
+  json += "},\n  \"cache_miss_ns\": ";
+  json += std::to_string(cache_miss_ns);
+  json += ",\n  \"cache_hit_ns\": ";
+  json += std::to_string(cache_hit_ns);
   json += ",\n  \"bit_identical\": true\n}\n";
   write_text_file("BENCH_server.json", json);
   std::printf("wrote BENCH_server.json\n");

@@ -290,6 +290,91 @@ if [[ -e "$SOCK" ]]; then
 fi
 echo "SIGTERM drained the daemon (exit 0, socket removed)"
 
+echo "== chaos: probabilistic lane faults, retried clients byte-identical =="
+# The daemon's executor lanes crash with p=0.3 per job (the connection is
+# dropped without a response); clients with --retries must still land the
+# exact direct-run bytes.  Result cache off so every query really runs
+# the lane gauntlet.
+CHAOS_SOCK="$CACHE_DIR/sva_chaos.sock"
+SVA_FAILPOINTS="server.lane.run=prob(0.3)" \
+  "$CLI" serve --socket "$CHAOS_SOCK" --threads 2 --lanes 2 --result-cache 0 \
+  --cache-dir "$CACHE_DIR" > "$CACHE_DIR/serve_chaos.log" 2>&1 &
+chaos_pid=$!
+for _ in $(seq 1 100); do [[ -S "$CHAOS_SOCK" ]] && break; sleep 0.1; done
+if [[ ! -S "$CHAOS_SOCK" ]]; then
+  echo "FAIL: chaos daemon never created $CHAOS_SOCK"
+  cat "$CACHE_DIR/serve_chaos.log"
+  exit 1
+fi
+chaos_pids=()
+for i in 1 2 3; do
+  "$CLI" analyze C432 C880 --connect "$CHAOS_SOCK" --retries 25 \
+    > "$CACHE_DIR/chaos_$i.txt" 2>&1 &
+  chaos_pids+=($!)
+done
+for i in 1 2 3; do
+  rc=0
+  wait "${chaos_pids[$((i - 1))]}" || rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "FAIL: chaos client $i exited $rc"
+    cat "$CACHE_DIR/chaos_$i.txt"
+    exit 1
+  fi
+  if ! diff <(echo "$direct_out" | strip_variance) \
+            <(strip_variance < "$CACHE_DIR/chaos_$i.txt"); then
+    echo "FAIL: chaos client $i output differs from the direct run"
+    exit 1
+  fi
+done
+echo "3 retried clients identical to the direct run under lane faults"
+
+# The health probe answers while the chaos rages, and must eventually
+# report at least one poisoned lane (keep poking until a fault lands).
+if ! "$CLI" ping --connect "$CHAOS_SOCK" > "$CACHE_DIR/ping.txt"; then
+  echo "FAIL: sva ping exited non-zero against a live daemon"
+  cat "$CACHE_DIR/ping.txt"
+  exit 1
+fi
+if ! grep -q "daemon healthy" "$CACHE_DIR/ping.txt"; then
+  echo "FAIL: sva ping did not report a healthy daemon"
+  cat "$CACHE_DIR/ping.txt"
+  exit 1
+fi
+poisoned=0
+for _ in $(seq 1 25); do
+  poisoned="$(awk -F'lanes poisoned ' '/daemon healthy/ {print $2}' \
+    "$CACHE_DIR/ping.txt")"
+  [[ "${poisoned:-0}" -gt 0 ]] && break
+  "$CLI" analyze C432 --connect "$CHAOS_SOCK" --retries 25 >/dev/null 2>&1 || true
+  "$CLI" ping --connect "$CHAOS_SOCK" > "$CACHE_DIR/ping.txt" || true
+done
+if [[ "${poisoned:-0}" -le 0 ]]; then
+  echo "FAIL: no lane was ever poisoned under prob(0.3) faults"
+  cat "$CACHE_DIR/ping.txt" "$CACHE_DIR/serve_chaos.log"
+  exit 1
+fi
+echo "health probe live under chaos ($poisoned lane faults survived)"
+
+# After all that abuse, SIGTERM must still drain cleanly.
+kill -TERM "$chaos_pid"
+rc=0
+wait "$chaos_pid" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+  echo "FAIL: chaos daemon exited $rc on SIGTERM, expected 0"
+  cat "$CACHE_DIR/serve_chaos.log"
+  exit 1
+fi
+if [[ -e "$CHAOS_SOCK" ]]; then
+  echo "FAIL: chaos daemon left an orphaned socket file"
+  exit 1
+fi
+# ...and a ping against the drained daemon reports unreachable (exit 1).
+if "$CLI" ping --connect "$CHAOS_SOCK" >/dev/null 2>&1; then
+  echo "FAIL: sva ping exited zero against a stopped daemon"
+  exit 1
+fi
+echo "chaos daemon drained on SIGTERM; ping reports the gone daemon"
+
 echo "== kernel bench smoke: compiled/scalar bit-identity on C432 =="
 cmake --build build -j --target bench_sta_kernel
 ./build/bench/bench_sta_kernel --smoke
@@ -299,13 +384,16 @@ if [[ "$FAST" == "1" ]]; then
   exit 0
 fi
 
-echo "== TSan: engine_test + sta_test under -fsanitize=thread =="
+echo "== TSan: engine_test + sta_test + server_test under -fsanitize=thread =="
 # sta_test drives the compiled kernel through run_parallel at several
-# thread counts, extending race coverage to the flat-arena evaluate path.
+# thread counts, extending race coverage to the flat-arena evaluate path;
+# server_test covers the daemon's lane pool, watchdog, and the JobQueue
+# close/drain races under concurrent pushers.
 cmake -B build-tsan -S . -DSVA_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j --target engine_test sta_test
+cmake --build build-tsan -j --target engine_test sta_test server_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engine_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/sta_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_test
 
 echo "== ASan: full tier-1 suite + kernel bench smoke under -fsanitize=address =="
 cmake -B build-asan -S . -DSVA_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -79,6 +79,13 @@ std::uint64_t remote_deadline_ms(const EngineOptions& opts) {
              : 0;
 }
 
+/// --retries N as the client's transient-retry budget.
+ClientRetryConfig client_retry(const EngineOptions& opts) {
+  ClientRetryConfig retry;
+  retry.retries = static_cast<int>(opts.retries);
+  return retry;
+}
+
 int cmd_list(std::vector<std::string>&, const EngineOptions&) {
   Table table({"Benchmark", "PIs", "POs", "Gates"});
   for (const auto& spec : iscas85_specs())
@@ -97,7 +104,8 @@ int cmd_analyze(std::vector<std::string>& args, const EngineOptions& opts) {
   if (!opts.connect_path.empty()) {
     reject_checkpoint_flags_remote(opts);
     return run_remote_analyze(opts.connect_path,
-                              {spec, remote_deadline_ms(opts)});
+                              {spec, remote_deadline_ms(opts)},
+                              client_retry(opts));
   }
   spec.resume_path = opts.resume_path;
   spec.checkpoint_path = checkpoint_path(opts, "sva_analyze.ckpt");
@@ -169,7 +177,8 @@ int cmd_optimize(std::vector<std::string>& args, const EngineOptions& opts) {
   if (!opts.connect_path.empty()) {
     reject_checkpoint_flags_remote(opts);
     return run_remote_optimize(opts.connect_path,
-                               {spec, remote_deadline_ms(opts)});
+                               {spec, remote_deadline_ms(opts)},
+                               client_retry(opts));
   }
   spec.resume_path = opts.resume_path;
   spec.checkpoint_path = checkpoint_path(opts, "sva_optimize.ckpt");
@@ -210,8 +219,8 @@ int cmd_ssta(std::vector<std::string>& args, const EngineOptions& opts) {
   }
   if (!opts.connect_path.empty()) {
     reject_checkpoint_flags_remote(opts);
-    return run_remote_ssta(opts.connect_path,
-                           {spec, remote_deadline_ms(opts)});
+    return run_remote_ssta(opts.connect_path, {spec, remote_deadline_ms(opts)},
+                           client_retry(opts));
   }
   const SvaFlow flow{flow_config(opts)};
   cache_warm_start(flow.context_cache(), opts);
@@ -224,6 +233,9 @@ int cmd_ssta(std::vector<std::string>& args, const EngineOptions& opts) {
 
 int cmd_serve(std::vector<std::string>& args, const EngineOptions& opts) {
   ServerConfig cfg;
+  // The daemon caches clean analyze/ssta results by default; --result-cache 0
+  // turns it off.
+  cfg.result_cache_capacity = 128;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string flag = args[i];
     if (flag == "--socket") {
@@ -232,6 +244,16 @@ int cmd_serve(std::vector<std::string>& args, const EngineOptions& opts) {
       cfg.queue_depth = parse_size_flag(flag, flag_value(args, i));
       if (cfg.queue_depth == 0)
         throw std::runtime_error("--queue-depth expects a positive integer");
+    } else if (flag == "--lanes") {
+      cfg.lanes = parse_size_flag(flag, flag_value(args, i));
+      if (cfg.lanes == 0)
+        throw std::runtime_error("--lanes expects a positive integer");
+    } else if (flag == "--result-cache") {
+      cfg.result_cache_capacity = parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--watchdog-stall-ms") {
+      cfg.watchdog_stall_ms = parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--watchdog-grace-ms") {
+      cfg.watchdog_grace_ms = parse_size_flag(flag, flag_value(args, i));
     } else {
       throw std::runtime_error("unknown serve flag '" + flag + "'");
     }
@@ -272,6 +294,35 @@ int cmd_metrics(std::vector<std::string>& args, const EngineOptions& opts) {
     std::printf("server metrics:\n%s",
                 m.rendered.empty() ? "  (none)\n" : m.rendered.c_str());
   return 0;
+}
+
+int cmd_ping(std::vector<std::string>&, const EngineOptions& opts) {
+  if (opts.connect_path.empty()) {
+    std::fprintf(stderr, "ping requires --connect PATH\n");
+    return usage();
+  }
+  HealthResponse h;
+  try {
+    h = fetch_remote_health(opts.connect_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: daemon unreachable (%s)\n", e.what());
+    return kExitFatal;
+  }
+  std::string lanes;
+  for (const char state : h.lane_states) {
+    if (!lanes.empty()) lanes += ' ';
+    lanes += lane_state_name(static_cast<LaneState>(state));
+  }
+  std::printf("daemon healthy: uptime %.1f s, queue %llu/%llu, "
+              "jobs served %llu, lanes poisoned %llu\n"
+              "lanes: %s\n",
+              static_cast<double>(h.uptime_ms) / 1000.0,
+              static_cast<unsigned long long>(h.queue_depth),
+              static_cast<unsigned long long>(h.queue_capacity),
+              static_cast<unsigned long long>(h.jobs_served),
+              static_cast<unsigned long long>(h.lanes_poisoned),
+              lanes.c_str());
+  return kExitOk;
 }
 
 int cmd_shutdown(std::vector<std::string>&, const EngineOptions& opts) {
@@ -381,13 +432,19 @@ const std::vector<CommandSpec>& command_table() {
        "                         --global-share F, --csv PATH; default CSV:\n"
        "                         ssta_criticality.csv); --connect runs it\n"
        "                         remotely"},
-      {"serve", cmd_serve, "serve --socket PATH [--queue-depth N]",
+      {"serve", cmd_serve, "serve --socket PATH [flags]",
        "long-lived daemon: load the library once, then answer\n"
        "                         analyze/optimize/ssta jobs from concurrent\n"
-       "                         clients over a Unix socket (default\n"
-       "                         queue depth: 8)"},
+       "                         clients over a Unix socket (flags:\n"
+       "                         --queue-depth N (8), --lanes N (hardware),\n"
+       "                         --result-cache N (128, 0 = off),\n"
+       "                         --watchdog-stall-ms MS, --watchdog-grace-ms\n"
+       "                         MS)"},
       {"metrics", cmd_metrics, "metrics [--json]",
        "server-wide metrics of the daemon at --connect PATH"},
+      {"ping", cmd_ping, "ping",
+       "health-probe the daemon at --connect PATH (exit 0 when\n"
+       "                         it answers: uptime, queue, lane states)"},
       {"shutdown", cmd_shutdown, "shutdown",
        "gracefully drain the daemon at --connect PATH"},
       {"pitch-curve", cmd_pitch_curve, "pitch-curve [out.csv]",
@@ -419,6 +476,10 @@ int usage() {
       "  --connect PATH         ship analyze/optimize/ssta to the `serve`\n"
       "                         daemon\n"
       "                         at this socket (no local library build)\n"
+      "  --retries N            with --connect: retry transient daemon\n"
+      "                         failures (busy, refused, dropped before a\n"
+      "                         response) up to N times with exponential\n"
+      "                         backoff + jitter (default 0)\n"
       "  --cache-dir DIR        persistent context-library cache directory\n"
       "                         (default: $SVA_CACHE_DIR or .sva_cache)\n"
       "  --no-cache             run cold; neither load nor save the cache\n"

@@ -85,6 +85,9 @@ EngineOptions extract_engine_options(std::vector<std::string>& args) {
       opts.connect_path = flag_value(args, i);
     } else if (args[i] == "--metrics-json") {
       opts.metrics_json_path = flag_value(args, i);
+    } else if (args[i] == "--retries") {
+      const std::string flag = args[i];
+      opts.retries = parse_size_flag(flag, flag_value(args, i));
     } else {
       rest.push_back(args[i]);
     }

@@ -67,6 +67,10 @@ struct EngineOptions {
   /// --metrics-json PATH: write the MetricsRegistry snapshot as JSON on
   /// exit ("-" = stdout).  Empty disables.
   std::string metrics_json_path;
+  /// --retries N: with --connect, retry transient daemon failures (Busy,
+  /// connect refused, connection dropped before any response byte) up to
+  /// N times with exponential backoff + jitter.  0 fails immediately.
+  std::size_t retries = 0;
 
   bool cache_enabled() const { return !no_cache && !cache_dir.empty(); }
   FaultPolicy fault_policy() const {

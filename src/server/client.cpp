@@ -1,5 +1,6 @@
 #include "server/client.hpp"
 
+#include <cerrno>
 #include <cstdio>
 
 #include "engine/options.hpp"
@@ -27,10 +28,18 @@ int deliver_response(const Frame& response) {
     }
     case MsgType::BusyResponse: {
       const BusyResponse busy = decode_busy_response(response.body);
-      std::fprintf(stderr,
-                   "error: server busy (queue %llu/%llu); retry later\n",
-                   static_cast<unsigned long long>(busy.queue_depth),
-                   static_cast<unsigned long long>(busy.max_depth));
+      if (busy.retry_after_ms > 0)
+        std::fprintf(
+            stderr,
+            "error: server busy (queue %llu/%llu); retry in ~%llu ms\n",
+            static_cast<unsigned long long>(busy.queue_depth),
+            static_cast<unsigned long long>(busy.max_depth),
+            static_cast<unsigned long long>(busy.retry_after_ms));
+      else
+        std::fprintf(stderr,
+                     "error: server busy (queue %llu/%llu); retry later\n",
+                     static_cast<unsigned long long>(busy.queue_depth),
+                     static_cast<unsigned long long>(busy.max_depth));
       return kExitFatal;
     }
     case MsgType::ErrorResponse: {
@@ -46,6 +55,32 @@ int deliver_response(const Frame& response) {
   }
 }
 
+/// One attempt: connect, send, read one response.  Failures where the
+/// job cannot have produced anything observable are rethrown as
+/// TransientError for the retry loop; everything else propagates as-is.
+Frame attempt_call(const std::string& socket_path, const Frame& request) {
+  Fd fd;
+  try {
+    fd = unix_connect(socket_path);
+  } catch (const SocketError& e) {
+    if (e.errno_value() == ECONNREFUSED)
+      throw TransientError(e.what());  // daemon restarting / not up yet
+    throw;
+  }
+  write_frame(fd.get(), request);
+  std::optional<Frame> response = read_frame(fd.get());
+  if (!response)
+    // EOF before any response byte: the daemon dropped the connection
+    // deliberately (crashed lane) or died whole.  The job never
+    // delivered anything, so a resubmit is safe.
+    throw TransientError("server closed the connection without a response");
+  if (response->type == MsgType::BusyResponse) {
+    const BusyResponse busy = decode_busy_response(response->body);
+    throw BusyRetryError(std::move(*response), busy);
+  }
+  return *response;
+}
+
 }  // namespace
 
 ServerClient::ServerClient(const std::string& socket_path)
@@ -59,25 +94,45 @@ Frame ServerClient::call(const Frame& request) {
   return *response;
 }
 
+Frame call_server_with_retry(const std::string& socket_path,
+                             const Frame& request,
+                             const ClientRetryConfig& retry) {
+  RetryPolicy policy;
+  policy.max_attempts = retry.retries + 1;
+  policy.initial_backoff = retry.initial_backoff;
+  policy.max_jitter = retry.max_jitter;
+  policy.transient_only = true;
+  try {
+    return with_retry("server call", policy,
+                      [&] { return attempt_call(socket_path, request); });
+  } catch (const BusyRetryError& e) {
+    // Retry budget exhausted on Busy: hand the rejection to the caller
+    // as the response it is.
+    return e.frame();
+  }
+}
+
 int run_remote_analyze(const std::string& socket_path,
-                       const AnalyzeRequest& request) {
-  ServerClient client(socket_path);
-  return deliver_response(client.call(
-      {MsgType::AnalyzeRequest, encode_analyze_request(request)}));
+                       const AnalyzeRequest& request,
+                       const ClientRetryConfig& retry) {
+  return deliver_response(call_server_with_retry(
+      socket_path, {MsgType::AnalyzeRequest, encode_analyze_request(request)},
+      retry));
 }
 
 int run_remote_optimize(const std::string& socket_path,
-                        const OptimizeRequest& request) {
-  ServerClient client(socket_path);
-  return deliver_response(client.call(
-      {MsgType::OptimizeRequest, encode_optimize_request(request)}));
+                        const OptimizeRequest& request,
+                        const ClientRetryConfig& retry) {
+  return deliver_response(call_server_with_retry(
+      socket_path, {MsgType::OptimizeRequest, encode_optimize_request(request)},
+      retry));
 }
 
-int run_remote_ssta(const std::string& socket_path,
-                    const SstaRequest& request) {
-  ServerClient client(socket_path);
-  return deliver_response(
-      client.call({MsgType::SstaRequest, encode_ssta_request(request)}));
+int run_remote_ssta(const std::string& socket_path, const SstaRequest& request,
+                    const ClientRetryConfig& retry) {
+  return deliver_response(call_server_with_retry(
+      socket_path, {MsgType::SstaRequest, encode_ssta_request(request)},
+      retry));
 }
 
 MetricsResponse fetch_remote_metrics(const std::string& socket_path) {
@@ -88,6 +143,16 @@ MetricsResponse fetch_remote_metrics(const std::string& socket_path) {
                         std::string("expected metrics_response, got ") +
                             msg_type_name(response.type));
   return decode_metrics_response(response.body);
+}
+
+HealthResponse fetch_remote_health(const std::string& socket_path) {
+  ServerClient client(socket_path);
+  const Frame response = client.call({MsgType::HealthRequest, ""});
+  if (response.type != MsgType::HealthResponse)
+    throw ProtocolError(ProtoStatus::BadType,
+                        std::string("expected health_response, got ") +
+                            msg_type_name(response.type));
+  return decode_health_response(response.body);
 }
 
 void request_remote_shutdown(const std::string& socket_path) {

@@ -7,12 +7,29 @@
 // bytes the user sees (tables, CSV artifacts, exit codes, cancellation
 // reports) are identical to a direct run, minus the process-start and
 // flow-construction cost the daemon already paid.
+//
+// Failures are retried only when nothing observable can have happened:
+//
+//   transient (retried, --retries N)    Busy rejection (carrying the
+//     server's retry_after_ms hint), connect refused (no daemon had the
+//     socket yet / it was restarting), and a connection closed before
+//     the first response byte (the daemon dropped it deliberately after
+//     a lane crash -- the job never ran).  Each retry resubmits the
+//     identical spec, which the server deduplicates by content hash, so
+//     retries are idempotent end to end.
+//
+//   permanent (never retried)    a response delivered even partially --
+//     a truncated read mid-frame means bytes reached the user-visible
+//     path and a blind re-run could double-deliver; and every job-level
+//     Error/Cancelled response, which is a real answer, not a fault.
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "server/protocol.hpp"
 #include "server/socket.hpp"
+#include "util/retry.hpp"
 
 namespace sva {
 
@@ -32,20 +49,62 @@ class ServerClient {
   Fd fd_;
 };
 
+/// Client-side retry knobs (--retries N).  `retries` is the number of
+/// re-attempts after the first try; 0 preserves the classic
+/// fail-immediately behaviour.
+struct ClientRetryConfig {
+  int retries = 0;
+  std::chrono::milliseconds initial_backoff{50};
+  /// Uniform random extra per retry so clients rejected together spread
+  /// out instead of re-colliding.
+  std::chrono::milliseconds max_jitter{25};
+};
+
+/// A Busy rejection travelling through the transient-retry machinery.
+/// Carries the response frame so an exhausted retry budget can still
+/// deliver the Busy to the user exactly as a retry-less call would, and
+/// the server's retry_after_ms hint feeds the backoff.
+class BusyRetryError : public TransientError {
+ public:
+  BusyRetryError(Frame frame, const BusyResponse& busy)
+      : TransientError("server busy (queue " +
+                           std::to_string(busy.queue_depth) + "/" +
+                           std::to_string(busy.max_depth) + ")",
+                       busy.retry_after_ms),
+        frame_(std::move(frame)) {}
+  const Frame& frame() const { return frame_; }
+
+ private:
+  Frame frame_;
+};
+
+/// One request/response exchange with bounded transient-only retry (see
+/// the classification above).  A Busy response that survives the retry
+/// budget is *returned*, not thrown, so callers handle it uniformly.
+Frame call_server_with_retry(const std::string& socket_path,
+                             const Frame& request,
+                             const ClientRetryConfig& retry = {});
+
 /// Ship an analyze/optimize job to the daemon at `socket_path` and
 /// deliver the response exactly as the local command would (stdout
 /// bytes, artifact files, cancellation report).  Returns the process
-/// exit code; a Busy rejection reports on stderr and exits with the
-/// fatal code.
+/// exit code; a Busy rejection that survives the retry budget reports on
+/// stderr and exits with the fatal code.
 int run_remote_analyze(const std::string& socket_path,
-                       const AnalyzeRequest& request);
+                       const AnalyzeRequest& request,
+                       const ClientRetryConfig& retry = {});
 int run_remote_optimize(const std::string& socket_path,
-                        const OptimizeRequest& request);
+                        const OptimizeRequest& request,
+                        const ClientRetryConfig& retry = {});
 int run_remote_ssta(const std::string& socket_path,
-                    const SstaRequest& request);
+                    const SstaRequest& request,
+                    const ClientRetryConfig& retry = {});
 
 /// Fetch the daemon's server-wide MetricsRegistry snapshot.
 MetricsResponse fetch_remote_metrics(const std::string& socket_path);
+
+/// Fetch the daemon's liveness snapshot (`sva ping`).
+HealthResponse fetch_remote_health(const std::string& socket_path);
 
 /// Ask the daemon to drain and exit.  Returns once the ack arrives.
 void request_remote_shutdown(const std::string& socket_path);

@@ -5,7 +5,7 @@ namespace sva {
 JobQueue::JobQueue(std::size_t max_depth)
     : max_depth_(max_depth == 0 ? 1 : max_depth) {}
 
-bool JobQueue::try_push(ServerJob job) {
+bool JobQueue::try_push(std::shared_ptr<ServerJob> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || jobs_.size() >= max_depth_) return false;
@@ -16,11 +16,11 @@ bool JobQueue::try_push(ServerJob job) {
   return true;
 }
 
-std::optional<ServerJob> JobQueue::pop() {
+std::shared_ptr<ServerJob> JobQueue::pop() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
-  if (jobs_.empty()) return std::nullopt;
-  ServerJob job = std::move(jobs_.front());
+  if (jobs_.empty()) return nullptr;
+  std::shared_ptr<ServerJob> job = std::move(jobs_.front());
   jobs_.pop_front();
   return job;
 }

@@ -1,15 +1,21 @@
 #pragma once
 // Bounded job queue with admission control for the timing daemon.
 //
-// Connection threads are producers; one executor thread is the consumer,
-// so admitted jobs run in admission order -- combined with the engine's
-// bit-exact parallelism this makes daemon results independent of client
-// arrival interleaving.  Admission is non-blocking by design: a full
-// queue rejects immediately (try_push == false) and the connection
+// Connection threads are producers; one executor lane is the consumer,
+// so jobs admitted to a lane run in admission order -- combined with the
+// engine's bit-exact parallelism this makes daemon results independent
+// of client arrival interleaving.  Admission is non-blocking by design: a
+// full queue rejects immediately (try_push == false) and the connection
 // answers with a Busy response instead of stalling the client behind an
 // unbounded backlog.  close() stops new admissions while pop() keeps
 // draining what was already accepted -- the graceful-shutdown contract.
+//
+// Jobs are shared_ptr-held: the owning connection thread waits on the
+// promise, the lane runs the work, and the watchdog inspects the
+// heartbeat/delivery state of whatever is in flight -- three concurrent
+// observers of one job.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -17,7 +23,6 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <optional>
 
 #include "server/jobs.hpp"
 #include "util/cancel.hpp"
@@ -32,6 +37,28 @@ struct ServerJob {
   std::shared_ptr<CancelToken> cancel;
   std::promise<JobResult> done;
   std::chrono::steady_clock::time_point enqueued_at{};
+  /// FNV hash of the canonical job-spec bytes: binds the job to its lane
+  /// and keys the result cache.
+  std::uint64_t spec_hash = 0;
+  /// Analyze/ssta jobs are pure functions of their spec and may be
+  /// cached; optimize jobs mutate artifacts and never are.
+  bool cacheable = false;
+  /// Bumped by every CancelToken::poll() inside the work (the watchdog's
+  /// liveness signal).
+  std::atomic<std::uint64_t> heartbeat{0};
+  /// Exactly-once delivery guard: whoever wins the CAS (the lane on a
+  /// normal finish, the watchdog on a wedged lane) fulfils the promise;
+  /// the loser discards its result.
+  std::atomic<bool> delivered{false};
+
+  /// Fulfil the promise exactly once.  Returns true when this caller won.
+  bool deliver(JobResult result) {
+    bool expected = false;
+    if (!delivered.compare_exchange_strong(expected, true))
+      return false;
+    done.set_value(std::move(result));
+    return true;
+  }
 };
 
 class JobQueue {
@@ -40,11 +67,11 @@ class JobQueue {
 
   /// Admit one job.  False when the queue is at max_depth or closed (the
   /// caller answers Busy); never blocks.
-  bool try_push(ServerJob job);
+  bool try_push(std::shared_ptr<ServerJob> job);
 
   /// Take the oldest admitted job; blocks while the queue is open and
-  /// empty.  nullopt once the queue is closed *and* drained.
-  std::optional<ServerJob> pop();
+  /// empty.  nullptr once the queue is closed *and* drained.
+  std::shared_ptr<ServerJob> pop();
 
   /// Refuse all future admissions; pop() continues until empty.
   void close();
@@ -59,7 +86,7 @@ class JobQueue {
   const std::size_t max_depth_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<ServerJob> jobs_;
+  std::deque<std::shared_ptr<ServerJob>> jobs_;
   std::size_t peak_ = 0;
   bool closed_ = false;
 };

@@ -94,6 +94,11 @@ struct JobResult {
   bool cancelled = false;
   std::uint8_t cancel_reason = 0;  ///< CancelReason as u8
   std::string error;               ///< non-empty => the job failed fatally
+  /// Daemon-internal, never serialized: the executor lane crashed before
+  /// the job ran (injected lane fault).  The server drops the connection
+  /// without a response so the client's transient-retry path -- not its
+  /// "server error" path -- handles it; nothing observable happened.
+  bool lane_crashed = false;
 };
 
 /// Run a corner-analysis batch against a constructed flow.  Handles

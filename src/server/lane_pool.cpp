@@ -1,0 +1,333 @@
+#include "server/lane_pool.hpp"
+
+#include <string>
+#include <utility>
+
+#include "engine/options.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace sva {
+
+namespace {
+
+Counter& counter(const char* name) {
+  return MetricsRegistry::global().counter(name);
+}
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Watchdog scan cadence; well under any sane stall threshold so detection
+/// latency is dominated by the configured thresholds, not the tick.
+constexpr std::chrono::milliseconds kWatchdogTick{20};
+
+}  // namespace
+
+const char* lane_state_name(LaneState state) {
+  switch (state) {
+    case LaneState::Idle: return "idle";
+    case LaneState::Running: return "running";
+    case LaneState::Wedged: return "wedged";
+  }
+  return "unknown";
+}
+
+LanePool::LanePool(Config config) : config_(config) {
+  if (config_.lanes == 0) config_.lanes = 1;
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  lanes_.reserve(config_.lanes);
+  for (std::size_t i = 0; i < config_.lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->index = i;
+    // Per-lane capacity is the full admission bound: the global bound in
+    // submit() is what limits the backlog; the lane queue must never be
+    // the tighter limit or hash skew would cause spurious Busy answers.
+    lane->queue = std::make_unique<JobQueue>(config_.queue_depth);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+LanePool::~LanePool() { close_and_drain(); }
+
+void LanePool::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  for (auto& lane : lanes_) {
+    lane->thread = std::thread(
+        [this, index = lane->index] { lane_loop(index, /*my_generation=*/0); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+bool LanePool::submit(std::shared_ptr<ServerJob> job) {
+  if (draining_.load(std::memory_order_acquire)) return false;
+  // Global admission bound across lanes.  The check-then-push is not one
+  // atomic step, so concurrent submitters can transiently overshoot by a
+  // lane's worth -- admission control bounds the backlog, it is not an
+  // exact semaphore.  With one lane (the single-executor configuration)
+  // the per-lane queue cap makes the bound exact again.
+  if (queued_depth() >= config_.queue_depth) return false;
+  Lane& lane = *lanes_[job->spec_hash % lanes_.size()];
+  return lane.queue->try_push(std::move(job));
+}
+
+std::size_t LanePool::queued_depth() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->queue->depth();
+  return total;
+}
+
+std::vector<LaneState> LanePool::lane_states() const {
+  std::vector<LaneState> states;
+  states.reserve(lanes_.size());
+  for (const auto& lane : lanes_)
+    states.push_back(
+        static_cast<LaneState>(lane->state.load(std::memory_order_relaxed)));
+  return states;
+}
+
+void LanePool::lane_loop(std::size_t index, std::uint64_t my_generation) {
+  Lane& lane = *lanes_[index];
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (lane.generation != my_generation) return;  // recycled from under us
+      if (lane.state.load(std::memory_order_relaxed) !=
+          static_cast<std::uint8_t>(LaneState::Running))
+        lane.state.store(static_cast<std::uint8_t>(LaneState::Idle),
+                         std::memory_order_relaxed);
+    }
+    std::shared_ptr<ServerJob> job = lane.queue->pop();
+    if (!job) return;  // closed and drained
+    if (!run_one(lane, my_generation, job)) return;
+  }
+}
+
+bool LanePool::run_one(Lane& lane, std::uint64_t my_generation,
+                       const std::shared_ptr<ServerJob>& job) {
+  auto& registry = MetricsRegistry::global();
+  const auto started = std::chrono::steady_clock::now();
+  const double wait_ms = ms_between(job->enqueued_at, started);
+  registry.histogram("server.job.wait_ms")
+      .add(static_cast<std::uint64_t>(wait_ms));
+  registry.timer("server.queue_wait").add_seconds(wait_ms / 1e3);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lane.generation != my_generation) return false;
+    lane.current = job;
+    lane.run_started = started;
+    lane.seen_beat = job->heartbeat.load(std::memory_order_relaxed);
+    lane.beat_seen_at = started;
+    lane.cancel_fired = false;
+    lane.state.store(static_cast<std::uint8_t>(LaneState::Running),
+                     std::memory_order_relaxed);
+  }
+
+  JobResult result;
+  bool crashed = false;
+  bool poisoned = false;
+  try {
+    // The lane-crash failpoint sits OUTSIDE the job try below: an armed
+    // fault here simulates the executor itself dying before the job ran,
+    // which must surface to the client as a dropped connection (transient,
+    // retryable), never as a job-level ErrorResponse.  Unkeyed on purpose:
+    // each retry of the same spec rolls a fresh prob() decision.
+    SVA_FAILPOINT("server.lane.run");
+  } catch (const std::exception& e) {
+    crashed = true;
+    poisoned = true;
+    result.lane_crashed = true;
+    result.exit_code = kExitFatal;
+    result.error = e.what();
+  }
+  if (!crashed && !job->delivered.load(std::memory_order_acquire)) {
+    ScopedTimer exec_timer(registry.timer("server.job_exec"));
+    try {
+      result = job->work();
+    } catch (const CancelledError&) {
+      // The job observed its tripped token (deadline, client disconnect,
+      // or the watchdog) and wound down cooperatively.
+      poisoned = true;
+      result = JobResult{};
+      result.exit_code = kExitCancelled;
+      result.cancelled = true;
+      result.cancel_reason = static_cast<std::uint8_t>(job->cancel->reason());
+    } catch (const std::exception& e) {
+      // Anything escaping the job harness poisons the lane: the job is
+      // answered with an error and the lane thread is recycled so latent
+      // state damage cannot leak into the next job.
+      poisoned = true;
+      result = JobResult{};
+      result.exit_code = kExitFatal;
+      result.error = e.what();
+    }
+  }
+  registry.histogram("server.job.run_ms")
+      .add(static_cast<std::uint64_t>(
+          ms_between(started, std::chrono::steady_clock::now())));
+
+  if (!crashed) {
+    if (!result.error.empty())
+      counter("server.jobs_failed").add();
+    else if (result.cancelled)
+      counter("server.jobs_cancelled").add();
+    else
+      counter("server.jobs_completed").add();
+  }
+  job->deliver(std::move(result));
+
+  bool stale = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stale = lane.generation != my_generation;
+    if (!stale && lane.current == job) {
+      lane.current = nullptr;
+      lane.state.store(static_cast<std::uint8_t>(LaneState::Idle),
+                       std::memory_order_relaxed);
+    }
+    if (!stale && poisoned) {
+      counter("server.lane.poisoned").add();
+      recycle_locked(lane);
+    }
+  }
+  return !stale && !poisoned;
+}
+
+void LanePool::recycle_locked(Lane& lane) {
+  lane.generation += 1;
+  const std::uint64_t next_generation = lane.generation;
+  // Moving the handle is safe even when the retiring thread is the caller:
+  // the handle is bookkeeping, not the execution.  Every retired thread
+  // terminates -- injected delays are finite and a stale generation exits
+  // at its next check -- so the drain-time join below cannot hang.
+  if (lane.thread.joinable()) retired_.push_back(std::move(lane.thread));
+  lane.thread = std::thread([this, index = lane.index, next_generation] {
+    lane_loop(index, next_generation);
+  });
+  counter("server.lane.recycled").add();
+}
+
+void LanePool::watchdog_loop() {
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(kWatchdogTick);
+    try {
+      SVA_FAILPOINT("server.watchdog.tick");
+    } catch (const std::exception&) {
+      // An injected fault skips this scan; it must never kill the
+      // watchdog itself (the prober must stay more reliable than the
+      // probed).
+      counter("server.watchdog.tick_faults").add();
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<ServerJob>> wedged;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& lane_ptr : lanes_) {
+        Lane& lane = *lane_ptr;
+        if (!lane.current) continue;
+        const std::shared_ptr<ServerJob>& job = lane.current;
+        const std::uint64_t beat =
+            job->heartbeat.load(std::memory_order_relaxed);
+        if (beat != lane.seen_beat) {
+          lane.seen_beat = beat;
+          lane.beat_seen_at = now;
+          lane.cancel_fired = false;  // progress resets the escalation
+          continue;
+        }
+        if (ms_between(lane.beat_seen_at, now) <
+            static_cast<double>(config_.watchdog_stall_ms))
+          continue;
+        if (!lane.cancel_fired) {
+          // First escalation: fire the token so a merely-slow job winds
+          // down at its next poll site.  An expired per-job deadline
+          // keeps its honest reason; a genuine stall is attributed to
+          // the watchdog.
+          job->cancel->request_cancel(job->cancel->deadline().expired()
+                                          ? CancelReason::Deadline
+                                          : CancelReason::Watchdog);
+          lane.cancel_fired = true;
+          lane.cancel_fired_at = now;
+          counter("server.watchdog.cancels").add();
+          continue;
+        }
+        if (ms_between(lane.cancel_fired_at, now) <
+            static_cast<double>(config_.watchdog_grace_ms))
+          continue;
+        // Still no beat after the grace period: the thread is stuck
+        // between poll sites.  Answer the client, abandon the thread to
+        // finish into a stale generation, hand the queue to a fresh one.
+        lane.state.store(static_cast<std::uint8_t>(LaneState::Wedged),
+                         std::memory_order_relaxed);
+        counter("server.lane.wedged").add();
+        counter("server.lane.poisoned").add();
+        wedged.push_back(lane.current);
+        lane.current = nullptr;
+        recycle_locked(lane);
+      }
+    }
+    for (auto& job : wedged) {
+      JobResult result;
+      result.exit_code = kExitCancelled;
+      result.cancelled = true;
+      result.cancel_reason = static_cast<std::uint8_t>(job->cancel->reason());
+      result.output = std::string("run cancelled (") +
+                      cancel_reason_name(job->cancel->reason()) +
+                      "): lane wedged, recycled\n";
+      if (job->deliver(std::move(result)))
+        counter("server.jobs_cancelled").add();
+    }
+  }
+}
+
+void LanePool::close_and_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || drained_) return;
+    drained_ = true;
+  }
+  draining_.store(true, std::memory_order_release);
+  for (auto& lane : lanes_) lane->queue->close();
+  // Join every generation of every lane.  A lane can still recycle during
+  // the drain (a poisoned or wedged lane respawns so its remaining queued
+  // jobs reach their clients), so sweep until no joinable handle is left.
+  while (true) {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& lane : lanes_)
+        if (lane->thread.joinable()) to_join.push_back(std::move(lane->thread));
+      for (auto& thread : retired_)
+        if (thread.joinable()) to_join.push_back(std::move(thread));
+      retired_.clear();
+    }
+    if (to_join.empty()) break;
+    for (auto& thread : to_join) thread.join();
+  }
+  // The watchdog is stopped last so a lane wedged mid-drain still gets
+  // its client answered and its queue handed to a replacement.
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+  // A final sweep: the watchdog may have recycled between our last check
+  // and its stop (the replacement exits immediately on the closed queue).
+  while (true) {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& lane : lanes_)
+        if (lane->thread.joinable()) to_join.push_back(std::move(lane->thread));
+      for (auto& thread : retired_)
+        if (thread.joinable()) to_join.push_back(std::move(thread));
+      retired_.clear();
+    }
+    if (to_join.empty()) break;
+    for (auto& thread : to_join) thread.join();
+  }
+}
+
+}  // namespace sva

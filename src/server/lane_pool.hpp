@@ -1,0 +1,134 @@
+#pragma once
+// Multi-lane executor pool with per-lane fault isolation for the timing
+// daemon.
+//
+// N lanes each own a bounded JobQueue and one worker thread; a job is
+// bound to lane (spec_hash % N), so any given canonical spec always runs
+// on the same lane, in admission order.  That keeps daemon results
+// bit-identical to the single-executor design: identical specs serialize
+// on one lane (no result can depend on which of two racing copies won),
+// and distinct specs are independent computations the engine already
+// guarantees are schedule-invariant (bit-exact parallel STA, determinis-
+// tic context-cache fills).  Concurrency across lanes is therefore free
+// of result risk -- only throughput changes with --lanes.
+//
+// Fault isolation is per lane, three layers deep:
+//
+//   harness   every job runs under a crash harness: an armed
+//             "server.lane.run" failpoint, an escaping exception, or a
+//             CancelledError costs exactly that job, increments
+//             server.lane.poisoned, and recycles the lane thread (a
+//             fresh thread, same queue, next generation) -- the daemon
+//             and every other lane keep serving;
+//   watchdog  a scan thread watches per-job heartbeats (bumped by every
+//             CancelToken::poll() inside the work).  A job with no beat
+//             for watchdog_stall_ms gets its token fired; if it still
+//             does not wind down within watchdog_grace_ms the lane is
+//             declared wedged: the client is answered (cancelled), the
+//             stuck thread is abandoned to finish into a discard (its
+//             generation is stale), and a replacement thread takes over
+//             the lane's queue;
+//   delivery  a per-job CAS guard makes result delivery exactly-once,
+//             whoever wins -- the lane on a normal finish, the watchdog
+//             on a wedge -- so a late finisher can never double-fulfil
+//             the promise.
+//
+// close_and_drain() stops admissions, drains every queue, and joins all
+// threads (including retired generations), preserving the daemon's
+// graceful-shutdown contract.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/job_queue.hpp"
+
+namespace sva {
+
+enum class LaneState : std::uint8_t { Idle = 0, Running = 1, Wedged = 2 };
+const char* lane_state_name(LaneState state);
+
+class LanePool {
+ public:
+  struct Config {
+    std::size_t lanes = 1;
+    /// Admission bound across all lanes (queued jobs; a running job has
+    /// already left its queue, matching the single-executor semantics).
+    std::size_t queue_depth = 8;
+    /// No heartbeat for this long => fire the job's cancel token.
+    std::uint64_t watchdog_stall_ms = 10'000;
+    /// Token fired but still no beat for this long => wedge the lane.
+    std::uint64_t watchdog_grace_ms = 2'000;
+  };
+
+  explicit LanePool(Config config);
+  ~LanePool();
+
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
+
+  /// Spawn the lane threads and the watchdog.
+  void start();
+
+  /// Admit `job` to its hash-bound lane.  False (the caller answers
+  /// Busy) when the pool is draining or the queued backlog is at the
+  /// admission bound.
+  bool submit(std::shared_ptr<ServerJob> job);
+
+  /// Stop admissions, drain every admitted job to its waiting client,
+  /// and join all threads.  Idempotent.
+  void close_and_drain();
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  /// Jobs currently queued across all lanes.
+  std::size_t queued_depth() const;
+  std::size_t queue_capacity() const { return config_.queue_depth; }
+  std::vector<LaneState> lane_states() const;
+
+ private:
+  struct Lane {
+    std::size_t index = 0;
+    std::unique_ptr<JobQueue> queue;
+    std::atomic<std::uint8_t> state{0};
+    // Everything below is guarded by LanePool::mu_.
+    std::thread thread;
+    /// Bumped on every recycle; a thread whose generation is stale owns
+    /// nothing and exits without touching the lane.
+    std::uint64_t generation = 0;
+    std::shared_ptr<ServerJob> current;
+    std::chrono::steady_clock::time_point run_started{};
+    std::uint64_t seen_beat = 0;
+    std::chrono::steady_clock::time_point beat_seen_at{};
+    bool cancel_fired = false;
+    std::chrono::steady_clock::time_point cancel_fired_at{};
+  };
+
+  void lane_loop(std::size_t index, std::uint64_t my_generation);
+  /// Run one job under the crash harness.  Returns false when this
+  /// thread must exit (stale generation or poisoned-and-recycled).
+  bool run_one(Lane& lane, std::uint64_t my_generation,
+               const std::shared_ptr<ServerJob>& job);
+  void watchdog_loop();
+  /// mu_ held: retire the lane's current thread handle and spawn the
+  /// next generation on the same queue.
+  void recycle_locked(Lane& lane);
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Thread handles of recycled generations; joined at drain (every
+  /// retired thread finishes: injected delays are finite and stale
+  /// threads exit at their next generation check).
+  std::vector<std::thread> retired_;
+  std::thread watchdog_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace sva

@@ -26,6 +26,7 @@ bool known_type(std::uint8_t t) {
     case MsgType::ShutdownRequest:
     case MsgType::PingRequest:
     case MsgType::SstaRequest:
+    case MsgType::HealthRequest:
     case MsgType::ResultResponse:
     case MsgType::BusyResponse:
     case MsgType::ErrorResponse:
@@ -33,9 +34,48 @@ bool known_type(std::uint8_t t) {
     case MsgType::MetricsResponse:
     case MsgType::ShutdownAck:
     case MsgType::PongResponse:
+    case MsgType::HealthResponse:
       return true;
   }
   return false;
+}
+
+// The request codecs and the canonical spec identity share these writers,
+// so the hash that binds a job to a lane (and keys the result cache) can
+// never drift from the wire encoding: a request body is exactly
+// [spec fields][deadline_ms], and the canonical bytes are
+// [type tag][spec fields].
+void write_analyze_spec(ByteWriter& w, const AnalyzeJobSpec& spec) {
+  w.u64(spec.circuits.size());
+  for (const std::string& name : spec.circuits) w.str(name);
+  w.u8(spec.strict ? 1 : 0);
+}
+
+void write_optimize_spec(ByteWriter& w, const OptimizeJobSpec& spec) {
+  w.str(spec.circuit);
+  w.f64(spec.clock_period_ps);
+  w.u64(spec.max_moves);
+  w.f64(spec.window_ps);
+  w.u8(spec.corner_mode);
+  w.str(spec.csv_path);
+}
+
+void write_ssta_spec(ByteWriter& w, const SstaJobSpec& spec) {
+  w.str(spec.circuit);
+  w.f64(spec.clock_period_ps);
+  w.f64(spec.quantile);
+  w.u64(spec.mc_samples);
+  w.f64(spec.global_share);
+  w.str(spec.csv_path);
+}
+
+template <typename Spec>
+std::string canonical_bytes(MsgType tag, const Spec& spec,
+                            void (*write_spec)(ByteWriter&, const Spec&)) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(tag));
+  write_spec(w, spec);
+  return w.bytes();
 }
 
 }  // namespace
@@ -64,6 +104,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::ShutdownRequest: return "shutdown_request";
     case MsgType::PingRequest: return "ping_request";
     case MsgType::SstaRequest: return "ssta_request";
+    case MsgType::HealthRequest: return "health_request";
     case MsgType::ResultResponse: return "result_response";
     case MsgType::BusyResponse: return "busy_response";
     case MsgType::ErrorResponse: return "error_response";
@@ -71,6 +112,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::MetricsResponse: return "metrics_response";
     case MsgType::ShutdownAck: return "shutdown_ack";
     case MsgType::PongResponse: return "pong_response";
+    case MsgType::HealthResponse: return "health_response";
   }
   return "unknown";
 }
@@ -119,9 +161,7 @@ Frame decode_frame_payload(std::string_view payload) {
 
 std::string encode_analyze_request(const AnalyzeRequest& req) {
   ByteWriter w;
-  w.u64(req.spec.circuits.size());
-  for (const std::string& name : req.spec.circuits) w.str(name);
-  w.u8(req.spec.strict ? 1 : 0);
+  write_analyze_spec(w, req.spec);
   w.u64(req.deadline_ms);
   return w.bytes();
 }
@@ -146,12 +186,7 @@ AnalyzeRequest decode_analyze_request(std::string_view body) {
 
 std::string encode_optimize_request(const OptimizeRequest& req) {
   ByteWriter w;
-  w.str(req.spec.circuit);
-  w.f64(req.spec.clock_period_ps);
-  w.u64(req.spec.max_moves);
-  w.f64(req.spec.window_ps);
-  w.u8(req.spec.corner_mode);
-  w.str(req.spec.csv_path);
+  write_optimize_spec(w, req.spec);
   w.u64(req.deadline_ms);
   return w.bytes();
 }
@@ -177,14 +212,34 @@ OptimizeRequest decode_optimize_request(std::string_view body) {
 
 std::string encode_ssta_request(const SstaRequest& req) {
   ByteWriter w;
-  w.str(req.spec.circuit);
-  w.f64(req.spec.clock_period_ps);
-  w.f64(req.spec.quantile);
-  w.u64(req.spec.mc_samples);
-  w.f64(req.spec.global_share);
-  w.str(req.spec.csv_path);
+  write_ssta_spec(w, req.spec);
   w.u64(req.deadline_ms);
   return w.bytes();
+}
+
+// --- canonical spec identity ------------------------------------------
+
+std::string canonical_spec_bytes(const AnalyzeJobSpec& spec) {
+  return canonical_bytes(MsgType::AnalyzeRequest, spec, write_analyze_spec);
+}
+std::string canonical_spec_bytes(const OptimizeJobSpec& spec) {
+  return canonical_bytes(MsgType::OptimizeRequest, spec, write_optimize_spec);
+}
+std::string canonical_spec_bytes(const SstaJobSpec& spec) {
+  return canonical_bytes(MsgType::SstaRequest, spec, write_ssta_spec);
+}
+
+std::uint64_t job_spec_hash(const AnalyzeJobSpec& spec) {
+  const std::string bytes = canonical_spec_bytes(spec);
+  return fnv1a64_words(bytes.data(), bytes.size());
+}
+std::uint64_t job_spec_hash(const OptimizeJobSpec& spec) {
+  const std::string bytes = canonical_spec_bytes(spec);
+  return fnv1a64_words(bytes.data(), bytes.size());
+}
+std::uint64_t job_spec_hash(const SstaJobSpec& spec) {
+  const std::string bytes = canonical_spec_bytes(spec);
+  return fnv1a64_words(bytes.data(), bytes.size());
 }
 
 SstaRequest decode_ssta_request(std::string_view body) {
@@ -249,6 +304,7 @@ std::string encode_busy_response(const BusyResponse& busy) {
   ByteWriter w;
   w.u64(busy.queue_depth);
   w.u64(busy.max_depth);
+  w.u64(busy.retry_after_ms);
   return w.bytes();
 }
 
@@ -258,6 +314,7 @@ BusyResponse decode_busy_response(std::string_view body) {
     BusyResponse busy;
     busy.queue_depth = r.u64();
     busy.max_depth = r.u64();
+    busy.retry_after_ms = r.u64();
     r.expect_end();
     return busy;
   });
@@ -314,6 +371,32 @@ MetricsResponse decode_metrics_response(std::string_view body) {
     m.json = r.str();
     r.expect_end();
     return m;
+  });
+}
+
+std::string encode_health_response(const HealthResponse& h) {
+  ByteWriter w;
+  w.u64(h.uptime_ms);
+  w.u64(h.queue_depth);
+  w.u64(h.queue_capacity);
+  w.u64(h.jobs_served);
+  w.u64(h.lanes_poisoned);
+  w.str(h.lane_states);
+  return w.bytes();
+}
+
+HealthResponse decode_health_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    HealthResponse h;
+    h.uptime_ms = r.u64();
+    h.queue_depth = r.u64();
+    h.queue_capacity = r.u64();
+    h.jobs_served = r.u64();
+    h.lanes_poisoned = r.u64();
+    h.lane_states = r.str();
+    r.expect_end();
+    return h;
   });
 }
 

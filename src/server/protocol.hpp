@@ -40,7 +40,8 @@ namespace sva {
 /// server refuses to cross.
 inline constexpr std::uint32_t kFrameMagic = 0x46415653u;  // "SVAF" (LE)
 /// v1: analyze/optimize/metrics/shutdown/ping.  v2: adds SstaRequest.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: adds Health request/response and the Busy retry_after_ms hint.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Hard ceiling on one frame's payload: a corrupt length can neither
 /// trigger a huge allocation nor stall the reader.
 inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;  // 64 MiB
@@ -84,6 +85,7 @@ enum class MsgType : std::uint8_t {
   ShutdownRequest = 4,
   PingRequest = 5,
   SstaRequest = 6,
+  HealthRequest = 7,
 
   ResultResponse = 64,
   BusyResponse = 65,
@@ -92,6 +94,7 @@ enum class MsgType : std::uint8_t {
   MetricsResponse = 68,
   ShutdownAck = 69,
   PongResponse = 70,
+  HealthResponse = 71,
 };
 
 const char* msg_type_name(MsgType type);
@@ -140,6 +143,22 @@ OptimizeRequest decode_optimize_request(std::string_view body);
 std::string encode_ssta_request(const SstaRequest& req);
 SstaRequest decode_ssta_request(std::string_view body);
 
+// --- canonical spec identity ------------------------------------------
+
+/// Canonical content bytes of a job spec: a message-type tag followed by
+/// exactly the fields that shape the result -- no deadline, no local-only
+/// checkpoint paths.  Two requests with equal canonical bytes are the
+/// same job, whatever their deadlines; the FNV hash over them drives
+/// both the deterministic job->lane binding and the result-cache key.
+std::string canonical_spec_bytes(const AnalyzeJobSpec& spec);
+std::string canonical_spec_bytes(const OptimizeJobSpec& spec);
+std::string canonical_spec_bytes(const SstaJobSpec& spec);
+
+/// fnv1a64_words over canonical_spec_bytes(spec).
+std::uint64_t job_spec_hash(const AnalyzeJobSpec& spec);
+std::uint64_t job_spec_hash(const OptimizeJobSpec& spec);
+std::uint64_t job_spec_hash(const SstaJobSpec& spec);
+
 // --- response bodies --------------------------------------------------
 
 /// A finished job: the exact stdout text and artifact bytes the direct
@@ -147,10 +166,13 @@ SstaRequest decode_ssta_request(std::string_view body);
 std::string encode_result_response(const JobResult& result);
 JobResult decode_result_response(std::string_view body);
 
-/// Admission control rejection: the queue was full.
+/// Admission control rejection: the queue was full.  retry_after_ms is
+/// the server's earliest-useful-retry estimate (queued backlog times the
+/// recent mean job time; 0 = no estimate), monotone in queue depth.
 struct BusyResponse {
   std::uint64_t queue_depth = 0;
   std::uint64_t max_depth = 0;
+  std::uint64_t retry_after_ms = 0;
 };
 std::string encode_busy_response(const BusyResponse& busy);
 BusyResponse decode_busy_response(std::string_view body);
@@ -179,5 +201,20 @@ struct MetricsResponse {
 };
 std::string encode_metrics_response(const MetricsResponse& m);
 MetricsResponse decode_metrics_response(std::string_view body);
+
+/// Liveness snapshot for `sva ping`: answered inline (never queued), so
+/// a response proves the accept loop and the protocol path are healthy
+/// even while every lane is busy.
+struct HealthResponse {
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t queue_depth = 0;     ///< jobs currently queued (all lanes)
+  std::uint64_t queue_capacity = 0;  ///< admission bound
+  std::uint64_t jobs_served = 0;     ///< results delivered since start
+  std::uint64_t lanes_poisoned = 0;  ///< lane recycles since start
+  /// One LaneState byte per lane (0 idle, 1 running, 2 wedged).
+  std::string lane_states;
+};
+std::string encode_health_response(const HealthResponse& h);
+HealthResponse decode_health_response(std::string_view body);
 
 }  // namespace sva

@@ -1,0 +1,52 @@
+#include "server/result_cache.hpp"
+
+#include "util/metrics.hpp"
+
+namespace sva {
+
+namespace {
+Counter& counter(const char* name) {
+  return MetricsRegistry::global().counter(name);
+}
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<JobResult> ResultCache::lookup(std::uint64_t spec_hash) {
+  if (capacity_ == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_hash_.find(spec_hash);
+  if (it == by_hash_.end()) {
+    counter("server.result_cache.misses").add();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  counter("server.result_cache.hits").add();
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t spec_hash, const JobResult& result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_hash_.find(spec_hash);
+  if (it != by_hash_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(spec_hash, result);
+  by_hash_[spec_hash] = lru_.begin();
+  counter("server.result_cache.insertions").add();
+  while (lru_.size() > capacity_) {
+    by_hash_.erase(lru_.back().first);
+    lru_.pop_back();
+    counter("server.result_cache.evictions").add();
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace sva

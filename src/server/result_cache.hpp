@@ -1,0 +1,54 @@
+#pragma once
+// Server-side result cache keyed by job-spec content hash.
+//
+// A daemon client that retries an analyze/ssta request -- after a Busy
+// rejection, a dropped connection, or a crashed lane -- resubmits the
+// exact same canonical spec bytes, so the spec hash makes retries
+// idempotent: a job that already completed successfully is answered from
+// the cache without re-execution.  Entries are the full JobResult (the
+// exact output text and artifact bytes the job produced), so a cache hit
+// is bit-identical to a recompute by construction.
+//
+// Only clean results are stored (exit code 0, no error, not cancelled):
+// failures and cancellations must re-execute, both because they are
+// cheap and because their outcome can legitimately change.  Optimize
+// jobs are never cached -- they mutate artifacts and their cost IS the
+// product.  Bounded LRU; every probe counts server.result_cache.hits /
+// .misses, every store counts .insertions and (on overflow) .evictions.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "server/jobs.hpp"
+
+namespace sva {
+
+class ResultCache {
+ public:
+  /// capacity 0 disables the cache entirely (every probe is a miss and
+  /// stores are dropped).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Probe by spec hash; a hit refreshes recency and returns a copy.
+  std::optional<JobResult> lookup(std::uint64_t spec_hash);
+
+  /// Store a clean result (the caller filters); evicts the least
+  /// recently used entry beyond capacity.  Overwrites an existing entry
+  /// for the same hash (identical by construction, but refreshes it).
+  void insert(std::uint64_t spec_hash, const JobResult& result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// MRU-first recency list; the map points into it.
+  std::list<std::pair<std::uint64_t, JobResult>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> by_hash_;
+};
+
+}  // namespace sva

@@ -3,8 +3,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <thread>
 
 #include "core/flow.hpp"
 #include "engine/options.hpp"
@@ -37,10 +39,40 @@ Frame result_frame(const JobResult& result) {
   return {MsgType::ResultResponse, encode_result_response(result)};
 }
 
+std::size_t resolve_lanes(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Each lane runs its job on the shared ThreadPool, so lanes beyond a
+  // handful only add queueing slots, not compute.
+  return std::min<std::size_t>(hw == 0 ? 1 : hw, 8);
+}
+
+double mean_job_exec_ms() {
+  const TimerStat& exec = MetricsRegistry::global().timer("server.job_exec");
+  const std::uint64_t n = exec.count();
+  return n == 0 ? 0.0 : exec.seconds() * 1e3 / static_cast<double>(n);
+}
+
 }  // namespace
 
+std::uint64_t estimate_retry_after_ms(std::size_t queue_depth,
+                                      double mean_job_ms) {
+  // Even with no job history the hint suggests a real pause, and the cap
+  // keeps a pathological mean from telling clients to sleep for minutes.
+  constexpr double kFloorMs = 25.0;
+  constexpr double kCapMs = 60'000.0;
+  const double per_job = std::max(mean_job_ms, kFloorMs);
+  const double estimate = static_cast<double>(queue_depth + 1) * per_job;
+  return static_cast<std::uint64_t>(std::min(estimate, kCapMs));
+}
+
 TimingServer::TimingServer(const SvaFlow& flow, ServerConfig config)
-    : flow_(flow), config_(std::move(config)), queue_(config_.queue_depth) {}
+    : flow_(flow),
+      config_(std::move(config)),
+      lanes_(LanePool::Config{resolve_lanes(config_.lanes),
+                              config_.queue_depth, config_.watchdog_stall_ms,
+                              config_.watchdog_grace_ms}),
+      result_cache_(config_.result_cache_capacity) {}
 
 TimingServer::~TimingServer() { reap_handlers(true); }
 
@@ -76,10 +108,12 @@ void TimingServer::reap_handlers(bool join_all) {
 
 int TimingServer::serve(ThreadPool& pool, const CancelToken* stop) {
   pool_ = &pool;
+  started_at_ = std::chrono::steady_clock::now();
   Fd listener = unix_listen(config_.socket_path);
   log_info("sva serve: listening on ", config_.socket_path, " (queue depth ",
-           config_.queue_depth, ")");
-  std::thread executor([this] { executor_loop(); });
+           config_.queue_depth, ", lanes ", lanes_.lane_count(),
+           ", result cache ", result_cache_.capacity(), ")");
+  lanes_.start();
 
   while (!stop_.load()) {
     if (stop != nullptr && stop->poll()) break;
@@ -117,8 +151,7 @@ int TimingServer::serve(ThreadPool& pool, const CancelToken* stop) {
   // its client, then the socket file disappears.
   stop_.store(true);
   listener.close_now();
-  queue_.close();
-  executor.join();
+  lanes_.close_and_drain();
   reap_handlers(true);
   ::unlink(config_.socket_path.c_str());
   // The lazily built sized library accumulated characterizations worth
@@ -134,60 +167,64 @@ int TimingServer::serve(ThreadPool& pool, const CancelToken* stop) {
   return 0;
 }
 
-void TimingServer::executor_loop() {
-  while (auto job = queue_.pop()) {
-    MetricsRegistry::global().timer("server.queue_wait").add_seconds(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      job->enqueued_at)
-            .count());
-    JobResult result;
-    {
-      ScopedTimer timer(MetricsRegistry::global().timer("server.job_exec"));
-      try {
-        result = job->work();
-      } catch (const CancelledError&) {
-        result = JobResult{};
-        result.exit_code = kExitCancelled;
-        result.cancelled = true;
-        result.cancel_reason =
-            static_cast<std::uint8_t>(job->cancel->reason());
-      } catch (const std::exception& e) {
-        result = JobResult{};
-        result.exit_code = kExitFatal;
-        result.error = e.what();
-      }
-    }
-    if (!result.error.empty())
-      counter("server.jobs_failed").add();
-    else if (result.cancelled)
-      counter("server.jobs_cancelled").add();
-    else
-      counter("server.jobs_completed").add();
-    job->done.set_value(std::move(result));
-  }
+HealthResponse TimingServer::health_snapshot() const {
+  HealthResponse h;
+  h.uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started_at_)
+          .count());
+  h.queue_depth = lanes_.queued_depth();
+  h.queue_capacity = lanes_.queue_capacity();
+  h.jobs_served = jobs_served_.load();
+  h.lanes_poisoned = counter("server.lane.poisoned").value();
+  for (const LaneState state : lanes_.lane_states())
+    h.lane_states.push_back(static_cast<char>(state));
+  return h;
 }
 
 void TimingServer::submit_and_wait(
-    int fd, std::uint64_t deadline_ms,
-    std::function<JobResult(const CancelToken*)> work) {
-  ServerJob job;
-  job.id = next_job_id_.fetch_add(1);
-  job.cancel = std::make_shared<CancelToken>();
+    int fd, std::uint64_t deadline_ms, std::uint64_t spec_hash, bool cacheable,
+    std::function<JobResult(const CancelToken*)> work, bool& keep_open) {
+  if (cacheable) {
+    if (std::optional<JobResult> cached = result_cache_.lookup(spec_hash)) {
+      // An idempotent replay: the exact bytes the first execution
+      // produced, so a retried request cannot diverge from its original.
+      jobs_served_.fetch_add(1);
+      try {
+        write_frame(fd, result_frame(*cached));
+      } catch (const std::exception& e) {
+        log_warn("server: response write failed (", e.what(), ")");
+      }
+      return;
+    }
+  }
+
+  auto job = std::make_shared<ServerJob>();
+  job->id = next_job_id_.fetch_add(1);
+  job->spec_hash = spec_hash;
+  job->cacheable = cacheable;
+  job->cancel = std::make_shared<CancelToken>();
   if (deadline_ms > 0)
-    job.cancel->set_deadline(
+    job->cancel->set_deadline(
         Deadline::after_seconds(static_cast<double>(deadline_ms) / 1000.0));
-  job.work = [w = std::move(work), token = job.cancel] {
+  // Armed before the job is shared, like the deadline: every poll() inside
+  // the work beats this counter for the watchdog.
+  job->cancel->set_heartbeat(&job->heartbeat);
+  job->work = [w = std::move(work), token = job->cancel] {
     return w(token.get());
   };
-  job.enqueued_at = std::chrono::steady_clock::now();
-  std::future<JobResult> done = job.done.get_future();
-  std::shared_ptr<CancelToken> cancel = job.cancel;
+  job->enqueued_at = std::chrono::steady_clock::now();
+  std::future<JobResult> done = job->done.get_future();
+  std::shared_ptr<CancelToken> cancel = job->cancel;
 
-  if (!queue_.try_push(std::move(job))) {
+  if (!lanes_.submit(job)) {
     counter("server.jobs_rejected").add();
-    write_frame(fd, {MsgType::BusyResponse,
-                     encode_busy_response({queue_.depth(),
-                                           queue_.max_depth()})});
+    const std::size_t depth = lanes_.queued_depth();
+    write_frame(fd,
+                {MsgType::BusyResponse,
+                 encode_busy_response(
+                     {depth, lanes_.queue_capacity(),
+                      estimate_retry_after_ms(depth, mean_job_exec_ms())})});
     return;
   }
   counter("server.jobs_accepted").add();
@@ -203,6 +240,22 @@ void TimingServer::submit_and_wait(
     }
   }
   const JobResult result = done.get();
+  if (result.lane_crashed) {
+    // The executor lane died before the job ran.  Drop the connection
+    // without a response: the client's transient-retry classification
+    // (EOF before any response byte) resubmits the identical spec, which
+    // lands on the recycled lane -- or, once completed, on the result
+    // cache.
+    counter("server.jobs_crashed").add();
+    log_warn("server: lane crashed under job ", job->id,
+             "; dropping connection for client retry (", result.error, ")");
+    keep_open = false;
+    return;
+  }
+  jobs_served_.fetch_add(1);
+  if (cacheable && result.exit_code == 0 && result.error.empty() &&
+      !result.cancelled)
+    result_cache_.insert(spec_hash, result);
   try {
     write_frame(fd, result_frame(result));
   } catch (const std::exception& e) {
@@ -215,6 +268,12 @@ void TimingServer::handle_request(int fd, const Frame& request,
   switch (request.type) {
     case MsgType::PingRequest:
       write_frame(fd, {MsgType::PongResponse, ""});
+      return;
+    case MsgType::HealthRequest:
+      // Answered inline, never queued: a health probe must succeed even
+      // while every lane is saturated.
+      write_frame(fd, {MsgType::HealthResponse,
+                       encode_health_response(health_snapshot())});
       return;
     case MsgType::MetricsRequest: {
       MetricsResponse m;
@@ -230,27 +289,35 @@ void TimingServer::handle_request(int fd, const Frame& request,
       return;
     case MsgType::AnalyzeRequest: {
       const AnalyzeRequest req = decode_analyze_request(request.body);
-      submit_and_wait(fd, req.deadline_ms,
+      submit_and_wait(fd, req.deadline_ms, job_spec_hash(req.spec),
+                      /*cacheable=*/true,
                       [this, spec = req.spec](const CancelToken* cancel) {
                         return run_analyze_job(flow_, *pool_, spec, cancel);
-                      });
+                      },
+                      keep_open);
       return;
     }
     case MsgType::OptimizeRequest: {
       const OptimizeRequest req = decode_optimize_request(request.body);
-      submit_and_wait(fd, req.deadline_ms,
+      // Never cached: optimize mutates artifacts and its cost is the
+      // product.
+      submit_and_wait(fd, req.deadline_ms, job_spec_hash(req.spec),
+                      /*cacheable=*/false,
                       [this, spec = req.spec](const CancelToken* cancel) {
                         return run_optimize_job(flow_, ensure_sized(), *pool_,
                                                 spec, cancel);
-                      });
+                      },
+                      keep_open);
       return;
     }
     case MsgType::SstaRequest: {
       const SstaRequest req = decode_ssta_request(request.body);
-      submit_and_wait(fd, req.deadline_ms,
+      submit_and_wait(fd, req.deadline_ms, job_spec_hash(req.spec),
+                      /*cacheable=*/true,
                       [this, spec = req.spec](const CancelToken* cancel) {
                         return run_ssta_job(flow_, *pool_, spec, cancel);
-                      });
+                      },
+                      keep_open);
       return;
     }
     default:

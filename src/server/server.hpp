@@ -6,29 +6,40 @@
 // (library OPC, pitch table, context cache -- warm-started from the
 // persistent cache where available) and hands it in; the SizedLibrary
 // the optimize path needs is built lazily on the first optimize request
-// and then stays hot.  serve() then runs three kinds of thread:
+// and then stays hot.  serve() then runs four kinds of thread:
 //
 //   accept loop     (caller's thread)  poll/accept, failpoint
 //                   "server.accept", spawns one handler per connection;
 //   handlers        read frames ("server.read" failpoint), answer
-//                   metrics/ping/shutdown inline, submit analyze and
-//                   optimize jobs to the bounded JobQueue -- a full
-//                   queue answers Busy immediately (admission control)
-//                   -- then wait on the job while watching the socket:
-//                   a client disconnect cancels that client's job only;
-//   executor        (one thread) pops admitted jobs in order and runs
-//                   them on the shared ThreadPool, so results are
-//                   independent of client arrival interleaving.
+//                   metrics/ping/health/shutdown inline, submit analyze/
+//                   optimize/ssta jobs to the LanePool -- a full backlog
+//                   answers Busy immediately with a retry_after_ms hint
+//                   (admission control) -- then wait on the job while
+//                   watching the socket: a client disconnect cancels
+//                   that client's job only;
+//   lanes           N executor lanes (--lanes), each owning a queue and
+//                   running its jobs on the shared ThreadPool.  A job is
+//                   bound to lane (spec_hash % N) so identical specs
+//                   serialize and results stay bit-identical to the
+//                   single-executor daemon; a crashing or cancelled job
+//                   poisons only its lane, which is recycled in place;
+//   watchdog        (inside the LanePool) heartbeat scanner that cancels
+//                   stuck jobs and replaces wedged lane threads.
 //
 // Each job carries its own CancelToken; a per-request deadline_ms is
-// armed at admission (queue wait counts).  Graceful shutdown -- SIGTERM/
-// SIGINT via the `stop` token, or a client Shutdown request -- stops
-// admissions, drains every admitted job to its waiting client, joins all
-// threads, unlinks the socket file, and returns 0.  A malformed or
-// faulted client frame drops that connection and nothing else: the
-// daemon survives every client-side byte sequence.
+// armed at admission (queue wait counts).  Clean analyze/ssta results
+// are remembered in a bounded LRU ResultCache keyed by the job-spec
+// content hash, which makes client retries idempotent: a replayed spec
+// is answered with the exact bytes of the first run without
+// re-execution.  Graceful shutdown -- SIGTERM/SIGINT via the `stop`
+// token, or a client Shutdown request -- stops admissions, drains every
+// admitted job to its waiting client, joins all threads, unlinks the
+// socket file, and returns 0.  A malformed or faulted client frame drops
+// that connection and nothing else: the daemon survives every
+// client-side byte sequence.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -37,7 +48,9 @@
 #include <vector>
 
 #include "server/job_queue.hpp"
+#include "server/lane_pool.hpp"
 #include "server/protocol.hpp"
+#include "server/result_cache.hpp"
 #include "server/socket.hpp"
 #include "util/cancel.hpp"
 
@@ -49,14 +62,28 @@ class ThreadPool;
 
 struct ServerConfig {
   std::string socket_path;
-  /// Admission-control bound: jobs queued-or-running beyond this are
-  /// rejected with a Busy response.
+  /// Admission-control bound: jobs queued beyond this are rejected with a
+  /// Busy response.
   std::size_t queue_depth = 8;
   /// Persistent cache directory for the lazily built SizedLibrary's
   /// context cache (empty disables; the flow's own cache is the
   /// caller's business).
   std::string cache_dir;
+  /// Executor lanes; 0 sizes from the hardware (capped, >= 1).
+  std::size_t lanes = 0;
+  /// Result-cache entries for clean analyze/ssta results; 0 disables
+  /// (the `sva serve` CLI defaults this on).
+  std::size_t result_cache_capacity = 0;
+  /// Watchdog thresholds; see LanePool::Config.
+  std::uint64_t watchdog_stall_ms = 10'000;
+  std::uint64_t watchdog_grace_ms = 2'000;
 };
+
+/// Busy-response backoff hint: how long a rejected client should wait
+/// before retrying, from the queued backlog and the recent mean job
+/// time.  Monotone in queue_depth and clamped to a sane range.
+std::uint64_t estimate_retry_after_ms(std::size_t queue_depth,
+                                      double mean_job_ms);
 
 class TimingServer {
  public:
@@ -79,13 +106,20 @@ class TimingServer {
   void request_stop();
 
   const ServerConfig& config() const { return config_; }
+  std::size_t lane_count() const { return lanes_.lane_count(); }
 
  private:
-  void executor_loop();
   void handle_connection(Fd fd);
   void handle_request(int fd, const Frame& request, bool& keep_open);
+  /// Admit one job (or answer Busy / the result cache) and stream the
+  /// response.  `keep_open` is cleared on a lane crash, where the
+  /// connection is dropped without a response so the client's
+  /// transient-retry path takes over.
   void submit_and_wait(int fd, std::uint64_t deadline_ms,
-                       std::function<JobResult(const CancelToken*)> work);
+                       std::uint64_t spec_hash, bool cacheable,
+                       std::function<JobResult(const CancelToken*)> work,
+                       bool& keep_open);
+  HealthResponse health_snapshot() const;
   /// The lazily built sized library (first optimize request pays for
   /// it); throws out of the executor on construction failure.
   const SizedLibrary& ensure_sized();
@@ -93,9 +127,12 @@ class TimingServer {
   const SvaFlow& flow_;
   ServerConfig config_;
   ThreadPool* pool_ = nullptr;
-  JobQueue queue_;
+  LanePool lanes_;
+  ResultCache result_cache_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> jobs_served_{0};
+  std::chrono::steady_clock::time_point started_at_{};
 
   std::unique_ptr<SizedLibrary> sized_;
   std::once_flag sized_once_;

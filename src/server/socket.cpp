@@ -15,7 +15,8 @@ namespace sva {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw SocketError(what + ": " + std::strerror(errno));
+  const int saved = errno;
+  throw SocketError(what + ": " + std::strerror(saved), saved);
 }
 
 sockaddr_un make_addr(const std::string& path) {

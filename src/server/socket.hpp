@@ -23,9 +23,17 @@
 namespace sva {
 
 /// Socket-level I/O failure (connect refused, mid-frame disconnect, ...).
+/// Carries the errno of the failing syscall (0 when none applies) so the
+/// client retry layer can classify connect-refused as transient without
+/// parsing message text.
 class SocketError : public Error {
  public:
-  explicit SocketError(const std::string& what) : Error(what) {}
+  explicit SocketError(const std::string& what, int errno_value = 0)
+      : Error(what), errno_value_(errno_value) {}
+  int errno_value() const { return errno_value_; }
+
+ private:
+  int errno_value_ = 0;
 };
 
 /// Move-only owning file descriptor.

@@ -12,6 +12,7 @@ const char* cancel_reason_name(CancelReason reason) {
     case CancelReason::Api: return "api";
     case CancelReason::Signal: return "signal";
     case CancelReason::Deadline: return "deadline";
+    case CancelReason::Watchdog: return "watchdog";
   }
   return "unknown";
 }
@@ -32,6 +33,8 @@ double Deadline::remaining_seconds() const {
 }
 
 bool CancelToken::poll() const {
+  if (heartbeat_ != nullptr)
+    heartbeat_->fetch_add(1, std::memory_order_relaxed);
   if (tripped_.load(std::memory_order_relaxed)) return true;
   if (deadline_.expired()) {
     request_cancel(CancelReason::Deadline);
@@ -48,6 +51,8 @@ void CancelToken::check() const {
     case CancelReason::Signal:
       throw CancelledError("cancelled by signal " +
                            std::to_string(signal_number()));
+    case CancelReason::Watchdog:
+      throw CancelledError("cancelled by watchdog (job stalled)");
     default:
       throw CancelledError("cancelled");
   }

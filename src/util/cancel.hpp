@@ -40,7 +40,14 @@ class CancelledError : public std::runtime_error {
 };
 
 /// Why a token tripped; the first request wins and is sticky.
-enum class CancelReason : int { None = 0, Api = 1, Signal = 2, Deadline = 3 };
+enum class CancelReason : int {
+  None = 0,
+  Api = 1,
+  Signal = 2,
+  Deadline = 3,
+  /// The server watchdog declared the job stuck (no heartbeat progress).
+  Watchdog = 4,
+};
 
 const char* cancel_reason_name(CancelReason reason);
 
@@ -96,6 +103,13 @@ class CancelToken {
   void set_deadline(const Deadline& deadline) { deadline_ = deadline; }
   const Deadline& deadline() const { return deadline_; }
 
+  /// Liveness hook for the server watchdog: while set, every poll()
+  /// increments `beat` (relaxed), so a watchdog distinguishes "long but
+  /// cooperative" from "stuck between poll sites".  cancelled() stays one
+  /// relaxed load and never beats.  Arm before handing the token to
+  /// workers, like set_deadline.
+  void set_heartbeat(std::atomic<std::uint64_t>* beat) { heartbeat_ = beat; }
+
   CancelReason reason() const {
     return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
   }
@@ -112,6 +126,7 @@ class CancelToken {
   mutable std::atomic<int> reason_{0};
   mutable std::atomic<int> signo_{0};
   Deadline deadline_;
+  std::atomic<std::uint64_t>* heartbeat_ = nullptr;
 };
 
 /// The process-wide token the CLI threads through every command.

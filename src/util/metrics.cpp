@@ -23,6 +23,30 @@ TimerStat& MetricsRegistry::timer(const std::string& name) {
   return *slot;
 }
 
+LogHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LogHistogram>();
+  return *slot;
+}
+
+std::vector<MetricsRegistry::HistogramSample>
+MetricsRegistry::snapshot_histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+      s.buckets[i] = h->bucket(i);
+      s.total += s.buckets[i];
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> out;
@@ -45,6 +69,11 @@ std::string MetricsRegistry::render() const {
     else
       std::snprintf(line, sizeof line, "  %-32s %10llu\n", s.name.c_str(),
                     static_cast<unsigned long long>(s.count));
+    out += line;
+  }
+  for (const HistogramSample& s : snapshot_histograms()) {
+    std::snprintf(line, sizeof line, "  %-32s %10llu samples (log2 buckets)\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.total));
     out += line;
   }
   return out;
@@ -83,13 +112,28 @@ std::string MetricsRegistry::render_json() const {
     }
     section += quoted(s.name) + buf;
   }
-  return "{\"counters\":{" + counters + "},\"timers\":{" + timers + "}}";
+  std::string histograms;
+  for (const HistogramSample& s : snapshot_histograms()) {
+    if (!histograms.empty()) histograms += ',';
+    std::snprintf(buf, sizeof buf, ":{\"total\":%llu,\"buckets\":[",
+                  static_cast<unsigned long long>(s.total));
+    histograms += quoted(s.name) + buf;
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%s%llu", i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(s.buckets[i]));
+      histograms += buf;
+    }
+    histograms += "]}";
+  }
+  return "{\"counters\":{" + counters + "},\"histograms\":{" + histograms +
+         "},\"timers\":{" + timers + "}}";
 }
 
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 }  // namespace sva

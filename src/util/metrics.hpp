@@ -8,6 +8,7 @@
 // give the CLI and benches a consistent view; reset() zeroes values between
 // batch runs without invalidating held references.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -58,6 +59,51 @@ class TimerStat {
   std::atomic<std::uint64_t> count_{0};
 };
 
+/// Bounded log2-bucket histogram for millisecond-scale durations.
+///
+/// Bucket 0 holds value 0, bucket i (1 <= i <= kBuckets-2) holds
+/// [2^(i-1), 2^i), and the last bucket absorbs everything at or above
+/// 2^(kBuckets-2) -- a fixed-footprint distribution (no allocation, one
+/// relaxed atomic add per sample) that is cheap enough for the daemon's
+/// per-job wait/run latencies.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 20;
+
+  void add(std::uint64_t value) {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Which bucket a value lands in (exposed for tests).
+  static std::size_t bucket_of(std::uint64_t value) {
+    if (value == 0) return 0;
+    std::size_t b = 1;
+    while (value > 1 && b + 1 < kBuckets) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_floor(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
 /// One row of a metrics snapshot.
 struct MetricSample {
   std::string name;
@@ -76,15 +122,26 @@ class MetricsRegistry {
   /// registry's lifetime.
   Counter& counter(const std::string& name);
   TimerStat& timer(const std::string& name);
+  LogHistogram& histogram(const std::string& name);
 
   std::vector<MetricSample> snapshot() const;
+  /// Name + bucket counts of every registered histogram, sorted by name.
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, LogHistogram::kBuckets> buckets{};
+  };
+  std::vector<HistogramSample> snapshot_histograms() const;
   /// Aligned "name  value" listing, sorted by name; empty string when no
   /// metric has fired yet.
   std::string render() const;
   /// Machine-readable snapshot:
-  ///   {"counters":{"name":N,...},"timers":{"name":{"seconds":S,"count":N}}}
-  /// (stable key order -- the registry iterates sorted names), so daemon
-  /// metrics are scrapeable via --metrics-json and the server's
+  ///   {"counters":{"name":N,...},
+  ///    "histograms":{"name":{"total":N,"buckets":[...]},...},
+  ///    "timers":{"name":{"seconds":S,"count":N}}}
+  /// Key order is stable: the three sections appear alphabetically and
+  /// the registry iterates sorted names within each, so daemon metrics
+  /// are scrapeable (and diffable) via --metrics-json and the server's
   /// `metrics` request.
   std::string render_json() const;
   /// Zero every value; held Counter/TimerStat references stay valid.
@@ -94,6 +151,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<TimerStat>> timers_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
 };
 
 /// RAII wall-time sample into a TimerStat.

@@ -24,7 +24,9 @@
 #include "server/client.hpp"
 #include "server/job_queue.hpp"
 #include "server/jobs.hpp"
+#include "server/lane_pool.hpp"
 #include "server/protocol.hpp"
+#include "server/result_cache.hpp"
 #include "server/server.hpp"
 #include "server/socket.hpp"
 #include "util/cancel.hpp"
@@ -83,12 +85,12 @@ ProtoStatus reject_status(std::string_view payload) {
 
 TEST(ProtocolCodecTest, GoldenPingFrameBytes) {
   // The full wire bytes of an empty-body ping, fixed by the protocol:
-  // magic "SVAF", payload length 21, version 2, type 5, fnv1a64 of the
+  // magic "SVAF", payload length 21, version 3, type 5, fnv1a64 of the
   // empty body, and a zero-length body.  Platform-stable because the
   // codec is fixed little-endian.
   static const unsigned char kGolden[] = {
       0x53, 0x56, 0x41, 0x46, 0x15, 0x00, 0x00, 0x00,  // "SVAF", len=21
-      0x02, 0x00, 0x00, 0x00,                          // version 2
+      0x03, 0x00, 0x00, 0x00,                          // version 3
       0x05,                                            // PingRequest
       0xdf, 0xb7, 0x01, 0x86, 0x4c, 0xbd, 0x63, 0xaf,  // fnv1a64("")
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 0
@@ -108,7 +110,7 @@ TEST(ProtocolCodecTest, GoldenAnalyzeFrameBytes) {
   req.spec.circuits = {"C17"};
   static const unsigned char kGolden[] = {
       0x53, 0x56, 0x41, 0x46, 0x31, 0x00, 0x00, 0x00,  // "SVAF", len=49
-      0x02, 0x00, 0x00, 0x00,                          // version 2
+      0x03, 0x00, 0x00, 0x00,                          // version 3
       0x01,                                            // AnalyzeRequest
       0x56, 0x14, 0x4f, 0x19, 0xe8, 0x03, 0x7d, 0x31,  // body checksum
       0x1c, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 28
@@ -201,9 +203,27 @@ TEST(ProtocolCodecTest, ResponseBodiesRoundTrip) {
   EXPECT_EQ(r2.artifacts[0].bytes, result.artifacts[0].bytes);
 
   const BusyResponse busy =
-      decode_busy_response(encode_busy_response({7, 8}));
+      decode_busy_response(encode_busy_response({7, 8, 450}));
   EXPECT_EQ(busy.queue_depth, 7u);
   EXPECT_EQ(busy.max_depth, 8u);
+  EXPECT_EQ(busy.retry_after_ms, 450u);
+
+  HealthResponse health;
+  health.uptime_ms = 12345;
+  health.queue_depth = 2;
+  health.queue_capacity = 8;
+  health.jobs_served = 41;
+  health.lanes_poisoned = 3;
+  health.lane_states = {char(LaneState::Idle), char(LaneState::Running),
+                        char(LaneState::Wedged)};
+  const HealthResponse h2 =
+      decode_health_response(encode_health_response(health));
+  EXPECT_EQ(h2.uptime_ms, health.uptime_ms);
+  EXPECT_EQ(h2.queue_depth, health.queue_depth);
+  EXPECT_EQ(h2.queue_capacity, health.queue_capacity);
+  EXPECT_EQ(h2.jobs_served, health.jobs_served);
+  EXPECT_EQ(h2.lanes_poisoned, health.lanes_poisoned);
+  EXPECT_EQ(h2.lane_states, health.lane_states);
 
   const ErrorResponse err = decode_error_response(
       encode_error_response({ProtoStatus::VersionMismatch, "nope"}));
@@ -365,11 +385,11 @@ TEST(SocketFramingTest, MidFrameEofIsRejectedAsTruncated) {
 
 // --- job queue --------------------------------------------------------
 
-ServerJob make_job(std::uint64_t id) {
-  ServerJob job;
-  job.id = id;
-  job.cancel = std::make_shared<CancelToken>();
-  job.work = [] { return JobResult{}; };
+std::shared_ptr<ServerJob> make_job(std::uint64_t id) {
+  auto job = std::make_shared<ServerJob>();
+  job->id = id;
+  job->cancel = std::make_shared<CancelToken>();
+  job->work = [] { return JobResult{}; };
   return job;
 }
 
@@ -381,8 +401,8 @@ TEST(JobQueueTest, AdmissionControlRejectsBeyondMaxDepth) {
   EXPECT_EQ(queue.depth(), 2u);
   EXPECT_EQ(queue.peak_depth(), 2u);
 
-  std::optional<ServerJob> first = queue.pop();
-  ASSERT_TRUE(first.has_value());
+  std::shared_ptr<ServerJob> first = queue.pop();
+  ASSERT_NE(first, nullptr);
   EXPECT_EQ(first->id, 1u);  // admission order
   EXPECT_TRUE(queue.try_push(make_job(4)));  // slot freed
 }
@@ -393,21 +413,21 @@ TEST(JobQueueTest, CloseStopsAdmissionsButDrainsTheBacklog) {
   EXPECT_TRUE(queue.try_push(make_job(2)));
   queue.close();
   EXPECT_FALSE(queue.try_push(make_job(3)));  // closed: no new admissions
-  std::optional<ServerJob> a = queue.pop();
-  std::optional<ServerJob> b = queue.pop();
-  ASSERT_TRUE(a.has_value());
-  ASSERT_TRUE(b.has_value());
+  std::shared_ptr<ServerJob> a = queue.pop();
+  std::shared_ptr<ServerJob> b = queue.pop();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
   EXPECT_EQ(a->id, 1u);
   EXPECT_EQ(b->id, 2u);
-  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+  EXPECT_EQ(queue.pop(), nullptr);  // closed and drained
 }
 
 TEST(JobQueueTest, PopBlocksUntilAJobArrives) {
   JobQueue queue(2);
   std::atomic<bool> popped{false};
   std::thread consumer([&] {
-    std::optional<ServerJob> job = queue.pop();
-    EXPECT_TRUE(job.has_value());
+    std::shared_ptr<ServerJob> job = queue.pop();
+    EXPECT_NE(job, nullptr);
     popped.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -415,6 +435,43 @@ TEST(JobQueueTest, PopBlocksUntilAJobArrives) {
   EXPECT_TRUE(queue.try_push(make_job(1)));
   consumer.join();
   EXPECT_TRUE(popped.load());
+}
+
+TEST(JobQueueTest, CloseDrainRaceNeverDropsAnAdmittedJob) {
+  // Pushers race a close(): every job is either refused at admission or
+  // drained by the consumers -- admitted == popped, nothing vanishes.
+  // Run under TSan via scripts/check.sh to validate the locking too.
+  constexpr int kPushers = 4;
+  constexpr int kJobsPerPusher = 200;
+  JobQueue queue(kPushers * kJobsPerPusher);
+  std::atomic<std::uint64_t> admitted{0}, refused{0}, popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.pop() != nullptr) popped.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&, p] {
+      for (int j = 0; j < kJobsPerPusher; ++j) {
+        if (queue.try_push(make_job(std::uint64_t(p) * kJobsPerPusher + j)))
+          admitted.fetch_add(1);
+        else
+          refused.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.close();
+  for (std::thread& t : pushers) t.join();
+  for (std::thread& t : consumers) t.join();
+
+  EXPECT_EQ(admitted.load() + refused.load(),
+            std::uint64_t(kPushers) * kJobsPerPusher);
+  EXPECT_EQ(popped.load(), admitted.load())
+      << "admitted jobs must be drained, not dropped";
 }
 
 // --- live daemon ------------------------------------------------------
@@ -434,9 +491,28 @@ struct ServerHarness {
   std::thread thread;
   int exit_code = -1;
 
-  explicit ServerHarness(std::size_t queue_depth = 8)
+  static ServerConfig make_config(const std::string& path,
+                                  std::size_t queue_depth, std::size_t lanes,
+                                  std::size_t result_cache,
+                                  std::uint64_t stall_ms,
+                                  std::uint64_t grace_ms) {
+    ServerConfig cfg;
+    cfg.socket_path = path;
+    cfg.queue_depth = queue_depth;
+    cfg.lanes = lanes;
+    cfg.result_cache_capacity = result_cache;
+    cfg.watchdog_stall_ms = stall_ms;
+    cfg.watchdog_grace_ms = grace_ms;
+    return cfg;
+  }
+
+  explicit ServerHarness(std::size_t queue_depth = 8, std::size_t lanes = 0,
+                         std::size_t result_cache = 0,
+                         std::uint64_t stall_ms = 10'000,
+                         std::uint64_t grace_ms = 2'000)
       : server(shared_flow(),
-               ServerConfig{socket_path, queue_depth, std::string()}) {
+               make_config(socket_path, queue_depth, lanes, result_cache,
+                           stall_ms, grace_ms)) {
     thread = std::thread([this] { exit_code = server.serve(pool); });
     wait_until_listening();
   }
@@ -750,7 +826,9 @@ TEST(TimingServerTest, FullQueueAnswersBusyInsteadOfBlocking) {
   // Depth 1: one job executing, one queued, the third must be rejected.
   // The injected per-job delay pins job A in the executor long enough
   // that B is still parked in the queue when C asks for admission.
-  ServerHarness harness(1);
+  // Pinned to one lane: admission counts queued jobs only, so a second
+  // lane would pop C499 instantly and free the slot.
+  ServerHarness harness(1, /*lanes=*/1);
   FailPointGuard guard;
   FailPoints::set("batch.job", "delay(1500)");
 
@@ -778,6 +856,7 @@ TEST(TimingServerTest, FullQueueAnswersBusyInsteadOfBlocking) {
   ASSERT_EQ(response.type, MsgType::BusyResponse);
   const BusyResponse busy = decode_busy_response(response.body);
   EXPECT_EQ(busy.max_depth, 1u);
+  EXPECT_GT(busy.retry_after_ms, 0u);
 
   // Dropping the slow clients cancels their jobs so teardown is quick.
   slow_a.close_now();
@@ -792,6 +871,314 @@ TEST(TimingServerTest, ShutdownRequestDrainsAndRemovesTheSocketFile) {
   struct stat st;
   EXPECT_NE(::stat(harness.socket_path.c_str(), &st), 0)
       << "socket file orphaned after a graceful drain";
+}
+
+// --- lane binding and result cache ------------------------------------
+
+TEST(SpecHashTest, CanonicalBytesCoverTheResultShapingFieldsOnly) {
+  AnalyzeJobSpec a;
+  a.circuits = {"C432", "C880"};
+  AnalyzeJobSpec b = a;
+  EXPECT_EQ(job_spec_hash(a), job_spec_hash(b));
+
+  // Checkpoint plumbing is local-only and never shapes the result: two
+  // specs differing only there are the same job (and cache entry).
+  b.resume_path = "foo.ckpt";
+  b.checkpoint_path = "bar.ckpt";
+  EXPECT_EQ(job_spec_hash(a), job_spec_hash(b));
+
+  b = a;
+  b.circuits = {"C880", "C432"};  // order shapes the output text
+  EXPECT_NE(job_spec_hash(a), job_spec_hash(b));
+  b = a;
+  b.strict = true;
+  EXPECT_NE(job_spec_hash(a), job_spec_hash(b));
+
+  // The type tag keeps an analyze and an ssta of the "same" circuit from
+  // colliding in the cache.
+  SstaJobSpec s;
+  s.circuit = "C432";
+  AnalyzeJobSpec single;
+  single.circuits = {"C432"};
+  EXPECT_NE(job_spec_hash(single), job_spec_hash(s));
+
+  OptimizeJobSpec o1, o2;
+  o1.circuit = o2.circuit = "C17";
+  o2.resume_path = "x.ckpt";  // local-only again
+  EXPECT_EQ(job_spec_hash(o1), job_spec_hash(o2));
+  o2.resume_path.clear();
+  o2.max_moves = o1.max_moves + 1;
+  EXPECT_NE(job_spec_hash(o1), job_spec_hash(o2));
+}
+
+TEST(RetryHintTest, BusyRetryHintIsMonotoneInQueueDepth) {
+  std::uint64_t prev = 0;
+  for (std::size_t depth = 0; depth < 64; ++depth) {
+    const std::uint64_t hint = estimate_retry_after_ms(depth, 40.0);
+    EXPECT_GE(hint, prev) << "depth " << depth;
+    EXPECT_GT(hint, 0u);
+    prev = hint;
+  }
+  // A mean below the floor still yields a usable hint, and the hint is
+  // capped so a pathological mean cannot park clients for hours.
+  EXPECT_GT(estimate_retry_after_ms(0, 0.0), 0u);
+  EXPECT_LE(estimate_retry_after_ms(1u << 20, 1e9), 60'000u);
+}
+
+TEST(ResultCacheTest, BoundedLruEvictsTheLeastRecentlyUsed) {
+  ResultCache cache(2);
+  JobResult r1, r2, r3;
+  r1.output = "one";
+  r2.output = "two";
+  r3.output = "three";
+  cache.insert(1, r1);
+  cache.insert(2, r2);
+  ASSERT_TRUE(cache.lookup(1).has_value());  // refresh: 1 is now MRU
+  cache.insert(3, r3);                       // evicts 2, the LRU
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  std::optional<JobResult> hit1 = cache.lookup(1);
+  std::optional<JobResult> hit3 = cache.lookup(3);
+  ASSERT_TRUE(hit1.has_value());
+  ASSERT_TRUE(hit3.has_value());
+  EXPECT_EQ(hit1->output, "one");
+  EXPECT_EQ(hit3->output, "three");
+  EXPECT_EQ(cache.size(), 2u);
+
+  ResultCache disabled(0);
+  disabled.insert(7, r1);
+  EXPECT_FALSE(disabled.lookup(7).has_value());
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(TimingServerTest, HealthProbeReportsLaneAndQueueState) {
+  ServerHarness harness(8, /*lanes=*/3);
+  const HealthResponse health = fetch_remote_health(harness.socket_path);
+  EXPECT_EQ(health.queue_capacity, 8u);
+  EXPECT_EQ(health.queue_depth, 0u);
+  ASSERT_EQ(health.lane_states.size(), 3u);
+  for (char state : health.lane_states)
+    EXPECT_NE(static_cast<LaneState>(state), LaneState::Wedged);
+
+  ServerClient client(harness.socket_path);
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  ASSERT_EQ(client
+                .call({MsgType::AnalyzeRequest, encode_analyze_request(req)})
+                .type,
+            MsgType::ResultResponse);
+  const HealthResponse after = fetch_remote_health(harness.socket_path);
+  EXPECT_GT(after.jobs_served, health.jobs_served);
+}
+
+TEST(TimingServerTest, MultiLaneOutputIsBitIdenticalToSingleLane) {
+  const SvaFlow& flow = shared_flow();
+  AnalyzeJobSpec analyze_spec;
+  analyze_spec.circuits = {"C432", "C880"};
+  SstaJobSpec ssta_spec;
+  ssta_spec.circuit = "C432";
+  ssta_spec.clock_period_ps = 2500.0;
+  ssta_spec.mc_samples = 100;
+  OptimizeRequest opt_req;
+  opt_req.spec.circuit = "C432";
+  opt_req.spec.max_moves = 4;
+
+  ThreadPool direct_pool(2);
+  const JobResult direct_analyze =
+      run_analyze_job(flow, direct_pool, analyze_spec, nullptr);
+  const JobResult direct_ssta =
+      run_ssta_job(flow, direct_pool, ssta_spec, nullptr);
+  ASSERT_EQ(direct_analyze.exit_code, 0);
+  ASSERT_EQ(direct_ssta.exit_code, 0);
+
+  // The same three jobs through a one-lane daemon (the old executor
+  // semantics) and a four-lane daemon must produce the same bytes --
+  // the deterministic lane binding argument, asserted.
+  JobResult analyze_by_lanes[2], ssta_by_lanes[2], opt_by_lanes[2];
+  const std::size_t lane_counts[2] = {1, 4};
+  for (int v = 0; v < 2; ++v) {
+    ServerHarness harness(8, lane_counts[v]);
+    ServerClient client(harness.socket_path);
+    AnalyzeRequest areq;
+    areq.spec = analyze_spec;
+    Frame resp =
+        client.call({MsgType::AnalyzeRequest, encode_analyze_request(areq)});
+    ASSERT_EQ(resp.type, MsgType::ResultResponse);
+    analyze_by_lanes[v] = decode_result_response(resp.body);
+
+    SstaRequest sreq;
+    sreq.spec = ssta_spec;
+    resp = client.call({MsgType::SstaRequest, encode_ssta_request(sreq)});
+    ASSERT_EQ(resp.type, MsgType::ResultResponse);
+    ssta_by_lanes[v] = decode_result_response(resp.body);
+
+    resp = client.call(
+        {MsgType::OptimizeRequest, encode_optimize_request(opt_req)});
+    ASSERT_EQ(resp.type, MsgType::ResultResponse);
+    opt_by_lanes[v] = decode_result_response(resp.body);
+  }
+
+  EXPECT_EQ(strip_variance(analyze_by_lanes[0].output),
+            strip_variance(direct_analyze.output));
+  EXPECT_EQ(strip_variance(analyze_by_lanes[1].output),
+            strip_variance(analyze_by_lanes[0].output));
+
+  for (int v = 0; v < 2; ++v) {
+    EXPECT_EQ(ssta_by_lanes[v].output, direct_ssta.output) << "lanes config "
+                                                           << v;
+    ASSERT_EQ(ssta_by_lanes[v].artifacts.size(),
+              direct_ssta.artifacts.size());
+    for (std::size_t i = 0; i < direct_ssta.artifacts.size(); ++i)
+      EXPECT_EQ(ssta_by_lanes[v].artifacts[i].bytes,
+                direct_ssta.artifacts[i].bytes);
+  }
+
+  EXPECT_EQ(opt_by_lanes[1].exit_code, opt_by_lanes[0].exit_code);
+  EXPECT_EQ(opt_by_lanes[1].output, opt_by_lanes[0].output);
+  ASSERT_EQ(opt_by_lanes[1].artifacts.size(), opt_by_lanes[0].artifacts.size());
+  for (std::size_t i = 0; i < opt_by_lanes[0].artifacts.size(); ++i)
+    EXPECT_EQ(opt_by_lanes[1].artifacts[i].bytes,
+              opt_by_lanes[0].artifacts[i].bytes);
+}
+
+TEST(TimingServerTest, CachedReplayIsByteIdenticalAndSkipsReExecution) {
+  ServerHarness harness(8, /*lanes=*/2, /*result_cache=*/16);
+  const std::uint64_t hits_before =
+      MetricsRegistry::global().counter("server.result_cache.hits").value();
+
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+
+  ServerClient first(harness.socket_path);
+  const Frame r1 = first.call({MsgType::AnalyzeRequest,
+                               encode_analyze_request(req)});
+  ASSERT_EQ(r1.type, MsgType::ResultResponse);
+  ServerClient second(harness.socket_path);
+  const Frame r2 = second.call({MsgType::AnalyzeRequest,
+                                encode_analyze_request(req)});
+  ASSERT_EQ(r2.type, MsgType::ResultResponse);
+
+  // A cache hit replays the stored result verbatim: byte-identical
+  // INCLUDING the wall-time trailer no two fresh runs ever agree on.
+  EXPECT_EQ(r2.body, r1.body);
+  EXPECT_GT(
+      MetricsRegistry::global().counter("server.result_cache.hits").value(),
+      hits_before);
+}
+
+// --- fault isolation ---------------------------------------------------
+
+TEST(TimingServerTest, LaneCrashIsIsolatedAndTransparentlyRetried) {
+  ServerHarness harness(8, /*lanes=*/2);
+  FailPointGuard guard;
+  const std::uint64_t poisoned_before =
+      MetricsRegistry::global().counter("server.lane.poisoned").value();
+
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  const Frame request{MsgType::AnalyzeRequest, encode_analyze_request(req)};
+
+  // Phase 1, deterministic: every lane run crashes.  A retry-less client
+  // sees the dropped connection as the transient failure it is.
+  FailPoints::set("server.lane.run", "throw");
+  EXPECT_THROW(call_server_with_retry(harness.socket_path, request, {}),
+               TransientError);
+  // The lane bumps the poison counter just after delivering the crash
+  // result, so give it a few ticks to land.
+  for (int i = 0; i < 100; ++i) {
+    if (MetricsRegistry::global().counter("server.lane.poisoned").value() >
+        poisoned_before)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(MetricsRegistry::global().counter("server.lane.poisoned").value(),
+            poisoned_before);
+
+  // The daemon survived the crash: the next request (faults cleared)
+  // runs on a recycled lane and succeeds.
+  FailPoints::clear("server.lane.run");
+  ServerClient probe(harness.socket_path);
+  ASSERT_EQ(probe.call(request).type, MsgType::ResultResponse);
+  const JobResult clean = decode_result_response(probe.call(request).body);
+  EXPECT_EQ(clean.exit_code, 0);
+
+  // Phase 2, probabilistic chaos: lanes crash 30% of the time while
+  // three clients hammer the daemon with retries.  Every client must
+  // land the correct bytes.
+  FailPoints::set("server.lane.run", "prob(0.3)");
+  ClientRetryConfig retry;
+  retry.retries = 25;
+  retry.initial_backoff = std::chrono::milliseconds(5);
+  retry.max_jitter = std::chrono::milliseconds(5);
+  constexpr int kClients = 3;
+  std::vector<std::string> failures(kClients);
+  std::vector<JobResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        const Frame resp =
+            call_server_with_retry(harness.socket_path, request, retry);
+        if (resp.type != MsgType::ResultResponse) {
+          failures[i] = std::string("unexpected response ") +
+                        msg_type_name(resp.type);
+          return;
+        }
+        results[i] = decode_result_response(resp.body);
+      } catch (const std::exception& e) {
+        failures[i] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  FailPoints::clear("server.lane.run");
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(failures[i].empty()) << "client " << i << ": " << failures[i];
+    EXPECT_EQ(results[i].exit_code, 0) << "client " << i;
+    EXPECT_EQ(strip_variance(results[i].output), strip_variance(clean.output))
+        << "client " << i;
+  }
+
+  // ...and after all that abuse the daemon still drains cleanly.
+  harness.stop();
+  EXPECT_EQ(harness.exit_code, 0);
+}
+
+TEST(TimingServerTest, WatchdogWedgesAStuckLaneAndRecyclesIt) {
+  // One lane, aggressive watchdog: a job that stops heartbeating for
+  // 200 ms gets its token fired; 300 ms later the lane is declared
+  // wedged, the client is answered, and a replacement thread takes over.
+  ServerHarness harness(8, /*lanes=*/1, /*result_cache=*/0,
+                        /*stall_ms=*/200, /*grace_ms=*/300);
+  FailPointGuard guard;
+  const std::uint64_t wedged_before =
+      MetricsRegistry::global().counter("server.lane.wedged").value();
+
+  // The injected delay sleeps inside the job body, far from any poll
+  // point -- exactly the "stuck, not cancellable" shape the watchdog
+  // exists for.
+  FailPoints::set("batch.job", "delay(3000)");
+  ServerClient stuck(harness.socket_path);
+  AnalyzeRequest req;
+  req.spec.circuits = {"C432"};
+  const Frame request{MsgType::AnalyzeRequest, encode_analyze_request(req)};
+  const Frame response = stuck.call(request);
+  ASSERT_EQ(response.type, MsgType::CancelledResponse);
+  const CancelledResponse cancelled =
+      decode_cancelled_response(response.body);
+  EXPECT_EQ(cancelled.reason,
+            static_cast<std::uint8_t>(CancelReason::Watchdog));
+  EXPECT_NE(cancelled.output.find("lane wedged"), std::string::npos);
+  EXPECT_GT(MetricsRegistry::global().counter("server.lane.wedged").value(),
+            wedged_before);
+
+  // The same spec -- bound to the same (now recycled) lane -- succeeds
+  // once the fault is gone, and other clients were never at risk.
+  FailPoints::clear("batch.job");
+  ServerClient next(harness.socket_path);
+  const Frame ok = next.call(request);
+  ASSERT_EQ(ok.type, MsgType::ResultResponse);
+  EXPECT_EQ(decode_result_response(ok.body).exit_code, 0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/interp.hpp"
 #include "util/rng.hpp"
+#include "util/metrics.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -453,6 +454,73 @@ TEST_P(MonotoneInterp, PreservesMonotonicity) {
 INSTANTIATE_TEST_SUITE_P(Sweep, MonotoneInterp,
                          ::testing::Values(0.0, 0.3, 0.9, 1.4, 2.0, 2.9,
                                            3.6));
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, LogHistogramBucketsArePowersOfTwo) {
+  // Bucket 0 is the zero bucket; bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(LogHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LogHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LogHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LogHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LogHistogram::bucket_of(7), 3u);
+  EXPECT_EQ(LogHistogram::bucket_of(8), 4u);
+  // The last bucket absorbs everything at or above its floor.
+  EXPECT_EQ(LogHistogram::bucket_of(~0ull), LogHistogram::kBuckets - 1);
+
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    // Every bucket floor maps back into its own bucket, and the value
+    // just below it into the previous one.
+    EXPECT_EQ(LogHistogram::bucket_of(LogHistogram::bucket_floor(i)), i);
+    if (i >= 2) {
+      EXPECT_EQ(LogHistogram::bucket_of(LogHistogram::bucket_floor(i) - 1),
+                i - 1);
+    }
+  }
+
+  LogHistogram h;
+  h.add(0);
+  h.add(5);
+  h.add(5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(LogHistogram::bucket_of(5)), 2u);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Metrics, RenderJsonHasStableKeyOrder) {
+  // Scrapers diff daemon snapshots, so the JSON layout is a contract:
+  // three alphabetical sections, names sorted within each.  Register in
+  // deliberately shuffled order and assert the output ignores it.
+  MetricsRegistry reg;
+  reg.counter("zeta").add(3);
+  reg.counter("alpha").add(1);
+  reg.timer("t.late").add_seconds(0.25);
+  reg.histogram("wait").add(4);
+  reg.histogram("run").add(0);
+  reg.timer("t.early").add_seconds(0.5);
+
+  const std::string json = reg.render_json();
+  const std::size_t counters = json.find("\"counters\"");
+  const std::size_t histograms = json.find("\"histograms\"");
+  const std::size_t timers = json.find("\"timers\"");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(histograms, std::string::npos);
+  ASSERT_NE(timers, std::string::npos);
+  EXPECT_LT(counters, histograms);
+  EXPECT_LT(histograms, timers);
+
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_LT(json.find("\"run\""), json.find("\"wait\""));
+  EXPECT_LT(json.find("\"t.early\""), json.find("\"t.late\""));
+
+  // Two renders of the same registry are byte-identical.
+  EXPECT_EQ(reg.render_json(), json);
+  EXPECT_NE(json.find("\"alpha\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":1"), std::string::npos);
+}
 
 }  // namespace
 }  // namespace sva
