@@ -278,6 +278,71 @@ int main() {
   std::printf("  first (execute): %8.3f ms   replay (cache hit): %8.3f ms\n\n",
               cache_miss_ns * 1e-6, cache_hit_ns * 1e-6);
 
+  // --- batched frames vs N single-spec connections. -------------------
+  // The same four analyze specs issued two ways against one daemon:
+  // sequentially over four fresh connections, and as one BatchRequest
+  // over a single connection.  The batch saves three connect/teardown
+  // round-trips and lets the lanes overlap the jobs; every slot must
+  // still be byte-identical to its single-connection answer (wall-time
+  // trailer aside) or the bench aborts.
+  std::uint64_t singles_ns = 0, batched_ns = 0;
+  {
+    BenchDaemon daemon(flow, scaling_pool, /*lanes=*/2, /*result_cache=*/0);
+    for (const std::string& c : batch)
+      query_daemon(daemon.config.socket_path, c);  // untimed warmup
+
+    BatchRequest req;
+    for (const std::string& c : batch) {
+      AnalyzeRequest a;
+      a.spec.circuits = {c};
+      req.items.push_back({static_cast<std::uint8_t>(MsgType::AnalyzeRequest),
+                           encode_analyze_request(a)});
+    }
+    constexpr int kBatchRounds = 5;
+    std::vector<std::uint64_t> singles_rounds, batched_rounds;
+    for (int r = 0; r < kBatchRounds; ++r) {
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<JobResult> singles;
+      for (const std::string& c : batch)
+        singles.push_back(query_daemon(daemon.config.socket_path, c));
+      singles_rounds.push_back(ns_of(t0));
+
+      t0 = std::chrono::steady_clock::now();
+      ServerClient client(daemon.config.socket_path);
+      const Frame response =
+          client.call({MsgType::BatchRequest, encode_batch_request(req)});
+      batched_rounds.push_back(ns_of(t0));
+      if (response.type != MsgType::BatchResponse)
+        throw Error(std::string("batch answered ") +
+                    msg_type_name(response.type));
+      const BatchResponse decoded = decode_batch_response(response.body);
+      if (decoded.slots.size() != batch.size())
+        throw Error("batch returned the wrong slot count");
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (decoded.slots[i].type != MsgType::ResultResponse)
+          throw Error("batch slot " + std::to_string(i) + " is not a result");
+        const JobResult slot = decode_result_response(decoded.slots[i].body);
+        if (strip_variance(slot.output) != strip_variance(singles[i].output))
+          throw Error("batch slot " + std::to_string(i) +
+                      " differs from its single-connection answer");
+      }
+    }
+    singles_ns = median(singles_rounds);
+    batched_ns = median(batched_rounds);
+  }
+  const double batch_speedup =
+      batched_ns > 0
+          ? static_cast<double>(singles_ns) / static_cast<double>(batched_ns)
+          : 0.0;
+  std::printf("batch of %zu specs, one connection vs %zu connections "
+              "(5-round median):\n", batch.size(), batch.size());
+  std::printf("  %zu single-spec connections: %8.3f ms\n", batch.size(),
+              singles_ns * 1e-6);
+  std::printf("  one batched connection:     %8.3f ms   (%.2fx)\n\n",
+              batched_ns * 1e-6, batch_speedup);
+  std::printf("batch slots bit-identical to single-connection answers "
+              "(wall-time trailer aside)\n\n");
+
   // --- JSON artifact. -------------------------------------------------
   std::string json = "{\n  \"bench\": \"server\",\n  \"circuit\": \"";
   json += kCircuit;
@@ -305,6 +370,14 @@ int main() {
   json += std::to_string(cache_miss_ns);
   json += ",\n  \"cache_hit_ns\": ";
   json += std::to_string(cache_hit_ns);
+  json += ",\n  \"batch_specs\": ";
+  json += std::to_string(batch.size());
+  json += ",\n  \"single_connections_ns\": ";
+  json += std::to_string(singles_ns);
+  json += ",\n  \"batched_connection_ns\": ";
+  json += std::to_string(batched_ns);
+  json += ",\n  \"batch_speedup\": ";
+  json += fmt(batch_speedup, 2);
   json += ",\n  \"bit_identical\": true\n}\n";
   write_text_file("BENCH_server.json", json);
   std::printf("wrote BENCH_server.json\n");

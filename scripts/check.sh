@@ -375,6 +375,102 @@ if "$CLI" ping --connect "$CHAOS_SOCK" >/dev/null 2>&1; then
 fi
 echo "chaos daemon drained on SIGTERM; ping reports the gone daemon"
 
+echo "== chaos over TCP: connection faults, retried clients byte-identical =="
+# The TCP transport under injected connection faults: each accepted
+# connection's first read throws with p=0.3, the daemon drops the peer
+# before any response byte, and the client's retry loop must absorb the
+# reset transparently -- landing the exact direct-run bytes.  The port is
+# kernel-assigned (:0) and discovered from the daemon's announce line.
+TCP_LOG="$CACHE_DIR/serve_tcp.log"
+SVA_FAILPOINTS="server.conn.read=prob(0.3)" \
+  "$CLI" serve --listen 127.0.0.1:0 --threads 2 --lanes 2 \
+  --cache-dir "$CACHE_DIR" > "$TCP_LOG" 2>&1 &
+tcp_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'listening on tcp:' "$TCP_LOG" && break; sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on tcp:127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+  "$TCP_LOG" | head -1)"
+if [[ -z "$PORT" ]]; then
+  echo "FAIL: TCP daemon never announced its bound port"
+  cat "$TCP_LOG"
+  exit 1
+fi
+TCP_URI="tcp:127.0.0.1:$PORT"
+tcp_pids=()
+for i in 1 2 3; do
+  "$CLI" analyze C432 C880 --connect "$TCP_URI" --retries 25 \
+    > "$CACHE_DIR/tcp_$i.txt" 2>&1 &
+  tcp_pids+=($!)
+done
+for i in 1 2 3; do
+  rc=0
+  wait "${tcp_pids[$((i - 1))]}" || rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "FAIL: TCP chaos client $i exited $rc"
+    cat "$CACHE_DIR/tcp_$i.txt"
+    exit 1
+  fi
+  if ! diff <(echo "$direct_out" | strip_variance) \
+            <(strip_variance < "$CACHE_DIR/tcp_$i.txt"); then
+    echo "FAIL: TCP chaos client $i output differs from the direct run"
+    exit 1
+  fi
+done
+echo "3 retried TCP clients identical to the direct run under connection faults"
+
+# The faults must actually have landed: the daemon logs every injected
+# drop.  Keep poking until one does (p=0.3 per connection).
+for _ in $(seq 1 25); do
+  grep -q 'server: connection dropped' "$TCP_LOG" && break
+  "$CLI" ping --connect "$TCP_URI" >/dev/null 2>&1 || true
+done
+if ! grep -q 'server: connection dropped' "$TCP_LOG"; then
+  echo "FAIL: no connection fault ever fired under prob(0.3)"
+  cat "$TCP_LOG"
+  exit 1
+fi
+echo "injected connection drops confirmed in the daemon log"
+
+# Batch: every job line ships over ONE connection and the slot outputs,
+# headers stripped, must reproduce the concatenated direct runs exactly
+# (only the "wrote <csv>" trailers name different files; the CSV
+# artifacts themselves must cmp equal).
+ssta_direct_tcp="$("$CLI" ssta C432 --clock 3.1 --mc 50 --threads 2 \
+  --cache-dir "$CACHE_DIR" --csv "$CACHE_DIR/ssta_tcp_direct.csv")"
+printf 'analyze C432 C880\nssta C432 --clock 3.1 --mc 50 --csv %s\n' \
+  "$CACHE_DIR/ssta_tcp_batch.csv" > "$CACHE_DIR/jobs.txt"
+if ! "$CLI" batch "$CACHE_DIR/jobs.txt" --connect "$TCP_URI" --retries 25 \
+     > "$CACHE_DIR/batch_out.txt" 2> "$CACHE_DIR/batch_err.txt"; then
+  echo "FAIL: batch client exited non-zero"
+  cat "$CACHE_DIR/batch_out.txt" "$CACHE_DIR/batch_err.txt"
+  exit 1
+fi
+if ! diff <({ echo "$direct_out"; echo "$ssta_direct_tcp"; } \
+            | strip_variance | grep -v '^wrote ') \
+          <(grep -v '^== batch job ' "$CACHE_DIR/batch_out.txt" \
+            | strip_variance | grep -v '^wrote '); then
+  echo "FAIL: batch slots differ from the concatenated direct runs"
+  exit 1
+fi
+if ! cmp -s "$CACHE_DIR/ssta_tcp_direct.csv" "$CACHE_DIR/ssta_tcp_batch.csv"; then
+  echo "FAIL: batch ssta CSV artifact differs from the direct run"
+  diff "$CACHE_DIR/ssta_tcp_direct.csv" "$CACHE_DIR/ssta_tcp_batch.csv" || true
+  exit 1
+fi
+echo "batched jobs over one TCP connection identical to the direct runs"
+
+# After the abuse, SIGTERM must still drain the TCP daemon cleanly.
+kill -TERM "$tcp_pid"
+rc=0
+wait "$tcp_pid" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+  echo "FAIL: TCP daemon exited $rc on SIGTERM, expected 0"
+  cat "$TCP_LOG"
+  exit 1
+fi
+echo "TCP daemon drained on SIGTERM (exit 0)"
+
 echo "== kernel bench smoke: compiled/scalar bit-identity on C432 =="
 cmake --build build -j --target bench_sta_kernel
 ./build/bench/bench_sta_kernel --smoke

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <stdexcept>
 
@@ -20,6 +21,7 @@
 #include "sta/path_report.hpp"
 #include "util/cache_gc.hpp"
 #include "util/cancel.hpp"
+#include "util/serialize.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
@@ -145,8 +147,9 @@ int cmd_paths(std::vector<std::string>& args, const EngineOptions& opts) {
   return 0;
 }
 
-int cmd_optimize(std::vector<std::string>& args, const EngineOptions& opts) {
-  if (args.empty()) return usage();
+/// optimize's circuit + flag tokens -> job spec; shared by cmd_optimize
+/// and `sva batch` file lines so both paths accept the same grammar.
+OptimizeJobSpec parse_optimize_spec(const std::vector<std::string>& args) {
   OptimizeJobSpec spec;
   spec.circuit = args[0];
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -174,6 +177,36 @@ int cmd_optimize(std::vector<std::string>& args, const EngineOptions& opts) {
       throw std::runtime_error("unknown optimize flag '" + flag + "'");
     }
   }
+  return spec;
+}
+
+/// ssta's circuit + flag tokens -> job spec (same sharing as above).
+SstaJobSpec parse_ssta_spec(const std::vector<std::string>& args) {
+  SstaJobSpec spec;
+  spec.circuit = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string flag = args[i];
+    if (flag == "--clock") {
+      spec.clock_period_ps =
+          parse_double_flag(flag, flag_value(args, i)) * 1000.0;
+    } else if (flag == "--quantile") {
+      spec.quantile = parse_double_flag(flag, flag_value(args, i));
+    } else if (flag == "--mc") {
+      spec.mc_samples = parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--global-share") {
+      spec.global_share = parse_double_flag(flag, flag_value(args, i));
+    } else if (flag == "--csv") {
+      spec.csv_path = flag_value(args, i);
+    } else {
+      throw std::runtime_error("unknown ssta flag '" + flag + "'");
+    }
+  }
+  return spec;
+}
+
+int cmd_optimize(std::vector<std::string>& args, const EngineOptions& opts) {
+  if (args.empty()) return usage();
+  OptimizeJobSpec spec = parse_optimize_spec(args);
   if (!opts.connect_path.empty()) {
     reject_checkpoint_flags_remote(opts);
     return run_remote_optimize(opts.connect_path,
@@ -198,25 +231,7 @@ int cmd_optimize(std::vector<std::string>& args, const EngineOptions& opts) {
 
 int cmd_ssta(std::vector<std::string>& args, const EngineOptions& opts) {
   if (args.empty()) return usage();
-  SstaJobSpec spec;
-  spec.circuit = args[0];
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    const std::string flag = args[i];
-    if (flag == "--clock") {
-      spec.clock_period_ps =
-          parse_double_flag(flag, flag_value(args, i)) * 1000.0;
-    } else if (flag == "--quantile") {
-      spec.quantile = parse_double_flag(flag, flag_value(args, i));
-    } else if (flag == "--mc") {
-      spec.mc_samples = parse_size_flag(flag, flag_value(args, i));
-    } else if (flag == "--global-share") {
-      spec.global_share = parse_double_flag(flag, flag_value(args, i));
-    } else if (flag == "--csv") {
-      spec.csv_path = flag_value(args, i);
-    } else {
-      throw std::runtime_error("unknown ssta flag '" + flag + "'");
-    }
-  }
+  SstaJobSpec spec = parse_ssta_spec(args);
   if (!opts.connect_path.empty()) {
     reject_checkpoint_flags_remote(opts);
     return run_remote_ssta(opts.connect_path, {spec, remote_deadline_ms(opts)},
@@ -231,6 +246,74 @@ int cmd_ssta(std::vector<std::string>& args, const EngineOptions& opts) {
   return emit_job_result(result);
 }
 
+/// `sva batch FILE --connect URI`: ship every job line of FILE to the
+/// daemon in one BatchRequest over one connection.  Each non-empty,
+/// non-'#' line is `analyze|optimize|ssta <args...>` with exactly the
+/// grammar of the standalone command; results come back in file order,
+/// and a malformed or failing line poisons only its own slot.
+int cmd_batch(std::vector<std::string>& args, const EngineOptions& opts) {
+  if (args.size() != 1) return usage();
+  if (opts.connect_path.empty()) {
+    std::fprintf(stderr, "batch requires --connect URI\n");
+    return usage();
+  }
+  reject_checkpoint_flags_remote(opts);
+  const std::string text = read_file_bytes(args[0]);
+
+  BatchRequest request;
+  std::vector<std::string> labels;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+      const std::size_t start = pos;
+      while (pos < line.size() && !std::isspace(static_cast<unsigned char>(line[pos]))) ++pos;
+      if (pos > start) tokens.push_back(line.substr(start, pos - start));
+    }
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+
+    const std::string verb = tokens[0];
+    std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+    if (rest.empty())
+      throw std::runtime_error("batch line '" + line +
+                               "': expected a benchmark after '" + verb + "'");
+    BatchItem item;
+    if (verb == "analyze") {
+      AnalyzeJobSpec spec;
+      spec.circuits = rest;
+      spec.strict = opts.strict;
+      item.kind = static_cast<std::uint8_t>(MsgType::AnalyzeRequest);
+      item.body = encode_analyze_request({spec, remote_deadline_ms(opts)});
+    } else if (verb == "optimize") {
+      item.kind = static_cast<std::uint8_t>(MsgType::OptimizeRequest);
+      item.body = encode_optimize_request(
+          {parse_optimize_spec(rest), remote_deadline_ms(opts)});
+    } else if (verb == "ssta") {
+      item.kind = static_cast<std::uint8_t>(MsgType::SstaRequest);
+      item.body = encode_ssta_request(
+          {parse_ssta_spec(rest), remote_deadline_ms(opts)});
+    } else {
+      throw std::runtime_error("batch line '" + line +
+                               "': unknown job kind '" + verb +
+                               "' (expected analyze, optimize, or ssta)");
+    }
+    request.items.push_back(std::move(item));
+    labels.push_back(line);
+  }
+  if (request.items.empty())
+    throw std::runtime_error("batch file '" + args[0] +
+                             "' contains no job lines");
+  return run_remote_batch(opts.connect_path, request, labels,
+                          client_retry(opts));
+}
+
 int cmd_serve(std::vector<std::string>& args, const EngineOptions& opts) {
   ServerConfig cfg;
   // The daemon caches clean analyze/ssta results by default; --result-cache 0
@@ -240,6 +323,21 @@ int cmd_serve(std::vector<std::string>& args, const EngineOptions& opts) {
     const std::string flag = args[i];
     if (flag == "--socket") {
       cfg.socket_path = flag_value(args, i);
+    } else if (flag == "--listen") {
+      cfg.listen_address = flag_value(args, i);
+    } else if (flag == "--max-conns") {
+      cfg.max_conns = parse_size_flag(flag, flag_value(args, i));
+      if (cfg.max_conns == 0)
+        throw std::runtime_error("--max-conns expects a positive integer");
+    } else if (flag == "--read-timeout-ms") {
+      cfg.conn_limits.read_timeout_ms =
+          parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--write-timeout-ms") {
+      cfg.conn_limits.write_timeout_ms =
+          parse_size_flag(flag, flag_value(args, i));
+    } else if (flag == "--idle-timeout-ms") {
+      cfg.conn_limits.idle_timeout_ms =
+          parse_size_flag(flag, flag_value(args, i));
     } else if (flag == "--queue-depth") {
       cfg.queue_depth = parse_size_flag(flag, flag_value(args, i));
       if (cfg.queue_depth == 0)
@@ -258,11 +356,15 @@ int cmd_serve(std::vector<std::string>& args, const EngineOptions& opts) {
       throw std::runtime_error("unknown serve flag '" + flag + "'");
     }
   }
-  if (cfg.socket_path.empty()) {
-    std::fprintf(stderr, "serve requires --socket PATH\n");
+  if (cfg.socket_path.empty() && cfg.listen_address.empty()) {
+    std::fprintf(stderr,
+                 "serve requires --socket PATH and/or --listen HOST:PORT\n");
     return usage();
   }
   if (opts.cache_enabled()) cfg.cache_dir = opts.cache_dir;
+  // Announce the bound endpoints on stdout: with --listen HOST:0 the
+  // kernel picks the port, and scripts discover it from this line.
+  cfg.announce = true;
   // Pay the expensive setup exactly once: the flow (library OPC, pitch
   // table, context cache) stays hot for every job the daemon answers.
   const SvaFlow flow{flow_config(opts)};
@@ -432,14 +534,22 @@ const std::vector<CommandSpec>& command_table() {
        "                         --global-share F, --csv PATH; default CSV:\n"
        "                         ssta_criticality.csv); --connect runs it\n"
        "                         remotely"},
-      {"serve", cmd_serve, "serve --socket PATH [flags]",
+      {"batch", cmd_batch, "batch <file>",
+       "ship every job line of <file> (analyze/optimize/ssta\n"
+       "                         <args...>, '#' comments) to the daemon at\n"
+       "                         --connect in one connection; results arrive\n"
+       "                         in file order and a bad line fails only its\n"
+       "                         own slot"},
+      {"serve", cmd_serve, "serve --socket PATH|--listen HOST:PORT [flags]",
        "long-lived daemon: load the library once, then answer\n"
        "                         analyze/optimize/ssta jobs from concurrent\n"
-       "                         clients over a Unix socket (flags:\n"
-       "                         --queue-depth N (8), --lanes N (hardware),\n"
-       "                         --result-cache N (128, 0 = off),\n"
-       "                         --watchdog-stall-ms MS, --watchdog-grace-ms\n"
-       "                         MS)"},
+       "                         clients over a Unix socket and/or TCP\n"
+       "                         (flags: --queue-depth N (8), --lanes N\n"
+       "                         (hardware), --result-cache N (128, 0 = off),\n"
+       "                         --max-conns N (64), --read-timeout-ms /\n"
+       "                         --write-timeout-ms / --idle-timeout-ms MS\n"
+       "                         (0 = off), --watchdog-stall-ms MS,\n"
+       "                         --watchdog-grace-ms MS)"},
       {"metrics", cmd_metrics, "metrics [--json]",
        "server-wide metrics of the daemon at --connect PATH"},
       {"ping", cmd_ping, "ping",
@@ -473,9 +583,10 @@ int usage() {
       "  --metrics              print engine counters/timers on exit\n"
       "  --metrics-json PATH    write the metrics snapshot as JSON to PATH\n"
       "                         on exit ('-' = stdout)\n"
-      "  --connect PATH         ship analyze/optimize/ssta to the `serve`\n"
-      "                         daemon\n"
-      "                         at this socket (no local library build)\n"
+      "  --connect URI          ship analyze/optimize/ssta/batch to the\n"
+      "                         `serve` daemon at this endpoint (no local\n"
+      "                         library build); URI is unix:PATH,\n"
+      "                         tcp:HOST:PORT, or a bare socket path\n"
       "  --retries N            with --connect: retry transient daemon\n"
       "                         failures (busy, refused, dropped before a\n"
       "                         response) up to N times with exponential\n"

@@ -58,17 +58,34 @@ int deliver_response(const Frame& response) {
 /// One attempt: connect, send, read one response.  Failures where the
 /// job cannot have produced anything observable are rethrown as
 /// TransientError for the retry loop; everything else propagates as-is.
-Frame attempt_call(const std::string& socket_path, const Frame& request) {
+/// The refused-connect classification is transport-agnostic: a TCP
+/// daemon that is down or restarting surfaces the same ECONNREFUSED a
+/// Unix one does.
+Frame attempt_call(const std::string& endpoint, const Frame& request) {
   Fd fd;
   try {
-    fd = unix_connect(socket_path);
+    fd = endpoint_connect(parse_endpoint(endpoint));
   } catch (const SocketError& e) {
     if (e.errno_value() == ECONNREFUSED)
       throw TransientError(e.what());  // daemon restarting / not up yet
     throw;
   }
   write_frame(fd.get(), request);
-  std::optional<Frame> response = read_frame(fd.get());
+  std::optional<Frame> response;
+  try {
+    response = read_frame(fd.get());
+  } catch (const SocketError& e) {
+    // A reset while waiting for the response: the daemon dropped the
+    // connection with our request bytes still unread (an injected
+    // connection fault, an eviction) -- nothing was delivered, and
+    // delivery only ever happens after a whole decoded frame, so a
+    // resubmit is as safe as the EOF case below.
+    if (e.errno_value() == ECONNRESET)
+      throw TransientError(
+          std::string("connection reset before a response arrived: ") +
+          e.what());
+    throw;
+  }
   if (!response)
     // EOF before any response byte: the daemon dropped the connection
     // deliberately (crashed lane) or died whole.  The job never
@@ -83,8 +100,8 @@ Frame attempt_call(const std::string& socket_path, const Frame& request) {
 
 }  // namespace
 
-ServerClient::ServerClient(const std::string& socket_path)
-    : fd_(unix_connect(socket_path)) {}
+ServerClient::ServerClient(const std::string& endpoint)
+    : fd_(endpoint_connect(parse_endpoint(endpoint))) {}
 
 Frame ServerClient::call(const Frame& request) {
   write_frame(fd_.get(), request);
@@ -94,7 +111,7 @@ Frame ServerClient::call(const Frame& request) {
   return *response;
 }
 
-Frame call_server_with_retry(const std::string& socket_path,
+Frame call_server_with_retry(const std::string& endpoint,
                              const Frame& request,
                              const ClientRetryConfig& retry) {
   RetryPolicy policy;
@@ -104,7 +121,7 @@ Frame call_server_with_retry(const std::string& socket_path,
   policy.transient_only = true;
   try {
     return with_retry("server call", policy,
-                      [&] { return attempt_call(socket_path, request); });
+                      [&] { return attempt_call(endpoint, request); });
   } catch (const BusyRetryError& e) {
     // Retry budget exhausted on Busy: hand the rejection to the caller
     // as the response it is.
@@ -112,31 +129,135 @@ Frame call_server_with_retry(const std::string& socket_path,
   }
 }
 
-int run_remote_analyze(const std::string& socket_path,
+int run_remote_analyze(const std::string& endpoint,
                        const AnalyzeRequest& request,
                        const ClientRetryConfig& retry) {
   return deliver_response(call_server_with_retry(
-      socket_path, {MsgType::AnalyzeRequest, encode_analyze_request(request)},
+      endpoint, {MsgType::AnalyzeRequest, encode_analyze_request(request)},
       retry));
 }
 
-int run_remote_optimize(const std::string& socket_path,
+int run_remote_optimize(const std::string& endpoint,
                         const OptimizeRequest& request,
                         const ClientRetryConfig& retry) {
   return deliver_response(call_server_with_retry(
-      socket_path, {MsgType::OptimizeRequest, encode_optimize_request(request)},
+      endpoint, {MsgType::OptimizeRequest, encode_optimize_request(request)},
       retry));
 }
 
-int run_remote_ssta(const std::string& socket_path, const SstaRequest& request,
+int run_remote_ssta(const std::string& endpoint, const SstaRequest& request,
                     const ClientRetryConfig& retry) {
   return deliver_response(call_server_with_retry(
-      socket_path, {MsgType::SstaRequest, encode_ssta_request(request)},
+      endpoint, {MsgType::SstaRequest, encode_ssta_request(request)},
       retry));
 }
 
-MetricsResponse fetch_remote_metrics(const std::string& socket_path) {
-  ServerClient client(socket_path);
+namespace {
+
+/// Cap on the summed busy-slot retry sleeps of one batch: a server that
+/// sheds every round cannot stall the client past this, whatever hints
+/// it sends.
+constexpr std::uint64_t kBatchRetrySleepCapMs = 60'000;
+
+/// Submit `sub` and return its decoded slots.  A connection-level Busy
+/// that survived call_server_with_retry's own budget comes back as a
+/// one-slot-per-item all-Busy round so the caller's slot loop handles
+/// both shedding modes uniformly.
+std::vector<BatchSlot> call_batch_round(const std::string& endpoint,
+                                        const BatchRequest& sub,
+                                        const ClientRetryConfig& retry) {
+  const Frame response = call_server_with_retry(
+      endpoint, {MsgType::BatchRequest, encode_batch_request(sub)}, retry);
+  if (response.type == MsgType::BusyResponse)
+    return std::vector<BatchSlot>(sub.items.size(),
+                                  {MsgType::BusyResponse, response.body});
+  if (response.type != MsgType::BatchResponse)
+    throw ProtocolError(ProtoStatus::BadType,
+                        std::string("expected batch_response, got ") +
+                            msg_type_name(response.type));
+  BatchResponse decoded = decode_batch_response(response.body);
+  if (decoded.slots.size() != sub.items.size())
+    throw ProtocolError(ProtoStatus::BadBody,
+                        "batch response carries " +
+                            std::to_string(decoded.slots.size()) +
+                            " slots for " + std::to_string(sub.items.size()) +
+                            " submitted specs");
+  return std::move(decoded.slots);
+}
+
+}  // namespace
+
+int run_remote_batch(const std::string& endpoint, const BatchRequest& request,
+                     const std::vector<std::string>& labels,
+                     const ClientRetryConfig& retry) {
+  const std::size_t n = request.items.size();
+  std::vector<BatchSlot> slots(n);
+  std::vector<std::size_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+
+  // First round ships the whole batch; later rounds resubmit only the
+  // Busy slots, honouring the server's retry_after_ms hint exactly like
+  // the single-spec retry loop (sleep = max(hint, backoff) + jitter),
+  // under a bounded budget so a shedding server cannot stall us forever.
+  auto backoff = retry.initial_backoff;
+  std::uint64_t slept_ms = 0;
+  int rounds_left = retry.retries;
+  while (true) {
+    BatchRequest sub;
+    sub.items.reserve(pending.size());
+    for (const std::size_t i : pending) sub.items.push_back(request.items[i]);
+    const std::vector<BatchSlot> round =
+        call_batch_round(endpoint, sub, retry);
+    std::vector<std::size_t> still_busy;
+    for (std::size_t k = 0; k < round.size(); ++k) {
+      slots[pending[k]] = round[k];
+      if (round[k].type == MsgType::BusyResponse)
+        still_busy.push_back(pending[k]);
+    }
+    pending = std::move(still_busy);
+    if (pending.empty()) break;
+    if (rounds_left <= 0 || slept_ms >= kBatchRetrySleepCapMs) {
+      std::fprintf(stderr,
+                   "batch: giving up on %zu busy slot(s) after %d %s\n",
+                   pending.size(), retry.retries,
+                   retry.retries == 1 ? "retry" : "retries");
+      break;
+    }
+    --rounds_left;
+    std::uint64_t hint_ms = 0;
+    for (const std::size_t i : pending) {
+      const BusyResponse busy = decode_busy_response(slots[i].body);
+      hint_ms = std::max(hint_ms, busy.retry_after_ms);
+    }
+    auto sleep_for = std::max(
+        backoff, std::chrono::milliseconds(static_cast<std::int64_t>(
+                     std::min(hint_ms, kBatchRetrySleepCapMs - slept_ms))));
+    sleep_for += retry_detail::jitter(retry.max_jitter);
+    MetricsRegistry::global().counter("io.retries").add();
+    std::this_thread::sleep_for(sleep_for);
+    slept_ms += static_cast<std::uint64_t>(sleep_for.count());
+    backoff *= 2;
+  }
+
+  // Deliver every slot in submission order through the same emit path a
+  // single-spec connection uses; the worst slot code picks the overall
+  // exit (any failure => kExitJobsFailed, mirroring --keep-going).
+  bool any_failed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels.size() == n)
+      std::printf("== batch job %zu/%zu: %s ==\n", i + 1, n,
+                  labels[i].c_str());
+    else
+      std::printf("== batch job %zu/%zu ==\n", i + 1, n);
+    std::fflush(stdout);
+    const int code = deliver_response({slots[i].type, slots[i].body});
+    if (code != 0) any_failed = true;
+  }
+  return any_failed ? kExitJobsFailed : kExitOk;
+}
+
+MetricsResponse fetch_remote_metrics(const std::string& endpoint) {
+  ServerClient client(endpoint);
   const Frame response = client.call({MsgType::MetricsRequest, ""});
   if (response.type != MsgType::MetricsResponse)
     throw ProtocolError(ProtoStatus::BadType,
@@ -145,8 +266,8 @@ MetricsResponse fetch_remote_metrics(const std::string& socket_path) {
   return decode_metrics_response(response.body);
 }
 
-HealthResponse fetch_remote_health(const std::string& socket_path) {
-  ServerClient client(socket_path);
+HealthResponse fetch_remote_health(const std::string& endpoint) {
+  ServerClient client(endpoint);
   const Frame response = client.call({MsgType::HealthRequest, ""});
   if (response.type != MsgType::HealthResponse)
     throw ProtocolError(ProtoStatus::BadType,
@@ -155,8 +276,8 @@ HealthResponse fetch_remote_health(const std::string& socket_path) {
   return decode_health_response(response.body);
 }
 
-void request_remote_shutdown(const std::string& socket_path) {
-  ServerClient client(socket_path);
+void request_remote_shutdown(const std::string& endpoint) {
+  ServerClient client(endpoint);
   const Frame response = client.call({MsgType::ShutdownRequest, ""});
   if (response.type != MsgType::ShutdownAck)
     throw ProtocolError(ProtoStatus::BadType,

@@ -1,20 +1,25 @@
 #pragma once
 // Client side of the `sva serve` protocol.
 //
-// `sva analyze/optimize --connect PATH` builds the same job spec the
+// `sva analyze/optimize --connect URI` builds the same job spec the
 // local command would execute, ships it to the daemon, and feeds the
 // response back through the shared emit_job_result() path -- so the
 // bytes the user sees (tables, CSV artifacts, exit codes, cancellation
 // reports) are identical to a direct run, minus the process-start and
-// flow-construction cost the daemon already paid.
+// flow-construction cost the daemon already paid.  The URI picks the
+// transport: `unix:PATH` (or a bare path) for a local daemon,
+// `tcp:HOST:PORT` for a remote one -- both speak the same frames and
+// the same retry classification (a refused TCP connect is ECONNREFUSED
+// exactly like a refused Unix connect).
 //
 // Failures are retried only when nothing observable can have happened:
 //
 //   transient (retried, --retries N)    Busy rejection (carrying the
 //     server's retry_after_ms hint), connect refused (no daemon had the
-//     socket yet / it was restarting), and a connection closed before
-//     the first response byte (the daemon dropped it deliberately after
-//     a lane crash -- the job never ran).  Each retry resubmits the
+//     socket yet / it was restarting), and a connection closed or reset
+//     before the first response byte (the daemon dropped it deliberately
+//     after a lane crash or connection fault -- nothing user-visible was
+//     delivered).  Each retry resubmits the
 //     identical spec, which the server deduplicates by content hash, so
 //     retries are idempotent end to end.
 //
@@ -37,8 +42,8 @@ namespace sva {
 class ServerClient {
  public:
   /// Connects immediately; throws SocketError when no daemon listens at
-  /// `socket_path`.
-  explicit ServerClient(const std::string& socket_path);
+  /// `endpoint` (`unix:PATH`, `tcp:HOST:PORT`, or a bare socket path).
+  explicit ServerClient(const std::string& endpoint);
 
   /// Send one request frame and block for the response frame.  Throws
   /// SocketError / ProtocolError on transport or framing failures
@@ -81,32 +86,44 @@ class BusyRetryError : public TransientError {
 /// One request/response exchange with bounded transient-only retry (see
 /// the classification above).  A Busy response that survives the retry
 /// budget is *returned*, not thrown, so callers handle it uniformly.
-Frame call_server_with_retry(const std::string& socket_path,
+Frame call_server_with_retry(const std::string& endpoint,
                              const Frame& request,
                              const ClientRetryConfig& retry = {});
 
-/// Ship an analyze/optimize job to the daemon at `socket_path` and
+/// Ship an analyze/optimize job to the daemon at `endpoint` and
 /// deliver the response exactly as the local command would (stdout
 /// bytes, artifact files, cancellation report).  Returns the process
 /// exit code; a Busy rejection that survives the retry budget reports on
 /// stderr and exits with the fatal code.
-int run_remote_analyze(const std::string& socket_path,
+int run_remote_analyze(const std::string& endpoint,
                        const AnalyzeRequest& request,
                        const ClientRetryConfig& retry = {});
-int run_remote_optimize(const std::string& socket_path,
+int run_remote_optimize(const std::string& endpoint,
                         const OptimizeRequest& request,
                         const ClientRetryConfig& retry = {});
-int run_remote_ssta(const std::string& socket_path,
+int run_remote_ssta(const std::string& endpoint,
                     const SstaRequest& request,
                     const ClientRetryConfig& retry = {});
 
+/// Ship N job specs over one connection (`sva batch FILE`) and deliver
+/// every slot in submission order through the same emit path.  Busy
+/// slots are resubmitted as a sub-batch, sleeping max(server hint,
+/// backoff) between rounds, under a bounded budget (retry.retries
+/// rounds, capped total sleep); a logged give-up delivers the surviving
+/// Busy slots as failures instead of stalling forever.  `labels` (when
+/// sized like the items) captions each slot's output header.  Returns 0
+/// when every slot exits 0, else kExitJobsFailed.
+int run_remote_batch(const std::string& endpoint, const BatchRequest& request,
+                     const std::vector<std::string>& labels = {},
+                     const ClientRetryConfig& retry = {});
+
 /// Fetch the daemon's server-wide MetricsRegistry snapshot.
-MetricsResponse fetch_remote_metrics(const std::string& socket_path);
+MetricsResponse fetch_remote_metrics(const std::string& endpoint);
 
 /// Fetch the daemon's liveness snapshot (`sva ping`).
-HealthResponse fetch_remote_health(const std::string& socket_path);
+HealthResponse fetch_remote_health(const std::string& endpoint);
 
 /// Ask the daemon to drain and exit.  Returns once the ack arrives.
-void request_remote_shutdown(const std::string& socket_path);
+void request_remote_shutdown(const std::string& endpoint);
 
 }  // namespace sva

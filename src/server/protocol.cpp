@@ -27,6 +27,7 @@ bool known_type(std::uint8_t t) {
     case MsgType::PingRequest:
     case MsgType::SstaRequest:
     case MsgType::HealthRequest:
+    case MsgType::BatchRequest:
     case MsgType::ResultResponse:
     case MsgType::BusyResponse:
     case MsgType::ErrorResponse:
@@ -35,6 +36,7 @@ bool known_type(std::uint8_t t) {
     case MsgType::ShutdownAck:
     case MsgType::PongResponse:
     case MsgType::HealthResponse:
+    case MsgType::BatchResponse:
       return true;
   }
   return false;
@@ -105,6 +107,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::PingRequest: return "ping_request";
     case MsgType::SstaRequest: return "ssta_request";
     case MsgType::HealthRequest: return "health_request";
+    case MsgType::BatchRequest: return "batch_request";
     case MsgType::ResultResponse: return "result_response";
     case MsgType::BusyResponse: return "busy_response";
     case MsgType::ErrorResponse: return "error_response";
@@ -113,6 +116,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::ShutdownAck: return "shutdown_ack";
     case MsgType::PongResponse: return "pong_response";
     case MsgType::HealthResponse: return "health_response";
+    case MsgType::BatchResponse: return "batch_response";
   }
   return "unknown";
 }
@@ -215,6 +219,93 @@ std::string encode_ssta_request(const SstaRequest& req) {
   write_ssta_spec(w, req.spec);
   w.u64(req.deadline_ms);
   return w.bytes();
+}
+
+// --- batch frames ------------------------------------------------------
+
+std::string encode_batch_request(const BatchRequest& req) {
+  ByteWriter w;
+  w.u64(req.items.size());
+  for (const BatchItem& item : req.items) {
+    w.u8(item.kind);
+    w.str(item.body);
+  }
+  return w.bytes();
+}
+
+BatchRequest decode_batch_request(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    BatchRequest req;
+    const std::uint64_t count = r.u64();
+    if (count == 0)
+      throw ProtocolError(ProtoStatus::BadBody, "batch request is empty");
+    if (count > kMaxBatchItems)
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "batch request carries " + std::to_string(count) +
+                              " items (limit " +
+                              std::to_string(kMaxBatchItems) + ")");
+    if (count > body.size())  // each item costs >= 1 kind byte
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "batch request item count is implausible");
+    req.items.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      BatchItem item;
+      item.kind = r.u8();
+      item.body = r.str();
+      req.items.push_back(std::move(item));
+    }
+    r.expect_end();
+    return req;
+  });
+}
+
+std::string encode_batch_response(const BatchResponse& resp) {
+  ByteWriter w;
+  w.u64(resp.slots.size());
+  for (const BatchSlot& slot : resp.slots) {
+    w.u8(static_cast<std::uint8_t>(slot.type));
+    w.str(slot.body);
+  }
+  return w.bytes();
+}
+
+BatchResponse decode_batch_response(std::string_view body) {
+  return map_codec_errors(ProtoStatus::BadBody, [&] {
+    ByteReader r(body);
+    BatchResponse resp;
+    const std::uint64_t count = r.u64();
+    if (count > kMaxBatchItems)
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "batch response carries " + std::to_string(count) +
+                              " slots (limit " +
+                              std::to_string(kMaxBatchItems) + ")");
+    if (count > body.size())
+      throw ProtocolError(ProtoStatus::BadBody,
+                          "batch response slot count is implausible");
+    resp.slots.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      BatchSlot slot;
+      const std::uint8_t type = r.u8();
+      switch (static_cast<MsgType>(type)) {
+        case MsgType::ResultResponse:
+        case MsgType::BusyResponse:
+        case MsgType::ErrorResponse:
+        case MsgType::CancelledResponse:
+          break;
+        default:
+          throw ProtocolError(ProtoStatus::BadBody,
+                              "batch response slot " + std::to_string(i) +
+                                  " has non-response type " +
+                                  std::to_string(type));
+      }
+      slot.type = static_cast<MsgType>(type);
+      slot.body = r.str();
+      resp.slots.push_back(std::move(slot));
+    }
+    r.expect_end();
+    return resp;
+  });
 }
 
 // --- canonical spec identity ------------------------------------------

@@ -41,7 +41,9 @@ namespace sva {
 inline constexpr std::uint32_t kFrameMagic = 0x46415653u;  // "SVAF" (LE)
 /// v1: analyze/optimize/metrics/shutdown/ping.  v2: adds SstaRequest.
 /// v3: adds Health request/response and the Busy retry_after_ms hint.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: adds Batch request/response (N job specs over one connection);
+/// the same frames also travel over the TCP transport.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 /// Hard ceiling on one frame's payload: a corrupt length can neither
 /// trigger a huge allocation nor stall the reader.
 inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;  // 64 MiB
@@ -86,6 +88,7 @@ enum class MsgType : std::uint8_t {
   PingRequest = 5,
   SstaRequest = 6,
   HealthRequest = 7,
+  BatchRequest = 8,
 
   ResultResponse = 64,
   BusyResponse = 65,
@@ -95,6 +98,7 @@ enum class MsgType : std::uint8_t {
   ShutdownAck = 69,
   PongResponse = 70,
   HealthResponse = 71,
+  BatchResponse = 72,
 };
 
 const char* msg_type_name(MsgType type);
@@ -142,6 +146,50 @@ OptimizeRequest decode_optimize_request(std::string_view body);
 
 std::string encode_ssta_request(const SstaRequest& req);
 SstaRequest decode_ssta_request(std::string_view body);
+
+// --- batch frames ------------------------------------------------------
+
+/// Ceiling on specs per batch: bounds the admission loop and the
+/// response buffer a single frame can demand.
+inline constexpr std::uint64_t kMaxBatchItems = 1024;
+
+/// One slot of a BatchRequest: a job-request kind (MsgType as u8) plus
+/// that kind's encoded request body, carried opaquely.  The envelope
+/// codec deliberately does NOT decode the inner body: the server decodes
+/// each slot independently, so a malformed spec poisons only its own
+/// slot instead of the whole batch.
+struct BatchItem {
+  std::uint8_t kind = 0;
+  std::string body;
+};
+
+struct BatchRequest {
+  std::vector<BatchItem> items;
+};
+
+std::string encode_batch_request(const BatchRequest& req);
+/// Splits the envelope only (count, per-slot kind + raw bytes).  Throws
+/// ProtocolError{BadBody} on an empty batch, an implausible or oversized
+/// count, or truncated slot framing.
+BatchRequest decode_batch_request(std::string_view body);
+
+/// One slot of a BatchResponse: the exact {type, body} of the frame a
+/// single-spec connection would have received for that slot's request --
+/// this is what makes batch results byte-identical to N separate
+/// connections by construction.
+struct BatchSlot {
+  MsgType type = MsgType::ErrorResponse;
+  std::string body;
+};
+
+struct BatchResponse {
+  std::vector<BatchSlot> slots;  ///< in submission order
+};
+
+std::string encode_batch_response(const BatchResponse& resp);
+/// Throws ProtocolError{BadBody} when a slot's type is not a per-job
+/// response kind (Result/Busy/Error/Cancelled) or the framing is short.
+BatchResponse decode_batch_response(std::string_view body);
 
 // --- canonical spec identity ------------------------------------------
 

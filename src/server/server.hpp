@@ -1,6 +1,6 @@
 #pragma once
 // The `sva serve` daemon: a long-lived timing server over a Unix-domain
-// socket.
+// socket and/or a TCP listener (both speak the same frame protocol).
 //
 // Construction-time cost is paid once: the caller builds the SvaFlow
 // (library OPC, pitch table, context cache -- warm-started from the
@@ -8,15 +8,27 @@
 // the optimize path needs is built lazily on the first optimize request
 // and then stays hot.  serve() then runs four kinds of thread:
 //
-//   accept loop     (caller's thread)  poll/accept, failpoint
-//                   "server.accept", spawns one handler per connection;
-//   handlers        read frames ("server.read" failpoint), answer
-//                   metrics/ping/health/shutdown inline, submit analyze/
-//                   optimize/ssta jobs to the LanePool -- a full backlog
-//                   answers Busy immediately with a retry_after_ms hint
-//                   (admission control) -- then wait on the job while
-//                   watching the socket: a client disconnect cancels
-//                   that client's job only;
+//   accept loop     (caller's thread)  poll/accept over both listeners,
+//                   failpoints "server.accept" / "server.conn.accept",
+//                   spawns one handler per connection; connections over
+//                   the --max-conns cap are shed with a Busy response
+//                   carrying the retry_after_ms hint instead of being
+//                   queued (server.conn.shed_busy);
+//   handlers        read frames ("server.read" failpoint) through the
+//                   connection supervisor (server/conn.hpp): per-frame
+//                   read/write budgets plus an idle budget evict
+//                   slow-loris peers (server.conn.evicted_slow).  They
+//                   answer metrics/ping/health/shutdown inline, submit
+//                   analyze/optimize/ssta jobs to the LanePool -- a full
+//                   backlog answers Busy immediately with a
+//                   retry_after_ms hint (admission control) -- then wait
+//                   on the job while watching the socket: a client
+//                   disconnect cancels that client's job only.  A
+//                   BatchRequest admits its N slots in submission order
+//                   (distinct specs spread over the lanes concurrently)
+//                   and answers one BatchResponse whose slots are
+//                   byte-identical to N single-spec connections; a
+//                   malformed or crashing slot poisons only itself;
 //   lanes           N executor lanes (--lanes), each owning a queue and
 //                   running its jobs on the shared ThreadPool.  A job is
 //                   bound to lane (spec_hash % N) so identical specs
@@ -41,12 +53,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/conn.hpp"
 #include "server/job_queue.hpp"
 #include "server/lane_pool.hpp"
 #include "server/protocol.hpp"
@@ -61,10 +77,20 @@ class SizedLibrary;
 class ThreadPool;
 
 struct ServerConfig {
+  /// Unix-domain socket path; empty disables that listener.
   std::string socket_path;
+  /// TCP listen address as HOST:PORT (port 0 = kernel-assigned, see
+  /// tcp_port()); empty disables the TCP listener.  At least one of
+  /// socket_path / listen_address must be set.
+  std::string listen_address;
   /// Admission-control bound: jobs queued beyond this are rejected with a
   /// Busy response.
   std::size_t queue_depth = 8;
+  /// Hard cap on concurrently served connections; an accept beyond it is
+  /// answered Busy (retry_after_ms hint) and closed immediately.
+  std::size_t max_conns = 64;
+  /// Per-connection IO budgets (slow-client defense); see ConnLimits.
+  ConnLimits conn_limits;
   /// Persistent cache directory for the lazily built SizedLibrary's
   /// context cache (empty disables; the flow's own cache is the
   /// caller's business).
@@ -74,6 +100,11 @@ struct ServerConfig {
   /// Result-cache entries for clean analyze/ssta results; 0 disables
   /// (the `sva serve` CLI defaults this on).
   std::size_t result_cache_capacity = 0;
+  /// Print each bound endpoint on stdout once listening ("sva serve:
+  /// listening on tcp:HOST:PORT").  The CLI daemon turns this on so
+  /// scripts can discover a kernel-assigned TCP port; in-process
+  /// embedders (tests, benches) read tcp_port() instead.
+  bool announce = false;
   /// Watchdog thresholds; see LanePool::Config.
   std::uint64_t watchdog_stall_ms = 10'000;
   std::uint64_t watchdog_grace_ms = 2'000;
@@ -107,18 +138,43 @@ class TimingServer {
 
   const ServerConfig& config() const { return config_; }
   std::size_t lane_count() const { return lanes_.lane_count(); }
+  /// Port the TCP listener actually bound (0 until serve() binds it);
+  /// meaningful when listen_address asked for port 0.
+  std::uint16_t tcp_port() const { return tcp_port_.load(); }
 
  private:
-  void handle_connection(Fd fd);
-  void handle_request(int fd, const Frame& request, bool& keep_open);
+  /// A job past admission: its handle plus the future the lane fulfils.
+  struct PendingJob {
+    std::shared_ptr<ServerJob> job;
+    std::future<JobResult> done;
+    std::shared_ptr<CancelToken> cancel;
+  };
+
+  void handle_connection(Conn conn);
+  void handle_request(Conn& conn, const Frame& request, bool& keep_open);
+  /// Result-cache lookup + admission control.  Either fills `immediate`
+  /// (cached replay or Busy) or returns the pending job handle.
+  std::optional<PendingJob> admit_job(
+      std::uint64_t deadline_ms, std::uint64_t spec_hash, bool cacheable,
+      std::function<JobResult(const CancelToken*)> work,
+      std::optional<Frame>* immediate);
+  /// Account a finished job and render its response frame (inserting a
+  /// clean cacheable result into the result cache).
+  Frame finish_result(const JobResult& result, std::uint64_t spec_hash,
+                      bool cacheable);
   /// Admit one job (or answer Busy / the result cache) and stream the
   /// response.  `keep_open` is cleared on a lane crash, where the
   /// connection is dropped without a response so the client's
   /// transient-retry path takes over.
-  void submit_and_wait(int fd, std::uint64_t deadline_ms,
+  void submit_and_wait(Conn& conn, std::uint64_t deadline_ms,
                        std::uint64_t spec_hash, bool cacheable,
                        std::function<JobResult(const CancelToken*)> work,
                        bool& keep_open);
+  /// Serve a BatchRequest: admit every slot in submission order, await
+  /// them in the same order, and answer one BatchResponse.  Per-slot
+  /// isolation: a malformed spec, a Busy rejection, a job error, or a
+  /// crashed lane resolves to that slot's response only.
+  void handle_batch(Conn& conn, const BatchRequest& request);
   HealthResponse health_snapshot() const;
   /// The lazily built sized library (first optimize request pays for
   /// it); throws out of the executor on construction failure.
@@ -132,6 +188,8 @@ class TimingServer {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> next_job_id_{1};
   std::atomic<std::uint64_t> jobs_served_{0};
+  std::atomic<std::uint16_t> tcp_port_{0};
+  std::atomic<std::size_t> active_conns_{0};
   std::chrono::steady_clock::time_point started_at_{};
 
   std::unique_ptr<SizedLibrary> sized_;

@@ -197,6 +197,9 @@ const std::vector<std::string>& FailPoints::catalogue() {
       "cache.lock",          // FileLock::acquire (cache/checkpoint locks)
       "server.accept",       // daemon accept loop (connection dropped)
       "server.read",         // daemon per-connection frame read
+      "server.conn.accept",  // post-accept supervision (pre-shed drop)
+      "server.conn.read",    // supervised frame read (before any byte)
+      "server.conn.write",   // supervised frame write (before any byte)
       "server.lane.run",     // executor-lane job harness (lane crash/stall)
       "server.watchdog.tick",// daemon watchdog scan (tick skipped)
       "ssta.propagate",      // SstaEngine forward pass entry

@@ -26,6 +26,12 @@ class Counter {
   void add(std::uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Counters are normally monotone; sub() exists for the few that act
+  /// as gauges (e.g. server.conn.active, decremented on close).  Callers
+  /// must pair sub() with an earlier add() so the value never wraps.
+  void sub(std::uint64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
   std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }

@@ -12,8 +12,9 @@
 // The daemon client reuses the same loop with two extra knobs.
 // transient_only narrows the retried set to TransientError -- the classes
 // where nothing observable happened beyond the attempt itself (Busy,
-// connect-refused, EOF before any response byte), so a retry is
-// idempotent by construction.  max_jitter adds a uniform random slice to
+// connect-refused on either transport: a down TCP daemon is the same
+// ECONNREFUSED as a missing Unix socket, EOF before any response byte),
+// so a retry is idempotent by construction.  max_jitter adds a uniform random slice to
 // each backoff so concurrent clients rejected together do not re-collide
 // on the same tick.
 //

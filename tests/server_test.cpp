@@ -85,12 +85,12 @@ ProtoStatus reject_status(std::string_view payload) {
 
 TEST(ProtocolCodecTest, GoldenPingFrameBytes) {
   // The full wire bytes of an empty-body ping, fixed by the protocol:
-  // magic "SVAF", payload length 21, version 3, type 5, fnv1a64 of the
+  // magic "SVAF", payload length 21, version 4, type 5, fnv1a64 of the
   // empty body, and a zero-length body.  Platform-stable because the
   // codec is fixed little-endian.
   static const unsigned char kGolden[] = {
       0x53, 0x56, 0x41, 0x46, 0x15, 0x00, 0x00, 0x00,  // "SVAF", len=21
-      0x03, 0x00, 0x00, 0x00,                          // version 3
+      0x04, 0x00, 0x00, 0x00,                          // version 4
       0x05,                                            // PingRequest
       0xdf, 0xb7, 0x01, 0x86, 0x4c, 0xbd, 0x63, 0xaf,  // fnv1a64("")
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 0
@@ -110,7 +110,7 @@ TEST(ProtocolCodecTest, GoldenAnalyzeFrameBytes) {
   req.spec.circuits = {"C17"};
   static const unsigned char kGolden[] = {
       0x53, 0x56, 0x41, 0x46, 0x31, 0x00, 0x00, 0x00,  // "SVAF", len=49
-      0x03, 0x00, 0x00, 0x00,                          // version 3
+      0x04, 0x00, 0x00, 0x00,                          // version 4
       0x01,                                            // AnalyzeRequest
       0x56, 0x14, 0x4f, 0x19, 0xe8, 0x03, 0x7d, 0x31,  // body checksum
       0x1c, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // body len 28
@@ -312,6 +312,130 @@ TEST(ProtocolCodecTest, OversizedFrameIsRefusedAtEncode) {
   }
 }
 
+// --- batch frames -----------------------------------------------------
+
+TEST(ProtocolCodecTest, BatchBodiesRoundTrip) {
+  AnalyzeRequest a;
+  a.spec.circuits = {"C432"};
+  SstaRequest s;
+  s.spec.circuit = "C880";
+  BatchRequest req;
+  req.items.push_back({static_cast<std::uint8_t>(MsgType::AnalyzeRequest),
+                       encode_analyze_request(a)});
+  req.items.push_back({static_cast<std::uint8_t>(MsgType::SstaRequest),
+                       encode_ssta_request(s)});
+  const BatchRequest back = decode_batch_request(encode_batch_request(req));
+  ASSERT_EQ(back.items.size(), 2u);
+  EXPECT_EQ(back.items[0].kind, req.items[0].kind);
+  EXPECT_EQ(back.items[0].body, req.items[0].body);
+  EXPECT_EQ(back.items[1].kind, req.items[1].kind);
+  EXPECT_EQ(back.items[1].body, req.items[1].body);
+
+  JobResult result;
+  result.output = "table\n";
+  BatchResponse resp;
+  resp.slots.push_back({MsgType::ResultResponse,
+                        encode_result_response(result)});
+  resp.slots.push_back({MsgType::ErrorResponse,
+                        encode_error_response({ProtoStatus::BadBody, "bad"})});
+  resp.slots.push_back({MsgType::BusyResponse,
+                        encode_busy_response({1, 8, 50})});
+  const BatchResponse rback =
+      decode_batch_response(encode_batch_response(resp));
+  ASSERT_EQ(rback.slots.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rback.slots[i].type, resp.slots[i].type);
+    EXPECT_EQ(rback.slots[i].body, resp.slots[i].body);
+  }
+}
+
+TEST(ProtocolCodecTest, BatchRequestRejectsMalformedEnvelopes) {
+  // Empty batch.
+  ByteWriter empty;
+  empty.u64(0);
+  try {
+    decode_batch_request(empty.bytes());
+    FAIL() << "empty batch decoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadBody);
+  }
+  // Item count over the protocol limit.
+  ByteWriter oversized;
+  oversized.u64(kMaxBatchItems + 1);
+  try {
+    decode_batch_request(oversized.bytes());
+    FAIL() << "oversized batch decoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadBody);
+  }
+  // Plausible count with no item bytes behind it.
+  ByteWriter hollow;
+  hollow.u64(3);
+  try {
+    decode_batch_request(hollow.bytes());
+    FAIL() << "hollow batch decoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadBody);
+  }
+  // A response-only type is refused as a batch slot on the way back.
+  ByteWriter badslot;
+  badslot.u64(1);
+  badslot.u8(static_cast<std::uint8_t>(MsgType::AnalyzeRequest));
+  badslot.str("");
+  try {
+    decode_batch_response(badslot.bytes());
+    FAIL() << "request-typed slot decoded";
+  } catch (...) {
+    EXPECT_EQ(decode_status(std::current_exception()), ProtoStatus::BadBody);
+  }
+}
+
+TEST(ProtocolCodecTest, EveryTruncationOfABatchFrameIsRejected) {
+  // The v4 envelope defends the batch payload exactly like any other
+  // frame: every proper prefix is Truncated, a flipped body byte is
+  // BadChecksum -- never a partial decode.
+  AnalyzeRequest a;
+  a.spec.circuits = {"C17"};
+  BatchRequest req;
+  req.items.push_back({static_cast<std::uint8_t>(MsgType::AnalyzeRequest),
+                       encode_analyze_request(a)});
+  const std::string wire =
+      encode_frame({MsgType::BatchRequest, encode_batch_request(req)});
+  const std::string payload = wire.substr(8);
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    EXPECT_EQ(reject_status(payload.substr(0, n)), ProtoStatus::Truncated)
+        << "prefix length " << n;
+  }
+  std::string corrupt = payload;
+  corrupt.back() ^= 0x01;
+  EXPECT_EQ(reject_status(corrupt), ProtoStatus::BadChecksum);
+}
+
+// --- endpoint URIs ----------------------------------------------------
+
+TEST(EndpointTest, ParsesUnixTcpAndBareForms) {
+  Endpoint ep = parse_endpoint("unix:/tmp/sva.sock");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(ep.path, "/tmp/sva.sock");
+
+  ep = parse_endpoint("/tmp/bare.sock");  // back-compat shorthand
+  EXPECT_EQ(ep.kind, Endpoint::Kind::Unix);
+  EXPECT_EQ(ep.path, "/tmp/bare.sock");
+
+  ep = parse_endpoint("tcp:127.0.0.1:9321");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::Tcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 9321);
+
+  EXPECT_THROW(parse_endpoint(""), SocketError);
+  EXPECT_THROW(parse_endpoint("unix:"), SocketError);
+  EXPECT_THROW(parse_endpoint("tcp:127.0.0.1"), SocketError);
+  EXPECT_THROW(parse_endpoint("tcp::9000"), SocketError);
+  EXPECT_THROW(parse_endpoint("tcp:host:"), SocketError);
+  EXPECT_THROW(parse_endpoint("tcp:host:99999"), SocketError);
+  EXPECT_THROW(parse_endpoint("tcp:host:12x"), SocketError);
+}
+
 // --- socket framing ---------------------------------------------------
 
 struct SocketPair {
@@ -486,6 +610,9 @@ std::string unique_socket_path() {
 /// static instance; serve() runs on a background thread until stop().
 struct ServerHarness {
   std::string socket_path = unique_socket_path();
+  // Declared before `server`: adopt_config() assigns it while the server
+  // member is being initialized.
+  bool want_tcp = false;
   ThreadPool pool{2};
   TimingServer server;
   std::thread thread;
@@ -517,7 +644,21 @@ struct ServerHarness {
     wait_until_listening();
   }
 
+  /// Full-config harness for the transport-hardening tests.  An empty
+  /// socket_path with a listen_address runs TCP-only; otherwise the
+  /// harness's fresh Unix path is filled in.
+  explicit ServerHarness(ServerConfig cfg)
+      : server(shared_flow(), adopt_config(cfg)) {
+    thread = std::thread([this] { exit_code = server.serve(pool); });
+    wait_until_listening();
+  }
+
   ~ServerHarness() { stop(); }
+
+  /// The tcp:HOST:PORT endpoint of the daemon's TCP listener.
+  std::string tcp_endpoint() const {
+    return "tcp:127.0.0.1:" + std::to_string(server.tcp_port());
+  }
 
   void stop() {
     if (!thread.joinable()) return;
@@ -527,6 +668,11 @@ struct ServerHarness {
 
   void wait_until_listening() {
     for (int i = 0; i < 500; ++i) {
+      if (want_tcp && server.tcp_port() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      if (socket_path.empty()) return;  // TCP-only, and the port is bound
       try {
         Fd probe = unix_connect(socket_path);
         return;
@@ -534,7 +680,16 @@ struct ServerHarness {
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
     }
-    FAIL() << "daemon never started listening on " << socket_path;
+    FAIL() << "daemon never started listening";
+  }
+
+ private:
+  ServerConfig adopt_config(ServerConfig cfg) {
+    if (cfg.socket_path.empty() && cfg.listen_address.empty())
+      cfg.socket_path = socket_path;
+    socket_path = cfg.socket_path;  // may be empty for TCP-only daemons
+    want_tcp = !cfg.listen_address.empty();
+    return cfg;
   }
 };
 
@@ -1179,6 +1334,394 @@ TEST(TimingServerTest, WatchdogWedgesAStuckLaneAndRecyclesIt) {
   const Frame ok = next.call(request);
   ASSERT_EQ(ok.type, MsgType::ResultResponse);
   EXPECT_EQ(decode_result_response(ok.body).exit_code, 0);
+}
+
+// --- TCP transport ----------------------------------------------------
+
+TEST(TimingServerTest, TcpTransportIsByteIdenticalToUnixAndDirect) {
+  const SvaFlow& flow = shared_flow();
+  AnalyzeJobSpec spec;
+  spec.circuits = {"C432"};
+  ThreadPool direct_pool(2);
+  const JobResult direct = run_analyze_job(flow, direct_pool, spec, nullptr);
+  ASSERT_EQ(direct.exit_code, 0);
+
+  ServerConfig cfg;
+  cfg.socket_path = unique_socket_path();
+  cfg.listen_address = "127.0.0.1:0";  // ephemeral port, discovered below
+  ServerHarness harness(cfg);  // dual-listener: Unix socket + TCP
+  ASSERT_NE(harness.server.tcp_port(), 0);
+
+  const std::uint64_t accepted_before =
+      MetricsRegistry::global().counter("server.conn.accepted").value();
+
+  AnalyzeRequest req;
+  req.spec = spec;
+  const Frame request{MsgType::AnalyzeRequest, encode_analyze_request(req)};
+
+  ServerClient over_tcp(harness.tcp_endpoint());
+  const Frame tcp_resp = over_tcp.call(request);
+  ASSERT_EQ(tcp_resp.type, MsgType::ResultResponse);
+  const JobResult tcp_result = decode_result_response(tcp_resp.body);
+
+  ServerClient over_unix("unix:" + harness.socket_path);
+  const Frame unix_resp = over_unix.call(request);
+  ASSERT_EQ(unix_resp.type, MsgType::ResultResponse);
+  const JobResult unix_result = decode_result_response(unix_resp.body);
+
+  EXPECT_EQ(tcp_result.exit_code, 0);
+  EXPECT_EQ(strip_variance(tcp_result.output), strip_variance(direct.output));
+  EXPECT_EQ(strip_variance(unix_result.output),
+            strip_variance(tcp_result.output));
+
+  // Both transports run through the same connection supervisor.
+  EXPECT_GE(MetricsRegistry::global().counter("server.conn.accepted").value(),
+            accepted_before + 2);
+
+  // Inline requests answer over TCP too.
+  ServerClient ping(harness.tcp_endpoint());
+  EXPECT_EQ(ping.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, ConnMetricsAppearInTheJsonSnapshot) {
+  ServerConfig cfg;
+  cfg.listen_address = "127.0.0.1:0";
+  ServerHarness harness(cfg);
+  ServerClient ping(harness.tcp_endpoint());
+  ASSERT_EQ(ping.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
+
+  const MetricsResponse m = fetch_remote_metrics(harness.tcp_endpoint());
+  for (const char* key :
+       {"server.conn.accepted", "server.conn.active", "server.conn.bytes_in",
+        "server.conn.bytes_out"}) {
+    EXPECT_NE(m.json.find(key), std::string::npos) << key;
+  }
+}
+
+// --- batched frames ---------------------------------------------------
+
+TEST(TimingServerTest, BatchIsByteIdenticalToSingleSpecConnections) {
+  // Result cache ON: the singles run first and populate it, so the batch
+  // slots for the cacheable kinds replay the *exact* stored bytes --
+  // wall-time trailer included -- and optimize is deterministic anyway.
+  ServerHarness harness(8, /*lanes=*/2, /*result_cache=*/16);
+
+  AnalyzeRequest a;
+  a.spec.circuits = {"C432"};
+  SstaRequest s;
+  s.spec.circuit = "C432";
+  s.spec.clock_period_ps = 2500.0;
+  s.spec.mc_samples = 100;
+  OptimizeRequest o;
+  o.spec.circuit = "C432";
+  o.spec.max_moves = 4;
+
+  const Frame singles_req[3] = {
+      {MsgType::AnalyzeRequest, encode_analyze_request(a)},
+      {MsgType::SstaRequest, encode_ssta_request(s)},
+      {MsgType::OptimizeRequest, encode_optimize_request(o)},
+  };
+  Frame singles[3];
+  for (int i = 0; i < 3; ++i) {
+    ServerClient client(harness.socket_path);
+    singles[i] = client.call(singles_req[i]);
+    ASSERT_EQ(singles[i].type, MsgType::ResultResponse) << "single " << i;
+  }
+
+  BatchRequest batch;
+  for (int i = 0; i < 3; ++i)
+    batch.items.push_back(
+        {static_cast<std::uint8_t>(singles_req[i].type),
+         singles_req[i].body});
+  ServerClient client(harness.socket_path);
+  const Frame response =
+      client.call({MsgType::BatchRequest, encode_batch_request(batch)});
+  ASSERT_EQ(response.type, MsgType::BatchResponse);
+  const BatchResponse decoded = decode_batch_response(response.body);
+  ASSERT_EQ(decoded.slots.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded.slots[i].type, singles[i].type) << "slot " << i;
+    EXPECT_EQ(decoded.slots[i].body, singles[i].body) << "slot " << i;
+  }
+}
+
+TEST(TimingServerTest, BatchMalformedSlotPoisonsOnlyItsOwnSlot) {
+  ServerHarness harness(8, /*lanes=*/2);
+
+  AnalyzeRequest a;
+  a.spec.circuits = {"C432"};
+  SstaRequest s;
+  s.spec.circuit = "C432";
+  s.spec.clock_period_ps = 2500.0;
+  s.spec.mc_samples = 100;
+
+  BatchRequest batch;
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::AnalyzeRequest),
+       encode_analyze_request(a)});
+  // Slot 1: a known type that is not a job request.
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::PingRequest), ""});
+  // Slot 2: a job kind whose body is garbage.
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::AnalyzeRequest), "garbage"});
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::SstaRequest),
+       encode_ssta_request(s)});
+
+  ServerClient client(harness.socket_path);
+  const Frame response =
+      client.call({MsgType::BatchRequest, encode_batch_request(batch)});
+  ASSERT_EQ(response.type, MsgType::BatchResponse);
+  const BatchResponse decoded = decode_batch_response(response.body);
+  ASSERT_EQ(decoded.slots.size(), 4u);
+
+  EXPECT_EQ(decoded.slots[0].type, MsgType::ResultResponse);
+  EXPECT_EQ(decode_result_response(decoded.slots[0].body).exit_code, 0);
+
+  ASSERT_EQ(decoded.slots[1].type, MsgType::ErrorResponse);
+  EXPECT_EQ(decode_error_response(decoded.slots[1].body).code,
+            ProtoStatus::BadType);
+
+  ASSERT_EQ(decoded.slots[2].type, MsgType::ErrorResponse);
+  EXPECT_EQ(decode_error_response(decoded.slots[2].body).code,
+            ProtoStatus::BadBody);
+
+  EXPECT_EQ(decoded.slots[3].type, MsgType::ResultResponse);
+  EXPECT_EQ(decode_result_response(decoded.slots[3].body).exit_code, 0);
+
+  // The poisoned slots did not kill the connection or the daemon.
+  EXPECT_EQ(client.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, BatchOutputIsBitIdenticalAcrossLaneCounts) {
+  AnalyzeRequest a1, a2;
+  a1.spec.circuits = {"C432"};
+  a2.spec.circuits = {"C880"};
+  SstaRequest s;
+  s.spec.circuit = "C432";
+  s.spec.clock_period_ps = 2500.0;
+  s.spec.mc_samples = 100;
+
+  BatchRequest batch;
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::AnalyzeRequest),
+       encode_analyze_request(a1)});
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::AnalyzeRequest),
+       encode_analyze_request(a2)});
+  batch.items.push_back(
+      {static_cast<std::uint8_t>(MsgType::SstaRequest),
+       encode_ssta_request(s)});
+
+  const std::size_t lane_counts[2] = {1, 4};
+  BatchResponse by_lanes[2];
+  for (int v = 0; v < 2; ++v) {
+    ServerHarness harness(8, lane_counts[v]);
+    ServerClient client(harness.socket_path);
+    const Frame response =
+        client.call({MsgType::BatchRequest, encode_batch_request(batch)});
+    ASSERT_EQ(response.type, MsgType::BatchResponse) << "lanes config " << v;
+    by_lanes[v] = decode_batch_response(response.body);
+    ASSERT_EQ(by_lanes[v].slots.size(), 3u);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(by_lanes[0].slots[i].type, MsgType::ResultResponse);
+    ASSERT_EQ(by_lanes[1].slots[i].type, MsgType::ResultResponse);
+    const JobResult one = decode_result_response(by_lanes[0].slots[i].body);
+    const JobResult four = decode_result_response(by_lanes[1].slots[i].body);
+    EXPECT_EQ(strip_variance(four.output), strip_variance(one.output))
+        << "slot " << i;
+    ASSERT_EQ(four.artifacts.size(), one.artifacts.size()) << "slot " << i;
+    for (std::size_t k = 0; k < one.artifacts.size(); ++k)
+      EXPECT_EQ(four.artifacts[k].bytes, one.artifacts[k].bytes)
+          << "slot " << i << " artifact " << k;
+  }
+}
+
+// --- slow-client defense ----------------------------------------------
+
+TEST(TimingServerTest, SlowLorisPeerIsEvictedWithoutPerturbingAFastClient) {
+  ServerConfig cfg;
+  cfg.conn_limits.read_timeout_ms = 200;  // evict mid-frame stalls fast
+  ServerHarness harness(cfg);
+  const std::uint64_t evicted_before =
+      MetricsRegistry::global().counter("server.conn.evicted_slow").value();
+
+  const SvaFlow& flow = shared_flow();
+  AnalyzeJobSpec spec;
+  spec.circuits = {"C432"};
+  ThreadPool direct_pool(2);
+  const JobResult direct = run_analyze_job(flow, direct_pool, spec, nullptr);
+
+  // The slow loris: open a frame with 4 of its 8 header bytes, then
+  // drip nothing.  Progress never extends the budget, so the read
+  // deadline expires whatever the peer promises.
+  Fd loris = unix_connect(harness.socket_path);
+  const std::string ping = encode_frame({MsgType::PingRequest, ""});
+  write_all(loris.get(), ping.data(), 4);
+
+  // A fast client served concurrently with the stalled peer must get
+  // bytes identical to a direct run.
+  ServerClient fast(harness.socket_path);
+  AnalyzeRequest req;
+  req.spec = spec;
+  const Frame response =
+      fast.call({MsgType::AnalyzeRequest, encode_analyze_request(req)});
+  ASSERT_EQ(response.type, MsgType::ResultResponse);
+  const JobResult remote = decode_result_response(response.body);
+  EXPECT_EQ(remote.exit_code, 0);
+  EXPECT_EQ(strip_variance(remote.output), strip_variance(direct.output));
+
+  // The loris is evicted: its connection reaches EOF (or a reset, when
+  // the kernel still held unread bytes) and the counter records why.
+  bool dropped = false;
+  try {
+    dropped = !read_frame(loris.get()).has_value();
+  } catch (const SocketError&) {
+    dropped = true;
+  }
+  EXPECT_TRUE(dropped);
+  for (int i = 0; i < 100 && MetricsRegistry::global()
+                                     .counter("server.conn.evicted_slow")
+                                     .value() == evicted_before;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(
+      MetricsRegistry::global().counter("server.conn.evicted_slow").value(),
+      evicted_before);
+
+  // The daemon still serves.
+  ServerClient next(harness.socket_path);
+  EXPECT_EQ(next.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, IdleConnectionIsEvictedAfterItsBudget) {
+  ServerConfig cfg;
+  cfg.conn_limits.idle_timeout_ms = 150;
+  ServerHarness harness(cfg);
+  const std::uint64_t evicted_before =
+      MetricsRegistry::global().counter("server.conn.evicted_slow").value();
+
+  // A well-formed exchange, then silence: the idle budget reclaims the
+  // parked connection.
+  Fd idle = unix_connect(harness.socket_path);
+  const std::string ping = encode_frame({MsgType::PingRequest, ""});
+  write_all(idle.get(), ping.data(), ping.size());
+  std::optional<Frame> pong = read_frame(idle.get());
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, MsgType::PongResponse);
+
+  EXPECT_FALSE(read_frame(idle.get()).has_value())
+      << "parked connection was not closed";
+  EXPECT_GT(
+      MetricsRegistry::global().counter("server.conn.evicted_slow").value(),
+      evicted_before);
+}
+
+// --- overload shedding ------------------------------------------------
+
+TEST(TimingServerTest, OverMaxConnsIsShedWithBusyAndRetryHint) {
+  ServerConfig cfg;
+  cfg.max_conns = 1;
+  cfg.conn_limits.idle_timeout_ms = 0;  // let the holder park indefinitely
+  ServerHarness harness(cfg);
+  const std::uint64_t shed_before =
+      MetricsRegistry::global().counter("server.conn.shed_busy").value();
+
+  // Acquire the one supervised slot.  The harness's listen probe may
+  // still hold it for a poll tick, so retry until a full ping round-trip
+  // proves this connection is the supervised one (a shed connection
+  // answers Busy instead).
+  Fd holder;
+  bool held = false;
+  const std::string hold_ping = encode_frame({MsgType::PingRequest, ""});
+  for (int i = 0; i < 200 && !held; ++i) {
+    holder = unix_connect(harness.socket_path);
+    write_all(holder.get(), hold_ping.data(), hold_ping.size());
+    std::optional<Frame> hold_pong = read_frame(holder.get());
+    ASSERT_TRUE(hold_pong.has_value());
+    if (hold_pong->type == MsgType::PongResponse) {
+      held = true;
+    } else {
+      holder.close_now();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(held) << "never acquired the supervised connection slot";
+
+  Fd rejected = unix_connect(harness.socket_path);
+  std::optional<Frame> response = read_frame(rejected.get());
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->type, MsgType::BusyResponse);
+  const BusyResponse busy = decode_busy_response(response->body);
+  EXPECT_GT(busy.retry_after_ms, 0u);
+  EXPECT_FALSE(read_frame(rejected.get()).has_value())
+      << "shed connection left open";
+  EXPECT_GT(MetricsRegistry::global().counter("server.conn.shed_busy").value(),
+            shed_before);
+
+  // Freeing the held slot restores service (Busy answers continue until
+  // the holder's handler notices the close and releases the slot).
+  holder.close_now();
+  for (int i = 0; i < 200; ++i) {
+    try {
+      ServerClient next(harness.socket_path);
+      if (next.call({MsgType::PingRequest, ""}).type ==
+          MsgType::PongResponse)
+        return;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "slot never freed after the holder disconnected";
+}
+
+// --- connection failpoints --------------------------------------------
+
+TEST(TimingServerTest, ConnReadFaultIsACleanDropTheRetryPathAbsorbs) {
+  ServerHarness harness;
+  FailPointGuard guard;
+
+  // Deterministic: the supervised read faults before any byte moves, so
+  // the client sees a pre-response EOF -- the transient class.
+  FailPoints::set("server.conn.read", "throw");
+  EXPECT_THROW(
+      call_server_with_retry(harness.socket_path,
+                             {MsgType::PingRequest, ""}, {}),
+      TransientError);
+  EXPECT_GT(FailPoints::fired_count("server.conn.read"), 0u);
+  FailPoints::clear("server.conn.read");
+
+  // Probabilistic: a retried client always lands the answer.
+  FailPoints::set("server.conn.read", "prob(0.5)");
+  ClientRetryConfig retry;
+  retry.retries = 25;
+  retry.initial_backoff = std::chrono::milliseconds(2);
+  const Frame pong = call_server_with_retry(
+      harness.socket_path, {MsgType::PingRequest, ""}, retry);
+  EXPECT_EQ(pong.type, MsgType::PongResponse);
+}
+
+TEST(TimingServerTest, ConnWriteFaultDropsTheResponseNotTheDaemon) {
+  ServerHarness harness;
+  FailPointGuard guard;
+
+  FailPoints::set("server.conn.write", "throw");
+  EXPECT_THROW(
+      call_server_with_retry(harness.socket_path,
+                             {MsgType::PingRequest, ""}, {}),
+      TransientError);
+  EXPECT_GT(FailPoints::fired_count("server.conn.write"), 0u);
+  FailPoints::clear("server.conn.write");
+
+  ServerClient next(harness.socket_path);
+  EXPECT_EQ(next.call({MsgType::PingRequest, ""}).type,
+            MsgType::PongResponse);
 }
 
 }  // namespace

@@ -520,6 +520,13 @@ TEST(Metrics, RenderJsonHasStableKeyOrder) {
   EXPECT_EQ(reg.render_json(), json);
   EXPECT_NE(json.find("\"alpha\":1"), std::string::npos);
   EXPECT_NE(json.find("\"total\":1"), std::string::npos);
+
+  // A gauge-style counter (add on open, sub on close -- the daemon's
+  // server.conn.active) renders its net value.
+  reg.counter("gauge").add(5);
+  reg.counter("gauge").sub(2);
+  EXPECT_EQ(reg.counter("gauge").value(), 3u);
+  EXPECT_NE(reg.render_json().find("\"gauge\":3"), std::string::npos);
 }
 
 }  // namespace
